@@ -1,0 +1,50 @@
+// Ablation: fixed-width vs compact (delta/varint) wire encoding. The compact
+// codec shrinks every raw-event payload — candidate replies, forwarded
+// batches, sensor streams — at a small encode/decode CPU cost. Reported per
+// system so the byte columns of the network experiments can be read under
+// either encoding.
+
+#include "harness.h"
+
+using namespace dema;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const size_t locals = static_cast<size_t>(flags.GetInt("locals", 2));
+  const uint64_t windows = static_cast<uint64_t>(flags.GetInt("windows", 4));
+  const double rate = flags.GetDouble("rate", 100'000);
+  const uint64_t gamma = static_cast<uint64_t>(flags.GetInt("gamma", 5'000));
+
+  std::cout << "=== Ablation: wire codec (fixed vs compact), " << windows
+            << " windows x " << FmtRate(rate) << " per node ===\n";
+
+  sim::WorkloadConfig load = sim::MakeUniformWorkload(
+      locals, windows, rate, bench::SensorDistribution());
+
+  Table table({"system", "codec", "wire bytes", "bytes/event", "throughput"});
+  for (auto kind : {sim::SystemKind::kDema, sim::SystemKind::kCentralExact,
+                    sim::SystemKind::kDesisMerge}) {
+    for (auto codec : {net::EventCodec::kFixed, net::EventCodec::kCompact}) {
+      sim::SystemConfig config;
+      config.kind = kind;
+      config.num_locals = locals;
+      config.gamma = gamma;
+      config.wire_codec = codec;
+      auto metrics = bench::Unwrap(sim::RunSync(config, load), "sync run");
+      double bytes_per_event =
+          metrics.network_total.events
+              ? static_cast<double>(metrics.network_total.bytes) /
+                    static_cast<double>(metrics.network_total.events)
+              : 0;
+      bench::UnwrapStatus(
+          table.AddRow({sim::SystemKindToString(kind),
+                        codec == net::EventCodec::kFixed ? "fixed" : "compact",
+                        FmtBytes(metrics.network_total.bytes),
+                        bytes_per_event ? FmtF(bytes_per_event, 1) : "-",
+                        FmtRate(metrics.sim_throughput_eps)}),
+          "table row");
+    }
+  }
+  bench::EmitTable(table, flags);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 5a: maximum sustainable throughput of Dema vs Scotty (centralized
+// exact), Desis (decentralized sort + central merge), and Tdigest
+// (centralized approximate). Topology: 1 root + 2 locals, 1 s tumbling
+// windows, median, scale rate 1, gamma = 10,000 — as in Section 4.1.
+//
+// Throughput uses the simulated-parallel model: each node's busy time is
+// measured separately and the pipeline rate is bounded by the busiest node,
+// exactly as on the paper's one-machine-per-node cluster (this harness runs
+// on a single core, so thread wall time cannot express node parallelism).
+//
+// Expected shape (paper): Tdigest > Dema >> Desis > Scotty.
+
+#include "harness.h"
+
+using namespace dema;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const size_t locals = static_cast<size_t>(flags.GetInt("locals", 2));
+  const uint64_t windows = static_cast<uint64_t>(flags.GetInt("windows", 8));
+  const double rate = flags.GetDouble("rate", 300'000);
+  const uint64_t gamma = static_cast<uint64_t>(flags.GetInt("gamma", 10'000));
+
+  std::cout << "=== Figure 5a: throughput (1 root + " << locals
+            << " locals, 1s windows, median, gamma=" << gamma << ") ===\n";
+
+  sim::WorkloadConfig load = sim::MakeUniformWorkload(
+      locals, windows, rate, bench::SensorDistribution());
+
+  Table table({"system", "events", "throughput", "events/s", "bottleneck",
+               "root busy s", "local busy s"});
+  for (auto kind :
+       {sim::SystemKind::kDema, sim::SystemKind::kCentralExact,
+        sim::SystemKind::kDesisMerge, sim::SystemKind::kTDigestCentral}) {
+    sim::SystemConfig config;
+    config.kind = kind;
+    config.num_locals = locals;
+    config.gamma = gamma;
+    auto metrics = bench::Unwrap(sim::RunSync(config, load), "sync run");
+    bench::UnwrapStatus(
+        table.AddRow({sim::SystemKindToString(kind),
+                      FmtCount(metrics.events_ingested),
+                      FmtRate(metrics.sim_throughput_eps),
+                      FmtF(metrics.sim_throughput_eps, 0), metrics.bottleneck,
+                      FmtF(metrics.root_busy_seconds, 3),
+                      FmtF(metrics.max_local_busy_seconds, 3)}),
+        "table row");
+  }
+  bench::EmitTable(table, flags);
+  return 0;
+}

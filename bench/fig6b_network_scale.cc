@@ -1,0 +1,43 @@
+// Figure 6b: network cost as local nodes are added (fixed gamma, similar
+// distributions and event rates per node). Deterministic synchronous runs.
+//
+// Expected shape (paper): all systems grow linearly with node count; Dema
+// stays far below Scotty/Desis at every size.
+
+#include "harness.h"
+
+using namespace dema;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const uint64_t windows = static_cast<uint64_t>(flags.GetInt("windows", 4));
+  const double rate = flags.GetDouble("rate", 50'000);
+  const uint64_t gamma = static_cast<uint64_t>(flags.GetInt("gamma", 10'000));
+  const size_t max_locals = static_cast<size_t>(flags.GetInt("max_locals", 8));
+
+  std::cout << "=== Figure 6b: network cost vs #local nodes (gamma=" << gamma
+            << ", " << windows << " windows x " << FmtRate(rate)
+            << " per node) ===\n";
+
+  Table table({"locals", "system", "ingested", "wire events", "wire bytes"});
+  for (size_t locals = 2; locals <= max_locals; locals += 2) {
+    sim::WorkloadConfig load = sim::MakeUniformWorkload(
+        locals, windows, rate, bench::SensorDistribution());
+    for (auto kind : {sim::SystemKind::kDema, sim::SystemKind::kCentralExact,
+                      sim::SystemKind::kDesisMerge}) {
+      sim::SystemConfig config;
+      config.kind = kind;
+      config.num_locals = locals;
+      config.gamma = gamma;
+      auto metrics = bench::Unwrap(sim::RunSync(config, load), "sync run");
+      bench::UnwrapStatus(
+          table.AddRow({std::to_string(locals), sim::SystemKindToString(kind),
+                        FmtCount(metrics.events_ingested),
+                        FmtCount(metrics.network_total.events),
+                        FmtBytes(metrics.network_total.bytes)}),
+          "table row");
+    }
+  }
+  bench::EmitTable(table, flags);
+  return 0;
+}

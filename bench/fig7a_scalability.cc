@@ -1,0 +1,45 @@
+// Figure 7a: throughput scalability as local nodes are added (Dema, Scotty,
+// Desis; 1 s tumbling windows, median, gamma = 10,000). Uses the
+// simulated-parallel throughput model (see fig5a_throughput.cc): the
+// pipeline rate is bounded by the busiest node's measured busy time.
+//
+// Expected shape (paper): Dema grows near-linearly (slightly sublinear from
+// extra slices/overlaps); Desis grows less and plateaus; Scotty bottlenecks
+// at the root earliest.
+
+#include "harness.h"
+
+using namespace dema;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const uint64_t windows = static_cast<uint64_t>(flags.GetInt("windows", 6));
+  const double rate = flags.GetDouble("rate", 150'000);
+  const uint64_t gamma = static_cast<uint64_t>(flags.GetInt("gamma", 10'000));
+  const size_t max_locals = static_cast<size_t>(flags.GetInt("max_locals", 8));
+
+  std::cout << "=== Figure 7a: scalability (throughput vs #locals, gamma="
+            << gamma << ") ===\n";
+
+  Table table({"locals", "system", "throughput", "events/s", "bottleneck"});
+  for (size_t locals = 2; locals <= max_locals; locals += 2) {
+    sim::WorkloadConfig load = sim::MakeUniformWorkload(
+        locals, windows, rate, bench::SensorDistribution());
+    for (auto kind : {sim::SystemKind::kDema, sim::SystemKind::kCentralExact,
+                      sim::SystemKind::kDesisMerge}) {
+      sim::SystemConfig config;
+      config.kind = kind;
+      config.num_locals = locals;
+      config.gamma = gamma;
+      auto metrics = bench::Unwrap(sim::RunSync(config, load), "sync run");
+      bench::UnwrapStatus(
+          table.AddRow({std::to_string(locals), sim::SystemKindToString(kind),
+                        FmtRate(metrics.sim_throughput_eps),
+                        FmtF(metrics.sim_throughput_eps, 0),
+                        metrics.bottleneck}),
+          "table row");
+    }
+  }
+  bench::EmitTable(table, flags);
+  return 0;
+}

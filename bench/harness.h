@@ -1,0 +1,66 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction harnesses: a tiny --key=value
+// flag parser, standard workload builders, and result-table plumbing. Every
+// fig*_ binary runs with sensible scaled-down defaults (seconds, not the
+// paper's cluster-hours) and accepts flags to scale up, e.g.
+//   fig5a_throughput --windows=20 --rate=500000 --csv=fig5a.csv
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "gen/distribution.h"
+#include "sim/driver.h"
+#include "sim/topology.h"
+
+namespace dema::bench {
+
+using dema::Flags;
+
+/// \brief The DEBS-like sensor distribution every experiment defaults to.
+inline gen::DistributionParams SensorDistribution() {
+  gen::DistributionParams dist;
+  dist.kind = gen::DistributionKind::kSensorWalk;
+  dist.lo = 0;
+  dist.hi = 10'000;
+  dist.stddev = 25;
+  dist.kick_prob = 0.001;
+  return dist;
+}
+
+/// \brief Prints the table, optionally also writing CSV to --csv=<path>.
+inline void EmitTable(const Table& table, const Flags& flags) {
+  table.Print(std::cout);
+  std::string csv = flags.GetString("csv", "");
+  if (!csv.empty()) {
+    Status st = table.WriteCsv(csv);
+    if (!st.ok()) {
+      std::cerr << "CSV write failed: " << st << "\n";
+    } else {
+      std::cout << "CSV written to " << csv << "\n";
+    }
+  }
+}
+
+/// \brief Aborts the harness with a readable message on error results.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << " failed: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).MoveValueUnsafe();
+}
+
+inline void UnwrapStatus(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::cerr << what << " failed: " << st << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace dema::bench

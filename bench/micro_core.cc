@@ -1,0 +1,233 @@
+// Microbenchmarks (google-benchmark) for the hot paths: local window sorting,
+// loser-tree merging, slice cutting, window-cut selection, sketch updates,
+// and wire serialization.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "dema/slice.h"
+#include "dema/window_cut.h"
+#include "net/message.h"
+#include "sketch/qdigest.h"
+#include "sketch/tdigest.h"
+#include "stream/merge.h"
+#include "stream/sorted_buffer.h"
+
+namespace dema {
+namespace {
+
+std::vector<Event> RandomEvents(size_t n, uint64_t seed, NodeId node = 1) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  events.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    events.push_back(
+        Event{rng.Uniform(0, 1e6), static_cast<TimestampUs>(i), node, i});
+  }
+  return events;
+}
+
+void BM_SortWindow(benchmark::State& state) {
+  auto events = RandomEvents(state.range(0), 11);
+  for (auto _ : state) {
+    auto copy = events;
+    std::sort(copy.begin(), copy.end());
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortWindow)->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_IncrementalSortedInsert(benchmark::State& state) {
+  auto events = RandomEvents(state.range(0), 13);
+  for (auto _ : state) {
+    stream::SortedWindowBuffer buf(stream::SortMode::kIncremental);
+    for (const Event& e : events) buf.Add(e);
+    auto sorted = buf.TakeSorted();
+    benchmark::DoNotOptimize(sorted.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IncrementalSortedInsert)->Arg(1'000)->Arg(100'000);
+
+void BM_LoserTreeMerge(benchmark::State& state) {
+  const size_t k = state.range(0);
+  const size_t per_run = 100'000 / k;
+  std::vector<std::vector<Event>> runs;
+  for (size_t i = 0; i < k; ++i) {
+    auto run = RandomEvents(per_run, 17 + i, static_cast<NodeId>(i));
+    std::sort(run.begin(), run.end());
+    runs.push_back(std::move(run));
+  }
+  for (auto _ : state) {
+    auto copy = runs;
+    auto merged = stream::MergeSortedRuns(std::move(copy));
+    benchmark::DoNotOptimize(merged.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k * per_run);
+}
+BENCHMARK(BM_LoserTreeMerge)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_CutIntoSlices(benchmark::State& state) {
+  auto events = RandomEvents(1'000'000, 23);
+  std::sort(events.begin(), events.end());
+  for (auto _ : state) {
+    auto slices = core::CutIntoSlices(events, 1, state.range(0));
+    benchmark::DoNotOptimize(&slices);
+  }
+  state.SetItemsProcessed(state.iterations() * events.size());
+}
+BENCHMARK(BM_CutIntoSlices)->Arg(100)->Arg(10'000);
+
+void BM_WindowCutSelect(benchmark::State& state) {
+  // m overlapping slices across 4 nodes.
+  const size_t m = state.range(0);
+  Rng rng(29);
+  std::vector<core::SliceSynopsis> slices;
+  uint64_t total = 0;
+  for (size_t i = 0; i < m; ++i) {
+    core::SliceSynopsis s;
+    s.node = static_cast<NodeId>(1 + i % 4);
+    s.index = static_cast<uint32_t>(i / 4);
+    double lo = rng.Uniform(0, 1e6);
+    double hi = lo + rng.Uniform(1, 1e5);
+    s.first = Event{lo, 0, s.node, s.index * 2};
+    s.last = Event{hi, 0, s.node, s.index * 2 + 1};
+    s.count = 1000;
+    total += s.count;
+    slices.push_back(s);
+  }
+  for (auto _ : state) {
+    auto result = core::WindowCut::Select(slices, total, total / 2);
+    benchmark::DoNotOptimize(&result);
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_WindowCutSelect)->Arg(100)->Arg(10'000);
+
+void BM_WindowCutTwoSidedScan(benchmark::State& state) {
+  const size_t m = state.range(0);
+  Rng rng(31);
+  std::vector<core::SliceSynopsis> slices;
+  uint64_t total = 0;
+  for (size_t i = 0; i < m; ++i) {
+    core::SliceSynopsis s;
+    s.node = static_cast<NodeId>(1 + i % 4);
+    s.index = static_cast<uint32_t>(i / 4);
+    double lo = rng.Uniform(0, 1e6);
+    double hi = lo + rng.Uniform(1, 1e5);
+    s.first = Event{lo, 0, s.node, s.index * 2};
+    s.last = Event{hi, 0, s.node, s.index * 2 + 1};
+    s.count = 1000;
+    total += s.count;
+    slices.push_back(s);
+  }
+  for (auto _ : state) {
+    auto result = core::WindowCut::SelectTwoSidedScan(slices, total, total / 2);
+    benchmark::DoNotOptimize(&result);
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_WindowCutTwoSidedScan)->Arg(10'000);
+
+void BM_ClassifySlices(benchmark::State& state) {
+  const size_t m = state.range(0);
+  Rng rng(37);
+  std::vector<core::SliceSynopsis> slices;
+  for (size_t i = 0; i < m; ++i) {
+    core::SliceSynopsis s;
+    s.node = 1;
+    s.index = static_cast<uint32_t>(i);
+    double lo = rng.Uniform(0, 1e6);
+    double hi = lo + rng.Uniform(1, 2e5);
+    s.first = Event{lo, 0, 1, s.index * 2};
+    s.last = Event{hi, 0, 1, s.index * 2 + 1};
+    s.count = 100;
+    slices.push_back(s);
+  }
+  for (auto _ : state) {
+    auto counts = core::WindowCut::ClassifySlices(slices);
+    benchmark::DoNotOptimize(&counts);
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_ClassifySlices)->Arg(10'000);
+
+void BM_TDigestAdd(benchmark::State& state) {
+  Rng rng(31);
+  std::vector<double> values(100'000);
+  for (double& v : values) v = rng.Normal(0, 100);
+  for (auto _ : state) {
+    sketch::TDigest digest(state.range(0));
+    for (double v : values) digest.Add(v);
+    digest.Compress();
+    benchmark::DoNotOptimize(&digest);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_TDigestAdd)->Arg(100)->Arg(500);
+
+void BM_TDigestMerge(benchmark::State& state) {
+  Rng rng(37);
+  sketch::TDigest a(100), b(100);
+  for (int i = 0; i < 100'000; ++i) {
+    a.Add(rng.Normal(0, 50));
+    b.Add(rng.Normal(100, 50));
+  }
+  a.Compress();
+  b.Compress();
+  for (auto _ : state) {
+    sketch::TDigest merged = a;
+    merged.Merge(b);
+    benchmark::DoNotOptimize(&merged);
+  }
+}
+BENCHMARK(BM_TDigestMerge);
+
+void BM_QDigestAdd(benchmark::State& state) {
+  Rng rng(41);
+  std::vector<double> values(100'000);
+  for (double& v : values) v = rng.Uniform(0, 1e6);
+  for (auto _ : state) {
+    sketch::QDigest digest(sketch::ValueQuantizer(0, 1e6, 16), 128);
+    for (double v : values) digest.Add(v);
+    benchmark::DoNotOptimize(&digest);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_QDigestAdd);
+
+void BM_EventBatchSerialize(benchmark::State& state) {
+  net::EventBatch batch;
+  batch.window_id = 1;
+  batch.events = RandomEvents(state.range(0), 43);
+  for (auto _ : state) {
+    net::Writer w;
+    batch.SerializeTo(&w);
+    benchmark::DoNotOptimize(w.buffer().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventBatchSerialize)->Arg(1'000)->Arg(100'000);
+
+void BM_EventBatchDeserialize(benchmark::State& state) {
+  net::EventBatch batch;
+  batch.window_id = 1;
+  batch.events = RandomEvents(state.range(0), 47);
+  net::Writer w;
+  batch.SerializeTo(&w);
+  for (auto _ : state) {
+    net::Reader r(w.buffer());
+    auto out = net::EventBatch::Deserialize(&r);
+    benchmark::DoNotOptimize(&out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventBatchDeserialize)->Arg(1'000)->Arg(100'000);
+
+}  // namespace
+}  // namespace dema
+
+BENCHMARK_MAIN();

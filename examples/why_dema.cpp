@@ -1,0 +1,117 @@
+// Why Dema exists, in one runnable file (the paper's Sections 1-2).
+//
+// A fleet of edge nodes computes per-second aggregates. For DECOMPOSABLE
+// functions (sum, avg, variance) each node folds its events into a
+// constant-size partial and ships ~16 bytes per window — done. For the
+// MEDIAN there is no such partial: correct computation needs the whole
+// dataset, so the classic options are "ship everything" (Scotty) or accept
+// approximation (t-digest). Dema is the third way: exact medians at a
+// bandwidth within an order of magnitude of the decomposable ideal.
+//
+// Build & run:  cmake --build build && ./build/examples/why_dema
+
+#include <iostream>
+
+#include "common/clock.h"
+#include "common/table.h"
+#include "sim/driver.h"
+#include "sim/topology.h"
+#include "stream/aggregate.h"
+
+using namespace dema;
+
+namespace {
+
+sim::WorkloadConfig Workload(size_t locals) {
+  gen::DistributionParams dist;
+  dist.kind = gen::DistributionKind::kSensorWalk;
+  dist.lo = 0;
+  dist.hi = 10'000;
+  dist.stddev = 25;
+  return sim::MakeUniformWorkload(locals, /*num_windows=*/4,
+                                  /*event_rate=*/100'000, dist);
+}
+
+struct MedianRun {
+  uint64_t wire_bytes = 0;
+  double sample_result = 0;
+};
+
+MedianRun RunMedian(sim::SystemKind kind, size_t locals) {
+  sim::SystemConfig config;
+  config.kind = kind;
+  config.num_locals = locals;
+  config.gamma = 2'000;
+  config.adaptive_gamma = kind == sim::SystemKind::kDema;
+  auto metrics = sim::RunSync(config, Workload(locals));
+  if (!metrics.ok()) {
+    std::cerr << "run failed: " << metrics.status() << "\n";
+    std::exit(1);
+  }
+  return MedianRun{metrics->network_total.bytes, 0};
+}
+
+}  // namespace
+
+int main() {
+  const size_t kLocals = 4;
+  sim::WorkloadConfig load = Workload(kLocals);
+
+  // --- the decomposable ideal: fold locally, ship one partial per window ---
+  // (Simulated traffic: one 16-byte partial per node per window.)
+  std::vector<stream::PartialAccumulator<stream::AverageAggregate>> nodes(kLocals);
+  stream::PartialAccumulator<stream::VarianceAggregate> variance;
+  uint64_t events = 0;
+  for (size_t i = 0; i < kLocals; ++i) {
+    auto gen_result = gen::StreamGenerator::Create(load.generators[i]);
+    if (!gen_result.ok()) return 1;
+    auto gen = std::move(gen_result).MoveValueUnsafe();
+    for (uint64_t w = 0; w < load.num_windows; ++w) {
+      for (const Event& e :
+           gen->GenerateWindow(static_cast<TimestampUs>(w) * kMicrosPerSecond,
+                               kMicrosPerSecond)) {
+        nodes[i].Add(e);
+        variance.Add(e);
+        ++events;
+      }
+    }
+  }
+  stream::PartialAccumulator<stream::AverageAggregate> root;
+  for (const auto& node : nodes) root.Merge(node.partial());
+  uint64_t decomposable_bytes =
+      kLocals * load.num_windows * (16 + 14);  // partial + envelope
+
+  std::cout << "Fleet of " << kLocals << " edge nodes, "
+            << FmtCount(events) << " events in " << load.num_windows
+            << " windows.\n\n";
+  std::cout << "Decomposable functions aggregate for free:\n"
+            << "  avg = " << FmtF(root.Value(), 2)
+            << ", variance = " << FmtF(variance.Value(), 1) << " — shipped "
+            << FmtBytes(decomposable_bytes) << " total ("
+            << kLocals * load.num_windows << " partials).\n\n";
+
+  // --- the median has no partial: compare the three strategies -------------
+  MedianRun scotty = RunMedian(sim::SystemKind::kCentralExact, kLocals);
+  MedianRun tdigest = RunMedian(sim::SystemKind::kTDigestDecentral, kLocals);
+  MedianRun dema = RunMedian(sim::SystemKind::kDema, kLocals);
+
+  Table table({"median strategy", "wire bytes", "vs decomposable ideal",
+               "exact?"});
+  auto ratio = [&](uint64_t bytes) {
+    return FmtF(static_cast<double>(bytes) /
+                    static_cast<double>(decomposable_bytes),
+                1) + "x";
+  };
+  (void)table.AddRow({"ship everything (Scotty)", FmtBytes(scotty.wire_bytes),
+                      ratio(scotty.wire_bytes), "yes"});
+  (void)table.AddRow({"sketch (t-digest, decentralized)",
+                      FmtBytes(tdigest.wire_bytes), ratio(tdigest.wire_bytes),
+                      "no (~99.7%)"});
+  (void)table.AddRow({"Dema (synopses + candidates)", FmtBytes(dema.wire_bytes),
+                      ratio(dema.wire_bytes), "yes"});
+  table.Print(std::cout);
+  std::cout << "\nDema delivers the exact median at a fraction of the\n"
+               "ship-everything cost — the gap the paper closes. (Sketches\n"
+               "remain cheaper, but give up exactness.)\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/network.h"
+#include "sim/node.h"
+
+namespace dema::baselines {
+
+/// \brief Configuration shared by the collecting root nodes.
+struct CollectingRootOptions {
+  NodeId id = 0;
+  std::vector<NodeId> locals;
+  std::vector<double> quantiles = {0.5};
+};
+
+/// \brief Scotty-style centralized root (Section 4, "Baselines").
+///
+/// Receives every raw event from every local node, buffers them per global
+/// window, and — once all locals ended the window — sorts the full dataset
+/// and reads the quantiles off by rank. Exact, but all data crosses the
+/// network and all sorting happens here: the paper's upper bound on network
+/// cost and root load.
+class CentralExactRootNode final : public sim::RootNodeLogic {
+ public:
+  CentralExactRootNode(CollectingRootOptions options, net::Network* network,
+                       const Clock* clock);
+
+  Status OnMessage(const net::Message& msg) override;
+  void SetResultCallback(sim::ResultCallback cb) override { callback_ = std::move(cb); }
+  uint64_t windows_emitted() const override { return windows_emitted_; }
+  bool idle() const override { return pending_.empty(); }
+
+ private:
+  struct PendingWindow {
+    std::vector<Event> events;
+    size_t ends_received = 0;
+    uint64_t expected_events = 0;
+    TimestampUs last_close_time_us = 0;
+  };
+
+  Status MaybeFinalize(net::WindowId id, PendingWindow* w);
+
+  CollectingRootOptions options_;
+  net::Network* network_;
+  const Clock* clock_;
+  std::map<net::WindowId, PendingWindow> pending_;
+  sim::ResultCallback callback_;
+  uint64_t windows_emitted_ = 0;
+};
+
+/// \brief Modified-Desis root (Section 4, "Baselines").
+///
+/// Local nodes ship fully sorted windows; this root only k-way merges the
+/// runs (loser tree) up to the highest requested rank and reads the
+/// quantiles off during the merge. Exact; same network volume as the
+/// centralized baseline but much less root CPU.
+class DesisMergeRootNode final : public sim::RootNodeLogic {
+ public:
+  DesisMergeRootNode(CollectingRootOptions options, net::Network* network,
+                     const Clock* clock);
+
+  Status OnMessage(const net::Message& msg) override;
+  void SetResultCallback(sim::ResultCallback cb) override { callback_ = std::move(cb); }
+  uint64_t windows_emitted() const override { return windows_emitted_; }
+  bool idle() const override { return pending_.empty(); }
+
+ private:
+  struct PendingWindow {
+    /// One sorted run per local index (chunks concatenate in FIFO order).
+    std::vector<std::vector<Event>> runs;
+    size_t ends_received = 0;
+    uint64_t expected_events = 0;
+    uint64_t received_events = 0;
+    TimestampUs last_close_time_us = 0;
+  };
+
+  Status MaybeFinalize(net::WindowId id, PendingWindow* w);
+
+  CollectingRootOptions options_;
+  net::Network* network_;
+  const Clock* clock_;
+  std::map<NodeId, size_t> local_index_;
+  std::map<net::WindowId, PendingWindow> pending_;
+  sim::ResultCallback callback_;
+  uint64_t windows_emitted_ = 0;
+};
+
+}  // namespace dema::baselines

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/codec.h"
+#include "net/network.h"
+#include "sim/node.h"
+#include "stream/window_manager.h"
+
+namespace dema::baselines {
+
+/// \brief Configuration of a baseline local node that ships raw events.
+struct ForwardingLocalNodeOptions {
+  NodeId id = 1;
+  NodeId root_id = 0;
+  DurationUs window_len_us = kMicrosPerSecond;
+  /// Events per EventBatch message.
+  size_t batch_size = 8192;
+  /// When true (the modified-Desis mode), the node sorts each window before
+  /// shipping it; when false (Scotty / centralized mode) events stream
+  /// through unsorted as they arrive.
+  bool sort_locally = false;
+  /// Wire encoding for shipped event batches.
+  net::EventCodec codec = net::EventCodec::kFixed;
+};
+
+/// \brief Local side of the centralized baselines (Section 4, "Baselines").
+///
+/// Scotty mode (`sort_locally = false`): forwards every event to the root in
+/// arrival order, batched for framing efficiency — the root does all window
+/// work. Modified-Desis mode (`sort_locally = true`): sorts each local
+/// window and ships it as sorted runs, offloading the sort but still
+/// transferring every event. Both modes close each window with a `WindowEnd`
+/// marker carrying the local window size.
+class ForwardingLocalNode final : public sim::LocalNodeLogic {
+ public:
+  /// \p network and \p clock must outlive the node.
+  ForwardingLocalNode(ForwardingLocalNodeOptions options, net::Network* network,
+                      const Clock* clock);
+
+  Status OnEvent(const Event& e) override;
+  Status OnWatermark(TimestampUs watermark_us) override;
+  Status OnFinish(TimestampUs final_watermark_us) override;
+  Status OnMessage(const net::Message& msg) override;
+
+  /// Events ingested so far.
+  uint64_t events_ingested() const { return events_ingested_; }
+
+ private:
+  /// Sends the pending unsorted batch for the window being filled.
+  Status FlushPartialBatch();
+  /// Emits WindowEnd (and, in sorted mode, the sorted run) for every window
+  /// id in [next_window_to_end_, up_to_exclusive).
+  Status EmitEndedWindows(TimestampUs watermark_us);
+  /// Ships \p events for \p id in batch_size chunks.
+  Status SendChunked(net::WindowId id, const std::vector<Event>& events,
+                     bool sorted);
+
+  ForwardingLocalNodeOptions options_;
+  net::Network* network_;
+  const Clock* clock_;
+  stream::TumblingWindowAssigner assigner_;
+  /// Sorted mode: full window buffers.
+  stream::WindowManager windows_;
+  /// Unsorted mode: the batch currently being filled and per-window counts.
+  std::vector<Event> partial_batch_;
+  net::WindowId partial_batch_window_ = 0;
+  std::map<net::WindowId, uint64_t> forwarded_counts_;
+  net::WindowId next_window_to_end_ = 0;
+  uint64_t events_ingested_ = 0;
+};
+
+}  // namespace dema::baselines

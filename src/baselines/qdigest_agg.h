@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/network.h"
+#include "sim/node.h"
+#include "sketch/qdigest.h"
+#include "stream/window.h"
+
+namespace dema::baselines {
+
+/// \brief Configuration of the q-digest pipeline (Shrivastava et al., the
+/// paper's second related-work sketch).
+///
+/// q-digest is inherently decentralized: every local node summarizes its
+/// window over a shared bounded integer universe and the root merges the
+/// digests — the classic sensor-network design the paper contrasts Dema
+/// against. Requires the value domain [lo, hi] up front (a real limitation
+/// of q-digest that t-digest and Dema do not have).
+struct QDigestOptions {
+  NodeId id = 0;
+  NodeId root_id = 0;
+  std::vector<NodeId> locals;
+  std::vector<double> quantiles = {0.5};
+  DurationUs window_len_us = kMicrosPerSecond;
+  /// Value domain the quantizer maps onto the integer universe.
+  double domain_lo = 0;
+  double domain_hi = 1'000'000;
+  /// Universe bits (quantization resolution), in [1, 31].
+  uint32_t universe_bits = 20;
+  /// Compression factor k: rank error <= n * bits / k.
+  uint64_t k = 256;
+};
+
+/// \brief Local node: builds a per-window q-digest and ships one summary.
+class QDigestLocalNode final : public sim::LocalNodeLogic {
+ public:
+  QDigestLocalNode(QDigestOptions options, net::Network* network,
+                   const Clock* clock);
+
+  Status OnEvent(const Event& e) override;
+  Status OnWatermark(TimestampUs watermark_us) override;
+  Status OnFinish(TimestampUs final_watermark_us) override;
+  Status OnMessage(const net::Message& msg) override;
+
+ private:
+  Status EmitWindow(net::WindowId id);
+
+  QDigestOptions options_;
+  net::Network* network_;
+  const Clock* clock_;
+  stream::TumblingWindowAssigner assigner_;
+  std::map<net::WindowId, std::pair<sketch::QDigest, uint64_t>> open_;
+  net::WindowId next_window_to_emit_ = 0;
+};
+
+/// \brief Root node: merges per-node q-digests and answers quantiles.
+class QDigestRootNode final : public sim::RootNodeLogic {
+ public:
+  QDigestRootNode(QDigestOptions options, net::Network* network,
+                  const Clock* clock);
+
+  Status OnMessage(const net::Message& msg) override;
+  void SetResultCallback(sim::ResultCallback cb) override { callback_ = std::move(cb); }
+  uint64_t windows_emitted() const override { return windows_emitted_; }
+  bool idle() const override { return pending_.empty(); }
+
+ private:
+  struct PendingWindow {
+    sketch::QDigest digest;
+    size_t summaries_received = 0;
+    uint64_t expected_events = 0;
+    TimestampUs last_close_time_us = 0;
+
+    explicit PendingWindow(const QDigestOptions& options)
+        : digest(sketch::ValueQuantizer(options.domain_lo, options.domain_hi,
+                                        options.universe_bits),
+                 options.k) {}
+  };
+
+  Status MaybeFinalize(net::WindowId id, PendingWindow* w);
+
+  QDigestOptions options_;
+  net::Network* network_;
+  const Clock* clock_;
+  std::map<net::WindowId, PendingWindow> pending_;
+  sim::ResultCallback callback_;
+  uint64_t windows_emitted_ = 0;
+};
+
+}  // namespace dema::baselines

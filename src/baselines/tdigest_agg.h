@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/network.h"
+#include "sim/node.h"
+#include "sketch/tdigest.h"
+#include "stream/window.h"
+
+namespace dema::baselines {
+
+/// \brief Where the t-digest is built.
+enum class TDigestMode {
+  /// The paper's Tdigest baseline: locals forward raw events; the root feeds
+  /// them into one digest per window (fast, approximate, centralized).
+  kCentralized,
+  /// Extension (the paper expects this to win as well): locals sketch their
+  /// own windows and ship only digest summaries; the root merges digests.
+  kDecentralized,
+};
+
+/// \brief Payload: one local window's serialized t-digest.
+struct SketchSummary {
+  net::WindowId window_id = 0;
+  NodeId node = 0;
+  uint64_t local_window_size = 0;
+  TimestampUs close_time_us = 0;
+  /// Serialized digest bytes (empty for an empty window).
+  std::vector<uint8_t> digest;
+
+  void SerializeTo(net::Writer* w) const;
+  static Result<SketchSummary> Deserialize(net::Reader* r);
+};
+
+/// \brief Configuration of the t-digest pipeline.
+struct TDigestOptions {
+  NodeId id = 0;
+  NodeId root_id = 0;
+  std::vector<NodeId> locals;
+  std::vector<double> quantiles = {0.5};
+  DurationUs window_len_us = kMicrosPerSecond;
+  double compression = 100.0;
+  TDigestMode mode = TDigestMode::kCentralized;
+};
+
+/// \brief Decentralized-mode local node: sketches each window locally and
+/// ships one `SketchSummary` per window (centralized mode reuses
+/// `ForwardingLocalNode` instead).
+class TDigestLocalNode final : public sim::LocalNodeLogic {
+ public:
+  TDigestLocalNode(TDigestOptions options, net::Network* network,
+                   const Clock* clock);
+
+  Status OnEvent(const Event& e) override;
+  Status OnWatermark(TimestampUs watermark_us) override;
+  Status OnFinish(TimestampUs final_watermark_us) override;
+  Status OnMessage(const net::Message& msg) override;
+
+ private:
+  Status EmitWindow(net::WindowId id);
+
+  TDigestOptions options_;
+  net::Network* network_;
+  const Clock* clock_;
+  stream::TumblingWindowAssigner assigner_;
+  std::map<net::WindowId, std::pair<sketch::TDigest, uint64_t>> open_;
+  net::WindowId next_window_to_emit_ = 0;
+};
+
+/// \brief Root of the t-digest baseline: approximate quantiles per window.
+///
+/// Centralized mode consumes raw EventBatch/WindowEnd traffic and sketches
+/// at the root; decentralized mode merges incoming `SketchSummary` digests.
+class TDigestRootNode final : public sim::RootNodeLogic {
+ public:
+  TDigestRootNode(TDigestOptions options, net::Network* network,
+                  const Clock* clock);
+
+  Status OnMessage(const net::Message& msg) override;
+  void SetResultCallback(sim::ResultCallback cb) override { callback_ = std::move(cb); }
+  uint64_t windows_emitted() const override { return windows_emitted_; }
+  bool idle() const override { return pending_.empty(); }
+
+ private:
+  struct PendingWindow {
+    sketch::TDigest digest;
+    size_t ends_received = 0;
+    uint64_t expected_events = 0;
+    uint64_t received_events = 0;
+    TimestampUs last_close_time_us = 0;
+
+    explicit PendingWindow(double compression) : digest(compression) {}
+  };
+
+  Status MaybeFinalize(net::WindowId id, PendingWindow* w);
+
+  TDigestOptions options_;
+  net::Network* network_;
+  const Clock* clock_;
+  std::map<net::WindowId, PendingWindow> pending_;
+  sim::ResultCallback callback_;
+  uint64_t windows_emitted_ = 0;
+};
+
+}  // namespace dema::baselines

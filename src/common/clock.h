@@ -1,0 +1,57 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "common/time.h"
+
+namespace dema {
+
+/// \brief Source of processing time.
+///
+/// Two implementations: `RealClock` (monotonic wall clock, for threaded runs
+/// and latency measurement) and `VirtualClock` (manually advanced, for
+/// deterministic tests and the synchronous driver).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds since this clock's epoch.
+  virtual TimestampUs NowUs() const = 0;
+};
+
+/// \brief Monotonic wall clock; epoch is the construction instant.
+class RealClock final : public Clock {
+ public:
+  RealClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  TimestampUs NowUs() const override {
+    auto d = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// \brief Manually advanced clock for deterministic simulation.
+///
+/// Thread-safe: `AdvanceUs`/`SetUs` may race with `NowUs`.
+class VirtualClock final : public Clock {
+ public:
+  /// Starts at \p start_us (default 0).
+  explicit VirtualClock(TimestampUs start_us = 0) : now_us_(start_us) {}
+
+  TimestampUs NowUs() const override { return now_us_.load(std::memory_order_acquire); }
+
+  /// Moves the clock forward by \p delta_us.
+  void AdvanceUs(DurationUs delta_us) {
+    now_us_.fetch_add(delta_us, std::memory_order_acq_rel);
+  }
+  /// Sets the clock to an absolute instant.
+  void SetUs(TimestampUs t) { now_us_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<TimestampUs> now_us_;
+};
+
+}  // namespace dema

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <tuple>
+
+#include "common/time.h"
+
+namespace dema {
+
+/// Identifies the node a value originated from (data-stream or local node).
+using NodeId = uint32_t;
+
+/// \brief A single stream event.
+///
+/// Mirrors the paper's event model (Section 2.3): an event consists of a
+/// value, an event-time timestamp, and an id assigned by the producing
+/// data-stream node. The id is split into the producing node and a per-node
+/// monotone sequence number so that `(value, timestamp, node, seq)` forms a
+/// strict total order — this makes global ranks (and therefore exact
+/// quantiles) well defined even in the presence of duplicate values.
+struct Event {
+  /// Sensor reading / measurement value (the aggregated attribute).
+  double value = 0.0;
+  /// Event time: when the event was generated at the data-stream node.
+  TimestampUs timestamp = 0;
+  /// Producing node.
+  NodeId node = 0;
+  /// Per-node monotone sequence number.
+  uint32_t seq = 0;
+
+  /// Total-order comparison key: value first, then timestamp, node, seq.
+  friend bool operator<(const Event& a, const Event& b) {
+    return std::tie(a.value, a.timestamp, a.node, a.seq) <
+           std::tie(b.value, b.timestamp, b.node, b.seq);
+  }
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.value == b.value && a.timestamp == b.timestamp && a.node == b.node &&
+           a.seq == b.seq;
+  }
+  friend bool operator!=(const Event& a, const Event& b) { return !(a == b); }
+  friend bool operator<=(const Event& a, const Event& b) { return !(b < a); }
+  friend bool operator>(const Event& a, const Event& b) { return b < a; }
+  friend bool operator>=(const Event& a, const Event& b) { return !(a < b); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Event& e) {
+  return os << "Event{v=" << e.value << ", t=" << e.timestamp << ", n=" << e.node
+            << ", s=" << e.seq << "}";
+}
+
+/// Number of bytes an event occupies on the (simulated) wire.
+inline constexpr uint64_t kEventWireBytes =
+    sizeof(double) + sizeof(TimestampUs) + sizeof(NodeId) + sizeof(uint32_t);
+
+}  // namespace dema

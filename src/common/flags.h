@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dema {
+
+/// \brief Minimal `--key=value` command-line parser shared by the benchmark
+/// harnesses and the `demactl` tool.
+///
+/// Bare flags (`--verbose`) parse as "1". Unknown arguments are ignored so
+/// binaries can coexist with framework flags (e.g. google-benchmark's).
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  /// Integer flag with default.
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  /// Floating-point flag with default.
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+  /// String flag with default.
+  std::string GetString(const std::string& key, const std::string& def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  /// True when the flag was given (with or without a value).
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Comma-separated list of doubles, e.g. `--quantiles=0.25,0.5,0.75`.
+  std::vector<double> GetDoubleList(const std::string& key,
+                                    std::vector<double> def) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    std::vector<double> out;
+    const std::string& s = it->second;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+      size_t comma = s.find(',', pos);
+      if (comma == std::string::npos) comma = s.size();
+      if (comma > pos) out.push_back(std::strtod(s.substr(pos, comma - pos).c_str(),
+                                                 nullptr));
+      pos = comma + 1;
+    }
+    return out.empty() ? def : out;
+  }
+
+  /// Non-flag arguments (subcommands), in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dema

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dema {
+
+/// \brief Minimal streaming JSON object/array writer.
+///
+/// Enough for machine-readable metric dumps (`demactl --json`, bench CSV
+/// sidecars) without an external dependency. Produces compact, valid JSON;
+/// strings are escaped per RFC 8259.
+class JsonWriter {
+ public:
+  /// Starts a top-level object.
+  JsonWriter() { out_ << '{'; }
+
+  /// Adds a string field.
+  JsonWriter& Field(const std::string& key, const std::string& value) {
+    Key(key);
+    WriteString(value);
+    return *this;
+  }
+  /// Adds a C-string field (disambiguates from the bool overload).
+  JsonWriter& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  /// Adds a numeric field.
+  JsonWriter& Field(const std::string& key, double value) {
+    Key(key);
+    out_ << FormatDouble(value);
+    return *this;
+  }
+  /// Adds an integer field.
+  JsonWriter& Field(const std::string& key, uint64_t value) {
+    Key(key);
+    out_ << value;
+    return *this;
+  }
+  /// Adds an integer field.
+  JsonWriter& Field(const std::string& key, int64_t value) {
+    Key(key);
+    out_ << value;
+    return *this;
+  }
+  /// Adds a boolean field.
+  JsonWriter& Field(const std::string& key, bool value) {
+    Key(key);
+    out_ << (value ? "true" : "false");
+    return *this;
+  }
+  /// Adds a numeric array field.
+  JsonWriter& Field(const std::string& key, const std::vector<double>& values) {
+    Key(key);
+    out_ << '[';
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << FormatDouble(values[i]);
+    }
+    out_ << ']';
+    return *this;
+  }
+  /// Adds a nested object field (value must be complete JSON).
+  JsonWriter& RawField(const std::string& key, const std::string& json) {
+    Key(key);
+    out_ << json;
+    return *this;
+  }
+
+  /// Closes the object and returns the JSON text.
+  std::string Finish() {
+    out_ << '}';
+    return out_.str();
+  }
+
+ private:
+  void Key(const std::string& key) {
+    if (!first_) out_ << ',';
+    first_ = false;
+    WriteString(key);
+    out_ << ':';
+  }
+  void WriteString(const std::string& s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        case '\r':
+          out_ << "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+  static std::string FormatDouble(double v) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return os.str();
+  }
+
+  std::ostringstream out_;
+  bool first_ = true;
+};
+
+}  // namespace dema

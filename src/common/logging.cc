@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <cstring>
+
+namespace dema {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, const char* file, int line,
+                   const std::string& msg) {
+  if (level < level_ && level != LogLevel::kFatal) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
+               msg.c_str());
+}
+
+}  // namespace dema

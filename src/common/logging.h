@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace dema {
+
+/// Severity of a log record.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// \brief Minimal thread-safe logger writing to stderr.
+///
+/// Use the `DEMA_LOG(INFO) << ...` macro. The global threshold is controlled
+/// with `Logger::SetLevel` (default: Warn, so library code stays quiet in
+/// benchmarks unless something is wrong).
+class Logger {
+ public:
+  /// The process-wide logger instance.
+  static Logger& Instance();
+
+  /// Sets the minimum severity that gets emitted.
+  static void SetLevel(LogLevel level) { Instance().level_ = level; }
+  /// Current minimum severity.
+  static LogLevel GetLevel() { return Instance().level_; }
+
+  /// Emits one record (internal; use DEMA_LOG).
+  void Write(LogLevel level, const char* file, int line, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+/// \brief Stream-style single-record builder (internal; use DEMA_LOG).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() {
+    Logger::Instance().Write(level_, file_, line_, stream_.str());
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dema
+
+/// \brief Emits a log record at the given severity, e.g.
+/// `DEMA_LOG(INFO) << "window " << id << " closed";`
+#define DEMA_LOG(severity) \
+  ::dema::LogMessage(::dema::LogLevel::k##severity, __FILE__, __LINE__)
+
+/// \brief Aborts with a message when \p cond is false (always on, unlike assert).
+#define DEMA_CHECK(cond)                                          \
+  if (!(cond)) DEMA_LOG(Fatal) << "Check failed: " #cond " "

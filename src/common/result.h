@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dema {
+
+/// \brief Either a value of type `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result<T>`. Construct implicitly from a `T` (success) or
+/// from a non-OK `Status` (failure). Access the value with `ValueOrDie()` /
+/// `operator*` after checking `ok()`, or move it out with `MoveValueUnsafe()`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding \p value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result must not hold an OK status");
+  }
+
+  /// True iff this result holds a value.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; must only be called when `ok()`.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  /// Returns the held value (mutable); must only be called when `ok()`.
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  /// Moves the held value out; must only be called when `ok()`.
+  T MoveValueUnsafe() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Shorthand for `ValueOrDie()`.
+  const T& operator*() const& { return ValueOrDie(); }
+  /// Shorthand for `ValueOrDie()`.
+  T& operator*() & { return ValueOrDie(); }
+  /// Member access into the held value.
+  const T* operator->() const { return &ValueOrDie(); }
+  /// Member access into the held value.
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace dema
+
+/// \brief Assigns the value of a `Result` expression to `lhs`, or propagates
+/// the error status to the caller.
+#define DEMA_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  auto DEMA_CONCAT_(res_, __LINE__) = (rexpr);         \
+  if (!DEMA_CONCAT_(res_, __LINE__).ok())              \
+    return DEMA_CONCAT_(res_, __LINE__).status();      \
+  lhs = std::move(DEMA_CONCAT_(res_, __LINE__)).MoveValueUnsafe()
+
+#define DEMA_CONCAT_IMPL_(a, b) a##b
+#define DEMA_CONCAT_(a, b) DEMA_CONCAT_IMPL_(a, b)

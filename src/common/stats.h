@@ -1,0 +1,167 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace dema {
+
+/// \brief Streaming summary statistics (Welford's algorithm).
+///
+/// Tracks count, mean, variance, min, and max of a sequence of doubles in
+/// O(1) memory. Not thread-safe; wrap with external synchronization or use
+/// one instance per thread and `Merge`.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const OnlineStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    uint64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    mean_ += delta * nb / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    count_ = n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  /// Number of observations.
+  uint64_t count() const { return count_; }
+  /// Arithmetic mean (0 when empty).
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance (0 when fewer than 2 observations).
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Population standard deviation.
+  double stddev() const { return std::sqrt(variance()); }
+  /// Minimum observation (+inf when empty).
+  double min() const { return min_; }
+  /// Maximum observation (-inf when empty).
+  double max() const { return max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Exact percentile over a buffered sample.
+///
+/// Stores all observations; `Percentile(p)` sorts lazily. Used for latency
+/// reporting where sample counts are modest (one per window).
+class PercentileTracker {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  /// Number of observations.
+  size_t count() const { return samples_.size(); }
+
+  /// Exact p-th percentile, p in [0, 1]; 0 when empty.
+  double Percentile(double p);
+
+  /// Arithmetic mean; 0 when empty.
+  double Mean() const;
+
+  /// Clears all samples.
+  void Reset() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// \brief Thread-safe latency recorder in microseconds.
+///
+/// Each window result records one latency sample; the driver reads the
+/// summary at the end of a run.
+class LatencyRecorder {
+ public:
+  /// Records one latency sample.
+  void Record(DurationUs latency_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tracker_.Add(static_cast<double>(latency_us));
+  }
+
+  /// Summary of the recorded latencies.
+  struct Summary {
+    uint64_t count = 0;
+    double mean_us = 0;
+    double p50_us = 0;
+    double p95_us = 0;
+    double p99_us = 0;
+    double max_us = 0;
+  };
+
+  /// Computes the summary over everything recorded so far.
+  Summary Summarize() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Summary s;
+    s.count = tracker_.count();
+    s.mean_us = tracker_.Mean();
+    s.p50_us = tracker_.Percentile(0.50);
+    s.p95_us = tracker_.Percentile(0.95);
+    s.p99_us = tracker_.Percentile(0.99);
+    s.max_us = tracker_.Percentile(1.0);
+    return s;
+  }
+
+ private:
+  std::mutex mu_;
+  PercentileTracker tracker_;
+};
+
+/// \brief Mean percentage error between an approximation and a reference.
+///
+/// Used by the accuracy experiment (Fig. 7b): accuracy = 1 - MPE, where MPE
+/// averages |approx - exact| / |exact| over all windows (windows with a zero
+/// reference contribute |approx - exact| instead, to stay defined).
+class MpeAccumulator {
+ public:
+  /// Adds one (exact, approximate) result pair.
+  void Add(double exact, double approx);
+
+  /// Mean percentage error in [0, inf); 0 when empty.
+  double Mpe() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  /// Accuracy = 1 - MPE (can be negative for terrible approximations).
+  double Accuracy() const { return 1.0 - Mpe(); }
+  /// Number of pairs added.
+  uint64_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace dema

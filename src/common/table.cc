@@ -1,0 +1,133 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace dema {
+
+Status Table::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    return Status::InvalidArgument("row arity " + std::to_string(cells.size()) +
+                                   " != header arity " +
+                                   std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+  return Status::OK();
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  }
+  auto print_sep = [&] {
+    os << '+';
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << ' ' << row[i];
+      for (size_t j = row[i].size(); j < widths[i]; ++j) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+namespace {
+void CsvEscape(std::ostream& os, const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      CsvEscape(os, row[i]);
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  PrintCsv(out);
+  return Status::OK();
+}
+
+std::string FmtF(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string FmtCount(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int pos = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it, ++pos) {
+    if (pos && pos % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string FmtBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string FmtRate(double events_per_sec) {
+  char buf[64];
+  if (events_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM ev/s", events_per_sec / 1e6);
+  } else if (events_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fK ev/s", events_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ev/s", events_per_sec);
+  }
+  return buf;
+}
+
+}  // namespace dema

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dema {
+
+/// \brief ASCII table builder for experiment output.
+///
+/// Benchmark harnesses print paper-style tables with this helper and can also
+/// dump the same rows as CSV for plotting. Cells are strings; use the typed
+/// `AddRow` overload or `Fmt*` helpers for numbers.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Appends a row; must have the same arity as the headers.
+  Status AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns to \p os.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table as CSV (headers + rows) to \p os.
+  void PrintCsv(std::ostream& os) const;
+
+  /// Writes the CSV rendering to \p path, creating parent-less files only.
+  Status WriteCsv(const std::string& path) const;
+
+  /// Number of data rows.
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats a double with \p decimals fraction digits.
+std::string FmtF(double v, int decimals = 2);
+/// \brief Formats a count with thousands separators, e.g. "1,234,567".
+std::string FmtCount(uint64_t v);
+/// \brief Formats a byte count human-readably, e.g. "1.21 MiB".
+std::string FmtBytes(uint64_t bytes);
+/// \brief Formats an events/second rate, e.g. "3.2M ev/s".
+std::string FmtRate(double events_per_sec);
+
+}  // namespace dema

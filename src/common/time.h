@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace dema {
+
+/// Event-time / processing-time instant, in microseconds since an arbitrary
+/// epoch (the start of the run for simulated streams).
+using TimestampUs = int64_t;
+
+/// A span of time in microseconds.
+using DurationUs = int64_t;
+
+/// Microseconds per second, for readable conversions.
+inline constexpr DurationUs kMicrosPerSecond = 1'000'000;
+/// Microseconds per millisecond.
+inline constexpr DurationUs kMicrosPerMilli = 1'000;
+
+/// \brief Converts whole seconds to microseconds.
+constexpr DurationUs SecondsUs(int64_t seconds) { return seconds * kMicrosPerSecond; }
+/// \brief Converts whole milliseconds to microseconds.
+constexpr DurationUs MillisUs(int64_t millis) { return millis * kMicrosPerMilli; }
+/// \brief Converts microseconds to (fractional) seconds.
+constexpr double ToSeconds(DurationUs us) {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerSecond);
+}
+/// \brief Converts microseconds to (fractional) milliseconds.
+constexpr double ToMillis(DurationUs us) {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerMilli);
+}
+
+}  // namespace dema

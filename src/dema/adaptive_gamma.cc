@@ -1,0 +1,60 @@
+#include "dema/adaptive_gamma.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dema::core {
+
+double GammaCostModel(uint64_t global_size, uint64_t num_candidate_slices,
+                      uint64_t gamma) {
+  if (gamma < 2) gamma = 2;
+  double identification = 2.0 * static_cast<double>(global_size) /
+                          static_cast<double>(gamma);
+  double calculation = static_cast<double>(num_candidate_slices) *
+                       (static_cast<double>(gamma) - 2.0);
+  return identification + calculation;
+}
+
+uint64_t OptimalGamma(uint64_t global_size, uint64_t num_candidate_slices) {
+  if (global_size == 0) return 2;
+  if (num_candidate_slices == 0) num_candidate_slices = 1;
+  double opt = std::sqrt(2.0 * static_cast<double>(global_size) /
+                         static_cast<double>(num_candidate_slices));
+  uint64_t g = static_cast<uint64_t>(std::llround(opt));
+  // The continuous arg-min sits between two integers; pick the cheaper one.
+  double here = GammaCostModel(global_size, num_candidate_slices, g);
+  double up = GammaCostModel(global_size, num_candidate_slices, g + 1);
+  if (up < here) ++g;
+  if (g >= 3) {
+    double down = GammaCostModel(global_size, num_candidate_slices, g - 1);
+    if (down < GammaCostModel(global_size, num_candidate_slices, g)) --g;
+  }
+  return std::max<uint64_t>(2, g);
+}
+
+AdaptiveGammaController::AdaptiveGammaController(uint64_t initial_gamma,
+                                                 GammaControllerOptions options)
+    : options_(options), current_(0) {
+  if (options_.min_gamma < 2) options_.min_gamma = 2;
+  if (options_.max_gamma < options_.min_gamma) {
+    options_.max_gamma = options_.min_gamma;
+  }
+  options_.smoothing = std::clamp(options_.smoothing, 0.01, 1.0);
+  current_ = Clamp(initial_gamma);
+}
+
+uint64_t AdaptiveGammaController::Clamp(uint64_t gamma) const {
+  return std::clamp(gamma, options_.min_gamma, options_.max_gamma);
+}
+
+uint64_t AdaptiveGammaController::Observe(uint64_t global_size,
+                                          uint64_t num_candidate_slices) {
+  if (global_size == 0) return current_;
+  uint64_t target = OptimalGamma(global_size, num_candidate_slices);
+  double blended = (1.0 - options_.smoothing) * static_cast<double>(current_) +
+                   options_.smoothing * static_cast<double>(target);
+  current_ = Clamp(static_cast<uint64_t>(std::llround(blended)));
+  return current_;
+}
+
+}  // namespace dema::core

@@ -1,0 +1,49 @@
+#include "dema/count_window.h"
+
+#include <algorithm>
+
+#include "dema/window_cut.h"
+
+namespace dema::core {
+
+Result<std::vector<size_t>> CountWindowPlanner::PlanCandidates(
+    const std::vector<SliceSynopsis>& time_slices, uint64_t total_events) {
+  if (window_size_ < 1) {
+    return Status::InvalidArgument("count window size must be >= 1");
+  }
+  ranks_.clear();
+  below_counts_.clear();
+  for (uint64_t rank = window_size_; rank <= total_events;
+       rank += window_size_) {
+    ranks_.push_back(rank);
+  }
+  if (ranks_.empty()) return std::vector<size_t>{};
+
+  DEMA_ASSIGN_OR_RETURN(
+      WindowCutResult cut,
+      WindowCut::SelectMulti(time_slices, total_events, ranks_));
+  below_counts_.reserve(cut.selections.size());
+  for (const RankSelection& sel : cut.selections) {
+    below_counts_.push_back(sel.below_count);
+  }
+  return cut.candidates;
+}
+
+Result<std::vector<CountWindowPlanner::Boundary>>
+CountWindowPlanner::ResolveBoundaries(std::vector<Event> candidate_events) const {
+  std::sort(candidate_events.begin(), candidate_events.end());
+  std::vector<Boundary> boundaries;
+  boundaries.reserve(ranks_.size());
+  for (size_t i = 0; i < ranks_.size(); ++i) {
+    uint64_t within = ranks_[i] - below_counts_[i];
+    if (within < 1 || within > candidate_events.size()) {
+      return Status::Internal("boundary rank " + std::to_string(within) +
+                              " outside candidate events [1, " +
+                              std::to_string(candidate_events.size()) + "]");
+    }
+    boundaries.push_back(Boundary{ranks_[i], candidate_events[within - 1]});
+  }
+  return boundaries;
+}
+
+}  // namespace dema::core

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/event.h"
+#include "common/result.h"
+#include "dema/slice.h"
+
+namespace dema::core {
+
+/// \brief Exact count-based window boundary discovery on top of Dema's
+/// selection machinery.
+///
+/// The paper's sibling problem (Deco, EDBT'24): a *count-based* tumbling
+/// window covers N consecutive events in global event-time order, but no
+/// single node knows where the boundaries fall. Observation: the W-th
+/// boundary is the (W·N)-th smallest *timestamp* — a rank-selection problem,
+/// which is exactly what window-cut solves. Local nodes ship synopses of
+/// their time-ordered windows (events arrive in time order, so no extra
+/// sort); the planner runs window-cut on the time axis to find, for each
+/// boundary rank, the candidate slices whose raw events pin the boundary
+/// event exactly.
+///
+/// This class implements the planning algebra (candidate selection and exact
+/// boundary resolution given fetched candidates); wiring it into a live
+/// protocol mirrors the value path and is left at the library level.
+class CountWindowPlanner {
+ public:
+  /// A resolved boundary: the count-window W covers global time-order ranks
+  /// ((W)·N, (W+1)·N], and `boundary_event` is the rank-(W+1)·N event.
+  struct Boundary {
+    uint64_t rank = 0;
+    Event boundary_event;
+  };
+
+  /// Creates a planner for count windows of \p window_size events.
+  explicit CountWindowPlanner(uint64_t window_size)
+      : window_size_(window_size) {}
+
+  /// Identification step: given the flattened time-ordered slice synopses of
+  /// every node (slices sorted by timestamp within each node; `first`/`last`
+  /// compare by the event total order, which is timestamp-major here only if
+  /// callers build synopses over time-ordered runs — see `TimeKeyed`),
+  /// returns the candidate slice indices needed to resolve every boundary in
+  /// the batch, plus the per-boundary selections.
+  ///
+  /// \p total_events is the number of events across all synopses; boundaries
+  /// at ranks N, 2N, ... <= total_events are planned.
+  Result<std::vector<size_t>> PlanCandidates(
+      const std::vector<SliceSynopsis>& time_slices, uint64_t total_events);
+
+  /// Calculation step: resolves every boundary given the fetched candidate
+  /// events (any order; they are sorted internally by time key). Must be
+  /// called after `PlanCandidates` with the events of exactly the returned
+  /// candidate slices.
+  Result<std::vector<Boundary>> ResolveBoundaries(
+      std::vector<Event> candidate_events) const;
+
+  /// Rewrites an event so the global total order compares timestamp-first
+  /// (timestamp into the value slot). Build time-axis synopses by mapping
+  /// each event through this before cutting slices, and map back with
+  /// `FromTimeKeyed`.
+  static Event TimeKeyed(const Event& e) {
+    Event out = e;
+    out.value = static_cast<double>(e.timestamp);
+    return out;
+  }
+
+  /// The boundary ranks planned by the last `PlanCandidates` call.
+  const std::vector<uint64_t>& planned_ranks() const { return ranks_; }
+
+ private:
+  uint64_t window_size_;
+  std::vector<uint64_t> ranks_;
+  std::vector<uint64_t> below_counts_;  // per rank, from window-cut
+};
+
+}  // namespace dema::core

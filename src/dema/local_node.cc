@@ -1,0 +1,224 @@
+#include "dema/local_node.h"
+
+#include <algorithm>
+
+#include "dema/slice.h"
+
+namespace dema::core {
+
+DemaLocalNode::DemaLocalNode(DemaLocalNodeOptions options, net::Network* network,
+                             const Clock* clock)
+    : options_(options),
+      network_(network),
+      clock_(clock),
+      windows_(stream::WindowSpec{options.window_len_us, options.window_slide_us},
+               options.sort_mode) {
+  gamma_schedule_[0] = std::max<uint64_t>(2, options_.initial_gamma);
+}
+
+uint64_t DemaLocalNode::GammaForWindow(net::WindowId id) const {
+  // Latest schedule entry with effective_from <= id; entries below the emit
+  // frontier get pruned, so fall back to the oldest entry for historic ids.
+  auto it = gamma_schedule_.upper_bound(id);
+  if (it == gamma_schedule_.begin()) return it->second;
+  --it;
+  return it->second;
+}
+
+Status DemaLocalNode::OnEvent(const Event& e) {
+  ++events_ingested_;
+  windows_.OnEvent(e);
+  return Status::OK();
+}
+
+Status DemaLocalNode::OnWatermark(TimestampUs watermark_us) {
+  auto closed = windows_.AdvanceWatermark(watermark_us);
+  net::WindowId up_to =
+      windows_.assigner().ClosedUpTo(std::max<TimestampUs>(0, watermark_us));
+  return EmitClosedWindows(std::move(closed), up_to);
+}
+
+Status DemaLocalNode::OnFinish(TimestampUs final_watermark_us) {
+  return OnWatermark(final_watermark_us);
+}
+
+Status DemaLocalNode::EmitClosedWindows(std::vector<stream::ClosedWindow> closed,
+                                        net::WindowId up_to_exclusive) {
+  // WindowManager yields only windows that held events; interleave empty
+  // windows so the root receives a contiguous id sequence from every node.
+  size_t next_closed = 0;
+  while (next_window_to_emit_ < up_to_exclusive) {
+    net::WindowId id = next_window_to_emit_++;
+    if (next_closed < closed.size() && closed[next_closed].id == id) {
+      DEMA_RETURN_NOT_OK(
+          EmitWindow(id, std::move(closed[next_closed].sorted_events)));
+      ++next_closed;
+    } else {
+      DEMA_RETURN_NOT_OK(EmitWindow(id, {}));
+    }
+  }
+  return Status::OK();
+}
+
+Status DemaLocalNode::EmitWindow(net::WindowId id, std::vector<Event> sorted) {
+  uint64_t gamma = GammaForWindow(id);
+  SynopsisBatch batch;
+  batch.window_id = id;
+  batch.node = options_.id;
+  batch.local_window_size = sorted.size();
+  batch.gamma_used = static_cast<uint32_t>(std::min<uint64_t>(gamma, UINT32_MAX));
+  batch.close_time_us = clock_->NowUs();
+  if (!sorted.empty()) {
+    DEMA_ASSIGN_OR_RETURN(batch.slices, CutIntoSlices(sorted, options_.id, gamma));
+    retained_.emplace(id, RetainedWindow{gamma, std::move(sorted)});
+  }
+  DEMA_RETURN_NOT_OK(network_->Send(net::MakeMessage(
+      net::MessageType::kSynopsisBatch, options_.id, options_.root_id, batch)));
+  // Old gamma schedule entries below the emitted frontier can be pruned,
+  // keeping exactly one entry at-or-below it.
+  auto keep = gamma_schedule_.upper_bound(next_window_to_emit_);
+  if (keep != gamma_schedule_.begin()) --keep;
+  gamma_schedule_.erase(gamma_schedule_.begin(), keep);
+  return Status::OK();
+}
+
+Status DemaLocalNode::OnMessage(const net::Message& msg) {
+  net::Reader r(msg.payload);
+  switch (msg.type) {
+    case net::MessageType::kCandidateRequest: {
+      DEMA_ASSIGN_OR_RETURN(auto req, CandidateRequest::Deserialize(&r));
+      return HandleCandidateRequest(req);
+    }
+    case net::MessageType::kGammaUpdate: {
+      DEMA_ASSIGN_OR_RETURN(auto update, GammaUpdate::Deserialize(&r));
+      return HandleGammaUpdate(update);
+    }
+    case net::MessageType::kShutdown:
+      return Status::OK();
+    default:
+      return Status::Internal(std::string("local node got unexpected ") +
+                              net::MessageTypeToString(msg.type));
+  }
+}
+
+Status DemaLocalNode::HandleCandidateRequest(const CandidateRequest& req) {
+  auto it = retained_.find(req.window_id);
+  if (req.slice_indices.empty()) {
+    // Release: the root needs nothing from this window.
+    if (it != retained_.end()) retained_.erase(it);
+    return Status::OK();
+  }
+  if (it == retained_.end()) {
+    if (options_.tolerate_duplicates && req.window_id < next_window_to_emit_) {
+      return Status::OK();  // retransmitted request for a released window
+    }
+    return Status::NotFound("candidate request for unknown window " +
+                            std::to_string(req.window_id));
+  }
+  const std::vector<Event>& sorted = it->second.sorted;
+  uint64_t gamma = it->second.gamma;
+
+  CandidateReply reply;
+  reply.window_id = req.window_id;
+  reply.node = options_.id;
+  reply.codec = options_.reply_codec;
+  // Requested slices are ascending, disjoint index ranges of the sorted
+  // window, so appending them in order keeps the reply sorted.
+  for (uint32_t index : req.slice_indices) {
+    auto [begin, end] = SliceEventRange(sorted.size(), gamma, index);
+    if (begin >= end) {
+      return Status::OutOfRange("slice index " + std::to_string(index) +
+                                " outside window " + std::to_string(req.window_id));
+    }
+    reply.events.insert(reply.events.end(), sorted.begin() + begin,
+                        sorted.begin() + end);
+  }
+  retained_.erase(it);
+  return network_->Send(net::MakeMessage(net::MessageType::kCandidateReply,
+                                         options_.id, options_.root_id, reply));
+}
+
+namespace {
+/// Checkpoint framing: magic + version guard against foreign blobs.
+constexpr uint32_t kCheckpointMagic = 0xDE3AC4B1;
+constexpr uint8_t kCheckpointVersion = 1;
+}  // namespace
+
+void DemaLocalNode::Checkpoint(net::Writer* w) const {
+  w->PutU32(kCheckpointMagic);
+  w->PutU8(kCheckpointVersion);
+  w->PutU32(options_.id);
+  w->PutU64(next_window_to_emit_);
+  w->PutU64(events_ingested_);
+  w->PutU32(static_cast<uint32_t>(gamma_schedule_.size()));
+  for (const auto& [from, gamma] : gamma_schedule_) {
+    w->PutU64(from);
+    w->PutU64(gamma);
+  }
+  w->PutU32(static_cast<uint32_t>(retained_.size()));
+  for (const auto& [id, window] : retained_) {
+    w->PutU64(id);
+    w->PutU64(window.gamma);
+    net::EncodeEvents(w, window.sorted, net::EventCodec::kCompact,
+                      /*sorted_hint=*/true);
+  }
+  windows_.SerializeTo(w);
+}
+
+Status DemaLocalNode::Restore(net::Reader* r) {
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::SerializationError("not a Dema local-node checkpoint");
+  }
+  DEMA_RETURN_NOT_OK(r->GetU8(&version));
+  if (version != kCheckpointVersion) {
+    return Status::SerializationError("unsupported checkpoint version " +
+                                      std::to_string(version));
+  }
+  uint32_t node_id = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&node_id));
+  if (node_id != options_.id) {
+    return Status::InvalidArgument("checkpoint belongs to node " +
+                                   std::to_string(node_id) + ", this is node " +
+                                   std::to_string(options_.id));
+  }
+  DEMA_RETURN_NOT_OK(r->GetU64(&next_window_to_emit_));
+  DEMA_RETURN_NOT_OK(r->GetU64(&events_ingested_));
+  uint32_t schedule_entries = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&schedule_entries));
+  gamma_schedule_.clear();
+  for (uint32_t i = 0; i < schedule_entries; ++i) {
+    uint64_t from = 0, gamma = 0;
+    DEMA_RETURN_NOT_OK(r->GetU64(&from));
+    DEMA_RETURN_NOT_OK(r->GetU64(&gamma));
+    if (gamma < 2) return Status::SerializationError("gamma below 2");
+    gamma_schedule_[from] = gamma;
+  }
+  if (gamma_schedule_.empty()) {
+    return Status::SerializationError("checkpoint without gamma schedule");
+  }
+  uint32_t retained_count = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&retained_count));
+  retained_.clear();
+  for (uint32_t i = 0; i < retained_count; ++i) {
+    uint64_t id = 0;
+    RetainedWindow window;
+    DEMA_RETURN_NOT_OK(r->GetU64(&id));
+    DEMA_RETURN_NOT_OK(r->GetU64(&window.gamma));
+    DEMA_RETURN_NOT_OK(net::DecodeEvents(r, &window.sorted));
+    retained_.emplace(static_cast<net::WindowId>(id), std::move(window));
+  }
+  return windows_.RestoreFrom(r);
+}
+
+Status DemaLocalNode::HandleGammaUpdate(const GammaUpdate& update) {
+  // Never rewrite history: the schedule only changes for windows this node
+  // has not shipped yet.
+  net::WindowId from = std::max(update.effective_from, next_window_to_emit_);
+  gamma_schedule_[from] = std::max<uint64_t>(2, update.gamma);
+  return Status::OK();
+}
+
+}  // namespace dema::core

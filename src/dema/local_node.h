@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "dema/protocol.h"
+#include "net/network.h"
+#include "sim/node.h"
+#include "stream/window_manager.h"
+
+namespace dema::core {
+
+/// \brief Configuration of a Dema local node.
+struct DemaLocalNodeOptions {
+  /// This node's id.
+  NodeId id = 1;
+  /// The root node's id.
+  NodeId root_id = 0;
+  /// Window lifespan (same on every node).
+  DurationUs window_len_us = kMicrosPerSecond;
+  /// Slide step; 0 (default) or == window_len_us gives the paper's tumbling
+  /// windows, smaller values give overlapping sliding windows — each window
+  /// id still runs the identification/calculation protocol independently.
+  DurationUs window_slide_us = 0;
+  /// Slice factor until the root broadcasts an update.
+  uint64_t initial_gamma = 10'000;
+  /// How local windows are kept sorted.
+  stream::SortMode sort_mode = stream::SortMode::kSortOnClose;
+  /// Tolerate at-least-once delivery: a candidate request for an
+  /// already-released window is treated as a retransmission and ignored.
+  bool tolerate_duplicates = true;
+  /// Wire encoding for candidate replies.
+  net::EventCodec reply_codec = net::EventCodec::kFixed;
+};
+
+/// \brief Dema's edge-side node (Sections 3.1, 3.3).
+///
+/// Sorts each closed local window, cuts it into γ-sized slices, ships only
+/// the slice synopses to the root, and retains the window's events until the
+/// root's candidate request arrives — at which point it replies with the
+/// requested slices' events and drops the window. γ updates from the root
+/// take effect per window id.
+class DemaLocalNode final : public sim::LocalNodeLogic {
+ public:
+  /// \p network and \p clock must outlive the node.
+  DemaLocalNode(DemaLocalNodeOptions options, net::Network* network,
+                const Clock* clock);
+
+  Status OnEvent(const Event& e) override;
+  Status OnWatermark(TimestampUs watermark_us) override;
+  Status OnFinish(TimestampUs final_watermark_us) override;
+  Status OnMessage(const net::Message& msg) override;
+
+  /// Slice factor that would apply to window \p id right now.
+  uint64_t GammaForWindow(net::WindowId id) const;
+
+  /// Windows currently retained for candidate serving (memory accounting).
+  size_t retained_windows() const { return retained_.size(); }
+
+  /// Events ingested so far.
+  uint64_t events_ingested() const { return events_ingested_; }
+
+  /// Serializes the node's complete mutable state — open window buffers,
+  /// watermark, retained (shipped but unreleased) windows, γ schedule, and
+  /// the emission frontier — so a restarted edge device can resume without
+  /// violating the protocol (checkpoint/recovery support).
+  void Checkpoint(net::Writer* w) const;
+
+  /// Replaces this node's state with a `Checkpoint` snapshot taken by a node
+  /// with the same options. Fails (leaving the node unusable) on corrupt or
+  /// incompatible snapshots.
+  Status Restore(net::Reader* r);
+
+ private:
+  /// Ships synopses for every closed window id in [next_window_to_emit_,
+  /// up_to] — including empty windows — and retains their events.
+  Status EmitClosedWindows(std::vector<stream::ClosedWindow> closed,
+                           net::WindowId up_to_exclusive);
+  /// Cuts, ships, and retains one window.
+  Status EmitWindow(net::WindowId id, std::vector<Event> sorted);
+  Status HandleCandidateRequest(const CandidateRequest& req);
+  Status HandleGammaUpdate(const GammaUpdate& update);
+
+  /// A shipped window retained for candidate serving, together with the γ it
+  /// was cut with (slice index ranges must be reconstructed with the same γ
+  /// even after later γ updates).
+  struct RetainedWindow {
+    uint64_t gamma = 0;
+    std::vector<Event> sorted;
+  };
+
+  DemaLocalNodeOptions options_;
+  net::Network* network_;
+  const Clock* clock_;
+  stream::WindowManager windows_;
+  /// Sorted events of shipped windows, kept until the root releases them.
+  std::map<net::WindowId, RetainedWindow> retained_;
+  /// γ schedule: effective-from window id -> γ. Always non-empty.
+  std::map<net::WindowId, uint64_t> gamma_schedule_;
+  net::WindowId next_window_to_emit_ = 0;
+  uint64_t events_ingested_ = 0;
+};
+
+}  // namespace dema::core

@@ -1,0 +1,290 @@
+#include "dema/root_node.h"
+
+#include <algorithm>
+
+#include "stream/merge.h"
+#include "stream/quantile.h"
+
+namespace dema::core {
+
+DemaRootNode::DemaRootNode(DemaRootNodeOptions options, net::Network* network,
+                           const Clock* clock)
+    : options_(std::move(options)),
+      network_(network),
+      clock_(clock),
+      gamma_(options_.initial_gamma, options_.gamma_options),
+      last_broadcast_gamma_(gamma_.current()) {
+  for (size_t i = 0; i < options_.locals.size(); ++i) {
+    local_index_[options_.locals[i]] = i;
+  }
+  if (options_.per_node_gamma) {
+    node_gamma_.assign(options_.locals.size(),
+                       AdaptiveGammaController(options_.initial_gamma,
+                                               options_.gamma_options));
+    node_last_broadcast_.assign(options_.locals.size(), gamma_.current());
+  }
+}
+
+uint64_t DemaRootNode::current_gamma_for(NodeId node) const {
+  if (options_.per_node_gamma) {
+    auto it = local_index_.find(node);
+    if (it != local_index_.end()) return node_gamma_[it->second].current();
+  }
+  return gamma_.current();
+}
+
+Status DemaRootNode::OnMessage(const net::Message& msg) {
+  net::Reader r(msg.payload);
+  switch (msg.type) {
+    case net::MessageType::kSynopsisBatch: {
+      DEMA_ASSIGN_OR_RETURN(auto batch, SynopsisBatch::Deserialize(&r));
+      return HandleSynopsisBatch(batch);
+    }
+    case net::MessageType::kCandidateReply: {
+      DEMA_ASSIGN_OR_RETURN(auto reply, CandidateReply::Deserialize(&r));
+      return HandleCandidateReply(reply);
+    }
+    case net::MessageType::kShutdown:
+      return Status::OK();
+    default:
+      return Status::Internal(std::string("root got unexpected ") +
+                              net::MessageTypeToString(msg.type));
+  }
+}
+
+Status DemaRootNode::HandleSynopsisBatch(const SynopsisBatch& batch) {
+  auto idx_it = local_index_.find(batch.node);
+  if (idx_it == local_index_.end()) {
+    return Status::InvalidArgument("synopsis from unknown node " +
+                                   std::to_string(batch.node));
+  }
+  PendingWindow& w = pending_[batch.window_id];
+  if (w.synopsis_from.empty()) {
+    w.synopsis_from.assign(options_.locals.size(), false);
+  }
+  if (w.synopsis_from[idx_it->second]) {
+    if (options_.tolerate_duplicates) {
+      ++stats_.duplicates_ignored;
+      return Status::OK();
+    }
+    return Status::AlreadyExists("duplicate synopsis from node " +
+                                 std::to_string(batch.node));
+  }
+  w.synopsis_from[idx_it->second] = true;
+  ++w.synopses_received;
+  w.global_size += batch.local_window_size;
+  w.last_close_time_us = std::max(w.last_close_time_us, batch.close_time_us);
+  w.slices.insert(w.slices.end(), batch.slices.begin(), batch.slices.end());
+  stats_.synopsis_slices += batch.slices.size();
+
+  if (w.synopses_received == options_.locals.size()) {
+    return RunIdentification(batch.window_id, &w);
+  }
+  return Status::OK();
+}
+
+Status DemaRootNode::RunIdentification(net::WindowId id, PendingWindow* w) {
+  if (w->global_size == 0) {
+    // Every local window was empty; emit an empty result directly.
+    sim::WindowOutput out;
+    out.window_id = id;
+    out.global_size = 0;
+    out.quantiles = options_.quantiles;
+    out.values.assign(options_.quantiles.size(), 0.0);
+    out.latency_us = clock_->NowUs() - w->last_close_time_us;
+    ++stats_.windows;
+    if (callback_) callback_(out);
+    pending_.erase(id);
+    return Status::OK();
+  }
+
+  std::vector<uint64_t> ranks;
+  ranks.reserve(options_.quantiles.size());
+  for (double q : options_.quantiles) {
+    if (!(q > 0.0) || q > 1.0) {
+      return Status::InvalidArgument("quantile outside (0, 1]");
+    }
+    ranks.push_back(stream::QuantileRank(q, w->global_size));
+  }
+
+  if (options_.use_naive_selection) {
+    if (ranks.size() != 1) {
+      return Status::InvalidArgument(
+          "naive selection supports exactly one quantile");
+    }
+    DEMA_ASSIGN_OR_RETURN(
+        w->cut, WindowCut::SelectNaiveOverlap(w->slices, w->global_size, ranks[0]));
+  } else {
+    DEMA_ASSIGN_OR_RETURN(w->cut,
+                          WindowCut::SelectMulti(w->slices, w->global_size, ranks));
+  }
+
+  stats_.candidate_slices += w->cut.candidates.size();
+  stats_.candidate_events += w->cut.candidate_event_count;
+  stats_.classes.separate += w->cut.classes.separate;
+  stats_.classes.compound += w->cut.classes.compound;
+  stats_.classes.cover += w->cut.classes.cover;
+
+  // Group candidate slices by owning node; indices within one node ascend
+  // because synopsis batches list a node's slices in order and the candidate
+  // list preserves input order.
+  std::map<NodeId, std::vector<uint32_t>> per_node;
+  for (size_t flat : w->cut.candidates) {
+    const SliceSynopsis& s = w->slices[flat];
+    per_node[s.node].push_back(s.index);
+  }
+
+  // Every node with a retained (non-empty) window gets a request; an empty
+  // index list releases the window's memory on that node.
+  std::vector<uint64_t> local_sizes(options_.locals.size(), 0);
+  for (const SliceSynopsis& s : w->slices) {
+    local_sizes[local_index_[s.node]] += s.count;
+  }
+  w->expected_replies = 0;
+  w->requests_sent = true;
+  for (size_t i = 0; i < options_.locals.size(); ++i) {
+    NodeId node = options_.locals[i];
+    if (local_sizes[i] == 0) continue;  // nothing retained there
+    CandidateRequest req;
+    req.window_id = id;
+    auto it = per_node.find(node);
+    if (it != per_node.end()) {
+      req.slice_indices = std::move(it->second);
+      ++w->expected_replies;
+    }
+    DEMA_RETURN_NOT_OK(network_->Send(net::MakeMessage(
+        net::MessageType::kCandidateRequest, options_.id, node, req)));
+  }
+  if (w->expected_replies == 0) {
+    return Status::Internal("window-cut produced no candidates for window " +
+                            std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status DemaRootNode::HandleCandidateReply(const CandidateReply& reply) {
+  auto idx_it = local_index_.find(reply.node);
+  if (idx_it == local_index_.end()) {
+    return Status::InvalidArgument("reply from unknown node " +
+                                   std::to_string(reply.node));
+  }
+  auto it = pending_.find(reply.window_id);
+  if (it == pending_.end()) {
+    if (options_.tolerate_duplicates) {
+      // The window already completed; this is a retransmitted reply.
+      ++stats_.duplicates_ignored;
+      return Status::OK();
+    }
+    return Status::NotFound("reply for unknown window " +
+                            std::to_string(reply.window_id));
+  }
+  PendingWindow& w = it->second;
+  if (!w.requests_sent) {
+    return Status::FailedPrecondition("reply before identification completed");
+  }
+  if (w.reply_from.empty()) w.reply_from.assign(options_.locals.size(), false);
+  if (w.reply_from[idx_it->second]) {
+    if (options_.tolerate_duplicates) {
+      ++stats_.duplicates_ignored;
+      return Status::OK();
+    }
+    return Status::AlreadyExists("duplicate reply from node " +
+                                 std::to_string(reply.node));
+  }
+  w.reply_from[idx_it->second] = true;
+  w.reply_runs.push_back(reply.events);
+  if (w.reply_runs.size() == w.expected_replies) {
+    return CompleteWindow(reply.window_id, &w);
+  }
+  return Status::OK();
+}
+
+Status DemaRootNode::CompleteWindow(net::WindowId id, PendingWindow* w) {
+  // Replies are pre-sorted runs (one per node); merge once, then answer every
+  // quantile by direct indexing.
+  std::vector<Event> merged = stream::MergeSortedRuns(std::move(w->reply_runs));
+  if (merged.size() != w->cut.candidate_event_count) {
+    return Status::Internal("candidate reply events (" +
+                            std::to_string(merged.size()) +
+                            ") do not match window-cut expectation (" +
+                            std::to_string(w->cut.candidate_event_count) + ")");
+  }
+
+  sim::WindowOutput out;
+  out.window_id = id;
+  out.global_size = w->global_size;
+  out.quantiles = options_.quantiles;
+  out.values.reserve(options_.quantiles.size());
+  for (const RankSelection& sel : w->cut.selections) {
+    uint64_t within = sel.rank - sel.below_count;  // 1-based among candidates
+    if (within < 1 || within > merged.size()) {
+      return Status::Internal("selection rank " + std::to_string(within) +
+                              " outside merged candidates [1, " +
+                              std::to_string(merged.size()) + "]");
+    }
+    out.values.push_back(merged[within - 1].value);
+  }
+  out.latency_us = clock_->NowUs() - w->last_close_time_us;
+
+  ++stats_.windows;
+  stats_.global_events += w->global_size;
+  uint64_t global_size = w->global_size;
+  uint64_t candidate_slices = w->cut.candidates.size();
+  PendingWindow completed = std::move(*w);
+  pending_.erase(id);
+  if (callback_) callback_(out);
+
+  if (options_.adaptive_gamma && options_.per_node_gamma) {
+    DEMA_RETURN_NOT_OK(AdaptPerNode(id, completed));
+  } else if (options_.adaptive_gamma) {
+    uint64_t next = gamma_.Observe(global_size, candidate_slices);
+    if (next != last_broadcast_gamma_) {
+      DEMA_RETURN_NOT_OK(BroadcastGamma(id + 1, next));
+      last_broadcast_gamma_ = next;
+    }
+  }
+  return Status::OK();
+}
+
+Status DemaRootNode::AdaptPerNode(net::WindowId completed_window,
+                                  const PendingWindow& w) {
+  // Per-node observations: l_i from the node's slice counts, m_i from its
+  // share of the candidate set. The per-node cost model mirrors the global
+  // one — identification ships 2·l_i/γ_i synopsis events from node i,
+  // calculation ships m_i·(γ_i − 2) of its events.
+  std::vector<uint64_t> local_size(options_.locals.size(), 0);
+  std::vector<uint64_t> local_candidates(options_.locals.size(), 0);
+  for (const SliceSynopsis& s : w.slices) {
+    local_size[local_index_[s.node]] += s.count;
+  }
+  for (size_t flat : w.cut.candidates) {
+    local_candidates[local_index_[w.slices[flat].node]] += 1;
+  }
+  for (size_t i = 0; i < options_.locals.size(); ++i) {
+    if (local_size[i] == 0) continue;  // no observation from an idle node
+    uint64_t next = node_gamma_[i].Observe(local_size[i], local_candidates[i]);
+    if (next == node_last_broadcast_[i]) continue;
+    GammaUpdate update;
+    update.effective_from = completed_window + 1;
+    update.gamma = static_cast<uint32_t>(std::min<uint64_t>(next, UINT32_MAX));
+    DEMA_RETURN_NOT_OK(network_->Send(net::MakeMessage(
+        net::MessageType::kGammaUpdate, options_.id, options_.locals[i], update)));
+    node_last_broadcast_[i] = next;
+    ++stats_.gamma_updates_sent;
+  }
+  return Status::OK();
+}
+
+Status DemaRootNode::BroadcastGamma(net::WindowId effective_from, uint64_t gamma) {
+  GammaUpdate update;
+  update.effective_from = effective_from;
+  update.gamma = static_cast<uint32_t>(std::min<uint64_t>(gamma, UINT32_MAX));
+  for (NodeId node : options_.locals) {
+    DEMA_RETURN_NOT_OK(network_->Send(net::MakeMessage(
+        net::MessageType::kGammaUpdate, options_.id, node, update)));
+  }
+  ++stats_.gamma_updates_sent;
+  return Status::OK();
+}
+
+}  // namespace dema::core

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "dema/adaptive_gamma.h"
+#include "dema/protocol.h"
+#include "dema/window_cut.h"
+#include "net/network.h"
+#include "sim/node.h"
+
+namespace dema::core {
+
+/// \brief Configuration of the Dema root node.
+struct DemaRootNodeOptions {
+  /// This node's id.
+  NodeId id = 0;
+  /// Ids of all local nodes contributing to global windows.
+  std::vector<NodeId> locals;
+  /// Quantiles to answer per window, each in (0, 1]. One identification step
+  /// serves all of them (multi-quantile extension).
+  std::vector<double> quantiles = {0.5};
+  /// Initial slice factor (also broadcast target when adaptation is off).
+  uint64_t initial_gamma = 10'000;
+  /// Re-optimize γ after every window (Section 3.3) and broadcast updates.
+  bool adaptive_gamma = false;
+  /// Controller tuning (used when adaptive_gamma is true).
+  GammaControllerOptions gamma_options;
+  /// Paper's future-work extension: optimize a separate γ per local node
+  /// from that node's own window size and candidate-slice count
+  /// (γ_i* = sqrt(2·l_i / m_i)), instead of one global factor. Only
+  /// meaningful with adaptive_gamma; heterogeneous event rates benefit most.
+  bool per_node_gamma = false;
+  /// Ablation: replace window-cut with naive transitive-overlap selection.
+  /// Only valid with a single quantile.
+  bool use_naive_selection = false;
+  /// Tolerate at-least-once delivery: duplicate synopses/replies are ignored
+  /// (counted in stats) instead of failing the node. On by default — IoT
+  /// transports retransmit; turn off to assert exactly-once in tests.
+  bool tolerate_duplicates = true;
+};
+
+/// \brief Aggregate algorithm counters across all completed windows.
+struct DemaRootStats {
+  uint64_t windows = 0;
+  /// Slice synopses received (identification step volume).
+  uint64_t synopsis_slices = 0;
+  /// Slices marked candidate by window-cut.
+  uint64_t candidate_slices = 0;
+  /// Raw events transferred in calculation steps.
+  uint64_t candidate_events = 0;
+  /// Sum of global window sizes.
+  uint64_t global_events = 0;
+  /// Accumulated slice classification diagnostics.
+  SliceClassCounts classes;
+  /// γ broadcasts sent.
+  uint64_t gamma_updates_sent = 0;
+  /// Duplicate deliveries ignored (at-least-once transport tolerance).
+  uint64_t duplicates_ignored = 0;
+};
+
+/// \brief Dema's root node: runs the identification and calculation steps
+/// (Section 3.1) and the adaptive-γ loop (Section 3.3).
+///
+/// Per global window: collects one synopsis batch from every local node,
+/// runs window-cut to pick candidate slices, requests exactly those slices'
+/// events, merges the pre-sorted replies with a loser tree, and emits the
+/// exact quantile event(s). Windows complete independently, so several can
+/// be in flight.
+class DemaRootNode final : public sim::RootNodeLogic {
+ public:
+  /// \p network and \p clock must outlive the node.
+  DemaRootNode(DemaRootNodeOptions options, net::Network* network,
+               const Clock* clock);
+
+  Status OnMessage(const net::Message& msg) override;
+  void SetResultCallback(sim::ResultCallback cb) override { callback_ = std::move(cb); }
+  uint64_t windows_emitted() const override { return stats_.windows; }
+  bool idle() const override { return pending_.empty(); }
+
+  /// Algorithm counters over all completed windows.
+  const DemaRootStats& stats() const { return stats_; }
+
+  /// The slice factor the global controller currently prescribes.
+  uint64_t current_gamma() const { return gamma_.current(); }
+
+  /// The per-node slice factor currently prescribed for \p node (falls back
+  /// to the global factor when per-node mode is off or unobserved).
+  uint64_t current_gamma_for(NodeId node) const;
+
+ private:
+  struct PendingWindow {
+    std::vector<SliceSynopsis> slices;
+    std::vector<bool> synopsis_from;  // by local index
+    size_t synopses_received = 0;
+    uint64_t global_size = 0;
+    TimestampUs last_close_time_us = 0;
+    bool requests_sent = false;
+    size_t expected_replies = 0;
+    std::vector<bool> reply_from;  // by local index (duplicate suppression)
+    std::vector<std::vector<Event>> reply_runs;
+    WindowCutResult cut;
+  };
+
+  Status HandleSynopsisBatch(const SynopsisBatch& batch);
+  Status HandleCandidateReply(const CandidateReply& reply);
+  /// All synopses in: run window-cut and fire candidate requests.
+  Status RunIdentification(net::WindowId id, PendingWindow* w);
+  /// All replies in: merge, select, emit, adapt γ.
+  Status CompleteWindow(net::WindowId id, PendingWindow* w);
+  Status BroadcastGamma(net::WindowId effective_from, uint64_t gamma);
+  /// Per-node mode: feed each node's (l_i, m_i) observation and send
+  /// node-specific updates where the prescription changed.
+  Status AdaptPerNode(net::WindowId completed_window, const PendingWindow& w);
+
+  DemaRootNodeOptions options_;
+  net::Network* network_;
+  const Clock* clock_;
+  std::map<NodeId, size_t> local_index_;
+  std::map<net::WindowId, PendingWindow> pending_;
+  sim::ResultCallback callback_;
+  AdaptiveGammaController gamma_;
+  uint64_t last_broadcast_gamma_;
+  /// Per-node controllers and last-broadcast values (per-node mode only).
+  std::vector<AdaptiveGammaController> node_gamma_;
+  std::vector<uint64_t> node_last_broadcast_;
+  DemaRootStats stats_;
+};
+
+}  // namespace dema::core

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/event.h"
+#include "common/result.h"
+#include "net/serializer.h"
+
+namespace dema::core {
+
+/// \brief Synopsis of one sorted local-window slice (Section 3.1).
+///
+/// The unit of Dema's identification step: instead of the slice's events, a
+/// local node ships only the slice's first and last event, its event count,
+/// and its position within the node's slice sequence. Together with every
+/// other synopsis, this is enough for the root to bound the global rank range
+/// each slice can cover.
+struct SliceSynopsis {
+  /// Local node that produced the slice.
+  NodeId node = 0;
+  /// Index of this slice within its node's local window (0-based; slices of
+  /// one node are in ascending value order).
+  uint32_t index = 0;
+  /// Smallest event in the slice.
+  Event first;
+  /// Largest event in the slice.
+  Event last;
+  /// Number of events in the slice (>= 1; the trailing slice of a window may
+  /// be smaller than gamma).
+  uint64_t count = 0;
+
+  /// Serializes this synopsis.
+  void SerializeTo(net::Writer* w) const;
+  /// Parses a synopsis.
+  static Status DeserializeInto(net::Reader* r, SliceSynopsis* out);
+};
+
+std::ostream& operator<<(std::ostream& os, const SliceSynopsis& s);
+
+/// \brief Cuts a *sorted* local window into slices of at most \p gamma events
+/// and returns their synopses (the trailing slice holds the remainder).
+///
+/// \p gamma must be >= 2 — the paper requires every slice to carry at least
+/// two events' worth of synopsis; the final slice may still end up with one
+/// event when the window size is not a multiple of gamma.
+Result<std::vector<SliceSynopsis>> CutIntoSlices(const std::vector<Event>& sorted,
+                                                 NodeId node, uint64_t gamma);
+
+/// \brief Returns the half-open index range [begin, end) of slice \p index in
+/// a window of \p window_size events cut with \p gamma.
+inline std::pair<uint64_t, uint64_t> SliceEventRange(uint64_t window_size,
+                                                     uint64_t gamma,
+                                                     uint32_t index) {
+  uint64_t begin = static_cast<uint64_t>(index) * gamma;
+  uint64_t end = std::min(window_size, begin + gamma);
+  return {begin, end};
+}
+
+}  // namespace dema::core

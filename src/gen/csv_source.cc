@@ -1,0 +1,107 @@
+#include "gen/csv_source.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dema::gen {
+
+namespace {
+
+Status ParseContent(const std::string& content, std::vector<double>* values,
+                    std::vector<TimestampUs>* times) {
+  std::istringstream in(content);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Trim trailing CR from Windows line endings.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": expected `value,timestamp`");
+    }
+    char* end = nullptr;
+    std::string value_str = line.substr(0, comma);
+    double value = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str()) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": bad value `" + value_str + "`");
+    }
+    std::string rest = line.substr(comma + 1);
+    size_t comma2 = rest.find(',');
+    std::string time_str = comma2 == std::string::npos ? rest : rest.substr(0, comma2);
+    errno = 0;
+    long long ts = std::strtoll(time_str.c_str(), &end, 10);
+    if (end == time_str.c_str() || errno != 0) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": bad timestamp `" + time_str + "`");
+    }
+    values->push_back(value);
+    times->push_back(static_cast<TimestampUs>(ts));
+  }
+  if (values->empty()) return Status::InvalidArgument("no data rows");
+  return Status::OK();
+}
+
+}  // namespace
+
+CsvReplaySource::CsvReplaySource(std::vector<double> values,
+                                 std::vector<TimestampUs> times, Options options)
+    : values_(std::move(values)), times_(std::move(times)), options_(options) {
+  pos_ = values_.empty() ? 0 : options_.start_offset % values_.size();
+  if (options_.rebase_time && !times_.empty()) {
+    TimestampUs base = times_[pos_];
+    for (auto& t : times_) t -= base;
+    // Rows before the start offset are shifted one full span forward so the
+    // wrapped replay stays monotone.
+    dataset_span_us_ = 0;
+    for (TimestampUs t : times_) dataset_span_us_ = std::max(dataset_span_us_, t);
+    dataset_span_us_ += 1;
+    for (size_t i = 0; i < pos_; ++i) times_[i] += dataset_span_us_;
+    for (auto& t : times_) t += options_.rebase_start_us;
+  } else if (!times_.empty()) {
+    dataset_span_us_ = 0;
+    TimestampUs lo = times_[0], hi = times_[0];
+    for (TimestampUs t : times_) {
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    dataset_span_us_ = hi - lo + 1;
+  }
+}
+
+Result<CsvReplaySource> CsvReplaySource::Open(const std::string& path,
+                                              Options options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromString(buf.str(), options);
+}
+
+Result<CsvReplaySource> CsvReplaySource::FromString(const std::string& content,
+                                                    Options options) {
+  std::vector<double> values;
+  std::vector<TimestampUs> times;
+  DEMA_RETURN_NOT_OK(ParseContent(content, &values, &times));
+  return CsvReplaySource(std::move(values), std::move(times), options);
+}
+
+Event CsvReplaySource::Next() {
+  Event e;
+  e.value = values_[pos_] * options_.scale_rate;
+  e.timestamp = times_[pos_] + wrap_offset_us_;
+  e.node = options_.node;
+  e.seq = next_seq_++;
+  ++pos_;
+  if (pos_ == values_.size()) {
+    pos_ = 0;
+    wrap_offset_us_ += dataset_span_us_;
+  }
+  return e;
+}
+
+}  // namespace dema::gen

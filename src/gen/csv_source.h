@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/result.h"
+
+namespace dema::gen {
+
+/// \brief Replays events from a CSV file (DEBS-2013-style dumps).
+///
+/// Each line is `value,timestamp_us` (an optional third column is ignored,
+/// matching exports that include the original sensor id). Lines starting
+/// with '#' and blank lines are skipped. The replayer stamps the configured
+/// node id and fresh sequence numbers, applies `scale_rate` to values, and —
+/// like the paper's generators — can start "from a different position" via
+/// `start_offset`, wrapping around the file.
+class CsvReplaySource {
+ public:
+  struct Options {
+    NodeId node = 0;
+    double scale_rate = 1.0;
+    /// Row index to start replay from (wraps around).
+    size_t start_offset = 0;
+    /// When true, timestamps are rebased so the first replayed event starts
+    /// at `rebase_start_us` and original inter-event gaps are preserved.
+    bool rebase_time = true;
+    TimestampUs rebase_start_us = 0;
+  };
+
+  /// Loads the whole file; fails on I/O or parse errors (with line numbers).
+  static Result<CsvReplaySource> Open(const std::string& path, Options options);
+
+  /// Parses CSV content from a string (testing / in-memory datasets).
+  static Result<CsvReplaySource> FromString(const std::string& content,
+                                            Options options);
+
+  /// Produces the next event, wrapping around the dataset; each wrap
+  /// continues the rebased timeline so event time keeps increasing.
+  Event Next();
+
+  /// Number of rows loaded.
+  size_t size() const { return values_.size(); }
+
+ private:
+  CsvReplaySource(std::vector<double> values, std::vector<TimestampUs> times,
+                  Options options);
+
+  std::vector<double> values_;
+  std::vector<TimestampUs> times_;
+  Options options_;
+  size_t pos_;
+  uint32_t next_seq_ = 0;
+  /// Accumulated timeline offset applied on wrap-around.
+  TimestampUs wrap_offset_us_ = 0;
+  TimestampUs dataset_span_us_ = 0;
+};
+
+}  // namespace dema::gen

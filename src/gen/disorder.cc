@@ -1,0 +1,47 @@
+#include "gen/disorder.h"
+
+namespace dema::gen {
+
+DisorderedSource::DisorderedSource(std::unique_ptr<StreamGenerator> generator,
+                                   Options options)
+    : generator_(std::move(generator)), options_(options), rng_(options.seed) {
+  if (options_.max_disorder_us < 0) options_.max_disorder_us = 0;
+}
+
+Result<std::unique_ptr<DisorderedSource>> DisorderedSource::Create(
+    const GeneratorConfig& config, Options options) {
+  DEMA_ASSIGN_OR_RETURN(auto generator, StreamGenerator::Create(config));
+  return std::make_unique<DisorderedSource>(std::move(generator), options);
+}
+
+std::optional<Event> DisorderedSource::NextUpTo(TimestampUs horizon_us) {
+  // The heap can safely release its top once no not-yet-generated event can
+  // be delivered earlier: future events have delivery >= their event time
+  // >= generator_->next_time_us().
+  while (generator_->next_time_us() < horizon_us &&
+         (heap_.empty() ||
+          heap_.top().delivery_us > generator_->next_time_us())) {
+    Event e = generator_->Next();
+    DurationUs delay =
+        options_.max_disorder_us > 0
+            ? rng_.UniformInt(0, options_.max_disorder_us - 1)
+            : 0;
+    heap_.push(Delivery{e.timestamp + delay, e});
+  }
+  if (heap_.empty()) return std::nullopt;
+  // Events still to come could beat the heap top only if generation has not
+  // reached the horizon AND the top's delivery lies beyond the generator's
+  // clock — the loop above rules that out.
+  Event out = heap_.top().event;
+  heap_.pop();
+  max_event_time_ = std::max(max_event_time_, out.timestamp);
+  return out;
+}
+
+std::vector<Event> DisorderedSource::DeliverAll(TimestampUs horizon_us) {
+  std::vector<Event> out;
+  while (auto e = NextUpTo(horizon_us)) out.push_back(*e);
+  return out;
+}
+
+}  // namespace dema::gen

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/event.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "gen/generator.h"
+
+namespace dema::gen {
+
+/// \brief Wraps a `StreamGenerator` and delivers its events out of order,
+/// with bounded disorder.
+///
+/// Each event's *delivery* time is its event time plus a uniform delay in
+/// [0, max_disorder_us); events come out sorted by delivery time. This is
+/// the standard bounded-disorder model: an event can be overtaken by at most
+/// `max_disorder_us` of event time, so a watermark held back by that much
+/// (allowed lateness) never drops anything.
+class DisorderedSource {
+ public:
+  struct Options {
+    /// Upper bound on how far an event can be delayed past its event time.
+    DurationUs max_disorder_us = 0;
+    /// Seed for the per-event delay draw.
+    uint64_t seed = 99;
+  };
+
+  /// Wraps \p generator (takes ownership).
+  DisorderedSource(std::unique_ptr<StreamGenerator> generator, Options options);
+
+  /// Builds generator + wrapper in one step.
+  static Result<std::unique_ptr<DisorderedSource>> Create(
+      const GeneratorConfig& config, Options options);
+
+  /// Produces the next event in delivery order, or nullopt once every event
+  /// with event time below \p horizon_us was delivered. Successive calls
+  /// must use non-decreasing horizons.
+  std::optional<Event> NextUpTo(TimestampUs horizon_us);
+
+  /// Convenience: delivers every event with event time below \p horizon_us.
+  std::vector<Event> DeliverAll(TimestampUs horizon_us);
+
+  /// Largest event time seen so far in the delivery stream (watermark input:
+  /// hold it back by the allowed lateness).
+  TimestampUs max_event_time() const { return max_event_time_; }
+
+ private:
+  struct Delivery {
+    TimestampUs delivery_us;
+    Event event;
+    bool operator>(const Delivery& o) const {
+      // Delivery-time order; ties broken by event identity for determinism.
+      if (delivery_us != o.delivery_us) return delivery_us > o.delivery_us;
+      return o.event < event;
+    }
+  };
+
+  std::unique_ptr<StreamGenerator> generator_;
+  Options options_;
+  Rng rng_;
+  std::priority_queue<Delivery, std::vector<Delivery>, std::greater<>> heap_;
+  TimestampUs max_event_time_ = 0;
+};
+
+}  // namespace dema::gen

@@ -1,0 +1,186 @@
+#include "gen/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dema::gen {
+
+Result<DistributionKind> DistributionKindFromString(const std::string& name) {
+  if (name == "uniform") return DistributionKind::kUniform;
+  if (name == "normal") return DistributionKind::kNormal;
+  if (name == "exponential") return DistributionKind::kExponential;
+  if (name == "zipf") return DistributionKind::kZipf;
+  if (name == "sensorwalk") return DistributionKind::kSensorWalk;
+  return Status::InvalidArgument("unknown distribution kind: " + name);
+}
+
+const char* DistributionKindToString(DistributionKind kind) {
+  switch (kind) {
+    case DistributionKind::kUniform:
+      return "uniform";
+    case DistributionKind::kNormal:
+      return "normal";
+    case DistributionKind::kExponential:
+      return "exponential";
+    case DistributionKind::kZipf:
+      return "zipf";
+    case DistributionKind::kSensorWalk:
+      return "sensorwalk";
+  }
+  return "?";
+}
+
+namespace {
+
+class UniformDist final : public ValueDistribution {
+ public:
+  explicit UniformDist(const DistributionParams& p) : params_(p) {}
+  double Next(Rng* rng) override { return rng->Uniform(params_.lo, params_.hi); }
+  const DistributionParams& params() const override { return params_; }
+
+ private:
+  DistributionParams params_;
+};
+
+class NormalDist final : public ValueDistribution {
+ public:
+  explicit NormalDist(const DistributionParams& p) : params_(p) {}
+  double Next(Rng* rng) override {
+    return rng->Normal(params_.mean, params_.stddev);
+  }
+  const DistributionParams& params() const override { return params_; }
+
+ private:
+  DistributionParams params_;
+};
+
+class ExponentialDist final : public ValueDistribution {
+ public:
+  explicit ExponentialDist(const DistributionParams& p) : params_(p) {}
+  double Next(Rng* rng) override {
+    return params_.lo + rng->Exponential(params_.lambda);
+  }
+  const DistributionParams& params() const override { return params_; }
+
+ private:
+  DistributionParams params_;
+};
+
+// Zipf over ranks 1..n via rejection-inversion (Hörmann & Derflinger); ranks
+// are then mapped linearly onto [lo, hi) so the value head sits at lo.
+class ZipfDist final : public ValueDistribution {
+ public:
+  explicit ZipfDist(const DistributionParams& p) : params_(p) {
+    n_ = std::max<uint32_t>(1, p.zipf_n);
+    s_ = p.zipf_s;
+    hx0_ = H(0.5) - 1.0;
+    hxn_ = H(static_cast<double>(n_) + 0.5);
+    dist_width_ = hx0_ - hxn_;
+  }
+
+  double Next(Rng* rng) override {
+    uint64_t rank = NextRank(rng);
+    double frac = (static_cast<double>(rank) - 1.0) / static_cast<double>(n_);
+    return params_.lo + frac * (params_.hi - params_.lo);
+  }
+  const DistributionParams& params() const override { return params_; }
+
+ private:
+  double H(double x) const {
+    if (s_ == 1.0) return std::log(x);
+    return std::pow(x, 1.0 - s_) / (1.0 - s_);
+  }
+  double Hinv(double x) const {
+    if (s_ == 1.0) return std::exp(x);
+    return std::pow((1.0 - s_) * x, 1.0 / (1.0 - s_));
+  }
+  uint64_t NextRank(Rng* rng) {
+    while (true) {
+      double u = hx0_ - rng->Uniform(0.0, 1.0) * dist_width_;
+      double x = Hinv(u);
+      uint64_t k = static_cast<uint64_t>(std::clamp(
+          std::round(x), 1.0, static_cast<double>(n_)));
+      double kd = static_cast<double>(k);
+      if (u >= H(kd + 0.5) - std::pow(kd, -s_)) return k;
+    }
+  }
+
+  DistributionParams params_;
+  uint32_t n_;
+  double s_;
+  double hx0_, hxn_, dist_width_;
+};
+
+class SensorWalkDist final : public ValueDistribution {
+ public:
+  explicit SensorWalkDist(const DistributionParams& p) : params_(p) {
+    pos_ = (p.lo + p.hi) / 2.0;
+  }
+
+  double Next(Rng* rng) override {
+    double step = rng->Normal(0.0, params_.stddev);
+    if (rng->Bernoulli(params_.kick_prob)) {
+      // Occasional kick: a player accelerates / the ball is shot.
+      step += rng->Normal(0.0, params_.stddev * 20.0);
+    }
+    pos_ += step;
+    // Reflect at the bounds so the walk stays inside the sensor range.
+    double lo = params_.lo, hi = params_.hi;
+    while (pos_ < lo || pos_ > hi) {
+      if (pos_ < lo) pos_ = lo + (lo - pos_);
+      if (pos_ > hi) pos_ = hi - (pos_ - hi);
+    }
+    return pos_;
+  }
+  const DistributionParams& params() const override { return params_; }
+
+ private:
+  DistributionParams params_;
+  double pos_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ValueDistribution>> ValueDistribution::Create(
+    const DistributionParams& params) {
+  switch (params.kind) {
+    case DistributionKind::kUniform:
+    case DistributionKind::kZipf:
+    case DistributionKind::kSensorWalk:
+      if (!(params.hi > params.lo)) {
+        return Status::InvalidArgument("distribution requires hi > lo");
+      }
+      break;
+    case DistributionKind::kNormal:
+      if (!(params.stddev > 0)) {
+        return Status::InvalidArgument("normal requires stddev > 0");
+      }
+      break;
+    case DistributionKind::kExponential:
+      if (!(params.lambda > 0)) {
+        return Status::InvalidArgument("exponential requires lambda > 0");
+      }
+      break;
+  }
+  switch (params.kind) {
+    case DistributionKind::kUniform:
+      return std::unique_ptr<ValueDistribution>(new UniformDist(params));
+    case DistributionKind::kNormal:
+      return std::unique_ptr<ValueDistribution>(new NormalDist(params));
+    case DistributionKind::kExponential:
+      return std::unique_ptr<ValueDistribution>(new ExponentialDist(params));
+    case DistributionKind::kZipf:
+      if (!(params.zipf_s > 0)) {
+        return Status::InvalidArgument("zipf requires zipf_s > 0");
+      }
+      return std::unique_ptr<ValueDistribution>(new ZipfDist(params));
+    case DistributionKind::kSensorWalk:
+      if (!(params.stddev > 0)) {
+        return Status::InvalidArgument("sensorwalk requires stddev > 0");
+      }
+      return std::unique_ptr<ValueDistribution>(new SensorWalkDist(params));
+  }
+  return Status::InvalidArgument("unknown distribution kind");
+}
+
+}  // namespace dema::gen

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace dema::gen {
+
+/// \brief Shape of the value process a data-stream node emits.
+enum class DistributionKind {
+  /// Uniform in [lo, hi).
+  kUniform,
+  /// Normal(mean, stddev).
+  kNormal,
+  /// Exponential with rate lambda, shifted by lo.
+  kExponential,
+  /// Zipf-distributed ranks mapped onto [lo, hi): heavy head at lo.
+  kZipf,
+  /// Bounded random walk mimicking the DEBS 2013 soccer sensor values:
+  /// physical quantities evolving smoothly with occasional kicks.
+  kSensorWalk,
+};
+
+/// \brief Parses a kind from its lower-case name ("uniform", "normal",
+/// "exponential", "zipf", "sensorwalk").
+Result<DistributionKind> DistributionKindFromString(const std::string& name);
+
+/// \brief Returns the lower-case name of a kind.
+const char* DistributionKindToString(DistributionKind kind);
+
+/// \brief Parameter bundle for any distribution kind.
+///
+/// Unused fields are ignored by kinds that do not need them, so a single
+/// struct can describe every generator configuration in experiment sweeps.
+struct DistributionParams {
+  DistributionKind kind = DistributionKind::kSensorWalk;
+  /// Lower bound of the value range (uniform/zipf/exponential shift/walk).
+  double lo = 0.0;
+  /// Upper bound of the value range (uniform/zipf/walk).
+  double hi = 1000.0;
+  /// Mean for kNormal.
+  double mean = 500.0;
+  /// Standard deviation for kNormal; step size for kSensorWalk.
+  double stddev = 150.0;
+  /// Rate for kExponential.
+  double lambda = 0.01;
+  /// Skew exponent for kZipf (> 0).
+  double zipf_s = 1.1;
+  /// Number of distinct ranks for kZipf.
+  uint32_t zipf_n = 10000;
+  /// Probability of a large jump per draw for kSensorWalk.
+  double kick_prob = 0.001;
+};
+
+/// \brief A stream of values drawn from a configured distribution.
+///
+/// Implementations are stateful (the sensor walk carries position) and
+/// deterministic given the seed of the `Rng` passed to each draw.
+class ValueDistribution {
+ public:
+  virtual ~ValueDistribution() = default;
+
+  /// Draws the next value.
+  virtual double Next(Rng* rng) = 0;
+
+  /// The parameters this instance was built from.
+  virtual const DistributionParams& params() const = 0;
+
+  /// Builds a distribution; fails on invalid parameters (e.g. hi <= lo).
+  static Result<std::unique_ptr<ValueDistribution>> Create(
+      const DistributionParams& params);
+};
+
+}  // namespace dema::gen

@@ -1,0 +1,85 @@
+#include "net/channel.h"
+
+#include <chrono>
+
+namespace dema::net {
+
+bool Channel::Push(Message m) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (capacity_ > 0) {
+    cv_push_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+  }
+  if (closed_) return false;
+  counters_.messages += 1;
+  counters_.bytes += m.WireBytes();
+  counters_.events += m.event_count;
+  queue_.push_back(std::move(m));
+  cv_pop_.notify_one();
+  return true;
+}
+
+bool Channel::TryPush(Message m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return false;
+  if (capacity_ > 0 && queue_.size() >= capacity_) return false;
+  counters_.messages += 1;
+  counters_.bytes += m.WireBytes();
+  counters_.events += m.event_count;
+  queue_.push_back(std::move(m));
+  cv_pop_.notify_one();
+  return true;
+}
+
+std::optional<Message> Channel::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_pop_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  cv_push_.notify_one();
+  return m;
+}
+
+std::optional<Message> Channel::TryPop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  cv_push_.notify_one();
+  return m;
+}
+
+std::optional<Message> Channel::PopFor(DurationUs timeout_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool ready = cv_pop_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                                [&] { return closed_ || !queue_.empty(); });
+  if (!ready || queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  cv_push_.notify_one();
+  return m;
+}
+
+void Channel::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_pop_.notify_all();
+  cv_push_.notify_all();
+}
+
+bool Channel::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t Channel::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+TrafficCounters Channel::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace dema::net

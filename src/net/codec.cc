@@ -1,0 +1,125 @@
+#include "net/codec.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace dema::net {
+
+namespace {
+
+/// True when every value is non-negative and ascending — the precondition
+/// for bit-delta value encoding.
+bool SortedNonNegative(const std::vector<Event>& events) {
+  double prev = 0;
+  for (const Event& e : events) {
+    if (e.value < prev || std::signbit(e.value)) return false;
+    prev = e.value;
+  }
+  return true;
+}
+
+uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+void EncodeEvents(Writer* w, const std::vector<Event>& events, EventCodec codec,
+                  bool sorted_hint) {
+  w->PutU8(static_cast<uint8_t>(codec));
+  w->PutVarint(events.size());
+  if (codec == EventCodec::kFixed) {
+    for (const Event& e : events) w->PutEvent(e);
+    return;
+  }
+  // kCompact: value mode 1 = ascending bit-pattern deltas, 0 = raw doubles.
+  uint8_t value_mode =
+      sorted_hint && SortedNonNegative(events) ? 1 : 0;
+  w->PutU8(value_mode);
+  uint64_t prev_bits = 0;
+  int64_t prev_ts = 0, prev_node = 0, prev_seq = 0;
+  for (const Event& e : events) {
+    if (value_mode == 1) {
+      uint64_t bits = BitsOf(e.value);
+      w->PutVarint(bits - prev_bits);  // non-negative: IEEE order == numeric
+      prev_bits = bits;
+    } else {
+      w->PutDouble(e.value);
+    }
+    w->PutZigzag(e.timestamp - prev_ts);
+    w->PutZigzag(static_cast<int64_t>(e.node) - prev_node);
+    w->PutZigzag(static_cast<int64_t>(e.seq) - prev_seq);
+    prev_ts = e.timestamp;
+    prev_node = e.node;
+    prev_seq = e.seq;
+  }
+}
+
+Status DecodeEvents(Reader* r, std::vector<Event>* out) {
+  uint8_t tag = 0;
+  DEMA_RETURN_NOT_OK(r->GetU8(&tag));
+  if (tag > static_cast<uint8_t>(EventCodec::kCompact)) {
+    return Status::SerializationError("unknown event codec tag");
+  }
+  EventCodec codec = static_cast<EventCodec>(tag);
+  uint64_t count = 0;
+  DEMA_RETURN_NOT_OK(r->GetVarint(&count));
+  out->clear();
+
+  if (codec == EventCodec::kFixed) {
+    if (count * kEventWireBytes > r->remaining()) {
+      return Status::SerializationError("event count exceeds remaining buffer");
+    }
+    out->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      Event e;
+      DEMA_RETURN_NOT_OK(r->GetEvent(&e));
+      out->push_back(e);
+    }
+    return Status::OK();
+  }
+
+  uint8_t value_mode = 0;
+  DEMA_RETURN_NOT_OK(r->GetU8(&value_mode));
+  if (value_mode > 1) {
+    return Status::SerializationError("unknown compact value mode");
+  }
+  // Compact events are at least 4 bytes each (value byte + three deltas).
+  if (count * 4 > r->remaining()) {
+    return Status::SerializationError("event count exceeds remaining buffer");
+  }
+  out->reserve(count);
+  uint64_t value_bits = 0;
+  int64_t prev_ts = 0, prev_node = 0, prev_seq = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    Event e;
+    if (value_mode == 1) {
+      uint64_t delta = 0;
+      DEMA_RETURN_NOT_OK(r->GetVarint(&delta));
+      value_bits += delta;
+      std::memcpy(&e.value, &value_bits, sizeof(e.value));
+    } else {
+      DEMA_RETURN_NOT_OK(r->GetDouble(&e.value));
+    }
+    int64_t d_ts = 0, d_node = 0, d_seq = 0;
+    DEMA_RETURN_NOT_OK(r->GetZigzag(&d_ts));
+    DEMA_RETURN_NOT_OK(r->GetZigzag(&d_node));
+    DEMA_RETURN_NOT_OK(r->GetZigzag(&d_seq));
+    prev_ts += d_ts;
+    prev_node += d_node;
+    prev_seq += d_seq;
+    e.timestamp = prev_ts;
+    if (prev_node < 0 || prev_node > UINT32_MAX || prev_seq < 0 ||
+        prev_seq > UINT32_MAX) {
+      return Status::SerializationError("compact delta out of field range");
+    }
+    e.node = static_cast<NodeId>(prev_node);
+    e.seq = static_cast<uint32_t>(prev_seq);
+    out->push_back(e);
+  }
+  return Status::OK();
+}
+
+}  // namespace dema::net

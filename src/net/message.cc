@@ -1,0 +1,89 @@
+#include "net/message.h"
+
+#include <cstring>
+
+namespace dema::net {
+
+const char* MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kEventBatch:
+      return "EventBatch";
+    case MessageType::kWindowEnd:
+      return "WindowEnd";
+    case MessageType::kSynopsisBatch:
+      return "SynopsisBatch";
+    case MessageType::kCandidateRequest:
+      return "CandidateRequest";
+    case MessageType::kCandidateReply:
+      return "CandidateReply";
+    case MessageType::kGammaUpdate:
+      return "GammaUpdate";
+    case MessageType::kResult:
+      return "Result";
+    case MessageType::kSketchSummary:
+      return "SketchSummary";
+    case MessageType::kShutdown:
+      return "Shutdown";
+    case MessageType::kTimeAdvance:
+      return "TimeAdvance";
+  }
+  return "Unknown";
+}
+
+void TimeAdvance::SerializeTo(Writer* w) const {
+  w->PutI64(watermark_us);
+  w->PutU8(final_marker ? 1 : 0);
+}
+
+Result<TimeAdvance> TimeAdvance::Deserialize(Reader* r) {
+  TimeAdvance t;
+  DEMA_RETURN_NOT_OK(r->GetI64(&t.watermark_us));
+  uint8_t fin = 0;
+  DEMA_RETURN_NOT_OK(r->GetU8(&fin));
+  t.final_marker = fin != 0;
+  return t;
+}
+
+void EventBatch::SerializeTo(Writer* w) const {
+  w->PutU64(window_id);
+  w->PutU8(sorted ? 1 : 0);
+  w->PutU8(last_batch ? 1 : 0);
+  EncodeEvents(w, events, codec, /*sorted_hint=*/sorted);
+}
+
+Result<WindowId> EventBatch::PeekWindowId(const std::vector<uint8_t>& payload) {
+  if (payload.size() < sizeof(WindowId)) {
+    return Status::SerializationError("event batch header truncated");
+  }
+  WindowId id;
+  std::memcpy(&id, payload.data(), sizeof(id));
+  return id;
+}
+
+Result<EventBatch> EventBatch::Deserialize(Reader* r) {
+  EventBatch b;
+  DEMA_RETURN_NOT_OK(r->GetU64(&b.window_id));
+  uint8_t sorted = 0, last = 0;
+  DEMA_RETURN_NOT_OK(r->GetU8(&sorted));
+  DEMA_RETURN_NOT_OK(r->GetU8(&last));
+  b.sorted = sorted != 0;
+  b.last_batch = last != 0;
+  DEMA_RETURN_NOT_OK(DecodeEvents(r, &b.events));
+  return b;
+}
+
+void WindowEnd::SerializeTo(Writer* w) const {
+  w->PutU64(window_id);
+  w->PutU64(local_window_size);
+  w->PutI64(close_time_us);
+}
+
+Result<WindowEnd> WindowEnd::Deserialize(Reader* r) {
+  WindowEnd e;
+  DEMA_RETURN_NOT_OK(r->GetU64(&e.window_id));
+  DEMA_RETURN_NOT_OK(r->GetU64(&e.local_window_size));
+  DEMA_RETURN_NOT_OK(r->GetI64(&e.close_time_us));
+  return e;
+}
+
+}  // namespace dema::net

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/result.h"
+#include "net/codec.h"
+#include "net/serializer.h"
+
+namespace dema::net {
+
+/// Identifies a global/local window instance; windows of the same lifespan
+/// share ids across nodes (id = window start time / window length).
+using WindowId = uint64_t;
+
+/// \brief Wire type tag of a message payload.
+///
+/// Dema-specific payloads (synopses, candidate protocol, gamma updates) are
+/// declared in `dema/protocol.h`; they reuse this enum so the envelope stays
+/// uniform across systems.
+enum class MessageType : uint16_t {
+  /// Batch of raw (optionally pre-sorted) events for one window.
+  kEventBatch = 1,
+  /// End-of-window marker from a local node (window id + event count).
+  kWindowEnd = 2,
+  /// Batch of Dema slice synopses for one window.
+  kSynopsisBatch = 3,
+  /// Root -> local request for the events of specific slices.
+  kCandidateRequest = 4,
+  /// Local -> root reply carrying candidate slice events.
+  kCandidateReply = 5,
+  /// Root -> local broadcast of a new slice factor gamma.
+  kGammaUpdate = 6,
+  /// Final aggregation result emitted by the root (for sinks / tests).
+  kResult = 7,
+  /// Serialized t-digest summary for one window (decentralized sketch mode).
+  kSketchSummary = 8,
+  /// Control: orderly shutdown of a node's run loop.
+  kShutdown = 9,
+  /// Data-stream node -> local node: event time has advanced to this instant
+  /// (all of the sender's events up to it were shipped). The edge node's
+  /// watermark is the minimum across its stream nodes.
+  kTimeAdvance = 10,
+};
+
+/// \brief Returns a readable name for a message type, e.g. "EventBatch".
+const char* MessageTypeToString(MessageType type);
+
+/// Fixed per-message envelope overhead charged to the wire (type + src + dst
+/// + payload length), mirroring a small framed TCP protocol.
+inline constexpr uint64_t kEnvelopeWireBytes =
+    sizeof(uint16_t) + 2 * sizeof(NodeId) + sizeof(uint32_t);
+
+/// \brief A framed message travelling between nodes.
+///
+/// The payload is already serialized; `WireBytes()` is the exact number of
+/// bytes the link metrics charge for the transfer.
+struct Message {
+  MessageType type = MessageType::kShutdown;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::vector<uint8_t> payload;
+  /// Processing-time instant the message was handed to the network (set by
+  /// `Network::Send`; used for queueing statistics).
+  TimestampUs send_time_us = 0;
+  /// Raw events carried in the payload (metadata only, not on the wire);
+  /// feeds the paper's event-count network-cost metric.
+  uint64_t event_count = 0;
+
+  /// Total bytes on the wire: envelope + payload.
+  uint64_t WireBytes() const { return kEnvelopeWireBytes + payload.size(); }
+};
+
+/// \brief Payload: a batch of events belonging to one window.
+///
+/// Used by the centralized baseline (all events to root), the Desis baseline
+/// (sorted runs to root), and Dema's calculation step (candidate events).
+struct EventBatch {
+  WindowId window_id = 0;
+  /// True when the events are sorted by the global event order.
+  bool sorted = false;
+  /// True when this is the final batch for (src, window_id).
+  bool last_batch = false;
+  /// Wire encoding for the event payload (serialize-side choice; the decoder
+  /// reads whatever tag the stream carries).
+  EventCodec codec = EventCodec::kFixed;
+  std::vector<Event> events;
+
+  /// Serializes this payload into \p w.
+  void SerializeTo(Writer* w) const;
+  /// Parses a payload from \p r.
+  static Result<EventBatch> Deserialize(Reader* r);
+  /// Raw events carried (for the envelope's event-count metadata).
+  uint64_t WireEventCount() const { return events.size(); }
+
+  /// Fast path for consumers that only need the measurement values (e.g. the
+  /// sketch root): streams `fn(double value)` per event without
+  /// materializing `Event` objects. Works for both wire codecs; the fixed
+  /// codec uses a validated raw stride. Returns the number of events.
+  template <typename Fn>
+  static Result<uint64_t> ForEachValue(const std::vector<uint8_t>& payload,
+                                       Fn&& fn) {
+    Reader r(payload);
+    uint64_t window_id = 0;
+    uint8_t sorted = 0, last = 0;
+    DEMA_RETURN_NOT_OK(r.GetU64(&window_id));
+    DEMA_RETURN_NOT_OK(r.GetU8(&sorted));
+    DEMA_RETURN_NOT_OK(r.GetU8(&last));
+    uint64_t count = 0;
+    DEMA_RETURN_NOT_OK(ForEachEncodedValue(&r, std::forward<Fn>(fn), &count));
+    return count;
+  }
+
+  /// Reads just the window id from a serialized payload (fast-path helper).
+  static Result<WindowId> PeekWindowId(const std::vector<uint8_t>& payload);
+};
+
+/// \brief Payload: end-of-window marker carrying the local window size.
+///
+/// Lets the root learn each local window's event count even when events were
+/// streamed in multiple batches.
+struct WindowEnd {
+  WindowId window_id = 0;
+  uint64_t local_window_size = 0;
+  /// Processing-time instant the local window closed (latency metric input).
+  TimestampUs close_time_us = 0;
+
+  void SerializeTo(Writer* w) const;
+  static Result<WindowEnd> Deserialize(Reader* r);
+};
+
+/// \brief Payload: a data-stream node's event-time progress marker.
+struct TimeAdvance {
+  /// All events with timestamp < watermark_us were shipped by the sender.
+  TimestampUs watermark_us = 0;
+  /// True on the sender's final marker (end of stream).
+  bool final_marker = false;
+
+  void SerializeTo(Writer* w) const;
+  static Result<TimeAdvance> Deserialize(Reader* r);
+};
+
+/// Detects payloads that report a raw-event count for the cost metric.
+template <typename P>
+concept HasWireEventCount = requires(const P& p) {
+  { p.WireEventCount() } -> std::convertible_to<uint64_t>;
+};
+
+/// \brief Convenience: frames \p payload-serializing function output into a
+/// message of the given type.
+template <typename Payload>
+Message MakeMessage(MessageType type, NodeId src, NodeId dst, const Payload& p) {
+  Writer w;
+  p.SerializeTo(&w);
+  Message m;
+  m.type = type;
+  m.src = src;
+  m.dst = dst;
+  m.payload = w.TakeBuffer();
+  if constexpr (HasWireEventCount<Payload>) {
+    m.event_count = p.WireEventCount();
+  }
+  return m;
+}
+
+}  // namespace dema::net

@@ -1,0 +1,126 @@
+#include "net/network.h"
+
+namespace dema::net {
+
+Network::Network(const Clock* clock) : Network(clock, Options()) {}
+
+Status Network::RegisterNode(NodeId id) {
+  return RegisterNode(id, options_.inbox_capacity);
+}
+
+Status Network::RegisterNode(NodeId id, size_t inbox_capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      inboxes_.emplace(id, std::make_unique<Channel>(inbox_capacity));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("node " + std::to_string(id) +
+                                 " already registered");
+  }
+  order_.push_back(id);
+  return Status::OK();
+}
+
+Channel* Network::Inbox(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inboxes_.find(id);
+  return it == inboxes_.end() ? nullptr : it->second.get();
+}
+
+void Network::ChargeLocked(const Message& m) {
+  LinkStats& link = links_[MakeKey(m.src, m.dst)];
+  link.counters.messages += 1;
+  link.counters.bytes += m.WireBytes();
+  link.counters.events += m.event_count;
+  link.simulated_transfer_us += options_.link_model.TransferTimeUs(m.WireBytes());
+  TrafficCounters& tc = by_type_[m.type];
+  tc.messages += 1;
+  tc.bytes += m.WireBytes();
+  tc.events += m.event_count;
+}
+
+Status Network::Send(Message m) {
+  Channel* inbox = nullptr;
+  bool duplicate = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inboxes_.find(m.dst);
+    if (it == inboxes_.end()) {
+      return Status::NotFound("unknown destination node " + std::to_string(m.dst));
+    }
+    inbox = it->second.get();
+    ChargeLocked(m);
+    if (options_.duplicate_prob > 0 &&
+        fault_rng_.Bernoulli(options_.duplicate_prob)) {
+      // Retransmission: the wire carries the message again.
+      ChargeLocked(m);
+      ++duplicates_injected_;
+      duplicate = true;
+    }
+  }
+  m.send_time_us = clock_->NowUs();
+  // Push outside the lock: a full inbox must not block unrelated senders.
+  if (duplicate) {
+    Message copy = m;
+    if (!inbox->Push(std::move(copy))) {
+      return Status::NetworkError("inbox of node closed");
+    }
+  }
+  if (!inbox->Push(std::move(m))) {
+    return Status::NetworkError("inbox of node closed");
+  }
+  return Status::OK();
+}
+
+uint64_t Network::duplicates_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicates_injected_;
+}
+
+Network::LinkStats Network::GetLinkStats(NodeId src, NodeId dst) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find(MakeKey(src, dst));
+  return it == links_.end() ? LinkStats{} : it->second;
+}
+
+std::map<std::pair<NodeId, NodeId>, Network::LinkStats> Network::AllLinks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::pair<NodeId, NodeId>, LinkStats> out;
+  for (const auto& [key, stats] : links_) {
+    NodeId src = static_cast<NodeId>(key >> 32);
+    NodeId dst = static_cast<NodeId>(key & 0xFFFFFFFFu);
+    out[{src, dst}] = stats;
+  }
+  return out;
+}
+
+Network::LinkStats Network::TotalStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LinkStats total;
+  for (const auto& [key, stats] : links_) {
+    (void)key;
+    total.counters += stats.counters;
+    total.simulated_transfer_us += stats.simulated_transfer_us;
+  }
+  return total;
+}
+
+std::map<MessageType, TrafficCounters> Network::StatsByType() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_type_;
+}
+
+void Network::CloseAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, inbox] : inboxes_) {
+    (void)id;
+    inbox->Close();
+  }
+}
+
+std::vector<NodeId> Network::nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_;
+}
+
+}  // namespace dema::net

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "net/channel.h"
+#include "net/message.h"
+
+namespace dema::net {
+
+/// \brief Analytic model of a point-to-point link.
+///
+/// Used for *reporting* only: the paper excludes network transfer time from
+/// latency ("dominated by the network setup"), so the fabric never delays
+/// delivery; it accumulates the simulated wire time a deployment would spend.
+struct LinkModel {
+  /// Link bandwidth; default 25 Gbit/s as in the paper's cluster.
+  double bandwidth_bytes_per_sec = 25e9 / 8.0;
+  /// One-way propagation + framing latency per message.
+  DurationUs base_latency_us = 50;
+
+  /// Simulated wire time for a message of \p bytes.
+  double TransferTimeUs(uint64_t bytes) const {
+    return static_cast<double>(base_latency_us) +
+           static_cast<double>(bytes) / bandwidth_bytes_per_sec * 1e6;
+  }
+};
+
+/// \brief In-process network fabric connecting simulated nodes.
+///
+/// Each registered node owns an inbox `Channel`; `Send` delivers a framed
+/// message to the destination inbox and charges the (src, dst) link metrics:
+/// message count, wire bytes, carried raw events, and modelled transfer time.
+/// These per-link counters are what the network-cost experiments (Fig. 6)
+/// report.
+class Network {
+ public:
+  struct Options {
+    /// Inbox capacity in messages; 0 = unbounded. A bounded inbox gives
+    /// backpressure, which the sustainable-throughput harness relies on.
+    size_t inbox_capacity = 0;
+    /// Analytic link model for simulated transfer-time reporting.
+    LinkModel link_model;
+    /// Fault injection: probability that a sent message is delivered twice
+    /// (models at-least-once transports that retransmit). Duplicates are
+    /// charged to the link metrics like any other transfer.
+    double duplicate_prob = 0;
+    /// Seed for the fault-injection draw (deterministic runs).
+    uint64_t fault_seed = 1;
+  };
+
+  /// Creates a fabric with default options; \p clock stamps send times (must
+  /// outlive the network).
+  explicit Network(const Clock* clock);
+
+  /// Creates a fabric with explicit options.
+  Network(const Clock* clock, Options options)
+      : clock_(clock), options_(options), fault_rng_(options.fault_seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node and creates its inbox with the fabric-default
+  /// capacity. Fails on duplicate ids.
+  Status RegisterNode(NodeId id);
+
+  /// Registers a node with an explicit inbox capacity (0 = unbounded).
+  Status RegisterNode(NodeId id, size_t inbox_capacity);
+
+  /// The inbox of \p id, or nullptr when unknown. The pointer stays valid for
+  /// the lifetime of the network.
+  Channel* Inbox(NodeId id);
+
+  /// Delivers \p m to `m.dst`'s inbox (blocking under backpressure) and
+  /// charges the (src, dst) link. Fails when the destination is unknown or
+  /// its inbox is closed.
+  Status Send(Message m);
+
+  /// Cumulative per-link traffic totals.
+  struct LinkStats {
+    TrafficCounters counters;
+    /// Sum of modelled wire times of all messages on this link.
+    double simulated_transfer_us = 0;
+  };
+
+  /// Traffic on the directed link src -> dst (zeroes when never used).
+  LinkStats GetLinkStats(NodeId src, NodeId dst) const;
+
+  /// Every directed link that carried traffic, keyed by (src, dst).
+  std::map<std::pair<NodeId, NodeId>, LinkStats> AllLinks() const;
+
+  /// Sum of traffic over all links.
+  LinkStats TotalStats() const;
+
+  /// Traffic broken down by message type, summed over all links.
+  std::map<MessageType, TrafficCounters> StatsByType() const;
+
+  /// Closes every inbox (consumers drain, producers fail).
+  void CloseAll();
+
+  /// Registered node ids, in registration order.
+  std::vector<NodeId> nodes() const;
+
+  /// The link model in use.
+  const LinkModel& link_model() const { return options_.link_model; }
+
+ private:
+  using LinkKey = uint64_t;
+  static LinkKey MakeKey(NodeId src, NodeId dst) {
+    return (static_cast<uint64_t>(src) << 32) | dst;
+  }
+
+  /// Charges \p m to the (src, dst) link and per-type counters (mu_ held).
+  void ChargeLocked(const Message& m);
+
+  const Clock* clock_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<NodeId, std::unique_ptr<Channel>> inboxes_;
+  std::vector<NodeId> order_;
+  std::map<LinkKey, LinkStats> links_;
+  std::map<MessageType, TrafficCounters> by_type_;
+  Rng fault_rng_{1};
+  uint64_t duplicates_injected_ = 0;
+
+ public:
+  /// Number of duplicate deliveries injected so far.
+  uint64_t duplicates_injected() const;
+};
+
+}  // namespace dema::net

@@ -1,0 +1,66 @@
+#include "net/serializer.h"
+
+namespace dema::net {
+
+Status Reader::GetString(std::string* out) {
+  uint32_t len = 0;
+  DEMA_RETURN_NOT_OK(GetU32(&len));
+  if (pos_ + len > size_) {
+    return Status::SerializationError("string length " + std::to_string(len) +
+                                      " exceeds remaining buffer");
+  }
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Reader::GetVarint(uint64_t* out) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (shift >= 64) {
+      return Status::SerializationError("varint longer than 64 bits");
+    }
+    uint8_t byte = 0;
+    DEMA_RETURN_NOT_OK(GetU8(&byte));
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status Reader::GetZigzag(int64_t* out) {
+  uint64_t raw = 0;
+  DEMA_RETURN_NOT_OK(GetVarint(&raw));
+  *out = static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  return Status::OK();
+}
+
+Status Reader::GetEvent(Event* out) {
+  DEMA_RETURN_NOT_OK(GetDouble(&out->value));
+  DEMA_RETURN_NOT_OK(GetI64(&out->timestamp));
+  DEMA_RETURN_NOT_OK(GetU32(&out->node));
+  DEMA_RETURN_NOT_OK(GetU32(&out->seq));
+  return Status::OK();
+}
+
+Status Reader::GetEvents(std::vector<Event>* out) {
+  uint32_t n = 0;
+  DEMA_RETURN_NOT_OK(GetU32(&n));
+  if (static_cast<size_t>(n) * kEventWireBytes > remaining()) {
+    return Status::SerializationError("event count " + std::to_string(n) +
+                                      " exceeds remaining buffer");
+  }
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Event e;
+    DEMA_RETURN_NOT_OK(GetEvent(&e));
+    out->push_back(e);
+  }
+  return Status::OK();
+}
+
+}  // namespace dema::net

@@ -1,0 +1,463 @@
+#include "sim/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "gen/disorder.h"
+#include "stream/window.h"
+
+namespace dema::sim {
+
+WorkloadConfig MakeUniformWorkload(size_t num_locals, uint64_t num_windows,
+                                   double event_rate,
+                                   const gen::DistributionParams& distribution,
+                                   const std::vector<double>& scale_rates,
+                                   uint64_t seed_base) {
+  WorkloadConfig workload;
+  workload.num_windows = num_windows;
+  for (size_t i = 0; i < num_locals; ++i) {
+    gen::GeneratorConfig cfg;
+    cfg.node = static_cast<NodeId>(i + 1);
+    cfg.seed = seed_base + i * 7919;  // distinct streams per node
+    cfg.distribution = distribution;
+    cfg.event_rate = event_rate;
+    cfg.scale_rate = i < scale_rates.size() ? scale_rates[i] : 1.0;
+    workload.generators.push_back(cfg);
+  }
+  return workload;
+}
+
+// ---------------------------------------------------------------------------
+// SyncDriver
+// ---------------------------------------------------------------------------
+
+SyncDriver::SyncDriver(System* system, net::Network* network, const Clock* clock)
+    : system_(system), network_(network), clock_(clock) {
+  (void)clock_;
+}
+
+namespace {
+/// Microseconds spent in \p fn, measured on the monotonic clock.
+template <typename Fn>
+double TimedUs(Fn&& fn, Status* st) {
+  auto start = std::chrono::steady_clock::now();
+  *st = fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+}  // namespace
+
+Status SyncDriver::PumpMessages() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    net::Channel* root_inbox = network_->Inbox(system_->root_id);
+    while (auto msg = root_inbox->TryPop()) {
+      Status st;
+      root_busy_us_ += TimedUs([&] { return system_->root->OnMessage(*msg); }, &st);
+      DEMA_RETURN_NOT_OK(st);
+      progress = true;
+    }
+    for (size_t i = 0; i < system_->locals.size(); ++i) {
+      net::Channel* inbox = network_->Inbox(system_->local_ids[i]);
+      while (auto msg = inbox->TryPop()) {
+        Status st;
+        local_busy_us_[i] +=
+            TimedUs([&] { return system_->locals[i]->OnMessage(*msg); }, &st);
+        DEMA_RETURN_NOT_OK(st);
+        progress = true;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double SyncDriver::max_local_busy_seconds() const {
+  double max_us = 0;
+  for (double b : local_busy_us_) max_us = std::max(max_us, b);
+  return max_us / 1e6;
+}
+
+Status SyncDriver::Run(const WorkloadConfig& workload) {
+  if (workload.generators.size() != system_->locals.size()) {
+    return Status::InvalidArgument("generator count != local node count");
+  }
+  if (workload.max_disorder_us > 0) return RunDisordered(workload);
+  std::vector<std::unique_ptr<gen::StreamGenerator>> gens;
+  for (const auto& cfg : workload.generators) {
+    DEMA_ASSIGN_OR_RETURN(auto g, gen::StreamGenerator::Create(cfg));
+    gens.push_back(std::move(g));
+  }
+  system_->root->SetResultCallback(
+      [this](const WindowOutput& out) { outputs_.push_back(out); });
+
+  if (record_events_) recorded_.assign(workload.num_windows, {});
+  local_busy_us_.assign(system_->locals.size(), 0.0);
+  root_busy_us_ = 0;
+
+  for (uint64_t w = 0; w < workload.num_windows; ++w) {
+    TimestampUs start = static_cast<TimestampUs>(w) * workload.window_len_us;
+    TimestampUs end = start + workload.window_len_us;
+    for (size_t i = 0; i < gens.size(); ++i) {
+      std::vector<Event> events =
+          gens[i]->GenerateWindow(start, workload.window_len_us);
+      Status st;
+      local_busy_us_[i] += TimedUs(
+          [&]() -> Status {
+            for (const Event& e : events) {
+              DEMA_RETURN_NOT_OK(system_->locals[i]->OnEvent(e));
+            }
+            return Status::OK();
+          },
+          &st);
+      DEMA_RETURN_NOT_OK(st);
+      events_ingested_ += events.size();
+      if (record_events_) {
+        auto& rec = recorded_[w];
+        rec.insert(rec.end(), events.begin(), events.end());
+      }
+    }
+    for (size_t i = 0; i < system_->locals.size(); ++i) {
+      Status st;
+      local_busy_us_[i] +=
+          TimedUs([&] { return system_->locals[i]->OnWatermark(end); }, &st);
+      DEMA_RETURN_NOT_OK(st);
+    }
+    DEMA_RETURN_NOT_OK(PumpMessages());
+  }
+  TimestampUs final_ts =
+      static_cast<TimestampUs>(workload.num_windows) * workload.window_len_us;
+  for (size_t i = 0; i < system_->locals.size(); ++i) {
+    Status st;
+    local_busy_us_[i] +=
+        TimedUs([&] { return system_->locals[i]->OnFinish(final_ts); }, &st);
+    DEMA_RETURN_NOT_OK(st);
+  }
+  DEMA_RETURN_NOT_OK(PumpMessages());
+
+  if (system_->root->windows_emitted() != workload.ExpectedWindows()) {
+    return Status::Internal(
+        "root emitted " + std::to_string(system_->root->windows_emitted()) +
+        " windows, expected " + std::to_string(workload.ExpectedWindows()));
+  }
+  if (!system_->root->idle()) {
+    return Status::Internal("root still has pending windows after run");
+  }
+  return Status::OK();
+}
+
+Status SyncDriver::RunDisordered(const WorkloadConfig& workload) {
+  // Bounded-disorder mode: every node's stream is shuffled within
+  // max_disorder_us of event time and watermarks are held back by the
+  // allowed lateness. Chunked round-robin processing keeps nodes loosely in
+  // step, as concurrent execution would.
+  const TimestampUs horizon =
+      static_cast<TimestampUs>(workload.num_windows) * workload.window_len_us;
+  system_->root->SetResultCallback(
+      [this](const WindowOutput& out) { outputs_.push_back(out); });
+  local_busy_us_.assign(system_->locals.size(), 0.0);
+  root_busy_us_ = 0;
+  if (record_events_) recorded_.assign(workload.num_windows, {});
+
+  std::vector<std::vector<Event>> streams;
+  for (size_t i = 0; i < workload.generators.size(); ++i) {
+    gen::DisorderedSource::Options opts;
+    opts.max_disorder_us = workload.max_disorder_us;
+    opts.seed = workload.generators[i].seed + 77'777;
+    DEMA_ASSIGN_OR_RETURN(
+        auto source, gen::DisorderedSource::Create(workload.generators[i], opts));
+    streams.push_back(source->DeliverAll(horizon));
+    if (record_events_) {
+      for (const Event& e : streams.back()) {
+        recorded_[static_cast<size_t>(e.timestamp / workload.window_len_us)]
+            .push_back(e);
+      }
+    }
+  }
+
+  constexpr size_t kChunk = 512;
+  std::vector<size_t> pos(streams.size(), 0);
+  std::vector<TimestampUs> max_ts(streams.size(), 0);
+  bool remaining = true;
+  while (remaining) {
+    remaining = false;
+    for (size_t i = 0; i < streams.size(); ++i) {
+      size_t end = std::min(streams[i].size(), pos[i] + kChunk);
+      if (pos[i] >= end) continue;
+      remaining = true;
+      Status st;
+      local_busy_us_[i] += TimedUs(
+          [&]() -> Status {
+            for (; pos[i] < end; ++pos[i]) {
+              const Event& e = streams[i][pos[i]];
+              max_ts[i] = std::max(max_ts[i], e.timestamp);
+              DEMA_RETURN_NOT_OK(system_->locals[i]->OnEvent(e));
+            }
+            TimestampUs held_back =
+                max_ts[i] > workload.allowed_lateness_us
+                    ? max_ts[i] - workload.allowed_lateness_us
+                    : 0;
+            return system_->locals[i]->OnWatermark(held_back);
+          },
+          &st);
+      DEMA_RETURN_NOT_OK(st);
+      events_ingested_ += end > 0 ? 0 : 0;
+    }
+    DEMA_RETURN_NOT_OK(PumpMessages());
+  }
+  for (const auto& stream : streams) events_ingested_ += stream.size();
+
+  for (size_t i = 0; i < system_->locals.size(); ++i) {
+    Status st;
+    local_busy_us_[i] +=
+        TimedUs([&] { return system_->locals[i]->OnFinish(horizon); }, &st);
+    DEMA_RETURN_NOT_OK(st);
+  }
+  DEMA_RETURN_NOT_OK(PumpMessages());
+
+  if (system_->root->windows_emitted() != workload.ExpectedWindows()) {
+    return Status::Internal(
+        "root emitted " + std::to_string(system_->root->windows_emitted()) +
+        " windows, expected " + std::to_string(workload.ExpectedWindows()));
+  }
+  if (!system_->root->idle()) {
+    return Status::Internal("root still has pending windows after run");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ThreadedDriver
+// ---------------------------------------------------------------------------
+
+ThreadedDriver::ThreadedDriver(System* system, net::Network* network,
+                               const Clock* clock, ThreadedDriverOptions options)
+    : system_(system), network_(network), clock_(clock), options_(options) {}
+
+Result<RunMetrics> ThreadedDriver::Run(const WorkloadConfig& workload) {
+  if (workload.generators.size() != system_->locals.size()) {
+    return Status::InvalidArgument("generator count != local node count");
+  }
+
+  struct Shared {
+    std::atomic<bool> stop{false};
+    std::atomic<bool> root_done{false};
+    std::atomic<uint64_t> windows_done{0};
+    std::atomic<uint64_t> events_ingested{0};
+    std::mutex error_mu;
+    Status first_error;
+    LatencyRecorder latency;
+  } shared;
+
+  auto report_error = [&](const Status& st) {
+    {
+      std::lock_guard<std::mutex> lock(shared.error_mu);
+      if (shared.first_error.ok()) shared.first_error = st;
+    }
+    shared.stop.store(true);
+    network_->CloseAll();
+  };
+
+  const uint64_t num_windows = workload.ExpectedWindows();
+  system_->root->SetResultCallback([&](const WindowOutput& out) {
+    shared.latency.Record(out.latency_us);
+    shared.windows_done.fetch_add(1);
+  });
+
+  auto wall_start = std::chrono::steady_clock::now();
+
+  std::thread root_thread([&] {
+    net::Channel* inbox = network_->Inbox(system_->root_id);
+    while (!shared.stop.load(std::memory_order_relaxed)) {
+      if (shared.windows_done.load(std::memory_order_relaxed) >= num_windows) {
+        shared.root_done.store(true);
+        return;
+      }
+      auto msg = inbox->PopFor(MillisUs(2));
+      if (!msg) continue;
+      Status st = system_->root->OnMessage(*msg);
+      if (!st.ok()) {
+        report_error(st);
+        return;
+      }
+    }
+    shared.root_done.store(true);
+  });
+
+  std::vector<std::thread> local_threads;
+  for (size_t i = 0; i < system_->locals.size(); ++i) {
+    local_threads.emplace_back([&, i] {
+      auto gen_result = gen::StreamGenerator::Create(workload.generators[i]);
+      if (!gen_result.ok()) {
+        report_error(gen_result.status());
+        return;
+      }
+      auto gen = std::move(gen_result).MoveValueUnsafe();
+      LocalNodeLogic* logic = system_->locals[i].get();
+      net::Channel* inbox = network_->Inbox(system_->local_ids[i]);
+      stream::TumblingWindowAssigner assigner(workload.window_len_us);
+      TimestampUs end_time =
+          static_cast<TimestampUs>(workload.num_windows) * workload.window_len_us;
+
+      auto fail_unless_shutdown = [&](const Status& st) {
+        // Errors caused by the driver tearing the network down are benign.
+        if (st.ok() || shared.stop.load() || shared.root_done.load()) return true;
+        report_error(st);
+        return false;
+      };
+
+      uint64_t count = 0;
+      net::WindowId last_window = 0;
+      while (gen->next_time_us() < end_time) {
+        if (shared.stop.load(std::memory_order_relaxed) ||
+            shared.root_done.load(std::memory_order_relaxed)) {
+          return;  // aborted or root already satisfied
+        }
+        Event e = gen->Next();
+        net::WindowId wid = assigner.AssignWindow(e.timestamp);
+        if (wid != last_window) {
+          if (!fail_unless_shutdown(logic->OnWatermark(e.timestamp))) return;
+          last_window = wid;
+        }
+        if (!fail_unless_shutdown(logic->OnEvent(e))) return;
+        ++count;
+        if (count % options_.watermark_every == 0) {
+          if (!fail_unless_shutdown(logic->OnWatermark(e.timestamp))) return;
+          while (auto msg = inbox->TryPop()) {
+            if (!fail_unless_shutdown(logic->OnMessage(*msg))) return;
+          }
+        }
+      }
+      shared.events_ingested.fetch_add(count);
+      if (!fail_unless_shutdown(logic->OnFinish(end_time))) return;
+      // Keep serving candidate requests until the root has everything.
+      while (!shared.stop.load(std::memory_order_relaxed) &&
+             !shared.root_done.load(std::memory_order_relaxed)) {
+        auto msg = inbox->PopFor(MillisUs(2));
+        if (!msg) continue;
+        if (!fail_unless_shutdown(logic->OnMessage(*msg))) return;
+      }
+    });
+  }
+
+  // Watchdog: wall-clock timeout.
+  TimestampUs deadline_us = options_.timeout_us;
+  while (!shared.root_done.load() && !shared.stop.load()) {
+    auto elapsed = std::chrono::steady_clock::now() - wall_start;
+    if (std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count() >
+        deadline_us) {
+      report_error(Status::Internal(
+          "threaded run timed out with " +
+          std::to_string(shared.windows_done.load()) + "/" +
+          std::to_string(num_windows) + " windows emitted"));
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  root_thread.join();
+  auto wall_end = std::chrono::steady_clock::now();
+  // Unblock any local stuck in a bounded Push, then collect the threads.
+  shared.stop.store(true);
+  network_->CloseAll();
+  for (auto& t : local_threads) t.join();
+
+  {
+    std::lock_guard<std::mutex> lock(shared.error_mu);
+    if (!shared.first_error.ok()) return shared.first_error;
+  }
+
+  RunMetrics metrics;
+  metrics.events_ingested = shared.events_ingested.load();
+  metrics.windows_emitted = shared.windows_done.load();
+  metrics.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  metrics.throughput_eps =
+      metrics.wall_seconds > 0
+          ? static_cast<double>(metrics.events_ingested) / metrics.wall_seconds
+          : 0;
+  metrics.latency = shared.latency.Summarize();
+  auto total = network_->TotalStats();
+  metrics.network_total = total.counters;
+  metrics.simulated_transfer_us = total.simulated_transfer_us;
+  metrics.by_type = network_->StatsByType();
+  if (auto* dema_root = dynamic_cast<core::DemaRootNode*>(system_->root.get())) {
+    metrics.dema = dema_root->stats();
+  }
+  return metrics;
+}
+
+// ---------------------------------------------------------------------------
+// Convenience runners
+// ---------------------------------------------------------------------------
+
+Result<RunMetrics> RunThreaded(const SystemConfig& system_config,
+                               const WorkloadConfig& workload,
+                               size_t root_inbox_capacity) {
+  RealClock clock;
+  net::Network network(&clock);
+  DEMA_ASSIGN_OR_RETURN(
+      System system, BuildSystem(system_config, &network, &clock,
+                                 root_inbox_capacity));
+  WorkloadConfig load = workload;
+  load.window_len_us = system_config.window_len_us;
+  load.window_slide_us = system_config.window_slide_us;
+  ThreadedDriver driver(&system, &network, &clock);
+  return driver.Run(load);
+}
+
+Result<RunMetrics> RunSync(const SystemConfig& system_config,
+                           const WorkloadConfig& workload) {
+  RealClock clock;
+  net::Network network(&clock);
+  DEMA_ASSIGN_OR_RETURN(System system,
+                        BuildSystem(system_config, &network, &clock,
+                                    /*root_inbox_capacity=*/0));
+  WorkloadConfig load = workload;
+  load.window_len_us = system_config.window_len_us;
+  load.window_slide_us = system_config.window_slide_us;
+  SyncDriver driver(&system, &network, &clock);
+  auto wall_start = std::chrono::steady_clock::now();
+  DEMA_RETURN_NOT_OK(driver.Run(load));
+  auto wall_end = std::chrono::steady_clock::now();
+
+  RunMetrics metrics;
+  metrics.events_ingested = driver.events_ingested();
+  metrics.windows_emitted = system.root->windows_emitted();
+  metrics.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  metrics.throughput_eps =
+      metrics.wall_seconds > 0
+          ? static_cast<double>(metrics.events_ingested) / metrics.wall_seconds
+          : 0;
+  LatencyRecorder latency;
+  for (const WindowOutput& out : driver.outputs()) {
+    latency.Record(out.latency_us);
+  }
+  metrics.latency = latency.Summarize();
+  auto total = network.TotalStats();
+  metrics.network_total = total.counters;
+  metrics.simulated_transfer_us = total.simulated_transfer_us;
+  metrics.by_type = network.StatsByType();
+  if (auto* dema_root = dynamic_cast<core::DemaRootNode*>(system.root.get())) {
+    metrics.dema = dema_root->stats();
+  }
+  metrics.root_busy_seconds = driver.root_busy_seconds();
+  metrics.max_local_busy_seconds = driver.max_local_busy_seconds();
+  double bottleneck_seconds =
+      std::max(metrics.root_busy_seconds, metrics.max_local_busy_seconds);
+  metrics.sim_throughput_eps =
+      bottleneck_seconds > 0
+          ? static_cast<double>(metrics.events_ingested) / bottleneck_seconds
+          : 0;
+  metrics.bottleneck =
+      metrics.root_busy_seconds >= metrics.max_local_busy_seconds ? "root"
+                                                                  : "local";
+  return metrics;
+}
+
+}  // namespace dema::sim

@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "gen/generator.h"
+#include "net/network.h"
+#include "sim/metrics.h"
+#include "sim/node.h"
+#include "sim/topology.h"
+#include "stream/window.h"
+
+namespace dema::sim {
+
+/// \brief Per-local-node workload description for a run.
+struct WorkloadConfig {
+  /// Value distribution and pacing for each local node's generator; one entry
+  /// per local node (entry i drives local_ids[i]).
+  std::vector<gen::GeneratorConfig> generators;
+  /// Number of window-lengths of event time to generate (for tumbling
+  /// windows this is exactly the number of emitted windows; for sliding
+  /// windows more windows close within the same horizon).
+  uint64_t num_windows = 10;
+  /// Window lifespan; must match the system's (the convenience runners copy
+  /// it from the system config).
+  DurationUs window_len_us = kMicrosPerSecond;
+  /// Slide step; 0 = tumbling. Must match the system's.
+  DurationUs window_slide_us = 0;
+  /// Bounded out-of-order delivery: each event may arrive up to this much
+  /// event time late (0 = perfectly ordered).
+  DurationUs max_disorder_us = 0;
+  /// Watermark hold-back. With allowed_lateness >= max_disorder no event is
+  /// dropped and results stay exact; smaller values trade completeness for
+  /// freshness (drops are counted by the window managers).
+  DurationUs allowed_lateness_us = 0;
+
+  /// Windows that fully close within the generated event-time horizon.
+  uint64_t ExpectedWindows() const {
+    stream::SlidingWindowAssigner assigner(
+        stream::WindowSpec{window_len_us, window_slide_us});
+    return assigner.ClosedUpTo(static_cast<TimestampUs>(num_windows) *
+                               window_len_us);
+  }
+};
+
+/// \brief Builds a homogeneous workload: every node runs the same
+/// distribution with a distinct seed; node i's value scale is
+/// \p scale_rates[i] (1.0 when the vector is shorter).
+WorkloadConfig MakeUniformWorkload(size_t num_locals, uint64_t num_windows,
+                                   double event_rate,
+                                   const gen::DistributionParams& distribution,
+                                   const std::vector<double>& scale_rates = {},
+                                   uint64_t seed_base = 1000);
+
+/// \brief Deterministic single-threaded driver (tests, accuracy experiments,
+/// network-cost accounting).
+///
+/// Generates each window's events for every node, feeds them through the
+/// node logic, then pumps messages until the system is quiescent. All
+/// ordering is deterministic given the generator seeds.
+class SyncDriver {
+ public:
+  /// Wires the driver; \p system nodes must be registered on \p network.
+  SyncDriver(System* system, net::Network* network, const Clock* clock);
+
+  /// Runs the whole workload; fails on the first node error.
+  Status Run(const WorkloadConfig& workload);
+
+  /// Outputs emitted by the root, in emission order.
+  const std::vector<WindowOutput>& outputs() const { return outputs_; }
+
+  /// When enabled before Run, keeps every generated event per window so
+  /// tests can compute oracle quantiles.
+  void set_record_events(bool record) { record_events_ = record; }
+  /// Generated events per window id (only when recording was enabled).
+  const std::vector<std::vector<Event>>& recorded_events() const {
+    return recorded_;
+  }
+
+  /// Total events ingested.
+  uint64_t events_ingested() const { return events_ingested_; }
+
+  /// Busy seconds of local node \p i (work it performed on its own "CPU").
+  double local_busy_seconds(size_t i) const { return local_busy_us_[i] / 1e6; }
+  /// Busy seconds of the root node.
+  double root_busy_seconds() const { return root_busy_us_ / 1e6; }
+  /// Busy seconds of the busiest local node.
+  double max_local_busy_seconds() const;
+
+ private:
+  /// Dispatches queued messages until every inbox is empty, charging each
+  /// node's busy-time account.
+  Status PumpMessages();
+  /// Out-of-order mode (max_disorder_us > 0): chunked round-robin delivery
+  /// with held-back watermarks.
+  Status RunDisordered(const WorkloadConfig& workload);
+
+  System* system_;
+  net::Network* network_;
+  const Clock* clock_;
+  std::vector<WindowOutput> outputs_;
+  std::vector<std::vector<Event>> recorded_;
+  bool record_events_ = false;
+  uint64_t events_ingested_ = 0;
+  std::vector<double> local_busy_us_;
+  double root_busy_us_ = 0;
+};
+
+/// \brief Options for the threaded driver.
+struct ThreadedDriverOptions {
+  /// Abort the run when the root has not finished within this wall time.
+  DurationUs timeout_us = 120 * kMicrosPerSecond;
+  /// Local nodes hand watermarks to the logic every this many events (window
+  /// boundaries always force one).
+  size_t watermark_every = 4096;
+};
+
+/// \brief Thread-per-node driver measuring throughput and latency.
+///
+/// Each local node runs its generator at full speed on its own thread
+/// (backpressure from the root's bounded inbox throttles it to the
+/// sustainable rate); the root runs on another thread. Wall-clock throughput
+/// and close-to-emit latency come out in `RunMetrics`.
+class ThreadedDriver {
+ public:
+  ThreadedDriver(System* system, net::Network* network, const Clock* clock,
+                 ThreadedDriverOptions options = ThreadedDriverOptions());
+
+  /// Runs the workload; fails on node errors or timeout.
+  Result<RunMetrics> Run(const WorkloadConfig& workload);
+
+ private:
+  System* system_;
+  net::Network* network_;
+  const Clock* clock_;
+  ThreadedDriverOptions options_;
+};
+
+/// \brief Convenience: builds the system + network, runs the threaded
+/// driver, and returns the metrics (what most benches call).
+Result<RunMetrics> RunThreaded(const SystemConfig& system_config,
+                               const WorkloadConfig& workload,
+                               size_t root_inbox_capacity = 1024);
+
+/// \brief Convenience: builds the system + network and runs the synchronous
+/// driver, returning metrics with network accounting (no meaningful wall
+/// time). Used by network-cost experiments where determinism matters.
+Result<RunMetrics> RunSync(const SystemConfig& system_config,
+                           const WorkloadConfig& workload);
+
+}  // namespace dema::sim

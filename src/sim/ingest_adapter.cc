@@ -1,0 +1,63 @@
+#include "sim/ingest_adapter.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "net/serializer.h"
+
+namespace dema::sim {
+
+IngestAdapter::IngestAdapter(std::unique_ptr<LocalNodeLogic> inner,
+                             std::vector<NodeId> children)
+    : inner_(std::move(inner)) {
+  for (NodeId child : children) child_watermarks_[child] = 0;
+}
+
+TimestampUs IngestAdapter::MinChildWatermark() const {
+  TimestampUs min_wm = std::numeric_limits<TimestampUs>::max();
+  for (const auto& [child, wm] : child_watermarks_) {
+    (void)child;
+    min_wm = std::min(min_wm, wm);
+  }
+  return child_watermarks_.empty() ? 0 : min_wm;
+}
+
+Status IngestAdapter::OnMessage(const net::Message& msg) {
+  switch (msg.type) {
+    case net::MessageType::kEventBatch: {
+      auto it = child_watermarks_.find(msg.src);
+      if (it == child_watermarks_.end()) {
+        return Status::InvalidArgument("event batch from unregistered sensor " +
+                                       std::to_string(msg.src));
+      }
+      net::Reader r(msg.payload);
+      DEMA_ASSIGN_OR_RETURN(auto batch, net::EventBatch::Deserialize(&r));
+      for (const Event& e : batch.events) {
+        DEMA_RETURN_NOT_OK(inner_->OnEvent(e));
+      }
+      events_ingested_ += batch.events.size();
+      return Status::OK();
+    }
+    case net::MessageType::kTimeAdvance: {
+      auto it = child_watermarks_.find(msg.src);
+      if (it == child_watermarks_.end()) {
+        return Status::InvalidArgument("time advance from unregistered sensor " +
+                                       std::to_string(msg.src));
+      }
+      net::Reader r(msg.payload);
+      DEMA_ASSIGN_OR_RETURN(auto advance, net::TimeAdvance::Deserialize(&r));
+      it->second = std::max(it->second, advance.watermark_us);
+      if (advance.final_marker) ++children_finished_;
+      // The edge's clock only moves when its slowest sensor moves.
+      return inner_->OnWatermark(MinChildWatermark());
+    }
+    default:
+      return inner_->OnMessage(msg);
+  }
+}
+
+Status IngestAdapter::OnFinish(TimestampUs final_watermark_us) {
+  return inner_->OnFinish(final_watermark_us);
+}
+
+}  // namespace dema::sim

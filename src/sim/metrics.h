@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+#include "dema/root_node.h"
+#include "net/network.h"
+
+namespace dema::sim {
+
+/// \brief Everything a benchmark harness needs from one run.
+struct RunMetrics {
+  /// Total events ingested across all local nodes.
+  uint64_t events_ingested = 0;
+  /// Global windows emitted by the root.
+  uint64_t windows_emitted = 0;
+  /// Wall-clock run duration (first event to last result).
+  double wall_seconds = 0;
+  /// events_ingested / wall_seconds.
+  double throughput_eps = 0;
+  /// Window-result latency summary (local close -> root emit).
+  LatencyRecorder::Summary latency;
+  /// Wire traffic summed over all links.
+  net::TrafficCounters network_total;
+  /// Modelled transfer time over all links.
+  double simulated_transfer_us = 0;
+  /// Traffic broken down by message type.
+  std::map<net::MessageType, net::TrafficCounters> by_type;
+  /// Dema-only algorithm counters (zeroes for baselines).
+  core::DemaRootStats dema;
+
+  // --- simulated-parallel model (filled by RunSync) ---
+  //
+  // The synchronous driver executes every node on one OS thread but measures
+  // each node's busy time separately. In a real deployment each node is its
+  // own machine, so the pipeline's sustainable rate is bounded by the
+  // busiest node: sim_throughput_eps = events / max(node busy time). This is
+  // the throughput metric the figure harnesses report (the paper's cluster
+  // has one machine per node; this box has one core total).
+  /// events / busiest-node busy seconds; 0 when not measured.
+  double sim_throughput_eps = 0;
+  /// Root node busy seconds.
+  double root_busy_seconds = 0;
+  /// Busiest local node's busy seconds.
+  double max_local_busy_seconds = 0;
+  /// "root" or "local": which tier bounds the pipeline.
+  const char* bottleneck = "";
+};
+
+/// \brief Renders the metrics as a compact JSON object (machine-readable
+/// output for `demactl --json` and tooling).
+std::string RunMetricsToJson(const RunMetrics& metrics);
+
+}  // namespace dema::sim

@@ -1,0 +1,55 @@
+#include "sim/stream_node.h"
+
+#include <algorithm>
+
+namespace dema::sim {
+
+StreamNode::StreamNode(StreamNodeOptions options, net::Network* network,
+                       std::unique_ptr<gen::StreamGenerator> generator)
+    : options_(options), network_(network), generator_(std::move(generator)) {
+  if (options_.batch_size == 0) options_.batch_size = 1;
+}
+
+Result<std::unique_ptr<StreamNode>> StreamNode::Create(StreamNodeOptions options,
+                                                       net::Network* network) {
+  options.generator.node = options.id;  // events carry the sensor's identity
+  DEMA_ASSIGN_OR_RETURN(auto generator,
+                        gen::StreamGenerator::Create(options.generator));
+  return std::unique_ptr<StreamNode>(
+      new StreamNode(options, network, std::move(generator)));
+}
+
+Status StreamNode::SendBatch(std::vector<Event> events) {
+  if (events.empty()) return Status::OK();
+  net::EventBatch batch;
+  batch.sorted = false;  // raw sensor order = event-time order, not value order
+  batch.codec = options_.codec;
+  batch.events = std::move(events);
+  return network_->Send(net::MakeMessage(net::MessageType::kEventBatch,
+                                         options_.id, options_.parent, batch));
+}
+
+Status StreamNode::SendTimeAdvance(TimestampUs watermark_us, bool final_marker) {
+  net::TimeAdvance advance;
+  advance.watermark_us = watermark_us;
+  advance.final_marker = final_marker;
+  return network_->Send(net::MakeMessage(net::MessageType::kTimeAdvance,
+                                         options_.id, options_.parent, advance));
+}
+
+Status StreamNode::PumpInterval(TimestampUs start_us, DurationUs len_us) {
+  std::vector<Event> events = generator_->GenerateWindow(start_us, len_us);
+  events_produced_ += events.size();
+  for (size_t begin = 0; begin < events.size(); begin += options_.batch_size) {
+    size_t end = std::min(events.size(), begin + options_.batch_size);
+    DEMA_RETURN_NOT_OK(SendBatch(
+        std::vector<Event>(events.begin() + begin, events.begin() + end)));
+  }
+  return SendTimeAdvance(start_us + len_us, /*final_marker=*/false);
+}
+
+Status StreamNode::Finish(TimestampUs final_watermark_us) {
+  return SendTimeAdvance(final_watermark_us, /*final_marker=*/true);
+}
+
+}  // namespace dema::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "gen/generator.h"
+#include "net/codec.h"
+#include "net/network.h"
+
+namespace dema::sim {
+
+/// \brief Configuration of one data-stream (sensor) node — the innermost
+/// tier of the paper's Figure 1 topology.
+struct StreamNodeOptions {
+  /// This sensor's node id.
+  NodeId id = 0;
+  /// The local (edge) node this sensor reports to.
+  NodeId parent = 0;
+  /// Events per EventBatch message on the sensor -> edge link. Sensors are
+  /// weak devices with small buffers; the default keeps framing overhead
+  /// around 1% without batching whole windows.
+  size_t batch_size = 256;
+  /// The sensor's value process and pacing.
+  gen::GeneratorConfig generator;
+  /// Wire encoding for the sensor's event batches.
+  net::EventCodec codec = net::EventCodec::kFixed;
+};
+
+/// \brief A data-stream node: generates raw sensor events and ships them to
+/// its parent local node over the network (Section 2.3, tier (i)).
+///
+/// Events travel in small `EventBatch` messages; a `TimeAdvance` marker
+/// follows each pumped interval so the edge can advance its watermark (the
+/// minimum across its sensors). The driver pumps all stream nodes interval
+/// by interval.
+class StreamNode {
+ public:
+  /// Builds a stream node; fails on invalid generator configuration.
+  static Result<std::unique_ptr<StreamNode>> Create(StreamNodeOptions options,
+                                                    net::Network* network);
+
+  /// Generates every event with event time in [start, start + len), ships
+  /// them in batches, and follows up with a TimeAdvance(start + len) marker.
+  Status PumpInterval(TimestampUs start_us, DurationUs len_us);
+
+  /// Ships the final TimeAdvance marker (end of stream).
+  Status Finish(TimestampUs final_watermark_us);
+
+  /// Events produced so far.
+  uint64_t events_produced() const { return events_produced_; }
+
+  /// This node's id.
+  NodeId id() const { return options_.id; }
+
+ private:
+  StreamNode(StreamNodeOptions options, net::Network* network,
+             std::unique_ptr<gen::StreamGenerator> generator);
+
+  Status SendBatch(std::vector<Event> events);
+  Status SendTimeAdvance(TimestampUs watermark_us, bool final_marker);
+
+  StreamNodeOptions options_;
+  net::Network* network_;
+  std::unique_ptr<gen::StreamGenerator> generator_;
+  uint64_t events_produced_ = 0;
+};
+
+}  // namespace dema::sim

@@ -1,0 +1,63 @@
+#include "sim/sustainable.h"
+
+namespace dema::sim {
+
+namespace {
+
+/// One probe: does the system keep up with `rate` events/s per node?
+Result<bool> Sustains(const SystemConfig& config,
+                      const gen::DistributionParams& distribution, double rate,
+                      const SustainableSearchOptions& options, int probe) {
+  WorkloadConfig load =
+      MakeUniformWorkload(config.num_locals, options.windows, rate, distribution,
+                          /*scale_rates=*/{},
+                          /*seed_base=*/options.seed_base + probe * 131);
+  DEMA_ASSIGN_OR_RETURN(RunMetrics metrics, RunSync(config, load));
+  double offered = rate * static_cast<double>(config.num_locals);
+  return metrics.sim_throughput_eps >= offered;
+}
+
+}  // namespace
+
+Result<SustainableResult> FindSustainableThroughput(
+    const SystemConfig& system_config, const gen::DistributionParams& distribution,
+    SustainableSearchOptions options) {
+  if (!(options.lo_rate > 0) || !(options.hi_rate > options.lo_rate)) {
+    return Status::InvalidArgument("invalid search interval");
+  }
+  SustainableResult result;
+
+  DEMA_ASSIGN_OR_RETURN(
+      bool lo_ok, Sustains(system_config, distribution, options.lo_rate, options,
+                           result.probes++));
+  if (!lo_ok) {
+    // Even the lower bound is too fast; report it as the (pessimistic) cap.
+    result.per_node_rate_eps = options.lo_rate;
+    result.total_rate_eps =
+        options.lo_rate * static_cast<double>(system_config.num_locals);
+    return result;
+  }
+  DEMA_ASSIGN_OR_RETURN(
+      bool hi_ok, Sustains(system_config, distribution, options.hi_rate, options,
+                           result.probes++));
+  double lo = options.lo_rate, hi = options.hi_rate;
+  if (hi_ok) {
+    lo = hi;  // sustained everything we can offer
+  } else {
+    while ((hi - lo) / hi > options.tolerance) {
+      double mid = (lo + hi) / 2;
+      DEMA_ASSIGN_OR_RETURN(bool ok, Sustains(system_config, distribution, mid,
+                                              options, result.probes++));
+      if (ok) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  result.per_node_rate_eps = lo;
+  result.total_rate_eps = lo * static_cast<double>(system_config.num_locals);
+  return result;
+}
+
+}  // namespace dema::sim

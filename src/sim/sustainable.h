@@ -1,0 +1,45 @@
+#pragma once
+
+#include "common/result.h"
+#include "gen/distribution.h"
+#include "sim/driver.h"
+#include "sim/topology.h"
+
+namespace dema::sim {
+
+/// \brief Search parameters for the maximum-sustainable-throughput probe.
+struct SustainableSearchOptions {
+  /// Per-node offered event-rate search interval (events/s).
+  double lo_rate = 10'000;
+  double hi_rate = 16'000'000;
+  /// Stop when the bracket shrinks below this relative width.
+  double tolerance = 0.1;
+  /// Windows per probe run (more = steadier busy-time measurements).
+  uint64_t windows = 3;
+  /// Seed base forwarded to the workload generators.
+  uint64_t seed_base = 1000;
+};
+
+/// \brief Result of the sustainable-throughput search.
+struct SustainableResult {
+  /// Largest per-node offered rate the system kept up with.
+  double per_node_rate_eps = 0;
+  /// Aggregate sustainable rate (per-node rate x locals).
+  double total_rate_eps = 0;
+  /// Number of probe runs performed.
+  int probes = 0;
+};
+
+/// \brief Finds the maximum sustainable throughput of a system — the paper's
+/// headline throughput metric (after Karimov et al.): the highest offered
+/// event rate the pipeline processes without falling behind.
+///
+/// Each probe runs the deterministic driver and checks the offered aggregate
+/// rate against the simulated-parallel capacity (events / busiest-node busy
+/// time); binary search brackets the crossover. Deterministic given seeds,
+/// up to busy-time measurement noise.
+Result<SustainableResult> FindSustainableThroughput(
+    const SystemConfig& system_config, const gen::DistributionParams& distribution,
+    SustainableSearchOptions options = SustainableSearchOptions());
+
+}  // namespace dema::sim

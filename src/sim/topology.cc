@@ -1,0 +1,170 @@
+#include "sim/topology.h"
+
+#include "baselines/central_root.h"
+#include "baselines/forwarding_local.h"
+#include "baselines/qdigest_agg.h"
+#include "baselines/tdigest_agg.h"
+#include "dema/local_node.h"
+#include "dema/root_node.h"
+
+namespace dema::sim {
+
+const char* SystemKindToString(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kDema:
+      return "Dema";
+    case SystemKind::kCentralExact:
+      return "Scotty";
+    case SystemKind::kDesisMerge:
+      return "Desis";
+    case SystemKind::kTDigestCentral:
+      return "Tdigest";
+    case SystemKind::kTDigestDecentral:
+      return "Tdigest-dec";
+    case SystemKind::kQDigest:
+      return "Qdigest";
+  }
+  return "?";
+}
+
+Result<System> BuildSystem(const SystemConfig& config, net::Network* network,
+                           const Clock* clock, size_t root_inbox_capacity) {
+  if (config.num_locals == 0) {
+    return Status::InvalidArgument("need at least one local node");
+  }
+  if (config.window_len_us <= 0) {
+    return Status::InvalidArgument("window length must be positive");
+  }
+  if (config.quantiles.empty()) {
+    return Status::InvalidArgument("need at least one quantile");
+  }
+  stream::WindowSpec spec{config.window_len_us, config.window_slide_us};
+  if (!spec.IsTumbling() && config.kind != SystemKind::kDema) {
+    return Status::NotImplemented(
+        "sliding windows are only supported by the Dema system");
+  }
+
+  System system;
+  system.root_id = 0;
+  for (size_t i = 0; i < config.num_locals; ++i) {
+    system.local_ids.push_back(static_cast<NodeId>(i + 1));
+  }
+  DEMA_RETURN_NOT_OK(network->RegisterNode(system.root_id, root_inbox_capacity));
+  for (NodeId id : system.local_ids) {
+    DEMA_RETURN_NOT_OK(network->RegisterNode(id, /*inbox_capacity=*/0));
+  }
+
+  switch (config.kind) {
+    case SystemKind::kDema: {
+      core::DemaRootNodeOptions root_opts;
+      root_opts.id = system.root_id;
+      root_opts.locals = system.local_ids;
+      root_opts.quantiles = config.quantiles;
+      root_opts.initial_gamma = config.gamma;
+      root_opts.adaptive_gamma = config.adaptive_gamma;
+      root_opts.per_node_gamma = config.per_node_gamma;
+      root_opts.use_naive_selection = config.naive_selection;
+      system.root =
+          std::make_unique<core::DemaRootNode>(root_opts, network, clock);
+      for (NodeId id : system.local_ids) {
+        core::DemaLocalNodeOptions opts;
+        opts.id = id;
+        opts.root_id = system.root_id;
+        opts.window_len_us = config.window_len_us;
+        opts.window_slide_us = config.window_slide_us;
+        opts.initial_gamma = config.gamma;
+        opts.sort_mode = config.sort_mode;
+        opts.reply_codec = config.wire_codec;
+        system.locals.push_back(
+            std::make_unique<core::DemaLocalNode>(opts, network, clock));
+      }
+      break;
+    }
+    case SystemKind::kCentralExact:
+    case SystemKind::kDesisMerge: {
+      baselines::CollectingRootOptions root_opts;
+      root_opts.id = system.root_id;
+      root_opts.locals = system.local_ids;
+      root_opts.quantiles = config.quantiles;
+      if (config.kind == SystemKind::kCentralExact) {
+        system.root = std::make_unique<baselines::CentralExactRootNode>(
+            root_opts, network, clock);
+      } else {
+        system.root = std::make_unique<baselines::DesisMergeRootNode>(
+            root_opts, network, clock);
+      }
+      for (NodeId id : system.local_ids) {
+        baselines::ForwardingLocalNodeOptions opts;
+        opts.id = id;
+        opts.root_id = system.root_id;
+        opts.window_len_us = config.window_len_us;
+        opts.batch_size = config.batch_size;
+        opts.sort_locally = config.kind == SystemKind::kDesisMerge;
+        opts.codec = config.wire_codec;
+        system.locals.push_back(
+            std::make_unique<baselines::ForwardingLocalNode>(opts, network, clock));
+      }
+      break;
+    }
+    case SystemKind::kTDigestCentral:
+    case SystemKind::kTDigestDecentral: {
+      baselines::TDigestOptions opts;
+      opts.root_id = system.root_id;
+      opts.locals = system.local_ids;
+      opts.quantiles = config.quantiles;
+      opts.window_len_us = config.window_len_us;
+      opts.compression = config.tdigest_compression;
+      opts.mode = config.kind == SystemKind::kTDigestCentral
+                      ? baselines::TDigestMode::kCentralized
+                      : baselines::TDigestMode::kDecentralized;
+      baselines::TDigestOptions root_opts = opts;
+      root_opts.id = system.root_id;
+      system.root =
+          std::make_unique<baselines::TDigestRootNode>(root_opts, network, clock);
+      for (NodeId id : system.local_ids) {
+        if (config.kind == SystemKind::kTDigestCentral) {
+          baselines::ForwardingLocalNodeOptions fwd;
+          fwd.id = id;
+          fwd.root_id = system.root_id;
+          fwd.window_len_us = config.window_len_us;
+          fwd.batch_size = config.batch_size;
+          fwd.sort_locally = false;
+          fwd.codec = config.wire_codec;
+          system.locals.push_back(std::make_unique<baselines::ForwardingLocalNode>(
+              fwd, network, clock));
+        } else {
+          baselines::TDigestOptions local_opts = opts;
+          local_opts.id = id;
+          system.locals.push_back(std::make_unique<baselines::TDigestLocalNode>(
+              local_opts, network, clock));
+        }
+      }
+      break;
+    }
+    case SystemKind::kQDigest: {
+      baselines::QDigestOptions opts;
+      opts.root_id = system.root_id;
+      opts.locals = system.local_ids;
+      opts.quantiles = config.quantiles;
+      opts.window_len_us = config.window_len_us;
+      opts.domain_lo = config.qdigest_lo;
+      opts.domain_hi = config.qdigest_hi;
+      opts.universe_bits = config.qdigest_bits;
+      opts.k = config.qdigest_k;
+      baselines::QDigestOptions root_opts = opts;
+      root_opts.id = system.root_id;
+      system.root =
+          std::make_unique<baselines::QDigestRootNode>(root_opts, network, clock);
+      for (NodeId id : system.local_ids) {
+        baselines::QDigestOptions local_opts = opts;
+        local_opts.id = id;
+        system.locals.push_back(std::make_unique<baselines::QDigestLocalNode>(
+            local_opts, network, clock));
+      }
+      break;
+    }
+  }
+  return system;
+}
+
+}  // namespace dema::sim

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "net/codec.h"
+#include "net/network.h"
+#include "sim/node.h"
+#include "stream/sorted_buffer.h"
+
+namespace dema::sim {
+
+/// \brief Which aggregation system a topology runs.
+enum class SystemKind {
+  /// Dema: synopsis identification + candidate calculation (this paper).
+  kDema,
+  /// Scotty-like centralized exact aggregation (all events to root, sort
+  /// there).
+  kCentralExact,
+  /// Modified Desis: local sort, root k-way merge, all events transferred.
+  kDesisMerge,
+  /// t-digest baseline, sketched at the root from forwarded raw events.
+  kTDigestCentral,
+  /// t-digest extension: local sketches, root merges summaries.
+  kTDigestDecentral,
+  /// q-digest (Shrivastava et al.): decentralized sensor-network sketch over
+  /// a bounded integer universe; the paper's second related-work comparator.
+  kQDigest,
+};
+
+/// \brief Short display name, e.g. "Dema", "Scotty", "Desis", "Tdigest".
+const char* SystemKindToString(SystemKind kind);
+
+/// \brief Full configuration of a 1-root + N-local topology.
+struct SystemConfig {
+  SystemKind kind = SystemKind::kDema;
+  /// Number of local (edge) nodes; node ids are root = 0, locals = 1..N.
+  size_t num_locals = 2;
+  /// Window lifespan.
+  DurationUs window_len_us = kMicrosPerSecond;
+  /// Slide step; 0 = tumbling (the paper's setting). Sliding windows are a
+  /// Dema-only extension — the baselines reject a non-tumbling spec.
+  DurationUs window_slide_us = 0;
+  /// Quantiles answered per window.
+  std::vector<double> quantiles = {0.5};
+
+  // --- Dema knobs ---
+  uint64_t gamma = 10'000;
+  bool adaptive_gamma = false;
+  /// With adaptive_gamma: optimize a separate γ per local node (the paper's
+  /// future-work extension) instead of one global factor.
+  bool per_node_gamma = false;
+  bool naive_selection = false;  // ablation: window-cut off
+
+  /// How Dema local nodes keep windows sorted: sort-on-close (default,
+  /// fastest) or the paper's incremental insertion.
+  stream::SortMode sort_mode = stream::SortMode::kSortOnClose;
+
+  /// Wire encoding for raw-event payloads (candidate replies, forwarded
+  /// batches). kCompact roughly halves event bytes at a small CPU cost.
+  net::EventCodec wire_codec = net::EventCodec::kFixed;
+
+  // --- baseline knobs ---
+  size_t batch_size = 8192;
+  double tdigest_compression = 100.0;
+  /// q-digest value domain, universe resolution, and compression factor.
+  double qdigest_lo = 0;
+  double qdigest_hi = 1'000'000;
+  uint32_t qdigest_bits = 20;
+  uint64_t qdigest_k = 256;
+};
+
+/// \brief A fully wired topology: the root plus its local nodes, registered
+/// on a network.
+struct System {
+  NodeId root_id = 0;
+  std::vector<NodeId> local_ids;
+  std::unique_ptr<RootNodeLogic> root;
+  std::vector<std::unique_ptr<LocalNodeLogic>> locals;
+};
+
+/// \brief Instantiates the configured system on \p network (registering all
+/// node inboxes; the root's inbox gets \p root_inbox_capacity, locals are
+/// unbounded to keep root->local control traffic deadlock-free).
+Result<System> BuildSystem(const SystemConfig& config, net::Network* network,
+                           const Clock* clock, size_t root_inbox_capacity = 0);
+
+}  // namespace dema::sim

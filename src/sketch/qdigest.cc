@@ -1,0 +1,179 @@
+#include "sketch/qdigest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dema::sketch {
+
+ValueQuantizer::ValueQuantizer(double lo, double hi, uint32_t bits)
+    : lo_(lo), hi_(hi) {
+  bits = std::clamp<uint32_t>(bits, 1, 31);
+  universe_ = uint64_t{1} << bits;
+  if (!(hi_ > lo_)) hi_ = lo_ + 1.0;
+}
+
+uint64_t ValueQuantizer::ToBucket(double v) const {
+  double frac = (v - lo_) / (hi_ - lo_);
+  frac = std::clamp(frac, 0.0, 1.0);
+  uint64_t b = static_cast<uint64_t>(frac * static_cast<double>(universe_));
+  return std::min(b, universe_ - 1);
+}
+
+double ValueQuantizer::FromBucket(uint64_t bucket) const {
+  double frac =
+      (static_cast<double>(bucket) + 1.0) / static_cast<double>(universe_);
+  return lo_ + frac * (hi_ - lo_);
+}
+
+QDigest::QDigest(ValueQuantizer quantizer, uint64_t k)
+    : quantizer_(quantizer), k_(std::max<uint64_t>(1, k)),
+      universe_(quantizer.universe()) {}
+
+void QDigest::NodeRange(uint64_t id, uint64_t* lo, uint64_t* hi) const {
+  // Node `id` sits at depth d where 2^d <= id < 2^(d+1); it covers
+  // universe_ / 2^d consecutive buckets.
+  uint64_t depth_size = 1;
+  uint64_t v = id;
+  while (v > 1) {
+    v >>= 1;
+    depth_size <<= 1;
+  }
+  uint64_t span = universe_ / depth_size;
+  uint64_t index = id - depth_size;  // position within the level
+  *lo = index * span;
+  *hi = *lo + span - 1;
+}
+
+void QDigest::Add(double value, uint64_t weight) {
+  if (weight == 0) return;
+  counts_[LeafId(quantizer_.ToBucket(value))] += weight;
+  n_ += weight;
+  if (++inserts_since_compress_ >= k_) {
+    Compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+Status QDigest::Merge(const QDigest& other) {
+  if (other.universe_ != universe_) {
+    return Status::InvalidArgument("q-digest universes differ");
+  }
+  for (const auto& [id, w] : other.counts_) counts_[id] += w;
+  n_ += other.n_;
+  Compress();
+  return Status::OK();
+}
+
+void QDigest::Compress() {
+  if (n_ == 0) return;
+  uint64_t threshold = n_ / k_;
+  // Bottom-up sweep: walk stored ids from largest (deepest) to smallest and
+  // fold undersized sibling pairs into their parent.
+  // Iterating a map in reverse gives deepest-first order because child ids
+  // are always larger than parent ids.
+  std::vector<uint64_t> ids;
+  ids.reserve(counts_.size());
+  for (const auto& [id, w] : counts_) {
+    (void)w;
+    ids.push_back(id);
+  }
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    uint64_t id = *it;
+    if (id == 1) continue;  // root has no parent
+    auto self = counts_.find(id);
+    if (self == counts_.end()) continue;  // already folded away
+    uint64_t sibling = id ^ 1;
+    uint64_t parent = id >> 1;
+    uint64_t sib_w = 0;
+    auto sib_it = counts_.find(sibling);
+    if (sib_it != counts_.end()) sib_w = sib_it->second;
+    uint64_t par_w = 0;
+    auto par_it = counts_.find(parent);
+    if (par_it != counts_.end()) par_w = par_it->second;
+    if (self->second + sib_w + par_w < threshold) {
+      counts_[parent] = par_w + self->second + sib_w;
+      counts_.erase(self);
+      if (sib_it != counts_.end()) counts_.erase(sibling);
+    }
+  }
+}
+
+Result<double> QDigest::Quantile(double q) const {
+  if (n_ == 0) return Status::InvalidArgument("empty digest");
+  if (!(q > 0.0) || q > 1.0) {
+    return Status::InvalidArgument("quantile must be in (0, 1]");
+  }
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(n_)));
+  rank = std::clamp<uint64_t>(rank, 1, n_);
+
+  // Postorder by (range hi, range lo): ascending value order with deeper
+  // (more precise) nodes first among ties.
+  struct Entry {
+    uint64_t hi, lo, weight;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(counts_.size());
+  for (const auto& [id, w] : counts_) {
+    uint64_t lo, hi;
+    NodeRange(id, &lo, &hi);
+    entries.push_back(Entry{hi, lo, w});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.hi != b.hi) return a.hi < b.hi;
+    return a.lo > b.lo;
+  });
+  uint64_t cum = 0;
+  for (const Entry& e : entries) {
+    cum += e.weight;
+    if (cum >= rank) return quantizer_.FromBucket(e.hi);
+  }
+  return quantizer_.FromBucket(entries.back().hi);
+}
+
+void QDigest::SerializeTo(net::Writer* w) {
+  Compress();
+  w->PutDouble(quantizer_.lo());
+  w->PutDouble(quantizer_.hi());
+  uint32_t bits = 0;
+  for (uint64_t u = universe_; u > 1; u >>= 1) ++bits;
+  w->PutU32(bits);
+  w->PutU64(k_);
+  w->PutU64(n_);
+  w->PutU32(static_cast<uint32_t>(counts_.size()));
+  for (const auto& [id, weight] : counts_) {
+    w->PutU64(id);
+    w->PutU64(weight);
+  }
+}
+
+Result<QDigest> QDigest::Deserialize(net::Reader* r) {
+  double lo = 0, hi = 0;
+  DEMA_RETURN_NOT_OK(r->GetDouble(&lo));
+  DEMA_RETURN_NOT_OK(r->GetDouble(&hi));
+  uint32_t bits = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&bits));
+  uint64_t k = 0, n = 0;
+  DEMA_RETURN_NOT_OK(r->GetU64(&k));
+  DEMA_RETURN_NOT_OK(r->GetU64(&n));
+  uint32_t entries = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&entries));
+  if (bits < 1 || bits > 31) return Status::SerializationError("bad universe bits");
+  QDigest d(ValueQuantizer(lo, hi, bits), k);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < entries; ++i) {
+    uint64_t id = 0, weight = 0;
+    DEMA_RETURN_NOT_OK(r->GetU64(&id));
+    DEMA_RETURN_NOT_OK(r->GetU64(&weight));
+    if (id < 1 || id >= 2 * d.universe_) {
+      return Status::SerializationError("node id out of tree");
+    }
+    d.counts_[id] += weight;
+    total += weight;
+  }
+  if (total != n) return Status::SerializationError("weight sum mismatch");
+  d.n_ = n;
+  return d;
+}
+
+}  // namespace dema::sketch

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/serializer.h"
+
+namespace dema::sketch {
+
+/// \brief Linear quantizer mapping doubles in [lo, hi] onto the q-digest's
+/// integer universe [0, 2^bits).
+class ValueQuantizer {
+ public:
+  /// Creates a quantizer; \p bits in [1, 31].
+  ValueQuantizer(double lo, double hi, uint32_t bits);
+
+  /// Maps a value into the integer universe (clamped to the range).
+  uint64_t ToBucket(double v) const;
+  /// Maps a bucket back to the representative value (bucket upper edge, the
+  /// conservative choice for quantile queries).
+  double FromBucket(uint64_t bucket) const;
+
+  /// Universe size (2^bits).
+  uint64_t universe() const { return universe_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_, hi_;
+  uint64_t universe_;
+};
+
+/// \brief q-digest (Shrivastava et al., 2004): a mergeable quantile summary
+/// over a bounded integer universe, designed for sensor networks.
+///
+/// Maintains counts on nodes of the implicit binary partition tree of
+/// [0, 2^bits). The digest property keeps at most O(k · bits) nodes while
+/// guaranteeing rank error <= n·bits/k. Implemented here as the related-work
+/// comparator from the paper (Section 5).
+class QDigest {
+ public:
+  /// Creates a digest over the quantizer's universe with compression
+  /// factor \p k (larger k = bigger, more accurate digest).
+  QDigest(ValueQuantizer quantizer, uint64_t k);
+
+  /// Adds one observation with the given weight.
+  void Add(double value, uint64_t weight = 1);
+
+  /// Folds another digest (same universe and k required) into this one.
+  Status Merge(const QDigest& other);
+
+  /// Re-establishes the digest property (called automatically; public for
+  /// tests and benchmarks).
+  void Compress();
+
+  /// Approximate q-quantile; the returned value's rank is within
+  /// n·bits/k of ⌈q·n⌉. Fails on an empty digest or invalid q.
+  Result<double> Quantile(double q) const;
+
+  /// Total weight added.
+  uint64_t total_weight() const { return n_; }
+  /// Number of tree nodes currently stored.
+  size_t num_nodes() const { return counts_.size(); }
+  /// True when no observations were added.
+  bool empty() const { return n_ == 0; }
+  /// The quantizer in use.
+  const ValueQuantizer& quantizer() const { return quantizer_; }
+  /// The compression factor k.
+  uint64_t k() const { return k_; }
+
+  /// Serializes the digest (compressing first).
+  void SerializeTo(net::Writer* w);
+  /// Reconstructs a digest from `SerializeTo` output.
+  static Result<QDigest> Deserialize(net::Reader* r);
+
+ private:
+  /// Tree node ids: root = 1; children of v are 2v, 2v+1; leaves cover
+  /// single universe values at depth `bits`.
+  uint64_t LeafId(uint64_t bucket) const { return universe_ + bucket; }
+  /// The universe interval [lo, hi] covered by tree node \p id.
+  void NodeRange(uint64_t id, uint64_t* lo, uint64_t* hi) const;
+
+  ValueQuantizer quantizer_;
+  uint64_t k_;
+  uint64_t universe_;
+  std::map<uint64_t, uint64_t> counts_;  // node id -> weight
+  uint64_t n_ = 0;
+  uint64_t inserts_since_compress_ = 0;
+};
+
+}  // namespace dema::sketch

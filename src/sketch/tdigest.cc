@@ -1,0 +1,231 @@
+#include "sketch/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dema::sketch {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+TDigest::TDigest(double compression, size_t buffer_size)
+    : compression_(std::max(10.0, compression)),
+      // Default buffer: 10x the compression, floor 1000 — the empirical sweet
+      // spot for add throughput (the flush sort dominates the add path).
+      buffer_limit_(buffer_size ? buffer_size
+                                : std::max<size_t>(
+                                      1000, static_cast<size_t>(10 * compression_))) {
+  buffer_.reserve(buffer_limit_);
+}
+
+void TDigest::Add(double x, double weight) {
+  if (weight <= 0) return;
+  buffer_.push_back(Centroid{x, weight});
+  buffered_weight_ += weight;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  if (buffer_.size() >= buffer_limit_) Compress();
+}
+
+void TDigest::Merge(const TDigest& other) {
+  // Fold the other digest's centroids and pending buffer through our buffer;
+  // Compress() handles the actual sorted merge.
+  for (const Centroid& c : other.centroids_) {
+    buffer_.push_back(c);
+    buffered_weight_ += c.weight;
+  }
+  for (const Centroid& c : other.buffer_) {
+    buffer_.push_back(c);
+    buffered_weight_ += c.weight;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  Compress();
+}
+
+double TDigest::ScaleK(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  return compression_ / (2.0 * kPi) * std::asin(2.0 * q - 1.0);
+}
+
+double TDigest::ScaleKInv(double k) const {
+  double s = std::sin(k * 2.0 * kPi / compression_);
+  return (s + 1.0) / 2.0;
+}
+
+void TDigest::Compress() {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const Centroid& a, const Centroid& b) { return a.mean < b.mean; });
+  MergeSorted(std::move(buffer_));
+  buffer_.clear();
+  total_weight_ += buffered_weight_;
+  buffered_weight_ = 0;
+}
+
+void TDigest::MergeSorted(std::vector<Centroid>&& incoming) {
+  if (centroids_.empty()) {
+    centroids_ = std::move(incoming);
+  } else {
+    std::vector<Centroid> merged;
+    merged.reserve(centroids_.size() + incoming.size());
+    std::merge(centroids_.begin(), centroids_.end(), incoming.begin(),
+               incoming.end(), std::back_inserter(merged),
+               [](const Centroid& a, const Centroid& b) { return a.mean < b.mean; });
+    centroids_ = std::move(merged);
+  }
+  double total = 0;
+  for (const Centroid& c : centroids_) total += c.weight;
+  if (total <= 0) {
+    centroids_.clear();
+    return;
+  }
+
+  // Single merging pass (Algorithm 1 of the t-digest paper).
+  std::vector<Centroid> out;
+  out.reserve(centroids_.size());
+  double w_so_far = 0;
+  double q_limit = ScaleKInv(ScaleK(0.0) + 1.0);
+  Centroid cur = centroids_[0];
+  for (size_t i = 1; i < centroids_.size(); ++i) {
+    const Centroid& next = centroids_[i];
+    double q = (w_so_far + cur.weight + next.weight) / total;
+    if (q <= q_limit) {
+      // Weighted average keeps the combined centroid's mean exact.
+      cur.mean = (cur.mean * cur.weight + next.mean * next.weight) /
+                 (cur.weight + next.weight);
+      cur.weight += next.weight;
+    } else {
+      w_so_far += cur.weight;
+      out.push_back(cur);
+      q_limit = ScaleKInv(ScaleK(w_so_far / total) + 1.0);
+      cur = next;
+    }
+  }
+  out.push_back(cur);
+  centroids_ = std::move(out);
+}
+
+Result<double> TDigest::Quantile(double q) const {
+  if (q < 0.0 || q > 1.0) return Status::InvalidArgument("q must be in [0, 1]");
+  // Quantile queries need compressed state; callers keep `const` access, so
+  // compress a copy when observations are still buffered.
+  if (!buffer_.empty()) {
+    TDigest copy = *this;
+    copy.Compress();
+    return copy.Quantile(q);
+  }
+  if (centroids_.empty()) return Status::InvalidArgument("empty digest");
+  if (centroids_.size() == 1) return centroids_[0].mean;
+
+  double index = q * total_weight_;
+  // Below half of the first centroid / above half of the last: clamp to the
+  // exact extremes, which the digest tracks precisely.
+  if (index <= centroids_.front().weight / 2.0) {
+    double w0 = centroids_.front().weight / 2.0;
+    if (w0 <= 0) return min_;
+    double frac = index / w0;
+    return min_ + frac * (centroids_.front().mean - min_);
+  }
+  double cum = 0;
+  for (size_t i = 0; i + 1 < centroids_.size(); ++i) {
+    const Centroid& a = centroids_[i];
+    const Centroid& b = centroids_[i + 1];
+    double a_center = cum + a.weight / 2.0;
+    double b_center = cum + a.weight + b.weight / 2.0;
+    if (index >= a_center && index <= b_center) {
+      double frac = (index - a_center) / (b_center - a_center);
+      return a.mean + frac * (b.mean - a.mean);
+    }
+    cum += a.weight;
+  }
+  // Tail beyond the last centroid's center.
+  const Centroid& last = centroids_.back();
+  double last_center = total_weight_ - last.weight / 2.0;
+  double span = total_weight_ - last_center;
+  if (span <= 0) return max_;
+  double frac = std::clamp((index - last_center) / span, 0.0, 1.0);
+  return last.mean + frac * (max_ - last.mean);
+}
+
+Result<double> TDigest::Cdf(double x) const {
+  if (!buffer_.empty()) {
+    TDigest copy = *this;
+    copy.Compress();
+    return copy.Cdf(x);
+  }
+  if (centroids_.empty()) return Status::InvalidArgument("empty digest");
+  if (x < min_) return 0.0;
+  if (x >= max_) return 1.0;
+  if (centroids_.size() == 1) {
+    double span = max_ - min_;
+    return span > 0 ? (x - min_) / span : 0.5;
+  }
+  double cum = 0;
+  for (size_t i = 0; i + 1 < centroids_.size(); ++i) {
+    const Centroid& a = centroids_[i];
+    const Centroid& b = centroids_[i + 1];
+    if (x < b.mean) {
+      double a_center = cum + a.weight / 2.0;
+      double b_center = cum + a.weight + b.weight / 2.0;
+      if (x < a.mean) {
+        // Between min (or previous) and the first bracketing centroid.
+        double span = a.mean - min_;
+        double frac = span > 0 ? (x - min_) / span : 1.0;
+        return std::clamp(frac * a_center / total_weight_, 0.0, 1.0);
+      }
+      double span = b.mean - a.mean;
+      double frac = span > 0 ? (x - a.mean) / span : 0.5;
+      return std::clamp((a_center + frac * (b_center - a_center)) / total_weight_,
+                        0.0, 1.0);
+    }
+    cum += a.weight;
+  }
+  const Centroid& last = centroids_.back();
+  double last_center = total_weight_ - last.weight / 2.0;
+  double span = max_ - last.mean;
+  double frac = span > 0 ? (x - last.mean) / span : 1.0;
+  return std::clamp((last_center + frac * (total_weight_ - last_center)) /
+                        total_weight_,
+                    0.0, 1.0);
+}
+
+void TDigest::SerializeTo(net::Writer* w) {
+  Compress();
+  w->PutDouble(compression_);
+  w->PutDouble(min_);
+  w->PutDouble(max_);
+  w->PutU32(static_cast<uint32_t>(centroids_.size()));
+  for (const Centroid& c : centroids_) {
+    w->PutDouble(c.mean);
+    w->PutDouble(c.weight);
+  }
+}
+
+Result<TDigest> TDigest::Deserialize(net::Reader* r) {
+  double compression = 0, min_v = 0, max_v = 0;
+  DEMA_RETURN_NOT_OK(r->GetDouble(&compression));
+  DEMA_RETURN_NOT_OK(r->GetDouble(&min_v));
+  DEMA_RETURN_NOT_OK(r->GetDouble(&max_v));
+  uint32_t n = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&n));
+  if (static_cast<size_t>(n) * 2 * sizeof(double) > r->remaining()) {
+    return Status::SerializationError("centroid count exceeds remaining buffer");
+  }
+  TDigest d(compression);
+  d.centroids_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Centroid c;
+    DEMA_RETURN_NOT_OK(r->GetDouble(&c.mean));
+    DEMA_RETURN_NOT_OK(r->GetDouble(&c.weight));
+    if (c.weight < 0) return Status::SerializationError("negative centroid weight");
+    d.centroids_.push_back(c);
+    d.total_weight_ += c.weight;
+  }
+  d.min_ = min_v;
+  d.max_ = max_v;
+  return d;
+}
+
+}  // namespace dema::sketch

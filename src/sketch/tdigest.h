@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+#include "net/serializer.h"
+
+namespace dema::sketch {
+
+/// \brief A weighted centroid of a t-digest.
+struct Centroid {
+  double mean = 0;
+  double weight = 0;
+};
+
+/// \brief Merging t-digest (Dunning & Ertl, 2019) with the k1 scale function.
+///
+/// Approximate, mergeable quantile sketch: the `Tdigest` baseline of the
+/// paper's evaluation. Accuracy concentrates at the tails (relative rank
+/// error ~ O(1/compression) at q = 0.5, much tighter near 0 and 1), while
+/// memory stays O(compression) regardless of stream length.
+///
+/// Incoming points are buffered and periodically merged into the centroid
+/// list in one sorted pass; `Merge` folds another digest in the same way, so
+/// local nodes can sketch independently and the root can combine summaries.
+class TDigest {
+ public:
+  /// Creates a digest. \p compression (δ) trades accuracy for size; typical
+  /// values are 50-500. Buffer size defaults to 5δ.
+  explicit TDigest(double compression = 100.0, size_t buffer_size = 0);
+
+  /// Adds one observation with the given weight.
+  void Add(double x, double weight = 1.0);
+
+  /// Folds \p other into this digest.
+  void Merge(const TDigest& other);
+
+  /// Flushes the input buffer into the centroid list.
+  void Compress();
+
+  /// Approximate q-quantile; fails on an empty digest or q outside [0, 1].
+  Result<double> Quantile(double q) const;
+
+  /// Approximate fraction of points <= x; fails on an empty digest.
+  Result<double> Cdf(double x) const;
+
+  /// Total weight added.
+  double total_weight() const { return total_weight_ + buffered_weight_; }
+  /// Number of centroids currently held (after compressing).
+  size_t num_centroids() const { return centroids_.size(); }
+  /// True when no observations were added.
+  bool empty() const { return total_weight() == 0; }
+  /// Smallest observation (+inf when empty).
+  double min() const { return min_; }
+  /// Largest observation (-inf when empty).
+  double max() const { return max_; }
+  /// The compression parameter δ.
+  double compression() const { return compression_; }
+
+  /// Serializes the digest (compressing first).
+  void SerializeTo(net::Writer* w);
+  /// Reconstructs a digest from `SerializeTo` output.
+  static Result<TDigest> Deserialize(net::Reader* r);
+
+ private:
+  /// k1 scale function: k(q) = δ/(2π) · asin(2q − 1).
+  double ScaleK(double q) const;
+  /// Inverse of ScaleK.
+  double ScaleKInv(double k) const;
+  /// Merges `centroids_` with \p incoming (sorted by mean) in one pass.
+  void MergeSorted(std::vector<Centroid>&& incoming);
+
+  double compression_;
+  size_t buffer_limit_;
+  std::vector<Centroid> centroids_;  // sorted by mean, compressed
+  std::vector<Centroid> buffer_;     // unsorted staging area
+  double total_weight_ = 0;          // weight inside centroids_
+  double buffered_weight_ = 0;       // weight inside buffer_
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace dema::sketch

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/event.h"
+#include "common/result.h"
+
+namespace dema::stream {
+
+/// \brief The aggregation-function taxonomy of the paper's Section 2.2
+/// (after Jesus et al.): self-decomposable and decomposable functions admit
+/// partial aggregation at local nodes; non-decomposable ones (median,
+/// quantile — Dema's subject) do not.
+///
+/// Decomposable functions follow the standard lift/combine/lower
+/// formulation: `Lift` turns one event into a partial aggregate, `Combine`
+/// merges two partials, `Lower` extracts the final value. Local nodes ship
+/// one partial per window; any combine tree yields the exact result.
+///
+/// Each aggregate below is a small value type:
+///   static Partial Lift(const Event&);
+///   static Partial Combine(const Partial&, const Partial&);
+///   static double Lower(const Partial&);
+///   static Partial Identity();
+
+/// \brief Sum of event values (self-decomposable).
+struct SumAggregate {
+  struct Partial {
+    double sum = 0;
+  };
+  static Partial Identity() { return {}; }
+  static Partial Lift(const Event& e) { return {e.value}; }
+  static Partial Combine(const Partial& a, const Partial& b) {
+    return {a.sum + b.sum};
+  }
+  static double Lower(const Partial& p) { return p.sum; }
+};
+
+/// \brief Event count (self-decomposable).
+struct CountAggregate {
+  struct Partial {
+    uint64_t count = 0;
+  };
+  static Partial Identity() { return {}; }
+  static Partial Lift(const Event&) { return {1}; }
+  static Partial Combine(const Partial& a, const Partial& b) {
+    return {a.count + b.count};
+  }
+  static double Lower(const Partial& p) { return static_cast<double>(p.count); }
+};
+
+/// \brief Maximum value (self-decomposable).
+struct MaxAggregate {
+  struct Partial {
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  static Partial Identity() { return {}; }
+  static Partial Lift(const Event& e) { return {e.value}; }
+  static Partial Combine(const Partial& a, const Partial& b) {
+    return {std::max(a.max, b.max)};
+  }
+  static double Lower(const Partial& p) { return p.max; }
+};
+
+/// \brief Minimum value (self-decomposable).
+struct MinAggregate {
+  struct Partial {
+    double min = std::numeric_limits<double>::infinity();
+  };
+  static Partial Identity() { return {}; }
+  static Partial Lift(const Event& e) { return {e.value}; }
+  static Partial Combine(const Partial& a, const Partial& b) {
+    return {std::min(a.min, b.min)};
+  }
+  static double Lower(const Partial& p) { return p.min; }
+};
+
+/// \brief Arithmetic mean (decomposable: sum + count).
+struct AverageAggregate {
+  struct Partial {
+    double sum = 0;
+    uint64_t count = 0;
+  };
+  static Partial Identity() { return {}; }
+  static Partial Lift(const Event& e) { return {e.value, 1}; }
+  static Partial Combine(const Partial& a, const Partial& b) {
+    return {a.sum + b.sum, a.count + b.count};
+  }
+  static double Lower(const Partial& p) {
+    return p.count ? p.sum / static_cast<double>(p.count) : 0;
+  }
+};
+
+/// \brief Population variance (decomposable via Chan et al. pairwise merge).
+struct VarianceAggregate {
+  struct Partial {
+    uint64_t count = 0;
+    double mean = 0;
+    double m2 = 0;
+  };
+  static Partial Identity() { return {}; }
+  static Partial Lift(const Event& e) { return {1, e.value, 0}; }
+  static Partial Combine(const Partial& a, const Partial& b) {
+    if (a.count == 0) return b;
+    if (b.count == 0) return a;
+    Partial out;
+    out.count = a.count + b.count;
+    double delta = b.mean - a.mean;
+    double na = static_cast<double>(a.count), nb = static_cast<double>(b.count);
+    double n = static_cast<double>(out.count);
+    out.mean = a.mean + delta * nb / n;
+    out.m2 = a.m2 + b.m2 + delta * delta * na * nb / n;
+    return out;
+  }
+  static double Lower(const Partial& p) {
+    return p.count > 1 ? p.m2 / static_cast<double>(p.count) : 0;
+  }
+};
+
+/// \brief Value range max - min (decomposable).
+struct RangeAggregate {
+  struct Partial {
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  static Partial Identity() { return {}; }
+  static Partial Lift(const Event& e) { return {e.value, e.value}; }
+  static Partial Combine(const Partial& a, const Partial& b) {
+    return {std::min(a.min, b.min), std::max(a.max, b.max)};
+  }
+  static double Lower(const Partial& p) {
+    return p.max >= p.min ? p.max - p.min : 0;
+  }
+};
+
+/// \brief Accumulates one window's partial for aggregate \p Agg.
+///
+/// The decomposable counterpart of Dema's sorted window buffer: local nodes
+/// fold events into a constant-size partial instead of retaining them —
+/// which is precisely why the paper's problem (non-decomposable functions)
+/// is hard: the median admits no such `Partial`.
+template <typename Agg>
+class PartialAccumulator {
+ public:
+  /// Folds one event into the partial.
+  void Add(const Event& e) {
+    partial_ = Agg::Combine(partial_, Agg::Lift(e));
+    ++count_;
+  }
+  /// Merges another node's partial (the root-side combine).
+  void Merge(const typename Agg::Partial& other) {
+    partial_ = Agg::Combine(partial_, other);
+  }
+  /// The current partial aggregate.
+  const typename Agg::Partial& partial() const { return partial_; }
+  /// The finalized value.
+  double Value() const { return Agg::Lower(partial_); }
+  /// Events folded locally.
+  uint64_t count() const { return count_; }
+  /// Resets to the identity.
+  void Reset() {
+    partial_ = Agg::Identity();
+    count_ = 0;
+  }
+
+ private:
+  typename Agg::Partial partial_ = Agg::Identity();
+  uint64_t count_ = 0;
+};
+
+}  // namespace dema::stream

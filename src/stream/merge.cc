@@ -1,0 +1,73 @@
+#include "stream/merge.h"
+
+namespace dema::stream {
+
+namespace {
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+LoserTreeMerger::LoserTreeMerger(std::vector<std::vector<Event>> runs)
+    : runs_(std::move(runs)) {
+  pos_.assign(runs_.size(), 0);
+  for (const auto& run : runs_) remaining_ += run.size();
+  k_ = NextPow2(std::max<size_t>(1, runs_.size()));
+  tree_.assign(k_, 0);
+  if (remaining_ == 0) return;
+
+  // Bottom-up tournament: winners propagate, internal nodes keep losers.
+  // Virtual leaves beyond runs_.size() behave as exhausted runs.
+  struct Init {
+    LoserTreeMerger* m;
+    size_t Winner(size_t node) {
+      if (node >= m->k_) return node - m->k_;
+      size_t left = Winner(2 * node);
+      size_t right = Winner(2 * node + 1);
+      if (m->Loses(right, left)) {
+        m->tree_[node] = right;
+        return left;
+      }
+      m->tree_[node] = left;
+      return right;
+    }
+  };
+  tree_[0] = Init{this}.Winner(1);
+}
+
+bool LoserTreeMerger::Loses(size_t a, size_t b) const {
+  bool a_done = a >= runs_.size() || pos_[a] >= runs_[a].size();
+  bool b_done = b >= runs_.size() || pos_[b] >= runs_[b].size();
+  if (a_done) return true;
+  if (b_done) return false;
+  // The global event order is strict, so ties cannot occur across runs.
+  return !(runs_[a][pos_[a]] < runs_[b][pos_[b]]);
+}
+
+Event LoserTreeMerger::Next() {
+  size_t winner = tree_[0];
+  Event out = runs_[winner][pos_[winner]++];
+  --remaining_;
+  Replay(winner);
+  return out;
+}
+
+void LoserTreeMerger::Replay(size_t runner) {
+  size_t cur = runner;
+  for (size_t node = (k_ + runner) / 2; node >= 1; node /= 2) {
+    if (Loses(cur, tree_[node])) std::swap(cur, tree_[node]);
+  }
+  tree_[0] = cur;
+}
+
+std::vector<Event> MergeSortedRuns(std::vector<std::vector<Event>> runs) {
+  LoserTreeMerger merger(std::move(runs));
+  std::vector<Event> out;
+  out.reserve(merger.remaining());
+  while (merger.HasNext()) out.push_back(merger.Next());
+  return out;
+}
+
+}  // namespace dema::stream

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/event.h"
+
+namespace dema::stream {
+
+/// \brief Streaming k-way merger over pre-sorted event runs (loser tree).
+///
+/// Used by the Dema root to combine per-node candidate events and by the
+/// Desis baseline to merge whole sorted local windows. O(log k) comparisons
+/// per produced event regardless of run sizes.
+class LoserTreeMerger {
+ public:
+  /// Takes ownership of \p runs; each run must be sorted by the global event
+  /// order. Empty runs are allowed.
+  explicit LoserTreeMerger(std::vector<std::vector<Event>> runs);
+
+  /// True while events remain.
+  bool HasNext() const { return remaining_ > 0; }
+
+  /// Produces the next event in global order; must not be called when
+  /// `HasNext()` is false.
+  Event Next();
+
+  /// Events not yet produced.
+  uint64_t remaining() const { return remaining_; }
+
+ private:
+  /// Replays the tournament from leaf \p runner upward.
+  void Replay(size_t runner);
+  /// True when run a's head loses to (is >=) run b's head.
+  bool Loses(size_t a, size_t b) const;
+
+  std::vector<std::vector<Event>> runs_;
+  std::vector<size_t> pos_;    // cursor per run
+  std::vector<size_t> tree_;   // internal nodes hold losers; tree_[0] = winner
+  size_t k_ = 0;               // padded leaf count (power of two)
+  uint64_t remaining_ = 0;
+};
+
+/// \brief Fully merges \p runs into one sorted vector.
+std::vector<Event> MergeSortedRuns(std::vector<std::vector<Event>> runs);
+
+}  // namespace dema::stream

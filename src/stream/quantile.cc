@@ -1,0 +1,25 @@
+#include "stream/quantile.h"
+
+namespace dema::stream {
+
+Result<Event> ExactQuantileSorted(const std::vector<Event>& sorted, double q) {
+  if (sorted.empty()) return Status::InvalidArgument("empty dataset");
+  if (!(q > 0.0) || q > 1.0) {
+    return Status::InvalidArgument("quantile must be in (0, 1]");
+  }
+  uint64_t rank = QuantileRank(q, sorted.size());
+  return sorted[rank - 1];
+}
+
+Result<double> ExactQuantileValues(std::vector<double> values, double q) {
+  if (values.empty()) return Status::InvalidArgument("empty dataset");
+  if (!(q > 0.0) || q > 1.0) {
+    return Status::InvalidArgument("quantile must be in (0, 1]");
+  }
+  uint64_t rank = QuantileRank(q, values.size());
+  auto nth = values.begin() + static_cast<ptrdiff_t>(rank - 1);
+  std::nth_element(values.begin(), nth, values.end());
+  return *nth;
+}
+
+}  // namespace dema::stream

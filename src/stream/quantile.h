@@ -1,0 +1,31 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/event.h"
+#include "common/result.h"
+
+namespace dema::stream {
+
+/// \brief 1-based rank of the q-quantile in a dataset of \p n elements.
+///
+/// The paper's definition (Section 3.1): `Pos(q) = ⌈q · l_G⌉` for
+/// q ∈ (0, 1], clamped into [1, n]. The median is Pos(0.5).
+inline uint64_t QuantileRank(double q, uint64_t n) {
+  if (n == 0) return 0;
+  uint64_t pos = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  return std::clamp<uint64_t>(pos, 1, n);
+}
+
+/// \brief Exact q-quantile of a *sorted* event sequence (oracle and root-side
+/// final selection). Fails on an empty input or q outside (0, 1].
+Result<Event> ExactQuantileSorted(const std::vector<Event>& sorted, double q);
+
+/// \brief Exact q-quantile of an unsorted value set (test oracle). Uses
+/// nth_element; fails on an empty input or q outside (0, 1].
+Result<double> ExactQuantileValues(std::vector<double> values, double q);
+
+}  // namespace dema::stream

@@ -1,0 +1,74 @@
+#include "stream/session.h"
+
+#include <algorithm>
+
+namespace dema::stream {
+
+bool SessionWindowManager::OnEvent(const Event& e) {
+  if (e.timestamp < watermark_us_) {
+    ++late_events_;
+    return false;
+  }
+  // The event extends any session whose activity range touches
+  // [e.timestamp - gap, e.timestamp + gap]; merging can chain sessions.
+  TimestampUs start = e.timestamp;
+  TimestampUs last = e.timestamp;
+  SortedWindowBuffer merged(sort_mode_);
+  merged.Add(e);
+
+  // Find the first session that could interact: the last one starting at or
+  // before the event, plus everything after until the gap is exceeded.
+  auto it = open_.lower_bound(start);
+  if (it != open_.begin()) {
+    auto prev = std::prev(it);
+    // prev starts before the event; it interacts iff its last event is
+    // within gap of the new event.
+    if (e.timestamp <= prev->second.last_us + gap_us_) it = prev;
+  }
+  while (it != open_.end() && it->first <= last + gap_us_) {
+    // Merge this session into the new one.
+    start = std::min(start, it->first);
+    last = std::max(last, it->second.last_us);
+    std::vector<Event> events = it->second.buffer.TakeSorted();
+    for (const Event& old : events) merged.Add(old);
+    it = open_.erase(it);
+  }
+  OpenSession session;
+  session.last_us = last;
+  session.buffer = std::move(merged);
+  open_.emplace(start, std::move(session));
+  return true;
+}
+
+std::vector<ClosedSession> SessionWindowManager::AdvanceWatermark(
+    TimestampUs watermark_us) {
+  std::vector<ClosedSession> closed;
+  if (watermark_us <= watermark_us_) return closed;
+  watermark_us_ = watermark_us;
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (it->second.last_us + gap_us_ <= watermark_us_) {
+      closed.push_back(ClosedSession{it->first, it->second.last_us,
+                                     it->second.buffer.TakeSorted()});
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(closed.begin(), closed.end(),
+            [](const ClosedSession& a, const ClosedSession& b) {
+              return a.start_us < b.start_us;
+            });
+  return closed;
+}
+
+std::vector<ClosedSession> SessionWindowManager::Flush() {
+  std::vector<ClosedSession> closed;
+  for (auto& [start, session] : open_) {
+    closed.push_back(
+        ClosedSession{start, session.last_us, session.buffer.TakeSorted()});
+  }
+  open_.clear();
+  return closed;
+}
+
+}  // namespace dema::stream

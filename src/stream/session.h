@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/event.h"
+#include "stream/sorted_buffer.h"
+
+namespace dema::stream {
+
+/// \brief A closed session window: a burst of activity bounded by gaps.
+struct ClosedSession {
+  /// Event time of the first event in the session.
+  TimestampUs start_us = 0;
+  /// Event time of the last event in the session.
+  TimestampUs last_us = 0;
+  /// The session's events, sorted by the global event order.
+  std::vector<Event> sorted_events;
+};
+
+/// \brief Session-window state machine (the third window type of the
+/// paper's Section 2.1): events group by activity and a window closes after
+/// `gap_us` of event-time inactivity.
+///
+/// Implements the general merging semantics: every event opens a candidate
+/// session `[t, t + gap)` and any sessions whose activity ranges touch are
+/// merged — so out-of-order events (within the watermark's allowed lateness)
+/// can bridge two open sessions into one. A session closes once the
+/// watermark passes its last event time plus the gap.
+class SessionWindowManager {
+ public:
+  /// Creates a manager with the given inactivity gap (must be positive).
+  explicit SessionWindowManager(DurationUs gap_us,
+                                SortMode sort_mode = SortMode::kSortOnClose)
+      : gap_us_(gap_us), sort_mode_(sort_mode) {}
+
+  /// Routes one event. Returns false iff the event was late (its position
+  /// already passed the watermark) and was dropped.
+  bool OnEvent(const Event& e);
+
+  /// Advances the watermark and returns every session whose quiet period
+  /// completed (last event time + gap <= watermark), in start order.
+  std::vector<ClosedSession> AdvanceWatermark(TimestampUs watermark_us);
+
+  /// Closes and returns all remaining sessions (end of stream).
+  std::vector<ClosedSession> Flush();
+
+  /// Sessions currently open.
+  size_t open_sessions() const { return open_.size(); }
+  /// Late (dropped) events so far.
+  uint64_t late_events() const { return late_events_; }
+  /// Current watermark.
+  TimestampUs watermark_us() const { return watermark_us_; }
+  /// The inactivity gap.
+  DurationUs gap_us() const { return gap_us_; }
+
+ private:
+  struct OpenSession {
+    TimestampUs last_us = 0;
+    SortedWindowBuffer buffer;
+  };
+
+  DurationUs gap_us_;
+  SortMode sort_mode_;
+  /// Open sessions keyed by start time (disjoint activity ranges).
+  std::map<TimestampUs, OpenSession> open_;
+  TimestampUs watermark_us_ = 0;
+  uint64_t late_events_ = 0;
+};
+
+}  // namespace dema::stream

@@ -1,0 +1,32 @@
+#include "stream/sorted_buffer.h"
+
+#include <algorithm>
+
+namespace dema::stream {
+
+void SortedWindowBuffer::Add(const Event& e) {
+  if (mode_ == SortMode::kSortOnClose) {
+    vec_.push_back(e);
+  } else {
+    ordered_.insert(e);
+  }
+}
+
+uint64_t SortedWindowBuffer::size() const {
+  return mode_ == SortMode::kSortOnClose ? vec_.size() : ordered_.size();
+}
+
+std::vector<Event> SortedWindowBuffer::TakeSorted() {
+  std::vector<Event> out;
+  if (mode_ == SortMode::kSortOnClose) {
+    out = std::move(vec_);
+    vec_.clear();
+    std::sort(out.begin(), out.end());
+  } else {
+    out.assign(ordered_.begin(), ordered_.end());
+    ordered_.clear();
+  }
+  return out;
+}
+
+}  // namespace dema::stream

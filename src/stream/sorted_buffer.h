@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/event.h"
+
+namespace dema::stream {
+
+/// \brief How a local window keeps its events ordered.
+enum class SortMode {
+  /// Buffer unsorted, sort once when the window closes. Fastest in practice
+  /// (one O(n log n) pass, cache friendly) and the default.
+  kSortOnClose,
+  /// Keep events ordered at all times (the paper's "incrementally sorts
+  /// arriving events"). Useful when slices must be emitted before the window
+  /// closes; costs O(log n) per insert with worse constants.
+  kIncremental,
+};
+
+/// \brief Collects one local window's events and yields them fully sorted.
+///
+/// The sort order is the global event order `(value, timestamp, node, seq)`,
+/// which makes ranks — and therefore exact quantiles — well defined across
+/// duplicate values.
+class SortedWindowBuffer {
+ public:
+  /// Creates a buffer with the given strategy.
+  explicit SortedWindowBuffer(SortMode mode = SortMode::kSortOnClose)
+      : mode_(mode) {}
+
+  /// Adds one event.
+  void Add(const Event& e);
+
+  /// Number of events added so far.
+  uint64_t size() const;
+
+  /// True when nothing was added.
+  bool empty() const { return size() == 0; }
+
+  /// Finishes the window: returns all events sorted and leaves the buffer
+  /// empty and reusable.
+  std::vector<Event> TakeSorted();
+
+  /// Visits every buffered event (in insertion or sorted order depending on
+  /// the mode) without draining — used by checkpointing.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (mode_ == SortMode::kSortOnClose) {
+      for (const Event& e : vec_) fn(e);
+    } else {
+      for (const Event& e : ordered_) fn(e);
+    }
+  }
+
+ private:
+  SortMode mode_;
+  std::vector<Event> vec_;       // kSortOnClose
+  std::multiset<Event> ordered_;  // kIncremental
+};
+
+}  // namespace dema::stream

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/event.h"
+#include "common/time.h"
+#include "net/message.h"
+
+namespace dema::stream {
+
+using net::WindowId;
+
+/// \brief Maps event times onto time-based tumbling windows.
+///
+/// Window ids are dense: id = floor(timestamp / length), so every node
+/// assigns the same id to the same wall-time span — this is what lets the
+/// root align local windows into a global window without coordination.
+class TumblingWindowAssigner {
+ public:
+  /// Creates an assigner for windows of \p length_us (must be positive).
+  explicit TumblingWindowAssigner(DurationUs length_us) : length_us_(length_us) {}
+
+  /// The window \p t belongs to.
+  WindowId AssignWindow(TimestampUs t) const {
+    return static_cast<WindowId>(t / length_us_);
+  }
+
+  /// Inclusive start time of window \p id.
+  TimestampUs WindowStart(WindowId id) const {
+    return static_cast<TimestampUs>(id) * length_us_;
+  }
+
+  /// Exclusive end time of window \p id.
+  TimestampUs WindowEnd(WindowId id) const { return WindowStart(id) + length_us_; }
+
+  /// The configured window lifespan.
+  DurationUs length_us() const { return length_us_; }
+
+ private:
+  DurationUs length_us_;
+};
+
+/// \brief Shape of a time-based window: lifespan plus slide step.
+///
+/// `slide_us == length_us` (or 0, normalized on construction) is a tumbling
+/// window — the paper's focus; smaller slides give overlapping sliding
+/// windows (Section 2.1), which the substrate and Dema also support. Window
+/// `id` covers `[id·slide, id·slide + length)`.
+struct WindowSpec {
+  DurationUs length_us = kMicrosPerSecond;
+  DurationUs slide_us = 0;  // 0 = tumbling (normalized to length)
+
+  /// Normalized slide (never 0, never > length).
+  DurationUs slide() const {
+    return slide_us <= 0 || slide_us > length_us ? length_us : slide_us;
+  }
+  /// True when the spec degenerates to tumbling windows.
+  bool IsTumbling() const { return slide() == length_us; }
+};
+
+/// \brief Maps event times onto (possibly overlapping) sliding windows.
+class SlidingWindowAssigner {
+ public:
+  explicit SlidingWindowAssigner(WindowSpec spec)
+      : length_us_(spec.length_us), slide_us_(spec.slide()) {}
+
+  /// Appends every window id covering \p t to \p out (ascending). A point
+  /// belongs to at most length/slide windows.
+  void AssignWindows(TimestampUs t, std::vector<WindowId>* out) const {
+    // Largest window starting at or before t ...
+    WindowId last = static_cast<WindowId>(t / slide_us_);
+    // ... down to the earliest window still covering t.
+    TimestampUs earliest_start = t - (length_us_ - 1);
+    WindowId first = earliest_start <= 0
+                         ? 0
+                         : static_cast<WindowId>((earliest_start + slide_us_ - 1) /
+                                                 slide_us_);
+    for (WindowId id = first; id <= last; ++id) out->push_back(id);
+  }
+
+  /// Inclusive start time of window \p id.
+  TimestampUs WindowStart(WindowId id) const {
+    return static_cast<TimestampUs>(id) * slide_us_;
+  }
+  /// Exclusive end time of window \p id.
+  TimestampUs WindowEnd(WindowId id) const { return WindowStart(id) + length_us_; }
+
+  /// Exclusive upper bound of window ids fully closed at \p watermark (every
+  /// id below it has end <= watermark).
+  WindowId ClosedUpTo(TimestampUs watermark_us) const {
+    if (watermark_us < length_us_) return 0;
+    return static_cast<WindowId>((watermark_us - length_us_) / slide_us_) + 1;
+  }
+
+  DurationUs length_us() const { return length_us_; }
+  DurationUs slide_us() const { return slide_us_; }
+
+ private:
+  DurationUs length_us_;
+  DurationUs slide_us_;
+};
+
+}  // namespace dema::stream

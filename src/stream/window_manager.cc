@@ -1,0 +1,87 @@
+#include "stream/window_manager.h"
+
+namespace dema::stream {
+
+bool WindowManager::OnEvent(const Event& e) {
+  if (e.timestamp < watermark_us_) {
+    ++late_events_;
+    return false;
+  }
+  assign_scratch_.clear();
+  assigner_.AssignWindows(e.timestamp, &assign_scratch_);
+  for (WindowId id : assign_scratch_) {
+    auto it = open_.find(id);
+    if (it == open_.end()) {
+      it = open_.emplace(id, SortedWindowBuffer(sort_mode_)).first;
+    }
+    it->second.Add(e);
+  }
+  return true;
+}
+
+std::vector<ClosedWindow> WindowManager::AdvanceWatermark(TimestampUs watermark_us) {
+  std::vector<ClosedWindow> closed;
+  if (watermark_us <= watermark_us_) return closed;
+  watermark_us_ = watermark_us;
+  auto it = open_.begin();
+  while (it != open_.end() && assigner_.WindowEnd(it->first) <= watermark_us_) {
+    closed.push_back(ClosedWindow{it->first, it->second.TakeSorted()});
+    it = open_.erase(it);
+  }
+  return closed;
+}
+
+std::vector<ClosedWindow> WindowManager::Flush() {
+  std::vector<ClosedWindow> closed;
+  for (auto& [id, buf] : open_) {
+    closed.push_back(ClosedWindow{id, buf.TakeSorted()});
+  }
+  open_.clear();
+  return closed;
+}
+
+void WindowManager::SerializeTo(net::Writer* w) const {
+  w->PutI64(watermark_us_);
+  w->PutU64(late_events_);
+  w->PutU32(static_cast<uint32_t>(open_.size()));
+  for (const auto& [id, buf] : open_) {
+    w->PutU64(id);
+    std::vector<Event> events;
+    events.reserve(buf.size());
+    buf.ForEach([&](const Event& e) { events.push_back(e); });
+    net::EncodeEvents(w, events, net::EventCodec::kCompact);
+  }
+}
+
+Status WindowManager::RestoreFrom(net::Reader* r) {
+  TimestampUs watermark = 0;
+  uint64_t late = 0;
+  uint32_t num_windows = 0;
+  DEMA_RETURN_NOT_OK(r->GetI64(&watermark));
+  DEMA_RETURN_NOT_OK(r->GetU64(&late));
+  DEMA_RETURN_NOT_OK(r->GetU32(&num_windows));
+  open_.clear();
+  watermark_us_ = watermark;
+  late_events_ = late;
+  for (uint32_t i = 0; i < num_windows; ++i) {
+    uint64_t id = 0;
+    DEMA_RETURN_NOT_OK(r->GetU64(&id));
+    std::vector<Event> events;
+    DEMA_RETURN_NOT_OK(net::DecodeEvents(r, &events));
+    SortedWindowBuffer buf(sort_mode_);
+    for (const Event& e : events) buf.Add(e);
+    open_.emplace(static_cast<WindowId>(id), std::move(buf));
+  }
+  return Status::OK();
+}
+
+uint64_t WindowManager::buffered_events() const {
+  uint64_t n = 0;
+  for (const auto& [id, buf] : open_) {
+    (void)id;
+    n += buf.size();
+  }
+  return n;
+}
+
+}  // namespace dema::stream

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/event.h"
+#include "net/codec.h"
+#include "net/serializer.h"
+#include "stream/sorted_buffer.h"
+#include "stream/window.h"
+
+namespace dema::stream {
+
+/// \brief A closed window's sorted contents, as emitted by `WindowManager`.
+struct ClosedWindow {
+  WindowId id = 0;
+  std::vector<Event> sorted_events;
+};
+
+/// \brief Event-time window state machine for one node (tumbling or
+/// sliding).
+///
+/// Routes events into per-window sorted buffers — one buffer per covering
+/// window when windows overlap — and closes windows when the event-time
+/// watermark passes their end. Late events — event time below the current
+/// watermark — are counted and dropped, matching the paper's in-order
+/// evaluation setup while keeping the accounting visible.
+class WindowManager {
+ public:
+  /// Creates a manager for tumbling windows of \p window_len_us.
+  explicit WindowManager(DurationUs window_len_us,
+                         SortMode sort_mode = SortMode::kSortOnClose)
+      : WindowManager(WindowSpec{window_len_us, 0}, sort_mode) {}
+
+  /// Creates a manager for the given window shape.
+  explicit WindowManager(WindowSpec spec,
+                         SortMode sort_mode = SortMode::kSortOnClose)
+      : assigner_(spec), sort_mode_(sort_mode) {}
+
+  /// Routes one event into its window. Returns false iff the event was late
+  /// (its window already closed) and therefore dropped.
+  bool OnEvent(const Event& e);
+
+  /// Advances the event-time watermark to \p watermark_us and returns every
+  /// window whose end is <= the watermark, in window order, with events
+  /// sorted. The watermark never moves backwards.
+  std::vector<ClosedWindow> AdvanceWatermark(TimestampUs watermark_us);
+
+  /// Closes and returns all remaining windows (end of stream).
+  std::vector<ClosedWindow> Flush();
+
+  /// Current event-time watermark.
+  TimestampUs watermark_us() const { return watermark_us_; }
+
+  /// Number of late (dropped) events so far.
+  uint64_t late_events() const { return late_events_; }
+
+  /// Number of currently open windows.
+  size_t open_windows() const { return open_.size(); }
+
+  /// Events buffered across all open windows.
+  uint64_t buffered_events() const;
+
+  /// The window assigner in use.
+  const SlidingWindowAssigner& assigner() const { return assigner_; }
+
+  /// Serializes the watermark, late-event counter, and every open window's
+  /// buffered events (checkpointing support).
+  void SerializeTo(net::Writer* w) const;
+
+  /// Replaces this manager's state with a `SerializeTo` snapshot. The window
+  /// shape and sort mode must match the snapshot producer's configuration.
+  Status RestoreFrom(net::Reader* r);
+
+ private:
+  SlidingWindowAssigner assigner_;
+  SortMode sort_mode_;
+  std::map<WindowId, SortedWindowBuffer> open_;
+  std::vector<WindowId> assign_scratch_;
+  TimestampUs watermark_us_ = 0;
+  uint64_t late_events_ = 0;
+};
+
+}  // namespace dema::stream

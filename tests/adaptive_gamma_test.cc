@@ -1,0 +1,122 @@
+// Tests for the adaptive slice-factor controller and its cost model.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dema/adaptive_gamma.h"
+
+namespace dema::core {
+namespace {
+
+TEST(CostModel, MatchesPaperFormula) {
+  // Cost = 2 * l_G / gamma + m * (gamma - 2).
+  EXPECT_DOUBLE_EQ(GammaCostModel(10'000, 3, 100), 2.0 * 10'000 / 100 + 3 * 98);
+  EXPECT_DOUBLE_EQ(GammaCostModel(0, 5, 10), 5 * 8.0);
+}
+
+TEST(CostModel, GammaTwoShipsEverythingTwice) {
+  // At gamma = 2 every event travels as a synopsis endpoint; the calculation
+  // term vanishes.
+  EXPECT_DOUBLE_EQ(GammaCostModel(1'000, 7, 2), 1'000.0);
+}
+
+TEST(CostModel, ClampsGammaBelowTwo) {
+  EXPECT_DOUBLE_EQ(GammaCostModel(100, 1, 0), GammaCostModel(100, 1, 2));
+}
+
+TEST(OptimalGamma, IsArgMinOverBruteForce) {
+  for (uint64_t l_g : {100u, 5'000u, 100'000u}) {
+    for (uint64_t m : {1u, 3u, 20u}) {
+      uint64_t best = OptimalGamma(l_g, m);
+      double best_cost = GammaCostModel(l_g, m, best);
+      for (uint64_t g = 2; g <= l_g; g = g < 64 ? g + 1 : g + g / 13) {
+        EXPECT_LE(best_cost, GammaCostModel(l_g, m, g) + 1e-9)
+            << "l_G=" << l_g << " m=" << m << " gamma=" << g;
+      }
+    }
+  }
+}
+
+TEST(OptimalGamma, ClosedFormNeighborhood) {
+  // gamma* ~ sqrt(2 l_G / m): for l_G = 20000, m = 1 -> 200.
+  uint64_t g = OptimalGamma(20'000, 1);
+  EXPECT_NEAR(static_cast<double>(g), 200.0, 1.0);
+}
+
+TEST(OptimalGamma, DegenerateInputs) {
+  EXPECT_EQ(OptimalGamma(0, 5), 2u);
+  EXPECT_GE(OptimalGamma(10, 0), 2u);  // m treated as >= 1
+  EXPECT_GE(OptimalGamma(1, 100), 2u);
+}
+
+TEST(Controller, JumpsToOptimumWithFullSmoothing) {
+  GammaControllerOptions opts;
+  opts.smoothing = 1.0;
+  AdaptiveGammaController ctl(10'000, opts);
+  uint64_t g = ctl.Observe(20'000, 1);
+  EXPECT_NEAR(static_cast<double>(g), 200.0, 1.0);
+  EXPECT_EQ(ctl.current(), g);
+}
+
+TEST(Controller, SmoothingDampsJumps) {
+  GammaControllerOptions opts;
+  opts.smoothing = 0.5;
+  AdaptiveGammaController ctl(1'000, opts);
+  uint64_t g = ctl.Observe(20'000, 1);  // optimum ~200
+  EXPECT_GT(g, 200u);   // did not jump all the way down
+  EXPECT_LT(g, 1'000u);  // but moved toward it
+}
+
+TEST(Controller, ConvergesUnderStableWorkload) {
+  GammaControllerOptions opts;
+  opts.smoothing = 0.5;
+  AdaptiveGammaController ctl(100'000, opts);
+  uint64_t optimum = OptimalGamma(50'000, 2);
+  for (int i = 0; i < 50; ++i) ctl.Observe(50'000, 2);
+  EXPECT_NEAR(static_cast<double>(ctl.current()), static_cast<double>(optimum),
+              2.0);
+}
+
+TEST(Controller, RespectsBounds) {
+  GammaControllerOptions opts;
+  opts.min_gamma = 50;
+  opts.max_gamma = 500;
+  opts.smoothing = 1.0;
+  AdaptiveGammaController ctl(100, opts);
+  ctl.Observe(10, 1);  // optimum would be tiny
+  EXPECT_EQ(ctl.current(), 50u);
+  ctl.Observe(100'000'000, 1);  // optimum would be huge
+  EXPECT_EQ(ctl.current(), 500u);
+}
+
+TEST(Controller, NeverGoesBelowTwo) {
+  GammaControllerOptions opts;
+  opts.min_gamma = 0;  // sanitized to 2
+  opts.smoothing = 1.0;
+  AdaptiveGammaController ctl(2, opts);
+  ctl.Observe(4, 100);
+  EXPECT_GE(ctl.current(), 2u);
+}
+
+TEST(Controller, IgnoresEmptyWindows) {
+  GammaControllerOptions opts;
+  opts.smoothing = 1.0;
+  AdaptiveGammaController ctl(123, opts);
+  EXPECT_EQ(ctl.Observe(0, 0), 123u);
+}
+
+TEST(Controller, AdaptsWhenWorkloadDrifts) {
+  GammaControllerOptions opts;
+  opts.smoothing = 0.7;
+  AdaptiveGammaController ctl(500, opts);
+  for (int i = 0; i < 30; ++i) ctl.Observe(2'000, 1);
+  uint64_t small_rate_gamma = ctl.current();
+  for (int i = 0; i < 30; ++i) ctl.Observe(2'000'000, 1);
+  uint64_t big_rate_gamma = ctl.current();
+  // Bigger windows ask for bigger slices (gamma* grows with sqrt(l_G)).
+  EXPECT_GT(big_rate_gamma, small_rate_gamma * 10);
+}
+
+}  // namespace
+}  // namespace dema::core

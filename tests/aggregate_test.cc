@@ -1,0 +1,151 @@
+// Tests for the decomposable-aggregation substrate (Section 2.2 taxonomy):
+// lift/combine/lower correctness vs brute force, combine-order invariance,
+// and the partial-accumulator workflow that local nodes use.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "stream/aggregate.h"
+
+namespace dema::stream {
+namespace {
+
+std::vector<Event> RandomEvents(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  for (uint32_t i = 0; i < n; ++i) {
+    events.push_back(Event{rng.Normal(50, 20), static_cast<TimestampUs>(i), 1, i});
+  }
+  return events;
+}
+
+template <typename Agg>
+double FoldAll(const std::vector<Event>& events) {
+  PartialAccumulator<Agg> acc;
+  for (const Event& e : events) acc.Add(e);
+  return acc.Value();
+}
+
+/// Splits events across `parts` accumulators and combines at "the root".
+template <typename Agg>
+double FoldDistributed(const std::vector<Event>& events, size_t parts) {
+  std::vector<PartialAccumulator<Agg>> nodes(parts);
+  for (size_t i = 0; i < events.size(); ++i) {
+    nodes[i % parts].Add(events[i]);
+  }
+  PartialAccumulator<Agg> root;
+  for (const auto& node : nodes) root.Merge(node.partial());
+  return root.Value();
+}
+
+TEST(Aggregates, SumMatchesBruteForce) {
+  auto events = RandomEvents(1000, 1);
+  double expected = 0;
+  for (const Event& e : events) expected += e.value;
+  EXPECT_NEAR(FoldAll<SumAggregate>(events), expected, 1e-9);
+  EXPECT_NEAR(FoldDistributed<SumAggregate>(events, 7), expected, 1e-9);
+}
+
+TEST(Aggregates, CountIsExact) {
+  auto events = RandomEvents(537, 2);
+  EXPECT_EQ(FoldAll<CountAggregate>(events), 537);
+  EXPECT_EQ(FoldDistributed<CountAggregate>(events, 4), 537);
+}
+
+TEST(Aggregates, MinMaxRange) {
+  auto events = RandomEvents(400, 3);
+  double lo = events[0].value, hi = events[0].value;
+  for (const Event& e : events) {
+    lo = std::min(lo, e.value);
+    hi = std::max(hi, e.value);
+  }
+  EXPECT_DOUBLE_EQ(FoldAll<MinAggregate>(events), lo);
+  EXPECT_DOUBLE_EQ(FoldAll<MaxAggregate>(events), hi);
+  EXPECT_DOUBLE_EQ(FoldDistributed<RangeAggregate>(events, 5), hi - lo);
+}
+
+TEST(Aggregates, AverageMatchesBruteForce) {
+  auto events = RandomEvents(999, 4);
+  double sum = 0;
+  for (const Event& e : events) sum += e.value;
+  double expected = sum / 999;
+  EXPECT_NEAR(FoldAll<AverageAggregate>(events), expected, 1e-9);
+  EXPECT_NEAR(FoldDistributed<AverageAggregate>(events, 13), expected, 1e-9);
+}
+
+TEST(Aggregates, VarianceMatchesTwoPass) {
+  auto events = RandomEvents(2000, 5);
+  double mean = 0;
+  for (const Event& e : events) mean += e.value;
+  mean /= events.size();
+  double var = 0;
+  for (const Event& e : events) var += (e.value - mean) * (e.value - mean);
+  var /= events.size();
+  EXPECT_NEAR(FoldAll<VarianceAggregate>(events), var, 1e-6);
+  EXPECT_NEAR(FoldDistributed<VarianceAggregate>(events, 9), var, 1e-6);
+}
+
+TEST(Aggregates, CombineIsOrderInvariant) {
+  // Decomposability means any combine tree gives the same answer: compare
+  // left fold, right fold, and balanced merge for variance (the trickiest).
+  auto events = RandomEvents(256, 6);
+  std::vector<VarianceAggregate::Partial> parts;
+  for (const Event& e : events) parts.push_back(VarianceAggregate::Lift(e));
+
+  auto left = VarianceAggregate::Identity();
+  for (const auto& p : parts) left = VarianceAggregate::Combine(left, p);
+
+  auto right = VarianceAggregate::Identity();
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    right = VarianceAggregate::Combine(*it, right);
+  }
+
+  std::vector<VarianceAggregate::Partial> level = parts;
+  while (level.size() > 1) {
+    std::vector<VarianceAggregate::Partial> next;
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(VarianceAggregate::Combine(level[i], level[i + 1]));
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+
+  EXPECT_NEAR(VarianceAggregate::Lower(left), VarianceAggregate::Lower(right),
+              1e-9);
+  EXPECT_NEAR(VarianceAggregate::Lower(left), VarianceAggregate::Lower(level[0]),
+              1e-9);
+}
+
+TEST(Aggregates, IdentityIsNeutral) {
+  Event e{3.5, 0, 1, 0};
+  auto p = AverageAggregate::Lift(e);
+  auto combined =
+      AverageAggregate::Combine(p, AverageAggregate::Identity());
+  EXPECT_DOUBLE_EQ(AverageAggregate::Lower(combined), 3.5);
+  auto flipped =
+      AverageAggregate::Combine(AverageAggregate::Identity(), p);
+  EXPECT_DOUBLE_EQ(AverageAggregate::Lower(flipped), 3.5);
+}
+
+TEST(Aggregates, AccumulatorResetReuses) {
+  PartialAccumulator<SumAggregate> acc;
+  acc.Add(Event{2, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(acc.Value(), 2);
+  EXPECT_EQ(acc.count(), 1u);
+  acc.Reset();
+  EXPECT_DOUBLE_EQ(acc.Value(), 0);
+  EXPECT_EQ(acc.count(), 0u);
+}
+
+TEST(Aggregates, EmptyLowerIsDefined) {
+  EXPECT_DOUBLE_EQ(FoldAll<AverageAggregate>({}), 0);
+  EXPECT_DOUBLE_EQ(FoldAll<VarianceAggregate>({}), 0);
+  EXPECT_DOUBLE_EQ(FoldAll<RangeAggregate>({}), 0);
+}
+
+}  // namespace
+}  // namespace dema::stream

@@ -1,0 +1,221 @@
+// Tests for the wire codec: varint/zigzag primitives, fixed vs compact event
+// encodings, the bit-delta value mode for sorted runs, size guarantees, the
+// value-streaming fast path, and decode robustness.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "dema/protocol.h"
+#include "net/codec.h"
+#include "net/message.h"
+#include "net/serializer.h"
+
+namespace dema::net {
+namespace {
+
+TEST(Varint, RoundTripBoundaries) {
+  Writer w;
+  const uint64_t values[] = {0,       1,          127,        128,
+                             16383,   16384,      UINT32_MAX, uint64_t{1} << 62,
+                             UINT64_MAX};
+  for (uint64_t v : values) w.PutVarint(v);
+  Reader r(w.buffer());
+  for (uint64_t v : values) {
+    uint64_t out = 0;
+    ASSERT_TRUE(r.GetVarint(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Varint, SmallValuesUseOneByte) {
+  Writer w;
+  w.PutVarint(0);
+  w.PutVarint(127);
+  EXPECT_EQ(w.size(), 2u);
+  w.PutVarint(128);
+  EXPECT_EQ(w.size(), 4u);  // two bytes for 128
+}
+
+TEST(Varint, OverlongEncodingRejected) {
+  std::vector<uint8_t> bytes(11, 0x80);  // never terminates within 64 bits
+  Reader r(bytes);
+  uint64_t out;
+  EXPECT_EQ(r.GetVarint(&out).code(), StatusCode::kSerializationError);
+}
+
+TEST(Zigzag, RoundTripSignedValues) {
+  Writer w;
+  const int64_t values[] = {0, -1, 1, -2, 2, INT64_MAX, INT64_MIN, -123456789};
+  for (int64_t v : values) w.PutZigzag(v);
+  Reader r(w.buffer());
+  for (int64_t v : values) {
+    int64_t out = 0;
+    ASSERT_TRUE(r.GetZigzag(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(Zigzag, SmallMagnitudesStaySmall) {
+  Writer w;
+  w.PutZigzag(-1);
+  w.PutZigzag(1);
+  w.PutZigzag(-64);
+  EXPECT_EQ(w.size(), 3u);  // one byte each
+}
+
+std::vector<Event> RandomEvents(size_t n, uint64_t seed, bool sorted) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  TimestampUs t = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    t += rng.UniformInt(1, 2000);
+    events.push_back(Event{rng.Uniform(0, 1e6), t, 3, i});
+  }
+  if (sorted) std::sort(events.begin(), events.end());
+  return events;
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<EventCodec> {};
+
+TEST_P(CodecRoundTrip, PreservesEveryField) {
+  for (bool sorted : {false, true}) {
+    auto events = RandomEvents(500, 7, sorted);
+    Writer w;
+    EncodeEvents(&w, events, GetParam(), sorted);
+    Reader r(w.buffer());
+    std::vector<Event> out;
+    ASSERT_TRUE(DecodeEvents(&r, &out).ok());
+    EXPECT_EQ(out, events) << "sorted=" << sorted;
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST_P(CodecRoundTrip, EmptyAndSingleton) {
+  for (size_t n : {size_t{0}, size_t{1}}) {
+    auto events = RandomEvents(n, 11, false);
+    Writer w;
+    EncodeEvents(&w, events, GetParam());
+    Reader r(w.buffer());
+    std::vector<Event> out;
+    ASSERT_TRUE(DecodeEvents(&r, &out).ok());
+    EXPECT_EQ(out, events);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CodecRoundTrip,
+                         ::testing::Values(EventCodec::kFixed,
+                                           EventCodec::kCompact),
+                         [](const auto& info) {
+                           return info.param == EventCodec::kFixed ? "Fixed"
+                                                                   : "Compact";
+                         });
+
+TEST(CompactCodec, NegativeValuesFallBackToRawAndStayCorrect) {
+  Rng rng(13);
+  std::vector<Event> events;
+  for (uint32_t i = 0; i < 200; ++i) {
+    events.push_back(Event{rng.Normal(0, 100), static_cast<TimestampUs>(i), 1, i});
+  }
+  std::sort(events.begin(), events.end());
+  Writer w;
+  EncodeEvents(&w, events, EventCodec::kCompact, /*sorted_hint=*/true);
+  Reader r(w.buffer());
+  std::vector<Event> out;
+  ASSERT_TRUE(DecodeEvents(&r, &out).ok());
+  EXPECT_EQ(out, events);
+}
+
+TEST(CompactCodec, SortedRunsCompressWell) {
+  auto events = RandomEvents(10'000, 17, /*sorted=*/true);
+  Writer fixed, compact;
+  EncodeEvents(&fixed, events, EventCodec::kFixed);
+  EncodeEvents(&compact, events, EventCodec::kCompact, /*sorted_hint=*/true);
+  // Sorted positive values use bit deltas; expect at least 40% savings.
+  EXPECT_LT(compact.size(), fixed.size() * 6 / 10)
+      << "fixed=" << fixed.size() << " compact=" << compact.size();
+}
+
+TEST(CompactCodec, TimeOrderedStreamsCompress) {
+  auto events = RandomEvents(10'000, 19, /*sorted=*/false);  // time-ordered
+  Writer fixed, compact;
+  EncodeEvents(&fixed, events, EventCodec::kFixed);
+  EncodeEvents(&compact, events, EventCodec::kCompact);
+  // Raw 8-byte values + small deltas: still a solid win over 24 B/event.
+  EXPECT_LT(compact.size(), fixed.size() * 7 / 10);
+}
+
+TEST(CodecFastPath, StreamsValuesForBothCodecs) {
+  for (EventCodec codec : {EventCodec::kFixed, EventCodec::kCompact}) {
+    auto events = RandomEvents(300, 23, /*sorted=*/true);
+    EventBatch batch;
+    batch.window_id = 5;
+    batch.sorted = true;
+    batch.codec = codec;
+    batch.events = events;
+    Message m = MakeMessage(MessageType::kEventBatch, 1, 0, batch);
+
+    std::vector<double> seen;
+    auto count = EventBatch::ForEachValue(
+        m.payload, [&](double v) { seen.push_back(v); });
+    ASSERT_TRUE(count.ok()) << count.status();
+    EXPECT_EQ(*count, events.size());
+    ASSERT_EQ(seen.size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+      EXPECT_DOUBLE_EQ(seen[i], events[i].value);
+    }
+  }
+}
+
+TEST(CodecRobustness, TruncationsErrorCleanly) {
+  auto events = RandomEvents(50, 29, true);
+  for (EventCodec codec : {EventCodec::kFixed, EventCodec::kCompact}) {
+    Writer w;
+    EncodeEvents(&w, events, codec, true);
+    const auto& full = w.buffer();
+    for (size_t cut = 0; cut < full.size(); cut += 7) {
+      Reader r(full.data(), cut);
+      std::vector<Event> out;
+      Status st = DecodeEvents(&r, &out);
+      EXPECT_FALSE(st.ok()) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(CodecRobustness, UnknownTagRejected) {
+  std::vector<uint8_t> bytes = {0x07, 0x00};
+  Reader r(bytes);
+  std::vector<Event> out;
+  EXPECT_EQ(DecodeEvents(&r, &out).code(), StatusCode::kSerializationError);
+}
+
+TEST(CodecRobustness, HugeCountRejectedBeforeAllocation) {
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(EventCodec::kCompact));
+  w.PutVarint(uint64_t{1} << 40);  // absurd count, no data behind it
+  w.PutU8(0);
+  Reader r(w.buffer());
+  std::vector<Event> out;
+  EXPECT_EQ(DecodeEvents(&r, &out).code(), StatusCode::kSerializationError);
+}
+
+TEST(CandidateReplyCodec, CompactRoundTripThroughProtocol) {
+  core::CandidateReply reply;
+  reply.window_id = 3;
+  reply.node = 2;
+  reply.codec = EventCodec::kCompact;
+  reply.events = RandomEvents(400, 31, /*sorted=*/true);
+  Writer w;
+  reply.SerializeTo(&w);
+  Reader r(w.buffer());
+  auto out = core::CandidateReply::Deserialize(&r);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->events, reply.events);
+  EXPECT_EQ(out->node, 2u);
+}
+
+}  // namespace
+}  // namespace dema::net

@@ -1,0 +1,130 @@
+// Count-based window boundary discovery: Dema's rank selection on the time
+// axis pins every boundary event exactly, with only candidate slices fetched.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "dema/count_window.h"
+#include "dema/slice.h"
+
+namespace dema::core {
+namespace {
+
+/// Builds per-node time-ordered streams, time-keyed synopses, and the global
+/// time order for oracle checks.
+struct Fixture {
+  std::vector<std::vector<Event>> node_streams;  // time-keyed, per node
+  std::vector<SliceSynopsis> slices;
+  std::vector<Event> global;  // time-keyed, globally sorted
+  uint64_t total = 0;
+
+  static Fixture Make(uint64_t seed, size_t nodes, uint64_t gamma) {
+    Fixture f;
+    Rng rng(seed);
+    for (size_t n = 0; n < nodes; ++n) {
+      std::vector<Event> stream;
+      TimestampUs t = rng.UniformInt(0, 500);
+      size_t count = 40 + static_cast<size_t>(rng.UniformInt(0, 80));
+      for (uint32_t i = 0; i < count; ++i) {
+        t += rng.UniformInt(1, 300);
+        Event e{rng.Uniform(0, 1000), t, static_cast<NodeId>(n + 1), i};
+        stream.push_back(CountWindowPlanner::TimeKeyed(e));
+      }
+      // Streams are already time-ordered; time-keyed events sort the same.
+      auto cut = CutIntoSlices(stream, static_cast<NodeId>(n + 1), gamma);
+      EXPECT_TRUE(cut.ok());
+      f.slices.insert(f.slices.end(), cut->begin(), cut->end());
+      f.global.insert(f.global.end(), stream.begin(), stream.end());
+      f.total += stream.size();
+      f.node_streams.push_back(std::move(stream));
+    }
+    std::sort(f.global.begin(), f.global.end());
+    return f;
+  }
+
+  /// Events of the candidate slices, as a fetch would return them.
+  std::vector<Event> FetchCandidates(const std::vector<size_t>& candidates,
+                                     uint64_t gamma) const {
+    std::vector<Event> out;
+    for (size_t flat : candidates) {
+      const SliceSynopsis& s = slices[flat];
+      const auto& stream = node_streams[s.node - 1];
+      auto [b, e] = SliceEventRange(stream.size(), gamma, s.index);
+      out.insert(out.end(), stream.begin() + b, stream.begin() + e);
+    }
+    return out;
+  }
+};
+
+TEST(CountWindows, BoundariesMatchGlobalTimeOrder) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const uint64_t kGamma = 8;
+    Fixture f = Fixture::Make(seed, /*nodes=*/3, kGamma);
+    const uint64_t kN = 50;
+    CountWindowPlanner planner(kN);
+    auto candidates = planner.PlanCandidates(f.slices, f.total);
+    ASSERT_TRUE(candidates.ok()) << candidates.status();
+    auto boundaries =
+        planner.ResolveBoundaries(f.FetchCandidates(*candidates, kGamma));
+    ASSERT_TRUE(boundaries.ok()) << boundaries.status();
+
+    ASSERT_EQ(boundaries->size(), f.total / kN);
+    for (const auto& b : *boundaries) {
+      EXPECT_EQ(b.boundary_event, f.global[b.rank - 1])
+          << "seed " << seed << " rank " << b.rank;
+    }
+  }
+}
+
+TEST(CountWindows, FetchesOnlyASubsetUnderLargeGamma) {
+  Fixture f = Fixture::Make(7, /*nodes=*/4, /*gamma=*/8);
+  CountWindowPlanner planner(/*window_size=*/60);
+  auto candidates = planner.PlanCandidates(f.slices, f.total);
+  ASSERT_TRUE(candidates.ok());
+  uint64_t candidate_events = 0;
+  for (size_t flat : *candidates) candidate_events += f.slices[flat].count;
+  // Boundary discovery should not need the whole dataset.
+  EXPECT_LT(candidate_events, f.total);
+  EXPECT_GT(candidate_events, 0u);
+}
+
+TEST(CountWindows, NoBoundariesWhenWindowExceedsData) {
+  Fixture f = Fixture::Make(9, 2, 8);
+  CountWindowPlanner planner(f.total + 1);
+  auto candidates = planner.PlanCandidates(f.slices, f.total);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(candidates->empty());
+  EXPECT_TRUE(planner.planned_ranks().empty());
+  auto boundaries = planner.ResolveBoundaries({});
+  ASSERT_TRUE(boundaries.ok());
+  EXPECT_TRUE(boundaries->empty());
+}
+
+TEST(CountWindows, RejectsZeroWindowSize) {
+  Fixture f = Fixture::Make(11, 2, 8);
+  CountWindowPlanner planner(0);
+  EXPECT_FALSE(planner.PlanCandidates(f.slices, f.total).ok());
+}
+
+TEST(CountWindows, ExactWindowMultipleGetsFinalBoundary) {
+  // total divisible by N: the last boundary is the very last event.
+  const uint64_t kGamma = 4;
+  Fixture f = Fixture::Make(13, 2, kGamma);
+  uint64_t n = f.total / 2;
+  CountWindowPlanner planner(n);
+  auto candidates = planner.PlanCandidates(f.slices, f.total);
+  ASSERT_TRUE(candidates.ok());
+  auto boundaries =
+      planner.ResolveBoundaries(f.FetchCandidates(*candidates, kGamma));
+  ASSERT_TRUE(boundaries.ok());
+  ASSERT_EQ(boundaries->size(), 2u);
+  EXPECT_EQ(boundaries->back().boundary_event, f.global[2 * n - 1]);
+  if (f.total % 2 == 0) {
+    EXPECT_EQ(boundaries->back().boundary_event, f.global.back());
+  }
+}
+
+}  // namespace
+}  // namespace dema::core

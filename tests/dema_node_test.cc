@@ -1,0 +1,333 @@
+// Node-level protocol tests: DemaLocalNode and DemaRootNode driven directly
+// through a network fabric, message by message.
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "dema/local_node.h"
+#include "dema/protocol.h"
+#include "dema/root_node.h"
+#include "net/network.h"
+
+namespace dema::core {
+namespace {
+
+class DemaLocalNodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<net::Network>(&clock_);
+    ASSERT_TRUE(network_->RegisterNode(0).ok());
+    ASSERT_TRUE(network_->RegisterNode(1).ok());
+    DemaLocalNodeOptions opts;
+    opts.id = 1;
+    opts.root_id = 0;
+    opts.window_len_us = SecondsUs(1);
+    opts.initial_gamma = 4;
+    node_ = std::make_unique<DemaLocalNode>(opts, network_.get(), &clock_);
+  }
+
+  /// Pops the next message addressed to the root and parses it as a
+  /// synopsis batch.
+  SynopsisBatch PopSynopsis() {
+    auto msg = network_->Inbox(0)->TryPop();
+    EXPECT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->type, net::MessageType::kSynopsisBatch);
+    net::Reader r(msg->payload);
+    auto batch = SynopsisBatch::Deserialize(&r);
+    EXPECT_TRUE(batch.ok());
+    return std::move(batch).MoveValueUnsafe();
+  }
+
+  Event Ev(double v, TimestampUs t, uint32_t seq) { return Event{v, t, 1, seq}; }
+
+  RealClock clock_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<DemaLocalNode> node_;
+};
+
+TEST_F(DemaLocalNodeTest, EmitsSortedSlicesOnWindowClose) {
+  ASSERT_TRUE(node_->OnEvent(Ev(30, 100, 0)).ok());
+  ASSERT_TRUE(node_->OnEvent(Ev(10, 200, 1)).ok());
+  ASSERT_TRUE(node_->OnEvent(Ev(20, 300, 2)).ok());
+  ASSERT_TRUE(node_->OnEvent(Ev(40, 400, 3)).ok());
+  ASSERT_TRUE(node_->OnEvent(Ev(50, 500, 4)).ok());
+  ASSERT_TRUE(node_->OnWatermark(SecondsUs(1)).ok());
+
+  SynopsisBatch batch = PopSynopsis();
+  EXPECT_EQ(batch.window_id, 0u);
+  EXPECT_EQ(batch.node, 1u);
+  EXPECT_EQ(batch.local_window_size, 5u);
+  ASSERT_EQ(batch.slices.size(), 2u);  // gamma 4: [10,20,30,40] + [50]
+  EXPECT_EQ(batch.slices[0].first.value, 10);
+  EXPECT_EQ(batch.slices[0].last.value, 40);
+  EXPECT_EQ(batch.slices[0].count, 4u);
+  EXPECT_EQ(batch.slices[1].count, 1u);
+  EXPECT_EQ(node_->retained_windows(), 1u);
+}
+
+TEST_F(DemaLocalNodeTest, EmitsEmptyWindowsToKeepRootAligned) {
+  // No events at all; the watermark jumps three windows.
+  ASSERT_TRUE(node_->OnWatermark(SecondsUs(3)).ok());
+  for (net::WindowId id = 0; id < 3; ++id) {
+    SynopsisBatch batch = PopSynopsis();
+    EXPECT_EQ(batch.window_id, id);
+    EXPECT_EQ(batch.local_window_size, 0u);
+    EXPECT_TRUE(batch.slices.empty());
+  }
+  EXPECT_EQ(node_->retained_windows(), 0u);
+  EXPECT_FALSE(network_->Inbox(0)->TryPop().has_value());
+}
+
+TEST_F(DemaLocalNodeTest, ServesCandidateRequestAndReleases) {
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(node_->OnEvent(Ev(i * 10.0, 100 + i, i)).ok());
+  }
+  ASSERT_TRUE(node_->OnWatermark(SecondsUs(1)).ok());
+  PopSynopsis();
+
+  CandidateRequest req;
+  req.window_id = 0;
+  req.slice_indices = {1};  // events 4..7 (values 40..70)
+  auto msg = net::MakeMessage(net::MessageType::kCandidateRequest, 0, 1, req);
+  ASSERT_TRUE(node_->OnMessage(msg).ok());
+
+  auto reply_msg = network_->Inbox(0)->TryPop();
+  ASSERT_TRUE(reply_msg.has_value());
+  EXPECT_EQ(reply_msg->type, net::MessageType::kCandidateReply);
+  net::Reader r(reply_msg->payload);
+  auto reply = CandidateReply::Deserialize(&r);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->events.size(), 4u);
+  EXPECT_EQ(reply->events[0].value, 40);
+  EXPECT_EQ(reply->events[3].value, 70);
+  EXPECT_EQ(node_->retained_windows(), 0u);  // released after reply
+}
+
+TEST_F(DemaLocalNodeTest, EmptyRequestJustReleases) {
+  ASSERT_TRUE(node_->OnEvent(Ev(1, 100, 0)).ok());
+  ASSERT_TRUE(node_->OnEvent(Ev(2, 200, 1)).ok());
+  ASSERT_TRUE(node_->OnWatermark(SecondsUs(1)).ok());
+  PopSynopsis();
+
+  CandidateRequest req;
+  req.window_id = 0;
+  auto msg = net::MakeMessage(net::MessageType::kCandidateRequest, 0, 1, req);
+  ASSERT_TRUE(node_->OnMessage(msg).ok());
+  EXPECT_EQ(node_->retained_windows(), 0u);
+  EXPECT_FALSE(network_->Inbox(0)->TryPop().has_value());  // no reply
+}
+
+TEST_F(DemaLocalNodeTest, RequestForUnknownWindowFails) {
+  CandidateRequest req;
+  req.window_id = 42;
+  req.slice_indices = {0};
+  auto msg = net::MakeMessage(net::MessageType::kCandidateRequest, 0, 1, req);
+  EXPECT_EQ(node_->OnMessage(msg).code(), StatusCode::kNotFound);
+}
+
+TEST_F(DemaLocalNodeTest, GammaUpdateAppliesToFutureWindows) {
+  GammaUpdate update;
+  update.effective_from = 1;
+  update.gamma = 2;
+  auto msg = net::MakeMessage(net::MessageType::kGammaUpdate, 0, 1, update);
+  ASSERT_TRUE(node_->OnMessage(msg).ok());
+  EXPECT_EQ(node_->GammaForWindow(0), 4u);  // initial gamma still applies
+  EXPECT_EQ(node_->GammaForWindow(1), 2u);
+  EXPECT_EQ(node_->GammaForWindow(5), 2u);
+
+  // Window 0 closes with gamma 4; window 1 with gamma 2.
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(node_->OnEvent(Ev(i, 100 + i, i)).ok());
+  }
+  ASSERT_TRUE(node_->OnWatermark(SecondsUs(1)).ok());
+  EXPECT_EQ(PopSynopsis().slices.size(), 1u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(node_->OnEvent(Ev(i, SecondsUs(1) + i, 10 + i)).ok());
+  }
+  ASSERT_TRUE(node_->OnWatermark(SecondsUs(2)).ok());
+  EXPECT_EQ(PopSynopsis().slices.size(), 2u);
+}
+
+TEST_F(DemaLocalNodeTest, StaleGammaUpdateCannotRewriteShippedWindows) {
+  ASSERT_TRUE(node_->OnEvent(Ev(1, 100, 0)).ok());
+  ASSERT_TRUE(node_->OnEvent(Ev(2, 150, 1)).ok());
+  ASSERT_TRUE(node_->OnWatermark(SecondsUs(1)).ok());
+  PopSynopsis();  // window 0 shipped with gamma 4
+
+  GammaUpdate update;
+  update.effective_from = 0;  // stale: window 0 already shipped
+  update.gamma = 2;
+  auto msg = net::MakeMessage(net::MessageType::kGammaUpdate, 0, 1, update);
+  ASSERT_TRUE(node_->OnMessage(msg).ok());
+
+  // A candidate request for window 0 must still use gamma 4 slice ranges.
+  CandidateRequest req;
+  req.window_id = 0;
+  req.slice_indices = {0};
+  auto req_msg = net::MakeMessage(net::MessageType::kCandidateRequest, 0, 1, req);
+  ASSERT_TRUE(node_->OnMessage(req_msg).ok());
+  auto reply_msg = network_->Inbox(0)->TryPop();
+  ASSERT_TRUE(reply_msg.has_value());
+  net::Reader r(reply_msg->payload);
+  auto reply = CandidateReply::Deserialize(&r);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->events.size(), 2u);  // whole window = slice 0 under gamma 4
+}
+
+class DemaRootNodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<net::Network>(&clock_);
+    ASSERT_TRUE(network_->RegisterNode(0).ok());
+    ASSERT_TRUE(network_->RegisterNode(1).ok());
+    ASSERT_TRUE(network_->RegisterNode(2).ok());
+    DemaRootNodeOptions opts;
+    opts.id = 0;
+    opts.locals = {1, 2};
+    opts.quantiles = {0.5};
+    opts.initial_gamma = 4;
+    opts.tolerate_duplicates = false;  // strict mode: protocol violations fail
+    root_ = std::make_unique<DemaRootNode>(opts, network_.get(), &clock_);
+    root_->SetResultCallback(
+        [this](const sim::WindowOutput& out) { outputs_.push_back(out); });
+  }
+
+  /// Builds and delivers a synopsis batch for a sorted run of values.
+  void SendWindow(NodeId node, net::WindowId wid,
+                  const std::vector<double>& sorted_values, uint64_t gamma = 4) {
+    SynopsisBatch batch;
+    batch.window_id = wid;
+    batch.node = node;
+    batch.local_window_size = sorted_values.size();
+    batch.gamma_used = static_cast<uint32_t>(gamma);
+    batch.close_time_us = clock_.NowUs();
+    std::vector<Event> events;
+    for (uint32_t i = 0; i < sorted_values.size(); ++i) {
+      events.push_back(Event{sorted_values[i], 0, node, i});
+    }
+    if (!events.empty()) {
+      auto slices = CutIntoSlices(events, node, gamma);
+      ASSERT_TRUE(slices.ok());
+      batch.slices = *slices;
+    }
+    stored_[{node, wid}] = events;
+    auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, node, 0, batch);
+    ASSERT_TRUE(root_->OnMessage(msg).ok());
+  }
+
+  /// Serves every outstanding candidate request like a local node would.
+  void ServeRequests(uint64_t gamma = 4) {
+    for (NodeId node : {1u, 2u}) {
+      while (auto msg = network_->Inbox(node)->TryPop()) {
+        if (msg->type != net::MessageType::kCandidateRequest) continue;
+        net::Reader r(msg->payload);
+        auto req = CandidateRequest::Deserialize(&r);
+        ASSERT_TRUE(req.ok());
+        if (req->slice_indices.empty()) continue;
+        const auto& events = stored_[{node, req->window_id}];
+        CandidateReply reply;
+        reply.window_id = req->window_id;
+        reply.node = node;
+        for (uint32_t idx : req->slice_indices) {
+          auto [b, e] = SliceEventRange(events.size(), gamma, idx);
+          reply.events.insert(reply.events.end(), events.begin() + b,
+                              events.begin() + e);
+        }
+        auto reply_msg =
+            net::MakeMessage(net::MessageType::kCandidateReply, node, 0, reply);
+        ASSERT_TRUE(root_->OnMessage(reply_msg).ok());
+      }
+    }
+  }
+
+  RealClock clock_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<DemaRootNode> root_;
+  std::vector<sim::WindowOutput> outputs_;
+  std::map<std::pair<NodeId, net::WindowId>, std::vector<Event>> stored_;
+};
+
+TEST_F(DemaRootNodeTest, WaitsForAllLocalsBeforeIdentification) {
+  SendWindow(1, 0, {1, 2, 3, 4});
+  EXPECT_FALSE(root_->idle());
+  EXPECT_TRUE(outputs_.empty());
+  // No candidate requests yet.
+  EXPECT_FALSE(network_->Inbox(1)->TryPop().has_value());
+  SendWindow(2, 0, {5, 6, 7, 8});
+  // Now identification ran and requests are pending.
+  ServeRequests();
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0].global_size, 8u);
+  EXPECT_EQ(outputs_[0].values[0], 4);  // rank ceil(0.5*8)=4 -> value 4
+}
+
+TEST_F(DemaRootNodeTest, EmptyGlobalWindowEmitsImmediately) {
+  SendWindow(1, 0, {});
+  SendWindow(2, 0, {});
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0].global_size, 0u);
+  EXPECT_TRUE(root_->idle());
+}
+
+TEST_F(DemaRootNodeTest, OneEmptyLocalStillWorks) {
+  SendWindow(1, 0, {10, 20, 30});
+  SendWindow(2, 0, {});
+  ServeRequests();
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0].values[0], 20);  // rank 2 of {10,20,30}
+}
+
+TEST_F(DemaRootNodeTest, WindowsCompleteOutOfOrder) {
+  SendWindow(1, 0, {1, 2});
+  SendWindow(1, 1, {3, 4});
+  SendWindow(2, 1, {5, 6});  // window 1 complete first
+  ServeRequests();
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_EQ(outputs_[0].window_id, 1u);
+  SendWindow(2, 0, {7, 8});
+  ServeRequests();
+  ASSERT_EQ(outputs_.size(), 2u);
+  EXPECT_EQ(outputs_[1].window_id, 0u);
+  EXPECT_TRUE(root_->idle());
+}
+
+TEST_F(DemaRootNodeTest, DuplicateSynopsisRejected) {
+  SendWindow(1, 0, {1, 2});
+  SynopsisBatch dup;
+  dup.window_id = 0;
+  dup.node = 1;
+  dup.local_window_size = 0;
+  auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, 1, 0, dup);
+  EXPECT_EQ(root_->OnMessage(msg).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(DemaRootNodeTest, SynopsisFromUnknownNodeRejected) {
+  SynopsisBatch batch;
+  batch.window_id = 0;
+  batch.node = 99;
+  auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, 99, 0, batch);
+  EXPECT_EQ(root_->OnMessage(msg).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DemaRootNodeTest, ReplyForUnknownWindowRejected) {
+  CandidateReply reply;
+  reply.window_id = 9;
+  reply.node = 1;
+  auto msg = net::MakeMessage(net::MessageType::kCandidateReply, 1, 0, reply);
+  EXPECT_EQ(root_->OnMessage(msg).code(), StatusCode::kNotFound);
+}
+
+TEST_F(DemaRootNodeTest, StatsAccumulate) {
+  SendWindow(1, 0, {1, 2, 3, 4, 5, 6, 7, 8});
+  SendWindow(2, 0, {11, 12, 13, 14});
+  ServeRequests();
+  const DemaRootStats& stats = root_->stats();
+  EXPECT_EQ(stats.windows, 1u);
+  EXPECT_EQ(stats.global_events, 12u);
+  EXPECT_EQ(stats.synopsis_slices, 3u);  // 2 + 1
+  EXPECT_GE(stats.candidate_slices, 1u);
+  EXPECT_GE(stats.candidate_events, 1u);
+}
+
+}  // namespace
+}  // namespace dema::core

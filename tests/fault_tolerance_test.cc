@@ -1,0 +1,215 @@
+// Fault-injection tests: at-least-once delivery (duplicate messages) must
+// not change Dema's results or crash any node, and malformed payloads must
+// surface as clean error statuses rather than undefined behaviour.
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "dema/local_node.h"
+#include "dema/protocol.h"
+#include "dema/root_node.h"
+#include "sim/driver.h"
+#include "sim/topology.h"
+#include "stream/quantile.h"
+
+namespace dema {
+namespace {
+
+// --- duplicate delivery -----------------------------------------------------
+
+struct DupParam {
+  double duplicate_prob;
+  uint64_t seed;
+  const char* name;
+};
+
+class DuplicateDelivery : public ::testing::TestWithParam<DupParam> {};
+
+TEST_P(DuplicateDelivery, DemaStaysExactUnderRetransmission) {
+  const DupParam& p = GetParam();
+  sim::SystemConfig config;
+  config.kind = sim::SystemKind::kDema;
+  config.num_locals = 3;
+  config.gamma = 64;
+  config.adaptive_gamma = true;  // gamma updates get duplicated too
+
+  gen::DistributionParams dist;
+  dist.kind = gen::DistributionKind::kUniform;
+  dist.lo = 0;
+  dist.hi = 1000;
+  sim::WorkloadConfig load =
+      sim::MakeUniformWorkload(3, /*num_windows=*/6, /*event_rate=*/3000, dist);
+  load.window_len_us = config.window_len_us;
+
+  RealClock clock;
+  net::Network::Options net_opts;
+  net_opts.duplicate_prob = p.duplicate_prob;
+  net_opts.fault_seed = p.seed;
+  net::Network network(&clock, net_opts);
+  auto system_result = sim::BuildSystem(config, &network, &clock, 0);
+  ASSERT_TRUE(system_result.ok()) << system_result.status();
+  sim::System system = std::move(system_result).MoveValueUnsafe();
+  sim::SyncDriver driver(&system, &network, &clock);
+  driver.set_record_events(true);
+  Status st = driver.Run(load);
+  ASSERT_TRUE(st.ok()) << st;
+
+  // Results identical to the oracle despite duplicated protocol messages.
+  ASSERT_EQ(driver.outputs().size(), 6u);
+  for (const auto& out : driver.outputs()) {
+    std::vector<double> values;
+    for (const Event& e : driver.recorded_events()[out.window_id]) {
+      values.push_back(e.value);
+    }
+    auto oracle = stream::ExactQuantileValues(values, 0.5);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_DOUBLE_EQ(out.values[0], *oracle) << "window " << out.window_id;
+  }
+
+  if (p.duplicate_prob > 0) {
+    EXPECT_GT(network.duplicates_injected(), 0u);
+    auto* root = static_cast<core::DemaRootNode*>(system.root.get());
+    // Some duplicates land on the root (synopses/replies) — they must have
+    // been absorbed, not processed twice.
+    EXPECT_GE(network.duplicates_injected(), root->stats().duplicates_ignored);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, DuplicateDelivery,
+    ::testing::Values(DupParam{0.0, 1, "none"}, DupParam{0.1, 2, "ten_pct"},
+                      DupParam{0.5, 3, "half"}, DupParam{1.0, 4, "every_msg"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(DuplicateDelivery, DuplicatesAreChargedToTheWire) {
+  RealClock clock;
+  net::Network::Options opts;
+  opts.duplicate_prob = 1.0;  // every message doubled
+  net::Network network(&clock, opts);
+  ASSERT_TRUE(network.RegisterNode(0).ok());
+  ASSERT_TRUE(network.RegisterNode(1).ok());
+  net::Message m;
+  m.type = net::MessageType::kEventBatch;
+  m.src = 1;
+  m.dst = 0;
+  m.payload.assign(100, 0);
+  m.event_count = 4;
+  ASSERT_TRUE(network.Send(std::move(m)).ok());
+  auto stats = network.GetLinkStats(1, 0);
+  EXPECT_EQ(stats.counters.messages, 2u);
+  EXPECT_EQ(stats.counters.events, 8u);
+  EXPECT_EQ(network.duplicates_injected(), 1u);
+  // Both copies are actually delivered.
+  EXPECT_TRUE(network.Inbox(0)->TryPop().has_value());
+  EXPECT_TRUE(network.Inbox(0)->TryPop().has_value());
+  EXPECT_FALSE(network.Inbox(0)->TryPop().has_value());
+}
+
+// --- malformed payloads -----------------------------------------------------
+
+net::Message Corrupt(net::Message m, size_t truncate_to) {
+  if (truncate_to < m.payload.size()) m.payload.resize(truncate_to);
+  return m;
+}
+
+TEST(MalformedPayloads, RootRejectsTruncatedSynopsis) {
+  RealClock clock;
+  net::Network network(&clock);
+  ASSERT_TRUE(network.RegisterNode(0).ok());
+  ASSERT_TRUE(network.RegisterNode(1).ok());
+  core::DemaRootNodeOptions opts;
+  opts.locals = {1};
+  core::DemaRootNode root(opts, &network, &clock);
+
+  core::SynopsisBatch batch;
+  batch.window_id = 0;
+  batch.node = 1;
+  batch.local_window_size = 2;
+  core::SliceSynopsis s;
+  s.node = 1;
+  s.count = 2;
+  batch.slices.push_back(s);
+  auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, 1, 0, batch);
+  for (size_t cut : {0u, 4u, 12u, 30u}) {
+    Status st = root.OnMessage(Corrupt(msg, cut));
+    EXPECT_EQ(st.code(), StatusCode::kSerializationError) << "cut=" << cut;
+  }
+  // The intact message still works.
+  EXPECT_TRUE(root.OnMessage(msg).ok());
+}
+
+TEST(MalformedPayloads, RootRejectsInconsistentSliceCounts) {
+  RealClock clock;
+  net::Network network(&clock);
+  ASSERT_TRUE(network.RegisterNode(0).ok());
+  core::DemaRootNodeOptions opts;
+  opts.locals = {1};
+  core::DemaRootNode root(opts, &network, &clock);
+
+  core::SynopsisBatch batch;
+  batch.window_id = 0;
+  batch.node = 1;
+  batch.local_window_size = 99;  // does not match the slice sum (2)
+  core::SliceSynopsis s;
+  s.node = 1;
+  s.count = 2;
+  batch.slices.push_back(s);
+  auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, 1, 0, batch);
+  EXPECT_EQ(root.OnMessage(msg).code(), StatusCode::kSerializationError);
+}
+
+TEST(MalformedPayloads, LocalRejectsGarbageRequests) {
+  RealClock clock;
+  net::Network network(&clock);
+  ASSERT_TRUE(network.RegisterNode(0).ok());
+  ASSERT_TRUE(network.RegisterNode(1).ok());
+  core::DemaLocalNodeOptions opts;
+  opts.id = 1;
+  core::DemaLocalNode local(opts, &network, &clock);
+
+  net::Message garbage;
+  garbage.type = net::MessageType::kCandidateRequest;
+  garbage.src = 0;
+  garbage.dst = 1;
+  garbage.payload = {0x01, 0x02, 0x03};
+  EXPECT_EQ(local.OnMessage(garbage).code(), StatusCode::kSerializationError);
+
+  net::Message wrong_type;
+  wrong_type.type = net::MessageType::kEventBatch;
+  EXPECT_EQ(local.OnMessage(wrong_type).code(), StatusCode::kInternal);
+}
+
+TEST(MalformedPayloads, RandomBytesNeverCrashNodes) {
+  RealClock clock;
+  net::Network network(&clock);
+  ASSERT_TRUE(network.RegisterNode(0).ok());
+  ASSERT_TRUE(network.RegisterNode(1).ok());
+  core::DemaRootNodeOptions root_opts;
+  root_opts.locals = {1};
+  core::DemaRootNode root(root_opts, &network, &clock);
+  core::DemaLocalNodeOptions local_opts;
+  local_opts.id = 1;
+  core::DemaLocalNode local(local_opts, &network, &clock);
+
+  Rng rng(99);
+  const net::MessageType types[] = {
+      net::MessageType::kSynopsisBatch, net::MessageType::kCandidateRequest,
+      net::MessageType::kCandidateReply, net::MessageType::kGammaUpdate};
+  for (int trial = 0; trial < 500; ++trial) {
+    net::Message m;
+    m.type = types[rng.UniformInt(0, 3)];
+    m.src = 1;
+    m.dst = 0;
+    size_t len = static_cast<size_t>(rng.UniformInt(0, 64));
+    m.payload.resize(len);
+    for (auto& b : m.payload) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    // Either node may reject with any error status; it must not crash.
+    (void)root.OnMessage(m);
+    (void)local.OnMessage(m);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dema

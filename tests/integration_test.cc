@@ -1,0 +1,293 @@
+// End-to-end pipeline tests: every system runs the same deterministic
+// workload through the synchronous driver and must agree with a full-sort
+// oracle (exact systems bit-for-bit, sketch systems within error bounds).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/clock.h"
+#include "sim/driver.h"
+#include "sim/topology.h"
+#include "stream/quantile.h"
+
+namespace dema {
+namespace {
+
+using sim::SystemConfig;
+using sim::SystemKind;
+using sim::WorkloadConfig;
+
+/// Runs one system over the workload with event recording and returns the
+/// outputs plus oracle values per window.
+struct RunResult {
+  std::vector<sim::WindowOutput> outputs;
+  std::vector<std::vector<double>> oracle;  // [window][quantile]
+  uint64_t events = 0;
+};
+
+RunResult RunWithOracle(const SystemConfig& config, const WorkloadConfig& load) {
+  RealClock clock;
+  net::Network network(&clock);
+  auto system_result = sim::BuildSystem(config, &network, &clock, 0);
+  EXPECT_TRUE(system_result.ok()) << system_result.status();
+  sim::System system = std::move(system_result).MoveValueUnsafe();
+
+  WorkloadConfig workload = load;
+  workload.window_len_us = config.window_len_us;
+  sim::SyncDriver driver(&system, &network, &clock);
+  driver.set_record_events(true);
+  Status st = driver.Run(workload);
+  EXPECT_TRUE(st.ok()) << st;
+
+  RunResult result;
+  result.outputs = driver.outputs();
+  result.events = driver.events_ingested();
+  for (const auto& window_events : driver.recorded_events()) {
+    std::vector<double> values;
+    values.reserve(window_events.size());
+    for (const Event& e : window_events) values.push_back(e.value);
+    std::vector<double> per_q;
+    for (double q : config.quantiles) {
+      if (values.empty()) {
+        per_q.push_back(0.0);
+      } else {
+        auto oracle = stream::ExactQuantileValues(values, q);
+        EXPECT_TRUE(oracle.ok());
+        per_q.push_back(*oracle);
+      }
+    }
+    result.oracle.push_back(per_q);
+  }
+  return result;
+}
+
+WorkloadConfig DefaultWorkload(size_t locals, uint64_t windows = 5,
+                               double event_rate = 5000) {
+  gen::DistributionParams dist;
+  dist.kind = gen::DistributionKind::kSensorWalk;
+  dist.lo = 0;
+  dist.hi = 1000;
+  dist.stddev = 5;
+  return sim::MakeUniformWorkload(locals, windows, event_rate, dist);
+}
+
+void ExpectExact(const RunResult& run, size_t num_windows, size_t num_quantiles) {
+  ASSERT_EQ(run.outputs.size(), num_windows);
+  ASSERT_EQ(run.oracle.size(), num_windows);
+  for (const auto& out : run.outputs) {
+    ASSERT_LT(out.window_id, num_windows);
+    ASSERT_EQ(out.values.size(), num_quantiles);
+    for (size_t qi = 0; qi < num_quantiles; ++qi) {
+      EXPECT_DOUBLE_EQ(out.values[qi], run.oracle[out.window_id][qi])
+          << "window " << out.window_id << " quantile index " << qi;
+    }
+  }
+}
+
+TEST(Integration, DemaMatchesOracleMedian) {
+  SystemConfig config;
+  config.kind = SystemKind::kDema;
+  config.num_locals = 2;
+  config.gamma = 100;
+  auto run = RunWithOracle(config, DefaultWorkload(2));
+  ExpectExact(run, 5, 1);
+}
+
+TEST(Integration, CentralExactMatchesOracle) {
+  SystemConfig config;
+  config.kind = SystemKind::kCentralExact;
+  config.num_locals = 2;
+  auto run = RunWithOracle(config, DefaultWorkload(2));
+  ExpectExact(run, 5, 1);
+}
+
+TEST(Integration, DesisMatchesOracle) {
+  SystemConfig config;
+  config.kind = SystemKind::kDesisMerge;
+  config.num_locals = 2;
+  auto run = RunWithOracle(config, DefaultWorkload(2));
+  ExpectExact(run, 5, 1);
+}
+
+TEST(Integration, TDigestCentralIsClose) {
+  SystemConfig config;
+  config.kind = SystemKind::kTDigestCentral;
+  config.num_locals = 2;
+  config.tdigest_compression = 200;
+  auto run = RunWithOracle(config, DefaultWorkload(2));
+  ASSERT_EQ(run.outputs.size(), 5u);
+  for (const auto& out : run.outputs) {
+    double exact = run.oracle[out.window_id][0];
+    // Median over [0, 1000]-ranged values: within 5% of the value range.
+    EXPECT_NEAR(out.values[0], exact, 50.0) << "window " << out.window_id;
+  }
+}
+
+TEST(Integration, TDigestDecentralIsClose) {
+  SystemConfig config;
+  config.kind = SystemKind::kTDigestDecentral;
+  config.num_locals = 3;
+  config.tdigest_compression = 200;
+  auto run = RunWithOracle(config, DefaultWorkload(3));
+  ASSERT_EQ(run.outputs.size(), 5u);
+  for (const auto& out : run.outputs) {
+    double exact = run.oracle[out.window_id][0];
+    EXPECT_NEAR(out.values[0], exact, 50.0) << "window " << out.window_id;
+  }
+}
+
+TEST(Integration, QDigestIsCloseWithinUniverseBound) {
+  SystemConfig config;
+  config.kind = SystemKind::kQDigest;
+  config.num_locals = 3;
+  config.qdigest_lo = 0;
+  config.qdigest_hi = 1000;  // matches the workload domain
+  config.qdigest_bits = 16;
+  config.qdigest_k = 256;
+  auto run = RunWithOracle(config, DefaultWorkload(3));
+  ASSERT_EQ(run.outputs.size(), 5u);
+  for (const auto& out : run.outputs) {
+    double exact = run.oracle[out.window_id][0];
+    // q-digest rank error <= bits/k = 6.25%; sensorwalk medians sit in a
+    // dense region, so 10% of the value range is a generous envelope.
+    EXPECT_NEAR(out.values[0], exact, 100.0) << "window " << out.window_id;
+  }
+}
+
+TEST(Integration, DemaIncrementalSortModeMatchesOracle) {
+  SystemConfig config;
+  config.kind = SystemKind::kDema;
+  config.num_locals = 2;
+  config.gamma = 100;
+  config.sort_mode = stream::SortMode::kIncremental;
+  auto run = RunWithOracle(config, DefaultWorkload(2));
+  ExpectExact(run, 5, 1);
+}
+
+TEST(Integration, CompactWireCodecStaysExactEverywhere) {
+  for (auto kind : {SystemKind::kDema, SystemKind::kCentralExact,
+                    SystemKind::kDesisMerge}) {
+    SystemConfig config;
+    config.kind = kind;
+    config.num_locals = 2;
+    config.gamma = 100;
+    config.wire_codec = net::EventCodec::kCompact;
+    auto run = RunWithOracle(config, DefaultWorkload(2));
+    ExpectExact(run, 5, 1);
+  }
+}
+
+TEST(Integration, DemaMultiQuantile) {
+  SystemConfig config;
+  config.kind = SystemKind::kDema;
+  config.num_locals = 3;
+  config.gamma = 64;
+  config.quantiles = {0.25, 0.5, 0.75};
+  auto run = RunWithOracle(config, DefaultWorkload(3));
+  ExpectExact(run, 5, 3);
+}
+
+TEST(Integration, DemaAdaptiveGammaStaysExact) {
+  SystemConfig config;
+  config.kind = SystemKind::kDema;
+  config.num_locals = 2;
+  config.gamma = 1000;
+  config.adaptive_gamma = true;
+  auto run = RunWithOracle(config, DefaultWorkload(2, /*windows=*/10));
+  ExpectExact(run, 10, 1);
+}
+
+TEST(Integration, DemaNaiveSelectionStaysExact) {
+  SystemConfig config;
+  config.kind = SystemKind::kDema;
+  config.num_locals = 2;
+  config.gamma = 100;
+  config.naive_selection = true;
+  auto run = RunWithOracle(config, DefaultWorkload(2));
+  ExpectExact(run, 5, 1);
+}
+
+// --- Property sweep: Dema exactness across distributions, gamma, node
+// counts, quantiles, and scale-rate overlap patterns. -----------------------
+
+struct SweepParam {
+  gen::DistributionKind dist;
+  size_t locals;
+  uint64_t gamma;
+  double quantile;
+  std::vector<double> scale_rates;
+  const char* name;
+};
+
+class DemaExactnessSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DemaExactnessSweep, MatchesOracle) {
+  const SweepParam& p = GetParam();
+  SystemConfig config;
+  config.kind = SystemKind::kDema;
+  config.num_locals = p.locals;
+  config.gamma = p.gamma;
+  config.quantiles = {p.quantile};
+
+  gen::DistributionParams dist;
+  dist.kind = p.dist;
+  dist.lo = 0;
+  dist.hi = 1000;
+  dist.mean = 500;
+  dist.stddev = p.dist == gen::DistributionKind::kSensorWalk ? 5 : 150;
+  dist.lambda = 0.01;
+  WorkloadConfig load =
+      sim::MakeUniformWorkload(p.locals, /*windows=*/4, /*event_rate=*/3000,
+                               dist, p.scale_rates);
+  auto run = RunWithOracle(config, load);
+  ExpectExact(run, 4, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, DemaExactnessSweep,
+    ::testing::Values(
+        SweepParam{gen::DistributionKind::kUniform, 2, 50, 0.5, {}, "uniform"},
+        SweepParam{gen::DistributionKind::kNormal, 2, 50, 0.5, {}, "normal"},
+        SweepParam{gen::DistributionKind::kExponential, 2, 50, 0.5, {}, "exp"},
+        SweepParam{gen::DistributionKind::kZipf, 2, 50, 0.5, {}, "zipf"},
+        SweepParam{gen::DistributionKind::kSensorWalk, 2, 50, 0.5, {}, "walk"}),
+    [](const auto& info) { return info.param.name; });
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaAndTopology, DemaExactnessSweep,
+    ::testing::Values(
+        SweepParam{gen::DistributionKind::kUniform, 2, 2, 0.5, {}, "gamma2"},
+        SweepParam{gen::DistributionKind::kUniform, 2, 3, 0.5, {}, "gamma3"},
+        SweepParam{gen::DistributionKind::kUniform, 2, 100000, 0.5, {}, "gammaHuge"},
+        SweepParam{gen::DistributionKind::kUniform, 1, 64, 0.5, {}, "oneLocal"},
+        SweepParam{gen::DistributionKind::kUniform, 7, 64, 0.5, {}, "sevenLocals"},
+        SweepParam{gen::DistributionKind::kNormal, 5, 17, 0.5, {}, "oddGamma"}),
+    [](const auto& info) { return info.param.name; });
+
+INSTANTIATE_TEST_SUITE_P(
+    Quantiles, DemaExactnessSweep,
+    ::testing::Values(
+        SweepParam{gen::DistributionKind::kUniform, 3, 64, 0.01, {}, "q01"},
+        SweepParam{gen::DistributionKind::kUniform, 3, 64, 0.25, {}, "q25"},
+        SweepParam{gen::DistributionKind::kUniform, 3, 64, 0.30, {}, "q30"},
+        SweepParam{gen::DistributionKind::kUniform, 3, 64, 0.75, {}, "q75"},
+        SweepParam{gen::DistributionKind::kUniform, 3, 64, 0.99, {}, "q99"},
+        SweepParam{gen::DistributionKind::kUniform, 3, 64, 1.0, {}, "q100"}),
+    [](const auto& info) { return info.param.name; });
+
+INSTANTIATE_TEST_SUITE_P(
+    ScaleRates, DemaExactnessSweep,
+    ::testing::Values(
+        SweepParam{
+            gen::DistributionKind::kSensorWalk, 2, 64, 0.3, {1, 2}, "skew2"},
+        SweepParam{
+            gen::DistributionKind::kSensorWalk, 2, 64, 0.3, {1, 10}, "skew10"},
+        SweepParam{gen::DistributionKind::kUniform, 4, 64, 0.5,
+                   {1, 1, 5, 5}, "twoClusters"},
+        SweepParam{gen::DistributionKind::kUniform, 3, 64, 0.5,
+                   {1, 100, 10000}, "disjointRanges"}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace dema

@@ -1,0 +1,303 @@
+// Unit tests for the network substrate: serialization, message framing,
+// channels (including concurrency and backpressure), and the network fabric's
+// traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "net/channel.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "net/serializer.h"
+
+namespace dema::net {
+namespace {
+
+TEST(Serializer, PrimitiveRoundTrip) {
+  Writer w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutDouble(3.14159);
+  w.PutString("hello");
+
+  Reader r(w.buffer());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  std::string s;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU16(&u16).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serializer, EventRoundTrip) {
+  Writer w;
+  Event e{123.456, 789, 3, 17};
+  w.PutEvent(e);
+  Reader r(w.buffer());
+  Event out;
+  ASSERT_TRUE(r.GetEvent(&out).ok());
+  EXPECT_EQ(out, e);
+}
+
+TEST(Serializer, EventVectorRoundTrip) {
+  Writer w;
+  std::vector<Event> events;
+  for (uint32_t i = 0; i < 100; ++i) {
+    events.push_back(Event{static_cast<double>(i), i * 10, 1, i});
+  }
+  w.PutEvents(events);
+  Reader r(w.buffer());
+  std::vector<Event> out;
+  ASSERT_TRUE(r.GetEvents(&out).ok());
+  EXPECT_EQ(out, events);
+}
+
+TEST(Serializer, TruncatedBufferFails) {
+  Writer w;
+  w.PutU64(7);
+  Reader r(w.buffer().data(), 4);  // half the u64
+  uint64_t v;
+  Status st = r.GetU64(&v);
+  EXPECT_EQ(st.code(), StatusCode::kSerializationError);
+}
+
+TEST(Serializer, OversizedStringLengthFails) {
+  Writer w;
+  w.PutU32(1'000'000);  // claims a huge string with no bytes behind it
+  Reader r(w.buffer());
+  std::string s;
+  EXPECT_EQ(r.GetString(&s).code(), StatusCode::kSerializationError);
+}
+
+TEST(Serializer, OversizedEventCountFails) {
+  Writer w;
+  w.PutU32(1'000'000);  // claims a million events
+  Reader r(w.buffer());
+  std::vector<Event> out;
+  EXPECT_EQ(r.GetEvents(&out).code(), StatusCode::kSerializationError);
+}
+
+TEST(Message, EventBatchRoundTrip) {
+  EventBatch batch;
+  batch.window_id = 9;
+  batch.sorted = true;
+  batch.last_batch = true;
+  batch.events = {{1, 2, 3, 4}, {5, 6, 7, 8}};
+
+  Message m = MakeMessage(MessageType::kEventBatch, 1, 0, batch);
+  EXPECT_EQ(m.event_count, 2u);
+  EXPECT_EQ(m.WireBytes(), kEnvelopeWireBytes + m.payload.size());
+
+  Reader r(m.payload);
+  auto out = EventBatch::Deserialize(&r);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->window_id, 9u);
+  EXPECT_TRUE(out->sorted);
+  EXPECT_TRUE(out->last_batch);
+  EXPECT_EQ(out->events, batch.events);
+}
+
+TEST(Message, WindowEndRoundTrip) {
+  WindowEnd end{5, 1234, 999};
+  Message m = MakeMessage(MessageType::kWindowEnd, 2, 0, end);
+  EXPECT_EQ(m.event_count, 0u);  // markers carry no raw events
+  Reader r(m.payload);
+  auto out = WindowEnd::Deserialize(&r);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->window_id, 5u);
+  EXPECT_EQ(out->local_window_size, 1234u);
+  EXPECT_EQ(out->close_time_us, 999);
+}
+
+TEST(Message, TypeNames) {
+  EXPECT_STREQ(MessageTypeToString(MessageType::kEventBatch), "EventBatch");
+  EXPECT_STREQ(MessageTypeToString(MessageType::kSynopsisBatch), "SynopsisBatch");
+  EXPECT_STREQ(MessageTypeToString(MessageType::kShutdown), "Shutdown");
+}
+
+Message TestMessage(uint64_t events = 0, size_t payload_bytes = 8) {
+  Message m;
+  m.type = MessageType::kEventBatch;
+  m.src = 1;
+  m.dst = 0;
+  m.payload.assign(payload_bytes, 0);
+  m.event_count = events;
+  return m;
+}
+
+TEST(Channel, FifoOrder) {
+  Channel ch;
+  for (int i = 0; i < 10; ++i) {
+    Message m = TestMessage();
+    m.payload[0] = static_cast<uint8_t>(i);
+    ASSERT_TRUE(ch.Push(std::move(m)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto m = ch.TryPop();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->payload[0], i);
+  }
+  EXPECT_FALSE(ch.TryPop().has_value());
+}
+
+TEST(Channel, CountsTraffic) {
+  Channel ch;
+  ASSERT_TRUE(ch.Push(TestMessage(5, 100)));
+  ASSERT_TRUE(ch.Push(TestMessage(3, 50)));
+  auto c = ch.counters();
+  EXPECT_EQ(c.messages, 2u);
+  EXPECT_EQ(c.events, 8u);
+  EXPECT_EQ(c.bytes, 2 * kEnvelopeWireBytes + 150);
+}
+
+TEST(Channel, CloseDrainsThenEnds) {
+  Channel ch;
+  ASSERT_TRUE(ch.Push(TestMessage()));
+  ch.Close();
+  EXPECT_FALSE(ch.Push(TestMessage()));  // producers fail after close
+  EXPECT_TRUE(ch.Pop().has_value());     // consumer drains the queue
+  EXPECT_FALSE(ch.Pop().has_value());    // then sees end-of-stream
+}
+
+TEST(Channel, TryPushRespectsCapacity) {
+  Channel ch(2);
+  EXPECT_TRUE(ch.TryPush(TestMessage()));
+  EXPECT_TRUE(ch.TryPush(TestMessage()));
+  EXPECT_FALSE(ch.TryPush(TestMessage()));
+  ch.TryPop();
+  EXPECT_TRUE(ch.TryPush(TestMessage()));
+}
+
+TEST(Channel, PopForTimesOut) {
+  Channel ch;
+  auto m = ch.PopFor(MillisUs(5));
+  EXPECT_FALSE(m.has_value());
+}
+
+TEST(Channel, BoundedPushBlocksUntilSpace) {
+  Channel ch(1);
+  ASSERT_TRUE(ch.Push(TestMessage()));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ch.Push(TestMessage());
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // still blocked on the full channel
+  ch.TryPop();
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(Channel, ConcurrentProducersDeliverEverything) {
+  Channel ch(64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(ch.Push(TestMessage(1)));
+      }
+    });
+  }
+  uint64_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    if (ch.Pop().has_value()) ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ch.counters().messages, static_cast<uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(Network, RegisterAndSend) {
+  RealClock clock;
+  Network net(&clock);
+  ASSERT_TRUE(net.RegisterNode(0).ok());
+  ASSERT_TRUE(net.RegisterNode(1).ok());
+  EXPECT_EQ(net.RegisterNode(1).code(), StatusCode::kAlreadyExists);
+
+  ASSERT_TRUE(net.Send(TestMessage(4, 32)).ok());
+  auto stats = net.GetLinkStats(1, 0);
+  EXPECT_EQ(stats.counters.messages, 1u);
+  EXPECT_EQ(stats.counters.events, 4u);
+  EXPECT_GT(stats.simulated_transfer_us, 0.0);
+
+  auto msg = net.Inbox(0)->TryPop();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->src, 1u);
+}
+
+TEST(Network, SendToUnknownNodeFails) {
+  RealClock clock;
+  Network net(&clock);
+  ASSERT_TRUE(net.RegisterNode(0).ok());
+  Message m = TestMessage();
+  m.dst = 99;
+  EXPECT_EQ(net.Send(std::move(m)).code(), StatusCode::kNotFound);
+}
+
+TEST(Network, TotalAndPerTypeStats) {
+  RealClock clock;
+  Network net(&clock);
+  ASSERT_TRUE(net.RegisterNode(0).ok());
+  ASSERT_TRUE(net.RegisterNode(1).ok());
+  ASSERT_TRUE(net.RegisterNode(2).ok());
+
+  Message a = TestMessage(2, 16);
+  a.src = 1;
+  ASSERT_TRUE(net.Send(std::move(a)).ok());
+  Message b = TestMessage(0, 8);
+  b.src = 2;
+  b.type = MessageType::kWindowEnd;
+  ASSERT_TRUE(net.Send(std::move(b)).ok());
+
+  auto total = net.TotalStats();
+  EXPECT_EQ(total.counters.messages, 2u);
+  EXPECT_EQ(total.counters.events, 2u);
+
+  auto by_type = net.StatsByType();
+  EXPECT_EQ(by_type[MessageType::kEventBatch].messages, 1u);
+  EXPECT_EQ(by_type[MessageType::kWindowEnd].messages, 1u);
+}
+
+TEST(Network, LinkModelTransferTime) {
+  LinkModel model;
+  model.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s
+  model.base_latency_us = 100;
+  EXPECT_DOUBLE_EQ(model.TransferTimeUs(1'000'000), 100 + 1e6);
+  EXPECT_DOUBLE_EQ(model.TransferTimeUs(0), 100);
+}
+
+TEST(Network, CloseAllStopsProducers) {
+  RealClock clock;
+  Network net(&clock);
+  ASSERT_TRUE(net.RegisterNode(0).ok());
+  net.CloseAll();
+  EXPECT_EQ(net.Send(TestMessage()).code(), StatusCode::kNetworkError);
+}
+
+}  // namespace
+}  // namespace dema::net

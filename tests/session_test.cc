@@ -1,0 +1,137 @@
+// Tests for session windows (Section 2.1 window type iii): gap-based
+// sessionization, watermark-driven closing, and out-of-order merge semantics.
+
+#include <gtest/gtest.h>
+
+#include "stream/session.h"
+
+namespace dema::stream {
+namespace {
+
+Event Ev(double v, TimestampUs t, uint32_t seq = 0) { return Event{v, t, 1, seq}; }
+
+TEST(SessionWindows, GroupsByActivityGap) {
+  SessionWindowManager sm(MillisUs(100));
+  // Burst 1: t=0, 50, 90. Burst 2: t=300, 310.
+  sm.OnEvent(Ev(1, 0, 0));
+  sm.OnEvent(Ev(2, MillisUs(50), 1));
+  sm.OnEvent(Ev(3, MillisUs(90), 2));
+  sm.OnEvent(Ev(4, MillisUs(300), 3));
+  sm.OnEvent(Ev(5, MillisUs(310), 4));
+  EXPECT_EQ(sm.open_sessions(), 2u);
+
+  auto closed = sm.AdvanceWatermark(MillisUs(250));
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].start_us, 0);
+  EXPECT_EQ(closed[0].last_us, MillisUs(90));
+  EXPECT_EQ(closed[0].sorted_events.size(), 3u);
+
+  closed = sm.AdvanceWatermark(MillisUs(500));
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].sorted_events.size(), 2u);
+  EXPECT_EQ(sm.open_sessions(), 0u);
+}
+
+TEST(SessionWindows, ExactGapBoundary) {
+  SessionWindowManager sm(MillisUs(100));
+  sm.OnEvent(Ev(1, 0, 0));
+  // Exactly gap later: still the same session (touching ranges merge).
+  sm.OnEvent(Ev(2, MillisUs(100), 1));
+  EXPECT_EQ(sm.open_sessions(), 1u);
+  // Gap + 1: a new session.
+  sm.OnEvent(Ev(3, MillisUs(200) + 1, 2));
+  EXPECT_EQ(sm.open_sessions(), 2u);
+}
+
+TEST(SessionWindows, EventsSortedWithinSession) {
+  SessionWindowManager sm(MillisUs(100));
+  sm.OnEvent(Ev(30, 0, 0));
+  sm.OnEvent(Ev(10, MillisUs(10), 1));
+  sm.OnEvent(Ev(20, MillisUs(20), 2));
+  auto closed = sm.Flush();
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].sorted_events[0].value, 10);
+  EXPECT_EQ(closed[0].sorted_events[1].value, 20);
+  EXPECT_EQ(closed[0].sorted_events[2].value, 30);
+}
+
+TEST(SessionWindows, LateEventBridgesTwoSessions) {
+  SessionWindowManager sm(MillisUs(100));
+  sm.OnEvent(Ev(1, 0, 0));
+  sm.OnEvent(Ev(2, MillisUs(200), 1));
+  EXPECT_EQ(sm.open_sessions(), 2u);
+  // An out-of-order event at t=100 is within the gap of both sessions
+  // (0 -> 100 and 100 -> 200 are both exactly one gap).
+  sm.OnEvent(Ev(3, MillisUs(100), 2));
+  EXPECT_EQ(sm.open_sessions(), 1u);
+  auto closed = sm.Flush();
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].start_us, 0);
+  EXPECT_EQ(closed[0].last_us, MillisUs(200));
+  EXPECT_EQ(closed[0].sorted_events.size(), 3u);
+}
+
+TEST(SessionWindows, NearMissDoesNotBridge) {
+  SessionWindowManager sm(MillisUs(100));
+  sm.OnEvent(Ev(1, 0, 0));
+  sm.OnEvent(Ev(2, MillisUs(250), 1));
+  // t=150 touches only the later session (150ms from the first > gap).
+  sm.OnEvent(Ev(3, MillisUs(150), 2));
+  EXPECT_EQ(sm.open_sessions(), 2u);
+  auto closed = sm.Flush();
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].sorted_events.size(), 1u);
+  EXPECT_EQ(closed[1].start_us, MillisUs(150));
+  EXPECT_EQ(closed[1].sorted_events.size(), 2u);
+}
+
+TEST(SessionWindows, BridgingChainMergesMany) {
+  SessionWindowManager sm(MillisUs(10));
+  // Five isolated sessions 100ms apart.
+  for (uint32_t i = 0; i < 5; ++i) {
+    sm.OnEvent(Ev(i, MillisUs(100) * i, i));
+  }
+  EXPECT_EQ(sm.open_sessions(), 5u);
+  // A burst that touches everything merges them into one.
+  SessionWindowManager chain(MillisUs(120));
+  for (uint32_t i = 0; i < 5; ++i) {
+    chain.OnEvent(Ev(i, MillisUs(100) * i, i));
+  }
+  EXPECT_EQ(chain.open_sessions(), 1u);
+}
+
+TEST(SessionWindows, WatermarkDropsLateEvents) {
+  SessionWindowManager sm(MillisUs(100));
+  sm.AdvanceWatermark(MillisUs(500));
+  EXPECT_FALSE(sm.OnEvent(Ev(1, MillisUs(400), 0)));
+  EXPECT_EQ(sm.late_events(), 1u);
+  EXPECT_TRUE(sm.OnEvent(Ev(1, MillisUs(600), 1)));
+}
+
+TEST(SessionWindows, OpenSessionSurvivesWatermarkInsideGap) {
+  SessionWindowManager sm(MillisUs(100));
+  sm.OnEvent(Ev(1, MillisUs(100), 0));
+  // Watermark inside the quiet period: session must stay open.
+  auto closed = sm.AdvanceWatermark(MillisUs(150));
+  EXPECT_TRUE(closed.empty());
+  EXPECT_EQ(sm.open_sessions(), 1u);
+  // Another event keeps extending it.
+  sm.OnEvent(Ev(2, MillisUs(180), 1));
+  closed = sm.AdvanceWatermark(MillisUs(279));
+  EXPECT_TRUE(closed.empty());
+  closed = sm.AdvanceWatermark(MillisUs(280));
+  EXPECT_EQ(closed.size(), 1u);
+}
+
+TEST(SessionWindows, FlushReturnsAllInStartOrder) {
+  SessionWindowManager sm(MillisUs(10));
+  sm.OnEvent(Ev(2, MillisUs(500), 0));
+  sm.OnEvent(Ev(1, MillisUs(100), 1));
+  auto closed = sm.Flush();
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].start_us, MillisUs(100));
+  EXPECT_EQ(closed[1].start_us, MillisUs(500));
+}
+
+}  // namespace
+}  // namespace dema::stream

@@ -1,0 +1,122 @@
+// Unit tests for slice construction and synopsis serialization.
+
+#include <gtest/gtest.h>
+
+#include "dema/slice.h"
+#include "net/serializer.h"
+
+namespace dema::core {
+namespace {
+
+std::vector<Event> MakeSorted(size_t n) {
+  std::vector<Event> events;
+  for (uint32_t i = 0; i < n; ++i) {
+    events.push_back(Event{static_cast<double>(i), static_cast<TimestampUs>(i), 1, i});
+  }
+  return events;
+}
+
+TEST(CutIntoSlices, PaperExample) {
+  // l = 1000, gamma = 150 -> 7 slices: 6 x 150 + 1 x 100 (Section 3.1).
+  auto slices = CutIntoSlices(MakeSorted(1000), 7, 150);
+  ASSERT_TRUE(slices.ok());
+  ASSERT_EQ(slices->size(), 7u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ((*slices)[i].count, 150u);
+    EXPECT_EQ((*slices)[i].index, i);
+    EXPECT_EQ((*slices)[i].node, 7u);
+  }
+  EXPECT_EQ((*slices)[6].count, 100u);
+}
+
+TEST(CutIntoSlices, ExactMultiple) {
+  auto slices = CutIntoSlices(MakeSorted(300), 1, 100);
+  ASSERT_TRUE(slices.ok());
+  ASSERT_EQ(slices->size(), 3u);
+  for (const auto& s : *slices) EXPECT_EQ(s.count, 100u);
+}
+
+TEST(CutIntoSlices, FirstLastMatchBoundaries) {
+  auto events = MakeSorted(10);
+  auto slices = CutIntoSlices(events, 1, 4);
+  ASSERT_TRUE(slices.ok());
+  ASSERT_EQ(slices->size(), 3u);
+  EXPECT_EQ((*slices)[0].first, events[0]);
+  EXPECT_EQ((*slices)[0].last, events[3]);
+  EXPECT_EQ((*slices)[1].first, events[4]);
+  EXPECT_EQ((*slices)[2].first, events[8]);
+  EXPECT_EQ((*slices)[2].last, events[9]);
+  EXPECT_EQ((*slices)[2].count, 2u);
+}
+
+TEST(CutIntoSlices, SingleTrailingEventAllowed) {
+  auto slices = CutIntoSlices(MakeSorted(5), 1, 2);
+  ASSERT_TRUE(slices.ok());
+  ASSERT_EQ(slices->size(), 3u);
+  EXPECT_EQ(slices->back().count, 1u);
+  EXPECT_EQ(slices->back().first, slices->back().last);
+}
+
+TEST(CutIntoSlices, EmptyWindowYieldsNoSlices) {
+  auto slices = CutIntoSlices({}, 1, 10);
+  ASSERT_TRUE(slices.ok());
+  EXPECT_TRUE(slices->empty());
+}
+
+TEST(CutIntoSlices, GammaBelowTwoRejected) {
+  EXPECT_FALSE(CutIntoSlices(MakeSorted(10), 1, 1).ok());
+  EXPECT_FALSE(CutIntoSlices(MakeSorted(10), 1, 0).ok());
+  EXPECT_TRUE(CutIntoSlices(MakeSorted(10), 1, 2).ok());
+}
+
+TEST(SliceEventRange, MatchesCutBoundaries) {
+  // Window of 10 with gamma 4: [0,4) [4,8) [8,10).
+  EXPECT_EQ(SliceEventRange(10, 4, 0), (std::pair<uint64_t, uint64_t>{0, 4}));
+  EXPECT_EQ(SliceEventRange(10, 4, 1), (std::pair<uint64_t, uint64_t>{4, 8}));
+  EXPECT_EQ(SliceEventRange(10, 4, 2), (std::pair<uint64_t, uint64_t>{8, 10}));
+  // Out-of-range index gives an empty range.
+  auto [b, e] = SliceEventRange(10, 4, 5);
+  EXPECT_GE(b, e);
+}
+
+TEST(SliceSynopsis, SerializationRoundTrip) {
+  SliceSynopsis s;
+  s.node = 3;
+  s.index = 7;
+  s.first = Event{1.5, 10, 3, 0};
+  s.last = Event{9.5, 20, 3, 99};
+  s.count = 100;
+  net::Writer w;
+  s.SerializeTo(&w);
+  net::Reader r(w.buffer());
+  SliceSynopsis out;
+  ASSERT_TRUE(SliceSynopsis::DeserializeInto(&r, &out).ok());
+  EXPECT_EQ(out.node, s.node);
+  EXPECT_EQ(out.index, s.index);
+  EXPECT_EQ(out.first, s.first);
+  EXPECT_EQ(out.last, s.last);
+  EXPECT_EQ(out.count, s.count);
+}
+
+TEST(SliceSynopsis, ZeroCountRejectedOnDeserialize) {
+  SliceSynopsis s;
+  s.count = 0;
+  net::Writer w;
+  s.SerializeTo(&w);
+  net::Reader r(w.buffer());
+  SliceSynopsis out;
+  EXPECT_FALSE(SliceSynopsis::DeserializeInto(&r, &out).ok());
+}
+
+TEST(SliceSynopsis, WireSizeIsCompact) {
+  // A synopsis stands in for up to gamma events; its wire size must be a
+  // small constant (2 events + ids + count).
+  SliceSynopsis s;
+  s.count = 1;
+  net::Writer w;
+  s.SerializeTo(&w);
+  EXPECT_LE(w.size(), 2 * kEventWireBytes + 16);
+}
+
+}  // namespace
+}  // namespace dema::core

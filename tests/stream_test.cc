@@ -1,0 +1,212 @@
+// Unit tests for the streaming substrate: window assignment, quantile ranks,
+// sorted window buffers, the window manager, and the loser-tree merger.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "stream/merge.h"
+#include "stream/quantile.h"
+#include "stream/sorted_buffer.h"
+#include "stream/window.h"
+#include "stream/window_manager.h"
+
+namespace dema::stream {
+namespace {
+
+TEST(WindowAssigner, MapsTimesToWindows) {
+  TumblingWindowAssigner a(SecondsUs(1));
+  EXPECT_EQ(a.AssignWindow(0), 0u);
+  EXPECT_EQ(a.AssignWindow(999'999), 0u);
+  EXPECT_EQ(a.AssignWindow(1'000'000), 1u);
+  EXPECT_EQ(a.WindowStart(3), 3'000'000);
+  EXPECT_EQ(a.WindowEnd(3), 4'000'000);
+}
+
+TEST(QuantileRank, PaperDefinition) {
+  // Pos(q) = ceil(q * n), clamped to [1, n].
+  EXPECT_EQ(QuantileRank(0.5, 10), 5u);
+  EXPECT_EQ(QuantileRank(0.5, 11), 6u);
+  EXPECT_EQ(QuantileRank(0.25, 4), 1u);
+  EXPECT_EQ(QuantileRank(1.0, 7), 7u);
+  EXPECT_EQ(QuantileRank(0.001, 10), 1u);
+  EXPECT_EQ(QuantileRank(0.5, 0), 0u);
+}
+
+TEST(ExactQuantile, SortedEventsSelection) {
+  std::vector<Event> sorted;
+  for (int i = 1; i <= 100; ++i) {
+    sorted.push_back(Event{static_cast<double>(i), 0, 1, static_cast<uint32_t>(i)});
+  }
+  auto median = ExactQuantileSorted(sorted, 0.5);
+  ASSERT_TRUE(median.ok());
+  EXPECT_DOUBLE_EQ(median->value, 50);
+  auto max = ExactQuantileSorted(sorted, 1.0);
+  ASSERT_TRUE(max.ok());
+  EXPECT_DOUBLE_EQ(max->value, 100);
+}
+
+TEST(ExactQuantile, RejectsBadInput) {
+  EXPECT_FALSE(ExactQuantileSorted({}, 0.5).ok());
+  std::vector<Event> one = {Event{1, 0, 0, 0}};
+  EXPECT_FALSE(ExactQuantileSorted(one, 0.0).ok());
+  EXPECT_FALSE(ExactQuantileSorted(one, 1.5).ok());
+  EXPECT_FALSE(ExactQuantileValues({}, 0.5).ok());
+}
+
+TEST(ExactQuantile, ValuesMatchesFullSort) {
+  Rng rng(9);
+  std::vector<double> values;
+  for (int i = 0; i < 999; ++i) values.push_back(rng.Uniform(0, 1000));
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.01, 0.25, 0.5, 0.77, 1.0}) {
+    auto got = ExactQuantileValues(values, q);
+    ASSERT_TRUE(got.ok());
+    EXPECT_DOUBLE_EQ(*got, sorted[QuantileRank(q, sorted.size()) - 1]);
+  }
+}
+
+TEST(SortedBuffer, BothModesYieldIdenticalOrder) {
+  Rng rng(4);
+  SortedWindowBuffer on_close(SortMode::kSortOnClose);
+  SortedWindowBuffer incremental(SortMode::kIncremental);
+  std::vector<Event> events;
+  for (uint32_t i = 0; i < 500; ++i) {
+    Event e{rng.Uniform(0, 100), static_cast<TimestampUs>(i), 1, i};
+    events.push_back(e);
+    on_close.Add(e);
+    incremental.Add(e);
+  }
+  EXPECT_EQ(on_close.size(), 500u);
+  EXPECT_EQ(incremental.size(), 500u);
+  auto a = on_close.TakeSorted();
+  auto b = incremental.TakeSorted();
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  // Buffers are reusable after TakeSorted.
+  EXPECT_TRUE(on_close.empty());
+  EXPECT_TRUE(incremental.empty());
+}
+
+TEST(WindowManager, ClosesWindowsInOrder) {
+  WindowManager wm(SecondsUs(1));
+  wm.OnEvent(Event{1, 100, 1, 0});
+  wm.OnEvent(Event{2, SecondsUs(1) + 5, 1, 1});
+  wm.OnEvent(Event{3, SecondsUs(2) + 5, 1, 2});
+  EXPECT_EQ(wm.open_windows(), 3u);
+  EXPECT_EQ(wm.buffered_events(), 3u);
+
+  auto closed = wm.AdvanceWatermark(SecondsUs(2));
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].id, 0u);
+  EXPECT_EQ(closed[1].id, 1u);
+  EXPECT_EQ(closed[0].sorted_events.size(), 1u);
+  EXPECT_EQ(wm.open_windows(), 1u);
+}
+
+TEST(WindowManager, DropsLateEvents) {
+  WindowManager wm(SecondsUs(1));
+  wm.AdvanceWatermark(SecondsUs(5));
+  EXPECT_FALSE(wm.OnEvent(Event{1, 100, 1, 0}));
+  EXPECT_EQ(wm.late_events(), 1u);
+  EXPECT_TRUE(wm.OnEvent(Event{1, SecondsUs(5) + 1, 1, 1}));
+}
+
+TEST(WindowManager, WatermarkNeverRegresses) {
+  WindowManager wm(SecondsUs(1));
+  wm.AdvanceWatermark(SecondsUs(3));
+  auto closed = wm.AdvanceWatermark(SecondsUs(2));
+  EXPECT_TRUE(closed.empty());
+  EXPECT_EQ(wm.watermark_us(), SecondsUs(3));
+}
+
+TEST(WindowManager, FlushClosesEverything) {
+  WindowManager wm(SecondsUs(1));
+  wm.OnEvent(Event{5, 10, 1, 0});
+  wm.OnEvent(Event{1, 20, 1, 1});
+  auto closed = wm.Flush();
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].sorted_events[0].value, 1);
+  EXPECT_EQ(closed[0].sorted_events[1].value, 5);
+  EXPECT_EQ(wm.open_windows(), 0u);
+}
+
+std::vector<Event> RandomSortedRun(Rng* rng, uint32_t node, size_t n) {
+  std::vector<Event> run;
+  for (uint32_t i = 0; i < n; ++i) {
+    run.push_back(Event{rng->Uniform(0, 1000), static_cast<TimestampUs>(i), node, i});
+  }
+  std::sort(run.begin(), run.end());
+  return run;
+}
+
+TEST(LoserTree, MergesLikeGlobalSort) {
+  Rng rng(42);
+  std::vector<std::vector<Event>> runs;
+  std::vector<Event> all;
+  for (uint32_t n = 0; n < 5; ++n) {
+    auto run = RandomSortedRun(&rng, n, 200 + n * 37);
+    all.insert(all.end(), run.begin(), run.end());
+    runs.push_back(std::move(run));
+  }
+  std::sort(all.begin(), all.end());
+  auto merged = MergeSortedRuns(std::move(runs));
+  EXPECT_EQ(merged, all);
+}
+
+TEST(LoserTree, HandlesEmptyAndSingletonRuns) {
+  std::vector<std::vector<Event>> runs(4);
+  runs[1].push_back(Event{2, 0, 1, 0});
+  runs[3].push_back(Event{1, 0, 3, 0});
+  auto merged = MergeSortedRuns(std::move(runs));
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].value, 1);
+  EXPECT_EQ(merged[1].value, 2);
+}
+
+TEST(LoserTree, NoRunsMeansNothing) {
+  LoserTreeMerger merger({});
+  EXPECT_FALSE(merger.HasNext());
+  EXPECT_EQ(merger.remaining(), 0u);
+}
+
+TEST(LoserTree, SingleRunPassesThrough) {
+  Rng rng(1);
+  auto run = RandomSortedRun(&rng, 0, 100);
+  auto expected = run;
+  std::vector<std::vector<Event>> runs;
+  runs.push_back(std::move(run));
+  auto merged = MergeSortedRuns(std::move(runs));
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(LoserTree, ManyRunsNonPowerOfTwo) {
+  Rng rng(7);
+  std::vector<std::vector<Event>> runs;
+  std::vector<Event> all;
+  for (uint32_t n = 0; n < 13; ++n) {  // pads to 16 leaves internally
+    auto run = RandomSortedRun(&rng, n, (n * 53) % 97);
+    all.insert(all.end(), run.begin(), run.end());
+    runs.push_back(std::move(run));
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(MergeSortedRuns(std::move(runs)), all);
+}
+
+TEST(LoserTree, StreamingInterface) {
+  std::vector<std::vector<Event>> runs;
+  runs.push_back({Event{1, 0, 0, 0}, Event{3, 0, 0, 1}});
+  runs.push_back({Event{2, 0, 1, 0}});
+  LoserTreeMerger merger(std::move(runs));
+  EXPECT_EQ(merger.remaining(), 3u);
+  EXPECT_EQ(merger.Next().value, 1);
+  EXPECT_EQ(merger.Next().value, 2);
+  EXPECT_TRUE(merger.HasNext());
+  EXPECT_EQ(merger.Next().value, 3);
+  EXPECT_FALSE(merger.HasNext());
+}
+
+}  // namespace
+}  // namespace dema::stream

@@ -1,0 +1,70 @@
+// Tests for the maximum-sustainable-throughput search (the paper's
+// throughput metric, after Karimov et al.).
+
+#include <gtest/gtest.h>
+
+#include "sim/sustainable.h"
+
+namespace dema::sim {
+namespace {
+
+gen::DistributionParams Uniform01k() {
+  gen::DistributionParams dist;
+  dist.kind = gen::DistributionKind::kUniform;
+  dist.lo = 0;
+  dist.hi = 1000;
+  return dist;
+}
+
+TEST(Sustainable, RejectsBadInterval) {
+  SystemConfig config;
+  SustainableSearchOptions opts;
+  opts.lo_rate = 0;
+  EXPECT_FALSE(FindSustainableThroughput(config, Uniform01k(), opts).ok());
+  opts.lo_rate = 100;
+  opts.hi_rate = 50;
+  EXPECT_FALSE(FindSustainableThroughput(config, Uniform01k(), opts).ok());
+}
+
+TEST(Sustainable, FindsACrossoverWithinBracket) {
+  SystemConfig config;
+  config.kind = SystemKind::kDema;
+  config.num_locals = 2;
+  config.gamma = 1'000;
+  SustainableSearchOptions opts;
+  opts.lo_rate = 1'000;
+  opts.hi_rate = 100'000'000;  // absurdly high so the search must bisect
+  opts.windows = 2;
+  auto result = FindSustainableThroughput(config, Uniform01k(), opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->per_node_rate_eps, opts.lo_rate);
+  EXPECT_LT(result->per_node_rate_eps, opts.hi_rate);
+  EXPECT_GT(result->probes, 2);
+  EXPECT_DOUBLE_EQ(result->total_rate_eps, result->per_node_rate_eps * 2);
+}
+
+TEST(Sustainable, DemaSustainsMoreThanScotty) {
+  SustainableSearchOptions opts;
+  opts.lo_rate = 10'000;
+  opts.hi_rate = 64'000'000;
+  opts.windows = 2;
+  opts.tolerance = 0.2;
+
+  SystemConfig dema_cfg;
+  dema_cfg.kind = SystemKind::kDema;
+  dema_cfg.num_locals = 4;
+  dema_cfg.gamma = 10'000;
+  auto dema_result = FindSustainableThroughput(dema_cfg, Uniform01k(), opts);
+  ASSERT_TRUE(dema_result.ok()) << dema_result.status();
+
+  SystemConfig scotty_cfg;
+  scotty_cfg.kind = SystemKind::kCentralExact;
+  scotty_cfg.num_locals = 4;
+  auto scotty_result = FindSustainableThroughput(scotty_cfg, Uniform01k(), opts);
+  ASSERT_TRUE(scotty_result.ok()) << scotty_result.status();
+
+  EXPECT_GT(dema_result->total_rate_eps, scotty_result->total_rate_eps * 1.5);
+}
+
+}  // namespace
+}  // namespace dema::sim

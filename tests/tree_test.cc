@@ -1,0 +1,258 @@
+// Hierarchical-aggregation tests: Dema through relay tiers must stay exact,
+// cut root fan-in, propagate gamma downward, and compose to deeper trees.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "sim/tree.h"
+#include "stream/quantile.h"
+
+namespace dema::sim {
+namespace {
+
+gen::DistributionParams Uniform01k() {
+  gen::DistributionParams dist;
+  dist.kind = gen::DistributionKind::kUniform;
+  dist.lo = 0;
+  dist.hi = 1000;
+  return dist;
+}
+
+struct TreeRun {
+  std::vector<WindowOutput> outputs;
+  std::vector<std::vector<double>> oracle;  // [window] -> values
+  uint64_t events = 0;
+};
+
+TreeRun RunTree(const TreeConfig& config, uint64_t windows, double rate) {
+  RealClock clock;
+  net::Network network(&clock);
+  auto tree = BuildTreeSystem(config, &network, &clock);
+  EXPECT_TRUE(tree.ok()) << tree.status();
+
+  size_t leaves = config.num_relays * config.locals_per_relay;
+  WorkloadConfig load =
+      MakeUniformWorkload(leaves, windows, rate, Uniform01k());
+  load.window_len_us = config.window_len_us;
+  // MakeUniformWorkload numbers nodes 1..N; renumber to the leaf ids.
+  for (size_t i = 0; i < leaves; ++i) {
+    load.generators[i].node = tree->local_ids[i];
+  }
+
+  // Oracle from identical generators.
+  TreeRun run;
+  run.oracle.assign(windows, {});
+  std::vector<std::vector<double>> per_window(windows);
+  for (const auto& gcfg : load.generators) {
+    auto gen = gen::StreamGenerator::Create(gcfg);
+    EXPECT_TRUE(gen.ok());
+    for (uint64_t w = 0; w < windows; ++w) {
+      for (const Event& e : (*gen)->GenerateWindow(
+               static_cast<TimestampUs>(w) * config.window_len_us,
+               config.window_len_us)) {
+        per_window[w].push_back(e.value);
+      }
+    }
+  }
+  for (uint64_t w = 0; w < windows; ++w) {
+    for (double q : config.quantiles) {
+      auto oracle = stream::ExactQuantileValues(per_window[w], q);
+      EXPECT_TRUE(oracle.ok());
+      run.oracle[w].push_back(*oracle);
+    }
+  }
+
+  TreeSyncDriver driver(&*tree, &network, &clock);
+  Status st = driver.Run(load);
+  EXPECT_TRUE(st.ok()) << st;
+  run.outputs = driver.outputs();
+  run.events = driver.events_ingested();
+  return run;
+}
+
+TEST(TreeTopology, BuilderValidates) {
+  RealClock clock;
+  net::Network network(&clock);
+  TreeConfig config;
+  config.num_relays = 0;
+  EXPECT_FALSE(BuildTreeSystem(config, &network, &clock).ok());
+}
+
+TEST(TreeTopology, ExactThroughOneRelayTier) {
+  TreeConfig config;
+  config.num_relays = 2;
+  config.locals_per_relay = 3;
+  config.gamma = 64;
+  TreeRun run = RunTree(config, /*windows=*/4, /*rate=*/2000);
+  ASSERT_EQ(run.outputs.size(), 4u);
+  for (const auto& out : run.outputs) {
+    EXPECT_DOUBLE_EQ(out.values[0], run.oracle[out.window_id][0])
+        << "window " << out.window_id;
+  }
+}
+
+TEST(TreeTopology, ExactWithMultiQuantileAndSkew) {
+  TreeConfig config;
+  config.num_relays = 3;
+  config.locals_per_relay = 2;
+  config.gamma = 32;
+  config.quantiles = {0.25, 0.5, 0.9};
+  TreeRun run = RunTree(config, /*windows=*/3, /*rate=*/1500);
+  for (const auto& out : run.outputs) {
+    for (size_t qi = 0; qi < config.quantiles.size(); ++qi) {
+      EXPECT_DOUBLE_EQ(out.values[qi], run.oracle[out.window_id][qi]);
+    }
+  }
+}
+
+TEST(TreeTopology, RelayCutsRootFanIn) {
+  RealClock clock;
+  net::Network network(&clock);
+  TreeConfig config;
+  config.num_relays = 2;
+  config.locals_per_relay = 4;
+  config.gamma = 100;
+  auto tree = BuildTreeSystem(config, &network, &clock);
+  ASSERT_TRUE(tree.ok());
+  WorkloadConfig load = MakeUniformWorkload(8, 3, 2000, Uniform01k());
+  load.window_len_us = config.window_len_us;
+  for (size_t i = 0; i < 8; ++i) load.generators[i].node = tree->local_ids[i];
+  TreeSyncDriver driver(&*tree, &network, &clock);
+  ASSERT_TRUE(driver.Run(load).ok());
+
+  // The root receives exactly one synopsis batch per relay per window,
+  // regardless of leaf count.
+  auto by_type = network.StatsByType();
+  uint64_t synopsis_msgs = by_type[net::MessageType::kSynopsisBatch].messages;
+  // 8 leaves x 3 windows at the relay tier + 2 relays x 3 windows upward.
+  EXPECT_EQ(synopsis_msgs, 8u * 3 + 2u * 3);
+  uint64_t root_inbound = 0;
+  for (NodeId relay : tree->relay_ids) {
+    root_inbound += network.GetLinkStats(relay, 0).counters.messages;
+  }
+  // Root link carries only relay traffic: 3 synopses + <=3 replies per relay.
+  EXPECT_LE(root_inbound, 2u * 3 * 2);
+}
+
+TEST(TreeTopology, GammaUpdatePropagatesToLeaves) {
+  RealClock clock;
+  net::Network network(&clock);
+  TreeConfig config;
+  config.num_relays = 2;
+  config.locals_per_relay = 2;
+  auto tree = BuildTreeSystem(config, &network, &clock);
+  ASSERT_TRUE(tree.ok());
+
+  // Inject a gamma update at a relay as the root would.
+  core::GammaUpdate update;
+  update.effective_from = 0;
+  update.gamma = 7;
+  auto msg =
+      net::MakeMessage(net::MessageType::kGammaUpdate, 0, tree->relay_ids[0], update);
+  ASSERT_TRUE(tree->relays[0]->OnMessage(msg).ok());
+  // Both of relay 0's leaves got it.
+  for (size_t leaf = 0; leaf < 2; ++leaf) {
+    auto forwarded = network.Inbox(tree->local_ids[leaf])->TryPop();
+    ASSERT_TRUE(forwarded.has_value());
+    EXPECT_EQ(forwarded->type, net::MessageType::kGammaUpdate);
+    ASSERT_TRUE(tree->locals[leaf]->OnMessage(*forwarded).ok());
+    EXPECT_EQ(tree->locals[leaf]->GammaForWindow(0), 7u);
+  }
+}
+
+TEST(TreeTopology, ThreeLevelTreeComposes) {
+  // Hand-built: root <- relay A <- {relay B, leaf L3}; relay B <- {L1, L2}.
+  RealClock clock;
+  net::Network network(&clock);
+  for (NodeId id : {0u, 1u, 2u, 3u, 4u, 5u}) {
+    ASSERT_TRUE(network.RegisterNode(id).ok());
+  }
+  core::DemaRootNodeOptions root_opts;
+  root_opts.id = 0;
+  root_opts.locals = {1};
+  root_opts.initial_gamma = 8;
+  core::DemaRootNode root(root_opts, &network, &clock);
+
+  core::DemaRelayNodeOptions a_opts;
+  a_opts.id = 1;
+  a_opts.parent = 0;
+  a_opts.children = {2, 3};
+  core::DemaRelayNode relay_a(a_opts, &network, &clock);
+
+  core::DemaRelayNodeOptions b_opts;
+  b_opts.id = 2;
+  b_opts.parent = 1;
+  b_opts.children = {4, 5};
+  core::DemaRelayNode relay_b(b_opts, &network, &clock);
+
+  auto make_leaf = [&](NodeId id, NodeId parent) {
+    core::DemaLocalNodeOptions opts;
+    opts.id = id;
+    opts.root_id = parent;
+    opts.initial_gamma = 8;
+    return std::make_unique<core::DemaLocalNode>(opts, &network, &clock);
+  };
+  auto leaf3 = make_leaf(3, 1);
+  auto leaf4 = make_leaf(4, 2);
+  auto leaf5 = make_leaf(5, 2);
+
+  std::vector<WindowOutput> outputs;
+  root.SetResultCallback(
+      [&](const WindowOutput& out) { outputs.push_back(out); });
+
+  // Feed one window of events to every leaf.
+  Rng rng(3);
+  std::vector<double> all_values;
+  uint32_t seq = 0;
+  auto feed = [&](core::DemaLocalNode* leaf, NodeId node) {
+    for (int i = 0; i < 30; ++i) {
+      double v = rng.Uniform(0, 1000);
+      all_values.push_back(v);
+      ASSERT_TRUE(
+          leaf->OnEvent(Event{v, static_cast<TimestampUs>(1000 + i), node, seq++})
+              .ok());
+    }
+    ASSERT_TRUE(leaf->OnWatermark(SecondsUs(1)).ok());
+  };
+  feed(leaf3.get(), 3);
+  feed(leaf4.get(), 4);
+  feed(leaf5.get(), 5);
+
+  // Pump all tiers until quiescent.
+  bool progress = true;
+  core::DemaLocalNode* leaves[] = {leaf3.get(), leaf4.get(), leaf5.get()};
+  NodeId leaf_ids[] = {3, 4, 5};
+  while (progress) {
+    progress = false;
+    while (auto m = network.Inbox(0)->TryPop()) {
+      ASSERT_TRUE(root.OnMessage(*m).ok());
+      progress = true;
+    }
+    while (auto m = network.Inbox(1)->TryPop()) {
+      ASSERT_TRUE(relay_a.OnMessage(*m).ok());
+      progress = true;
+    }
+    while (auto m = network.Inbox(2)->TryPop()) {
+      ASSERT_TRUE(relay_b.OnMessage(*m).ok());
+      progress = true;
+    }
+    for (int i = 0; i < 3; ++i) {
+      while (auto m = network.Inbox(leaf_ids[i])->TryPop()) {
+        ASSERT_TRUE(leaves[i]->OnMessage(*m).ok());
+        progress = true;
+      }
+    }
+  }
+
+  ASSERT_EQ(outputs.size(), 1u);
+  auto oracle = stream::ExactQuantileValues(all_values, 0.5);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_DOUBLE_EQ(outputs[0].values[0], *oracle);
+  EXPECT_EQ(outputs[0].global_size, 90u);
+}
+
+}  // namespace
+}  // namespace dema::sim

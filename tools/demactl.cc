@@ -1,0 +1,281 @@
+// demactl — command-line front end for the Dema library.
+//
+// Subcommands:
+//   run          run one system over a synthetic workload and print
+//                per-window results plus run metrics
+//   compare      run several systems over the same workload and print a
+//                side-by-side metric table
+//   sustainable  binary-search the maximum sustainable throughput
+//
+// Common flags:
+//   --system=dema|scotty|desis|tdigest|tdigest-dec|qdigest   (run/sustainable)
+//   --locals=N --windows=N --rate=EV_PER_SEC --gamma=G
+//   --quantiles=0.25,0.5,0.99   --dist=uniform|normal|zipf|sensorwalk|exponential
+//   --scale-rates=1,2,10        per-node value multipliers
+//   --slide-ms=MS               sliding windows (Dema only)
+//   --adaptive --per-node-gamma --naive-selection
+//   --csv=PATH                  also dump the table as CSV
+//
+// Examples:
+//   demactl run --system=dema --locals=4 --rate=100000 --quantiles=0.5,0.99
+//   demactl compare --locals=2 --windows=6
+//   demactl sustainable --system=scotty --locals=4
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/table.h"
+#include "sim/driver.h"
+#include "sim/sustainable.h"
+#include "sim/tree.h"
+#include "sim/topology.h"
+
+using namespace dema;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "demactl: " << message << "\n";
+  return 1;
+}
+
+Result<sim::SystemKind> ParseSystem(const std::string& name) {
+  if (name == "dema") return sim::SystemKind::kDema;
+  if (name == "scotty" || name == "central") return sim::SystemKind::kCentralExact;
+  if (name == "desis") return sim::SystemKind::kDesisMerge;
+  if (name == "tdigest") return sim::SystemKind::kTDigestCentral;
+  if (name == "tdigest-dec") return sim::SystemKind::kTDigestDecentral;
+  if (name == "qdigest") return sim::SystemKind::kQDigest;
+  return Status::InvalidArgument("unknown system: " + name);
+}
+
+Result<sim::SystemConfig> BuildConfig(const Flags& flags) {
+  sim::SystemConfig config;
+  DEMA_ASSIGN_OR_RETURN(config.kind,
+                        ParseSystem(flags.GetString("system", "dema")));
+  config.num_locals = static_cast<size_t>(flags.GetInt("locals", 2));
+  config.gamma = static_cast<uint64_t>(flags.GetInt("gamma", 10'000));
+  config.quantiles = flags.GetDoubleList("quantiles", {0.5});
+  config.adaptive_gamma = flags.Has("adaptive");
+  config.per_node_gamma = flags.Has("per-node-gamma");
+  config.naive_selection = flags.Has("naive-selection");
+  if (flags.Has("slide-ms")) {
+    config.window_slide_us = MillisUs(flags.GetInt("slide-ms", 1000));
+  }
+  config.qdigest_hi = flags.GetDouble("qdigest-hi", 1'000'000);
+  return config;
+}
+
+Result<sim::WorkloadConfig> BuildWorkload(const Flags& flags,
+                                          const sim::SystemConfig& config) {
+  gen::DistributionParams dist;
+  DEMA_ASSIGN_OR_RETURN(
+      dist.kind,
+      gen::DistributionKindFromString(flags.GetString("dist", "sensorwalk")));
+  dist.lo = flags.GetDouble("lo", 0);
+  dist.hi = flags.GetDouble("hi", 10'000);
+  dist.stddev = flags.GetDouble("stddev",
+                                dist.kind == gen::DistributionKind::kSensorWalk
+                                    ? 25
+                                    : 1'500);
+  dist.mean = flags.GetDouble("mean", (dist.lo + dist.hi) / 2);
+  std::vector<double> scale_rates = flags.GetDoubleList("scale-rates", {});
+  sim::WorkloadConfig load = sim::MakeUniformWorkload(
+      config.num_locals, static_cast<uint64_t>(flags.GetInt("windows", 5)),
+      flags.GetDouble("rate", 50'000), dist, scale_rates,
+      static_cast<uint64_t>(flags.GetInt("seed", 1000)));
+  if (flags.Has("disorder-ms")) {
+    load.max_disorder_us = MillisUs(flags.GetInt("disorder-ms", 0));
+    load.allowed_lateness_us =
+        MillisUs(flags.GetInt("lateness-ms", flags.GetInt("disorder-ms", 0)));
+  }
+  return load;
+}
+
+void EmitTable(const Table& table, const Flags& flags) {
+  table.Print(std::cout);
+  std::string csv = flags.GetString("csv", "");
+  if (!csv.empty()) {
+    Status st = table.WriteCsv(csv);
+    if (st.ok()) {
+      std::cout << "CSV written to " << csv << "\n";
+    } else {
+      std::cerr << "CSV write failed: " << st << "\n";
+    }
+  }
+}
+
+std::vector<std::string> MetricsRow(const char* name,
+                                    const sim::RunMetrics& metrics) {
+  return {name,
+          FmtCount(metrics.events_ingested),
+          FmtRate(metrics.sim_throughput_eps),
+          FmtF(metrics.latency.mean_us / 1000.0, 2) + " ms",
+          FmtCount(metrics.network_total.events),
+          FmtBytes(metrics.network_total.bytes),
+          metrics.bottleneck};
+}
+
+int CmdRun(const Flags& flags) {
+  auto config_result = BuildConfig(flags);
+  if (!config_result.ok()) return Fail(config_result.status().ToString());
+  const sim::SystemConfig& config = *config_result;
+  auto load_result = BuildWorkload(flags, config);
+  if (!load_result.ok()) return Fail(load_result.status().ToString());
+
+  RealClock clock;
+  net::Network network(&clock);
+  auto system_result = sim::BuildSystem(config, &network, &clock, 0);
+  if (!system_result.ok()) return Fail(system_result.status().ToString());
+  sim::System system = std::move(system_result).MoveValueUnsafe();
+  sim::SyncDriver driver(&system, &network, &clock);
+  sim::WorkloadConfig load = *load_result;
+  load.window_len_us = config.window_len_us;
+  load.window_slide_us = config.window_slide_us;
+  Status st = driver.Run(load);
+  if (!st.ok()) return Fail(st.ToString());
+
+  std::vector<std::string> headers = {"window", "events"};
+  for (double q : config.quantiles) headers.push_back("q" + FmtF(q * 100, 0));
+  headers.push_back("latency ms");
+  Table table(headers);
+  for (const sim::WindowOutput& out : driver.outputs()) {
+    std::vector<std::string> row = {std::to_string(out.window_id),
+                                    FmtCount(out.global_size)};
+    for (double v : out.values) row.push_back(FmtF(v, 2));
+    row.push_back(FmtF(ToMillis(out.latency_us), 2));
+    (void)table.AddRow(row);
+  }
+  EmitTable(table, flags);
+
+  auto total = network.TotalStats();
+  std::cout << "ingested " << FmtCount(driver.events_ingested()) << " events; "
+            << FmtCount(total.counters.events) << " raw events / "
+            << FmtBytes(total.counters.bytes) << " on the wire\n";
+  return 0;
+}
+
+int CmdCompare(const Flags& flags) {
+  Table table({"system", "events", "throughput", "mean latency", "wire events",
+               "wire bytes", "bottleneck"});
+  for (auto kind :
+       {sim::SystemKind::kDema, sim::SystemKind::kCentralExact,
+        sim::SystemKind::kDesisMerge, sim::SystemKind::kTDigestCentral,
+        sim::SystemKind::kTDigestDecentral, sim::SystemKind::kQDigest}) {
+    sim::SystemConfig config;
+    auto base = BuildConfig(flags);
+    if (!base.ok()) return Fail(base.status().ToString());
+    config = *base;
+    config.kind = kind;
+    config.window_slide_us = 0;  // baselines are tumbling-only
+    auto load_result = BuildWorkload(flags, config);
+    if (!load_result.ok()) return Fail(load_result.status().ToString());
+    auto metrics = sim::RunSync(config, *load_result);
+    if (!metrics.ok()) return Fail(metrics.status().ToString());
+    if (flags.Has("json")) {
+      JsonWriter row;
+      row.Field("system", sim::SystemKindToString(kind))
+          .RawField("metrics", sim::RunMetricsToJson(*metrics));
+      std::cout << row.Finish() << "\n";
+    }
+    (void)table.AddRow(MetricsRow(sim::SystemKindToString(kind), *metrics));
+  }
+  if (!flags.Has("json")) EmitTable(table, flags);
+  return 0;
+}
+
+int CmdSustainable(const Flags& flags) {
+  auto config_result = BuildConfig(flags);
+  if (!config_result.ok()) return Fail(config_result.status().ToString());
+  gen::DistributionParams dist;
+  auto kind_result =
+      gen::DistributionKindFromString(flags.GetString("dist", "uniform"));
+  if (!kind_result.ok()) return Fail(kind_result.status().ToString());
+  dist.kind = *kind_result;
+  dist.lo = flags.GetDouble("lo", 0);
+  dist.hi = flags.GetDouble("hi", 10'000);
+
+  sim::SustainableSearchOptions opts;
+  opts.windows = static_cast<uint64_t>(flags.GetInt("windows", 3));
+  auto result = sim::FindSustainableThroughput(*config_result, dist, opts);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::cout << sim::SystemKindToString(config_result->kind)
+            << " sustainable throughput: " << FmtRate(result->total_rate_eps)
+            << " total (" << FmtRate(result->per_node_rate_eps) << " per node, "
+            << result->probes << " probes)\n";
+  return 0;
+}
+
+int CmdTree(const Flags& flags) {
+  sim::TreeConfig config;
+  config.num_relays = static_cast<size_t>(flags.GetInt("relays", 2));
+  config.locals_per_relay = static_cast<size_t>(flags.GetInt("per-relay", 3));
+  config.gamma = static_cast<uint64_t>(flags.GetInt("gamma", 1'000));
+  config.quantiles = flags.GetDoubleList("quantiles", {0.5});
+
+  RealClock clock;
+  net::Network network(&clock);
+  auto tree_result = sim::BuildTreeSystem(config, &network, &clock);
+  if (!tree_result.ok()) return Fail(tree_result.status().ToString());
+  sim::TreeSystem tree = std::move(tree_result).MoveValueUnsafe();
+
+  gen::DistributionParams dist;
+  auto kind_result =
+      gen::DistributionKindFromString(flags.GetString("dist", "sensorwalk"));
+  if (!kind_result.ok()) return Fail(kind_result.status().ToString());
+  dist.kind = *kind_result;
+  dist.lo = flags.GetDouble("lo", 0);
+  dist.hi = flags.GetDouble("hi", 10'000);
+  dist.stddev = flags.GetDouble("stddev", 25);
+  size_t leaves = config.num_relays * config.locals_per_relay;
+  sim::WorkloadConfig load = sim::MakeUniformWorkload(
+      leaves, static_cast<uint64_t>(flags.GetInt("windows", 4)),
+      flags.GetDouble("rate", 20'000), dist);
+  load.window_len_us = config.window_len_us;
+  for (size_t i = 0; i < leaves; ++i) load.generators[i].node = tree.local_ids[i];
+
+  sim::TreeSyncDriver driver(&tree, &network, &clock);
+  Status st = driver.Run(load);
+  if (!st.ok()) return Fail(st.ToString());
+
+  std::vector<std::string> headers = {"window", "events"};
+  for (double q : config.quantiles) headers.push_back("q" + FmtF(q * 100, 0));
+  Table table(headers);
+  for (const sim::WindowOutput& out : driver.outputs()) {
+    std::vector<std::string> row = {std::to_string(out.window_id),
+                                    FmtCount(out.global_size)};
+    for (double v : out.values) row.push_back(FmtF(v, 2));
+    (void)table.AddRow(row);
+  }
+  EmitTable(table, flags);
+  uint64_t uplink = 0;
+  for (NodeId relay : tree.relay_ids) {
+    uplink += network.GetLinkStats(relay, tree.root_id).counters.bytes;
+  }
+  std::cout << leaves << " leaves through " << config.num_relays
+            << " relays; root uplink carried " << FmtBytes(uplink) << " for "
+            << FmtCount(driver.events_ingested()) << " events.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::string cmd =
+      flags.positional().empty() ? "help" : flags.positional().front();
+  if (cmd == "run") return CmdRun(flags);
+  if (cmd == "compare") return CmdCompare(flags);
+  if (cmd == "sustainable") return CmdSustainable(flags);
+  if (cmd == "tree") return CmdTree(flags);
+  std::cout
+      << "usage: demactl <run|compare|sustainable|tree> [flags]\n"
+         "  run          run one system and print per-window results\n"
+         "  compare      run every system on the same workload\n"
+         "  sustainable  search the maximum sustainable throughput\n"
+         "flags: --system= --locals= --windows= --rate= --gamma= --quantiles=\n"
+         "       --dist= --scale-rates= --slide-ms= --adaptive --per-node-gamma\n"
+         "       --naive-selection --csv=\n";
+  return cmd == "help" ? 0 : 1;
+}
