@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_adaptive_gamma"
+  "../bench/abl_adaptive_gamma.pdb"
+  "CMakeFiles/abl_adaptive_gamma.dir/abl_adaptive_gamma.cc.o"
+  "CMakeFiles/abl_adaptive_gamma.dir/abl_adaptive_gamma.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adaptive_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sort_mode"
+  "../bench/abl_sort_mode.pdb"
+  "CMakeFiles/abl_sort_mode.dir/abl_sort_mode.cc.o"
+  "CMakeFiles/abl_sort_mode.dir/abl_sort_mode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sort_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_window_cut"
+  "../bench/abl_window_cut.pdb"
+  "CMakeFiles/abl_window_cut.dir/abl_window_cut.cc.o"
+  "CMakeFiles/abl_window_cut.dir/abl_window_cut.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_window_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_wire_codec"
+  "../bench/abl_wire_codec.pdb"
+  "CMakeFiles/abl_wire_codec.dir/abl_wire_codec.cc.o"
+  "CMakeFiles/abl_wire_codec.dir/abl_wire_codec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wire_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

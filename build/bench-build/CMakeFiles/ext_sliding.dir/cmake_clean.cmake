@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_sliding"
+  "../bench/ext_sliding.pdb"
+  "CMakeFiles/ext_sliding.dir/ext_sliding.cc.o"
+  "CMakeFiles/ext_sliding.dir/ext_sliding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sliding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

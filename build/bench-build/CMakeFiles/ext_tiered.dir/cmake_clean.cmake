@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_tiered"
+  "../bench/ext_tiered.pdb"
+  "CMakeFiles/ext_tiered.dir/ext_tiered.cc.o"
+  "CMakeFiles/ext_tiered.dir/ext_tiered.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tiered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

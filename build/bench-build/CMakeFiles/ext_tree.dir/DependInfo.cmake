@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_tree.cc" "bench-build/CMakeFiles/ext_tree.dir/ext_tree.cc.o" "gcc" "bench-build/CMakeFiles/ext_tree.dir/ext_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dema_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/dema_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dema/CMakeFiles/dema_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dema_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/dema_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/dema_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dema_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dema_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

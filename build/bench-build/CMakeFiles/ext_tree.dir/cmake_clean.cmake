@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_tree"
+  "../bench/ext_tree.pdb"
+  "CMakeFiles/ext_tree.dir/ext_tree.cc.o"
+  "CMakeFiles/ext_tree.dir/ext_tree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

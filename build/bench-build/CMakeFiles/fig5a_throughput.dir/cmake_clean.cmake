@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5a_throughput"
+  "../bench/fig5a_throughput.pdb"
+  "CMakeFiles/fig5a_throughput.dir/fig5a_throughput.cc.o"
+  "CMakeFiles/fig5a_throughput.dir/fig5a_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

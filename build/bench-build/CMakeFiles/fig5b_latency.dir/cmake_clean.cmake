@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5b_latency"
+  "../bench/fig5b_latency.pdb"
+  "CMakeFiles/fig5b_latency.dir/fig5b_latency.cc.o"
+  "CMakeFiles/fig5b_latency.dir/fig5b_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_network"
+  "../bench/fig6a_network.pdb"
+  "CMakeFiles/fig6a_network.dir/fig6a_network.cc.o"
+  "CMakeFiles/fig6a_network.dir/fig6a_network.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

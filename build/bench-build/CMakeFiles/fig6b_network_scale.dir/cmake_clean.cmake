@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_network_scale"
+  "../bench/fig6b_network_scale.pdb"
+  "CMakeFiles/fig6b_network_scale.dir/fig6b_network_scale.cc.o"
+  "CMakeFiles/fig6b_network_scale.dir/fig6b_network_scale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_network_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

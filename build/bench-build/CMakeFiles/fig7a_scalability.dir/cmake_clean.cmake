@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7a_scalability"
+  "../bench/fig7a_scalability.pdb"
+  "CMakeFiles/fig7a_scalability.dir/fig7a_scalability.cc.o"
+  "CMakeFiles/fig7a_scalability.dir/fig7a_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

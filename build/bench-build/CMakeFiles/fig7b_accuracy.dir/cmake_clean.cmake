@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7b_accuracy"
+  "../bench/fig7b_accuracy.pdb"
+  "CMakeFiles/fig7b_accuracy.dir/fig7b_accuracy.cc.o"
+  "CMakeFiles/fig7b_accuracy.dir/fig7b_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8a_quantiles"
+  "../bench/fig8a_quantiles.pdb"
+  "CMakeFiles/fig8a_quantiles.dir/fig8a_quantiles.cc.o"
+  "CMakeFiles/fig8a_quantiles.dir/fig8a_quantiles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

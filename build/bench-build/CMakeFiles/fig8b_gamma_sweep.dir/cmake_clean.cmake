@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8b_gamma_sweep"
+  "../bench/fig8b_gamma_sweep.pdb"
+  "CMakeFiles/fig8b_gamma_sweep.dir/fig8b_gamma_sweep.cc.o"
+  "CMakeFiles/fig8b_gamma_sweep.dir/fig8b_gamma_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_gamma_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_gamma.dir/adaptive_gamma.cpp.o"
+  "CMakeFiles/adaptive_gamma.dir/adaptive_gamma.cpp.o.d"
+  "adaptive_gamma"
+  "adaptive_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_hierarchy.dir/edge_hierarchy.cpp.o"
+  "CMakeFiles/edge_hierarchy.dir/edge_hierarchy.cpp.o.d"
+  "edge_hierarchy"
+  "edge_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

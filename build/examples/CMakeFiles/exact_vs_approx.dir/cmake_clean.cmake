@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_vs_approx.dir/exact_vs_approx.cpp.o"
+  "CMakeFiles/exact_vs_approx.dir/exact_vs_approx.cpp.o.d"
+  "exact_vs_approx"
+  "exact_vs_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_vs_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/why_dema.dir/why_dema.cpp.o"
+  "CMakeFiles/why_dema.dir/why_dema.cpp.o.d"
+  "why_dema"
+  "why_dema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/why_dema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for why_dema.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for why_dema.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/central_root.cc" "src/baselines/CMakeFiles/dema_baselines.dir/central_root.cc.o" "gcc" "src/baselines/CMakeFiles/dema_baselines.dir/central_root.cc.o.d"
+  "/root/repo/src/baselines/forwarding_local.cc" "src/baselines/CMakeFiles/dema_baselines.dir/forwarding_local.cc.o" "gcc" "src/baselines/CMakeFiles/dema_baselines.dir/forwarding_local.cc.o.d"
+  "/root/repo/src/baselines/qdigest_agg.cc" "src/baselines/CMakeFiles/dema_baselines.dir/qdigest_agg.cc.o" "gcc" "src/baselines/CMakeFiles/dema_baselines.dir/qdigest_agg.cc.o.d"
+  "/root/repo/src/baselines/tdigest_agg.cc" "src/baselines/CMakeFiles/dema_baselines.dir/tdigest_agg.cc.o" "gcc" "src/baselines/CMakeFiles/dema_baselines.dir/tdigest_agg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dema_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dema_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/dema_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/dema_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

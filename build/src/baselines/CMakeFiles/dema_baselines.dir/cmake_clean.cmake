@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dema_baselines.dir/central_root.cc.o"
+  "CMakeFiles/dema_baselines.dir/central_root.cc.o.d"
+  "CMakeFiles/dema_baselines.dir/forwarding_local.cc.o"
+  "CMakeFiles/dema_baselines.dir/forwarding_local.cc.o.d"
+  "CMakeFiles/dema_baselines.dir/qdigest_agg.cc.o"
+  "CMakeFiles/dema_baselines.dir/qdigest_agg.cc.o.d"
+  "CMakeFiles/dema_baselines.dir/tdigest_agg.cc.o"
+  "CMakeFiles/dema_baselines.dir/tdigest_agg.cc.o.d"
+  "libdema_baselines.a"
+  "libdema_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dema_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

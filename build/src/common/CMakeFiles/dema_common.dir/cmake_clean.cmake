@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dema_common.dir/logging.cc.o"
+  "CMakeFiles/dema_common.dir/logging.cc.o.d"
+  "CMakeFiles/dema_common.dir/stats.cc.o"
+  "CMakeFiles/dema_common.dir/stats.cc.o.d"
+  "CMakeFiles/dema_common.dir/status.cc.o"
+  "CMakeFiles/dema_common.dir/status.cc.o.d"
+  "CMakeFiles/dema_common.dir/table.cc.o"
+  "CMakeFiles/dema_common.dir/table.cc.o.d"
+  "libdema_common.a"
+  "libdema_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dema_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dema/adaptive_gamma.cc" "src/dema/CMakeFiles/dema_core.dir/adaptive_gamma.cc.o" "gcc" "src/dema/CMakeFiles/dema_core.dir/adaptive_gamma.cc.o.d"
+  "/root/repo/src/dema/count_window.cc" "src/dema/CMakeFiles/dema_core.dir/count_window.cc.o" "gcc" "src/dema/CMakeFiles/dema_core.dir/count_window.cc.o.d"
+  "/root/repo/src/dema/local_node.cc" "src/dema/CMakeFiles/dema_core.dir/local_node.cc.o" "gcc" "src/dema/CMakeFiles/dema_core.dir/local_node.cc.o.d"
+  "/root/repo/src/dema/protocol.cc" "src/dema/CMakeFiles/dema_core.dir/protocol.cc.o" "gcc" "src/dema/CMakeFiles/dema_core.dir/protocol.cc.o.d"
+  "/root/repo/src/dema/relay_node.cc" "src/dema/CMakeFiles/dema_core.dir/relay_node.cc.o" "gcc" "src/dema/CMakeFiles/dema_core.dir/relay_node.cc.o.d"
+  "/root/repo/src/dema/root_node.cc" "src/dema/CMakeFiles/dema_core.dir/root_node.cc.o" "gcc" "src/dema/CMakeFiles/dema_core.dir/root_node.cc.o.d"
+  "/root/repo/src/dema/slice.cc" "src/dema/CMakeFiles/dema_core.dir/slice.cc.o" "gcc" "src/dema/CMakeFiles/dema_core.dir/slice.cc.o.d"
+  "/root/repo/src/dema/window_cut.cc" "src/dema/CMakeFiles/dema_core.dir/window_cut.cc.o" "gcc" "src/dema/CMakeFiles/dema_core.dir/window_cut.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dema_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dema_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/dema_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dema_core.dir/adaptive_gamma.cc.o"
+  "CMakeFiles/dema_core.dir/adaptive_gamma.cc.o.d"
+  "CMakeFiles/dema_core.dir/count_window.cc.o"
+  "CMakeFiles/dema_core.dir/count_window.cc.o.d"
+  "CMakeFiles/dema_core.dir/local_node.cc.o"
+  "CMakeFiles/dema_core.dir/local_node.cc.o.d"
+  "CMakeFiles/dema_core.dir/protocol.cc.o"
+  "CMakeFiles/dema_core.dir/protocol.cc.o.d"
+  "CMakeFiles/dema_core.dir/relay_node.cc.o"
+  "CMakeFiles/dema_core.dir/relay_node.cc.o.d"
+  "CMakeFiles/dema_core.dir/root_node.cc.o"
+  "CMakeFiles/dema_core.dir/root_node.cc.o.d"
+  "CMakeFiles/dema_core.dir/slice.cc.o"
+  "CMakeFiles/dema_core.dir/slice.cc.o.d"
+  "CMakeFiles/dema_core.dir/window_cut.cc.o"
+  "CMakeFiles/dema_core.dir/window_cut.cc.o.d"
+  "libdema_core.a"
+  "libdema_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dema_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

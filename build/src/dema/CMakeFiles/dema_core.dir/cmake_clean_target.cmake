@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdema_core.a"
+)

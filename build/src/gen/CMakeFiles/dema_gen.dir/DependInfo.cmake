@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/csv_source.cc" "src/gen/CMakeFiles/dema_gen.dir/csv_source.cc.o" "gcc" "src/gen/CMakeFiles/dema_gen.dir/csv_source.cc.o.d"
+  "/root/repo/src/gen/disorder.cc" "src/gen/CMakeFiles/dema_gen.dir/disorder.cc.o" "gcc" "src/gen/CMakeFiles/dema_gen.dir/disorder.cc.o.d"
+  "/root/repo/src/gen/distribution.cc" "src/gen/CMakeFiles/dema_gen.dir/distribution.cc.o" "gcc" "src/gen/CMakeFiles/dema_gen.dir/distribution.cc.o.d"
+  "/root/repo/src/gen/generator.cc" "src/gen/CMakeFiles/dema_gen.dir/generator.cc.o" "gcc" "src/gen/CMakeFiles/dema_gen.dir/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dema_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dema_gen.dir/csv_source.cc.o"
+  "CMakeFiles/dema_gen.dir/csv_source.cc.o.d"
+  "CMakeFiles/dema_gen.dir/disorder.cc.o"
+  "CMakeFiles/dema_gen.dir/disorder.cc.o.d"
+  "CMakeFiles/dema_gen.dir/distribution.cc.o"
+  "CMakeFiles/dema_gen.dir/distribution.cc.o.d"
+  "CMakeFiles/dema_gen.dir/generator.cc.o"
+  "CMakeFiles/dema_gen.dir/generator.cc.o.d"
+  "libdema_gen.a"
+  "libdema_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dema_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

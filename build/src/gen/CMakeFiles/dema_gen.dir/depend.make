@@ -1,0 +1,2 @@
+# Empty dependencies file for dema_gen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dema_net.dir/channel.cc.o"
+  "CMakeFiles/dema_net.dir/channel.cc.o.d"
+  "CMakeFiles/dema_net.dir/codec.cc.o"
+  "CMakeFiles/dema_net.dir/codec.cc.o.d"
+  "CMakeFiles/dema_net.dir/message.cc.o"
+  "CMakeFiles/dema_net.dir/message.cc.o.d"
+  "CMakeFiles/dema_net.dir/network.cc.o"
+  "CMakeFiles/dema_net.dir/network.cc.o.d"
+  "CMakeFiles/dema_net.dir/serializer.cc.o"
+  "CMakeFiles/dema_net.dir/serializer.cc.o.d"
+  "libdema_net.a"
+  "libdema_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dema_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/driver.cc" "src/sim/CMakeFiles/dema_sim.dir/driver.cc.o" "gcc" "src/sim/CMakeFiles/dema_sim.dir/driver.cc.o.d"
+  "/root/repo/src/sim/ingest_adapter.cc" "src/sim/CMakeFiles/dema_sim.dir/ingest_adapter.cc.o" "gcc" "src/sim/CMakeFiles/dema_sim.dir/ingest_adapter.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/dema_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/dema_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/stream_node.cc" "src/sim/CMakeFiles/dema_sim.dir/stream_node.cc.o" "gcc" "src/sim/CMakeFiles/dema_sim.dir/stream_node.cc.o.d"
+  "/root/repo/src/sim/sustainable.cc" "src/sim/CMakeFiles/dema_sim.dir/sustainable.cc.o" "gcc" "src/sim/CMakeFiles/dema_sim.dir/sustainable.cc.o.d"
+  "/root/repo/src/sim/tiered.cc" "src/sim/CMakeFiles/dema_sim.dir/tiered.cc.o" "gcc" "src/sim/CMakeFiles/dema_sim.dir/tiered.cc.o.d"
+  "/root/repo/src/sim/topology.cc" "src/sim/CMakeFiles/dema_sim.dir/topology.cc.o" "gcc" "src/sim/CMakeFiles/dema_sim.dir/topology.cc.o.d"
+  "/root/repo/src/sim/tree.cc" "src/sim/CMakeFiles/dema_sim.dir/tree.cc.o" "gcc" "src/sim/CMakeFiles/dema_sim.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dema_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dema_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/dema_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/dema_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/dema_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dema/CMakeFiles/dema_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dema_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

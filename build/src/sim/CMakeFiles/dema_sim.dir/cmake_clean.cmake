@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dema_sim.dir/driver.cc.o"
+  "CMakeFiles/dema_sim.dir/driver.cc.o.d"
+  "CMakeFiles/dema_sim.dir/ingest_adapter.cc.o"
+  "CMakeFiles/dema_sim.dir/ingest_adapter.cc.o.d"
+  "CMakeFiles/dema_sim.dir/metrics.cc.o"
+  "CMakeFiles/dema_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/dema_sim.dir/stream_node.cc.o"
+  "CMakeFiles/dema_sim.dir/stream_node.cc.o.d"
+  "CMakeFiles/dema_sim.dir/sustainable.cc.o"
+  "CMakeFiles/dema_sim.dir/sustainable.cc.o.d"
+  "CMakeFiles/dema_sim.dir/tiered.cc.o"
+  "CMakeFiles/dema_sim.dir/tiered.cc.o.d"
+  "CMakeFiles/dema_sim.dir/topology.cc.o"
+  "CMakeFiles/dema_sim.dir/topology.cc.o.d"
+  "CMakeFiles/dema_sim.dir/tree.cc.o"
+  "CMakeFiles/dema_sim.dir/tree.cc.o.d"
+  "libdema_sim.a"
+  "libdema_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dema_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

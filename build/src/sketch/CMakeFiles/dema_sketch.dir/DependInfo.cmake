@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/qdigest.cc" "src/sketch/CMakeFiles/dema_sketch.dir/qdigest.cc.o" "gcc" "src/sketch/CMakeFiles/dema_sketch.dir/qdigest.cc.o.d"
+  "/root/repo/src/sketch/tdigest.cc" "src/sketch/CMakeFiles/dema_sketch.dir/tdigest.cc.o" "gcc" "src/sketch/CMakeFiles/dema_sketch.dir/tdigest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dema_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dema_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

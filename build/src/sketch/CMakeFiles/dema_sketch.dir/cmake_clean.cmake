@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dema_sketch.dir/qdigest.cc.o"
+  "CMakeFiles/dema_sketch.dir/qdigest.cc.o.d"
+  "CMakeFiles/dema_sketch.dir/tdigest.cc.o"
+  "CMakeFiles/dema_sketch.dir/tdigest.cc.o.d"
+  "libdema_sketch.a"
+  "libdema_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dema_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/merge.cc" "src/stream/CMakeFiles/dema_stream.dir/merge.cc.o" "gcc" "src/stream/CMakeFiles/dema_stream.dir/merge.cc.o.d"
+  "/root/repo/src/stream/quantile.cc" "src/stream/CMakeFiles/dema_stream.dir/quantile.cc.o" "gcc" "src/stream/CMakeFiles/dema_stream.dir/quantile.cc.o.d"
+  "/root/repo/src/stream/session.cc" "src/stream/CMakeFiles/dema_stream.dir/session.cc.o" "gcc" "src/stream/CMakeFiles/dema_stream.dir/session.cc.o.d"
+  "/root/repo/src/stream/sorted_buffer.cc" "src/stream/CMakeFiles/dema_stream.dir/sorted_buffer.cc.o" "gcc" "src/stream/CMakeFiles/dema_stream.dir/sorted_buffer.cc.o.d"
+  "/root/repo/src/stream/window_manager.cc" "src/stream/CMakeFiles/dema_stream.dir/window_manager.cc.o" "gcc" "src/stream/CMakeFiles/dema_stream.dir/window_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dema_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dema_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dema_stream.dir/merge.cc.o"
+  "CMakeFiles/dema_stream.dir/merge.cc.o.d"
+  "CMakeFiles/dema_stream.dir/quantile.cc.o"
+  "CMakeFiles/dema_stream.dir/quantile.cc.o.d"
+  "CMakeFiles/dema_stream.dir/session.cc.o"
+  "CMakeFiles/dema_stream.dir/session.cc.o.d"
+  "CMakeFiles/dema_stream.dir/sorted_buffer.cc.o"
+  "CMakeFiles/dema_stream.dir/sorted_buffer.cc.o.d"
+  "CMakeFiles/dema_stream.dir/window_manager.cc.o"
+  "CMakeFiles/dema_stream.dir/window_manager.cc.o.d"
+  "libdema_stream.a"
+  "libdema_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dema_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

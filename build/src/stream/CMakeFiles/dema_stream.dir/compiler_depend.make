@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dema_stream.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_gamma_test.dir/adaptive_gamma_test.cc.o"
+  "CMakeFiles/adaptive_gamma_test.dir/adaptive_gamma_test.cc.o.d"
+  "adaptive_gamma_test"
+  "adaptive_gamma_test.pdb"
+  "adaptive_gamma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_gamma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

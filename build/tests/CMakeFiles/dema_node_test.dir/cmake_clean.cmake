@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dema_node_test.dir/dema_node_test.cc.o"
+  "CMakeFiles/dema_node_test.dir/dema_node_test.cc.o.d"
+  "dema_node_test"
+  "dema_node_test.pdb"
+  "dema_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dema_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_node_gamma_test.dir/per_node_gamma_test.cc.o"
+  "CMakeFiles/per_node_gamma_test.dir/per_node_gamma_test.cc.o.d"
+  "per_node_gamma_test"
+  "per_node_gamma_test.pdb"
+  "per_node_gamma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_node_gamma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainable_test.dir/sustainable_test.cc.o"
+  "CMakeFiles/sustainable_test.dir/sustainable_test.cc.o.d"
+  "sustainable_test"
+  "sustainable_test.pdb"
+  "sustainable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

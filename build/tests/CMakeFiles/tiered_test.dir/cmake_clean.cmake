@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_test.dir/tiered_test.cc.o"
+  "CMakeFiles/tiered_test.dir/tiered_test.cc.o.d"
+  "tiered_test"
+  "tiered_test.pdb"
+  "tiered_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_cut_test.dir/window_cut_test.cc.o"
+  "CMakeFiles/window_cut_test.dir/window_cut_test.cc.o.d"
+  "window_cut_test"
+  "window_cut_test.pdb"
+  "window_cut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_cut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

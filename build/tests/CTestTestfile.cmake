@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/slice_test[1]_include.cmake")
+include("/root/repo/build/tests/window_cut_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_gamma_test[1]_include.cmake")
+include("/root/repo/build/tests/dema_node_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/threaded_test[1]_include.cmake")
+include("/root/repo/build/tests/sliding_window_test[1]_include.cmake")
+include("/root/repo/build/tests/per_node_gamma_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_tolerance_test[1]_include.cmake")
+include("/root/repo/build/tests/sustainable_test[1]_include.cmake")
+include("/root/repo/build/tests/tiered_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/lateness_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
+include("/root/repo/build/tests/count_window_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demactl.dir/demactl.cc.o"
+  "CMakeFiles/demactl.dir/demactl.cc.o.d"
+  "demactl"
+  "demactl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demactl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
