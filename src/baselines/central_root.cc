@@ -22,10 +22,10 @@ Status ValidateQuantiles(const std::vector<double>& quantiles) {
 }  // namespace
 
 CentralExactRootNode::CentralExactRootNode(CollectingRootOptions options,
-                                           net::Network* network,
+                                           transport::Transport* transport,
                                            const Clock* clock)
-    : options_(std::move(options)), network_(network), clock_(clock) {
-  (void)network_;
+    : options_(std::move(options)), transport_(transport), clock_(clock) {
+  (void)transport_;
 }
 
 Status CentralExactRootNode::OnMessage(const net::Message& msg) {
@@ -85,9 +85,9 @@ Status CentralExactRootNode::MaybeFinalize(net::WindowId id, PendingWindow* w) {
 }
 
 DesisMergeRootNode::DesisMergeRootNode(CollectingRootOptions options,
-                                       net::Network* network, const Clock* clock)
-    : options_(std::move(options)), network_(network), clock_(clock) {
-  (void)network_;
+                                       transport::Transport* transport, const Clock* clock)
+    : options_(std::move(options)), transport_(transport), clock_(clock) {
+  (void)transport_;
   for (size_t i = 0; i < options_.locals.size(); ++i) {
     local_index_[options_.locals[i]] = i;
   }

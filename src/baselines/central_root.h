@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/clock.h"
-#include "net/network.h"
+#include "transport/transport.h"
 #include "sim/node.h"
 
 namespace dema::baselines {
@@ -26,7 +26,7 @@ struct CollectingRootOptions {
 /// cost and root load.
 class CentralExactRootNode final : public sim::RootNodeLogic {
  public:
-  CentralExactRootNode(CollectingRootOptions options, net::Network* network,
+  CentralExactRootNode(CollectingRootOptions options, transport::Transport* transport,
                        const Clock* clock);
 
   Status OnMessage(const net::Message& msg) override;
@@ -45,7 +45,7 @@ class CentralExactRootNode final : public sim::RootNodeLogic {
   Status MaybeFinalize(net::WindowId id, PendingWindow* w);
 
   CollectingRootOptions options_;
-  net::Network* network_;
+  transport::Transport* transport_;
   const Clock* clock_;
   std::map<net::WindowId, PendingWindow> pending_;
   sim::ResultCallback callback_;
@@ -60,7 +60,7 @@ class CentralExactRootNode final : public sim::RootNodeLogic {
 /// centralized baseline but much less root CPU.
 class DesisMergeRootNode final : public sim::RootNodeLogic {
  public:
-  DesisMergeRootNode(CollectingRootOptions options, net::Network* network,
+  DesisMergeRootNode(CollectingRootOptions options, transport::Transport* transport,
                      const Clock* clock);
 
   Status OnMessage(const net::Message& msg) override;
@@ -81,7 +81,7 @@ class DesisMergeRootNode final : public sim::RootNodeLogic {
   Status MaybeFinalize(net::WindowId id, PendingWindow* w);
 
   CollectingRootOptions options_;
-  net::Network* network_;
+  transport::Transport* transport_;
   const Clock* clock_;
   std::map<NodeId, size_t> local_index_;
   std::map<net::WindowId, PendingWindow> pending_;

@@ -5,9 +5,9 @@
 namespace dema::baselines {
 
 ForwardingLocalNode::ForwardingLocalNode(ForwardingLocalNodeOptions options,
-                                         net::Network* network, const Clock* clock)
+                                         transport::Transport* transport, const Clock* clock)
     : options_(options),
-      network_(network),
+      transport_(transport),
       clock_(clock),
       assigner_(options.window_len_us),
       windows_(options.window_len_us) {
@@ -42,7 +42,7 @@ Status ForwardingLocalNode::FlushPartialBatch() {
   batch.codec = options_.codec;
   batch.events = std::move(partial_batch_);
   partial_batch_.clear();
-  return network_->Send(net::MakeMessage(net::MessageType::kEventBatch,
+  return transport_->Send(net::MakeMessage(net::MessageType::kEventBatch,
                                          options_.id, options_.root_id, batch));
 }
 
@@ -57,7 +57,7 @@ Status ForwardingLocalNode::SendChunked(net::WindowId id,
     batch.last_batch = end == events.size();
     batch.codec = options_.codec;
     batch.events.assign(events.begin() + begin, events.begin() + end);
-    DEMA_RETURN_NOT_OK(network_->Send(net::MakeMessage(
+    DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
         net::MessageType::kEventBatch, options_.id, options_.root_id, batch)));
   }
   return Status::OK();
@@ -79,7 +79,7 @@ Status ForwardingLocalNode::EmitEndedWindows(TimestampUs watermark_us) {
         ++next_closed;
       }
       net::WindowEnd end_msg{id, size, clock_->NowUs()};
-      DEMA_RETURN_NOT_OK(network_->Send(net::MakeMessage(
+      DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
           net::MessageType::kWindowEnd, options_.id, options_.root_id, end_msg)));
     }
     return Status::OK();
@@ -97,7 +97,7 @@ Status ForwardingLocalNode::EmitEndedWindows(TimestampUs watermark_us) {
       forwarded_counts_.erase(it);
     }
     net::WindowEnd end_msg{id, size, clock_->NowUs()};
-    DEMA_RETURN_NOT_OK(network_->Send(net::MakeMessage(
+    DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
         net::MessageType::kWindowEnd, options_.id, options_.root_id, end_msg)));
   }
   return Status::OK();

@@ -6,7 +6,7 @@
 
 #include "common/clock.h"
 #include "net/codec.h"
-#include "net/network.h"
+#include "transport/transport.h"
 #include "sim/node.h"
 #include "stream/window_manager.h"
 
@@ -37,8 +37,8 @@ struct ForwardingLocalNodeOptions {
 /// marker carrying the local window size.
 class ForwardingLocalNode final : public sim::LocalNodeLogic {
  public:
-  /// \p network and \p clock must outlive the node.
-  ForwardingLocalNode(ForwardingLocalNodeOptions options, net::Network* network,
+  /// \p transport and \p clock must outlive the node.
+  ForwardingLocalNode(ForwardingLocalNodeOptions options, transport::Transport* transport,
                       const Clock* clock);
 
   Status OnEvent(const Event& e) override;
@@ -60,7 +60,7 @@ class ForwardingLocalNode final : public sim::LocalNodeLogic {
                      bool sorted);
 
   ForwardingLocalNodeOptions options_;
-  net::Network* network_;
+  transport::Transport* transport_;
   const Clock* clock_;
   stream::TumblingWindowAssigner assigner_;
   /// Sorted mode: full window buffers.

@@ -6,10 +6,10 @@
 
 namespace dema::baselines {
 
-QDigestLocalNode::QDigestLocalNode(QDigestOptions options, net::Network* network,
+QDigestLocalNode::QDigestLocalNode(QDigestOptions options, transport::Transport* transport,
                                    const Clock* clock)
     : options_(std::move(options)),
-      network_(network),
+      transport_(transport),
       clock_(clock),
       assigner_(options_.window_len_us) {}
 
@@ -41,7 +41,7 @@ Status QDigestLocalNode::EmitWindow(net::WindowId id) {
     summary.digest = w.TakeBuffer();
     open_.erase(it);
   }
-  return network_->Send(net::MakeMessage(net::MessageType::kSketchSummary,
+  return transport_->Send(net::MakeMessage(net::MessageType::kSketchSummary,
                                          options_.id, options_.root_id, summary));
 }
 
@@ -64,10 +64,10 @@ Status QDigestLocalNode::OnMessage(const net::Message& msg) {
                           net::MessageTypeToString(msg.type));
 }
 
-QDigestRootNode::QDigestRootNode(QDigestOptions options, net::Network* network,
+QDigestRootNode::QDigestRootNode(QDigestOptions options, transport::Transport* transport,
                                  const Clock* clock)
-    : options_(std::move(options)), network_(network), clock_(clock) {
-  (void)network_;
+    : options_(std::move(options)), transport_(transport), clock_(clock) {
+  (void)transport_;
 }
 
 Status QDigestRootNode::OnMessage(const net::Message& msg) {

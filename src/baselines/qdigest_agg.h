@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/clock.h"
-#include "net/network.h"
+#include "transport/transport.h"
 #include "sim/node.h"
 #include "sketch/qdigest.h"
 #include "stream/window.h"
@@ -38,7 +38,7 @@ struct QDigestOptions {
 /// \brief Local node: builds a per-window q-digest and ships one summary.
 class QDigestLocalNode final : public sim::LocalNodeLogic {
  public:
-  QDigestLocalNode(QDigestOptions options, net::Network* network,
+  QDigestLocalNode(QDigestOptions options, transport::Transport* transport,
                    const Clock* clock);
 
   Status OnEvent(const Event& e) override;
@@ -50,7 +50,7 @@ class QDigestLocalNode final : public sim::LocalNodeLogic {
   Status EmitWindow(net::WindowId id);
 
   QDigestOptions options_;
-  net::Network* network_;
+  transport::Transport* transport_;
   const Clock* clock_;
   stream::TumblingWindowAssigner assigner_;
   std::map<net::WindowId, std::pair<sketch::QDigest, uint64_t>> open_;
@@ -60,7 +60,7 @@ class QDigestLocalNode final : public sim::LocalNodeLogic {
 /// \brief Root node: merges per-node q-digests and answers quantiles.
 class QDigestRootNode final : public sim::RootNodeLogic {
  public:
-  QDigestRootNode(QDigestOptions options, net::Network* network,
+  QDigestRootNode(QDigestOptions options, transport::Transport* transport,
                   const Clock* clock);
 
   Status OnMessage(const net::Message& msg) override;
@@ -84,7 +84,7 @@ class QDigestRootNode final : public sim::RootNodeLogic {
   Status MaybeFinalize(net::WindowId id, PendingWindow* w);
 
   QDigestOptions options_;
-  net::Network* network_;
+  transport::Transport* transport_;
   const Clock* clock_;
   std::map<net::WindowId, PendingWindow> pending_;
   sim::ResultCallback callback_;

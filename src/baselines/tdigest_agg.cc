@@ -29,10 +29,10 @@ Result<SketchSummary> SketchSummary::Deserialize(net::Reader* r) {
   return s;
 }
 
-TDigestLocalNode::TDigestLocalNode(TDigestOptions options, net::Network* network,
+TDigestLocalNode::TDigestLocalNode(TDigestOptions options, transport::Transport* transport,
                                    const Clock* clock)
     : options_(std::move(options)),
-      network_(network),
+      transport_(transport),
       clock_(clock),
       assigner_(options_.window_len_us) {}
 
@@ -63,7 +63,7 @@ Status TDigestLocalNode::EmitWindow(net::WindowId id) {
     summary.digest = w.TakeBuffer();
     open_.erase(it);
   }
-  return network_->Send(net::MakeMessage(net::MessageType::kSketchSummary,
+  return transport_->Send(net::MakeMessage(net::MessageType::kSketchSummary,
                                          options_.id, options_.root_id, summary));
 }
 
@@ -86,10 +86,10 @@ Status TDigestLocalNode::OnMessage(const net::Message& msg) {
                           net::MessageTypeToString(msg.type));
 }
 
-TDigestRootNode::TDigestRootNode(TDigestOptions options, net::Network* network,
+TDigestRootNode::TDigestRootNode(TDigestOptions options, transport::Transport* transport,
                                  const Clock* clock)
-    : options_(std::move(options)), network_(network), clock_(clock) {
-  (void)network_;
+    : options_(std::move(options)), transport_(transport), clock_(clock) {
+  (void)transport_;
 }
 
 Status TDigestRootNode::OnMessage(const net::Message& msg) {

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/clock.h"
-#include "net/network.h"
+#include "transport/transport.h"
 #include "sim/node.h"
 #include "sketch/tdigest.h"
 #include "stream/window.h"
@@ -51,7 +51,7 @@ struct TDigestOptions {
 /// `ForwardingLocalNode` instead).
 class TDigestLocalNode final : public sim::LocalNodeLogic {
  public:
-  TDigestLocalNode(TDigestOptions options, net::Network* network,
+  TDigestLocalNode(TDigestOptions options, transport::Transport* transport,
                    const Clock* clock);
 
   Status OnEvent(const Event& e) override;
@@ -63,7 +63,7 @@ class TDigestLocalNode final : public sim::LocalNodeLogic {
   Status EmitWindow(net::WindowId id);
 
   TDigestOptions options_;
-  net::Network* network_;
+  transport::Transport* transport_;
   const Clock* clock_;
   stream::TumblingWindowAssigner assigner_;
   std::map<net::WindowId, std::pair<sketch::TDigest, uint64_t>> open_;
@@ -76,7 +76,7 @@ class TDigestLocalNode final : public sim::LocalNodeLogic {
 /// at the root; decentralized mode merges incoming `SketchSummary` digests.
 class TDigestRootNode final : public sim::RootNodeLogic {
  public:
-  TDigestRootNode(TDigestOptions options, net::Network* network,
+  TDigestRootNode(TDigestOptions options, transport::Transport* transport,
                   const Clock* clock);
 
   Status OnMessage(const net::Message& msg) override;
@@ -98,7 +98,7 @@ class TDigestRootNode final : public sim::RootNodeLogic {
   Status MaybeFinalize(net::WindowId id, PendingWindow* w);
 
   TDigestOptions options_;
-  net::Network* network_;
+  transport::Transport* transport_;
   const Clock* clock_;
   std::map<net::WindowId, PendingWindow> pending_;
   sim::ResultCallback callback_;

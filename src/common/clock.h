@@ -19,18 +19,19 @@ class Clock {
   virtual TimestampUs NowUs() const = 0;
 };
 
-/// \brief Monotonic wall clock; epoch is the construction instant.
+/// \brief Monotonic wall clock.
+///
+/// Uses `steady_clock`'s native epoch rather than the construction instant:
+/// every process on a machine shares it, so latency stamps exchanged between
+/// TCP-transport processes (SynopsisBatch::close_time_us) stay comparable no
+/// matter when each process started. Clock values are only ever subtracted,
+/// never interpreted as absolute times.
 class RealClock final : public Clock {
  public:
-  RealClock() : epoch_(std::chrono::steady_clock::now()) {}
-
   TimestampUs NowUs() const override {
-    auto d = std::chrono::steady_clock::now() - epoch_;
+    auto d = std::chrono::steady_clock::now().time_since_epoch();
     return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
   }
-
- private:
-  std::chrono::steady_clock::time_point epoch_;
 };
 
 /// \brief Manually advanced clock for deterministic simulation.

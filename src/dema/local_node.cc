@@ -6,10 +6,10 @@
 
 namespace dema::core {
 
-DemaLocalNode::DemaLocalNode(DemaLocalNodeOptions options, net::Network* network,
+DemaLocalNode::DemaLocalNode(DemaLocalNodeOptions options, transport::Transport* transport,
                              const Clock* clock)
     : options_(options),
-      network_(network),
+      transport_(transport),
       clock_(clock),
       windows_(stream::WindowSpec{options.window_len_us, options.window_slide_us},
                options.sort_mode) {
@@ -72,7 +72,7 @@ Status DemaLocalNode::EmitWindow(net::WindowId id, std::vector<Event> sorted) {
     DEMA_ASSIGN_OR_RETURN(batch.slices, CutIntoSlices(sorted, options_.id, gamma));
     retained_.emplace(id, RetainedWindow{gamma, std::move(sorted)});
   }
-  DEMA_RETURN_NOT_OK(network_->Send(net::MakeMessage(
+  DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
       net::MessageType::kSynopsisBatch, options_.id, options_.root_id, batch)));
   // Old gamma schedule entries below the emitted frontier can be pruned,
   // keeping exactly one entry at-or-below it.
@@ -134,7 +134,7 @@ Status DemaLocalNode::HandleCandidateRequest(const CandidateRequest& req) {
                         sorted.begin() + end);
   }
   retained_.erase(it);
-  return network_->Send(net::MakeMessage(net::MessageType::kCandidateReply,
+  return transport_->Send(net::MakeMessage(net::MessageType::kCandidateReply,
                                          options_.id, options_.root_id, reply));
 }
 

@@ -6,7 +6,7 @@
 
 #include "common/clock.h"
 #include "dema/protocol.h"
-#include "net/network.h"
+#include "transport/transport.h"
 #include "sim/node.h"
 #include "stream/window_manager.h"
 
@@ -44,8 +44,8 @@ struct DemaLocalNodeOptions {
 /// take effect per window id.
 class DemaLocalNode final : public sim::LocalNodeLogic {
  public:
-  /// \p network and \p clock must outlive the node.
-  DemaLocalNode(DemaLocalNodeOptions options, net::Network* network,
+  /// \p transport and \p clock must outlive the node.
+  DemaLocalNode(DemaLocalNodeOptions options, transport::Transport* transport,
                 const Clock* clock);
 
   Status OnEvent(const Event& e) override;
@@ -92,7 +92,7 @@ class DemaLocalNode final : public sim::LocalNodeLogic {
   };
 
   DemaLocalNodeOptions options_;
-  net::Network* network_;
+  transport::Transport* transport_;
   const Clock* clock_;
   stream::WindowManager windows_;
   /// Sorted events of shipped windows, kept until the root releases them.

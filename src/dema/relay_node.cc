@@ -6,9 +6,9 @@
 
 namespace dema::core {
 
-DemaRelayNode::DemaRelayNode(DemaRelayNodeOptions options, net::Network* network,
+DemaRelayNode::DemaRelayNode(DemaRelayNodeOptions options, transport::Transport* transport,
                              const Clock* clock)
-    : options_(std::move(options)), network_(network), clock_(clock) {
+    : options_(std::move(options)), transport_(transport), clock_(clock) {
   for (size_t i = 0; i < options_.children.size(); ++i) {
     child_index_[options_.children[i]] = i;
   }
@@ -79,7 +79,7 @@ Status DemaRelayNode::HandleChildSynopsis(const SynopsisBatch& batch) {
     forwarded_.emplace(batch.window_id, std::move(w.origin));
   }
   pending_up_.erase(batch.window_id);
-  return network_->Send(net::MakeMessage(net::MessageType::kSynopsisBatch,
+  return transport_->Send(net::MakeMessage(net::MessageType::kSynopsisBatch,
                                          options_.id, options_.parent, combined));
 }
 
@@ -122,7 +122,7 @@ Status DemaRelayNode::HandleParentRequest(const CandidateRequest& request) {
       child_request.slice_indices = pc->second;
       ++down.expected_replies;
     }
-    DEMA_RETURN_NOT_OK(network_->Send(net::MakeMessage(
+    DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
         net::MessageType::kCandidateRequest, options_.id, child, child_request)));
   }
   forwarded_.erase(it);
@@ -149,7 +149,7 @@ Status DemaRelayNode::HandleChildReply(const CandidateReply& reply) {
   combined.node = options_.id;
   combined.events = stream::MergeSortedRuns(std::move(down.runs));
   pending_down_.erase(it);
-  return network_->Send(net::MakeMessage(net::MessageType::kCandidateReply,
+  return transport_->Send(net::MakeMessage(net::MessageType::kCandidateReply,
                                          options_.id, options_.parent, combined));
 }
 
@@ -158,7 +158,7 @@ Status DemaRelayNode::HandleGammaUpdate(const net::Message& msg) {
     net::Message forward = msg;
     forward.src = options_.id;
     forward.dst = child;
-    DEMA_RETURN_NOT_OK(network_->Send(std::move(forward)));
+    DEMA_RETURN_NOT_OK(transport_->Send(std::move(forward)));
   }
   return Status::OK();
 }

@@ -6,7 +6,7 @@
 
 #include "common/clock.h"
 #include "dema/protocol.h"
-#include "net/network.h"
+#include "transport/transport.h"
 #include "sim/node.h"
 
 namespace dema::core {
@@ -41,8 +41,8 @@ struct DemaRelayNodeOptions {
 /// Relays nest: a relay's parent may be another relay.
 class DemaRelayNode final : public sim::NodeLogic {
  public:
-  /// \p network and \p clock must outlive the node.
-  DemaRelayNode(DemaRelayNodeOptions options, net::Network* network,
+  /// \p transport and \p clock must outlive the node.
+  DemaRelayNode(DemaRelayNodeOptions options, transport::Transport* transport,
                 const Clock* clock);
 
   Status OnMessage(const net::Message& msg) override;
@@ -76,7 +76,7 @@ class DemaRelayNode final : public sim::NodeLogic {
   Status HandleGammaUpdate(const net::Message& msg);
 
   DemaRelayNodeOptions options_;
-  net::Network* network_;
+  transport::Transport* transport_;
   const Clock* clock_;
   std::map<NodeId, size_t> child_index_;
   std::map<net::WindowId, PendingUp> pending_up_;

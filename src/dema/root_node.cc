@@ -7,10 +7,10 @@
 
 namespace dema::core {
 
-DemaRootNode::DemaRootNode(DemaRootNodeOptions options, net::Network* network,
+DemaRootNode::DemaRootNode(DemaRootNodeOptions options, transport::Transport* transport,
                            const Clock* clock)
     : options_(std::move(options)),
-      network_(network),
+      transport_(transport),
       clock_(clock),
       gamma_(options_.initial_gamma, options_.gamma_options),
       last_broadcast_gamma_(gamma_.current()) {
@@ -152,7 +152,7 @@ Status DemaRootNode::RunIdentification(net::WindowId id, PendingWindow* w) {
       req.slice_indices = std::move(it->second);
       ++w->expected_replies;
     }
-    DEMA_RETURN_NOT_OK(network_->Send(net::MakeMessage(
+    DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
         net::MessageType::kCandidateRequest, options_.id, node, req)));
   }
   if (w->expected_replies == 0) {
@@ -267,7 +267,7 @@ Status DemaRootNode::AdaptPerNode(net::WindowId completed_window,
     GammaUpdate update;
     update.effective_from = completed_window + 1;
     update.gamma = static_cast<uint32_t>(std::min<uint64_t>(next, UINT32_MAX));
-    DEMA_RETURN_NOT_OK(network_->Send(net::MakeMessage(
+    DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
         net::MessageType::kGammaUpdate, options_.id, options_.locals[i], update)));
     node_last_broadcast_[i] = next;
     ++stats_.gamma_updates_sent;
@@ -280,7 +280,7 @@ Status DemaRootNode::BroadcastGamma(net::WindowId effective_from, uint64_t gamma
   update.effective_from = effective_from;
   update.gamma = static_cast<uint32_t>(std::min<uint64_t>(gamma, UINT32_MAX));
   for (NodeId node : options_.locals) {
-    DEMA_RETURN_NOT_OK(network_->Send(net::MakeMessage(
+    DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
         net::MessageType::kGammaUpdate, options_.id, node, update)));
   }
   ++stats_.gamma_updates_sent;

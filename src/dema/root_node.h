@@ -8,7 +8,7 @@
 #include "dema/adaptive_gamma.h"
 #include "dema/protocol.h"
 #include "dema/window_cut.h"
-#include "net/network.h"
+#include "transport/transport.h"
 #include "sim/node.h"
 
 namespace dema::core {
@@ -71,8 +71,8 @@ struct DemaRootStats {
 /// be in flight.
 class DemaRootNode final : public sim::RootNodeLogic {
  public:
-  /// \p network and \p clock must outlive the node.
-  DemaRootNode(DemaRootNodeOptions options, net::Network* network,
+  /// \p transport and \p clock must outlive the node.
+  DemaRootNode(DemaRootNodeOptions options, transport::Transport* transport,
                const Clock* clock);
 
   Status OnMessage(const net::Message& msg) override;
@@ -116,7 +116,7 @@ class DemaRootNode final : public sim::RootNodeLogic {
   Status AdaptPerNode(net::WindowId completed_window, const PendingWindow& w);
 
   DemaRootNodeOptions options_;
-  net::Network* network_;
+  transport::Transport* transport_;
   const Clock* clock_;
   std::map<NodeId, size_t> local_index_;
   std::map<net::WindowId, PendingWindow> pending_;

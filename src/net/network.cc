@@ -85,12 +85,13 @@ Network::LinkStats Network::GetLinkStats(NodeId src, NodeId dst) const {
 
 std::map<std::pair<NodeId, NodeId>, Network::LinkStats> Network::AllLinks() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::map<std::pair<NodeId, NodeId>, LinkStats> out;
-  for (const auto& [key, stats] : links_) {
-    NodeId src = static_cast<NodeId>(key >> 32);
-    NodeId dst = static_cast<NodeId>(key & 0xFFFFFFFFu);
-    out[{src, dst}] = stats;
-  }
+  return links_;
+}
+
+transport::LinkTrafficMap Network::LinkTraffic() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  transport::LinkTrafficMap out;
+  for (const auto& [key, stats] : links_) out[key] = stats.counters;
   return out;
 }
 

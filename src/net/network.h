@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "net/channel.h"
 #include "net/message.h"
+#include "transport/transport.h"
 
 namespace dema::net {
 
@@ -39,7 +40,10 @@ struct LinkModel {
 /// message count, wire bytes, carried raw events, and modelled transfer time.
 /// These per-link counters are what the network-cost experiments (Fig. 6)
 /// report.
-class Network {
+///
+/// The fabric is the in-process implementation of `transport::Transport`;
+/// `TcpTransport` is the sockets one. Node logic sees only the interface.
+class Network : public transport::Transport {
  public:
   struct Options {
     /// Inbox capacity in messages; 0 = unbounded. A bounded inbox gives
@@ -75,12 +79,12 @@ class Network {
 
   /// The inbox of \p id, or nullptr when unknown. The pointer stays valid for
   /// the lifetime of the network.
-  Channel* Inbox(NodeId id);
+  Channel* Inbox(NodeId id) override;
 
   /// Delivers \p m to `m.dst`'s inbox (blocking under backpressure) and
   /// charges the (src, dst) link. Fails when the destination is unknown or
   /// its inbox is closed.
-  Status Send(Message m);
+  Status Send(Message m) override;
 
   /// Cumulative per-link traffic totals.
   struct LinkStats {
@@ -101,8 +105,19 @@ class Network {
   /// Traffic broken down by message type, summed over all links.
   std::map<MessageType, TrafficCounters> StatsByType() const;
 
+  /// Per-link traffic counters (`Transport` interface view of `AllLinks`).
+  transport::LinkTrafficMap LinkTraffic() const override;
+
+  /// `Transport` interface alias of `StatsByType`.
+  std::map<MessageType, TrafficCounters> TrafficByType() const override {
+    return StatsByType();
+  }
+
   /// Closes every inbox (consumers drain, producers fail).
   void CloseAll();
+
+  /// `Transport` interface alias of `CloseAll`.
+  void Shutdown() override { CloseAll(); }
 
   /// Registered node ids, in registration order.
   std::vector<NodeId> nodes() const;
@@ -111,10 +126,11 @@ class Network {
   const LinkModel& link_model() const { return options_.link_model; }
 
  private:
-  using LinkKey = uint64_t;
-  static LinkKey MakeKey(NodeId src, NodeId dst) {
-    return (static_cast<uint64_t>(src) << 32) | dst;
-  }
+  // Keyed by the (src, dst) pair directly: the previous packed-u64 key
+  // ((src << 32) | dst) would silently collide links if NodeId ever widened
+  // beyond 32 bits. A pair is collision-free for any NodeId width.
+  using LinkKey = std::pair<NodeId, NodeId>;
+  static LinkKey MakeKey(NodeId src, NodeId dst) { return {src, dst}; }
 
   /// Charges \p m to the (src, dst) link and per-type counters (mu_ held).
   void ChargeLocked(const Message& m);

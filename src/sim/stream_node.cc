@@ -4,19 +4,19 @@
 
 namespace dema::sim {
 
-StreamNode::StreamNode(StreamNodeOptions options, net::Network* network,
+StreamNode::StreamNode(StreamNodeOptions options, transport::Transport* transport,
                        std::unique_ptr<gen::StreamGenerator> generator)
-    : options_(options), network_(network), generator_(std::move(generator)) {
+    : options_(options), transport_(transport), generator_(std::move(generator)) {
   if (options_.batch_size == 0) options_.batch_size = 1;
 }
 
 Result<std::unique_ptr<StreamNode>> StreamNode::Create(StreamNodeOptions options,
-                                                       net::Network* network) {
+                                                       transport::Transport* transport) {
   options.generator.node = options.id;  // events carry the sensor's identity
   DEMA_ASSIGN_OR_RETURN(auto generator,
                         gen::StreamGenerator::Create(options.generator));
   return std::unique_ptr<StreamNode>(
-      new StreamNode(options, network, std::move(generator)));
+      new StreamNode(options, transport, std::move(generator)));
 }
 
 Status StreamNode::SendBatch(std::vector<Event> events) {
@@ -25,7 +25,7 @@ Status StreamNode::SendBatch(std::vector<Event> events) {
   batch.sorted = false;  // raw sensor order = event-time order, not value order
   batch.codec = options_.codec;
   batch.events = std::move(events);
-  return network_->Send(net::MakeMessage(net::MessageType::kEventBatch,
+  return transport_->Send(net::MakeMessage(net::MessageType::kEventBatch,
                                          options_.id, options_.parent, batch));
 }
 
@@ -33,7 +33,7 @@ Status StreamNode::SendTimeAdvance(TimestampUs watermark_us, bool final_marker) 
   net::TimeAdvance advance;
   advance.watermark_us = watermark_us;
   advance.final_marker = final_marker;
-  return network_->Send(net::MakeMessage(net::MessageType::kTimeAdvance,
+  return transport_->Send(net::MakeMessage(net::MessageType::kTimeAdvance,
                                          options_.id, options_.parent, advance));
 }
 

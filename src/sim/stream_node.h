@@ -6,7 +6,7 @@
 #include "common/result.h"
 #include "gen/generator.h"
 #include "net/codec.h"
-#include "net/network.h"
+#include "transport/transport.h"
 
 namespace dema::sim {
 
@@ -38,7 +38,7 @@ class StreamNode {
  public:
   /// Builds a stream node; fails on invalid generator configuration.
   static Result<std::unique_ptr<StreamNode>> Create(StreamNodeOptions options,
-                                                    net::Network* network);
+                                                    transport::Transport* transport);
 
   /// Generates every event with event time in [start, start + len), ships
   /// them in batches, and follows up with a TimeAdvance(start + len) marker.
@@ -54,14 +54,14 @@ class StreamNode {
   NodeId id() const { return options_.id; }
 
  private:
-  StreamNode(StreamNodeOptions options, net::Network* network,
+  StreamNode(StreamNodeOptions options, transport::Transport* transport,
              std::unique_ptr<gen::StreamGenerator> generator);
 
   Status SendBatch(std::vector<Event> events);
   Status SendTimeAdvance(TimestampUs watermark_us, bool final_marker);
 
   StreamNodeOptions options_;
-  net::Network* network_;
+  transport::Transport* transport_;
   std::unique_ptr<gen::StreamGenerator> generator_;
   uint64_t events_produced_ = 0;
 };

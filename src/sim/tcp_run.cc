@@ -1,0 +1,320 @@
+#include "sim/tcp_run.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "dema/root_node.h"
+#include "stream/window.h"
+
+namespace dema::sim {
+
+namespace {
+
+DurationUs ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+void AccumulateTraffic(const transport::LinkTrafficMap& links,
+                       net::TrafficCounters* total) {
+  for (const auto& [link, counters] : links) {
+    (void)link;
+    total->messages += counters.messages;
+    total->bytes += counters.bytes;
+    total->events += counters.events;
+  }
+}
+
+void MergeByType(const std::map<net::MessageType, net::TrafficCounters>& in,
+                 std::map<net::MessageType, net::TrafficCounters>* out) {
+  for (const auto& [type, counters] : in) {
+    net::TrafficCounters& slot = (*out)[type];
+    slot.messages += counters.messages;
+    slot.bytes += counters.bytes;
+    slot.events += counters.events;
+  }
+}
+
+net::Message ShutdownMessage(NodeId src, NodeId dst) {
+  net::Message m;
+  m.type = net::MessageType::kShutdown;
+  m.src = src;
+  m.dst = dst;
+  return m;
+}
+
+}  // namespace
+
+Result<RunMetrics> RunTcpRoot(const SystemConfig& config,
+                              uint64_t expected_windows,
+                              const TcpRootOptions& options) {
+  DEMA_RETURN_NOT_OK(ValidateSystemConfig(config));
+  RealClock clock;
+
+  transport::TcpTransportOptions topts;
+  topts.listen_host = options.listen_host;
+  topts.listen_port = options.listen_port;
+  topts.adopted_listen_fd = options.adopted_listen_fd;
+  topts.inbox_capacity = options.root_inbox_capacity;
+  transport::TcpTransport transport(topts);
+  DEMA_RETURN_NOT_OK(transport.AddLocalNode(0));
+  DEMA_RETURN_NOT_OK(transport.Start());
+  if (options.on_listening) options.on_listening(transport.bound_port());
+
+  DEMA_ASSIGN_OR_RETURN(auto root, BuildRootLogic(config, &transport, &clock));
+
+  LatencyRecorder latency;
+  uint64_t windows_done = 0;  // only touched by this (the root's) thread
+  root->SetResultCallback([&](const WindowOutput& out) {
+    latency.Record(out.latency_us);
+    ++windows_done;
+    if (options.on_result) options.on_result(out);
+  });
+
+  auto wall_start = std::chrono::steady_clock::now();
+  net::Channel* inbox = transport.Inbox(0);
+  Status run_status = Status::OK();
+  while (windows_done < expected_windows) {
+    if (ElapsedUs(wall_start) > options.timeout_us) {
+      run_status = Status::Internal(
+          "tcp root timed out with " + std::to_string(windows_done) + "/" +
+          std::to_string(expected_windows) + " windows emitted");
+      break;
+    }
+    auto msg = inbox->PopFor(MillisUs(2));
+    if (!msg) continue;
+    if (msg->type == net::MessageType::kShutdown) continue;
+    Status st = root->OnMessage(*msg);
+    if (!st.ok()) {
+      run_status = st;
+      break;
+    }
+  }
+  auto wall_end = std::chrono::steady_clock::now();
+
+  // Release the locals. Best effort: a local that never connected (or
+  // already died) simply has no route.
+  for (NodeId id : LocalIds(config)) {
+    Status st = transport.Send(ShutdownMessage(0, id));
+    (void)st;
+  }
+  // Flushes the shutdown broadcasts and settles all traffic counters.
+  transport.Shutdown();
+  DEMA_RETURN_NOT_OK(run_status);
+
+  RunMetrics metrics;
+  metrics.windows_emitted = windows_done;
+  metrics.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  metrics.latency = latency.Summarize();
+  // Every link of the star topology terminates at the root, so received
+  // (local->root) plus sent (root->local) socket bytes cover the cluster.
+  AccumulateTraffic(transport.ReceivedTraffic(), &metrics.network_total);
+  AccumulateTraffic(transport.LinkTraffic(), &metrics.network_total);
+  MergeByType(transport.ReceivedByType(), &metrics.by_type);
+  MergeByType(transport.TrafficByType(), &metrics.by_type);
+  if (auto* dema_root = dynamic_cast<core::DemaRootNode*>(root.get())) {
+    metrics.dema = dema_root->stats();
+  }
+  return metrics;
+}
+
+Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
+                                   const WorkloadConfig& workload, NodeId id,
+                                   const TcpLocalOptions& options) {
+  DEMA_RETURN_NOT_OK(ValidateSystemConfig(config));
+  if (id == 0 || id > workload.generators.size()) {
+    return Status::InvalidArgument("no generator for local node " +
+                                   std::to_string(id));
+  }
+  RealClock clock;
+
+  transport::TcpTransportOptions topts;
+  topts.listen = false;  // pure client: replies arrive over the dialed conn
+  transport::TcpTransport transport(topts);
+  DEMA_RETURN_NOT_OK(transport.AddLocalNode(id));
+  DEMA_RETURN_NOT_OK(transport.AddPeer(0, options.root_host, options.root_port));
+  DEMA_RETURN_NOT_OK(transport.Start());
+
+  DEMA_ASSIGN_OR_RETURN(auto logic, BuildLocalLogic(config, id, &transport, &clock));
+  DEMA_ASSIGN_OR_RETURN(auto gen,
+                        gen::StreamGenerator::Create(workload.generators[id - 1]));
+
+  net::Channel* inbox = transport.Inbox(id);
+  stream::TumblingWindowAssigner assigner(workload.window_len_us);
+  const TimestampUs end_time =
+      static_cast<TimestampUs>(workload.num_windows) * workload.window_len_us;
+  auto wall_start = std::chrono::steady_clock::now();
+  bool shutdown_received = false;
+
+  auto handle = [&](const net::Message& msg) -> Status {
+    if (msg.type == net::MessageType::kShutdown) {
+      shutdown_received = true;
+      return Status::OK();
+    }
+    return logic->OnMessage(msg);
+  };
+
+  TcpLocalReport report;
+  uint64_t count = 0;
+  net::WindowId last_window = 0;
+  Status run_status = Status::OK();
+  while (gen->next_time_us() < end_time && !shutdown_received) {
+    Event e = gen->Next();
+    net::WindowId wid = assigner.AssignWindow(e.timestamp);
+    if (wid != last_window) {
+      run_status = logic->OnWatermark(e.timestamp);
+      if (!run_status.ok()) break;
+      last_window = wid;
+    }
+    run_status = logic->OnEvent(e);
+    if (!run_status.ok()) break;
+    ++count;
+    if (count % options.watermark_every == 0) {
+      run_status = logic->OnWatermark(e.timestamp);
+      if (!run_status.ok()) break;
+      while (auto msg = inbox->TryPop()) {
+        run_status = handle(*msg);
+        if (!run_status.ok()) break;
+      }
+      if (!run_status.ok()) break;
+    }
+  }
+  report.events_ingested = count;
+  if (run_status.ok() && !shutdown_received) {
+    run_status = logic->OnFinish(end_time);
+  }
+  // Serve candidate requests until the root is satisfied and releases us.
+  while (run_status.ok() && !shutdown_received) {
+    if (ElapsedUs(wall_start) > options.timeout_us) {
+      run_status = Status::Internal("tcp local " + std::to_string(id) +
+                                    " timed out waiting for shutdown");
+      break;
+    }
+    auto msg = inbox->PopFor(MillisUs(2));
+    if (!msg) continue;
+    run_status = handle(*msg);
+  }
+  transport.Shutdown();
+  // An error after the shutdown marker is teardown noise, not a failure.
+  if (!run_status.ok() && !shutdown_received) return run_status;
+
+  report.sent_links = transport.LinkTraffic();
+  report.sent_by_type = transport.TrafficByType();
+  return report;
+}
+
+Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
+                                       const WorkloadConfig& workload,
+                                       const std::string& host, uint16_t port) {
+  DEMA_RETURN_NOT_OK(ValidateSystemConfig(config));
+  if (workload.generators.size() != config.num_locals) {
+    return Status::InvalidArgument("generator count != local node count");
+  }
+
+  // Bind before forking: children dial a port guaranteed to be accepting,
+  // and forking precedes any thread creation (fork + threads don't mix).
+  DEMA_ASSIGN_OR_RETURN(int listen_fd, transport::BindListenSocket(host, port));
+  DEMA_ASSIGN_OR_RETURN(uint16_t actual_port,
+                        transport::ListenSocketPort(listen_fd));
+
+  struct Child {
+    pid_t pid = -1;
+    int report_fd = -1;
+  };
+  std::vector<Child> children;
+  for (size_t i = 0; i < config.num_locals; ++i) {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      ::close(listen_fd);
+      for (const Child& c : children) {
+        ::close(c.report_fd);
+        ::kill(c.pid, SIGKILL);
+        ::waitpid(c.pid, nullptr, 0);
+      }
+      return Status::NetworkError(std::string("pipe failed: ") +
+                                  std::strerror(errno));
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(listen_fd);
+      ::close(pipe_fds[0]);
+      ::close(pipe_fds[1]);
+      for (const Child& c : children) {
+        ::close(c.report_fd);
+        ::kill(c.pid, SIGKILL);
+        ::waitpid(c.pid, nullptr, 0);
+      }
+      return Status::NetworkError(std::string("fork failed: ") +
+                                  std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: run one local node and report back over the pipe.
+      ::close(listen_fd);
+      ::close(pipe_fds[0]);
+      TcpLocalOptions lopts;
+      lopts.root_host = host;
+      lopts.root_port = actual_port;
+      auto report = RunTcpLocal(config, workload, static_cast<NodeId>(i + 1),
+                                lopts);
+      if (report.ok()) {
+        ::dprintf(pipe_fds[1], "ok events=%llu\n",
+                  static_cast<unsigned long long>(report->events_ingested));
+      } else {
+        ::dprintf(pipe_fds[1], "error %s\n",
+                  report.status().ToString().c_str());
+      }
+      ::close(pipe_fds[1]);
+      ::_exit(report.ok() ? 0 : 1);
+    }
+    ::close(pipe_fds[1]);
+    children.push_back(Child{pid, pipe_fds[0]});
+  }
+
+  TcpRootOptions ropts;
+  ropts.adopted_listen_fd = listen_fd;
+  auto metrics = RunTcpRoot(config, workload.ExpectedWindows(), ropts);
+
+  // Collect every child regardless of the root's outcome.
+  uint64_t events_total = 0;
+  Status child_status = Status::OK();
+  for (const Child& c : children) {
+    std::string text;
+    char buf[256];
+    ssize_t n;
+    while ((n = ::read(c.report_fd, buf, sizeof(buf))) > 0) {
+      text.append(buf, static_cast<size_t>(n));
+    }
+    ::close(c.report_fd);
+    int wstatus = 0;
+    ::waitpid(c.pid, &wstatus, 0);
+    unsigned long long events = 0;
+    if (std::sscanf(text.c_str(), "ok events=%llu", &events) == 1) {
+      events_total += events;
+    } else if (child_status.ok()) {
+      child_status = Status::Internal(
+          "local node process failed: " +
+          (text.empty() ? std::string("no report (killed?)") : text));
+    }
+  }
+  DEMA_RETURN_NOT_OK(child_status);
+  DEMA_RETURN_NOT_OK(metrics.status());
+
+  metrics->events_ingested = events_total;
+  metrics->throughput_eps =
+      metrics->wall_seconds > 0
+          ? static_cast<double>(events_total) / metrics->wall_seconds
+          : 0;
+  return std::move(metrics).MoveValueUnsafe();
+}
+
+}  // namespace dema::sim

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "gen/generator.h"
+#include "sim/driver.h"
+#include "sim/metrics.h"
+#include "sim/topology.h"
+#include "transport/tcp.h"
+
+namespace dema::sim {
+
+/// \brief Options for a TCP root process / thread.
+struct TcpRootOptions {
+  /// Listener address (ignored when adopting a pre-bound socket).
+  std::string listen_host = "127.0.0.1";
+  /// Listener port; 0 binds ephemeral (observable via `on_listening`).
+  uint16_t listen_port = 0;
+  /// Pre-bound, already-listening socket to adopt; -1 = bind fresh. The
+  /// forked cluster runner binds before forking so children dial a port
+  /// that is guaranteed to be accepting.
+  int adopted_listen_fd = -1;
+  /// Abort when the run has not completed within this wall time.
+  DurationUs timeout_us = 120 * kMicrosPerSecond;
+  /// Root inbox bound; full inboxes backpressure the TCP readers and in
+  /// turn the senders, exactly like the in-process fabric.
+  size_t root_inbox_capacity = 1024;
+  /// Invoked with the bound port once the listener is up (threaded tests
+  /// bind port 0 and hand the result to the locals).
+  std::function<void(uint16_t)> on_listening;
+  /// Invoked with every emitted window result, in emission order (tests
+  /// compare the values against an in-process run of the same workload).
+  std::function<void(const WindowOutput&)> on_result;
+};
+
+/// \brief Options for a TCP local-node process / thread.
+struct TcpLocalOptions {
+  /// Root address to dial.
+  std::string root_host = "127.0.0.1";
+  uint16_t root_port = 0;
+  /// Abort when no shutdown arrived within this wall time after finishing.
+  DurationUs timeout_us = 120 * kMicrosPerSecond;
+  /// Hand watermarks to the logic every this many events.
+  size_t watermark_every = 4096;
+};
+
+/// \brief What a local node measured during a TCP run.
+struct TcpLocalReport {
+  uint64_t events_ingested = 0;
+  /// Bytes/messages/events actually written to the socket, per link.
+  transport::LinkTrafficMap sent_links;
+  std::map<net::MessageType, net::TrafficCounters> sent_by_type;
+};
+
+/// \brief Runs the root role over TCP: hosts node 0, accepts local
+/// connections, aggregates until \p expected_windows results are emitted,
+/// then broadcasts `kShutdown` to every local and returns the metrics.
+///
+/// `RunMetrics::network_total` covers the whole star topology because all
+/// traffic passes the root: received bytes (local->root) plus sent bytes
+/// (root->local), both measured on the socket. `events_ingested` stays 0
+/// here — locals count ingestion; the cluster runner merges their reports.
+Result<RunMetrics> RunTcpRoot(const SystemConfig& config,
+                              uint64_t expected_windows,
+                              const TcpRootOptions& options);
+
+/// \brief Runs one local node over TCP: dials the root, streams the
+/// generated workload through the node logic, serves candidate requests,
+/// and returns after the root's `kShutdown` arrives.
+Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
+                                   const WorkloadConfig& workload, NodeId id,
+                                   const TcpLocalOptions& options);
+
+/// \brief Runs a whole cluster on this machine as real OS processes: binds
+/// the root listener, forks one child per local node (each running
+/// `RunTcpLocal` against loopback), runs the root in this process, and
+/// merges the children's reports into the returned metrics.
+///
+/// Must be called before this process creates any threads (it forks).
+Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
+                                       const WorkloadConfig& workload,
+                                       const std::string& host = "127.0.0.1",
+                                       uint16_t port = 0);
+
+}  // namespace dema::sim

@@ -27,8 +27,7 @@ const char* SystemKindToString(SystemKind kind) {
   return "?";
 }
 
-Result<System> BuildSystem(const SystemConfig& config, net::Network* network,
-                           const Clock* clock, size_t root_inbox_capacity) {
+Status ValidateSystemConfig(const SystemConfig& config) {
   if (config.num_locals == 0) {
     return Status::InvalidArgument("need at least one local node");
   }
@@ -43,126 +42,168 @@ Result<System> BuildSystem(const SystemConfig& config, net::Network* network,
     return Status::NotImplemented(
         "sliding windows are only supported by the Dema system");
   }
+  return Status::OK();
+}
 
-  System system;
-  system.root_id = 0;
+std::vector<NodeId> LocalIds(const SystemConfig& config) {
+  std::vector<NodeId> ids;
+  ids.reserve(config.num_locals);
   for (size_t i = 0; i < config.num_locals; ++i) {
-    system.local_ids.push_back(static_cast<NodeId>(i + 1));
+    ids.push_back(static_cast<NodeId>(i + 1));
   }
-  DEMA_RETURN_NOT_OK(network->RegisterNode(system.root_id, root_inbox_capacity));
-  for (NodeId id : system.local_ids) {
-    DEMA_RETURN_NOT_OK(network->RegisterNode(id, /*inbox_capacity=*/0));
-  }
+  return ids;
+}
 
+Result<std::unique_ptr<RootNodeLogic>> BuildRootLogic(
+    const SystemConfig& config, transport::Transport* transport,
+    const Clock* clock) {
+  DEMA_RETURN_NOT_OK(ValidateSystemConfig(config));
+  const NodeId root_id = 0;
+  const std::vector<NodeId> locals = LocalIds(config);
   switch (config.kind) {
     case SystemKind::kDema: {
-      core::DemaRootNodeOptions root_opts;
-      root_opts.id = system.root_id;
-      root_opts.locals = system.local_ids;
-      root_opts.quantiles = config.quantiles;
-      root_opts.initial_gamma = config.gamma;
-      root_opts.adaptive_gamma = config.adaptive_gamma;
-      root_opts.per_node_gamma = config.per_node_gamma;
-      root_opts.use_naive_selection = config.naive_selection;
-      system.root =
-          std::make_unique<core::DemaRootNode>(root_opts, network, clock);
-      for (NodeId id : system.local_ids) {
-        core::DemaLocalNodeOptions opts;
-        opts.id = id;
-        opts.root_id = system.root_id;
-        opts.window_len_us = config.window_len_us;
-        opts.window_slide_us = config.window_slide_us;
-        opts.initial_gamma = config.gamma;
-        opts.sort_mode = config.sort_mode;
-        opts.reply_codec = config.wire_codec;
-        system.locals.push_back(
-            std::make_unique<core::DemaLocalNode>(opts, network, clock));
-      }
-      break;
+      core::DemaRootNodeOptions opts;
+      opts.id = root_id;
+      opts.locals = locals;
+      opts.quantiles = config.quantiles;
+      opts.initial_gamma = config.gamma;
+      opts.adaptive_gamma = config.adaptive_gamma;
+      opts.per_node_gamma = config.per_node_gamma;
+      opts.use_naive_selection = config.naive_selection;
+      return std::unique_ptr<RootNodeLogic>(
+          std::make_unique<core::DemaRootNode>(opts, transport, clock));
     }
     case SystemKind::kCentralExact:
     case SystemKind::kDesisMerge: {
-      baselines::CollectingRootOptions root_opts;
-      root_opts.id = system.root_id;
-      root_opts.locals = system.local_ids;
-      root_opts.quantiles = config.quantiles;
+      baselines::CollectingRootOptions opts;
+      opts.id = root_id;
+      opts.locals = locals;
+      opts.quantiles = config.quantiles;
       if (config.kind == SystemKind::kCentralExact) {
-        system.root = std::make_unique<baselines::CentralExactRootNode>(
-            root_opts, network, clock);
-      } else {
-        system.root = std::make_unique<baselines::DesisMergeRootNode>(
-            root_opts, network, clock);
+        return std::unique_ptr<RootNodeLogic>(
+            std::make_unique<baselines::CentralExactRootNode>(opts, transport,
+                                                              clock));
       }
-      for (NodeId id : system.local_ids) {
-        baselines::ForwardingLocalNodeOptions opts;
-        opts.id = id;
-        opts.root_id = system.root_id;
-        opts.window_len_us = config.window_len_us;
-        opts.batch_size = config.batch_size;
-        opts.sort_locally = config.kind == SystemKind::kDesisMerge;
-        opts.codec = config.wire_codec;
-        system.locals.push_back(
-            std::make_unique<baselines::ForwardingLocalNode>(opts, network, clock));
-      }
-      break;
+      return std::unique_ptr<RootNodeLogic>(
+          std::make_unique<baselines::DesisMergeRootNode>(opts, transport,
+                                                          clock));
     }
     case SystemKind::kTDigestCentral:
     case SystemKind::kTDigestDecentral: {
       baselines::TDigestOptions opts;
-      opts.root_id = system.root_id;
-      opts.locals = system.local_ids;
+      opts.id = root_id;
+      opts.root_id = root_id;
+      opts.locals = locals;
       opts.quantiles = config.quantiles;
       opts.window_len_us = config.window_len_us;
       opts.compression = config.tdigest_compression;
       opts.mode = config.kind == SystemKind::kTDigestCentral
                       ? baselines::TDigestMode::kCentralized
                       : baselines::TDigestMode::kDecentralized;
-      baselines::TDigestOptions root_opts = opts;
-      root_opts.id = system.root_id;
-      system.root =
-          std::make_unique<baselines::TDigestRootNode>(root_opts, network, clock);
-      for (NodeId id : system.local_ids) {
-        if (config.kind == SystemKind::kTDigestCentral) {
-          baselines::ForwardingLocalNodeOptions fwd;
-          fwd.id = id;
-          fwd.root_id = system.root_id;
-          fwd.window_len_us = config.window_len_us;
-          fwd.batch_size = config.batch_size;
-          fwd.sort_locally = false;
-          fwd.codec = config.wire_codec;
-          system.locals.push_back(std::make_unique<baselines::ForwardingLocalNode>(
-              fwd, network, clock));
-        } else {
-          baselines::TDigestOptions local_opts = opts;
-          local_opts.id = id;
-          system.locals.push_back(std::make_unique<baselines::TDigestLocalNode>(
-              local_opts, network, clock));
-        }
-      }
-      break;
+      return std::unique_ptr<RootNodeLogic>(
+          std::make_unique<baselines::TDigestRootNode>(opts, transport, clock));
     }
     case SystemKind::kQDigest: {
       baselines::QDigestOptions opts;
-      opts.root_id = system.root_id;
-      opts.locals = system.local_ids;
+      opts.id = root_id;
+      opts.root_id = root_id;
+      opts.locals = locals;
       opts.quantiles = config.quantiles;
       opts.window_len_us = config.window_len_us;
       opts.domain_lo = config.qdigest_lo;
       opts.domain_hi = config.qdigest_hi;
       opts.universe_bits = config.qdigest_bits;
       opts.k = config.qdigest_k;
-      baselines::QDigestOptions root_opts = opts;
-      root_opts.id = system.root_id;
-      system.root =
-          std::make_unique<baselines::QDigestRootNode>(root_opts, network, clock);
-      for (NodeId id : system.local_ids) {
-        baselines::QDigestOptions local_opts = opts;
-        local_opts.id = id;
-        system.locals.push_back(std::make_unique<baselines::QDigestLocalNode>(
-            local_opts, network, clock));
-      }
-      break;
+      return std::unique_ptr<RootNodeLogic>(
+          std::make_unique<baselines::QDigestRootNode>(opts, transport, clock));
     }
+  }
+  return Status::InvalidArgument("unknown system kind");
+}
+
+Result<std::unique_ptr<LocalNodeLogic>> BuildLocalLogic(
+    const SystemConfig& config, NodeId id, transport::Transport* transport,
+    const Clock* clock) {
+  DEMA_RETURN_NOT_OK(ValidateSystemConfig(config));
+  const NodeId root_id = 0;
+  if (id == root_id || id > config.num_locals) {
+    return Status::InvalidArgument("local node id " + std::to_string(id) +
+                                   " out of range 1.." +
+                                   std::to_string(config.num_locals));
+  }
+  switch (config.kind) {
+    case SystemKind::kDema: {
+      core::DemaLocalNodeOptions opts;
+      opts.id = id;
+      opts.root_id = root_id;
+      opts.window_len_us = config.window_len_us;
+      opts.window_slide_us = config.window_slide_us;
+      opts.initial_gamma = config.gamma;
+      opts.sort_mode = config.sort_mode;
+      opts.reply_codec = config.wire_codec;
+      return std::unique_ptr<LocalNodeLogic>(
+          std::make_unique<core::DemaLocalNode>(opts, transport, clock));
+    }
+    case SystemKind::kCentralExact:
+    case SystemKind::kDesisMerge:
+    case SystemKind::kTDigestCentral: {
+      baselines::ForwardingLocalNodeOptions opts;
+      opts.id = id;
+      opts.root_id = root_id;
+      opts.window_len_us = config.window_len_us;
+      opts.batch_size = config.batch_size;
+      opts.sort_locally = config.kind == SystemKind::kDesisMerge;
+      opts.codec = config.wire_codec;
+      return std::unique_ptr<LocalNodeLogic>(
+          std::make_unique<baselines::ForwardingLocalNode>(opts, transport,
+                                                           clock));
+    }
+    case SystemKind::kTDigestDecentral: {
+      baselines::TDigestOptions opts;
+      opts.id = id;
+      opts.root_id = root_id;
+      opts.locals = LocalIds(config);
+      opts.quantiles = config.quantiles;
+      opts.window_len_us = config.window_len_us;
+      opts.compression = config.tdigest_compression;
+      opts.mode = baselines::TDigestMode::kDecentralized;
+      return std::unique_ptr<LocalNodeLogic>(
+          std::make_unique<baselines::TDigestLocalNode>(opts, transport, clock));
+    }
+    case SystemKind::kQDigest: {
+      baselines::QDigestOptions opts;
+      opts.id = id;
+      opts.root_id = root_id;
+      opts.locals = LocalIds(config);
+      opts.quantiles = config.quantiles;
+      opts.window_len_us = config.window_len_us;
+      opts.domain_lo = config.qdigest_lo;
+      opts.domain_hi = config.qdigest_hi;
+      opts.universe_bits = config.qdigest_bits;
+      opts.k = config.qdigest_k;
+      return std::unique_ptr<LocalNodeLogic>(
+          std::make_unique<baselines::QDigestLocalNode>(opts, transport, clock));
+    }
+  }
+  return Status::InvalidArgument("unknown system kind");
+}
+
+Result<System> BuildSystem(const SystemConfig& config, net::Network* network,
+                           const Clock* clock, size_t root_inbox_capacity) {
+  DEMA_RETURN_NOT_OK(ValidateSystemConfig(config));
+
+  System system;
+  system.root_id = 0;
+  system.local_ids = LocalIds(config);
+  DEMA_RETURN_NOT_OK(network->RegisterNode(system.root_id, root_inbox_capacity));
+  for (NodeId id : system.local_ids) {
+    DEMA_RETURN_NOT_OK(network->RegisterNode(id, /*inbox_capacity=*/0));
+  }
+
+  DEMA_ASSIGN_OR_RETURN(system.root, BuildRootLogic(config, network, clock));
+  for (NodeId id : system.local_ids) {
+    DEMA_ASSIGN_OR_RETURN(auto local, BuildLocalLogic(config, id, network, clock));
+    system.locals.push_back(std::move(local));
   }
   return system;
 }

@@ -11,6 +11,7 @@
 #include "net/network.h"
 #include "sim/node.h"
 #include "stream/sorted_buffer.h"
+#include "transport/transport.h"
 
 namespace dema::sim {
 
@@ -82,6 +83,27 @@ struct System {
   std::unique_ptr<RootNodeLogic> root;
   std::vector<std::unique_ptr<LocalNodeLogic>> locals;
 };
+
+/// \brief Validates \p config (node counts, window spec, quantiles).
+Status ValidateSystemConfig(const SystemConfig& config);
+
+/// \brief Node ids of the configured local nodes (1..num_locals; root is 0).
+std::vector<NodeId> LocalIds(const SystemConfig& config);
+
+/// \brief Builds just the configured root logic on \p transport.
+///
+/// Transport-agnostic: \p transport may be the in-process `net::Network`
+/// fabric or a `TcpTransport` in a root-only process. The caller owns inbox
+/// registration (network fabric) or node hosting (TCP).
+Result<std::unique_ptr<RootNodeLogic>> BuildRootLogic(
+    const SystemConfig& config, transport::Transport* transport,
+    const Clock* clock);
+
+/// \brief Builds the configured local-node logic for node \p id (1-based)
+/// on \p transport.
+Result<std::unique_ptr<LocalNodeLogic>> BuildLocalLogic(
+    const SystemConfig& config, NodeId id, transport::Transport* transport,
+    const Clock* clock);
 
 /// \brief Instantiates the configured system on \p network (registering all
 /// node inboxes; the root's inbox gets \p root_inbox_capacity, locals are

@@ -1,0 +1,118 @@
+#include "transport/frame.h"
+
+#include "net/serializer.h"
+
+namespace dema::transport {
+
+bool IsKnownMessageType(uint16_t raw) {
+  switch (static_cast<net::MessageType>(raw)) {
+    case net::MessageType::kEventBatch:
+    case net::MessageType::kWindowEnd:
+    case net::MessageType::kSynopsisBatch:
+    case net::MessageType::kCandidateRequest:
+    case net::MessageType::kCandidateReply:
+    case net::MessageType::kGammaUpdate:
+    case net::MessageType::kResult:
+    case net::MessageType::kSketchSummary:
+    case net::MessageType::kShutdown:
+    case net::MessageType::kTimeAdvance:
+      return true;
+  }
+  return false;
+}
+
+void EncodeFrame(const net::Message& m, std::vector<uint8_t>* out) {
+  net::Writer w;
+  w.PutU16(static_cast<uint16_t>(m.type));
+  w.PutU32(m.src);
+  w.PutU32(m.dst);
+  w.PutU32(static_cast<uint32_t>(m.payload.size()));
+  static_assert(sizeof(NodeId) == sizeof(uint32_t),
+                "frame header encodes NodeId as u32; widen the fields and "
+                "kEnvelopeWireBytes together");
+  const std::vector<uint8_t>& header = w.buffer();
+  out->reserve(out->size() + header.size() + m.payload.size());
+  out->insert(out->end(), header.begin(), header.end());
+  out->insert(out->end(), m.payload.begin(), m.payload.end());
+}
+
+Status DecodeFrameHeader(const uint8_t* data, size_t size, uint32_t max_payload,
+                         FrameHeader* out) {
+  net::Reader r(data, size);
+  uint16_t raw_type = 0;
+  DEMA_RETURN_NOT_OK(r.GetU16(&raw_type));
+  DEMA_RETURN_NOT_OK(r.GetU32(&out->src));
+  DEMA_RETURN_NOT_OK(r.GetU32(&out->dst));
+  DEMA_RETURN_NOT_OK(r.GetU32(&out->payload_size));
+  if (!IsKnownMessageType(raw_type)) {
+    return Status::SerializationError("frame with unknown message type " +
+                                      std::to_string(raw_type));
+  }
+  if (out->payload_size > max_payload) {
+    return Status::SerializationError(
+        "frame payload of " + std::to_string(out->payload_size) +
+        " bytes exceeds limit of " + std::to_string(max_payload));
+  }
+  out->type = static_cast<net::MessageType>(raw_type);
+  return Status::OK();
+}
+
+Result<uint64_t> PeekEventCount(net::MessageType type,
+                                const std::vector<uint8_t>& payload) {
+  net::Reader r(payload);
+  switch (type) {
+    case net::MessageType::kEventBatch:
+      // u64 window_id, u8 sorted, u8 last_batch, then the event stream.
+      DEMA_RETURN_NOT_OK(r.Skip(sizeof(uint64_t) + 2));
+      break;
+    case net::MessageType::kCandidateReply:
+      // u64 window_id, u32 node, then the event stream.
+      DEMA_RETURN_NOT_OK(r.Skip(sizeof(uint64_t) + sizeof(uint32_t)));
+      break;
+    default:
+      return uint64_t{0};
+  }
+  // Event stream: u8 codec tag, varint count (both codecs).
+  DEMA_RETURN_NOT_OK(r.Skip(1));
+  uint64_t count = 0;
+  DEMA_RETURN_NOT_OK(r.GetVarint(&count));
+  return count;
+}
+
+void EncodeHello(const std::vector<NodeId>& nodes, std::vector<uint8_t>* out) {
+  net::Writer w;
+  w.PutU32(kHelloMagic);
+  w.PutU32(static_cast<uint32_t>(nodes.size()));
+  for (NodeId id : nodes) w.PutU32(id);
+  const std::vector<uint8_t>& bytes = w.buffer();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+Result<uint32_t> DecodeHelloPrefix(const uint8_t* data, size_t size) {
+  net::Reader r(data, size);
+  uint32_t magic = 0, count = 0;
+  DEMA_RETURN_NOT_OK(r.GetU32(&magic));
+  DEMA_RETURN_NOT_OK(r.GetU32(&count));
+  if (magic != kHelloMagic) {
+    return Status::SerializationError("connection preamble has bad magic");
+  }
+  if (count > kMaxHelloNodes) {
+    return Status::SerializationError("hello announces too many nodes");
+  }
+  return count;
+}
+
+Result<std::vector<NodeId>> DecodeHelloNodes(const uint8_t* data, size_t size,
+                                             uint32_t count) {
+  net::Reader r(data, size);
+  std::vector<NodeId> nodes;
+  nodes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    NodeId id = 0;
+    DEMA_RETURN_NOT_OK(r.GetU32(&id));
+    nodes.push_back(id);
+  }
+  return nodes;
+}
+
+}  // namespace dema::transport

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "net/message.h"
+
+namespace dema::transport {
+
+/// \brief Wire framing for the TCP transport.
+///
+/// A frame is exactly the simulated envelope followed by the payload:
+///
+///   u16 type | u32 src | u32 dst | u32 payload_size | payload bytes
+///
+/// so a frame occupies `Message::WireBytes()` bytes on the socket — the TCP
+/// transport's measured per-link byte counters are directly comparable to
+/// the in-process fabric's accounting (and to the paper's Fig. 6 numbers).
+/// The fixed header doubles as the length prefix: a receiver reads
+/// `kFrameHeaderBytes`, validates, then reads `payload_size` more bytes.
+inline constexpr size_t kFrameHeaderBytes = net::kEnvelopeWireBytes;
+
+/// \brief Decoded frame header (the envelope fields).
+struct FrameHeader {
+  net::MessageType type = net::MessageType::kShutdown;
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint32_t payload_size = 0;
+};
+
+/// True when \p raw is a defined `MessageType` value.
+bool IsKnownMessageType(uint16_t raw);
+
+/// \brief Appends the frame for \p m (header + payload) to \p out.
+///
+/// Exactly `m.WireBytes()` bytes are appended.
+void EncodeFrame(const net::Message& m, std::vector<uint8_t>* out);
+
+/// \brief Parses and validates a frame header from \p data.
+///
+/// Fails on short buffers, unknown message types, and payload sizes above
+/// \p max_payload (protocol-error defence: a corrupt length prefix must not
+/// drive a huge allocation).
+Status DecodeFrameHeader(const uint8_t* data, size_t size, uint32_t max_payload,
+                         FrameHeader* out);
+
+/// \brief Recovers the raw-event count metadata of a received message.
+///
+/// `Message::event_count` is sender-side metadata and not part of the wire
+/// format, so a receiver reconstructs it by peeking the payload of the two
+/// event-carrying message types (EventBatch, CandidateReply). Returns 0 for
+/// every other type; fails only on a corrupt event-carrying payload.
+Result<uint64_t> PeekEventCount(net::MessageType type,
+                                const std::vector<uint8_t>& payload);
+
+// --- connection handshake ----------------------------------------------------
+
+/// First bytes on every dialed connection: magic, then the dialer's hosted
+/// node ids (u32 magic | u32 count | count * u32 id). The acceptor uses the
+/// ids to route replies back over the same connection, so only one side of a
+/// star topology needs configured addresses.
+inline constexpr uint32_t kHelloMagic = 0x44454D41;  // "DEMA"
+
+/// Upper bound on hello node counts (defence against corrupt preambles).
+inline constexpr uint32_t kMaxHelloNodes = 1u << 16;
+
+/// \brief Appends the hello preamble announcing \p nodes to \p out.
+void EncodeHello(const std::vector<NodeId>& nodes, std::vector<uint8_t>* out);
+
+/// Bytes of the fixed hello prefix (magic + count).
+inline constexpr size_t kHelloPrefixBytes = 2 * sizeof(uint32_t);
+
+/// \brief Parses the fixed hello prefix; returns the announced node count.
+Result<uint32_t> DecodeHelloPrefix(const uint8_t* data, size_t size);
+
+/// \brief Parses \p count node ids following the hello prefix.
+Result<std::vector<NodeId>> DecodeHelloNodes(const uint8_t* data, size_t size,
+                                             uint32_t count);
+
+}  // namespace dema::transport

@@ -1,0 +1,518 @@
+#include "transport/tcp.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace dema::transport {
+
+namespace {
+
+/// Applies the per-socket options every data connection uses: small-message
+/// latency (no Nagle) and bounded blocking so I/O threads notice shutdown.
+void ConfigureSocket(int fd, DurationUs io_timeout_us) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv;
+  tv.tv_sec = io_timeout_us / kMicrosPerSecond;
+  tv.tv_usec = io_timeout_us % kMicrosPerSecond;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool IsWouldBlock(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK || err == EINTR;
+}
+
+/// Reads exactly \p n bytes. Returns OK with *clean_eof=true when the peer
+/// closed before the first byte (a frame boundary) or the transport stopped;
+/// a close mid-buffer is an error.
+Status ReadFull(int fd, uint8_t* buf, size_t n, const std::atomic<bool>& stop,
+                bool* clean_eof) {
+  *clean_eof = false;
+  size_t got = 0;
+  while (got < n) {
+    if (stop.load(std::memory_order_relaxed)) {
+      *clean_eof = true;
+      return Status::OK();
+    }
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) {
+        *clean_eof = true;
+        return Status::OK();
+      }
+      return Status::NetworkError("connection closed mid-frame");
+    }
+    if (IsWouldBlock(errno)) continue;  // timeout tick: re-check stop
+    return Status::NetworkError(std::string("recv failed: ") +
+                                std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Writes exactly \p n bytes (retrying timeout ticks until stopped).
+Status WriteFull(int fd, const uint8_t* buf, size_t n,
+                 const std::atomic<bool>& stop) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && IsWouldBlock(errno)) {
+      if (stop.load(std::memory_order_relaxed)) {
+        return Status::NetworkError("transport stopped mid-send");
+      }
+      continue;
+    }
+    return Status::NetworkError(std::string("send failed: ") +
+                                std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Resolves host:port to an IPv4 socket address.
+Status Resolve(const std::string& host, uint16_t port, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1) {
+    return Status::OK();
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    return Status::NetworkError("cannot resolve host " + host + ": " +
+                                ::gai_strerror(rc));
+  }
+  out->sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> BindListenSocket(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::NetworkError(std::string("socket failed: ") +
+                                std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  Status st = Resolve(host, port, &addr);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::NetworkError("bind to " + host + ":" + std::to_string(port) +
+                                " failed: " + std::strerror(errno));
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    ::close(fd);
+    return Status::NetworkError(std::string("listen failed: ") +
+                                std::strerror(errno));
+  }
+  return fd;
+}
+
+Result<uint16_t> ListenSocketPort(int fd) {
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return Status::NetworkError(std::string("getsockname failed: ") +
+                                std::strerror(errno));
+  }
+  return ntohs(bound.sin_port);
+}
+
+TcpTransport::TcpTransport(TcpTransportOptions options)
+    : options_(std::move(options)) {}
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+Status TcpTransport::AddLocalNode(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = inboxes_.emplace(
+      id, std::make_unique<net::Channel>(options_.inbox_capacity));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("node " + std::to_string(id) +
+                                 " already hosted on this transport");
+  }
+  return Status::OK();
+}
+
+Status TcpTransport::AddPeer(NodeId id, const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = peers_.emplace(id, Peer{host, port});
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("peer " + std::to_string(id) +
+                                 " already configured");
+  }
+  return Status::OK();
+}
+
+Status TcpTransport::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::InvalidArgument("transport already started");
+  started_ = true;
+  if (options_.adopted_listen_fd >= 0) {
+    listen_fd_ = options_.adopted_listen_fd;
+  } else if (options_.listen) {
+    DEMA_ASSIGN_OR_RETURN(
+        listen_fd_, BindListenSocket(options_.listen_host, options_.listen_port));
+  } else {
+    return Status::OK();  // pure client: no listener, no acceptor
+  }
+
+  // Read back the bound port (the configured one may have been ephemeral).
+  DEMA_ASSIGN_OR_RETURN(bound_port_, ListenSocketPort(listen_fd_));
+  // A receive timeout on the listener makes accept() wake periodically so
+  // the acceptor notices shutdown even if the close/shutdown race is lost.
+  ConfigureSocket(listen_fd_, options_.io_timeout_us);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+uint16_t TcpTransport::bound_port() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bound_port_;
+}
+
+net::Channel* TcpTransport::Inbox(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inboxes_.find(id);
+  return it == inboxes_.end() ? nullptr : it->second.get();
+}
+
+void TcpTransport::ChargeSent(NodeId src, NodeId dst, net::MessageType type,
+                              uint64_t bytes, uint64_t events) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  net::TrafficCounters& link = sent_links_[{src, dst}];
+  link.messages += 1;
+  link.bytes += bytes;
+  link.events += events;
+  net::TrafficCounters& by_type = sent_by_type_[type];
+  by_type.messages += 1;
+  by_type.bytes += bytes;
+  by_type.events += events;
+}
+
+Status TcpTransport::Send(net::Message m) {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    return Status::NetworkError("transport is shut down");
+  }
+  net::Channel* local = Inbox(m.dst);
+  if (local != nullptr) {
+    // Loopback to a node hosted in this process: no socket involved; charge
+    // the frame-equivalent bytes so accounting matches other transports.
+    ChargeSent(m.src, m.dst, m.type, m.WireBytes(), m.event_count);
+    if (!local->Push(std::move(m))) {
+      return Status::NetworkError("inbox of destination node closed");
+    }
+    return Status::OK();
+  }
+  DEMA_ASSIGN_OR_RETURN(Conn * conn, ConnFor(m.dst));
+  if (!conn->outbox->Push(std::move(m))) {
+    return Status::NetworkError("connection to destination closed");
+  }
+  return Status::OK();
+}
+
+Result<TcpTransport::Conn*> TcpTransport::ConnFor(NodeId dst) {
+  Peer peer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto rit = routes_.find(dst);
+    if (rit != routes_.end() && !rit->second->dead.load()) return rit->second;
+    auto pit = peers_.find(dst);
+    if (pit == peers_.end()) {
+      return Status::NotFound("no route to node " + std::to_string(dst) +
+                              " (no connection and no configured peer)");
+    }
+    peer = pit->second;
+  }
+  // Dial outside the lock: connect retries can take a while.
+  DEMA_ASSIGN_OR_RETURN(int fd, DialWithRetry(peer.host, peer.port));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto rit = routes_.find(dst);
+  if (rit != routes_.end() && !rit->second->dead.load()) {
+    ::close(fd);  // lost a dial race; use the established route
+    return rit->second;
+  }
+  Conn* conn = AdoptLocked(fd, /*expect_hello=*/false);
+  routes_[dst] = conn;
+  return conn;
+}
+
+Result<int> TcpTransport::DialWithRetry(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  DEMA_RETURN_NOT_OK(Resolve(host, port, &addr));
+  std::vector<uint8_t> hello;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<NodeId> hosted;
+    hosted.reserve(inboxes_.size());
+    for (const auto& [id, inbox] : inboxes_) {
+      (void)inbox;
+      hosted.push_back(id);
+    }
+    EncodeHello(hosted, &hello);
+  }
+
+  DurationUs backoff = options_.connect_backoff_initial_us;
+  Status last = Status::NetworkError("no connect attempt made");
+  for (int attempt = 0; attempt < options_.connect_attempts; ++attempt) {
+    if (stopped_.load()) return Status::NetworkError("transport is shut down");
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      backoff = std::min<DurationUs>(backoff * 2, options_.connect_backoff_max_us);
+    }
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last = Status::NetworkError(std::string("socket failed: ") +
+                                  std::strerror(errno));
+      continue;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      last = Status::NetworkError("connect to " + host + ":" +
+                                  std::to_string(port) +
+                                  " failed: " + std::strerror(errno));
+      ::close(fd);
+      continue;
+    }
+    ConfigureSocket(fd, options_.io_timeout_us);
+    Status st = WriteFull(fd, hello.data(), hello.size(), stopped_);
+    if (!st.ok()) {
+      ::close(fd);
+      last = st;
+      continue;
+    }
+    return fd;
+  }
+  return last;
+}
+
+TcpTransport::Conn* TcpTransport::AdoptLocked(int fd, bool expect_hello) {
+  auto owned = std::make_unique<Conn>();
+  Conn* conn = owned.get();
+  conn->fd = fd;
+  conn->outbox = std::make_unique<net::Channel>(/*capacity=*/0);
+  conns_.push_back(std::move(owned));
+  conn->reader = std::thread([this, conn, expect_hello] {
+    ReaderLoop(conn, expect_hello);
+  });
+  conn->writer = std::thread([this, conn] { WriterLoop(conn); });
+  return conn;
+}
+
+void TcpTransport::AcceptLoop() {
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopped_.load()) return;
+      if (IsWouldBlock(errno)) continue;  // listener timeout tick
+      DEMA_LOG(Warn) << "accept failed: " << std::strerror(errno);
+      return;
+    }
+    ConfigureSocket(fd, options_.io_timeout_us);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_.load()) {
+      ::close(fd);
+      return;
+    }
+    AdoptLocked(fd, /*expect_hello=*/true);
+  }
+}
+
+void TcpTransport::ReaderLoop(Conn* conn, bool expect_hello) {
+  bool eof = false;
+  if (expect_hello) {
+    uint8_t prefix[kHelloPrefixBytes];
+    Status st = ReadFull(conn->fd, prefix, sizeof(prefix), stopped_, &eof);
+    if (!st.ok() || eof) {
+      conn->dead.store(true);
+      return;
+    }
+    auto count = DecodeHelloPrefix(prefix, sizeof(prefix));
+    if (!count.ok()) {
+      DEMA_LOG(Warn) << "dropping connection: " << count.status();
+      conn->dead.store(true);
+      return;
+    }
+    std::vector<uint8_t> ids_buf(*count * sizeof(uint32_t));
+    st = ReadFull(conn->fd, ids_buf.data(), ids_buf.size(), stopped_, &eof);
+    if (!st.ok() || eof) {
+      conn->dead.store(true);
+      return;
+    }
+    auto ids = DecodeHelloNodes(ids_buf.data(), ids_buf.size(), *count);
+    if (!ids.ok()) {
+      conn->dead.store(true);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    // Replies to the dialer's nodes travel back over this connection.
+    for (NodeId id : *ids) routes_[id] = conn;
+  }
+
+  std::vector<uint8_t> header(kFrameHeaderBytes);
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    Status st = ReadFull(conn->fd, header.data(), header.size(), stopped_, &eof);
+    if (!st.ok()) {
+      DEMA_LOG(Warn) << "connection read error: " << st;
+      conn->dead.store(true);
+      return;
+    }
+    if (eof) {
+      conn->dead.store(true);
+      return;
+    }
+    FrameHeader h;
+    st = DecodeFrameHeader(header.data(), header.size(),
+                           options_.max_frame_payload, &h);
+    if (!st.ok()) {
+      DEMA_LOG(Warn) << "dropping connection on bad frame: " << st;
+      conn->dead.store(true);
+      return;
+    }
+    net::Message m;
+    m.type = h.type;
+    m.src = h.src;
+    m.dst = h.dst;
+    m.payload.resize(h.payload_size);
+    st = ReadFull(conn->fd, m.payload.data(), h.payload_size, stopped_, &eof);
+    if (!st.ok() || (eof && h.payload_size > 0)) {
+      DEMA_LOG(Warn) << "connection closed mid-frame";
+      conn->dead.store(true);
+      return;
+    }
+    // Reconstruct the event-count metadata (sender-side only, not framed).
+    auto events = PeekEventCount(h.type, m.payload);
+    m.event_count = events.ok() ? *events : 0;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      uint64_t frame_bytes = kFrameHeaderBytes + h.payload_size;
+      net::TrafficCounters& link = recv_links_[{h.src, h.dst}];
+      link.messages += 1;
+      link.bytes += frame_bytes;
+      link.events += m.event_count;
+      net::TrafficCounters& by_type = recv_by_type_[h.type];
+      by_type.messages += 1;
+      by_type.bytes += frame_bytes;
+      by_type.events += m.event_count;
+    }
+    net::Channel* inbox = Inbox(h.dst);
+    if (inbox == nullptr) {
+      DEMA_LOG(Warn) << "dropping frame for non-hosted node " << h.dst;
+      continue;
+    }
+    inbox->Push(std::move(m));
+  }
+}
+
+void TcpTransport::WriterLoop(Conn* conn) {
+  std::vector<uint8_t> buf;
+  while (auto m = conn->outbox->Pop()) {
+    buf.clear();
+    EncodeFrame(*m, &buf);
+    Status st = WriteFull(conn->fd, buf.data(), buf.size(), stopped_);
+    if (!st.ok()) {
+      DEMA_LOG(Warn) << "connection write error: " << st;
+      conn->dead.store(true);
+      conn->outbox->Close();
+      while (conn->outbox->Pop()) {
+      }  // discard what can no longer be sent
+      return;
+    }
+    ChargeSent(m->src, m->dst, m->type, buf.size(), m->event_count);
+  }
+  // Outbox closed and fully drained: announce end-of-stream to the peer.
+  ::shutdown(conn->fd, SHUT_WR);
+}
+
+transport::LinkTrafficMap TcpTransport::LinkTraffic() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return sent_links_;
+}
+
+std::map<net::MessageType, net::TrafficCounters> TcpTransport::TrafficByType()
+    const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return sent_by_type_;
+}
+
+transport::LinkTrafficMap TcpTransport::ReceivedTraffic() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return recv_links_;
+}
+
+std::map<net::MessageType, net::TrafficCounters> TcpTransport::ReceivedByType()
+    const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return recv_by_type_;
+}
+
+void TcpTransport::Shutdown() {
+  if (stopped_.exchange(true)) return;
+
+  // Unblock and collect the acceptor first so no new connections appear.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<Conn*> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    conns.reserve(conns_.size());
+    for (const auto& c : conns_) conns.push_back(c.get());
+  }
+  // Writers drain their outboxes (flushing e.g. the final kShutdown
+  // messages), then half-close; readers wake on their timeout tick or EOF.
+  for (Conn* c : conns) c->outbox->Close();
+  for (Conn* c : conns) {
+    if (c->writer.joinable()) c->writer.join();
+  }
+  for (Conn* c : conns) ::shutdown(c->fd, SHUT_RD);
+  for (Conn* c : conns) {
+    if (c->reader.joinable()) c->reader.join();
+  }
+  for (Conn* c : conns) ::close(c->fd);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, inbox] : inboxes_) {
+    (void)id;
+    inbox->Close();
+  }
+}
+
+}  // namespace dema::transport

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "net/channel.h"
+#include "net/message.h"
+#include "transport/frame.h"
+#include "transport/transport.h"
+
+namespace dema::transport {
+
+/// \brief Creates a bound, listening TCP socket on host:port (port 0 binds
+/// an ephemeral port). Used directly by callers that must bind before
+/// forking and hand the socket to a transport via `adopted_listen_fd`.
+Result<int> BindListenSocket(const std::string& host, uint16_t port);
+
+/// \brief Port a bound socket listens on (resolves ephemeral binds).
+Result<uint16_t> ListenSocketPort(int fd);
+
+/// \brief Configuration of a `TcpTransport`.
+struct TcpTransportOptions {
+  /// Interface to bind the listener to.
+  std::string listen_host = "127.0.0.1";
+  /// Listener port; 0 binds an ephemeral port (read it via `bound_port()`).
+  uint16_t listen_port = 0;
+  /// Whether `Start` opens a listener at all. Pure clients (edge nodes that
+  /// only dial the root and receive replies over the same connection) set
+  /// this to false and need no reachable address.
+  bool listen = true;
+  /// An already-bound, already-listening socket to adopt instead of binding
+  /// a new one (used by the forked-cluster runner, which binds before
+  /// forking so children can dial a known port race-free). -1 = bind.
+  int adopted_listen_fd = -1;
+  /// Capacity of hosted inboxes in messages; 0 = unbounded.
+  size_t inbox_capacity = 0;
+  /// Connection attempts before a dial fails (the peer may start later).
+  int connect_attempts = 30;
+  /// First retry delay; doubles per attempt up to the cap below.
+  DurationUs connect_backoff_initial_us = MillisUs(10);
+  /// Retry delay cap.
+  DurationUs connect_backoff_max_us = MillisUs(1000);
+  /// Socket send/receive timeout. Blocked I/O wakes at this granularity to
+  /// notice shutdown; it is not a hard deadline on a transfer.
+  DurationUs io_timeout_us = MillisUs(200);
+  /// Largest accepted frame payload (corrupt length-prefix defence).
+  uint32_t max_frame_payload = 64u << 20;
+};
+
+/// \brief POSIX TCP implementation of `Transport`.
+///
+/// One instance per OS process. It hosts the inboxes of this process's nodes
+/// (`AddLocalNode`), listens for inbound connections (`Start`), and dials
+/// configured peers (`AddPeer`) lazily on first send, with bounded retry and
+/// exponential backoff so processes may start in any order.
+///
+/// Wire format: every message travels as one `EncodeFrame` frame, so the
+/// bytes written per message equal `Message::WireBytes()` — the measured
+/// per-link counters (`LinkTraffic`) are directly comparable to the
+/// in-process fabric's simulated accounting.
+///
+/// Connections are bidirectional. A dialer opens with a hello preamble
+/// announcing its hosted node ids; the acceptor uses those to route replies
+/// back over the same connection. In a star topology only the edge processes
+/// therefore need the root's address, never the reverse.
+///
+/// Threads: one acceptor, plus one reader and one writer per connection.
+/// `Send` enqueues to the connection's outbox and never blocks on the
+/// socket; readers push received messages straight into the hosted inbox
+/// `Channel`s, so node run loops are identical to the simulation's.
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportOptions options = TcpTransportOptions());
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Hosts node \p id on this transport (creates its inbox). Fails on
+  /// duplicates. Call before `Start` so hello preambles announce the id.
+  Status AddLocalNode(NodeId id);
+
+  /// Registers the dial address for remote node \p id. The connection is
+  /// established lazily on the first send to \p id.
+  Status AddPeer(NodeId id, const std::string& host, uint16_t port);
+
+  /// Opens the listener (unless configured off) and starts the acceptor.
+  Status Start();
+
+  /// Port the listener is bound to (useful with an ephemeral `listen_port`).
+  uint16_t bound_port() const;
+
+  Status Send(net::Message m) override;
+  net::Channel* Inbox(NodeId id) override;
+
+  /// Traffic sent by this process, per directed link, measured from the
+  /// bytes actually written to sockets (loopback sends to hosted nodes are
+  /// charged their `WireBytes` equivalent for cross-transport parity).
+  LinkTrafficMap LinkTraffic() const override;
+  std::map<net::MessageType, net::TrafficCounters> TrafficByType() const override;
+
+  /// Traffic received from remote peers, per directed link, measured from
+  /// bytes read off sockets. Event counts are reconstructed from the
+  /// payloads of event-carrying message types.
+  LinkTrafficMap ReceivedTraffic() const;
+
+  /// Received traffic broken down by message type.
+  std::map<net::MessageType, net::TrafficCounters> ReceivedByType() const;
+
+  /// Flushes outbound queues, closes the listener and every connection,
+  /// joins all I/O threads, and closes hosted inboxes. Idempotent.
+  void Shutdown() override;
+
+ private:
+  /// One live socket with its I/O threads.
+  struct Conn {
+    int fd = -1;
+    /// Outbound queue; the writer thread drains it onto the socket.
+    std::unique_ptr<net::Channel> outbox;
+    std::thread reader;
+    std::thread writer;
+    std::atomic<bool> dead{false};
+  };
+
+  /// Route to \p dst: an existing live connection, else a lazy dial of the
+  /// configured peer address.
+  Result<Conn*> ConnFor(NodeId dst);
+  /// Connects to host:port with bounded retry + exponential backoff and
+  /// writes the hello preamble. Returns the connected fd.
+  Result<int> DialWithRetry(const std::string& host, uint16_t port);
+  /// Wraps \p fd in a Conn with reader/writer threads (mu_ held).
+  Conn* AdoptLocked(int fd, bool expect_hello);
+  void AcceptLoop();
+  void ReaderLoop(Conn* c, bool expect_hello);
+  void WriterLoop(Conn* c);
+  void ChargeSent(NodeId src, NodeId dst, net::MessageType type, uint64_t bytes,
+                  uint64_t events);
+
+  TcpTransportOptions options_;
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex mu_;  // guards everything below
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  bool started_ = false;
+  std::thread accept_thread_;
+  std::map<NodeId, std::unique_ptr<net::Channel>> inboxes_;
+  struct Peer {
+    std::string host;
+    uint16_t port;
+  };
+  std::map<NodeId, Peer> peers_;
+  /// Live route per remote node: configured (dialed) or learned (hello).
+  std::map<NodeId, Conn*> routes_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  mutable std::mutex stats_mu_;
+  LinkTrafficMap sent_links_;
+  LinkTrafficMap recv_links_;
+  std::map<net::MessageType, net::TrafficCounters> sent_by_type_;
+  std::map<net::MessageType, net::TrafficCounters> recv_by_type_;
+};
+
+}  // namespace dema::transport

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "common/status.h"
+#include "net/channel.h"
+#include "net/message.h"
+
+namespace dema::transport {
+
+/// Per-link traffic totals, keyed by the directed (src, dst) pair.
+using LinkTrafficMap =
+    std::map<std::pair<NodeId, NodeId>, net::TrafficCounters>;
+
+/// \brief Abstract message transport between nodes.
+///
+/// Node logic (local, relay, root, stream sources) is written against this
+/// interface only, so the same binary runs unchanged over the in-process
+/// simulation fabric (`net::Network`) or real sockets (`TcpTransport`). A
+/// transport owns the inboxes of the nodes it hosts; `Send` routes a framed
+/// message to its destination — a local inbox push for hosted nodes, a wire
+/// transfer for remote ones.
+///
+/// Contract shared by all implementations:
+///  - `Send` is safe from any thread and may block under backpressure.
+///  - Messages between one (src, dst) pair are delivered in send order.
+///  - Per-link counters charge exactly `Message::WireBytes()` per message,
+///    so network-cost numbers are comparable across transports.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Delivers \p m to `m.dst`. Fails when no route to the destination exists
+  /// or the transport is shut down.
+  virtual Status Send(net::Message m) = 0;
+
+  /// The inbox of a node hosted by this transport, or nullptr when \p id is
+  /// not hosted here. The pointer stays valid until `Shutdown`.
+  virtual net::Channel* Inbox(NodeId id) = 0;
+
+  /// Traffic sent by this transport, per directed link.
+  virtual LinkTrafficMap LinkTraffic() const = 0;
+
+  /// Traffic sent by this transport, broken down by message type.
+  virtual std::map<net::MessageType, net::TrafficCounters> TrafficByType()
+      const = 0;
+
+  /// Stops all delivery and closes every hosted inbox (consumers drain,
+  /// producers fail). Idempotent.
+  virtual void Shutdown() = 0;
+};
+
+}  // namespace dema::transport

@@ -6,12 +6,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
+#include "baselines/tdigest_agg.h"
 #include "common/rng.h"
 #include "dema/protocol.h"
 #include "net/codec.h"
 #include "net/message.h"
 #include "net/serializer.h"
+#include "transport/frame.h"
 
 namespace dema::net {
 namespace {
@@ -200,6 +203,199 @@ TEST(CodecRobustness, HugeCountRejectedBeforeAllocation) {
   Reader r(w.buffer());
   std::vector<Event> out;
   EXPECT_EQ(DecodeEvents(&r, &out).code(), StatusCode::kSerializationError);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-style robustness: a valid payload for every message type, then every
+// strict truncation and every single-byte corruption fed to the matching
+// decoder. Decoders must return a clean Status — never crash, never trip
+// UB, never allocate absurd buffers off a corrupt count.
+// ---------------------------------------------------------------------------
+
+struct PayloadCase {
+  MessageType type;
+  const char* name;
+  std::vector<uint8_t> payload;
+  std::function<Status(Reader*)> decode;
+};
+
+template <typename P>
+std::vector<uint8_t> Serialized(const P& p) {
+  Writer w;
+  p.SerializeTo(&w);
+  return w.TakeBuffer();
+}
+
+std::vector<PayloadCase> AllPayloadCases() {
+  std::vector<PayloadCase> cases;
+
+  for (EventCodec codec : {EventCodec::kFixed, EventCodec::kCompact}) {
+    EventBatch batch;
+    batch.window_id = 4;
+    batch.sorted = true;
+    batch.last_batch = true;
+    batch.codec = codec;
+    batch.events = RandomEvents(25, 11, /*sorted=*/true);
+    cases.push_back({MessageType::kEventBatch,
+                     codec == EventCodec::kFixed ? "EventBatch/fixed"
+                                                 : "EventBatch/compact",
+                     Serialized(batch),
+                     [](Reader* r) { return EventBatch::Deserialize(r).status(); }});
+  }
+
+  WindowEnd end;
+  end.window_id = 7;
+  end.local_window_size = 123;
+  end.close_time_us = 99'000;
+  cases.push_back({MessageType::kWindowEnd, "WindowEnd", Serialized(end),
+                   [](Reader* r) { return WindowEnd::Deserialize(r).status(); }});
+
+  TimeAdvance advance;
+  advance.watermark_us = 5'000'000;
+  advance.final_marker = true;
+  cases.push_back({MessageType::kTimeAdvance, "TimeAdvance", Serialized(advance),
+                   [](Reader* r) { return TimeAdvance::Deserialize(r).status(); }});
+
+  core::SynopsisBatch synopses;
+  synopses.window_id = 3;
+  synopses.node = 2;
+  synopses.gamma_used = 3;
+  synopses.close_time_us = 1'000;
+  auto events = RandomEvents(5, 13, /*sorted=*/true);
+  core::SliceSynopsis s0{2, 0, events[0], events[2], 3};
+  core::SliceSynopsis s1{2, 1, events[3], events[4], 2};
+  synopses.slices = {s0, s1};
+  synopses.local_window_size = 5;
+  cases.push_back({MessageType::kSynopsisBatch, "SynopsisBatch",
+                   Serialized(synopses), [](Reader* r) {
+                     return core::SynopsisBatch::Deserialize(r).status();
+                   }});
+
+  core::CandidateRequest request;
+  request.window_id = 3;
+  request.slice_indices = {0, 1, 5, 9};
+  cases.push_back({MessageType::kCandidateRequest, "CandidateRequest",
+                   Serialized(request), [](Reader* r) {
+                     return core::CandidateRequest::Deserialize(r).status();
+                   }});
+
+  for (EventCodec codec : {EventCodec::kFixed, EventCodec::kCompact}) {
+    core::CandidateReply reply;
+    reply.window_id = 3;
+    reply.node = 2;
+    reply.codec = codec;
+    reply.events = RandomEvents(30, 17, /*sorted=*/true);
+    cases.push_back({MessageType::kCandidateReply,
+                     codec == EventCodec::kFixed ? "CandidateReply/fixed"
+                                                 : "CandidateReply/compact",
+                     Serialized(reply), [](Reader* r) {
+                       return core::CandidateReply::Deserialize(r).status();
+                     }});
+  }
+
+  core::GammaUpdate gamma;
+  gamma.effective_from = 8;
+  gamma.gamma = 512;
+  cases.push_back({MessageType::kGammaUpdate, "GammaUpdate", Serialized(gamma),
+                   [](Reader* r) {
+                     return core::GammaUpdate::Deserialize(r).status();
+                   }});
+
+  core::WindowResult result;
+  result.window_id = 6;
+  result.q = 0.99;
+  result.result = Event{42.5, 1'000, 1, 7};
+  result.global_size = 10'000;
+  result.latency_us = 1'234;
+  cases.push_back({MessageType::kResult, "WindowResult", Serialized(result),
+                   [](Reader* r) {
+                     return core::WindowResult::Deserialize(r).status();
+                   }});
+
+  baselines::SketchSummary sketch;
+  sketch.window_id = 2;
+  sketch.node = 1;
+  sketch.local_window_size = 77;
+  sketch.close_time_us = 3'000;
+  sketch.digest = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  cases.push_back({MessageType::kSketchSummary, "SketchSummary",
+                   Serialized(sketch), [](Reader* r) {
+                     return baselines::SketchSummary::Deserialize(r).status();
+                   }});
+
+  // kShutdown carries no payload — nothing to decode, nothing to fuzz.
+  return cases;
+}
+
+TEST(PayloadRobustness, EveryStrictTruncationFailsCleanly) {
+  for (const PayloadCase& c : AllPayloadCases()) {
+    ASSERT_FALSE(c.payload.empty()) << c.name;
+    for (size_t cut = 0; cut < c.payload.size(); ++cut) {
+      Reader r(c.payload.data(), cut);
+      Status st = c.decode(&r);
+      EXPECT_FALSE(st.ok()) << c.name << " decoded a " << cut << "/"
+                            << c.payload.size() << "-byte prefix";
+    }
+    // The untouched payload must still decode (guards the case builders).
+    Reader r(c.payload);
+    EXPECT_TRUE(c.decode(&r).ok()) << c.name;
+  }
+}
+
+TEST(PayloadRobustness, EverySingleByteCorruptionIsHandled) {
+  // A flipped byte may still decode to a (different) valid payload; the
+  // invariant is no crash, no UB, no unbounded allocation — under the CI
+  // sanitizer build this covers the memory-safety half.
+  for (const PayloadCase& c : AllPayloadCases()) {
+    for (size_t i = 0; i < c.payload.size(); ++i) {
+      std::vector<uint8_t> corrupt = c.payload;
+      corrupt[i] ^= 0xFF;
+      Reader r(corrupt);
+      Status st = c.decode(&r);
+      (void)st;
+    }
+  }
+}
+
+TEST(PayloadRobustness, CorruptFrameHeadersRejected) {
+  net::Message m;
+  m.type = MessageType::kWindowEnd;
+  m.src = 3;
+  m.dst = 0;
+  m.payload = {1, 2, 3, 4};
+  std::vector<uint8_t> frame;
+  transport::EncodeFrame(m, &frame);
+  ASSERT_EQ(frame.size(), m.WireBytes());
+
+  transport::FrameHeader header;
+  // Every strict truncation of the fixed header fails.
+  for (size_t cut = 0; cut < transport::kFrameHeaderBytes; ++cut) {
+    EXPECT_FALSE(
+        transport::DecodeFrameHeader(frame.data(), cut, 1 << 20, &header).ok());
+  }
+  // Unknown message type: corrupt the type field.
+  std::vector<uint8_t> bad_type = frame;
+  bad_type[0] = 0xEE;
+  bad_type[1] = 0xEE;
+  EXPECT_FALSE(transport::DecodeFrameHeader(bad_type.data(), bad_type.size(),
+                                            1 << 20, &header)
+                   .ok());
+  // A corrupt length prefix must not drive a huge allocation.
+  std::vector<uint8_t> bad_len = frame;
+  bad_len[10] = 0xFF;
+  bad_len[11] = 0xFF;
+  bad_len[12] = 0xFF;
+  bad_len[13] = 0xFF;
+  EXPECT_FALSE(transport::DecodeFrameHeader(bad_len.data(), bad_len.size(),
+                                            1 << 20, &header)
+                   .ok());
+  // The untouched frame still parses and echoes the envelope.
+  ASSERT_TRUE(transport::DecodeFrameHeader(frame.data(), frame.size(), 1 << 20,
+                                           &header)
+                  .ok());
+  EXPECT_EQ(header.type, MessageType::kWindowEnd);
+  EXPECT_EQ(header.src, 3u);
+  EXPECT_EQ(header.payload_size, 4u);
 }
 
 TEST(CandidateReplyCodec, CompactRoundTripThroughProtocol) {

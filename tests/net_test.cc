@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <thread>
 
 #include "common/clock.h"
@@ -248,6 +249,39 @@ TEST(Network, RegisterAndSend) {
   auto msg = net.Inbox(0)->TryPop();
   ASSERT_TRUE(msg.has_value());
   EXPECT_EQ(msg->src, 1u);
+}
+
+TEST(Network, ExtremeNodeIdsKeepLinksDistinct) {
+  // Regression: link stats were keyed by the packed integer
+  // (src << 32) | dst, which silently collides distinct links as soon as
+  // NodeId outgrows 32 bits. The key is now the (src, dst) pair itself,
+  // which stays collision-free for any NodeId width. Exercise the extreme
+  // ends of the current id range in both directions.
+  RealClock clock;
+  Network net(&clock);
+  const NodeId kMax = std::numeric_limits<NodeId>::max();
+  ASSERT_TRUE(net.RegisterNode(0).ok());
+  ASSERT_TRUE(net.RegisterNode(1).ok());
+  ASSERT_TRUE(net.RegisterNode(kMax).ok());
+
+  auto send = [&](NodeId src, NodeId dst, size_t payload_bytes) {
+    Message m = TestMessage(/*events=*/1, payload_bytes);
+    m.src = src;
+    m.dst = dst;
+    ASSERT_TRUE(net.Send(std::move(m)).ok());
+  };
+  send(kMax, 0, 10);
+  send(0, kMax, 20);
+  send(kMax, 1, 30);
+  send(1, kMax, 40);
+
+  // Four distinct directed links, none aliased onto another.
+  EXPECT_EQ(net.GetLinkStats(kMax, 0).counters.bytes, kEnvelopeWireBytes + 10);
+  EXPECT_EQ(net.GetLinkStats(0, kMax).counters.bytes, kEnvelopeWireBytes + 20);
+  EXPECT_EQ(net.GetLinkStats(kMax, 1).counters.bytes, kEnvelopeWireBytes + 30);
+  EXPECT_EQ(net.GetLinkStats(1, kMax).counters.bytes, kEnvelopeWireBytes + 40);
+  EXPECT_EQ(net.AllLinks().size(), 4u);
+  EXPECT_EQ(net.GetLinkStats(1, 0).counters.messages, 0u);
 }
 
 TEST(Network, SendToUnknownNodeFails) {

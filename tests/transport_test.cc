@@ -1,0 +1,462 @@
+// Tests for the transport subsystem: wire framing, hello preambles, the
+// POSIX TCP transport (routing, counters, retry/backoff, shutdown), and the
+// TCP loopback integration run whose exact quantiles and measured per-link
+// byte counts must match the in-process simulation on the same workload.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "gen/generator.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "sim/driver.h"
+#include "sim/tcp_run.h"
+#include "sim/topology.h"
+#include "transport/frame.h"
+#include "transport/tcp.h"
+#include "transport/transport.h"
+
+namespace dema::transport {
+namespace {
+
+net::Message TestMessage(NodeId src, NodeId dst, size_t payload_bytes,
+                         uint64_t events = 0) {
+  net::Message m;
+  m.type = net::MessageType::kEventBatch;
+  m.src = src;
+  m.dst = dst;
+  m.payload.assign(payload_bytes, 0xAB);
+  m.event_count = events;
+  return m;
+}
+
+TEST(Frame, RoundTripMatchesWireBytes) {
+  net::Message m = TestMessage(3, 0, 37);
+  m.type = net::MessageType::kCandidateRequest;
+  std::vector<uint8_t> frame;
+  EncodeFrame(m, &frame);
+  ASSERT_EQ(frame.size(), m.WireBytes());
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 37);
+
+  FrameHeader header;
+  ASSERT_TRUE(
+      DecodeFrameHeader(frame.data(), frame.size(), 1 << 20, &header).ok());
+  EXPECT_EQ(header.type, net::MessageType::kCandidateRequest);
+  EXPECT_EQ(header.src, 3u);
+  EXPECT_EQ(header.dst, 0u);
+  EXPECT_EQ(header.payload_size, 37u);
+}
+
+TEST(Frame, RejectsUnknownTypeAndOversizedPayload) {
+  net::Message m = TestMessage(1, 0, 8);
+  std::vector<uint8_t> frame;
+  EncodeFrame(m, &frame);
+
+  FrameHeader header;
+  std::vector<uint8_t> bad = frame;
+  bad[0] = 0x77;  // no such MessageType
+  EXPECT_FALSE(DecodeFrameHeader(bad.data(), bad.size(), 1 << 20, &header).ok());
+
+  EXPECT_FALSE(
+      DecodeFrameHeader(frame.data(), frame.size(), /*max_payload=*/4, &header)
+          .ok());
+}
+
+TEST(Frame, HelloRoundTrip) {
+  std::vector<NodeId> nodes = {1, 7, 42};
+  std::vector<uint8_t> bytes;
+  EncodeHello(nodes, &bytes);
+  ASSERT_EQ(bytes.size(), kHelloPrefixBytes + nodes.size() * sizeof(uint32_t));
+
+  auto count = DecodeHelloPrefix(bytes.data(), kHelloPrefixBytes);
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(*count, nodes.size());
+  auto decoded = DecodeHelloNodes(bytes.data() + kHelloPrefixBytes,
+                                  bytes.size() - kHelloPrefixBytes, *count);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, nodes);
+
+  std::vector<uint8_t> bad = bytes;
+  bad[0] ^= 0xFF;  // corrupt the magic
+  EXPECT_FALSE(DecodeHelloPrefix(bad.data(), kHelloPrefixBytes).ok());
+}
+
+TEST(Frame, PeekEventCountMatchesMetadata) {
+  net::EventBatch batch;
+  batch.window_id = 5;
+  batch.sorted = true;
+  batch.last_batch = true;
+  for (uint32_t i = 0; i < 200; ++i) {
+    batch.events.push_back(Event{static_cast<double>(i), i, 1, i});
+  }
+  net::Message m =
+      net::MakeMessage(net::MessageType::kEventBatch, 1, 0, batch);
+  ASSERT_EQ(m.event_count, 200u);
+  auto peeked = PeekEventCount(m.type, m.payload);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(*peeked, m.event_count);
+
+  // Non-event-carrying types report zero.
+  auto none = PeekEventCount(net::MessageType::kWindowEnd, m.payload);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0u);
+}
+
+// --- TCP transport basics --------------------------------------------------
+
+TEST(TcpTransport, SendReceiveAndCountersMatchWireBytes) {
+  TcpTransport server;
+  ASSERT_TRUE(server.AddLocalNode(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.bound_port(), 0);
+
+  TcpTransportOptions copts;
+  copts.listen = false;
+  TcpTransport client(copts);
+  ASSERT_TRUE(client.AddLocalNode(1).ok());
+  ASSERT_TRUE(client.AddPeer(0, "127.0.0.1", server.bound_port()).ok());
+  ASSERT_TRUE(client.Start().ok());
+
+  uint64_t sent_bytes = 0;
+  for (size_t size : {10, 500, 0}) {
+    net::Message m = TestMessage(1, 0, size, /*events=*/size);
+    sent_bytes += m.WireBytes();
+    ASSERT_TRUE(client.Send(std::move(m)).ok());
+  }
+  for (size_t size : {10, 500, 0}) {
+    auto msg = server.Inbox(0)->PopFor(5 * kMicrosPerSecond);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->src, 1u);
+    EXPECT_EQ(msg->payload.size(), size);
+  }
+
+  // Reply over the hello-learned route: the server never dialed anyone.
+  ASSERT_TRUE(server.Send(TestMessage(0, 1, 25)).ok());
+  auto reply = client.Inbox(1)->PopFor(5 * kMicrosPerSecond);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->src, 0u);
+
+  client.Shutdown();
+  server.Shutdown();
+
+  // Sent counters are charged from the bytes actually written, which the
+  // frame format guarantees equal WireBytes(); receive side agrees.
+  const std::pair<NodeId, NodeId> up{1, 0};
+  const std::pair<NodeId, NodeId> down{0, 1};
+  auto client_sent = client.LinkTraffic();
+  ASSERT_EQ(client_sent.count(up), 1u);
+  EXPECT_EQ(client_sent[up].bytes, sent_bytes);
+  EXPECT_EQ(client_sent[up].messages, 3u);
+  EXPECT_EQ(client_sent[up].events, 510u);
+
+  auto server_recv = server.ReceivedTraffic();
+  ASSERT_EQ(server_recv.count(up), 1u);
+  EXPECT_EQ(server_recv[up].bytes, sent_bytes);
+  EXPECT_EQ(server_recv[up].messages, 3u);
+
+  auto server_sent = server.LinkTraffic();
+  EXPECT_EQ(server_sent[down].bytes, net::kEnvelopeWireBytes + 25);
+}
+
+TEST(TcpTransport, LoopbackToHostedNodeSkipsSockets) {
+  TcpTransportOptions opts;
+  opts.listen = false;
+  TcpTransport t(opts);
+  ASSERT_TRUE(t.AddLocalNode(1).ok());
+  ASSERT_TRUE(t.AddLocalNode(2).ok());
+  ASSERT_TRUE(t.Start().ok());
+
+  net::Message m = TestMessage(1, 2, 16, /*events=*/4);
+  const uint64_t wire = m.WireBytes();
+  ASSERT_TRUE(t.Send(std::move(m)).ok());
+  auto got = t.Inbox(2)->TryPop();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->src, 1u);
+  EXPECT_EQ(got->event_count, 4u);
+
+  auto sent = t.LinkTraffic();
+  const std::pair<NodeId, NodeId> link{1, 2};
+  EXPECT_EQ(sent[link].bytes, wire);
+  t.Shutdown();
+}
+
+TEST(TcpTransport, SendToUnknownNodeFails) {
+  TcpTransportOptions opts;
+  opts.listen = false;
+  TcpTransport t(opts);
+  ASSERT_TRUE(t.AddLocalNode(1).ok());
+  ASSERT_TRUE(t.Start().ok());
+  EXPECT_EQ(t.Send(TestMessage(1, 9, 4)).code(), StatusCode::kNotFound);
+  t.Shutdown();
+  EXPECT_EQ(t.Send(TestMessage(1, 9, 4)).code(), StatusCode::kNetworkError);
+}
+
+TEST(TcpTransport, DialRetriesUntilListenerAppears) {
+  // Reserve a port, then release it so the first connect attempts fail with
+  // nobody listening; the dialer's bounded backoff must carry the send until
+  // the listener comes up.
+  uint16_t port = 0;
+  {
+    auto probe = BindListenSocket("127.0.0.1", 0);
+    ASSERT_TRUE(probe.ok());
+    auto probe_port = ListenSocketPort(*probe);
+    ASSERT_TRUE(probe_port.ok());
+    port = *probe_port;
+    ::close(*probe);
+  }
+
+  TcpTransportOptions copts;
+  copts.listen = false;
+  copts.connect_attempts = 100;
+  copts.connect_backoff_initial_us = MillisUs(5);
+  copts.connect_backoff_max_us = MillisUs(50);
+  TcpTransport client(copts);
+  ASSERT_TRUE(client.AddLocalNode(1).ok());
+  ASSERT_TRUE(client.AddPeer(0, "127.0.0.1", port).ok());
+  ASSERT_TRUE(client.Start().ok());
+
+  std::thread sender([&] {
+    // Send() dials lazily; it blocks in the retry loop until the listener
+    // exists, then succeeds.
+    EXPECT_TRUE(client.Send(TestMessage(1, 0, 11)).ok());
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  TcpTransportOptions sopts;
+  sopts.listen_port = port;
+  TcpTransport server(sopts);
+  ASSERT_TRUE(server.AddLocalNode(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto msg = server.Inbox(0)->PopFor(10 * kMicrosPerSecond);
+  sender.join();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload.size(), 11u);
+
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(TcpTransport, DialGivesUpAfterBoundedAttempts) {
+  uint16_t dead_port = 0;
+  {
+    auto probe = BindListenSocket("127.0.0.1", 0);
+    ASSERT_TRUE(probe.ok());
+    dead_port = *ListenSocketPort(*probe);
+    ::close(*probe);
+  }
+  TcpTransportOptions opts;
+  opts.listen = false;
+  opts.connect_attempts = 3;
+  opts.connect_backoff_initial_us = MillisUs(1);
+  opts.connect_backoff_max_us = MillisUs(2);
+  TcpTransport t(opts);
+  ASSERT_TRUE(t.AddLocalNode(1).ok());
+  ASSERT_TRUE(t.AddPeer(0, "127.0.0.1", dead_port).ok());
+  ASSERT_TRUE(t.Start().ok());
+  EXPECT_EQ(t.Send(TestMessage(1, 0, 4)).code(), StatusCode::kNetworkError);
+  t.Shutdown();
+}
+
+TEST(TcpTransport, ShutdownFlushesPendingSends) {
+  TcpTransport server;
+  ASSERT_TRUE(server.AddLocalNode(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpTransportOptions copts;
+  copts.listen = false;
+  TcpTransport client(copts);
+  ASSERT_TRUE(client.AddLocalNode(1).ok());
+  ASSERT_TRUE(client.AddPeer(0, "127.0.0.1", server.bound_port()).ok());
+  ASSERT_TRUE(client.Start().ok());
+
+  // The graceful-shutdown contract: everything accepted by Send() before
+  // Shutdown() reaches the peer, including a final kShutdown notice.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(client.Send(TestMessage(1, 0, 1000)).ok());
+  }
+  net::Message bye;
+  bye.type = net::MessageType::kShutdown;
+  bye.src = 1;
+  bye.dst = 0;
+  ASSERT_TRUE(client.Send(std::move(bye)).ok());
+  client.Shutdown();
+
+  for (int i = 0; i < 50; ++i) {
+    auto msg = server.Inbox(0)->PopFor(5 * kMicrosPerSecond);
+    ASSERT_TRUE(msg.has_value()) << "message " << i << " lost in shutdown";
+    EXPECT_EQ(msg->type, net::MessageType::kEventBatch);
+  }
+  auto last = server.Inbox(0)->PopFor(5 * kMicrosPerSecond);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->type, net::MessageType::kShutdown);
+  server.Shutdown();
+}
+
+// --- the in-process fabric behind the same interface -----------------------
+
+TEST(TransportInterface, NetworkFabricImplementsTransport) {
+  RealClock clock;
+  net::Network network(&clock);
+  ASSERT_TRUE(network.RegisterNode(0).ok());
+  ASSERT_TRUE(network.RegisterNode(1).ok());
+
+  Transport* transport = &network;  // the simulation fabric is a Transport
+  ASSERT_TRUE(transport->Send(TestMessage(1, 0, 12, /*events=*/3)).ok());
+  auto msg = transport->Inbox(0)->TryPop();
+  ASSERT_TRUE(msg.has_value());
+
+  auto links = transport->LinkTraffic();
+  const std::pair<NodeId, NodeId> up{1, 0};
+  ASSERT_EQ(links.count(up), 1u);
+  EXPECT_EQ(links[up].bytes, net::kEnvelopeWireBytes + 12);
+  EXPECT_EQ(links[up].events, 3u);
+  transport->Shutdown();
+  EXPECT_FALSE(transport->Send(TestMessage(1, 0, 1)).ok());
+}
+
+// --- TCP loopback integration: parity with the simulation ------------------
+
+// Runs root + kLocals local nodes as real TcpTransports (one per "process",
+// threads here) against the same seeded workload as a deterministic
+// in-process SyncDriver run, then checks that (a) every emitted quantile
+// value is bit-identical and (b) the bytes measured on the TCP sockets per
+// link equal the simulated fabric's per-link accounting.
+TEST(TcpIntegration, LoopbackClusterMatchesSimulationExactly) {
+  constexpr size_t kLocals = 3;
+  sim::SystemConfig config;
+  config.kind = sim::SystemKind::kDema;
+  config.num_locals = kLocals;
+  config.gamma = 500;
+  config.quantiles = {0.25, 0.5, 0.99};
+  // Adaptive gamma reacts to arrival timing, which differs between TCP and
+  // the simulated fabric; with it off, the protocol's wire traffic is a
+  // pure function of the (seeded) data, so byte counts must match exactly.
+  config.adaptive_gamma = false;
+
+  gen::DistributionParams dist;
+  dist.kind = gen::DistributionKind::kSensorWalk;
+  dist.lo = 0;
+  dist.hi = 10'000;
+  dist.stddev = 25;
+  sim::WorkloadConfig workload = sim::MakeUniformWorkload(
+      kLocals, /*num_windows=*/4, /*event_rate=*/5'000, dist);
+  workload.window_len_us = config.window_len_us;
+
+  // --- reference: deterministic in-process run ---
+  RealClock clock;
+  net::Network network(&clock);
+  auto system = sim::BuildSystem(config, &network, &clock, 0);
+  ASSERT_TRUE(system.ok());
+  sim::SyncDriver sync_driver(&*system, &network, &clock);
+  ASSERT_TRUE(sync_driver.Run(workload).ok());
+  const std::vector<sim::WindowOutput> expected = sync_driver.outputs();
+  ASSERT_EQ(expected.size(), workload.ExpectedWindows());
+  const LinkTrafficMap sim_links = network.LinkTraffic();
+
+  // --- TCP run: one transport per node role, loopback sockets ---
+  std::vector<sim::WindowOutput> tcp_outputs;
+  uint16_t port = 0;
+  std::mutex port_mu;
+  std::condition_variable port_cv;
+
+  Result<sim::RunMetrics> root_metrics = Status::Internal("root never ran");
+  std::thread root_thread([&] {
+    sim::TcpRootOptions opts;
+    opts.listen_port = 0;
+    opts.on_listening = [&](uint16_t p) {
+      std::lock_guard<std::mutex> lock(port_mu);
+      port = p;
+      port_cv.notify_all();
+    };
+    opts.on_result = [&](const sim::WindowOutput& out) {
+      tcp_outputs.push_back(out);
+    };
+    root_metrics = sim::RunTcpRoot(config, workload.ExpectedWindows(), opts);
+  });
+  {
+    std::unique_lock<std::mutex> lock(port_mu);
+    port_cv.wait(lock, [&] { return port != 0; });
+  }
+
+  std::vector<Result<sim::TcpLocalReport>> reports(
+      kLocals, Status::Internal("local never ran"));
+  std::vector<std::thread> local_threads;
+  for (size_t i = 0; i < kLocals; ++i) {
+    local_threads.emplace_back([&, i] {
+      sim::TcpLocalOptions opts;
+      opts.root_port = port;
+      reports[i] = sim::RunTcpLocal(config, workload,
+                                    static_cast<NodeId>(i + 1), opts);
+    });
+  }
+  root_thread.join();
+  for (auto& t : local_threads) t.join();
+
+  ASSERT_TRUE(root_metrics.ok()) << root_metrics.status();
+  for (size_t i = 0; i < kLocals; ++i) {
+    ASSERT_TRUE(reports[i].ok()) << "local " << i + 1 << ": "
+                                 << reports[i].status();
+  }
+
+  // (a) Exact quantile parity, window by window, value by value.
+  ASSERT_EQ(tcp_outputs.size(), expected.size());
+  for (size_t w = 0; w < expected.size(); ++w) {
+    EXPECT_EQ(tcp_outputs[w].window_id, expected[w].window_id);
+    EXPECT_EQ(tcp_outputs[w].global_size, expected[w].global_size);
+    ASSERT_EQ(tcp_outputs[w].values.size(), expected[w].values.size());
+    for (size_t q = 0; q < expected[w].values.size(); ++q) {
+      EXPECT_EQ(tcp_outputs[w].values[q], expected[w].values[q])
+          << "window " << w << " quantile " << config.quantiles[q];
+    }
+  }
+
+  // (b) Byte parity per link: TCP socket bytes == simulated accounting.
+  // local -> root links, measured where the bytes were written.
+  uint64_t tcp_events_total = 0;
+  for (size_t i = 0; i < kLocals; ++i) {
+    const NodeId id = static_cast<NodeId>(i + 1);
+    const auto& sent = reports[i]->sent_links;
+    auto sim_it = sim_links.find({id, 0});
+    auto tcp_it = sent.find({id, 0});
+    ASSERT_NE(sim_it, sim_links.end());
+    ASSERT_NE(tcp_it, sent.end());
+    EXPECT_EQ(tcp_it->second.bytes, sim_it->second.bytes)
+        << "local " << id << " -> root byte mismatch";
+    EXPECT_EQ(tcp_it->second.messages, sim_it->second.messages);
+    EXPECT_EQ(tcp_it->second.events, sim_it->second.events);
+    tcp_events_total += reports[i]->events_ingested;
+  }
+  EXPECT_EQ(tcp_events_total, sync_driver.events_ingested());
+
+  // Cluster-wide totals as the root measured them (recv + sent sockets)
+  // equal the simulation's all-links totals.
+  uint64_t sim_bytes = 0, sim_msgs = 0, sim_events = 0;
+  for (const auto& [link, counters] : sim_links) {
+    (void)link;
+    sim_bytes += counters.bytes;
+    sim_msgs += counters.messages;
+    sim_events += counters.events;
+  }
+  // The TCP run additionally carries one kShutdown frame per local
+  // (root -> local), absent from the simulated run's accounting.
+  const uint64_t shutdown_bytes = kLocals * net::kEnvelopeWireBytes;
+  EXPECT_EQ(root_metrics->network_total.bytes, sim_bytes + shutdown_bytes);
+  EXPECT_EQ(root_metrics->network_total.messages, sim_msgs + kLocals);
+  EXPECT_EQ(root_metrics->network_total.events, sim_events);
+  EXPECT_EQ(root_metrics->windows_emitted, workload.ExpectedWindows());
+}
+
+}  // namespace
+}  // namespace dema::transport

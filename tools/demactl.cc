@@ -6,6 +6,9 @@
 //   compare      run several systems over the same workload and print a
 //                side-by-side metric table
 //   sustainable  binary-search the maximum sustainable throughput
+//   serve        run one node (root or local) of a TCP deployment
+//   cluster      run a whole cluster on this machine (--tcp forks one
+//                process per local node talking TCP over loopback)
 //
 // Common flags:
 //   --system=dema|scotty|desis|tdigest|tdigest-dec|qdigest   (run/sustainable)
@@ -28,6 +31,7 @@
 #include "common/table.h"
 #include "sim/driver.h"
 #include "sim/sustainable.h"
+#include "sim/tcp_run.h"
 #include "sim/tree.h"
 #include "sim/topology.h"
 
@@ -259,6 +263,107 @@ int CmdTree(const Flags& flags) {
   return 0;
 }
 
+Result<std::pair<std::string, uint16_t>> ParseHostPort(const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 == spec.size()) {
+    return Status::InvalidArgument("expected HOST:PORT, got '" + spec + "'");
+  }
+  int port = 0;
+  try {
+    port = std::stoi(spec.substr(colon + 1));
+  } catch (...) {
+    return Status::InvalidArgument("bad port in '" + spec + "'");
+  }
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range in '" + spec + "'");
+  }
+  return std::make_pair(spec.substr(0, colon), static_cast<uint16_t>(port));
+}
+
+void PrintTcpMetrics(const sim::RunMetrics& metrics, const Flags& flags) {
+  if (flags.Has("json")) {
+    std::cout << sim::RunMetricsToJson(metrics) << "\n";
+    return;
+  }
+  Table table({"windows", "events", "throughput", "mean latency", "wire events",
+               "wire bytes"});
+  (void)table.AddRow({FmtCount(metrics.windows_emitted),
+                      FmtCount(metrics.events_ingested),
+                      FmtRate(metrics.throughput_eps),
+                      FmtF(metrics.latency.mean_us / 1000.0, 2) + " ms",
+                      FmtCount(metrics.network_total.events),
+                      FmtBytes(metrics.network_total.bytes)});
+  EmitTable(table, flags);
+}
+
+int CmdServe(const Flags& flags) {
+  auto config_result = BuildConfig(flags);
+  if (!config_result.ok()) return Fail(config_result.status().ToString());
+  const sim::SystemConfig& config = *config_result;
+  auto load_result = BuildWorkload(flags, config);
+  if (!load_result.ok()) return Fail(load_result.status().ToString());
+  const DurationUs timeout_us =
+      static_cast<DurationUs>(flags.GetInt("timeout-s", 120)) * kMicrosPerSecond;
+
+  std::string role = flags.GetString("role", "");
+  if (role == "root") {
+    auto listen = ParseHostPort(flags.GetString("listen", "127.0.0.1:7311"));
+    if (!listen.ok()) return Fail(listen.status().ToString());
+    sim::TcpRootOptions opts;
+    opts.listen_host = listen->first;
+    opts.listen_port = listen->second;
+    opts.timeout_us = timeout_us;
+    opts.on_listening = [&](uint16_t port) {
+      std::cerr << "demactl: root listening on " << listen->first << ":" << port
+                << ", waiting for " << config.num_locals << " locals\n";
+    };
+    auto metrics =
+        sim::RunTcpRoot(config, load_result->ExpectedWindows(), opts);
+    if (!metrics.ok()) return Fail(metrics.status().ToString());
+    PrintTcpMetrics(*metrics, flags);
+    return 0;
+  }
+  if (role == "local") {
+    auto root = ParseHostPort(flags.GetString("root", "127.0.0.1:7311"));
+    if (!root.ok()) return Fail(root.status().ToString());
+    NodeId id = static_cast<NodeId>(flags.GetInt("id", 1));
+    sim::TcpLocalOptions opts;
+    opts.root_host = root->first;
+    opts.root_port = root->second;
+    opts.timeout_us = timeout_us;
+    auto report = sim::RunTcpLocal(config, *load_result, id, opts);
+    if (!report.ok()) return Fail(report.status().ToString());
+    uint64_t sent_bytes = 0;
+    for (const auto& [link, counters] : report->sent_links) {
+      (void)link;
+      sent_bytes += counters.bytes;
+    }
+    std::cout << "local " << id << ": ingested "
+              << FmtCount(report->events_ingested) << " events, sent "
+              << FmtBytes(sent_bytes) << " to the root\n";
+    return 0;
+  }
+  return Fail("serve needs --role=root or --role=local");
+}
+
+int CmdCluster(const Flags& flags) {
+  auto config_result = BuildConfig(flags);
+  if (!config_result.ok()) return Fail(config_result.status().ToString());
+  auto load_result = BuildWorkload(flags, *config_result);
+  if (!load_result.ok()) return Fail(load_result.status().ToString());
+
+  Result<sim::RunMetrics> metrics = flags.Has("tcp")
+      // One OS process per local node plus the root, TCP over loopback.
+      ? sim::RunTcpClusterForked(*config_result, *load_result,
+                                 flags.GetString("host", "127.0.0.1"),
+                                 static_cast<uint16_t>(flags.GetInt("port", 0)))
+      // Same topology over the in-process fabric, for comparison.
+      : sim::RunThreaded(*config_result, *load_result);
+  if (!metrics.ok()) return Fail(metrics.status().ToString());
+  PrintTcpMetrics(*metrics, flags);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -269,11 +374,17 @@ int main(int argc, char** argv) {
   if (cmd == "compare") return CmdCompare(flags);
   if (cmd == "sustainable") return CmdSustainable(flags);
   if (cmd == "tree") return CmdTree(flags);
+  if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "cluster") return CmdCluster(flags);
   std::cout
-      << "usage: demactl <run|compare|sustainable|tree> [flags]\n"
+      << "usage: demactl <run|compare|sustainable|tree|serve|cluster> [flags]\n"
          "  run          run one system and print per-window results\n"
          "  compare      run every system on the same workload\n"
          "  sustainable  search the maximum sustainable throughput\n"
+         "  serve        one TCP node: --role=root --listen=H:P | "
+         "--role=local --id=I --root=H:P\n"
+         "  cluster      whole cluster on this machine; --tcp forks one\n"
+         "               process per local node over loopback TCP\n"
          "flags: --system= --locals= --windows= --rate= --gamma= --quantiles=\n"
          "       --dist= --scale-rates= --slide-ms= --adaptive --per-node-gamma\n"
          "       --naive-selection --csv=\n";
