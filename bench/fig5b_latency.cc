@@ -32,12 +32,15 @@ int main(int argc, char** argv) {
     config.num_locals = locals;
     config.gamma = gamma;
     auto metrics = bench::Unwrap(sim::RunSync(config, load), "sync run");
-    const auto& lat = metrics.latency;
+    // Figures report the registry histogram (`root.window_latency_us`) — the
+    // same instrument `--metrics-out` exports — so the paper numbers and live
+    // observability can never disagree.
+    const auto& lat = metrics.latency_hist;
     bench::UnwrapStatus(
         table.AddRow({sim::SystemKindToString(kind),
-                      FmtF(lat.mean_us / 1000.0, 2), FmtF(lat.p50_us / 1000.0, 2),
-                      FmtF(lat.p95_us / 1000.0, 2), FmtF(lat.p99_us / 1000.0, 2),
-                      FmtF(lat.max_us / 1000.0, 2)}),
+                      FmtF(lat.mean / 1000.0, 2), FmtF(lat.p50 / 1000.0, 2),
+                      FmtF(lat.p95 / 1000.0, 2), FmtF(lat.p99 / 1000.0, 2),
+                      FmtF(static_cast<double>(lat.max) / 1000.0, 2)}),
         "table row");
   }
   bench::EmitTable(table, flags);

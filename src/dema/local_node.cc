@@ -11,22 +11,35 @@ DemaLocalNode::DemaLocalNode(DemaLocalNodeOptions options, transport::Transport*
     : options_(options),
       transport_(transport),
       clock_(clock),
+      registry_(options_.registry),
       windows_(stream::WindowSpec{options.window_len_us, options.window_slide_us},
                options.sort_mode) {
-  gamma_schedule_[0] = std::max<uint64_t>(2, options_.initial_gamma);
+  if (registry_ == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  const std::string label = "{node=" + std::to_string(options_.id) + "}";
+  c_events_ingested_ = registry_->GetCounter("local.events_ingested" + label);
+  c_windows_shipped_ = registry_->GetCounter("local.windows_shipped" + label);
+  c_send_failures_ = registry_->GetCounter("local.send_failures" + label);
+  g_retained_windows_ = registry_->GetGauge("local.retained_windows" + label);
+  oldest_known_gamma_ = std::max<uint64_t>(2, options_.initial_gamma);
+  gamma_schedule_[0] = oldest_known_gamma_;
 }
 
 uint64_t DemaLocalNode::GammaForWindow(net::WindowId id) const {
-  // Latest schedule entry with effective_from <= id; entries below the emit
-  // frontier get pruned, so fall back to the oldest entry for historic ids.
+  // Latest schedule entry with effective_from <= id. Entries below the emit
+  // frontier get pruned, so a historic id may predate every remaining entry;
+  // answer with the oldest-known effective γ — never with a *future* entry,
+  // which the root never associated with that window.
   auto it = gamma_schedule_.upper_bound(id);
-  if (it == gamma_schedule_.begin()) return it->second;
+  if (it == gamma_schedule_.begin()) return oldest_known_gamma_;
   --it;
   return it->second;
 }
 
 Status DemaLocalNode::OnEvent(const Event& e) {
-  ++events_ingested_;
+  c_events_ingested_->Increment();
   windows_.OnEvent(e);
   return Status::OK();
 }
@@ -71,9 +84,11 @@ Status DemaLocalNode::EmitWindow(net::WindowId id, std::vector<Event> sorted) {
   if (!sorted.empty()) {
     DEMA_ASSIGN_OR_RETURN(batch.slices, CutIntoSlices(sorted, options_.id, gamma));
     retained_.emplace(id, RetainedWindow{gamma, std::move(sorted)});
+    g_retained_windows_->Set(static_cast<int64_t>(retained_.size()));
   }
   DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
       net::MessageType::kSynopsisBatch, options_.id, options_.root_id, batch)));
+  c_windows_shipped_->Increment();
   // Old gamma schedule entries below the emitted frontier can be pruned,
   // keeping exactly one entry at-or-below it.
   auto keep = gamma_schedule_.upper_bound(next_window_to_emit_);
@@ -105,7 +120,10 @@ Status DemaLocalNode::HandleCandidateRequest(const CandidateRequest& req) {
   auto it = retained_.find(req.window_id);
   if (req.slice_indices.empty()) {
     // Release: the root needs nothing from this window.
-    if (it != retained_.end()) retained_.erase(it);
+    if (it != retained_.end()) {
+      retained_.erase(it);
+      g_retained_windows_->Set(static_cast<int64_t>(retained_.size()));
+    }
     return Status::OK();
   }
   if (it == retained_.end()) {
@@ -133,15 +151,26 @@ Status DemaLocalNode::HandleCandidateRequest(const CandidateRequest& req) {
     reply.events.insert(reply.events.end(), sorted.begin() + begin,
                         sorted.begin() + end);
   }
+  // Release the window only once the reply is actually on the wire: a
+  // transient send failure must not lose the retained events, or the root
+  // can never complete this window (the retransmitted request would hit the
+  // released-window path above).
+  Status sent = transport_->Send(net::MakeMessage(net::MessageType::kCandidateReply,
+                                                  options_.id, options_.root_id, reply));
+  if (!sent.ok()) {
+    c_send_failures_->Increment();
+    return sent;
+  }
   retained_.erase(it);
-  return transport_->Send(net::MakeMessage(net::MessageType::kCandidateReply,
-                                         options_.id, options_.root_id, reply));
+  g_retained_windows_->Set(static_cast<int64_t>(retained_.size()));
+  return Status::OK();
 }
 
 namespace {
 /// Checkpoint framing: magic + version guard against foreign blobs.
+/// Version 2 added the oldest-known effective γ after the schedule entries.
 constexpr uint32_t kCheckpointMagic = 0xDE3AC4B1;
-constexpr uint8_t kCheckpointVersion = 1;
+constexpr uint8_t kCheckpointVersion = 2;
 }  // namespace
 
 void DemaLocalNode::Checkpoint(net::Writer* w) const {
@@ -149,12 +178,13 @@ void DemaLocalNode::Checkpoint(net::Writer* w) const {
   w->PutU8(kCheckpointVersion);
   w->PutU32(options_.id);
   w->PutU64(next_window_to_emit_);
-  w->PutU64(events_ingested_);
+  w->PutU64(c_events_ingested_->Value());
   w->PutU32(static_cast<uint32_t>(gamma_schedule_.size()));
   for (const auto& [from, gamma] : gamma_schedule_) {
     w->PutU64(from);
     w->PutU64(gamma);
   }
+  w->PutU64(oldest_known_gamma_);
   w->PutU32(static_cast<uint32_t>(retained_.size()));
   for (const auto& [id, window] : retained_) {
     w->PutU64(id);
@@ -185,7 +215,11 @@ Status DemaLocalNode::Restore(net::Reader* r) {
                                    std::to_string(options_.id));
   }
   DEMA_RETURN_NOT_OK(r->GetU64(&next_window_to_emit_));
-  DEMA_RETURN_NOT_OK(r->GetU64(&events_ingested_));
+  uint64_t events_ingested = 0;
+  DEMA_RETURN_NOT_OK(r->GetU64(&events_ingested));
+  if (events_ingested > c_events_ingested_->Value()) {
+    c_events_ingested_->Increment(events_ingested - c_events_ingested_->Value());
+  }
   uint32_t schedule_entries = 0;
   DEMA_RETURN_NOT_OK(r->GetU32(&schedule_entries));
   gamma_schedule_.clear();
@@ -199,6 +233,10 @@ Status DemaLocalNode::Restore(net::Reader* r) {
   if (gamma_schedule_.empty()) {
     return Status::SerializationError("checkpoint without gamma schedule");
   }
+  DEMA_RETURN_NOT_OK(r->GetU64(&oldest_known_gamma_));
+  if (oldest_known_gamma_ < 2) {
+    return Status::SerializationError("oldest-known gamma below 2");
+  }
   uint32_t retained_count = 0;
   DEMA_RETURN_NOT_OK(r->GetU32(&retained_count));
   retained_.clear();
@@ -210,6 +248,7 @@ Status DemaLocalNode::Restore(net::Reader* r) {
     DEMA_RETURN_NOT_OK(net::DecodeEvents(r, &window.sorted));
     retained_.emplace(static_cast<net::WindowId>(id), std::move(window));
   }
+  g_retained_windows_->Set(static_cast<int64_t>(retained_.size()));
   return windows_.RestoreFrom(r);
 }
 

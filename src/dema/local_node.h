@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/clock.h"
 #include "dema/protocol.h"
+#include "obs/registry.h"
 #include "transport/transport.h"
 #include "sim/node.h"
 #include "stream/window_manager.h"
@@ -33,6 +35,10 @@ struct DemaLocalNodeOptions {
   bool tolerate_duplicates = true;
   /// Wire encoding for candidate replies.
   net::EventCodec reply_codec = net::EventCodec::kFixed;
+  /// Metrics sink for the `local.*{node=N}` instruments. When null, the node
+  /// owns a private registry (reachable via `registry()`). Must outlive the
+  /// node when provided.
+  obs::Registry* registry = nullptr;
 };
 
 /// \brief Dema's edge-side node (Sections 3.1, 3.3).
@@ -53,14 +59,20 @@ class DemaLocalNode final : public sim::LocalNodeLogic {
   Status OnFinish(TimestampUs final_watermark_us) override;
   Status OnMessage(const net::Message& msg) override;
 
-  /// Slice factor that would apply to window \p id right now.
+  /// Slice factor that would apply to window \p id right now. For historic
+  /// ids older than every schedule entry (possible after pruning or restore),
+  /// returns the oldest-known effective γ rather than a future entry's value.
   uint64_t GammaForWindow(net::WindowId id) const;
 
   /// Windows currently retained for candidate serving (memory accounting).
   size_t retained_windows() const { return retained_.size(); }
 
   /// Events ingested so far.
-  uint64_t events_ingested() const { return events_ingested_; }
+  uint64_t events_ingested() const { return c_events_ingested_->Value(); }
+
+  /// The registry this node records into (the options-provided one, or the
+  /// node's own private registry).
+  obs::Registry* registry() const { return registry_; }
 
   /// Serializes the node's complete mutable state — open window buffers,
   /// watermark, retained (shipped but unreleased) windows, γ schedule, and
@@ -94,13 +106,22 @@ class DemaLocalNode final : public sim::LocalNodeLogic {
   DemaLocalNodeOptions options_;
   transport::Transport* transport_;
   const Clock* clock_;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_;
   stream::WindowManager windows_;
   /// Sorted events of shipped windows, kept until the root releases them.
   std::map<net::WindowId, RetainedWindow> retained_;
   /// γ schedule: effective-from window id -> γ. Always non-empty.
   std::map<net::WindowId, uint64_t> gamma_schedule_;
+  /// γ in effect at the start of known history; the answer for window ids
+  /// older than every remaining schedule entry. Survives checkpoints.
+  uint64_t oldest_known_gamma_;
   net::WindowId next_window_to_emit_ = 0;
-  uint64_t events_ingested_ = 0;
+  /// Cached registry instruments.
+  obs::Counter* c_events_ingested_;
+  obs::Counter* c_windows_shipped_;
+  obs::Counter* c_send_failures_;
+  obs::Gauge* g_retained_windows_;
 };
 
 }  // namespace dema::core

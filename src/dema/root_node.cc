@@ -12,8 +12,44 @@ DemaRootNode::DemaRootNode(DemaRootNodeOptions options, transport::Transport* tr
     : options_(std::move(options)),
       transport_(transport),
       clock_(clock),
+      registry_(options_.registry),
+      tracer_(options_.tracer),
       gamma_(options_.initial_gamma, options_.gamma_options),
       last_broadcast_gamma_(gamma_.current()) {
+  if (registry_ == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  c_windows_ = registry_->GetCounter("dema.windows");
+  c_synopsis_slices_ = registry_->GetCounter("dema.synopsis_slices");
+  c_candidate_slices_ = registry_->GetCounter("dema.candidate_slices");
+  c_candidate_events_ = registry_->GetCounter("dema.candidate_events");
+  c_global_events_ = registry_->GetCounter("dema.global_events");
+  c_class_separate_ = registry_->GetCounter("dema.classes.separate");
+  c_class_compound_ = registry_->GetCounter("dema.classes.compound");
+  c_class_cover_ = registry_->GetCounter("dema.classes.cover");
+  c_gamma_updates_sent_ = registry_->GetCounter("dema.gamma_updates_sent");
+  c_duplicates_ignored_ = registry_->GetCounter("dema.duplicates_ignored");
+  c_clock_skew_windows_ = registry_->GetCounter("dema.clock_skew_windows");
+
+  // Fail fast on option errors: a bad quantile must not poison a running
+  // cluster per-window after synopses already shipped.
+  if (options_.quantiles.empty()) {
+    init_status_ = Status::InvalidArgument("no quantiles configured");
+  }
+  for (double q : options_.quantiles) {
+    if (!(q > 0.0) || q > 1.0) {
+      init_status_ = Status::InvalidArgument(
+          "quantile " + std::to_string(q) + " outside (0, 1]");
+      break;
+    }
+  }
+  if (init_status_.ok() && options_.use_naive_selection &&
+      options_.quantiles.size() != 1) {
+    init_status_ =
+        Status::InvalidArgument("naive selection supports exactly one quantile");
+  }
+
   for (size_t i = 0; i < options_.locals.size(); ++i) {
     local_index_[options_.locals[i]] = i;
   }
@@ -25,6 +61,22 @@ DemaRootNode::DemaRootNode(DemaRootNodeOptions options, transport::Transport* tr
   }
 }
 
+DemaRootStats DemaRootNode::stats() const {
+  DemaRootStats s;
+  s.windows = c_windows_->Value();
+  s.synopsis_slices = c_synopsis_slices_->Value();
+  s.candidate_slices = c_candidate_slices_->Value();
+  s.candidate_events = c_candidate_events_->Value();
+  s.global_events = c_global_events_->Value();
+  s.classes.separate = c_class_separate_->Value();
+  s.classes.compound = c_class_compound_->Value();
+  s.classes.cover = c_class_cover_->Value();
+  s.gamma_updates_sent = c_gamma_updates_sent_->Value();
+  s.duplicates_ignored = c_duplicates_ignored_->Value();
+  s.clock_skew_windows = c_clock_skew_windows_->Value();
+  return s;
+}
+
 uint64_t DemaRootNode::current_gamma_for(NodeId node) const {
   if (options_.per_node_gamma) {
     auto it = local_index_.find(node);
@@ -33,7 +85,33 @@ uint64_t DemaRootNode::current_gamma_for(NodeId node) const {
   return gamma_.current();
 }
 
+DurationUs DemaRootNode::EmitLatencyUs(TimestampUs close_us,
+                                       obs::WindowTrace* trace) {
+  TimestampUs now = clock_->NowUs();
+  trace->emit_us = static_cast<uint64_t>(std::max<TimestampUs>(0, now));
+  if (now < close_us) {
+    // A peer's close stamp ran ahead of the root clock (possible across
+    // processes despite the shared epoch); clamp instead of underflowing.
+    c_clock_skew_windows_->Increment();
+    trace->clock_skew = true;
+    trace->latency_us = 0;
+    return 0;
+  }
+  trace->latency_us = static_cast<uint64_t>(now - close_us);
+  return now - close_us;
+}
+
+void DemaRootNode::RecordTrace(PendingWindow* w) {
+  if (tracer_ == nullptr) return;
+  w->trace.global_size = w->global_size;
+  w->trace.synopses = w->synopses_received;
+  w->trace.local_close_us =
+      static_cast<uint64_t>(std::max<TimestampUs>(0, w->last_close_time_us));
+  tracer_->Record(w->trace);
+}
+
 Status DemaRootNode::OnMessage(const net::Message& msg) {
+  if (!init_status_.ok()) return init_status_;
   net::Reader r(msg.payload);
   switch (msg.type) {
     case net::MessageType::kSynopsisBatch: {
@@ -61,10 +139,13 @@ Status DemaRootNode::HandleSynopsisBatch(const SynopsisBatch& batch) {
   PendingWindow& w = pending_[batch.window_id];
   if (w.synopsis_from.empty()) {
     w.synopsis_from.assign(options_.locals.size(), false);
+    w.trace.window_id = batch.window_id;
+    w.trace.first_synopsis_us =
+        static_cast<uint64_t>(std::max<TimestampUs>(0, clock_->NowUs()));
   }
   if (w.synopsis_from[idx_it->second]) {
     if (options_.tolerate_duplicates) {
-      ++stats_.duplicates_ignored;
+      c_duplicates_ignored_->Increment();
       return Status::OK();
     }
     return Status::AlreadyExists("duplicate synopsis from node " +
@@ -75,7 +156,9 @@ Status DemaRootNode::HandleSynopsisBatch(const SynopsisBatch& batch) {
   w.global_size += batch.local_window_size;
   w.last_close_time_us = std::max(w.last_close_time_us, batch.close_time_us);
   w.slices.insert(w.slices.end(), batch.slices.begin(), batch.slices.end());
-  stats_.synopsis_slices += batch.slices.size();
+  c_synopsis_slices_->Increment(batch.slices.size());
+  w.trace.last_synopsis_us =
+      static_cast<uint64_t>(std::max<TimestampUs>(0, clock_->NowUs()));
 
   if (w.synopses_received == options_.locals.size()) {
     return RunIdentification(batch.window_id, &w);
@@ -91,27 +174,24 @@ Status DemaRootNode::RunIdentification(net::WindowId id, PendingWindow* w) {
     out.global_size = 0;
     out.quantiles = options_.quantiles;
     out.values.assign(options_.quantiles.size(), 0.0);
-    out.latency_us = clock_->NowUs() - w->last_close_time_us;
-    ++stats_.windows;
+    out.latency_us = EmitLatencyUs(w->last_close_time_us, &w->trace);
+    c_windows_->Increment();
+    RecordTrace(w);
     if (callback_) callback_(out);
     pending_.erase(id);
     return Status::OK();
   }
 
+  w->trace.identification_us =
+      static_cast<uint64_t>(std::max<TimestampUs>(0, clock_->NowUs()));
+
   std::vector<uint64_t> ranks;
   ranks.reserve(options_.quantiles.size());
   for (double q : options_.quantiles) {
-    if (!(q > 0.0) || q > 1.0) {
-      return Status::InvalidArgument("quantile outside (0, 1]");
-    }
     ranks.push_back(stream::QuantileRank(q, w->global_size));
   }
 
   if (options_.use_naive_selection) {
-    if (ranks.size() != 1) {
-      return Status::InvalidArgument(
-          "naive selection supports exactly one quantile");
-    }
     DEMA_ASSIGN_OR_RETURN(
         w->cut, WindowCut::SelectNaiveOverlap(w->slices, w->global_size, ranks[0]));
   } else {
@@ -119,11 +199,13 @@ Status DemaRootNode::RunIdentification(net::WindowId id, PendingWindow* w) {
                           WindowCut::SelectMulti(w->slices, w->global_size, ranks));
   }
 
-  stats_.candidate_slices += w->cut.candidates.size();
-  stats_.candidate_events += w->cut.candidate_event_count;
-  stats_.classes.separate += w->cut.classes.separate;
-  stats_.classes.compound += w->cut.classes.compound;
-  stats_.classes.cover += w->cut.classes.cover;
+  c_candidate_slices_->Increment(w->cut.candidates.size());
+  c_candidate_events_->Increment(w->cut.candidate_event_count);
+  c_class_separate_->Increment(w->cut.classes.separate);
+  c_class_compound_->Increment(w->cut.classes.compound);
+  c_class_cover_->Increment(w->cut.classes.cover);
+  w->trace.candidate_slices = w->cut.candidates.size();
+  w->trace.candidate_events = w->cut.candidate_event_count;
 
   // Group candidate slices by owning node; indices within one node ascend
   // because synopsis batches list a node's slices in order and the candidate
@@ -172,7 +254,7 @@ Status DemaRootNode::HandleCandidateReply(const CandidateReply& reply) {
   if (it == pending_.end()) {
     if (options_.tolerate_duplicates) {
       // The window already completed; this is a retransmitted reply.
-      ++stats_.duplicates_ignored;
+      c_duplicates_ignored_->Increment();
       return Status::OK();
     }
     return Status::NotFound("reply for unknown window " +
@@ -185,7 +267,7 @@ Status DemaRootNode::HandleCandidateReply(const CandidateReply& reply) {
   if (w.reply_from.empty()) w.reply_from.assign(options_.locals.size(), false);
   if (w.reply_from[idx_it->second]) {
     if (options_.tolerate_duplicates) {
-      ++stats_.duplicates_ignored;
+      c_duplicates_ignored_->Increment();
       return Status::OK();
     }
     return Status::AlreadyExists("duplicate reply from node " +
@@ -193,6 +275,11 @@ Status DemaRootNode::HandleCandidateReply(const CandidateReply& reply) {
   }
   w.reply_from[idx_it->second] = true;
   w.reply_runs.push_back(reply.events);
+  ++w.trace.replies;
+  uint64_t now =
+      static_cast<uint64_t>(std::max<TimestampUs>(0, clock_->NowUs()));
+  if (w.trace.first_reply_us == 0) w.trace.first_reply_us = now;
+  w.trace.last_reply_us = now;
   if (w.reply_runs.size() == w.expected_replies) {
     return CompleteWindow(reply.window_id, &w);
   }
@@ -224,10 +311,11 @@ Status DemaRootNode::CompleteWindow(net::WindowId id, PendingWindow* w) {
     }
     out.values.push_back(merged[within - 1].value);
   }
-  out.latency_us = clock_->NowUs() - w->last_close_time_us;
+  out.latency_us = EmitLatencyUs(w->last_close_time_us, &w->trace);
 
-  ++stats_.windows;
-  stats_.global_events += w->global_size;
+  c_windows_->Increment();
+  c_global_events_->Increment(w->global_size);
+  RecordTrace(w);
   uint64_t global_size = w->global_size;
   uint64_t candidate_slices = w->cut.candidates.size();
   PendingWindow completed = std::move(*w);
@@ -270,7 +358,7 @@ Status DemaRootNode::AdaptPerNode(net::WindowId completed_window,
     DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
         net::MessageType::kGammaUpdate, options_.id, options_.locals[i], update)));
     node_last_broadcast_[i] = next;
-    ++stats_.gamma_updates_sent;
+    c_gamma_updates_sent_->Increment();
   }
   return Status::OK();
 }
@@ -279,11 +367,12 @@ Status DemaRootNode::BroadcastGamma(net::WindowId effective_from, uint64_t gamma
   GammaUpdate update;
   update.effective_from = effective_from;
   update.gamma = static_cast<uint32_t>(std::min<uint64_t>(gamma, UINT32_MAX));
+  // Counts messages, not broadcasts, matching AdaptPerNode's accounting.
   for (NodeId node : options_.locals) {
     DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
         net::MessageType::kGammaUpdate, options_.id, node, update)));
+    c_gamma_updates_sent_->Increment();
   }
-  ++stats_.gamma_updates_sent;
   return Status::OK();
 }
 

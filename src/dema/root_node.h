@@ -2,12 +2,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/clock.h"
 #include "dema/adaptive_gamma.h"
 #include "dema/protocol.h"
 #include "dema/window_cut.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "transport/transport.h"
 #include "sim/node.h"
 
@@ -20,7 +23,9 @@ struct DemaRootNodeOptions {
   /// Ids of all local nodes contributing to global windows.
   std::vector<NodeId> locals;
   /// Quantiles to answer per window, each in (0, 1]. One identification step
-  /// serves all of them (multi-quantile extension).
+  /// serves all of them (multi-quantile extension). Validated at
+  /// construction; a bad quantile fails every OnMessage instead of poisoning
+  /// a running cluster mid-stream.
   std::vector<double> quantiles = {0.5};
   /// Initial slice factor (also broadcast target when adaptation is off).
   uint64_t initial_gamma = 10'000;
@@ -34,15 +39,26 @@ struct DemaRootNodeOptions {
   /// meaningful with adaptive_gamma; heterogeneous event rates benefit most.
   bool per_node_gamma = false;
   /// Ablation: replace window-cut with naive transitive-overlap selection.
-  /// Only valid with a single quantile.
+  /// Only valid with a single quantile (checked at construction).
   bool use_naive_selection = false;
   /// Tolerate at-least-once delivery: duplicate synopses/replies are ignored
   /// (counted in stats) instead of failing the node. On by default — IoT
   /// transports retransmit; turn off to assert exactly-once in tests.
   bool tolerate_duplicates = true;
+  /// Metrics sink for the `dema.*` instruments. When null, the node owns a
+  /// private registry (reachable via `registry()`), so instrumentation is
+  /// always on. Must outlive the node when provided.
+  obs::Registry* registry = nullptr;
+  /// Optional per-window span recorder; when set, every emitted window
+  /// records one `obs::WindowTrace`. Must outlive the node.
+  obs::TraceRecorder* tracer = nullptr;
 };
 
 /// \brief Aggregate algorithm counters across all completed windows.
+///
+/// A point-in-time view materialized from the node's registry instruments
+/// (the registry is the source of truth; this struct keeps the historical
+/// accessor shape).
 struct DemaRootStats {
   uint64_t windows = 0;
   /// Slice synopses received (identification step volume).
@@ -55,10 +71,13 @@ struct DemaRootStats {
   uint64_t global_events = 0;
   /// Accumulated slice classification diagnostics.
   SliceClassCounts classes;
-  /// γ broadcasts sent.
+  /// γ update messages sent (one per recipient local node).
   uint64_t gamma_updates_sent = 0;
   /// Duplicate deliveries ignored (at-least-once transport tolerance).
   uint64_t duplicates_ignored = 0;
+  /// Windows whose local close stamp was ahead of the root clock (latency
+  /// clamped to 0 instead of underflowing).
+  uint64_t clock_skew_windows = 0;
 };
 
 /// \brief Dema's root node: runs the identification and calculation steps
@@ -77,11 +96,20 @@ class DemaRootNode final : public sim::RootNodeLogic {
 
   Status OnMessage(const net::Message& msg) override;
   void SetResultCallback(sim::ResultCallback cb) override { callback_ = std::move(cb); }
-  uint64_t windows_emitted() const override { return stats_.windows; }
+  uint64_t windows_emitted() const override { return c_windows_->Value(); }
   bool idle() const override { return pending_.empty(); }
 
-  /// Algorithm counters over all completed windows.
-  const DemaRootStats& stats() const { return stats_; }
+  /// Algorithm counters over all completed windows (snapshot of the
+  /// registry-backed instruments).
+  DemaRootStats stats() const;
+
+  /// Construction-time option validation result; every OnMessage returns
+  /// this error while it is not OK.
+  const Status& init_status() const { return init_status_; }
+
+  /// The registry this node records into (the options-provided one, or the
+  /// node's own private registry).
+  obs::Registry* registry() const { return registry_; }
 
   /// The slice factor the global controller currently prescribes.
   uint64_t current_gamma() const { return gamma_.current(); }
@@ -102,6 +130,7 @@ class DemaRootNode final : public sim::RootNodeLogic {
     std::vector<bool> reply_from;  // by local index (duplicate suppression)
     std::vector<std::vector<Event>> reply_runs;
     WindowCutResult cut;
+    obs::WindowTrace trace;  // lifecycle span, recorded at emit
   };
 
   Status HandleSynopsisBatch(const SynopsisBatch& batch);
@@ -114,10 +143,19 @@ class DemaRootNode final : public sim::RootNodeLogic {
   /// Per-node mode: feed each node's (l_i, m_i) observation and send
   /// node-specific updates where the prescription changed.
   Status AdaptPerNode(net::WindowId completed_window, const PendingWindow& w);
+  /// Emission-time latency relative to \p close_us, clamped at 0; a clamp
+  /// counts into `dema.clock_skew_windows` and flags the trace.
+  DurationUs EmitLatencyUs(TimestampUs close_us, obs::WindowTrace* trace);
+  /// Finalizes and records the window's trace span.
+  void RecordTrace(PendingWindow* w);
 
   DemaRootNodeOptions options_;
   transport::Transport* transport_;
   const Clock* clock_;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_;
+  obs::TraceRecorder* tracer_;
+  Status init_status_;
   std::map<NodeId, size_t> local_index_;
   std::map<net::WindowId, PendingWindow> pending_;
   sim::ResultCallback callback_;
@@ -126,7 +164,18 @@ class DemaRootNode final : public sim::RootNodeLogic {
   /// Per-node controllers and last-broadcast values (per-node mode only).
   std::vector<AdaptiveGammaController> node_gamma_;
   std::vector<uint64_t> node_last_broadcast_;
-  DemaRootStats stats_;
+  /// Cached registry instruments (stable pointers; hot-path increments).
+  obs::Counter* c_windows_;
+  obs::Counter* c_synopsis_slices_;
+  obs::Counter* c_candidate_slices_;
+  obs::Counter* c_candidate_events_;
+  obs::Counter* c_global_events_;
+  obs::Counter* c_class_separate_;
+  obs::Counter* c_class_compound_;
+  obs::Counter* c_class_cover_;
+  obs::Counter* c_gamma_updates_sent_;
+  obs::Counter* c_duplicates_ignored_;
+  obs::Counter* c_clock_skew_windows_;
 };
 
 }  // namespace dema::core

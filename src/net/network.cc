@@ -4,6 +4,15 @@ namespace dema::net {
 
 Network::Network(const Clock* clock) : Network(clock, Options()) {}
 
+Network::Network(const Clock* clock, Options options)
+    : clock_(clock),
+      options_(options),
+      owned_registry_(options.registry == nullptr ? new obs::Registry() : nullptr),
+      registry_(options.registry == nullptr ? owned_registry_.get()
+                                            : options.registry),
+      sent_(registry_, "transport.sent"),
+      fault_rng_(options.fault_seed) {}
+
 Status Network::RegisterNode(NodeId id) {
   return RegisterNode(id, options_.inbox_capacity);
 }
@@ -28,15 +37,9 @@ Channel* Network::Inbox(NodeId id) {
 }
 
 void Network::ChargeLocked(const Message& m) {
-  LinkStats& link = links_[MakeKey(m.src, m.dst)];
-  link.counters.messages += 1;
-  link.counters.bytes += m.WireBytes();
-  link.counters.events += m.event_count;
-  link.simulated_transfer_us += options_.link_model.TransferTimeUs(m.WireBytes());
-  TrafficCounters& tc = by_type_[m.type];
-  tc.messages += 1;
-  tc.bytes += m.WireBytes();
-  tc.events += m.event_count;
+  sent_.Charge(m.src, m.dst, m.type, m.WireBytes(), m.event_count);
+  transfer_us_[MakeKey(m.src, m.dst)] +=
+      options_.link_model.TransferTimeUs(m.WireBytes());
 }
 
 Status Network::Send(Message m) {
@@ -78,27 +81,29 @@ uint64_t Network::duplicates_injected() const {
 }
 
 Network::LinkStats Network::GetLinkStats(NodeId src, NodeId dst) const {
+  auto links = sent_.Links();
+  auto it = links.find(MakeKey(src, dst));
+  LinkStats out;
+  if (it != links.end()) out.counters = it->second;
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = links_.find(MakeKey(src, dst));
-  return it == links_.end() ? LinkStats{} : it->second;
-}
-
-std::map<std::pair<NodeId, NodeId>, Network::LinkStats> Network::AllLinks() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return links_;
-}
-
-transport::LinkTrafficMap Network::LinkTraffic() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  transport::LinkTrafficMap out;
-  for (const auto& [key, stats] : links_) out[key] = stats.counters;
+  auto tit = transfer_us_.find(MakeKey(src, dst));
+  if (tit != transfer_us_.end()) out.simulated_transfer_us = tit->second;
   return out;
 }
 
-Network::LinkStats Network::TotalStats() const {
+std::map<std::pair<NodeId, NodeId>, Network::LinkStats> Network::AllLinks() const {
+  std::map<std::pair<NodeId, NodeId>, LinkStats> out;
+  for (const auto& [key, counters] : sent_.Links()) out[key].counters = counters;
   std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, us] : transfer_us_) out[key].simulated_transfer_us = us;
+  return out;
+}
+
+transport::LinkTrafficMap Network::LinkTraffic() const { return sent_.Links(); }
+
+Network::LinkStats Network::TotalStats() const {
   LinkStats total;
-  for (const auto& [key, stats] : links_) {
+  for (const auto& [key, stats] : AllLinks()) {
     (void)key;
     total.counters += stats.counters;
     total.simulated_transfer_us += stats.simulated_transfer_us;
@@ -107,8 +112,7 @@ Network::LinkStats Network::TotalStats() const {
 }
 
 std::map<MessageType, TrafficCounters> Network::StatsByType() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return by_type_;
+  return sent_.ByType();
 }
 
 void Network::CloseAll() {

@@ -11,6 +11,8 @@
 #include "common/rng.h"
 #include "net/channel.h"
 #include "net/message.h"
+#include "net/traffic_instruments.h"
+#include "obs/registry.h"
 #include "transport/transport.h"
 
 namespace dema::net {
@@ -57,6 +59,10 @@ class Network : public transport::Transport {
     double duplicate_prob = 0;
     /// Seed for the fault-injection draw (deterministic runs).
     uint64_t fault_seed = 1;
+    /// Metrics sink for the `transport.sent.*` instruments. When null, the
+    /// fabric owns a private registry (reachable via `registry()`). Must
+    /// outlive the network when provided.
+    obs::Registry* registry = nullptr;
   };
 
   /// Creates a fabric with default options; \p clock stamps send times (must
@@ -64,8 +70,7 @@ class Network : public transport::Transport {
   explicit Network(const Clock* clock);
 
   /// Creates a fabric with explicit options.
-  Network(const Clock* clock, Options options)
-      : clock_(clock), options_(options), fault_rng_(options.fault_seed) {}
+  Network(const Clock* clock, Options options);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -125,6 +130,10 @@ class Network : public transport::Transport {
   /// The link model in use.
   const LinkModel& link_model() const { return options_.link_model; }
 
+  /// The registry this fabric records into (the options-provided one, or the
+  /// fabric's own private registry).
+  obs::Registry* registry() const { return registry_; }
+
  private:
   // Keyed by the (src, dst) pair directly: the previous packed-u64 key
   // ((src << 32) | dst) would silently collide links if NodeId ever widened
@@ -137,11 +146,15 @@ class Network : public transport::Transport {
 
   const Clock* clock_;
   Options options_;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_;
+  /// Registry-backed per-link / per-type message, byte, and event counters.
+  TrafficInstruments sent_;
   mutable std::mutex mu_;
   std::map<NodeId, std::unique_ptr<Channel>> inboxes_;
   std::vector<NodeId> order_;
-  std::map<LinkKey, LinkStats> links_;
-  std::map<MessageType, TrafficCounters> by_type_;
+  /// Modelled wire time per link (reporting only; not a registry metric).
+  std::map<LinkKey, double> transfer_us_;
   Rng fault_rng_{1};
   uint64_t duplicates_injected_ = 0;
 

@@ -1,0 +1,65 @@
+#include "net/traffic_instruments.h"
+
+namespace dema::net {
+
+void TrafficInstruments::Charge(NodeId src, NodeId dst, MessageType type,
+                                uint64_t bytes, uint64_t events) {
+  Triple link;
+  Triple by_type;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto lit = links_.find({src, dst});
+    if (lit == links_.end()) {
+      const std::string label = "{link=" + std::to_string(src) + "->" +
+                                std::to_string(dst) + "}";
+      Triple t{registry_->GetCounter(prefix_ + ".messages" + label),
+               registry_->GetCounter(prefix_ + ".bytes" + label),
+               registry_->GetCounter(prefix_ + ".events" + label)};
+      lit = links_.emplace(std::make_pair(src, dst), t).first;
+    }
+    link = lit->second;
+    auto tit = types_.find(type);
+    if (tit == types_.end()) {
+      const std::string label =
+          std::string("{type=") + MessageTypeToString(type) + "}";
+      Triple t{registry_->GetCounter(prefix_ + ".messages" + label),
+               registry_->GetCounter(prefix_ + ".bytes" + label),
+               registry_->GetCounter(prefix_ + ".events" + label)};
+      tit = types_.emplace(type, t).first;
+    }
+    by_type = tit->second;
+  }
+  link.messages->Increment();
+  link.bytes->Increment(bytes);
+  link.events->Increment(events);
+  by_type.messages->Increment();
+  by_type.bytes->Increment(bytes);
+  by_type.events->Increment(events);
+}
+
+std::map<std::pair<NodeId, NodeId>, TrafficCounters> TrafficInstruments::Links()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::pair<NodeId, NodeId>, TrafficCounters> out;
+  for (const auto& [key, t] : links_) {
+    TrafficCounters& c = out[key];
+    c.messages = t.messages->Value();
+    c.bytes = t.bytes->Value();
+    c.events = t.events->Value();
+  }
+  return out;
+}
+
+std::map<MessageType, TrafficCounters> TrafficInstruments::ByType() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<MessageType, TrafficCounters> out;
+  for (const auto& [type, t] : types_) {
+    TrafficCounters& c = out[type];
+    c.messages = t.messages->Value();
+    c.bytes = t.bytes->Value();
+    c.events = t.events->Value();
+  }
+  return out;
+}
+
+}  // namespace dema::net

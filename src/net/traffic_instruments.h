@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "net/channel.h"
+#include "net/message.h"
+#include "obs/registry.h"
+
+namespace dema::net {
+
+/// \brief Registry-backed traffic accounting shared by the in-process fabric
+/// and the TCP transport.
+///
+/// One {messages, bytes, events} counter triple per directed link and per
+/// message type, named `<prefix>.messages{link=S->D}` /
+/// `<prefix>.bytes{type=SynopsisBatch}` etc. The registry instruments are
+/// the single source of truth; `Links()` / `ByType()` materialize the
+/// historical `TrafficCounters` map views from them, so existing accessor
+/// APIs keep working while `Registry::ToJson()` exports the same numbers.
+class TrafficInstruments {
+ public:
+  /// \p registry must outlive this object. \p prefix is e.g.
+  /// "transport.sent" or "transport.recv".
+  TrafficInstruments(obs::Registry* registry, std::string prefix)
+      : registry_(registry), prefix_(std::move(prefix)) {}
+
+  TrafficInstruments(const TrafficInstruments&) = delete;
+  TrafficInstruments& operator=(const TrafficInstruments&) = delete;
+
+  /// Charges one message of \p bytes measured bytes to the (src, dst) link
+  /// and the per-type breakdown. Thread-safe.
+  void Charge(NodeId src, NodeId dst, MessageType type, uint64_t bytes,
+              uint64_t events);
+
+  /// Per-link counter view, keyed by the directed (src, dst) pair.
+  std::map<std::pair<NodeId, NodeId>, TrafficCounters> Links() const;
+
+  /// Per-message-type counter view.
+  std::map<MessageType, TrafficCounters> ByType() const;
+
+ private:
+  struct Triple {
+    obs::Counter* messages;
+    obs::Counter* bytes;
+    obs::Counter* events;
+  };
+
+  obs::Registry* registry_;
+  const std::string prefix_;
+  mutable std::mutex mu_;  // guards the triple maps, not the counters
+  std::map<std::pair<NodeId, NodeId>, Triple> links_;
+  std::map<MessageType, Triple> types_;
+};
+
+}  // namespace dema::net

@@ -1,0 +1,80 @@
+#include "obs/sink.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace dema::obs {
+
+std::string ObsToJson(const Registry& registry, const TraceRecorder* tracer) {
+  JsonWriter out;
+  out.RawField("metrics", registry.ToJson());
+  out.RawField("spans", tracer ? tracer->ToJson() : std::string("[]"));
+  return out.Finish();
+}
+
+Status WriteObsFile(const std::string& path, const Registry& registry,
+                    const TraceRecorder* tracer) {
+  std::string json = ObsToJson(registry, tracer);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open metrics file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("short write to metrics file: " + path);
+  }
+  return Status::OK();
+}
+
+PeriodicLogger::PeriodicLogger(const Registry* registry, DurationUs interval_us)
+    : registry_(registry) {
+  thread_ = std::thread([this, interval_us] { Run(interval_us); });
+}
+
+PeriodicLogger::~PeriodicLogger() { Stop(); }
+
+void PeriodicLogger::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicLogger::Run(DurationUs interval_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, std::chrono::microseconds(interval_us),
+                     [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    LogOnce();
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+void PeriodicLogger::LogOnce() {
+  std::ostringstream line;
+  bool first = true;
+  for (const auto& [name, value] : registry_->CounterValues()) {
+    if (!first) line << ' ';
+    first = false;
+    line << name << '=' << value;
+  }
+  for (const auto& [name, value] : registry_->GaugeValues()) {
+    if (!first) line << ' ';
+    first = false;
+    line << name << '=' << value;
+  }
+  DEMA_LOG(Info) << "metrics " << line.str();
+}
+
+}  // namespace dema::obs

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace dema::obs {
+
+/// \brief Full observability dump as one JSON object:
+/// `{"metrics": <Registry::ToJson()>, "spans": <TraceRecorder::ToJson()>}`.
+/// \p tracer may be null; "spans" is then an empty array.
+std::string ObsToJson(const Registry& registry, const TraceRecorder* tracer);
+
+/// \brief Writes `ObsToJson` to \p path (overwriting), e.g. for
+/// `demactl ... --metrics-out=<path>`.
+Status WriteObsFile(const std::string& path, const Registry& registry,
+                    const TraceRecorder* tracer);
+
+/// \brief Background thread that logs every counter and gauge at Info level
+/// on a fixed cadence — a poor man's stats page for long-running `serve`
+/// processes. Stops on destruction; `Stop()` is idempotent.
+class PeriodicLogger {
+ public:
+  PeriodicLogger(const Registry* registry, DurationUs interval_us);
+  ~PeriodicLogger();
+
+  PeriodicLogger(const PeriodicLogger&) = delete;
+  PeriodicLogger& operator=(const PeriodicLogger&) = delete;
+
+  void Stop();
+
+  /// Number of times the logger has dumped the registry (for tests).
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run(DurationUs interval_us);
+  void LogOnce();
+
+  const Registry* registry_;
+  std::atomic<uint64_t> ticks_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dema::obs

@@ -1,0 +1,73 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+
+namespace dema::obs {
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+void TraceRecorder::Record(const WindowTrace& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(trace);
+  } else {
+    ring_[next_] = trace;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<WindowTrace> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WindowTrace> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Ring is full: next_ points at the oldest slot.
+    out.insert(out.end(), ring_.begin() + static_cast<long>(next_), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<long>(next_));
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::vector<WindowTrace> spans = Snapshot();
+  std::string out = "[";
+  bool first = true;
+  for (const WindowTrace& t : spans) {
+    if (!first) out += ',';
+    first = false;
+    JsonWriter w;
+    w.Field("window_id", t.window_id);
+    w.Field("global_size", t.global_size);
+    w.Field("synopses", t.synopses);
+    w.Field("candidate_slices", t.candidate_slices);
+    w.Field("candidate_events", t.candidate_events);
+    w.Field("replies", t.replies);
+    w.Field("local_close_us", t.local_close_us);
+    w.Field("first_synopsis_us", t.first_synopsis_us);
+    w.Field("last_synopsis_us", t.last_synopsis_us);
+    w.Field("identification_us", t.identification_us);
+    w.Field("first_reply_us", t.first_reply_us);
+    w.Field("last_reply_us", t.last_reply_us);
+    w.Field("emit_us", t.emit_us);
+    w.Field("latency_us", t.latency_us);
+    w.Field("clock_skew", t.clock_skew);
+    out += w.Finish();
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace dema::obs

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dema::obs {
+
+/// \brief One window's lifecycle through the Dema protocol, as seen from the
+/// root: local close → synopsis batch arrival → identification → candidate
+/// request → reply → merge/select (emit).
+///
+/// All timestamps are clock microseconds from the run's `Clock` (steady_clock
+/// epoch under `RealClock`, so spans from TCP peers on the same machine stay
+/// comparable). A timestamp of 0 means the stage never happened for this
+/// window — e.g. `identification_us == 0` for an empty window, or
+/// `first_reply_us == 0` when the cut needed no candidate slices.
+struct WindowTrace {
+  uint64_t window_id = 0;
+  uint64_t global_size = 0;       ///< total events across the cluster
+  uint64_t synopses = 0;          ///< synopsis batches received
+  uint64_t candidate_slices = 0;  ///< slices requested + shipped back
+  uint64_t candidate_events = 0;  ///< events inside those slices
+  uint64_t replies = 0;           ///< candidate replies received
+
+  uint64_t local_close_us = 0;       ///< latest local close stamp seen
+  uint64_t first_synopsis_us = 0;    ///< root receives first synopsis batch
+  uint64_t last_synopsis_us = 0;     ///< root receives final synopsis batch
+  uint64_t identification_us = 0;    ///< window-cut identification ran
+  uint64_t first_reply_us = 0;       ///< root receives first candidate reply
+  uint64_t last_reply_us = 0;        ///< root receives final candidate reply
+  uint64_t emit_us = 0;              ///< merge/select finished, result emitted
+  uint64_t latency_us = 0;           ///< emit - local close (clamped at 0)
+  bool clock_skew = false;           ///< close stamp was ahead of root clock
+};
+
+/// \brief Fixed-capacity ring of the most recent window traces.
+///
+/// Thread-safe; `Record` is a short critical section (struct copy), cheap
+/// relative to the per-window work that produces a trace. When the ring wraps,
+/// the oldest spans are dropped — `total_recorded()` still counts them.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 4096);
+
+  void Record(const WindowTrace& trace);
+
+  /// All retained spans, oldest first.
+  std::vector<WindowTrace> Snapshot() const;
+
+  /// Spans ever recorded, including any the ring has since dropped.
+  uint64_t total_recorded() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// JSON array of span objects, oldest first (schema in
+  /// docs/OBSERVABILITY.md).
+  std::string ToJson() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<WindowTrace> ring_;
+  size_t next_ = 0;           ///< ring slot the next Record writes
+  uint64_t total_ = 0;
+};
+
+}  // namespace dema::obs

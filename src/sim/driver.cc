@@ -263,8 +263,12 @@ Result<RunMetrics> ThreadedDriver::Run(const WorkloadConfig& workload) {
   };
 
   const uint64_t num_windows = workload.ExpectedWindows();
+  obs::Histogram* latency_hist =
+      network_->registry()->GetHistogram("root.window_latency_us");
   system_->root->SetResultCallback([&](const WindowOutput& out) {
     shared.latency.Record(out.latency_us);
+    latency_hist->Record(
+        out.latency_us < 0 ? 0 : static_cast<uint64_t>(out.latency_us));
     shared.windows_done.fetch_add(1);
   });
 
@@ -381,6 +385,7 @@ Result<RunMetrics> ThreadedDriver::Run(const WorkloadConfig& workload) {
           ? static_cast<double>(metrics.events_ingested) / metrics.wall_seconds
           : 0;
   metrics.latency = shared.latency.Summarize();
+  metrics.latency_hist = latency_hist->Summarize();
   auto total = network_->TotalStats();
   metrics.network_total = total.counters;
   metrics.simulated_transfer_us = total.simulated_transfer_us;
@@ -395,31 +400,64 @@ Result<RunMetrics> ThreadedDriver::Run(const WorkloadConfig& workload) {
 // Convenience runners
 // ---------------------------------------------------------------------------
 
+namespace {
+/// Run-owned observability state: when the caller did not supply a registry
+/// or tracer, the run creates them and hands ownership out via RunMetrics so
+/// callers can export after the system itself is gone.
+struct RunObs {
+  std::shared_ptr<obs::Registry> registry;
+  std::shared_ptr<obs::TraceRecorder> tracer;
+
+  /// Fills any null observability slots of \p config with run-owned sinks.
+  explicit RunObs(SystemConfig* config) {
+    if (config->registry == nullptr) {
+      registry = std::make_shared<obs::Registry>();
+      config->registry = registry.get();
+    }
+    if (config->tracer == nullptr) {
+      tracer = std::make_shared<obs::TraceRecorder>();
+      config->tracer = tracer.get();
+    }
+  }
+};
+}  // namespace
+
 Result<RunMetrics> RunThreaded(const SystemConfig& system_config,
                                const WorkloadConfig& workload,
                                size_t root_inbox_capacity) {
   RealClock clock;
-  net::Network network(&clock);
+  SystemConfig config = system_config;
+  RunObs run_obs(&config);
+  net::Network::Options net_options;
+  net_options.registry = config.registry;
+  net::Network network(&clock, net_options);
   DEMA_ASSIGN_OR_RETURN(
-      System system, BuildSystem(system_config, &network, &clock,
+      System system, BuildSystem(config, &network, &clock,
                                  root_inbox_capacity));
   WorkloadConfig load = workload;
-  load.window_len_us = system_config.window_len_us;
-  load.window_slide_us = system_config.window_slide_us;
+  load.window_len_us = config.window_len_us;
+  load.window_slide_us = config.window_slide_us;
   ThreadedDriver driver(&system, &network, &clock);
-  return driver.Run(load);
+  DEMA_ASSIGN_OR_RETURN(RunMetrics metrics, driver.Run(load));
+  metrics.registry = run_obs.registry;
+  metrics.tracer = run_obs.tracer;
+  return metrics;
 }
 
 Result<RunMetrics> RunSync(const SystemConfig& system_config,
                            const WorkloadConfig& workload) {
   RealClock clock;
-  net::Network network(&clock);
+  SystemConfig config = system_config;
+  RunObs run_obs(&config);
+  net::Network::Options net_options;
+  net_options.registry = config.registry;
+  net::Network network(&clock, net_options);
   DEMA_ASSIGN_OR_RETURN(System system,
-                        BuildSystem(system_config, &network, &clock,
+                        BuildSystem(config, &network, &clock,
                                     /*root_inbox_capacity=*/0));
   WorkloadConfig load = workload;
-  load.window_len_us = system_config.window_len_us;
-  load.window_slide_us = system_config.window_slide_us;
+  load.window_len_us = config.window_len_us;
+  load.window_slide_us = config.window_slide_us;
   SyncDriver driver(&system, &network, &clock);
   auto wall_start = std::chrono::steady_clock::now();
   DEMA_RETURN_NOT_OK(driver.Run(load));
@@ -435,10 +473,15 @@ Result<RunMetrics> RunSync(const SystemConfig& system_config,
           ? static_cast<double>(metrics.events_ingested) / metrics.wall_seconds
           : 0;
   LatencyRecorder latency;
+  obs::Histogram* latency_hist =
+      config.registry->GetHistogram("root.window_latency_us");
   for (const WindowOutput& out : driver.outputs()) {
     latency.Record(out.latency_us);
+    latency_hist->Record(
+        out.latency_us < 0 ? 0 : static_cast<uint64_t>(out.latency_us));
   }
   metrics.latency = latency.Summarize();
+  metrics.latency_hist = latency_hist->Summarize();
   auto total = network.TotalStats();
   metrics.network_total = total.counters;
   metrics.simulated_transfer_us = total.simulated_transfer_us;
@@ -457,6 +500,8 @@ Result<RunMetrics> RunSync(const SystemConfig& system_config,
   metrics.bottleneck =
       metrics.root_busy_seconds >= metrics.max_local_busy_seconds ? "root"
                                                                   : "local";
+  metrics.registry = run_obs.registry;
+  metrics.tracer = run_obs.tracer;
   return metrics;
 }
 

@@ -13,6 +13,14 @@ std::string RunMetricsToJson(const RunMetrics& metrics) {
       .Field("p99_us", metrics.latency.p99_us)
       .Field("max_us", metrics.latency.max_us);
 
+  JsonWriter latency_hist;
+  latency_hist.Field("count", metrics.latency_hist.count)
+      .Field("mean_us", metrics.latency_hist.mean)
+      .Field("p50_us", metrics.latency_hist.p50)
+      .Field("p95_us", metrics.latency_hist.p95)
+      .Field("p99_us", metrics.latency_hist.p99)
+      .Field("max_us", metrics.latency_hist.max);
+
   JsonWriter network;
   network.Field("messages", metrics.network_total.messages)
       .Field("bytes", metrics.network_total.bytes)
@@ -26,7 +34,8 @@ std::string RunMetricsToJson(const RunMetrics& metrics) {
       .Field("candidate_events", metrics.dema.candidate_events)
       .Field("global_events", metrics.dema.global_events)
       .Field("gamma_updates_sent", metrics.dema.gamma_updates_sent)
-      .Field("duplicates_ignored", metrics.dema.duplicates_ignored);
+      .Field("duplicates_ignored", metrics.dema.duplicates_ignored)
+      .Field("clock_skew_windows", metrics.dema.clock_skew_windows);
 
   JsonWriter root;
   root.Field("events_ingested", metrics.events_ingested)
@@ -38,6 +47,7 @@ std::string RunMetricsToJson(const RunMetrics& metrics) {
       .Field("max_local_busy_seconds", metrics.max_local_busy_seconds)
       .Field("bottleneck", metrics.bottleneck)
       .RawField("latency", latency.Finish())
+      .RawField("latency_hist", latency_hist.Finish())
       .RawField("network", network.Finish())
       .RawField("dema", dema_stats.Finish());
   return root.Finish();

@@ -2,11 +2,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/stats.h"
 #include "dema/root_node.h"
 #include "net/network.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace dema::sim {
 
@@ -20,8 +23,13 @@ struct RunMetrics {
   double wall_seconds = 0;
   /// events_ingested / wall_seconds.
   double throughput_eps = 0;
-  /// Window-result latency summary (local close -> root emit).
+  /// Window-result latency summary (local close -> root emit), from the
+  /// exact per-sample recorder.
   LatencyRecorder::Summary latency;
+  /// The same distribution from the registry histogram
+  /// `root.window_latency_us` — the instrument the observability layer
+  /// exports, surfaced here so bench figures report what the system records.
+  obs::Histogram::Summary latency_hist;
   /// Wire traffic summed over all links.
   net::TrafficCounters network_total;
   /// Modelled transfer time over all links.
@@ -47,6 +55,14 @@ struct RunMetrics {
   double max_local_busy_seconds = 0;
   /// "root" or "local": which tier bounds the pipeline.
   const char* bottleneck = "";
+
+  // --- observability handles ---
+  //
+  // The run's metrics registry and per-window trace recorder, kept alive for
+  // post-run export (`demactl --metrics-out`, `obs::ObsToJson`). Null when
+  // the caller supplied its own registry via `SystemConfig::registry`.
+  std::shared_ptr<obs::Registry> registry;
+  std::shared_ptr<obs::TraceRecorder> tracer;
 };
 
 /// \brief Renders the metrics as a compact JSON object (machine-readable

@@ -52,6 +52,25 @@ net::Message ShutdownMessage(NodeId src, NodeId dst) {
   return m;
 }
 
+/// Run-owned observability state (mirrors the driver runners): when the
+/// caller did not supply a registry or tracer, the run creates them and hands
+/// ownership out via RunMetrics.
+struct RunObs {
+  std::shared_ptr<obs::Registry> registry;
+  std::shared_ptr<obs::TraceRecorder> tracer;
+
+  explicit RunObs(SystemConfig* config) {
+    if (config->registry == nullptr) {
+      registry = std::make_shared<obs::Registry>();
+      config->registry = registry.get();
+    }
+    if (config->tracer == nullptr) {
+      tracer = std::make_shared<obs::TraceRecorder>();
+      config->tracer = tracer.get();
+    }
+  }
+};
+
 }  // namespace
 
 Result<RunMetrics> RunTcpRoot(const SystemConfig& config,
@@ -59,23 +78,30 @@ Result<RunMetrics> RunTcpRoot(const SystemConfig& config,
                               const TcpRootOptions& options) {
   DEMA_RETURN_NOT_OK(ValidateSystemConfig(config));
   RealClock clock;
+  SystemConfig cfg = config;
+  RunObs run_obs(&cfg);
 
   transport::TcpTransportOptions topts;
   topts.listen_host = options.listen_host;
   topts.listen_port = options.listen_port;
   topts.adopted_listen_fd = options.adopted_listen_fd;
   topts.inbox_capacity = options.root_inbox_capacity;
+  topts.registry = cfg.registry;
   transport::TcpTransport transport(topts);
   DEMA_RETURN_NOT_OK(transport.AddLocalNode(0));
   DEMA_RETURN_NOT_OK(transport.Start());
   if (options.on_listening) options.on_listening(transport.bound_port());
 
-  DEMA_ASSIGN_OR_RETURN(auto root, BuildRootLogic(config, &transport, &clock));
+  DEMA_ASSIGN_OR_RETURN(auto root, BuildRootLogic(cfg, &transport, &clock));
 
   LatencyRecorder latency;
+  obs::Histogram* latency_hist =
+      cfg.registry->GetHistogram("root.window_latency_us");
   uint64_t windows_done = 0;  // only touched by this (the root's) thread
   root->SetResultCallback([&](const WindowOutput& out) {
     latency.Record(out.latency_us);
+    latency_hist->Record(
+        out.latency_us < 0 ? 0 : static_cast<uint64_t>(out.latency_us));
     ++windows_done;
     if (options.on_result) options.on_result(out);
   });
@@ -116,6 +142,7 @@ Result<RunMetrics> RunTcpRoot(const SystemConfig& config,
   metrics.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
   metrics.latency = latency.Summarize();
+  metrics.latency_hist = latency_hist->Summarize();
   // Every link of the star topology terminates at the root, so received
   // (local->root) plus sent (root->local) socket bytes cover the cluster.
   AccumulateTraffic(transport.ReceivedTraffic(), &metrics.network_total);
@@ -125,6 +152,8 @@ Result<RunMetrics> RunTcpRoot(const SystemConfig& config,
   if (auto* dema_root = dynamic_cast<core::DemaRootNode*>(root.get())) {
     metrics.dema = dema_root->stats();
   }
+  metrics.registry = run_obs.registry;
+  metrics.tracer = run_obs.tracer;
   return metrics;
 }
 
@@ -140,6 +169,7 @@ Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
 
   transport::TcpTransportOptions topts;
   topts.listen = false;  // pure client: replies arrive over the dialed conn
+  topts.registry = config.registry;
   transport::TcpTransport transport(topts);
   DEMA_RETURN_NOT_OK(transport.AddLocalNode(id));
   DEMA_RETURN_NOT_OK(transport.AddPeer(0, options.root_host, options.root_port));

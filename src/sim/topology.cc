@@ -37,6 +37,12 @@ Status ValidateSystemConfig(const SystemConfig& config) {
   if (config.quantiles.empty()) {
     return Status::InvalidArgument("need at least one quantile");
   }
+  for (double q : config.quantiles) {
+    if (!(q > 0.0) || q > 1.0) {
+      return Status::InvalidArgument("quantile " + std::to_string(q) +
+                                     " outside (0, 1]");
+    }
+  }
   stream::WindowSpec spec{config.window_len_us, config.window_slide_us};
   if (!spec.IsTumbling() && config.kind != SystemKind::kDema) {
     return Status::NotImplemented(
@@ -70,6 +76,8 @@ Result<std::unique_ptr<RootNodeLogic>> BuildRootLogic(
       opts.adaptive_gamma = config.adaptive_gamma;
       opts.per_node_gamma = config.per_node_gamma;
       opts.use_naive_selection = config.naive_selection;
+      opts.registry = config.registry;
+      opts.tracer = config.tracer;
       return std::unique_ptr<RootNodeLogic>(
           std::make_unique<core::DemaRootNode>(opts, transport, clock));
     }
@@ -141,6 +149,7 @@ Result<std::unique_ptr<LocalNodeLogic>> BuildLocalLogic(
       opts.initial_gamma = config.gamma;
       opts.sort_mode = config.sort_mode;
       opts.reply_codec = config.wire_codec;
+      opts.registry = config.registry;
       return std::unique_ptr<LocalNodeLogic>(
           std::make_unique<core::DemaLocalNode>(opts, transport, clock));
     }

@@ -9,6 +9,8 @@
 #include "common/result.h"
 #include "net/codec.h"
 #include "net/network.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/node.h"
 #include "stream/sorted_buffer.h"
 #include "transport/transport.h"
@@ -64,6 +66,15 @@ struct SystemConfig {
   /// Wire encoding for raw-event payloads (candidate replies, forwarded
   /// batches). kCompact roughly halves event bytes at a small CPU cost.
   net::EventCodec wire_codec = net::EventCodec::kFixed;
+
+  // --- observability ---
+  /// Metrics sink shared by the built nodes (Dema records `dema.*` and
+  /// `local.*` instruments into it). When null, each node owns a private
+  /// registry. Must outlive the system when provided.
+  obs::Registry* registry = nullptr;
+  /// Optional per-window span recorder for the Dema root. Must outlive the
+  /// system when provided.
+  obs::TraceRecorder* tracer = nullptr;
 
   // --- baseline knobs ---
   size_t batch_size = 8192;

@@ -29,6 +29,7 @@ Result<TreeSystem> BuildTreeSystem(const TreeConfig& config, net::Network* netwo
       leaf_opts.root_id = relay_id;  // the leaf's "root" is its relay
       leaf_opts.window_len_us = config.window_len_us;
       leaf_opts.initial_gamma = config.gamma;
+      leaf_opts.registry = config.registry;
       tree.locals.push_back(
           std::make_unique<core::DemaLocalNode>(leaf_opts, network, clock));
     }
@@ -46,7 +47,10 @@ Result<TreeSystem> BuildTreeSystem(const TreeConfig& config, net::Network* netwo
   root_opts.locals = tree.relay_ids;  // the root's "locals" are the relays
   root_opts.quantiles = config.quantiles;
   root_opts.initial_gamma = config.gamma;
+  root_opts.registry = config.registry;
+  root_opts.tracer = config.tracer;
   tree.root = std::make_unique<core::DemaRootNode>(root_opts, network, clock);
+  DEMA_RETURN_NOT_OK(tree.root->init_status());
   return tree;
 }
 

@@ -10,6 +10,8 @@
 #include "dema/relay_node.h"
 #include "dema/root_node.h"
 #include "net/network.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/driver.h"
 
 namespace dema::sim {
@@ -24,6 +26,13 @@ struct TreeConfig {
   DurationUs window_len_us = kMicrosPerSecond;
   std::vector<double> quantiles = {0.5};
   uint64_t gamma = 1'000;
+  /// Shared metrics registry for the top root and the leaf locals (relays
+  /// keep private registries: their inner root halves would otherwise write
+  /// the same unscoped `dema.*` names as the real root). Null: each node
+  /// owns its own.
+  obs::Registry* registry = nullptr;
+  /// Span sink for the top root's window traces. Null: spans are dropped.
+  obs::TraceRecorder* tracer = nullptr;
 };
 
 /// \brief A built aggregation tree. Node ids: root = 0, relays = 1..R,

@@ -148,7 +148,13 @@ Result<uint16_t> ListenSocketPort(int fd) {
 }
 
 TcpTransport::TcpTransport(TcpTransportOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      owned_registry_(options_.registry == nullptr ? new obs::Registry()
+                                                   : nullptr),
+      registry_(options_.registry == nullptr ? owned_registry_.get()
+                                             : options_.registry),
+      sent_(registry_, "transport.sent"),
+      recv_(registry_, "transport.recv") {}
 
 TcpTransport::~TcpTransport() { Shutdown(); }
 
@@ -208,19 +214,6 @@ net::Channel* TcpTransport::Inbox(NodeId id) {
   return it == inboxes_.end() ? nullptr : it->second.get();
 }
 
-void TcpTransport::ChargeSent(NodeId src, NodeId dst, net::MessageType type,
-                              uint64_t bytes, uint64_t events) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  net::TrafficCounters& link = sent_links_[{src, dst}];
-  link.messages += 1;
-  link.bytes += bytes;
-  link.events += events;
-  net::TrafficCounters& by_type = sent_by_type_[type];
-  by_type.messages += 1;
-  by_type.bytes += bytes;
-  by_type.events += events;
-}
-
 Status TcpTransport::Send(net::Message m) {
   if (stopped_.load(std::memory_order_relaxed)) {
     return Status::NetworkError("transport is shut down");
@@ -229,7 +222,7 @@ Status TcpTransport::Send(net::Message m) {
   if (local != nullptr) {
     // Loopback to a node hosted in this process: no socket involved; charge
     // the frame-equivalent bytes so accounting matches other transports.
-    ChargeSent(m.src, m.dst, m.type, m.WireBytes(), m.event_count);
+    sent_.Charge(m.src, m.dst, m.type, m.WireBytes(), m.event_count);
     if (!local->Push(std::move(m))) {
       return Status::NetworkError("inbox of destination node closed");
     }
@@ -413,18 +406,8 @@ void TcpTransport::ReaderLoop(Conn* conn, bool expect_hello) {
     // Reconstruct the event-count metadata (sender-side only, not framed).
     auto events = PeekEventCount(h.type, m.payload);
     m.event_count = events.ok() ? *events : 0;
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      uint64_t frame_bytes = kFrameHeaderBytes + h.payload_size;
-      net::TrafficCounters& link = recv_links_[{h.src, h.dst}];
-      link.messages += 1;
-      link.bytes += frame_bytes;
-      link.events += m.event_count;
-      net::TrafficCounters& by_type = recv_by_type_[h.type];
-      by_type.messages += 1;
-      by_type.bytes += frame_bytes;
-      by_type.events += m.event_count;
-    }
+    recv_.Charge(h.src, h.dst, h.type, kFrameHeaderBytes + h.payload_size,
+                 m.event_count);
     net::Channel* inbox = Inbox(h.dst);
     if (inbox == nullptr) {
       DEMA_LOG(Warn) << "dropping frame for non-hosted node " << h.dst;
@@ -448,32 +431,28 @@ void TcpTransport::WriterLoop(Conn* conn) {
       }  // discard what can no longer be sent
       return;
     }
-    ChargeSent(m->src, m->dst, m->type, buf.size(), m->event_count);
+    sent_.Charge(m->src, m->dst, m->type, buf.size(), m->event_count);
   }
   // Outbox closed and fully drained: announce end-of-stream to the peer.
   ::shutdown(conn->fd, SHUT_WR);
 }
 
 transport::LinkTrafficMap TcpTransport::LinkTraffic() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return sent_links_;
+  return sent_.Links();
 }
 
 std::map<net::MessageType, net::TrafficCounters> TcpTransport::TrafficByType()
     const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return sent_by_type_;
+  return sent_.ByType();
 }
 
 transport::LinkTrafficMap TcpTransport::ReceivedTraffic() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return recv_links_;
+  return recv_.Links();
 }
 
 std::map<net::MessageType, net::TrafficCounters> TcpTransport::ReceivedByType()
     const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return recv_by_type_;
+  return recv_.ByType();
 }
 
 void TcpTransport::Shutdown() {

@@ -13,6 +13,8 @@
 #include "common/time.h"
 #include "net/channel.h"
 #include "net/message.h"
+#include "net/traffic_instruments.h"
+#include "obs/registry.h"
 #include "transport/frame.h"
 #include "transport/transport.h"
 
@@ -53,6 +55,10 @@ struct TcpTransportOptions {
   DurationUs io_timeout_us = MillisUs(200);
   /// Largest accepted frame payload (corrupt length-prefix defence).
   uint32_t max_frame_payload = 64u << 20;
+  /// Metrics sink for the `transport.sent.*` / `transport.recv.*`
+  /// instruments. When null, the transport owns a private registry
+  /// (reachable via `registry()`). Must outlive the transport when provided.
+  obs::Registry* registry = nullptr;
 };
 
 /// \brief POSIX TCP implementation of `Transport`.
@@ -115,6 +121,10 @@ class TcpTransport final : public Transport {
   /// Received traffic broken down by message type.
   std::map<net::MessageType, net::TrafficCounters> ReceivedByType() const;
 
+  /// The registry this transport records into (the options-provided one, or
+  /// the transport's own private registry).
+  obs::Registry* registry() const { return registry_; }
+
   /// Flushes outbound queues, closes the listener and every connection,
   /// joins all I/O threads, and closes hosted inboxes. Idempotent.
   void Shutdown() override;
@@ -141,10 +151,13 @@ class TcpTransport final : public Transport {
   void AcceptLoop();
   void ReaderLoop(Conn* c, bool expect_hello);
   void WriterLoop(Conn* c);
-  void ChargeSent(NodeId src, NodeId dst, net::MessageType type, uint64_t bytes,
-                  uint64_t events);
-
   TcpTransportOptions options_;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_;
+  /// Registry-backed per-link / per-type counters: bytes written to sockets
+  /// (plus loopback `WireBytes` equivalents) and bytes read off sockets.
+  net::TrafficInstruments sent_;
+  net::TrafficInstruments recv_;
   std::atomic<bool> stopped_{false};
 
   mutable std::mutex mu_;  // guards everything below
@@ -161,12 +174,6 @@ class TcpTransport final : public Transport {
   /// Live route per remote node: configured (dialed) or learned (hello).
   std::map<NodeId, Conn*> routes_;
   std::vector<std::unique_ptr<Conn>> conns_;
-
-  mutable std::mutex stats_mu_;
-  LinkTrafficMap sent_links_;
-  LinkTrafficMap recv_links_;
-  std::map<net::MessageType, net::TrafficCounters> sent_by_type_;
-  std::map<net::MessageType, net::TrafficCounters> recv_by_type_;
 };
 
 }  // namespace dema::transport

@@ -146,6 +146,39 @@ TEST_F(CheckpointTest, RestoredNodeContinuesIdenticallyToUninterrupted) {
   }
 }
 
+TEST_F(CheckpointTest, HistoricWindowsUseOldestKnownGammaAfterPruning) {
+  // Regression: once the emit frontier prunes the initial schedule entry,
+  // GammaForWindow on a historic id found no entry with effective_from <= id
+  // and answered with the *next* (future) entry's gamma. It must fall back
+  // to the oldest gamma the node has ever used.
+  DemaLocalNode node(Options(), network_.get(), &clock_);  // initial gamma 4
+  GammaUpdate update;
+  update.effective_from = 5;
+  update.gamma = 50;
+  ASSERT_TRUE(
+      node.OnMessage(net::MakeMessage(net::MessageType::kGammaUpdate, 0, 1, update))
+          .ok());
+  // Close windows 0..5 so pruning drops the {0 -> 4} entry.
+  ASSERT_TRUE(node.OnWatermark(SecondsUs(6)).ok());
+  DrainSynopses();
+  EXPECT_EQ(node.GammaForWindow(1), 4u);  // pre-fix: 50
+  EXPECT_EQ(node.GammaForWindow(7), 50u);
+
+  // The fallback must survive checkpoint/restore (snapshot format v2 carries
+  // the oldest-known gamma alongside the pruned schedule). Restore into a
+  // node configured with a *different* initial gamma to prove the value
+  // comes from the snapshot, not the restored node's own options.
+  net::Writer w;
+  node.Checkpoint(&w);
+  DemaLocalNodeOptions other = Options();
+  other.initial_gamma = 8;
+  DemaLocalNode restored(other, network_.get(), &clock_);
+  net::Reader r(w.buffer());
+  ASSERT_TRUE(restored.Restore(&r).ok());
+  EXPECT_EQ(restored.GammaForWindow(1), 4u);
+  EXPECT_EQ(restored.GammaForWindow(7), 50u);
+}
+
 TEST_F(CheckpointTest, RejectsForeignBlobs) {
   DemaLocalNode node(Options(), network_.get(), &clock_);
   std::vector<uint8_t> garbage = {1, 2, 3, 4, 5, 6, 7, 8};

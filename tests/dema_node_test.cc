@@ -329,5 +329,133 @@ TEST_F(DemaRootNodeTest, StatsAccumulate) {
   EXPECT_GE(stats.candidate_events, 1u);
 }
 
+TEST_F(DemaRootNodeTest, StatsMirrorRegistryCounters) {
+  SendWindow(1, 0, {1, 2, 3, 4});
+  SendWindow(2, 0, {5, 6, 7, 8});
+  ServeRequests();
+  auto counters = root_->registry()->CounterValues();
+  const DemaRootStats stats = root_->stats();
+  EXPECT_EQ(counters.at("dema.windows"), stats.windows);
+  EXPECT_EQ(counters.at("dema.global_events"), stats.global_events);
+  EXPECT_EQ(counters.at("dema.synopsis_slices"), stats.synopsis_slices);
+  EXPECT_EQ(counters.at("dema.candidate_slices"), stats.candidate_slices);
+  EXPECT_EQ(counters.at("dema.candidate_events"), stats.candidate_events);
+}
+
+TEST_F(DemaRootNodeTest, GammaBroadcastCountsOneUpdatePerLocal) {
+  // Regression: BroadcastGamma bumped gamma_updates_sent once per broadcast
+  // while the per-node path counts individual messages. Both must count
+  // messages, so with two locals one broadcast costs two updates.
+  DemaRootNodeOptions opts;
+  opts.id = 0;
+  opts.locals = {1, 2};
+  opts.quantiles = {0.5};
+  opts.initial_gamma = 4;
+  opts.adaptive_gamma = true;
+  root_ = std::make_unique<DemaRootNode>(opts, network_.get(), &clock_);
+
+  // A completed 800-event window moves the controller far from gamma 4
+  // (optimum ~ sqrt(2 * 800 / m)), forcing exactly one broadcast.
+  std::vector<double> run1, run2;
+  for (int i = 0; i < 400; ++i) run1.push_back(i);
+  for (int i = 0; i < 400; ++i) run2.push_back(1000 + i);
+  SendWindow(1, 0, run1);
+  SendWindow(2, 0, run2);
+  ServeRequests();
+
+  EXPECT_EQ(root_->stats().windows, 1u);
+  EXPECT_EQ(root_->stats().gamma_updates_sent, opts.locals.size());
+}
+
+TEST(DemaRootNodeClock, PeerCloseAheadClampsLatencyToZero) {
+  // A local's close stamp can run ahead of the root's clock (distinct
+  // machines under RealClock). Regression: the latency subtraction used to
+  // wrap negative; it must clamp to 0 and count the skewed window.
+  VirtualClock clock(1'000);
+  net::Network network(&clock);
+  ASSERT_TRUE(network.RegisterNode(0).ok());
+  ASSERT_TRUE(network.RegisterNode(1).ok());
+  DemaRootNodeOptions opts;
+  opts.locals = {1};
+  opts.quantiles = {0.5};
+  DemaRootNode root(opts, &network, &clock);
+  std::vector<sim::WindowOutput> outputs;
+  root.SetResultCallback(
+      [&](const sim::WindowOutput& out) { outputs.push_back(out); });
+
+  SynopsisBatch batch;
+  batch.window_id = 0;
+  batch.node = 1;
+  batch.local_window_size = 0;
+  batch.close_time_us = 5'000;  // 4ms ahead of the root's clock
+  auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, 1, 0, batch);
+  ASSERT_TRUE(root.OnMessage(msg).ok());
+
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].latency_us, 0);
+  EXPECT_EQ(root.stats().clock_skew_windows, 1u);
+
+  // A window closed behind the clock keeps its real latency and does not
+  // count as skewed.
+  clock.SetUs(10'000);
+  SynopsisBatch ok_batch;
+  ok_batch.window_id = 1;
+  ok_batch.node = 1;
+  ok_batch.local_window_size = 0;
+  ok_batch.close_time_us = 8'000;
+  auto ok_msg =
+      net::MakeMessage(net::MessageType::kSynopsisBatch, 1, 0, ok_batch);
+  ASSERT_TRUE(root.OnMessage(ok_msg).ok());
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(outputs[1].latency_us, 2'000);
+  EXPECT_EQ(root.stats().clock_skew_windows, 1u);
+}
+
+TEST(DemaRootNodeValidation, BadQuantilesFailAtConstruction) {
+  // Regression: quantiles were validated per window inside RunIdentification,
+  // so a bad value only surfaced after deployment, mid-protocol. The
+  // constructor must arm the node with a sticky error instead.
+  RealClock clock;
+  net::Network network(&clock);
+  ASSERT_TRUE(network.RegisterNode(0).ok());
+  ASSERT_TRUE(network.RegisterNode(1).ok());
+
+  auto first_message_status = [&](DemaRootNodeOptions opts) {
+    opts.id = 0;
+    opts.locals = {1};
+    DemaRootNode root(opts, &network, &clock);
+    SynopsisBatch batch;
+    batch.window_id = 0;
+    batch.node = 1;
+    batch.local_window_size = 0;
+    auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, 1, 0, batch);
+    EXPECT_EQ(root.init_status().code(), root.OnMessage(msg).code());
+    return root.OnMessage(msg);
+  };
+
+  DemaRootNodeOptions too_big;
+  too_big.quantiles = {0.5, 1.5};
+  EXPECT_EQ(first_message_status(too_big).code(), StatusCode::kInvalidArgument);
+
+  DemaRootNodeOptions zero;
+  zero.quantiles = {0.0};
+  EXPECT_EQ(first_message_status(zero).code(), StatusCode::kInvalidArgument);
+
+  DemaRootNodeOptions none;
+  none.quantiles = {};
+  EXPECT_EQ(first_message_status(none).code(), StatusCode::kInvalidArgument);
+
+  DemaRootNodeOptions naive_multi;
+  naive_multi.quantiles = {0.5, 0.9};
+  naive_multi.use_naive_selection = true;
+  EXPECT_EQ(first_message_status(naive_multi).code(),
+            StatusCode::kInvalidArgument);
+
+  // The boundary q = 1.0 (the maximum) stays valid.
+  DemaRootNodeOptions max_q;
+  max_q.quantiles = {1.0};
+  EXPECT_TRUE(first_message_status(max_q).ok());
+}
+
 }  // namespace
 }  // namespace dema::core

@@ -12,6 +12,7 @@
 #include "sim/driver.h"
 #include "sim/topology.h"
 #include "stream/quantile.h"
+#include "transport/transport.h"
 
 namespace dema {
 namespace {
@@ -104,6 +105,89 @@ TEST(DuplicateDelivery, DuplicatesAreChargedToTheWire) {
   EXPECT_TRUE(network.Inbox(0)->TryPop().has_value());
   EXPECT_TRUE(network.Inbox(0)->TryPop().has_value());
   EXPECT_FALSE(network.Inbox(0)->TryPop().has_value());
+}
+
+// --- send failures ----------------------------------------------------------
+
+/// Transport decorator that fails the next N sends of one message type,
+/// modelling a connection reset mid-protocol.
+class FlakyTransport : public transport::Transport {
+ public:
+  explicit FlakyTransport(transport::Transport* inner) : inner_(inner) {}
+
+  void FailNext(net::MessageType type, int times) {
+    fail_type_ = type;
+    failures_left_ = times;
+  }
+
+  Status Send(net::Message m) override {
+    if (failures_left_ > 0 && m.type == fail_type_) {
+      --failures_left_;
+      return Status::NetworkError("injected send failure");
+    }
+    return inner_->Send(std::move(m));
+  }
+  net::Channel* Inbox(NodeId id) override { return inner_->Inbox(id); }
+  transport::LinkTrafficMap LinkTraffic() const override {
+    return inner_->LinkTraffic();
+  }
+  std::map<net::MessageType, net::TrafficCounters> TrafficByType()
+      const override {
+    return inner_->TrafficByType();
+  }
+  void Shutdown() override { inner_->Shutdown(); }
+
+ private:
+  transport::Transport* inner_;
+  net::MessageType fail_type_ = net::MessageType::kCandidateReply;
+  int failures_left_ = 0;
+};
+
+TEST(SendFailure, RetainedWindowSurvivesFailedCandidateReply) {
+  // Regression: HandleCandidateRequest erased the retained window *before*
+  // sending the reply, so a transport failure dropped the only copy of the
+  // candidate events and a root retry could never succeed.
+  RealClock clock;
+  net::Network network(&clock);
+  ASSERT_TRUE(network.RegisterNode(0).ok());
+  ASSERT_TRUE(network.RegisterNode(1).ok());
+  FlakyTransport flaky(&network);
+
+  core::DemaLocalNodeOptions opts;
+  opts.id = 1;
+  opts.root_id = 0;
+  opts.window_len_us = SecondsUs(1);
+  opts.initial_gamma = 4;
+  core::DemaLocalNode local(opts, &flaky, &clock);
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(local.OnEvent(Event{i * 10.0, 100 + i, 1, i}).ok());
+  }
+  ASSERT_TRUE(local.OnWatermark(SecondsUs(1)).ok());
+  ASSERT_TRUE(network.Inbox(0)->TryPop().has_value());  // the synopsis
+  ASSERT_EQ(local.retained_windows(), 1u);
+
+  core::CandidateRequest req;
+  req.window_id = 0;
+  req.slice_indices = {0};
+  auto msg = net::MakeMessage(net::MessageType::kCandidateRequest, 0, 1, req);
+
+  flaky.FailNext(net::MessageType::kCandidateReply, 1);
+  EXPECT_EQ(local.OnMessage(msg).code(), StatusCode::kNetworkError);
+  // The window must still be retained, and the failure accounted.
+  EXPECT_EQ(local.retained_windows(), 1u);
+  EXPECT_EQ(local.registry()->CounterValues().at("local.send_failures{node=1}"),
+            1u);
+
+  // The root's retry now succeeds and releases the window.
+  ASSERT_TRUE(local.OnMessage(msg).ok());
+  auto reply_msg = network.Inbox(0)->TryPop();
+  ASSERT_TRUE(reply_msg.has_value());
+  EXPECT_EQ(reply_msg->type, net::MessageType::kCandidateReply);
+  net::Reader r(reply_msg->payload);
+  auto reply = core::CandidateReply::Deserialize(&r);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->events.size(), 4u);
+  EXPECT_EQ(local.retained_windows(), 0u);
 }
 
 // --- malformed payloads -----------------------------------------------------

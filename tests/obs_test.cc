@@ -1,0 +1,215 @@
+// Unit tests for the observability library: instrument registry, log2
+// histogram, per-window trace ring, and the JSON/logging sinks.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/registry.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
+
+namespace dema::obs {
+namespace {
+
+TEST(Registry, GetReturnsStablePointers) {
+  Registry reg;
+  Counter* a = reg.GetCounter("dema.windows");
+  Counter* b = reg.GetCounter("dema.windows");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  a->Increment(4);
+  EXPECT_EQ(b->Value(), 5u);
+  EXPECT_EQ(reg.CounterValues().at("dema.windows"), 5u);
+}
+
+TEST(Registry, GaugesGoUpAndDown) {
+  Registry reg;
+  Gauge* g = reg.GetGauge("local.retained_windows{node=1}");
+  g->Set(3);
+  g->Add(-2);
+  EXPECT_EQ(g->Value(), 1);
+  EXPECT_EQ(reg.GaugeValues().at("local.retained_windows{node=1}"), 1);
+}
+
+TEST(Registry, FindNeverCreates) {
+  Registry reg;
+  EXPECT_EQ(reg.FindCounter("missing"), nullptr);
+  EXPECT_EQ(reg.FindGauge("missing"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("missing"), nullptr);
+  reg.GetCounter("present");
+  EXPECT_NE(reg.FindCounter("present"), nullptr);
+  EXPECT_TRUE(reg.GaugeValues().empty());
+}
+
+TEST(Registry, SameNameDifferentKindsCoexist) {
+  Registry reg;
+  reg.GetCounter("x")->Increment();
+  reg.GetGauge("x")->Set(-7);
+  reg.GetHistogram("x")->Record(9);
+  EXPECT_EQ(reg.CounterValues().at("x"), 1u);
+  EXPECT_EQ(reg.GaugeValues().at("x"), -7);
+  EXPECT_EQ(reg.HistogramSummaries().at("x").count, 1u);
+}
+
+TEST(Histogram, BucketBoundsTileTheRange) {
+  EXPECT_EQ(Histogram::BucketLo(0), 0u);
+  EXPECT_EQ(Histogram::BucketHi(0), 0u);
+  for (size_t b = 1; b < Histogram::kNumBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketLo(b), Histogram::BucketHi(b - 1) + 1)
+        << "gap between buckets " << b - 1 << " and " << b;
+  }
+  EXPECT_EQ(Histogram::BucketHi(Histogram::kNumBuckets - 1), UINT64_MAX);
+}
+
+TEST(Histogram, ExactCountSumMinMax) {
+  Histogram h;
+  for (uint64_t v : {0u, 1u, 7u, 100u, 100u}) h.Record(v);
+  Histogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 208u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 208.0 / 5);
+}
+
+TEST(Histogram, SingleRepeatedValueHasExactPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Record(42);
+  Histogram::Summary s = h.Summarize();
+  // min == max clamps the interpolation to the exact value.
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.p99, 42.0);
+}
+
+TEST(Histogram, PercentilesAreOrderedAndBounded) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  Histogram::Summary s = h.Summarize();
+  EXPECT_LE(static_cast<double>(s.min), s.p50);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, static_cast<double>(s.max));
+  // Log2 buckets bound the per-sample error by a factor of 2.
+  EXPECT_GE(s.p50, 250.0);
+  EXPECT_LE(s.p50, 1000.0);
+}
+
+TEST(Histogram, EmptySummaryIsAllZero) {
+  Histogram h;
+  Histogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+}
+
+TEST(Histogram, ConcurrentRecordsLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  Histogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, static_cast<uint64_t>(kThreads * kPerThread - 1));
+}
+
+TEST(Trace, RingKeepsTheMostRecentSpans) {
+  TraceRecorder rec(/*capacity=*/4);
+  for (uint64_t id = 0; id < 6; ++id) {
+    WindowTrace t;
+    t.window_id = id;
+    rec.Record(t);
+  }
+  EXPECT_EQ(rec.total_recorded(), 6u);
+  std::vector<WindowTrace> spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].window_id, i + 2) << "oldest-first order";
+  }
+}
+
+TEST(Trace, JsonListsEverySpan) {
+  TraceRecorder rec(8);
+  WindowTrace t;
+  t.window_id = 7;
+  t.global_size = 123;
+  t.clock_skew = true;
+  rec.Record(t);
+  std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"window_id\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"global_size\":123"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"clock_skew\":true"), std::string::npos) << json;
+}
+
+TEST(Sink, ObsToJsonCombinesMetricsAndSpans) {
+  Registry reg;
+  reg.GetCounter("dema.windows")->Increment(2);
+  reg.GetHistogram("root.window_latency_us")->Record(100);
+  TraceRecorder rec(4);
+  WindowTrace t;
+  t.window_id = 1;
+  rec.Record(t);
+  std::string json = ObsToJson(reg, &rec);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"dema.windows\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("root.window_latency_us"), std::string::npos);
+  // Null tracer still yields a valid document with an empty span list.
+  std::string no_spans = ObsToJson(reg, nullptr);
+  EXPECT_NE(no_spans.find("\"spans\":[]"), std::string::npos) << no_spans;
+}
+
+TEST(Sink, WriteObsFileRoundTrips) {
+  Registry reg;
+  reg.GetCounter("transport.sent.bytes{link=1->0}")->Increment(512);
+  TraceRecorder rec(4);
+  std::string path =
+      ::testing::TempDir() + "/obs_sink_test_" +
+      std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(WriteObsFile(path, reg, &rec).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), ObsToJson(reg, &rec));
+  std::remove(path.c_str());
+}
+
+TEST(Sink, WriteObsFileFailsOnBadPath) {
+  Registry reg;
+  EXPECT_FALSE(WriteObsFile("/nonexistent-dir/x/y.json", reg, nullptr).ok());
+}
+
+TEST(Sink, PeriodicLoggerTicksAndStops) {
+  Registry reg;
+  reg.GetCounter("dema.windows")->Increment();
+  PeriodicLogger logger(&reg, /*interval_us=*/MillisUs(2));
+  // Wait for at least one dump without assuming scheduler timing.
+  for (int i = 0; i < 500 && logger.ticks() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(logger.ticks(), 1u);
+  logger.Stop();
+  uint64_t after_stop = logger.ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(logger.ticks(), after_stop);
+}
+
+}  // namespace
+}  // namespace dema::obs

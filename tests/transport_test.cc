@@ -20,6 +20,8 @@
 #include "gen/generator.h"
 #include "net/message.h"
 #include "net/network.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/driver.h"
 #include "sim/tcp_run.h"
 #include "sim/topology.h"
@@ -356,6 +358,10 @@ TEST(TcpIntegration, LoopbackClusterMatchesSimulationExactly) {
 
   // --- reference: deterministic in-process run ---
   RealClock clock;
+  obs::Registry sim_registry;
+  obs::TraceRecorder sim_tracer;
+  config.registry = &sim_registry;
+  config.tracer = &sim_tracer;
   net::Network network(&clock);
   auto system = sim::BuildSystem(config, &network, &clock, 0);
   ASSERT_TRUE(system.ok());
@@ -364,6 +370,11 @@ TEST(TcpIntegration, LoopbackClusterMatchesSimulationExactly) {
   const std::vector<sim::WindowOutput> expected = sync_driver.outputs();
   ASSERT_EQ(expected.size(), workload.ExpectedWindows());
   const LinkTrafficMap sim_links = network.LinkTraffic();
+
+  // The TCP run must build its own instruments so the registries stay
+  // comparable but independent.
+  config.registry = nullptr;
+  config.tracer = nullptr;
 
   // --- TCP run: one transport per node role, loopback sockets ---
   std::vector<sim::WindowOutput> tcp_outputs;
@@ -456,6 +467,31 @@ TEST(TcpIntegration, LoopbackClusterMatchesSimulationExactly) {
   EXPECT_EQ(root_metrics->network_total.messages, sim_msgs + kLocals);
   EXPECT_EQ(root_metrics->network_total.events, sim_events);
   EXPECT_EQ(root_metrics->windows_emitted, workload.ExpectedWindows());
+
+  // (c) Registry parity: every `dema.*` protocol counter the root records
+  // must be identical across the two transports — the protocol's accounting
+  // is a pure function of the seeded data, not of the wire.
+  ASSERT_NE(root_metrics->registry, nullptr);
+  std::map<std::string, uint64_t> sim_dema, tcp_dema;
+  for (const auto& [name, value] : sim_registry.CounterValues()) {
+    if (name.rfind("dema.", 0) == 0) sim_dema[name] = value;
+  }
+  for (const auto& [name, value] : root_metrics->registry->CounterValues()) {
+    if (name.rfind("dema.", 0) == 0) tcp_dema[name] = value;
+  }
+  EXPECT_FALSE(sim_dema.empty());
+  EXPECT_EQ(sim_dema, tcp_dema);
+
+  // (d) Both runs traced one span per emitted window, and the sim spans'
+  // totals agree with the protocol counters.
+  ASSERT_NE(root_metrics->tracer, nullptr);
+  EXPECT_EQ(root_metrics->tracer->total_recorded(), expected.size());
+  EXPECT_EQ(sim_tracer.total_recorded(), expected.size());
+  uint64_t span_events = 0;
+  for (const obs::WindowTrace& span : sim_tracer.Snapshot()) {
+    span_events += span.global_size;
+  }
+  EXPECT_EQ(span_events, sim_dema.at("dema.global_events"));
 }
 
 }  // namespace

@@ -18,6 +18,10 @@
 //   --slide-ms=MS               sliding windows (Dema only)
 //   --adaptive --per-node-gamma --naive-selection
 //   --csv=PATH                  also dump the table as CSV
+//   --metrics-out=PATH          dump the run's metrics registry + per-window
+//                               trace spans as JSON (run/serve/cluster)
+//   --metrics-log-ms=MS         log all counters/gauges every MS milliseconds
+//                               while the run is live
 //
 // Examples:
 //   demactl run --system=dema --locals=4 --rate=100000 --quantiles=0.5,0.99
@@ -25,10 +29,15 @@
 //   demactl sustainable --system=scotty --locals=4
 
 #include <iostream>
+#include <memory>
 
 #include "common/flags.h"
 #include "common/json.h"
+#include "common/logging.h"
 #include "common/table.h"
+#include "obs/registry.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
 #include "sim/driver.h"
 #include "sim/sustainable.h"
 #include "sim/tcp_run.h"
@@ -61,6 +70,14 @@ Result<sim::SystemConfig> BuildConfig(const Flags& flags) {
   config.num_locals = static_cast<size_t>(flags.GetInt("locals", 2));
   config.gamma = static_cast<uint64_t>(flags.GetInt("gamma", 10'000));
   config.quantiles = flags.GetDoubleList("quantiles", {0.5});
+  // Fail at flag-parse time, not mid-run: a bad quantile would otherwise only
+  // surface once the system is built (or, worse, mid-deployment on the root).
+  for (double q : config.quantiles) {
+    if (!(q > 0.0) || q > 1.0) {
+      return Status::InvalidArgument("--quantiles: " + std::to_string(q) +
+                                     " outside (0, 1]");
+    }
+  }
   config.adaptive_gamma = flags.Has("adaptive");
   config.per_node_gamma = flags.Has("per-node-gamma");
   config.naive_selection = flags.Has("naive-selection");
@@ -97,6 +114,52 @@ Result<sim::WorkloadConfig> BuildWorkload(const Flags& flags,
   return load;
 }
 
+// --- observability plumbing -------------------------------------------------
+
+/// Registry + tracer owned by a demactl command, wired into the system config
+/// so every node, transport, and driver records into one place.
+struct CommandObs {
+  obs::Registry registry;
+  obs::TraceRecorder tracer;
+  std::unique_ptr<obs::PeriodicLogger> logger;
+
+  /// \p enable_logger must be false when the command forks afterwards: a
+  /// child forked while the logger thread holds the registry mutex would
+  /// deadlock on its first instrument lookup.
+  /// \p config may be null for commands (tree) that wire the registry into
+  /// their own config type.
+  CommandObs(sim::SystemConfig* config, const Flags& flags,
+             bool enable_logger = true) {
+    if (config != nullptr) {
+      config->registry = &registry;
+      config->tracer = &tracer;
+    }
+    if (!flags.Has("metrics-log-ms")) return;
+    if (!enable_logger) {
+      std::cerr << "demactl: --metrics-log-ms is ignored for forked runs\n";
+      return;
+    }
+    // The periodic dump logs at Info; asking for it opts into that level
+    // (the global default of Warn would silently swallow every tick).
+    if (Logger::GetLevel() > LogLevel::kInfo) Logger::SetLevel(LogLevel::kInfo);
+    logger = std::make_unique<obs::PeriodicLogger>(
+        &registry, MillisUs(flags.GetInt("metrics-log-ms", 1000)));
+  }
+
+  /// Writes the JSON dump when --metrics-out was given; logs on failure.
+  void Export(const Flags& flags) {
+    logger.reset();  // final state should not race a logger tick
+    std::string path = flags.GetString("metrics-out", "");
+    if (path.empty()) return;
+    Status st = obs::WriteObsFile(path, registry, &tracer);
+    if (st.ok()) {
+      std::cerr << "demactl: metrics written to " << path << "\n";
+    } else {
+      std::cerr << "demactl: metrics export failed: " << st << "\n";
+    }
+  }
+};
+
 void EmitTable(const Table& table, const Flags& flags) {
   table.Print(std::cout);
   std::string csv = flags.GetString("csv", "");
@@ -124,12 +187,15 @@ std::vector<std::string> MetricsRow(const char* name,
 int CmdRun(const Flags& flags) {
   auto config_result = BuildConfig(flags);
   if (!config_result.ok()) return Fail(config_result.status().ToString());
-  const sim::SystemConfig& config = *config_result;
+  sim::SystemConfig config = *config_result;
   auto load_result = BuildWorkload(flags, config);
   if (!load_result.ok()) return Fail(load_result.status().ToString());
 
+  CommandObs command_obs(&config, flags);
   RealClock clock;
-  net::Network network(&clock);
+  net::Network::Options net_options;
+  net_options.registry = &command_obs.registry;
+  net::Network network(&clock, net_options);
   auto system_result = sim::BuildSystem(config, &network, &clock, 0);
   if (!system_result.ok()) return Fail(system_result.status().ToString());
   sim::System system = std::move(system_result).MoveValueUnsafe();
@@ -157,6 +223,13 @@ int CmdRun(const Flags& flags) {
   std::cout << "ingested " << FmtCount(driver.events_ingested()) << " events; "
             << FmtCount(total.counters.events) << " raw events / "
             << FmtBytes(total.counters.bytes) << " on the wire\n";
+  obs::Histogram* latency_hist =
+      command_obs.registry.GetHistogram("root.window_latency_us");
+  for (const sim::WindowOutput& out : driver.outputs()) {
+    latency_hist->Record(
+        out.latency_us < 0 ? 0 : static_cast<uint64_t>(out.latency_us));
+  }
+  command_obs.Export(flags);
   return 0;
 }
 
@@ -217,9 +290,19 @@ int CmdTree(const Flags& flags) {
   config.locals_per_relay = static_cast<size_t>(flags.GetInt("per-relay", 3));
   config.gamma = static_cast<uint64_t>(flags.GetInt("gamma", 1'000));
   config.quantiles = flags.GetDoubleList("quantiles", {0.5});
+  for (double q : config.quantiles) {
+    if (!(q > 0.0) || q > 1.0) {
+      return Fail("--quantiles: " + std::to_string(q) + " outside (0, 1]");
+    }
+  }
+  CommandObs command_obs(nullptr, flags);
+  config.registry = &command_obs.registry;
+  config.tracer = &command_obs.tracer;
 
   RealClock clock;
-  net::Network network(&clock);
+  net::Network::Options net_options;
+  net_options.registry = &command_obs.registry;
+  net::Network network(&clock, net_options);
   auto tree_result = sim::BuildTreeSystem(config, &network, &clock);
   if (!tree_result.ok()) return Fail(tree_result.status().ToString());
   sim::TreeSystem tree = std::move(tree_result).MoveValueUnsafe();
@@ -260,6 +343,13 @@ int CmdTree(const Flags& flags) {
   std::cout << leaves << " leaves through " << config.num_relays
             << " relays; root uplink carried " << FmtBytes(uplink) << " for "
             << FmtCount(driver.events_ingested()) << " events.\n";
+  auto* latency_hist =
+      command_obs.registry.GetHistogram("root.window_latency_us");
+  for (const sim::WindowOutput& out : driver.outputs()) {
+    latency_hist->Record(
+        out.latency_us < 0 ? 0 : static_cast<uint64_t>(out.latency_us));
+  }
+  command_obs.Export(flags);
   return 0;
 }
 
@@ -299,9 +389,10 @@ void PrintTcpMetrics(const sim::RunMetrics& metrics, const Flags& flags) {
 int CmdServe(const Flags& flags) {
   auto config_result = BuildConfig(flags);
   if (!config_result.ok()) return Fail(config_result.status().ToString());
-  const sim::SystemConfig& config = *config_result;
+  sim::SystemConfig config = *config_result;
   auto load_result = BuildWorkload(flags, config);
   if (!load_result.ok()) return Fail(load_result.status().ToString());
+  CommandObs command_obs(&config, flags);
   const DurationUs timeout_us =
       static_cast<DurationUs>(flags.GetInt("timeout-s", 120)) * kMicrosPerSecond;
 
@@ -321,6 +412,7 @@ int CmdServe(const Flags& flags) {
         sim::RunTcpRoot(config, load_result->ExpectedWindows(), opts);
     if (!metrics.ok()) return Fail(metrics.status().ToString());
     PrintTcpMetrics(*metrics, flags);
+    command_obs.Export(flags);
     return 0;
   }
   if (role == "local") {
@@ -341,6 +433,7 @@ int CmdServe(const Flags& flags) {
     std::cout << "local " << id << ": ingested "
               << FmtCount(report->events_ingested) << " events, sent "
               << FmtBytes(sent_bytes) << " to the root\n";
+    command_obs.Export(flags);
     return 0;
   }
   return Fail("serve needs --role=root or --role=local");
@@ -349,18 +442,21 @@ int CmdServe(const Flags& flags) {
 int CmdCluster(const Flags& flags) {
   auto config_result = BuildConfig(flags);
   if (!config_result.ok()) return Fail(config_result.status().ToString());
-  auto load_result = BuildWorkload(flags, *config_result);
+  sim::SystemConfig config = *config_result;
+  auto load_result = BuildWorkload(flags, config);
   if (!load_result.ok()) return Fail(load_result.status().ToString());
+  CommandObs command_obs(&config, flags, /*enable_logger=*/!flags.Has("tcp"));
 
   Result<sim::RunMetrics> metrics = flags.Has("tcp")
       // One OS process per local node plus the root, TCP over loopback.
-      ? sim::RunTcpClusterForked(*config_result, *load_result,
+      ? sim::RunTcpClusterForked(config, *load_result,
                                  flags.GetString("host", "127.0.0.1"),
                                  static_cast<uint16_t>(flags.GetInt("port", 0)))
       // Same topology over the in-process fabric, for comparison.
-      : sim::RunThreaded(*config_result, *load_result);
+      : sim::RunThreaded(config, *load_result);
   if (!metrics.ok()) return Fail(metrics.status().ToString());
   PrintTcpMetrics(*metrics, flags);
+  command_obs.Export(flags);
   return 0;
 }
 
@@ -387,6 +483,6 @@ int main(int argc, char** argv) {
          "               process per local node over loopback TCP\n"
          "flags: --system= --locals= --windows= --rate= --gamma= --quantiles=\n"
          "       --dist= --scale-rates= --slide-ms= --adaptive --per-node-gamma\n"
-         "       --naive-selection --csv=\n";
+         "       --naive-selection --csv= --metrics-out= --metrics-log-ms=\n";
   return cmd == "help" ? 0 : 1;
 }
