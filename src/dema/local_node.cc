@@ -22,6 +22,7 @@ DemaLocalNode::DemaLocalNode(DemaLocalNodeOptions options, transport::Transport*
   c_events_ingested_ = registry_->GetCounter("local.events_ingested" + label);
   c_windows_shipped_ = registry_->GetCounter("local.windows_shipped" + label);
   c_send_failures_ = registry_->GetCounter("local.send_failures" + label);
+  c_duplicates_ignored_ = registry_->GetCounter("local.duplicates_ignored" + label);
   g_retained_windows_ = registry_->GetGauge("local.retained_windows" + label);
   oldest_known_gamma_ = std::max<uint64_t>(2, options_.initial_gamma);
   gamma_schedule_[0] = oldest_known_gamma_;
@@ -97,7 +98,21 @@ Status DemaLocalNode::EmitWindow(net::WindowId id, std::vector<Event> sorted) {
   return Status::OK();
 }
 
+Status DemaLocalNode::ResyncGamma() {
+  GammaSyncRequest sync;
+  sync.node = options_.id;
+  return transport_->Send(net::MakeMessage(net::MessageType::kGammaSyncRequest,
+                                           options_.id, options_.root_id, sync));
+}
+
 Status DemaLocalNode::OnMessage(const net::Message& msg) {
+  if (dedup_.IsDuplicate(msg.src, msg.seq)) {
+    // Transport-level retransmission (same sequence number): absorb it
+    // before it reaches the protocol handlers. Root-driven retries use fresh
+    // sequence numbers and pass through.
+    c_duplicates_ignored_->Increment();
+    return Status::OK();
+  }
   net::Reader r(msg.payload);
   switch (msg.type) {
     case net::MessageType::kCandidateRequest: {
@@ -117,21 +132,29 @@ Status DemaLocalNode::OnMessage(const net::Message& msg) {
 }
 
 Status DemaLocalNode::HandleCandidateRequest(const CandidateRequest& req) {
-  auto it = retained_.find(req.window_id);
   if (req.slice_indices.empty()) {
-    // Release: the root needs nothing from this window.
-    if (it != retained_.end()) {
-      retained_.erase(it);
+    // Release: the root needs nothing (more) from this window.
+    if (retained_.erase(req.window_id) > 0) {
       g_retained_windows_->Set(static_cast<int64_t>(retained_.size()));
     }
+    served_.erase(req.window_id);
     return Status::OK();
   }
+  auto it = retained_.find(req.window_id);
+  bool from_served = false;
   if (it == retained_.end()) {
-    if (options_.tolerate_duplicates && req.window_id < next_window_to_emit_) {
-      return Status::OK();  // retransmitted request for a released window
+    // The root retries a request when a reply goes missing in flight; an
+    // already-served window sits in the bounded served ring for exactly this
+    // case and is served again without being re-retained.
+    it = served_.find(req.window_id);
+    from_served = true;
+    if (it == served_.end()) {
+      if (options_.tolerate_duplicates && req.window_id < next_window_to_emit_) {
+        return Status::OK();  // retransmitted request for a released window
+      }
+      return Status::NotFound("candidate request for unknown window " +
+                              std::to_string(req.window_id));
     }
-    return Status::NotFound("candidate request for unknown window " +
-                            std::to_string(req.window_id));
   }
   const std::vector<Event>& sorted = it->second.sorted;
   uint64_t gamma = it->second.gamma;
@@ -161,8 +184,18 @@ Status DemaLocalNode::HandleCandidateRequest(const CandidateRequest& req) {
     c_send_failures_->Increment();
     return sent;
   }
-  retained_.erase(it);
-  g_retained_windows_->Set(static_cast<int64_t>(retained_.size()));
+  if (!from_served) {
+    // Move to the served ring (oldest evicted) so a retried request after a
+    // lost reply finds the events again instead of the released-window path.
+    if (options_.served_window_cap > 0) {
+      served_.emplace(req.window_id, std::move(it->second));
+      while (served_.size() > options_.served_window_cap) {
+        served_.erase(served_.begin());
+      }
+    }
+    retained_.erase(it);
+    g_retained_windows_->Set(static_cast<int64_t>(retained_.size()));
+  }
   return Status::OK();
 }
 

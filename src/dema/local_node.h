@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "dema/protocol.h"
+#include "net/dedup.h"
 #include "obs/registry.h"
 #include "transport/transport.h"
 #include "sim/node.h"
@@ -35,6 +36,10 @@ struct DemaLocalNodeOptions {
   bool tolerate_duplicates = true;
   /// Wire encoding for candidate replies.
   net::EventCodec reply_codec = net::EventCodec::kFixed;
+  /// Recently served windows kept around (bounded ring) so a root retry after
+  /// a lost reply can be re-served instead of hitting the released-window
+  /// path. 0 disables re-serving (windows drop on first successful reply).
+  size_t served_window_cap = 4;
   /// Metrics sink for the `local.*{node=N}` instruments. When null, the node
   /// owns a private registry (reachable via `registry()`). Must outlive the
   /// node when provided.
@@ -74,6 +79,12 @@ class DemaLocalNode final : public sim::LocalNodeLogic {
   /// node's own private registry).
   obs::Registry* registry() const { return registry_; }
 
+  /// Asks the root for the current slice factor. Call after `Restore`: the
+  /// node may have missed γ broadcasts while it was down, and cutting the
+  /// next windows with a stale factor skews the cost model until the next
+  /// regular broadcast happens to arrive.
+  Status ResyncGamma();
+
   /// Serializes the node's complete mutable state — open window buffers,
   /// watermark, retained (shipped but unreleased) windows, γ schedule, and
   /// the emission frontier — so a restarted edge device can resume without
@@ -111,6 +122,12 @@ class DemaLocalNode final : public sim::LocalNodeLogic {
   stream::WindowManager windows_;
   /// Sorted events of shipped windows, kept until the root releases them.
   std::map<net::WindowId, RetainedWindow> retained_;
+  /// Bounded ring of already-served windows (oldest evicted first): a reply
+  /// can be lost in flight, and the root's retried request must find the
+  /// events again. Released together with `retained_`.
+  std::map<net::WindowId, RetainedWindow> served_;
+  /// Transport-level duplicate suppression over message sequence numbers.
+  net::SeqDedup dedup_;
   /// γ schedule: effective-from window id -> γ. Always non-empty.
   std::map<net::WindowId, uint64_t> gamma_schedule_;
   /// γ in effect at the start of known history; the answer for window ids
@@ -121,6 +138,7 @@ class DemaLocalNode final : public sim::LocalNodeLogic {
   obs::Counter* c_events_ingested_;
   obs::Counter* c_windows_shipped_;
   obs::Counter* c_send_failures_;
+  obs::Counter* c_duplicates_ignored_;
   obs::Gauge* g_retained_windows_;
 };
 

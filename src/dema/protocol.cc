@@ -94,6 +94,14 @@ Result<GammaUpdate> GammaUpdate::Deserialize(net::Reader* r) {
   return g;
 }
 
+void GammaSyncRequest::SerializeTo(net::Writer* w) const { w->PutU32(node); }
+
+Result<GammaSyncRequest> GammaSyncRequest::Deserialize(net::Reader* r) {
+  GammaSyncRequest g;
+  DEMA_RETURN_NOT_OK(r->GetU32(&g.node));
+  return g;
+}
+
 void WindowResult::SerializeTo(net::Writer* w) const {
   w->PutU64(window_id);
   w->PutDouble(q);

@@ -74,6 +74,20 @@ struct GammaUpdate {
   static Result<GammaUpdate> Deserialize(net::Reader* r);
 };
 
+/// \brief Local -> root: request the current slice factor after a restart.
+///
+/// A local that resumed from a checkpoint may have missed gamma broadcasts
+/// while it was down; the root answers with a regular `GammaUpdate` carrying
+/// its current factor for the node (`effective_from` 0 — the local clamps it
+/// to its own emission frontier).
+struct GammaSyncRequest {
+  /// The requesting node (authoritative even if the envelope src differs).
+  NodeId node = 0;
+
+  void SerializeTo(net::Writer* w) const;
+  static Result<GammaSyncRequest> Deserialize(net::Reader* r);
+};
+
 /// \brief Final aggregation output for one global window and one quantile.
 struct WindowResult {
   WindowId window_id = 0;

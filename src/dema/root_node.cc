@@ -31,6 +31,9 @@ DemaRootNode::DemaRootNode(DemaRootNodeOptions options, transport::Transport* tr
   c_gamma_updates_sent_ = registry_->GetCounter("dema.gamma_updates_sent");
   c_duplicates_ignored_ = registry_->GetCounter("dema.duplicates_ignored");
   c_clock_skew_windows_ = registry_->GetCounter("dema.clock_skew_windows");
+  c_degraded_windows_ = registry_->GetCounter("dema.degraded_windows");
+  c_retries_ = registry_->GetCounter("root.retries");
+  c_send_failures_ = registry_->GetCounter("root.send_failures");
 
   // Fail fast on option errors: a bad quantile must not poison a running
   // cluster per-window after synopses already shipped.
@@ -74,7 +77,30 @@ DemaRootStats DemaRootNode::stats() const {
   s.gamma_updates_sent = c_gamma_updates_sent_->Value();
   s.duplicates_ignored = c_duplicates_ignored_->Value();
   s.clock_skew_windows = c_clock_skew_windows_->Value();
+  s.retries = c_retries_->Value();
+  s.degraded_windows = c_degraded_windows_->Value();
+  s.send_failures = c_send_failures_->Value();
   return s;
+}
+
+void DemaRootNode::MarkEmitted(net::WindowId id) {
+  if (id == emitted_below_) {
+    ++emitted_below_;
+    while (emitted_above_.erase(emitted_below_) > 0) ++emitted_below_;
+  } else if (id > emitted_below_) {
+    emitted_above_.insert(id);
+  }
+}
+
+bool DemaRootNode::IsEmitted(net::WindowId id) const {
+  return id < emitted_below_ || emitted_above_.count(id) > 0;
+}
+
+Status DemaRootNode::SendBestEffort(net::Message m) {
+  Status st = transport_->Send(std::move(m));
+  if (st.ok() || options_.deadline_ticks == 0) return st;
+  c_send_failures_->Increment();
+  return Status::OK();
 }
 
 uint64_t DemaRootNode::current_gamma_for(NodeId node) const {
@@ -112,6 +138,12 @@ void DemaRootNode::RecordTrace(PendingWindow* w) {
 
 Status DemaRootNode::OnMessage(const net::Message& msg) {
   if (!init_status_.ok()) return init_status_;
+  if (dedup_.IsDuplicate(msg.src, msg.seq)) {
+    // Transport-level retransmission (same sequence number): absorb it
+    // before it reaches the protocol handlers at all.
+    c_duplicates_ignored_->Increment();
+    return Status::OK();
+  }
   net::Reader r(msg.payload);
   switch (msg.type) {
     case net::MessageType::kSynopsisBatch: {
@@ -122,6 +154,10 @@ Status DemaRootNode::OnMessage(const net::Message& msg) {
       DEMA_ASSIGN_OR_RETURN(auto reply, CandidateReply::Deserialize(&r));
       return HandleCandidateReply(reply);
     }
+    case net::MessageType::kGammaSyncRequest: {
+      DEMA_ASSIGN_OR_RETURN(auto sync, GammaSyncRequest::Deserialize(&r));
+      return HandleGammaSync(sync);
+    }
     case net::MessageType::kShutdown:
       return Status::OK();
     default:
@@ -130,12 +166,48 @@ Status DemaRootNode::OnMessage(const net::Message& msg) {
   }
 }
 
+Status DemaRootNode::HandleGammaSync(const GammaSyncRequest& sync) {
+  if (local_index_.find(sync.node) == local_index_.end()) {
+    return Status::InvalidArgument("gamma sync from unknown node " +
+                                   std::to_string(sync.node));
+  }
+  // A restarted local missed any broadcasts while it was down; answer with
+  // the current factor. effective_from 0 lets the local clamp the update to
+  // its own emission frontier.
+  GammaUpdate update;
+  update.effective_from = 0;
+  update.gamma = static_cast<uint32_t>(std::min<uint64_t>(
+      std::max<uint64_t>(current_gamma_for(sync.node), 2), UINT32_MAX));
+  DEMA_RETURN_NOT_OK(SendBestEffort(net::MakeMessage(
+      net::MessageType::kGammaUpdate, options_.id, sync.node, update)));
+  c_gamma_updates_sent_->Increment();
+  return Status::OK();
+}
+
+void DemaRootNode::NoteWindowHorizon(net::WindowId last) {
+  if (options_.deadline_ticks == 0) return;
+  any_window_seen_ = true;
+  highest_window_seen_ = std::max(highest_window_seen_, last);
+}
+
 Status DemaRootNode::HandleSynopsisBatch(const SynopsisBatch& batch) {
   auto idx_it = local_index_.find(batch.node);
   if (idx_it == local_index_.end()) {
     return Status::InvalidArgument("synopsis from unknown node " +
                                    std::to_string(batch.node));
   }
+  if (IsEmitted(batch.window_id)) {
+    // A delayed or retransmitted synopsis for a window that already emitted
+    // (possibly degraded); it must not resurrect a pending entry.
+    if (options_.tolerate_duplicates) {
+      c_duplicates_ignored_->Increment();
+      return Status::OK();
+    }
+    return Status::AlreadyExists("synopsis for emitted window " +
+                                 std::to_string(batch.window_id));
+  }
+  any_window_seen_ = true;
+  highest_window_seen_ = std::max(highest_window_seen_, batch.window_id);
   PendingWindow& w = pending_[batch.window_id];
   if (w.synopsis_from.empty()) {
     w.synopsis_from.assign(options_.locals.size(), false);
@@ -159,6 +231,11 @@ Status DemaRootNode::HandleSynopsisBatch(const SynopsisBatch& batch) {
   c_synopsis_slices_->Increment(batch.slices.size());
   w.trace.last_synopsis_us =
       static_cast<uint64_t>(std::max<TimestampUs>(0, clock_->NowUs()));
+  if (options_.deadline_ticks > 0) {
+    // Progress: push the deadline out and refund the retry budget.
+    w.next_check_tick = tick_ + options_.deadline_ticks;
+    w.retries = 0;
+  }
 
   if (w.synopses_received == options_.locals.size()) {
     return RunIdentification(batch.window_id, &w);
@@ -177,6 +254,7 @@ Status DemaRootNode::RunIdentification(net::WindowId id, PendingWindow* w) {
     out.latency_us = EmitLatencyUs(w->last_close_time_us, &w->trace);
     c_windows_->Increment();
     RecordTrace(w);
+    MarkEmitted(id);
     if (callback_) callback_(out);
     pending_.erase(id);
     return Status::OK();
@@ -215,6 +293,8 @@ Status DemaRootNode::RunIdentification(net::WindowId id, PendingWindow* w) {
     const SliceSynopsis& s = w->slices[flat];
     per_node[s.node].push_back(s.index);
   }
+  // Kept so the deadline machinery can retransmit identical requests.
+  w->request_indices = per_node;
 
   // Every node with a retained (non-empty) window gets a request; an empty
   // index list releases the window's memory on that node.
@@ -234,12 +314,16 @@ Status DemaRootNode::RunIdentification(net::WindowId id, PendingWindow* w) {
       req.slice_indices = std::move(it->second);
       ++w->expected_replies;
     }
-    DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
+    DEMA_RETURN_NOT_OK(SendBestEffort(net::MakeMessage(
         net::MessageType::kCandidateRequest, options_.id, node, req)));
   }
   if (w->expected_replies == 0) {
     return Status::Internal("window-cut produced no candidates for window " +
                             std::to_string(id));
+  }
+  if (options_.deadline_ticks > 0) {
+    w->next_check_tick = tick_ + options_.deadline_ticks;
+    w->retries = 0;
   }
   return Status::OK();
 }
@@ -280,6 +364,10 @@ Status DemaRootNode::HandleCandidateReply(const CandidateReply& reply) {
       static_cast<uint64_t>(std::max<TimestampUs>(0, clock_->NowUs()));
   if (w.trace.first_reply_us == 0) w.trace.first_reply_us = now;
   w.trace.last_reply_us = now;
+  if (options_.deadline_ticks > 0) {
+    w.next_check_tick = tick_ + options_.deadline_ticks;
+    w.retries = 0;
+  }
   if (w.reply_runs.size() == w.expected_replies) {
     return CompleteWindow(reply.window_id, &w);
   }
@@ -316,6 +404,7 @@ Status DemaRootNode::CompleteWindow(net::WindowId id, PendingWindow* w) {
   c_windows_->Increment();
   c_global_events_->Increment(w->global_size);
   RecordTrace(w);
+  MarkEmitted(id);
   uint64_t global_size = w->global_size;
   uint64_t candidate_slices = w->cut.candidates.size();
   PendingWindow completed = std::move(*w);
@@ -355,7 +444,7 @@ Status DemaRootNode::AdaptPerNode(net::WindowId completed_window,
     GammaUpdate update;
     update.effective_from = completed_window + 1;
     update.gamma = static_cast<uint32_t>(std::min<uint64_t>(next, UINT32_MAX));
-    DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
+    DEMA_RETURN_NOT_OK(SendBestEffort(net::MakeMessage(
         net::MessageType::kGammaUpdate, options_.id, options_.locals[i], update)));
     node_last_broadcast_[i] = next;
     c_gamma_updates_sent_->Increment();
@@ -369,10 +458,151 @@ Status DemaRootNode::BroadcastGamma(net::WindowId effective_from, uint64_t gamma
   update.gamma = static_cast<uint32_t>(std::min<uint64_t>(gamma, UINT32_MAX));
   // Counts messages, not broadcasts, matching AdaptPerNode's accounting.
   for (NodeId node : options_.locals) {
-    DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
+    DEMA_RETURN_NOT_OK(SendBestEffort(net::MakeMessage(
         net::MessageType::kGammaUpdate, options_.id, node, update)));
     c_gamma_updates_sent_->Increment();
   }
+  return Status::OK();
+}
+
+Status DemaRootNode::Tick() {
+  if (!init_status_.ok()) return init_status_;
+  if (options_.deadline_ticks == 0) return Status::OK();
+  ++tick_;
+  // Gap-fill: a window whose every synopsis was dropped has no pending entry
+  // and would otherwise stall silently. Create one for each known-to-exist,
+  // not-yet-emitted id so the deadline machinery sees it.
+  if (any_window_seen_) {
+    for (net::WindowId id = emitted_below_; id <= highest_window_seen_; ++id) {
+      if (IsEmitted(id) || pending_.count(id) > 0) continue;
+      PendingWindow& w = pending_[id];
+      w.synopsis_from.assign(options_.locals.size(), false);
+      w.trace.window_id = id;
+      w.next_check_tick = tick_ + options_.deadline_ticks;
+    }
+  }
+  std::vector<std::pair<net::WindowId, std::string>> to_degrade;
+  for (auto& [id, w] : pending_) {
+    if (tick_ < w.next_check_tick) continue;
+    if (w.retries >= options_.max_retries) {
+      std::string cause;
+      if (w.requests_sent) {
+        cause = w.reply_runs.empty() ? "replies_lost" : "replies_partial";
+      } else {
+        cause = w.synopses_received == 0 ? "synopses_lost" : "synopses_partial";
+      }
+      to_degrade.emplace_back(id, std::move(cause));
+      continue;
+    }
+    ++w.retries;
+    // Exponential backoff between recovery attempts.
+    w.next_check_tick = tick_ + (options_.deadline_ticks << w.retries);
+    if (!w.requests_sent) {
+      // Nothing to re-request in the synopsis phase: a crashed local re-ships
+      // its windows after restarting, so the backoff just extends the wait.
+      continue;
+    }
+    for (const auto& [node, indices] : w.request_indices) {
+      if (!w.reply_from.empty() && w.reply_from[local_index_[node]]) continue;
+      CandidateRequest req;
+      req.window_id = id;
+      req.slice_indices = indices;
+      c_retries_->Increment();
+      DEMA_RETURN_NOT_OK(SendBestEffort(net::MakeMessage(
+          net::MessageType::kCandidateRequest, options_.id, node, req)));
+    }
+  }
+  for (auto& [id, cause] : to_degrade) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    DEMA_RETURN_NOT_OK(EmitDegraded(id, &it->second, cause));
+  }
+  return Status::OK();
+}
+
+Status DemaRootNode::EmitDegraded(net::WindowId id, PendingWindow* w,
+                                  const std::string& cause) {
+  sim::WindowOutput out;
+  out.window_id = id;
+  out.global_size = w->global_size;
+  out.quantiles = options_.quantiles;
+  out.degraded = true;
+  out.degrade_cause = cause;
+  if (w->requests_sent && !w->reply_runs.empty()) {
+    // Partial candidate data: answer from what arrived. Each missing
+    // candidate event can shift a value's true rank by at most one, so the
+    // shortfall bounds the rank error.
+    std::vector<Event> merged = stream::MergeSortedRuns(std::move(w->reply_runs));
+    out.rank_error_bound = w->cut.candidate_event_count > merged.size()
+                               ? w->cut.candidate_event_count - merged.size()
+                               : 0;
+    for (const RankSelection& sel : w->cut.selections) {
+      uint64_t within = sel.rank > sel.below_count ? sel.rank - sel.below_count : 1;
+      within = std::min<uint64_t>(std::max<uint64_t>(within, 1), merged.size());
+      out.values.push_back(merged[within - 1].value);
+    }
+  } else if (!w->slices.empty()) {
+    // Synopses only: walk the slices in ascending first-value order,
+    // accumulate counts up to the target rank, and answer with the
+    // containing slice's first value. The true value can sit anywhere inside
+    // that slice, so its size bounds the rank error.
+    std::vector<const SliceSynopsis*> order;
+    order.reserve(w->slices.size());
+    for (const SliceSynopsis& s : w->slices) order.push_back(&s);
+    std::sort(order.begin(), order.end(),
+              [](const SliceSynopsis* a, const SliceSynopsis* b) {
+                if (a->first.value != b->first.value)
+                  return a->first.value < b->first.value;
+                if (a->node != b->node) return a->node < b->node;
+                return a->index < b->index;
+              });
+    uint64_t observed = 0;
+    for (const SliceSynopsis* s : order) observed += s->count;
+    for (double q : options_.quantiles) {
+      uint64_t target = stream::QuantileRank(q, observed);
+      uint64_t cum = 0;
+      double value = 0.0;
+      for (const SliceSynopsis* s : order) {
+        cum += s->count;
+        value = s->first.value;
+        if (cum >= target) {
+          out.rank_error_bound = std::max(out.rank_error_bound, s->count);
+          break;
+        }
+      }
+      out.values.push_back(value);
+    }
+  } else {
+    // Nothing arrived at all; emit an explicitly-empty degraded result.
+    out.values.assign(options_.quantiles.size(), 0.0);
+    out.rank_error_bound = 0;
+  }
+  out.latency_us = EmitLatencyUs(w->last_close_time_us, &w->trace);
+
+  // Release retained windows on locals we will no longer query (best
+  // effort: the node may be down, and a restarted one re-serves or prunes).
+  std::vector<uint64_t> local_sizes(options_.locals.size(), 0);
+  for (const SliceSynopsis& s : w->slices) {
+    local_sizes[local_index_[s.node]] += s.count;
+  }
+  for (size_t i = 0; i < options_.locals.size(); ++i) {
+    if (local_sizes[i] == 0) continue;
+    if (!w->reply_from.empty() && w->reply_from[i]) continue;
+    CandidateRequest release;
+    release.window_id = id;
+    (void)transport_->Send(net::MakeMessage(net::MessageType::kCandidateRequest,
+                                            options_.id, options_.locals[i],
+                                            release));
+  }
+
+  c_windows_->Increment();
+  c_degraded_windows_->Increment();
+  c_global_events_->Increment(w->global_size);
+  w->trace.degraded = true;
+  RecordTrace(w);
+  MarkEmitted(id);
+  pending_.erase(id);
+  if (callback_) callback_(out);
   return Status::OK();
 }
 

@@ -3,12 +3,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "dema/adaptive_gamma.h"
 #include "dema/protocol.h"
 #include "dema/window_cut.h"
+#include "net/dedup.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "transport/transport.h"
@@ -45,6 +48,16 @@ struct DemaRootNodeOptions {
   /// (counted in stats) instead of failing the node. On by default — IoT
   /// transports retransmit; turn off to assert exactly-once in tests.
   bool tolerate_duplicates = true;
+  /// Per-window progress deadline, measured in `Tick()` calls: a pending
+  /// window that makes no progress for this many ticks gets its candidate
+  /// requests retried (with exponential backoff), and after `max_retries`
+  /// attempts is emitted degraded. 0 (default) disables the deadline
+  /// machinery entirely — the legacy wait-forever behavior. With a deadline
+  /// enabled, transport send failures also become survivable (counted in
+  /// `root.send_failures` instead of failing the node).
+  uint64_t deadline_ticks = 0;
+  /// Recovery attempts per window before degrading (with deadlines on).
+  uint32_t max_retries = 3;
   /// Metrics sink for the `dema.*` instruments. When null, the node owns a
   /// private registry (reachable via `registry()`), so instrumentation is
   /// always on. Must outlive the node when provided.
@@ -78,6 +91,12 @@ struct DemaRootStats {
   /// Windows whose local close stamp was ahead of the root clock (latency
   /// clamped to 0 instead of underflowing).
   uint64_t clock_skew_windows = 0;
+  /// Candidate-request retransmissions sent by the deadline machinery.
+  uint64_t retries = 0;
+  /// Windows emitted best-effort after recovery was exhausted.
+  uint64_t degraded_windows = 0;
+  /// Transport send failures tolerated while recovery was enabled.
+  uint64_t send_failures = 0;
 };
 
 /// \brief Dema's root node: runs the identification and calculation steps
@@ -98,6 +117,18 @@ class DemaRootNode final : public sim::RootNodeLogic {
   void SetResultCallback(sim::ResultCallback cb) override { callback_ = std::move(cb); }
   uint64_t windows_emitted() const override { return c_windows_->Value(); }
   bool idle() const override { return pending_.empty(); }
+
+  /// Deadline tick (no-op unless `deadline_ticks` > 0): checks every pending
+  /// window for progress, retries candidate requests with exponential
+  /// backoff, and degrades windows whose retry budget ran out — a faulty run
+  /// always terminates with `pending_` empty, never a silent stall.
+  Status Tick() override;
+
+  /// Tells the deadline machinery that windows up to \p last exist, even if
+  /// no synopsis for them ever arrives (a driver knows the workload horizon;
+  /// the root alone cannot distinguish "stream ended" from "everything was
+  /// dropped"). No-op unless deadlines are enabled.
+  void NoteWindowHorizon(net::WindowId last);
 
   /// Algorithm counters over all completed windows (snapshot of the
   /// registry-backed instruments).
@@ -131,10 +162,32 @@ class DemaRootNode final : public sim::RootNodeLogic {
     std::vector<std::vector<Event>> reply_runs;
     WindowCutResult cut;
     obs::WindowTrace trace;  // lifecycle span, recorded at emit
+    /// The candidate indices sent to each node, kept so the deadline
+    /// machinery can retransmit the exact same requests.
+    std::map<NodeId, std::vector<uint32_t>> request_indices;
+    /// Recovery attempts consumed.
+    uint32_t retries = 0;
+    /// Tick at which the deadline machinery next examines this window;
+    /// pushed forward on every progress event.
+    uint64_t next_check_tick = 0;
   };
 
   Status HandleSynopsisBatch(const SynopsisBatch& batch);
   Status HandleCandidateReply(const CandidateReply& reply);
+  Status HandleGammaSync(const GammaSyncRequest& sync);
+  /// Emits a best-effort result for a window whose recovery budget ran out:
+  /// the quantile over whatever candidate replies arrived, or an estimate
+  /// from the synopses alone, flagged with a rank-error bound and \p cause.
+  Status EmitDegraded(net::WindowId id, PendingWindow* w,
+                      const std::string& cause);
+  /// Sends \p m; with deadlines enabled a failure (e.g. dead peer mid-
+  /// restart) is absorbed into `root.send_failures` — retry or degradation
+  /// covers it — instead of failing the caller.
+  Status SendBestEffort(net::Message m);
+  /// Emitted-window bookkeeping: late messages for an already-emitted window
+  /// must be absorbed, never allowed to resurrect a pending entry.
+  void MarkEmitted(net::WindowId id);
+  bool IsEmitted(net::WindowId id) const;
   /// All synopses in: run window-cut and fire candidate requests.
   Status RunIdentification(net::WindowId id, PendingWindow* w);
   /// All replies in: merge, select, emit, adapt γ.
@@ -158,6 +211,19 @@ class DemaRootNode final : public sim::RootNodeLogic {
   Status init_status_;
   std::map<NodeId, size_t> local_index_;
   std::map<net::WindowId, PendingWindow> pending_;
+  /// Transport-level duplicate suppression over message sequence numbers.
+  net::SeqDedup dedup_;
+  /// Deadline clock (incremented per `Tick()`).
+  uint64_t tick_ = 0;
+  /// Emitted-window tracking: every id < emitted_below_ is emitted, plus the
+  /// out-of-order ids in emitted_above_.
+  net::WindowId emitted_below_ = 0;
+  std::set<net::WindowId> emitted_above_;
+  /// Highest window id known to exist (from synopses or the driver horizon);
+  /// gap-fill creates pending entries up to it so fully-dropped windows
+  /// degrade instead of stalling silently.
+  net::WindowId highest_window_seen_ = 0;
+  bool any_window_seen_ = false;
   sim::ResultCallback callback_;
   AdaptiveGammaController gamma_;
   uint64_t last_broadcast_gamma_;
@@ -176,6 +242,9 @@ class DemaRootNode final : public sim::RootNodeLogic {
   obs::Counter* c_gamma_updates_sent_;
   obs::Counter* c_duplicates_ignored_;
   obs::Counter* c_clock_skew_windows_;
+  obs::Counter* c_degraded_windows_;
+  obs::Counter* c_retries_;
+  obs::Counter* c_send_failures_;
 };
 
 }  // namespace dema::core

@@ -1,0 +1,22 @@
+#include "net/dedup.h"
+
+namespace dema::net {
+
+bool SeqDedup::IsDuplicate(NodeId src, uint32_t seq) {
+  if (seq == 0) return false;
+  SrcState& state = per_src_[src];
+  if (!state.seen.insert(seq).second) {
+    ++duplicates_seen_;
+    return true;
+  }
+  if (seq > state.max_seq) {
+    state.max_seq = seq;
+    if (state.max_seq > window_) {
+      const uint32_t horizon = state.max_seq - window_;
+      std::erase_if(state.seen, [horizon](uint32_t s) { return s < horizon; });
+    }
+  }
+  return false;
+}
+
+}  // namespace dema::net

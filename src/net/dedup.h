@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+
+#include "common/event.h"
+
+namespace dema::net {
+
+/// \brief Receiver-side duplicate suppression over transport sequence
+/// numbers.
+///
+/// Transports stamp every message with a per-(src, dst) sequence number
+/// (`Message::seq`), so a receiver can turn at-least-once delivery into
+/// exactly-once processing: the first arrival of a (src, seq) pair passes,
+/// every later one is reported as a duplicate. seq 0 marks an unsequenced
+/// message (e.g. hand-built in tests) and is never treated as a duplicate.
+///
+/// Memory per source is bounded: once the highest seq seen from a source
+/// advances past `window`, older entries are pruned. A message older than the
+/// pruned horizon would be re-flagged only if it arrived more than `window`
+/// messages late, far beyond any reorder the fabric injects.
+class SeqDedup {
+ public:
+  explicit SeqDedup(uint32_t window = 4096) : window_(window) {}
+
+  /// Returns true when (src, seq) was already seen (drop the message);
+  /// records the pair otherwise.
+  bool IsDuplicate(NodeId src, uint32_t seq);
+
+  /// Total duplicates flagged so far.
+  uint64_t duplicates_seen() const { return duplicates_seen_; }
+
+ private:
+  struct SrcState {
+    uint32_t max_seq = 0;
+    std::unordered_set<uint32_t> seen;
+  };
+
+  uint32_t window_;
+  uint64_t duplicates_seen_ = 0;
+  std::map<NodeId, SrcState> per_src_;
+};
+
+}  // namespace dema::net

@@ -26,6 +26,8 @@ const char* MessageTypeToString(MessageType type) {
       return "Shutdown";
     case MessageType::kTimeAdvance:
       return "TimeAdvance";
+    case MessageType::kGammaSyncRequest:
+      return "GammaSyncRequest";
   }
   return "Unknown";
 }

@@ -45,15 +45,19 @@ enum class MessageType : uint16_t {
   /// (all of the sender's events up to it were shipped). The edge node's
   /// watermark is the minimum across its stream nodes.
   kTimeAdvance = 10,
+  /// Local -> root request to re-learn the current slice factor after a
+  /// restart (the root answers with a kGammaUpdate).
+  kGammaSyncRequest = 11,
 };
 
 /// \brief Returns a readable name for a message type, e.g. "EventBatch".
 const char* MessageTypeToString(MessageType type);
 
 /// Fixed per-message envelope overhead charged to the wire (type + src + dst
-/// + payload length), mirroring a small framed TCP protocol.
+/// + sequence number + payload length), mirroring a small framed TCP
+/// protocol.
 inline constexpr uint64_t kEnvelopeWireBytes =
-    sizeof(uint16_t) + 2 * sizeof(NodeId) + sizeof(uint32_t);
+    sizeof(uint16_t) + 2 * sizeof(NodeId) + 2 * sizeof(uint32_t);
 
 /// \brief A framed message travelling between nodes.
 ///
@@ -63,6 +67,11 @@ struct Message {
   MessageType type = MessageType::kShutdown;
   NodeId src = 0;
   NodeId dst = 0;
+  /// Per-(src, dst) sequence number stamped by the transport, 1-based and
+  /// monotonic per sender stream; 0 marks an unsequenced message. Receivers
+  /// drop (src, seq) pairs they have already seen (`SeqDedup`) so
+  /// at-least-once delivery stays exactly-once at the node logic.
+  uint32_t seq = 0;
   std::vector<uint8_t> payload;
   /// Processing-time instant the message was handed to the network (set by
   /// `Network::Send`; used for queueing statistics).

@@ -11,6 +11,9 @@ Network::Network(const Clock* clock, Options options)
       registry_(options.registry == nullptr ? owned_registry_.get()
                                             : options.registry),
       sent_(registry_, "transport.sent"),
+      dup_sent_(registry_, "net.duplicates"),
+      c_dropped_(registry_->GetCounter("net.dropped")),
+      c_delayed_(registry_->GetCounter("net.delayed")),
       fault_rng_(options.fault_seed) {}
 
 Status Network::RegisterNode(NodeId id) {
@@ -42,9 +45,41 @@ void Network::ChargeLocked(const Message& m) {
       options_.link_model.TransferTimeUs(m.WireBytes());
 }
 
+void Network::CountDropLocked(const char* cause) {
+  ++messages_dropped_;
+  c_dropped_->Increment();
+  registry_->GetCounter(std::string("net.dropped{cause=") + cause + "}")
+      ->Increment();
+}
+
+std::vector<std::pair<Channel*, Message>> Network::CollectDueLocked(
+    uint64_t horizon) {
+  std::vector<std::pair<Channel*, Message>> out;
+  while (!delayed_.empty() && delayed_.begin()->first <= horizon) {
+    Message held = std::move(delayed_.begin()->second);
+    delayed_.erase(delayed_.begin());
+    // The link may have gone down while the message was in flight.
+    if (down_.count(held.src) || down_.count(held.dst)) {
+      CountDropLocked("node_down");
+      continue;
+    }
+    if (partitions_.count(MakeKey(held.src, held.dst))) {
+      CountDropLocked("partition");
+      continue;
+    }
+    auto it = inboxes_.find(held.dst);
+    if (it == inboxes_.end()) continue;
+    out.emplace_back(it->second.get(), std::move(held));
+  }
+  return out;
+}
+
 Status Network::Send(Message m) {
   Channel* inbox = nullptr;
   bool duplicate = false;
+  bool delayed = false;
+  bool dropped = false;
+  std::vector<std::pair<Channel*, Message>> due;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = inboxes_.find(m.dst);
@@ -52,27 +87,116 @@ Status Network::Send(Message m) {
       return Status::NotFound("unknown destination node " + std::to_string(m.dst));
     }
     inbox = it->second.get();
-    ChargeLocked(m);
-    if (options_.duplicate_prob > 0 &&
-        fault_rng_.Bernoulli(options_.duplicate_prob)) {
-      // Retransmission: the wire carries the message again.
+    m.seq = ++next_seq_[MakeKey(m.src, m.dst)];
+    virtual_now_us_ +=
+        std::max<uint64_t>(1, options_.link_model.base_latency_us);
+    // Fault pipeline. Dropped messages return OK: a lost datagram looks like
+    // a successful send. Loss is charged to the wire (the message travelled
+    // before it was lost); partition/node-down drops never leave the sender.
+    if (down_.count(m.src) || down_.count(m.dst)) {
+      CountDropLocked("node_down");
+      dropped = true;
+      due = CollectDueLocked(virtual_now_us_);
+    } else if (partitions_.count(MakeKey(m.src, m.dst))) {
+      CountDropLocked("partition");
+      dropped = true;
+      due = CollectDueLocked(virtual_now_us_);
+    } else if (options_.drop_prob > 0 &&
+               fault_rng_.Bernoulli(options_.drop_prob)) {
       ChargeLocked(m);
-      ++duplicates_injected_;
-      duplicate = true;
+      CountDropLocked("loss");
+      dropped = true;
+      due = CollectDueLocked(virtual_now_us_);
+    } else {
+      ChargeLocked(m);
+      if (options_.duplicate_prob > 0 &&
+          fault_rng_.Bernoulli(options_.duplicate_prob)) {
+        // Retransmission: the wire carries the message again.
+        ChargeLocked(m);
+        dup_sent_.Charge(m.src, m.dst, m.type, m.WireBytes(), m.event_count);
+        ++duplicates_injected_;
+        duplicate = true;
+      }
+      if (options_.delay_us_max > 0 &&
+          fault_rng_.Bernoulli(options_.delay_prob)) {
+        // Hold the original back; an immediate duplicate (if any) overtakes
+        // it, which is exactly the reorder at-least-once transports exhibit.
+        uint64_t extra = static_cast<uint64_t>(fault_rng_.UniformInt(
+            1, static_cast<int64_t>(options_.delay_us_max)));
+        ++messages_delayed_;
+        c_delayed_->Increment();
+        delayed = true;
+        Message held = m;
+        held.send_time_us = clock_->NowUs();
+        delayed_.emplace(virtual_now_us_ + extra, std::move(held));
+      }
+      due = CollectDueLocked(virtual_now_us_);
     }
   }
   m.send_time_us = clock_->NowUs();
   // Push outside the lock: a full inbox must not block unrelated senders.
+  for (auto& [ch, held] : due) {
+    if (!ch->Push(std::move(held))) {
+      return Status::NetworkError("inbox of node closed");
+    }
+  }
   if (duplicate) {
     Message copy = m;
     if (!inbox->Push(std::move(copy))) {
       return Status::NetworkError("inbox of node closed");
     }
   }
-  if (!inbox->Push(std::move(m))) {
+  if (!dropped && !delayed && !inbox->Push(std::move(m))) {
     return Status::NetworkError("inbox of node closed");
   }
   return Status::OK();
+}
+
+void Network::Partition(NodeId src, NodeId dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.insert(MakeKey(src, dst));
+}
+
+void Network::Heal(NodeId src, NodeId dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.erase(MakeKey(src, dst));
+}
+
+void Network::SetNodeDown(NodeId id, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down) {
+    down_.insert(id);
+  } else {
+    down_.erase(id);
+  }
+}
+
+uint64_t Network::FlushDelayed() {
+  std::vector<std::pair<Channel*, Message>> due;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    due = CollectDueLocked(UINT64_MAX);
+  }
+  uint64_t delivered = 0;
+  for (auto& [ch, held] : due) {
+    if (ch->Push(std::move(held))) ++delivered;
+  }
+  return delivered;
+}
+
+uint64_t Network::messages_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_dropped_;
+}
+
+uint64_t Network::messages_delayed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_delayed_;
+}
+
+size_t Network::delayed_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delayed_.size();
 }
 
 uint64_t Network::duplicates_injected() const {

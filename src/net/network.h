@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "common/clock.h"
@@ -55,8 +56,23 @@ class Network : public transport::Transport {
     LinkModel link_model;
     /// Fault injection: probability that a sent message is delivered twice
     /// (models at-least-once transports that retransmit). Duplicates are
-    /// charged to the link metrics like any other transfer.
+    /// charged to the link metrics like any other transfer, and additionally
+    /// tagged in the `net.duplicates.*` per-link counters so parity checks
+    /// can subtract injected traffic.
     double duplicate_prob = 0;
+    /// Fault injection: probability that a sent message is silently lost in
+    /// transit (the sender still sees success). Lost messages are charged to
+    /// the wire (they travelled) and counted in `net.dropped{cause=loss}`.
+    double drop_prob = 0;
+    /// Fault injection: upper bound on the extra in-flight delay of a
+    /// message, in virtual microseconds (0 disables delaying). A delayed
+    /// message is held back and redelivered once the fabric's virtual clock
+    /// passes its due time — later sends on *any* link can overtake it, which
+    /// is how the fabric models reordering. `FlushDelayed` releases all
+    /// held messages at quiescence.
+    DurationUs delay_us_max = 0;
+    /// Probability that a message is delayed when `delay_us_max` > 0.
+    double delay_prob = 1.0;
     /// Seed for the fault-injection draw (deterministic runs).
     uint64_t fault_seed = 1;
     /// Metrics sink for the `transport.sent.*` instruments. When null, the
@@ -88,8 +104,41 @@ class Network : public transport::Transport {
 
   /// Delivers \p m to `m.dst`'s inbox (blocking under backpressure) and
   /// charges the (src, dst) link. Fails when the destination is unknown or
-  /// its inbox is closed.
+  /// its inbox is closed. Stamps a per-(src, dst) sequence number into
+  /// `m.seq` before delivery. Faults (loss, partition, down nodes) drop the
+  /// message *silently* — the sender still sees OK, exactly like a lost
+  /// datagram — and are tallied in the `net.dropped` counters.
   Status Send(Message m) override;
+
+  // --- fault injection -------------------------------------------------------
+
+  /// Blocks the directed link \p src -> \p dst: messages sent on it are
+  /// silently dropped (`net.dropped{cause=partition}`) until `Heal`. Block
+  /// both directions for a full partition.
+  void Partition(NodeId src, NodeId dst);
+
+  /// Unblocks the directed link \p src -> \p dst.
+  void Heal(NodeId src, NodeId dst);
+
+  /// Marks a node crashed (true) or recovered (false): while down, every
+  /// message to or from it is silently dropped
+  /// (`net.dropped{cause=node_down}`). The node's inbox survives, so a
+  /// restarted logic can reuse it.
+  void SetNodeDown(NodeId id, bool down);
+
+  /// Delivers every held-back (delayed) message in due order, regardless of
+  /// the virtual clock; returns how many were delivered. Drivers call this at
+  /// quiescence so a delayed message can never be lost, only reordered.
+  uint64_t FlushDelayed();
+
+  /// Messages silently dropped by fault injection so far (all causes).
+  uint64_t messages_dropped() const;
+
+  /// Messages that were held back for delayed redelivery so far.
+  uint64_t messages_delayed() const;
+
+  /// Held-back messages not yet redelivered.
+  size_t delayed_in_flight() const;
 
   /// Cumulative per-link traffic totals.
   struct LinkStats {
@@ -144,12 +193,32 @@ class Network : public transport::Transport {
   /// Charges \p m to the (src, dst) link and per-type counters (mu_ held).
   void ChargeLocked(const Message& m);
 
+  /// A held-back message awaiting redelivery.
+  struct Delayed {
+    uint64_t due_virtual_us = 0;
+    Message msg;
+  };
+
+  /// Counts a fault-dropped message (mu_ held). \p cause is a short label
+  /// ("loss", "partition", "node_down").
+  void CountDropLocked(const char* cause);
+
+  /// Pops every delayed message with due time <= \p horizon (mu_ held),
+  /// returning (inbox, message) pairs in due order; messages whose link went
+  /// down while they were in flight are dropped instead.
+  std::vector<std::pair<Channel*, Message>> CollectDueLocked(uint64_t horizon);
+
   const Clock* clock_;
   Options options_;
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry* registry_;
   /// Registry-backed per-link / per-type message, byte, and event counters.
   TrafficInstruments sent_;
+  /// Injected-duplicate traffic only (`net.duplicates.*`), so parity checks
+  /// can subtract it from the `transport.sent.*` totals.
+  TrafficInstruments dup_sent_;
+  obs::Counter* c_dropped_;
+  obs::Counter* c_delayed_;
   mutable std::mutex mu_;
   std::map<NodeId, std::unique_ptr<Channel>> inboxes_;
   std::vector<NodeId> order_;
@@ -157,6 +226,19 @@ class Network : public transport::Transport {
   std::map<LinkKey, double> transfer_us_;
   Rng fault_rng_{1};
   uint64_t duplicates_injected_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t messages_delayed_ = 0;
+  /// Per-(src, dst) next sequence number (1-based).
+  std::map<LinkKey, uint32_t> next_seq_;
+  /// Directed links currently partitioned.
+  std::set<LinkKey> partitions_;
+  /// Nodes currently crashed.
+  std::set<NodeId> down_;
+  /// Virtual in-flight clock: advances by the link model's base latency per
+  /// send, so delayed redelivery is deterministic and wall-clock free.
+  uint64_t virtual_now_us_ = 0;
+  /// Held-back messages keyed by due time (stable FIFO among equal keys).
+  std::multimap<uint64_t, Message> delayed_;
 
  public:
   /// Number of duplicate deliveries injected so far.

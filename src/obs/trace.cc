@@ -64,6 +64,7 @@ std::string TraceRecorder::ToJson() const {
     w.Field("emit_us", t.emit_us);
     w.Field("latency_us", t.latency_us);
     w.Field("clock_skew", t.clock_skew);
+    w.Field("degraded", t.degraded);
     out += w.Finish();
   }
   out += ']';

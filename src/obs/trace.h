@@ -33,6 +33,7 @@ struct WindowTrace {
   uint64_t emit_us = 0;              ///< merge/select finished, result emitted
   uint64_t latency_us = 0;           ///< emit - local close (clamped at 0)
   bool clock_skew = false;           ///< close stamp was ahead of root clock
+  bool degraded = false;             ///< best-effort emit after retries ran out
 };
 
 /// \brief Fixed-capacity ring of the most recent window traces.

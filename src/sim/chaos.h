@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/driver.h"
+#include "sim/topology.h"
+
+namespace dema::sim {
+
+/// \brief One scheduled node crash: the node goes down at the start of
+/// `at_window` and restarts (from its checkpoint) `down_windows` window
+/// boundaries later.
+struct CrashEvent {
+  NodeId node = 0;
+  net::WindowId at_window = 0;
+  uint64_t down_windows = 1;
+};
+
+/// \brief One scheduled directed-pair partition: both directions of the
+/// a <-> b link are blocked at the start of `from_window` and healed at the
+/// start of `until_window` (exclusive).
+struct PartitionEvent {
+  NodeId a = 0;
+  NodeId b = 0;
+  net::WindowId from_window = 0;
+  net::WindowId until_window = 0;
+};
+
+/// \brief A deterministic fault schedule for one chaos run: probabilistic
+/// message faults (drop / duplicate / delay, all driven by `seed`) plus
+/// scheduled crashes and partitions pinned to window boundaries. The same
+/// plan over the same workload replays the same faults.
+struct FaultPlan {
+  /// Per-message silent-loss probability.
+  double drop_prob = 0;
+  /// Per-message duplicate-delivery probability.
+  double duplicate_prob = 0;
+  /// Upper bound on injected in-flight delay (0 disables; delayed messages
+  /// are redelivered out of order).
+  DurationUs delay_us_max = 0;
+  /// Probability a message is delayed when `delay_us_max` > 0.
+  double delay_prob = 0.25;
+  /// Seed for every probabilistic fault draw.
+  uint64_t seed = 1;
+  std::vector<CrashEvent> crashes;
+  std::vector<PartitionEvent> partitions;
+  /// Root deadline machinery knobs (see `DemaRootNodeOptions`). The harness
+  /// ticks the root once per window boundary.
+  uint64_t deadline_ticks = 4;
+  uint32_t max_retries = 3;
+};
+
+/// \brief Parses a compact fault-schedule spec, e.g.
+/// `drop=0.03,dup=0.05,delay-us=1500,seed=7,crash=2@3+2,partition=1-0@2..4`.
+///
+/// Keys: `drop`, `dup`, `delay-us`, `delay-prob`, `seed`, `deadline`,
+/// `retries`, plus repeatable `crash=NODE@WINDOW[+DOWN]` and
+/// `partition=A-B@FROM..UNTIL`. Unknown keys fail.
+Result<FaultPlan> ParseFaultSchedule(const std::string& spec);
+
+/// \brief Per-window outcome of a chaos run, checked against an oracle over
+/// the events that were actually fed (a crashed node's events are lost at the
+/// source, so they are not part of the ground truth).
+struct ChaosWindowReport {
+  net::WindowId window_id = 0;
+  bool emitted = false;
+  bool degraded = false;
+  std::string degrade_cause;
+  uint64_t rank_error_bound = 0;
+  uint64_t global_size = 0;
+  /// Emitted values, parallel to the configured quantiles.
+  std::vector<double> values;
+  /// Oracle values over the fed events (empty window -> empty).
+  std::vector<double> oracle;
+  /// Exact (non-degraded) windows only: emitted values equal the oracle.
+  bool matches_oracle = false;
+};
+
+/// \brief Outcome of one chaos run.
+struct ChaosReport {
+  std::vector<ChaosWindowReport> windows;
+  uint64_t exact_windows = 0;
+  uint64_t degraded_windows = 0;
+  uint64_t mismatched_windows = 0;
+  uint64_t missing_windows = 0;
+  bool root_idle = false;
+  /// Fault-fabric accounting.
+  uint64_t messages_dropped = 0;
+  uint64_t duplicates_injected = 0;
+  uint64_t messages_delayed = 0;
+  uint64_t root_retries = 0;
+  uint64_t restarts = 0;
+  /// First invariant violation, empty when the run held the chaos contract:
+  /// every window emitted exactly-matching the oracle OR explicitly degraded
+  /// with a cause, and the root ended idle.
+  std::string violation;
+
+  bool Invariant() const { return violation.empty(); }
+};
+
+/// \brief Runs the Dema system (tumbling windows only) under \p plan,
+/// replaying the seeded fault schedule deterministically, and checks every
+/// window against the oracle. Crashed locals checkpoint at the boundary,
+/// lose their inbox and in-memory state, and restart from the checkpoint
+/// with a gamma re-sync.
+Result<ChaosReport> RunChaos(const SystemConfig& system_config,
+                             const WorkloadConfig& workload,
+                             const FaultPlan& plan);
+
+}  // namespace dema::sim

@@ -72,6 +72,11 @@ Status SyncDriver::PumpMessages() {
         progress = true;
       }
     }
+    if (!progress && network_->delayed_in_flight() > 0) {
+      // Every inbox drained but the fabric still holds delayed messages:
+      // quiescence means the delay has "elapsed", so release them.
+      progress = network_->FlushDelayed() > 0;
+    }
   }
   return Status::OK();
 }
@@ -282,7 +287,17 @@ Result<RunMetrics> ThreadedDriver::Run(const WorkloadConfig& workload) {
         return;
       }
       auto msg = inbox->PopFor(MillisUs(2));
-      if (!msg) continue;
+      if (!msg) {
+        // Idle beat: release any delayed fabric messages and let the root's
+        // deadline machinery inspect stalled windows (no-op by default).
+        network_->FlushDelayed();
+        Status tick = system_->root->Tick();
+        if (!tick.ok()) {
+          report_error(tick);
+          return;
+        }
+        continue;
+      }
       Status st = system_->root->OnMessage(*msg);
       if (!st.ok()) {
         report_error(st);

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/event.h"
@@ -21,6 +22,14 @@ struct WindowOutput {
   std::vector<double> values;
   /// Latency from the last local-window close to result emission.
   DurationUs latency_us = 0;
+  /// True when recovery was exhausted and the root emitted a best-effort
+  /// result from the data it held instead of the exact quantile.
+  bool degraded = false;
+  /// Why the window degraded (e.g. "replies_lost"); empty for exact windows.
+  std::string degrade_cause;
+  /// Degraded windows only: upper bound on how many ranks each emitted value
+  /// may be off by, relative to the events the root actually received.
+  uint64_t rank_error_bound = 0;
 };
 
 /// \brief Sink receiving every global-window result at the root.
@@ -65,6 +74,12 @@ class RootNodeLogic : public NodeLogic {
 
   /// True when no window is partially aggregated (all state resolved).
   virtual bool idle() const = 0;
+
+  /// Deadline tick: drivers call this at deterministic points (sim window
+  /// boundaries, run-loop timeouts) so the root can notice stalled windows,
+  /// retry candidate requests, and eventually degrade instead of waiting
+  /// forever. Default: no deadline machinery.
+  virtual Status Tick() { return Status::OK(); }
 };
 
 }  // namespace dema::sim

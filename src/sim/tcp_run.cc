@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "dema/local_node.h"
 #include "dema/root_node.h"
+#include "net/serializer.h"
 #include "stream/window.h"
 
 namespace dema::sim {
@@ -42,6 +44,45 @@ void MergeByType(const std::map<net::MessageType, net::TrafficCounters>& in,
     slot.bytes += counters.bytes;
     slot.events += counters.events;
   }
+}
+
+/// Writes \p bytes to \p path via a temp file + rename, so a crash mid-write
+/// never leaves a truncated checkpoint behind.
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path + ": " + std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::Internal("read error on " + path);
+  return bytes;
 }
 
 net::Message ShutdownMessage(NodeId src, NodeId dst) {
@@ -117,7 +158,17 @@ Result<RunMetrics> RunTcpRoot(const SystemConfig& config,
       break;
     }
     auto msg = inbox->PopFor(MillisUs(2));
-    if (!msg) continue;
+    if (!msg) {
+      // Idle beat: with deadlines configured the root retries stalled
+      // windows (e.g. requests that died with a crashed local) and
+      // eventually degrades them; a no-op otherwise.
+      Status st = root->Tick();
+      if (!st.ok()) {
+        run_status = st;
+        break;
+      }
+      continue;
+    }
     if (msg->type == net::MessageType::kShutdown) continue;
     Status st = root->OnMessage(*msg);
     if (!st.ok()) {
@@ -170,6 +221,7 @@ Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
   transport::TcpTransportOptions topts;
   topts.listen = false;  // pure client: replies arrive over the dialed conn
   topts.registry = config.registry;
+  topts.seq_epoch = options.seq_epoch;
   transport::TcpTransport transport(topts);
   DEMA_RETURN_NOT_OK(transport.AddLocalNode(id));
   DEMA_RETURN_NOT_OK(transport.AddPeer(0, options.root_host, options.root_port));
@@ -178,6 +230,30 @@ Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
   DEMA_ASSIGN_OR_RETURN(auto logic, BuildLocalLogic(config, id, &transport, &clock));
   DEMA_ASSIGN_OR_RETURN(auto gen,
                         gen::StreamGenerator::Create(workload.generators[id - 1]));
+
+  const bool uses_faults = !options.checkpoint_path.empty() ||
+                           !options.restore_path.empty() ||
+                           options.crash_at_window > 0;
+  auto* dema_local = dynamic_cast<core::DemaLocalNode*>(logic.get());
+  if (uses_faults && dema_local == nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint/restore/crash options require the Dema protocol");
+  }
+
+  // Relaunch path: replace the blank node state with the checkpoint snapshot,
+  // re-learn the slice factor from the root, and fast-forward the (fully
+  // deterministic) generator past everything the previous life ingested.
+  TimestampUs resume_cutoff_us = 0;
+  if (!options.restore_path.empty()) {
+    DEMA_ASSIGN_OR_RETURN(auto bytes, ReadFileBytes(options.restore_path));
+    net::Reader reader(bytes);
+    uint64_t cutoff_raw = 0;
+    DEMA_RETURN_NOT_OK(reader.GetU64(&cutoff_raw));
+    resume_cutoff_us = static_cast<TimestampUs>(cutoff_raw);
+    DEMA_RETURN_NOT_OK(dema_local->Restore(&reader));
+    DEMA_RETURN_NOT_OK(dema_local->ResyncGamma());
+    while (gen->next_time_us() < resume_cutoff_us) (void)gen->Next();
+  }
 
   net::Channel* inbox = transport.Inbox(id);
   stream::TumblingWindowAssigner assigner(workload.window_len_us);
@@ -205,6 +281,24 @@ Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
       run_status = logic->OnWatermark(e.timestamp);
       if (!run_status.ok()) break;
       last_window = wid;
+      if (!options.checkpoint_path.empty()) {
+        // Snapshot at the boundary, before any event of window `wid` is
+        // ingested. The cutoff is the window start: a restored life skips
+        // every regenerated event before it and re-feeds `e`, which the
+        // restored watermark (== e.timestamp) accepts as on-time.
+        net::Writer w;
+        w.PutU64(static_cast<uint64_t>(wid) * workload.window_len_us);
+        dema_local->Checkpoint(&w);
+        run_status = WriteFileAtomic(options.checkpoint_path, w.buffer());
+        if (!run_status.ok()) break;
+      }
+      if (options.crash_at_window > 0 && wid >= options.crash_at_window) {
+        // Simulated hard crash: synopses already handed to the transport may
+        // or may not reach the root (Shutdown flushes what it can); the
+        // in-memory node state is simply gone.
+        transport.Shutdown();
+        ::_exit(kTcpCrashExitCode);
+      }
     }
     run_status = logic->OnEvent(e);
     if (!run_status.ok()) break;
@@ -219,7 +313,12 @@ Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
       if (!run_status.ok()) break;
     }
   }
-  report.events_ingested = count;
+  // A restored life reports its lifetime total (the checkpoint carries the
+  // previous life's count), so the cluster-wide sum stays comparable to a
+  // fault-free run.
+  report.events_ingested = (dema_local != nullptr && !options.restore_path.empty())
+                               ? dema_local->events_ingested()
+                               : count;
   if (run_status.ok() && !shutdown_received) {
     run_status = logic->OnFinish(end_time);
   }
@@ -246,9 +345,31 @@ Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
 Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
                                        const WorkloadConfig& workload,
                                        const std::string& host, uint16_t port) {
+  return RunTcpClusterForked(config, workload, TcpClusterFaultOptions{}, host,
+                             port);
+}
+
+Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
+                                       const WorkloadConfig& workload,
+                                       const TcpClusterFaultOptions& fault,
+                                       const std::string& host, uint16_t port) {
   DEMA_RETURN_NOT_OK(ValidateSystemConfig(config));
   if (workload.generators.size() != config.num_locals) {
     return Status::InvalidArgument("generator count != local node count");
+  }
+  if (fault.crash_node > 0) {
+    if (fault.crash_node > config.num_locals) {
+      return Status::InvalidArgument("crash_node is not a local node");
+    }
+    if (fault.crash_at_window == 0 || fault.checkpoint_dir.empty()) {
+      return Status::InvalidArgument(
+          "a crash needs crash_at_window > 0 and a checkpoint_dir");
+    }
+    if (config.root_deadline_ticks == 0) {
+      return Status::InvalidArgument(
+          "crash recovery needs root_deadline_ticks > 0: the root must retry "
+          "candidate requests that died with the crashed process");
+    }
   }
 
   // Bind before forking: children dial a port guaranteed to be accepting,
@@ -291,11 +412,65 @@ Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
       // Child: run one local node and report back over the pipe.
       ::close(listen_fd);
       ::close(pipe_fds[0]);
+      const NodeId node = static_cast<NodeId>(i + 1);
+      if (node == fault.crash_node) {
+        // Victim child: a still-single-threaded supervisor forks generation 1
+        // (which checkpoints every boundary and `_exit`s at the scheduled
+        // window), reaps it, then relaunches generation 2 in this process
+        // from the checkpoint with a fresh sequence epoch.
+        std::string ckpt =
+            fault.checkpoint_dir + "/node" + std::to_string(node) + ".ckpt";
+        pid_t gen1 = ::fork();
+        if (gen1 < 0) {
+          ::dprintf(pipe_fds[1], "error victim fork failed: %s\n",
+                    std::strerror(errno));
+          ::close(pipe_fds[1]);
+          ::_exit(1);
+        }
+        if (gen1 == 0) {
+          ::close(pipe_fds[1]);
+          TcpLocalOptions lopts;
+          lopts.root_host = host;
+          lopts.root_port = actual_port;
+          lopts.checkpoint_path = ckpt;
+          lopts.crash_at_window = fault.crash_at_window;
+          auto report = RunTcpLocal(config, workload, node, lopts);
+          // Reaching here means the crash never fired (e.g. the schedule was
+          // past the last window) — that is a test-setup failure.
+          (void)report;
+          ::_exit(1);
+        }
+        int wstatus = 0;
+        ::waitpid(gen1, &wstatus, 0);
+        if (!(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == kTcpCrashExitCode)) {
+          ::dprintf(pipe_fds[1],
+                    "error victim generation 1 exited %d instead of crashing "
+                    "on schedule\n",
+                    WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1);
+          ::close(pipe_fds[1]);
+          ::_exit(1);
+        }
+        TcpLocalOptions lopts;
+        lopts.root_host = host;
+        lopts.root_port = actual_port;
+        lopts.restore_path = ckpt;
+        lopts.seq_epoch = 1;
+        auto report = RunTcpLocal(config, workload, node, lopts);
+        if (report.ok()) {
+          // Lifetime total: the checkpoint carried generation 1's count.
+          ::dprintf(pipe_fds[1], "ok events=%llu\n",
+                    static_cast<unsigned long long>(report->events_ingested));
+        } else {
+          ::dprintf(pipe_fds[1], "error %s\n",
+                    report.status().ToString().c_str());
+        }
+        ::close(pipe_fds[1]);
+        ::_exit(report.ok() ? 0 : 1);
+      }
       TcpLocalOptions lopts;
       lopts.root_host = host;
       lopts.root_port = actual_port;
-      auto report = RunTcpLocal(config, workload, static_cast<NodeId>(i + 1),
-                                lopts);
+      auto report = RunTcpLocal(config, workload, node, lopts);
       if (report.ok()) {
         ::dprintf(pipe_fds[1], "ok events=%llu\n",
                   static_cast<unsigned long long>(report->events_ingested));

@@ -38,6 +38,11 @@ struct TcpRootOptions {
   std::function<void(const WindowOutput&)> on_result;
 };
 
+/// \brief Exit code of a TCP local process that crashed on schedule
+/// (`TcpLocalOptions::crash_at_window`). The supervisor distinguishes it
+/// from real failures before relaunching.
+inline constexpr int kTcpCrashExitCode = 61;
+
 /// \brief Options for a TCP local-node process / thread.
 struct TcpLocalOptions {
   /// Root address to dial.
@@ -47,6 +52,20 @@ struct TcpLocalOptions {
   DurationUs timeout_us = 120 * kMicrosPerSecond;
   /// Hand watermarks to the logic every this many events.
   size_t watermark_every = 4096;
+  /// When non-empty (Dema only): write a checkpoint snapshot of the node
+  /// state to this path at every window boundary (atomic rename).
+  std::string checkpoint_path;
+  /// When non-empty (Dema only): restore the node from this checkpoint
+  /// before streaming, re-sync γ with the root, and skip regenerated events
+  /// the previous life already ingested.
+  std::string restore_path;
+  /// When > 0: simulate a process crash at the boundary of this window id —
+  /// flush the transport (synopses already queued still reach the root) and
+  /// `_exit(kTcpCrashExitCode)` without any cleanup.
+  net::WindowId crash_at_window = 0;
+  /// Sequence-number epoch for the transport; a relaunched process must use
+  /// a fresh epoch so the root's dedup window does not swallow its stream.
+  uint32_t seq_epoch = 0;
 };
 
 /// \brief What a local node measured during a TCP run.
@@ -84,6 +103,29 @@ Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
 /// Must be called before this process creates any threads (it forks).
 Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
                                        const WorkloadConfig& workload,
+                                       const std::string& host = "127.0.0.1",
+                                       uint16_t port = 0);
+
+/// \brief Fault injection for `RunTcpClusterForked`: kill one local process
+/// mid-run and relaunch it from its checkpoint.
+struct TcpClusterFaultOptions {
+  /// Local node to crash (0 = no crash).
+  NodeId crash_node = 0;
+  /// Window boundary at which the victim `_exit`s.
+  net::WindowId crash_at_window = 0;
+  /// Directory for the victim's checkpoint file (must exist).
+  std::string checkpoint_dir;
+};
+
+/// \brief Like `RunTcpClusterForked`, but the victim's child is a
+/// single-threaded supervisor that forks generation 1 (checkpointing, crashes
+/// at the scheduled window), reaps it, and relaunches generation 2 from the
+/// checkpoint with a fresh sequence epoch. The root needs
+/// `root_deadline_ticks` > 0 to retry candidate requests that died with
+/// generation 1.
+Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
+                                       const WorkloadConfig& workload,
+                                       const TcpClusterFaultOptions& fault,
                                        const std::string& host = "127.0.0.1",
                                        uint16_t port = 0);
 

@@ -76,6 +76,8 @@ Result<std::unique_ptr<RootNodeLogic>> BuildRootLogic(
       opts.adaptive_gamma = config.adaptive_gamma;
       opts.per_node_gamma = config.per_node_gamma;
       opts.use_naive_selection = config.naive_selection;
+      opts.deadline_ticks = config.root_deadline_ticks;
+      opts.max_retries = config.root_max_retries;
       opts.registry = config.registry;
       opts.tracer = config.tracer;
       return std::unique_ptr<RootNodeLogic>(

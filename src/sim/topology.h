@@ -59,6 +59,14 @@ struct SystemConfig {
   bool per_node_gamma = false;
   bool naive_selection = false;  // ablation: window-cut off
 
+  // --- fault tolerance (Dema root deadline machinery) ---
+  /// Per-window progress deadline in root `Tick()` calls; 0 disables (legacy
+  /// wait-forever behavior). Drivers tick at window boundaries (sim) or
+  /// run-loop timeouts (TCP).
+  uint64_t root_deadline_ticks = 0;
+  /// Candidate-request retry budget per window before degrading.
+  uint32_t root_max_retries = 3;
+
   /// How Dema local nodes keep windows sorted: sort-on-close (default,
   /// fastest) or the paper's incremental insertion.
   stream::SortMode sort_mode = stream::SortMode::kSortOnClose;

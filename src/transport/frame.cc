@@ -16,6 +16,7 @@ bool IsKnownMessageType(uint16_t raw) {
     case net::MessageType::kSketchSummary:
     case net::MessageType::kShutdown:
     case net::MessageType::kTimeAdvance:
+    case net::MessageType::kGammaSyncRequest:
       return true;
   }
   return false;
@@ -26,6 +27,7 @@ void EncodeFrame(const net::Message& m, std::vector<uint8_t>* out) {
   w.PutU16(static_cast<uint16_t>(m.type));
   w.PutU32(m.src);
   w.PutU32(m.dst);
+  w.PutU32(m.seq);
   w.PutU32(static_cast<uint32_t>(m.payload.size()));
   static_assert(sizeof(NodeId) == sizeof(uint32_t),
                 "frame header encodes NodeId as u32; widen the fields and "
@@ -43,6 +45,7 @@ Status DecodeFrameHeader(const uint8_t* data, size_t size, uint32_t max_payload,
   DEMA_RETURN_NOT_OK(r.GetU16(&raw_type));
   DEMA_RETURN_NOT_OK(r.GetU32(&out->src));
   DEMA_RETURN_NOT_OK(r.GetU32(&out->dst));
+  DEMA_RETURN_NOT_OK(r.GetU32(&out->seq));
   DEMA_RETURN_NOT_OK(r.GetU32(&out->payload_size));
   if (!IsKnownMessageType(raw_type)) {
     return Status::SerializationError("frame with unknown message type " +

@@ -12,7 +12,7 @@ namespace dema::transport {
 ///
 /// A frame is exactly the simulated envelope followed by the payload:
 ///
-///   u16 type | u32 src | u32 dst | u32 payload_size | payload bytes
+///   u16 type | u32 src | u32 dst | u32 seq | u32 payload_size | payload bytes
 ///
 /// so a frame occupies `Message::WireBytes()` bytes on the socket — the TCP
 /// transport's measured per-link byte counters are directly comparable to
@@ -26,6 +26,7 @@ struct FrameHeader {
   net::MessageType type = net::MessageType::kShutdown;
   NodeId src = 0;
   NodeId dst = 0;
+  uint32_t seq = 0;
   uint32_t payload_size = 0;
 };
 

@@ -154,7 +154,10 @@ TcpTransport::TcpTransport(TcpTransportOptions options)
       registry_(options_.registry == nullptr ? owned_registry_.get()
                                              : options_.registry),
       sent_(registry_, "transport.sent"),
-      recv_(registry_, "transport.recv") {}
+      recv_(registry_, "transport.recv"),
+      jitter_rng_(options_.dial_jitter_seed != 0
+                      ? options_.dial_jitter_seed
+                      : static_cast<uint64_t>(::getpid()) * 2654435761u + 1) {}
 
 TcpTransport::~TcpTransport() { Shutdown(); }
 
@@ -214,10 +217,17 @@ net::Channel* TcpTransport::Inbox(NodeId id) {
   return it == inboxes_.end() ? nullptr : it->second.get();
 }
 
+uint32_t TcpTransport::NextSeqFor(NodeId dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t n = ++next_seq_[dst];
+  return (options_.seq_epoch << 24) | (n & 0x00FFFFFFu);
+}
+
 Status TcpTransport::Send(net::Message m) {
   if (stopped_.load(std::memory_order_relaxed)) {
     return Status::NetworkError("transport is shut down");
   }
+  m.seq = NextSeqFor(m.dst);
   net::Channel* local = Inbox(m.dst);
   if (local != nullptr) {
     // Loopback to a node hosted in this process: no socket involved; charge
@@ -281,7 +291,15 @@ Result<int> TcpTransport::DialWithRetry(const std::string& host, uint16_t port) 
   for (int attempt = 0; attempt < options_.connect_attempts; ++attempt) {
     if (stopped_.load()) return Status::NetworkError("transport is shut down");
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      // Jitter the sleep so many dialers retrying against one freshly
+      // restarted acceptor spread out instead of arriving in lockstep.
+      DurationUs sleep_us = backoff;
+      {
+        std::lock_guard<std::mutex> lock(jitter_mu_);
+        sleep_us = static_cast<DurationUs>(jitter_rng_.Uniform(
+            static_cast<double>(backoff) / 2, static_cast<double>(backoff)));
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
       backoff = std::min<DurationUs>(backoff * 2, options_.connect_backoff_max_us);
     }
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -396,6 +414,7 @@ void TcpTransport::ReaderLoop(Conn* conn, bool expect_hello) {
     m.type = h.type;
     m.src = h.src;
     m.dst = h.dst;
+    m.seq = h.seq;
     m.payload.resize(h.payload_size);
     st = ReadFull(conn->fd, m.payload.data(), h.payload_size, stopped_, &eof);
     if (!st.ok() || (eof && h.payload_size > 0)) {

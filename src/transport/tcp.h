@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "common/time.h"
 #include "net/channel.h"
 #include "net/message.h"
@@ -46,10 +47,20 @@ struct TcpTransportOptions {
   size_t inbox_capacity = 0;
   /// Connection attempts before a dial fails (the peer may start later).
   int connect_attempts = 30;
-  /// First retry delay; doubles per attempt up to the cap below.
+  /// First retry delay; doubles per attempt up to the cap below. The actual
+  /// sleep is jittered uniformly in [delay/2, delay] so a whole cluster
+  /// reconnecting to a restarted root does not thundering-herd it.
   DurationUs connect_backoff_initial_us = MillisUs(10);
   /// Retry delay cap.
   DurationUs connect_backoff_max_us = MillisUs(1000);
+  /// Seed for the dial-backoff jitter draw; 0 derives one from the pid so
+  /// forked processes naturally de-synchronize.
+  uint64_t dial_jitter_seed = 0;
+  /// Sequence-number epoch, occupying the top 8 bits of every stamped
+  /// `Message::seq`. A restarted process must use a fresh epoch so its new
+  /// 1-based stream does not collide with its previous life's numbers inside
+  /// receivers' dedup windows.
+  uint32_t seq_epoch = 0;
   /// Socket send/receive timeout. Blocked I/O wakes at this granularity to
   /// notice shutdown; it is not a hard deadline on a transfer.
   DurationUs io_timeout_us = MillisUs(200);
@@ -140,6 +151,9 @@ class TcpTransport final : public Transport {
     std::atomic<bool> dead{false};
   };
 
+  /// Stamps the next per-destination sequence number (epoch in the top 8
+  /// bits, a 1-based 24-bit counter below).
+  uint32_t NextSeqFor(NodeId dst);
   /// Route to \p dst: an existing live connection, else a lazy dial of the
   /// configured peer address.
   Result<Conn*> ConnFor(NodeId dst);
@@ -174,6 +188,11 @@ class TcpTransport final : public Transport {
   /// Live route per remote node: configured (dialed) or learned (hello).
   std::map<NodeId, Conn*> routes_;
   std::vector<std::unique_ptr<Conn>> conns_;
+  /// Per-destination sequence counters (guarded by mu_).
+  std::map<NodeId, uint32_t> next_seq_;
+  /// Dial-backoff jitter draw (own mutex: dialing happens outside mu_).
+  std::mutex jitter_mu_;
+  Rng jitter_rng_;
 };
 
 }  // namespace dema::transport

@@ -1,0 +1,156 @@
+// Chaos-harness tests: a seeded fault schedule must replay deterministically,
+// and every window of a faulty run must either match the oracle exactly or be
+// explicitly degraded with a cause — never silently wrong or missing.
+
+#include <gtest/gtest.h>
+
+#include "sim/chaos.h"
+#include "sim/driver.h"
+#include "sim/topology.h"
+
+namespace dema::sim {
+namespace {
+
+SystemConfig ChaosConfig(size_t locals = 2) {
+  SystemConfig config;
+  config.kind = SystemKind::kDema;
+  config.num_locals = locals;
+  config.gamma = 64;
+  config.quantiles = {0.5, 0.9};
+  return config;
+}
+
+WorkloadConfig ChaosWorkload(const SystemConfig& config, uint64_t windows = 5,
+                             double rate = 2000) {
+  gen::DistributionParams dist;
+  dist.kind = gen::DistributionKind::kUniform;
+  dist.lo = 0;
+  dist.hi = 1000;
+  WorkloadConfig load =
+      MakeUniformWorkload(config.num_locals, windows, rate, dist);
+  load.window_len_us = config.window_len_us;
+  return load;
+}
+
+// --- spec parsing -----------------------------------------------------------
+
+TEST(FaultScheduleSpec, ParsesEveryKey) {
+  auto plan = ParseFaultSchedule(
+      "drop=0.03,dup=0.05,delay-us=1500,delay-prob=0.4,seed=7,deadline=2,"
+      "retries=5,crash=2@3+2,partition=1-0@2..4");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_DOUBLE_EQ(plan->drop_prob, 0.03);
+  EXPECT_DOUBLE_EQ(plan->duplicate_prob, 0.05);
+  EXPECT_EQ(plan->delay_us_max, 1500);
+  EXPECT_DOUBLE_EQ(plan->delay_prob, 0.4);
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_EQ(plan->deadline_ticks, 2u);
+  EXPECT_EQ(plan->max_retries, 5u);
+  ASSERT_EQ(plan->crashes.size(), 1u);
+  EXPECT_EQ(plan->crashes[0].node, 2u);
+  EXPECT_EQ(plan->crashes[0].at_window, 3u);
+  EXPECT_EQ(plan->crashes[0].down_windows, 2u);
+  ASSERT_EQ(plan->partitions.size(), 1u);
+  EXPECT_EQ(plan->partitions[0].a, 1u);
+  EXPECT_EQ(plan->partitions[0].b, 0u);
+  EXPECT_EQ(plan->partitions[0].from_window, 2u);
+  EXPECT_EQ(plan->partitions[0].until_window, 4u);
+}
+
+TEST(FaultScheduleSpec, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFaultSchedule("bogus=1").ok());
+  EXPECT_FALSE(ParseFaultSchedule("drop=1.5").ok());   // probability >= 1
+  EXPECT_FALSE(ParseFaultSchedule("drop=nope").ok());
+  EXPECT_FALSE(ParseFaultSchedule("crash=1").ok());    // missing @WINDOW
+  EXPECT_FALSE(ParseFaultSchedule("crash=1@2+0").ok());  // zero downtime
+  EXPECT_FALSE(ParseFaultSchedule("partition=1-0@4..2").ok());  // until<=from
+}
+
+// --- invariants -------------------------------------------------------------
+
+TEST(Chaos, FaultFreeRunIsAllExact) {
+  SystemConfig config = ChaosConfig();
+  FaultPlan plan;  // no probabilistic faults, no crashes
+  auto report = RunChaos(config, ChaosWorkload(config), plan);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->Invariant()) << report->violation;
+  EXPECT_EQ(report->exact_windows, 5u);
+  EXPECT_EQ(report->degraded_windows, 0u);
+  EXPECT_EQ(report->messages_dropped, 0u);
+}
+
+TEST(Chaos, SeededScheduleReplaysIdentically) {
+  SystemConfig config = ChaosConfig(3);
+  auto plan = ParseFaultSchedule(
+      "drop=0.05,dup=0.05,delay-us=2000,seed=11,crash=1@2+1,partition=2-0@3..4");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  WorkloadConfig load = ChaosWorkload(config, /*windows=*/6);
+
+  auto first = RunChaos(config, load, *plan);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(first->Invariant()) << first->violation;
+  EXPECT_EQ(first->restarts, 1u);
+
+  auto second = RunChaos(config, load, *plan);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_EQ(first->windows.size(), second->windows.size());
+  for (size_t i = 0; i < first->windows.size(); ++i) {
+    const ChaosWindowReport& a = first->windows[i];
+    const ChaosWindowReport& b = second->windows[i];
+    EXPECT_EQ(a.emitted, b.emitted) << "window " << a.window_id;
+    EXPECT_EQ(a.degraded, b.degraded) << "window " << a.window_id;
+    EXPECT_EQ(a.degrade_cause, b.degrade_cause) << "window " << a.window_id;
+    EXPECT_EQ(a.rank_error_bound, b.rank_error_bound) << "window " << a.window_id;
+    EXPECT_EQ(a.global_size, b.global_size) << "window " << a.window_id;
+    EXPECT_EQ(a.values, b.values) << "window " << a.window_id;
+  }
+  EXPECT_EQ(first->messages_dropped, second->messages_dropped);
+  EXPECT_EQ(first->duplicates_injected, second->duplicates_injected);
+  EXPECT_EQ(first->messages_delayed, second->messages_delayed);
+  EXPECT_EQ(first->root_retries, second->root_retries);
+}
+
+TEST(Chaos, HeavyLossDegradesExplicitlyInsteadOfStalling) {
+  SystemConfig config = ChaosConfig();
+  auto plan = ParseFaultSchedule("drop=0.3,seed=3,deadline=2,retries=3");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto report = RunChaos(config, ChaosWorkload(config), *plan);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // The contract under loss: no silent stalls, no wrong answers.
+  EXPECT_TRUE(report->Invariant()) << report->violation;
+  EXPECT_EQ(report->missing_windows, 0u);
+  EXPECT_EQ(report->mismatched_windows, 0u);
+  EXPECT_GT(report->messages_dropped, 0u);
+  // With this seed, synopsis losses are unrecoverable: windows degrade, each
+  // carrying a cause and a rank-error bound.
+  EXPECT_GT(report->degraded_windows, 0u);
+  for (const ChaosWindowReport& w : report->windows) {
+    if (!w.degraded) continue;
+    EXPECT_FALSE(w.degrade_cause.empty()) << "window " << w.window_id;
+    EXPECT_GT(w.rank_error_bound, 0u) << "window " << w.window_id;
+  }
+}
+
+TEST(Chaos, CrashedNodeRecoversFromCheckpoint) {
+  SystemConfig config = ChaosConfig(3);
+  auto plan = ParseFaultSchedule("crash=2@2+2,seed=5");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto report = RunChaos(config, ChaosWorkload(config, /*windows=*/6), *plan);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->Invariant()) << report->violation;
+  EXPECT_EQ(report->restarts, 1u);
+  // The oracle covers only fed events, so windows during the outage compare
+  // against the two surviving nodes — every window must still be exact (no
+  // messages were lost, only a node's source stream).
+  EXPECT_EQ(report->exact_windows, 6u);
+}
+
+TEST(Chaos, RejectsNonDemaSystems) {
+  SystemConfig config = ChaosConfig();
+  config.kind = SystemKind::kCentralExact;
+  FaultPlan plan;
+  EXPECT_FALSE(RunChaos(config, ChaosWorkload(config), plan).ok());
+}
+
+}  // namespace
+}  // namespace dema::sim

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "common/rng.h"
 #include "dema/local_node.h"
 #include "dema/protocol.h"
 #include "net/network.h"
@@ -177,6 +178,52 @@ TEST_F(CheckpointTest, HistoricWindowsUseOldestKnownGammaAfterPruning) {
   ASSERT_TRUE(restored.Restore(&r).ok());
   EXPECT_EQ(restored.GammaForWindow(1), 4u);
   EXPECT_EQ(restored.GammaForWindow(7), 50u);
+}
+
+TEST_F(CheckpointTest, GammaScheduleSurvivesRestoreUnderRandomPruning) {
+  // Property-style: whatever mix of gamma updates and watermark advances
+  // (which prune the schedule) a node has seen, GammaForWindow must answer
+  // identically after a checkpoint/restore round trip — including the
+  // oldest-known fallback for historic windows whose entries were pruned.
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    DemaLocalNode node(Options(), network_.get(), &clock_);
+    net::WindowId frontier = 0;
+    for (int step = 0; step < 30; ++step) {
+      if (rng.Bernoulli(0.5)) {
+        GammaUpdate update;
+        update.effective_from =
+            frontier + static_cast<net::WindowId>(rng.UniformInt(0, 10));
+        update.gamma = static_cast<uint64_t>(2 + rng.UniformInt(0, 100));
+        ASSERT_TRUE(node.OnMessage(net::MakeMessage(
+                            net::MessageType::kGammaUpdate, 0, 1, update))
+                        .ok());
+      } else {
+        frontier += static_cast<net::WindowId>(rng.UniformInt(0, 3));
+        ASSERT_TRUE(
+            node.OnWatermark(static_cast<TimestampUs>(frontier) * SecondsUs(1))
+                .ok());
+      }
+    }
+    DrainSynopses();
+
+    std::vector<uint64_t> expected;
+    for (net::WindowId wid = 0; wid <= 60; ++wid) {
+      expected.push_back(node.GammaForWindow(wid));
+    }
+    net::Writer w;
+    node.Checkpoint(&w);
+    // A different configured gamma must not leak into restored answers.
+    DemaLocalNodeOptions other = Options();
+    other.initial_gamma = 97;
+    DemaLocalNode restored(other, network_.get(), &clock_);
+    net::Reader r(w.buffer());
+    ASSERT_TRUE(restored.Restore(&r).ok());
+    for (net::WindowId wid = 0; wid <= 60; ++wid) {
+      EXPECT_EQ(restored.GammaForWindow(wid), expected[wid])
+          << "seed=" << seed << " window=" << wid;
+    }
+  }
 }
 
 TEST_F(CheckpointTest, RejectsForeignBlobs) {

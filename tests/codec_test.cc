@@ -380,12 +380,11 @@ TEST(PayloadRobustness, CorruptFrameHeadersRejected) {
   EXPECT_FALSE(transport::DecodeFrameHeader(bad_type.data(), bad_type.size(),
                                             1 << 20, &header)
                    .ok());
-  // A corrupt length prefix must not drive a huge allocation.
+  // A corrupt length prefix must not drive a huge allocation. The length is
+  // the last header field, directly before the payload.
   std::vector<uint8_t> bad_len = frame;
-  bad_len[10] = 0xFF;
-  bad_len[11] = 0xFF;
-  bad_len[12] = 0xFF;
-  bad_len[13] = 0xFF;
+  const size_t len_off = transport::kFrameHeaderBytes - sizeof(uint32_t);
+  for (size_t i = 0; i < sizeof(uint32_t); ++i) bad_len[len_off + i] = 0xFF;
   EXPECT_FALSE(transport::DecodeFrameHeader(bad_len.data(), bad_len.size(),
                                             1 << 20, &header)
                    .ok());

@@ -190,6 +190,145 @@ TEST(SendFailure, RetainedWindowSurvivesFailedCandidateReply) {
   EXPECT_EQ(local.retained_windows(), 0u);
 }
 
+// --- root deadlines: retry and degradation ----------------------------------
+
+/// Pumps one root + one local by hand so individual protocol messages can be
+/// dropped at exact points. Returns the popped message, if any.
+std::optional<net::Message> PopFrom(net::Network* net, NodeId id) {
+  return net->Inbox(id)->TryPop();
+}
+
+struct DeadlineRig {
+  RealClock clock;
+  net::Network network;
+  core::DemaRootNode root;
+  core::DemaLocalNode local;
+  std::vector<sim::WindowOutput> outputs;
+
+  DeadlineRig(uint64_t deadline_ticks, uint32_t max_retries)
+      : network(&clock),
+        root(MakeRootOpts(deadline_ticks, max_retries), &network, &clock),
+        local(MakeLocalOpts(), &network, &clock) {
+    EXPECT_TRUE(network.RegisterNode(0).ok());
+    EXPECT_TRUE(network.RegisterNode(1).ok());
+    root.SetResultCallback([this](const sim::WindowOutput& out) {
+      outputs.push_back(out);
+    });
+  }
+
+  static core::DemaRootNodeOptions MakeRootOpts(uint64_t deadline_ticks,
+                                                uint32_t max_retries) {
+    core::DemaRootNodeOptions o;
+    o.locals = {1};
+    o.quantiles = {0.5};
+    o.deadline_ticks = deadline_ticks;
+    o.max_retries = max_retries;
+    return o;
+  }
+
+  static core::DemaLocalNodeOptions MakeLocalOpts() {
+    core::DemaLocalNodeOptions o;
+    o.id = 1;
+    o.root_id = 0;
+    o.window_len_us = SecondsUs(1);
+    o.initial_gamma = 4;
+    return o;
+  }
+
+  /// Ingests 4 events into window 0 and closes it (synopsis goes to node 0).
+  void FillWindowZero() {
+    for (uint32_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(local.OnEvent(Event{i * 10.0, 100 + i, 1, i}).ok());
+    }
+    ASSERT_TRUE(local.OnWatermark(SecondsUs(1)).ok());
+  }
+};
+
+TEST(RootDeadlines, RetriesCandidateRequestAfterLostReply) {
+  DeadlineRig rig(/*deadline_ticks=*/1, /*max_retries=*/3);
+  rig.FillWindowZero();
+
+  auto synopsis = PopFrom(&rig.network, 0);
+  ASSERT_TRUE(synopsis.has_value());
+  ASSERT_TRUE(rig.root.OnMessage(*synopsis).ok());  // root sends the request
+
+  auto request = PopFrom(&rig.network, 1);
+  ASSERT_TRUE(request.has_value());
+  ASSERT_TRUE(rig.local.OnMessage(*request).ok());  // local replies
+  auto lost_reply = PopFrom(&rig.network, 0);       // ...and we drop the reply
+  ASSERT_TRUE(lost_reply.has_value());
+  EXPECT_EQ(lost_reply->type, net::MessageType::kCandidateReply);
+
+  // The deadline passes: the root must resend the request, not stall.
+  ASSERT_TRUE(rig.root.Tick().ok());
+  ASSERT_TRUE(rig.root.Tick().ok());
+  auto retry = PopFrom(&rig.network, 1);
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->type, net::MessageType::kCandidateRequest);
+  EXPECT_EQ(rig.root.stats().retries, 1u);
+
+  // The local re-serves the window (it kept a served copy), and the window
+  // completes exactly.
+  ASSERT_TRUE(rig.local.OnMessage(*retry).ok());
+  auto reply = PopFrom(&rig.network, 0);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_TRUE(rig.root.OnMessage(*reply).ok());
+  ASSERT_EQ(rig.outputs.size(), 1u);
+  EXPECT_FALSE(rig.outputs[0].degraded);
+  EXPECT_EQ(rig.outputs[0].global_size, 4u);
+  EXPECT_DOUBLE_EQ(rig.outputs[0].values[0], 10.0);  // median of {0,10,20,30}
+  EXPECT_EQ(rig.root.stats().degraded_windows, 0u);
+}
+
+TEST(RootDeadlines, ExhaustedRetriesDegradeWithCauseAndBound) {
+  DeadlineRig rig(/*deadline_ticks=*/1, /*max_retries=*/1);
+  rig.FillWindowZero();
+
+  auto synopsis = PopFrom(&rig.network, 0);
+  ASSERT_TRUE(synopsis.has_value());
+  ASSERT_TRUE(rig.root.OnMessage(*synopsis).ok());
+
+  // Swallow the original request and every retry: the local never replies.
+  uint64_t swallowed = 0;
+  for (int tick = 0; tick < 10 && rig.outputs.empty(); ++tick) {
+    while (PopFrom(&rig.network, 1).has_value()) ++swallowed;
+    ASSERT_TRUE(rig.root.Tick().ok());
+  }
+  EXPECT_GE(swallowed, 2u);  // original + at least one retry
+
+  // The window must be emitted best-effort, never silently stalled.
+  ASSERT_EQ(rig.outputs.size(), 1u);
+  const sim::WindowOutput& out = rig.outputs[0];
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.degrade_cause, "replies_lost");
+  EXPECT_GE(out.rank_error_bound, 1u);
+  ASSERT_EQ(out.values.size(), 1u);
+  // The synopsis-only estimate still lands inside the observed value range.
+  EXPECT_GE(out.values[0], 0.0);
+  EXPECT_LE(out.values[0], 30.0);
+  EXPECT_EQ(rig.root.stats().degraded_windows, 1u);
+}
+
+TEST(RootDeadlines, GammaResyncRepliesWithCurrentGamma) {
+  DeadlineRig rig(/*deadline_ticks=*/1, /*max_retries=*/1);
+  // A restarted local asks the root for the current slice factor.
+  ASSERT_TRUE(rig.local.ResyncGamma().ok());
+  auto sync = PopFrom(&rig.network, 0);
+  ASSERT_TRUE(sync.has_value());
+  EXPECT_EQ(sync->type, net::MessageType::kGammaSyncRequest);
+  ASSERT_TRUE(rig.root.OnMessage(*sync).ok());
+  auto update = PopFrom(&rig.network, 1);
+  ASSERT_TRUE(update.has_value());
+  EXPECT_EQ(update->type, net::MessageType::kGammaUpdate);
+  net::Reader r(update->payload);
+  auto parsed = core::GammaUpdate::Deserialize(&r);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->effective_from, 0u);
+  EXPECT_GE(parsed->gamma, 2u);
+  // The restarted local applies it without error.
+  EXPECT_TRUE(rig.local.OnMessage(*update).ok());
+}
+
 // --- malformed payloads -----------------------------------------------------
 
 net::Message Corrupt(net::Message m, size_t truncate_to) {

@@ -5,14 +5,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/time.h"
 #include "net/channel.h"
 #include "net/message.h"
 #include "net/network.h"
 #include "net/serializer.h"
+#include "obs/registry.h"
 
 namespace dema::net {
 namespace {
@@ -331,6 +334,159 @@ TEST(Network, CloseAllStopsProducers) {
   ASSERT_TRUE(net.RegisterNode(0).ok());
   net.CloseAll();
   EXPECT_EQ(net.Send(TestMessage()).code(), StatusCode::kNetworkError);
+}
+
+TEST(Channel, CloseUnblocksBlockedPush) {
+  Channel ch(1);
+  ASSERT_TRUE(ch.Push(TestMessage()));
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> push_result{true};
+  std::thread pusher([&] {
+    push_result = ch.Push(TestMessage());  // channel full: blocks
+    push_returned = true;
+  });
+  // Nothing pops, so the push can only be sitting in the full-channel wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(push_returned.load());
+  ch.Close();
+  pusher.join();
+  EXPECT_TRUE(push_returned.load());
+  EXPECT_FALSE(push_result.load());
+}
+
+// --- fault fabric -----------------------------------------------------------
+
+TEST(FaultFabric, LossDropsDeliveryButChargesTheWire) {
+  // Regression: the loss branch used to count the drop but still deliver the
+  // message, making every "lossy" run secretly lossless.
+  RealClock clock;
+  obs::Registry registry;
+  Network::Options opts;
+  opts.drop_prob = 1.0;
+  opts.registry = &registry;
+  Network net(&clock, opts);
+  ASSERT_TRUE(net.RegisterNode(0).ok());
+  ASSERT_TRUE(net.RegisterNode(1).ok());
+  ASSERT_TRUE(net.Send(TestMessage(4, 100)).ok());  // loss looks like success
+  EXPECT_FALSE(net.Inbox(0)->TryPop().has_value());
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(registry.CounterValues().at("net.dropped{cause=loss}"), 1u);
+  // The message travelled before it was lost: the wire is charged.
+  EXPECT_EQ(net.GetLinkStats(1, 0).counters.messages, 1u);
+}
+
+TEST(FaultFabric, PartitionBlocksDirectedLinkUntilHealed) {
+  RealClock clock;
+  obs::Registry registry;
+  Network::Options opts;
+  opts.registry = &registry;
+  Network net(&clock, opts);
+  ASSERT_TRUE(net.RegisterNode(0).ok());
+  ASSERT_TRUE(net.RegisterNode(1).ok());
+  net.Partition(1, 0);
+  ASSERT_TRUE(net.Send(TestMessage()).ok());
+  EXPECT_FALSE(net.Inbox(0)->TryPop().has_value());
+  EXPECT_EQ(registry.CounterValues().at("net.dropped{cause=partition}"), 1u);
+  // A partitioned send never leaves the sender, so the wire is not charged.
+  EXPECT_EQ(net.GetLinkStats(1, 0).counters.messages, 0u);
+  // Directed: the reverse link still works.
+  Message reverse = TestMessage();
+  reverse.src = 0;
+  reverse.dst = 1;
+  ASSERT_TRUE(net.Send(std::move(reverse)).ok());
+  EXPECT_TRUE(net.Inbox(1)->TryPop().has_value());
+  net.Heal(1, 0);
+  ASSERT_TRUE(net.Send(TestMessage()).ok());
+  EXPECT_TRUE(net.Inbox(0)->TryPop().has_value());
+}
+
+TEST(FaultFabric, DownNodeDropsTrafficBothDirections) {
+  RealClock clock;
+  obs::Registry registry;
+  Network::Options opts;
+  opts.registry = &registry;
+  Network net(&clock, opts);
+  ASSERT_TRUE(net.RegisterNode(0).ok());
+  ASSERT_TRUE(net.RegisterNode(1).ok());
+  net.SetNodeDown(1, true);
+  ASSERT_TRUE(net.Send(TestMessage()).ok());  // src down
+  Message to_down = TestMessage();
+  to_down.src = 0;
+  to_down.dst = 1;
+  ASSERT_TRUE(net.Send(std::move(to_down)).ok());  // dst down
+  EXPECT_FALSE(net.Inbox(0)->TryPop().has_value());
+  EXPECT_FALSE(net.Inbox(1)->TryPop().has_value());
+  EXPECT_EQ(registry.CounterValues().at("net.dropped{cause=node_down}"), 2u);
+  net.SetNodeDown(1, false);
+  ASSERT_TRUE(net.Send(TestMessage()).ok());
+  EXPECT_TRUE(net.Inbox(0)->TryPop().has_value());
+}
+
+TEST(FaultFabric, DelayedMessageRedeliversOnFlush) {
+  RealClock clock;
+  Network::Options opts;
+  opts.delay_us_max = SecondsUs(10);  // far past the per-send clock advance
+  opts.delay_prob = 1.0;
+  Network net(&clock, opts);
+  ASSERT_TRUE(net.RegisterNode(0).ok());
+  ASSERT_TRUE(net.RegisterNode(1).ok());
+  ASSERT_TRUE(net.Send(TestMessage()).ok());
+  EXPECT_FALSE(net.Inbox(0)->TryPop().has_value());
+  EXPECT_EQ(net.messages_delayed(), 1u);
+  EXPECT_EQ(net.delayed_in_flight(), 1u);
+  EXPECT_EQ(net.FlushDelayed(), 1u);
+  EXPECT_EQ(net.delayed_in_flight(), 0u);
+  EXPECT_TRUE(net.Inbox(0)->TryPop().has_value());
+}
+
+TEST(FaultFabric, DelayedMessageDropsWhenNodeDiesInFlight) {
+  RealClock clock;
+  obs::Registry registry;
+  Network::Options opts;
+  opts.delay_us_max = SecondsUs(10);
+  opts.delay_prob = 1.0;
+  opts.registry = &registry;
+  Network net(&clock, opts);
+  ASSERT_TRUE(net.RegisterNode(0).ok());
+  ASSERT_TRUE(net.RegisterNode(1).ok());
+  ASSERT_TRUE(net.Send(TestMessage()).ok());
+  net.SetNodeDown(1, true);  // sender dies while its message is in flight
+  EXPECT_EQ(net.FlushDelayed(), 0u);
+  EXPECT_FALSE(net.Inbox(0)->TryPop().has_value());
+  EXPECT_EQ(registry.CounterValues().at("net.dropped{cause=node_down}"), 1u);
+}
+
+TEST(FaultFabric, InjectedDuplicatesTaggedInPerLinkCounters) {
+  RealClock clock;
+  obs::Registry registry;
+  Network::Options opts;
+  opts.duplicate_prob = 1.0;
+  opts.registry = &registry;
+  Network net(&clock, opts);
+  ASSERT_TRUE(net.RegisterNode(0).ok());
+  ASSERT_TRUE(net.RegisterNode(1).ok());
+  ASSERT_TRUE(net.Send(TestMessage(4, 100)).ok());
+  auto counters = registry.CounterValues();
+  // The duplicate is charged to the normal link totals AND tagged separately,
+  // so parity checks can subtract injected traffic.
+  EXPECT_EQ(counters.at("transport.sent.messages{link=1->0}"), 2u);
+  EXPECT_EQ(counters.at("net.duplicates.messages{link=1->0}"), 1u);
+  EXPECT_EQ(counters.at("net.duplicates.events{link=1->0}"), 4u);
+}
+
+TEST(FaultFabric, SendStampsPerLinkSequenceNumbers) {
+  RealClock clock;
+  Network net(&clock);
+  ASSERT_TRUE(net.RegisterNode(0).ok());
+  ASSERT_TRUE(net.RegisterNode(1).ok());
+  ASSERT_TRUE(net.Send(TestMessage()).ok());
+  ASSERT_TRUE(net.Send(TestMessage()).ok());
+  auto first = net.Inbox(0)->TryPop();
+  auto second = net.Inbox(0)->TryPop();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->seq, 1u);
+  EXPECT_EQ(second->seq, 2u);
 }
 
 }  // namespace

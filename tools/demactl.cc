@@ -9,6 +9,9 @@
 //   serve        run one node (root or local) of a TCP deployment
 //   cluster      run a whole cluster on this machine (--tcp forks one
 //                process per local node talking TCP over loopback)
+//   chaos        replay a seeded fault schedule (drops, duplicates, delays,
+//                crashes, partitions) and assert every window is exact
+//                against an oracle or explicitly degraded with a cause
 //
 // Common flags:
 //   --system=dema|scotty|desis|tdigest|tdigest-dec|qdigest   (run/sustainable)
@@ -38,6 +41,7 @@
 #include "obs/registry.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
+#include "sim/chaos.h"
 #include "sim/driver.h"
 #include "sim/sustainable.h"
 #include "sim/tcp_run.h"
@@ -439,6 +443,105 @@ int CmdServe(const Flags& flags) {
   return Fail("serve needs --role=root or --role=local");
 }
 
+/// Field-by-field comparison of two chaos runs; returns an empty string when
+/// they are identical, else a description of the first divergence.
+std::string DescribeChaosDiff(const sim::ChaosReport& a,
+                              const sim::ChaosReport& b) {
+  if (a.windows.size() != b.windows.size()) {
+    return "window counts differ (" + std::to_string(a.windows.size()) +
+           " vs " + std::to_string(b.windows.size()) + ")";
+  }
+  for (size_t i = 0; i < a.windows.size(); ++i) {
+    const sim::ChaosWindowReport& wa = a.windows[i];
+    const sim::ChaosWindowReport& wb = b.windows[i];
+    if (wa.emitted != wb.emitted || wa.degraded != wb.degraded ||
+        wa.degrade_cause != wb.degrade_cause ||
+        wa.rank_error_bound != wb.rank_error_bound ||
+        wa.global_size != wb.global_size || wa.values != wb.values) {
+      return "window " + std::to_string(wa.window_id) + " diverged";
+    }
+  }
+  if (a.messages_dropped != b.messages_dropped ||
+      a.duplicates_injected != b.duplicates_injected ||
+      a.messages_delayed != b.messages_delayed ||
+      a.root_retries != b.root_retries || a.restarts != b.restarts) {
+    return "fault-fabric counters diverged";
+  }
+  return "";
+}
+
+int CmdChaos(const Flags& flags) {
+  if (!flags.Has("fault-schedule")) {
+    return Fail(
+        "chaos needs --fault-schedule=SPEC, e.g. "
+        "--fault-schedule=drop=0.05,dup=0.02,seed=7,crash=1@2+1");
+  }
+  auto plan_result =
+      sim::ParseFaultSchedule(flags.GetString("fault-schedule", ""));
+  if (!plan_result.ok()) return Fail(plan_result.status().ToString());
+  sim::FaultPlan plan = *plan_result;
+
+  auto config_result = BuildConfig(flags);
+  if (!config_result.ok()) return Fail(config_result.status().ToString());
+  sim::SystemConfig config = *config_result;
+  if (config.kind != sim::SystemKind::kDema) {
+    return Fail("chaos supports --system=dema only");
+  }
+  auto load_result = BuildWorkload(flags, config);
+  if (!load_result.ok()) return Fail(load_result.status().ToString());
+  sim::WorkloadConfig load = *load_result;
+  load.window_len_us = config.window_len_us;
+
+  auto report_result = sim::RunChaos(config, load, plan);
+  if (!report_result.ok()) return Fail(report_result.status().ToString());
+  sim::ChaosReport report = std::move(report_result).MoveValueUnsafe();
+
+  std::vector<std::string> headers = {"window", "events", "status", "cause",
+                                      "bound"};
+  for (double q : config.quantiles) headers.push_back("q" + FmtF(q * 100, 0));
+  Table table(headers);
+  for (const sim::ChaosWindowReport& w : report.windows) {
+    std::string status = !w.emitted          ? "MISSING"
+                         : w.degraded        ? "degraded"
+                         : w.matches_oracle  ? "exact"
+                                             : "MISMATCH";
+    std::vector<std::string> row = {std::to_string(w.window_id),
+                                    FmtCount(w.global_size), status,
+                                    w.degrade_cause,
+                                    w.degraded ? FmtCount(w.rank_error_bound)
+                                               : ""};
+    for (size_t i = 0; i < config.quantiles.size(); ++i) {
+      row.push_back(i < w.values.size() ? FmtF(w.values[i], 2) : "-");
+    }
+    (void)table.AddRow(row);
+  }
+  EmitTable(table, flags);
+  std::cout << report.exact_windows << " exact, " << report.degraded_windows
+            << " degraded, " << report.mismatched_windows << " mismatched, "
+            << report.missing_windows << " missing; faults: "
+            << report.messages_dropped << " dropped, "
+            << report.duplicates_injected << " duplicated, "
+            << report.messages_delayed << " delayed; " << report.root_retries
+            << " root retries, " << report.restarts << " restarts\n";
+
+  if (flags.Has("verify-determinism")) {
+    auto second = sim::RunChaos(config, load, plan);
+    if (!second.ok()) return Fail(second.status().ToString());
+    std::string diff = DescribeChaosDiff(report, *second);
+    if (!diff.empty()) {
+      return Fail("determinism check failed: " + diff);
+    }
+    std::cout << "determinism check passed: second run identical\n";
+  }
+
+  if (!report.Invariant()) {
+    return Fail("chaos invariant violated: " + report.violation);
+  }
+  std::cout << "chaos invariant held: every window exact or explicitly "
+               "degraded, root ended idle\n";
+  return 0;
+}
+
 int CmdCluster(const Flags& flags) {
   auto config_result = BuildConfig(flags);
   if (!config_result.ok()) return Fail(config_result.status().ToString());
@@ -472,8 +575,10 @@ int main(int argc, char** argv) {
   if (cmd == "tree") return CmdTree(flags);
   if (cmd == "serve") return CmdServe(flags);
   if (cmd == "cluster") return CmdCluster(flags);
+  if (cmd == "chaos") return CmdChaos(flags);
   std::cout
-      << "usage: demactl <run|compare|sustainable|tree|serve|cluster> [flags]\n"
+      << "usage: demactl <run|compare|sustainable|tree|serve|cluster|chaos> "
+         "[flags]\n"
          "  run          run one system and print per-window results\n"
          "  compare      run every system on the same workload\n"
          "  sustainable  search the maximum sustainable throughput\n"
@@ -481,6 +586,10 @@ int main(int argc, char** argv) {
          "--role=local --id=I --root=H:P\n"
          "  cluster      whole cluster on this machine; --tcp forks one\n"
          "               process per local node over loopback TCP\n"
+         "  chaos        replay a seeded fault schedule and check every\n"
+         "               window against an oracle; --fault-schedule=SPEC\n"
+         "               (drop= dup= delay-us= seed= crash=N@W+D\n"
+         "               partition=A-B@F..U), --verify-determinism runs twice\n"
          "flags: --system= --locals= --windows= --rate= --gamma= --quantiles=\n"
          "       --dist= --scale-rates= --slide-ms= --adaptive --per-node-gamma\n"
          "       --naive-selection --csv= --metrics-out= --metrics-log-ms=\n";
