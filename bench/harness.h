@@ -7,6 +7,7 @@
 //   fig5a_throughput --windows=20 --rate=500000 --csv=fig5a.csv
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -44,6 +45,21 @@ inline void EmitTable(const Table& table, const Flags& flags) {
       std::cout << "CSV written to " << csv << "\n";
     }
   }
+}
+
+/// \brief Writes already-rendered JSON text to \p path (plus a trailing
+/// newline), aborting the harness on I/O failure. Pair with `JsonWriter` for
+/// machine-readable result files like the perf-regression harness's
+/// `BENCH_dema.json`.
+inline void WriteJsonFile(const std::string& path, const std::string& json) {
+  std::ofstream out(path, std::ios::trunc);
+  out << json << "\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "failed to write " << path << "\n";
+    std::exit(1);
+  }
+  std::cout << "JSON written to " << path << "\n";
 }
 
 /// \brief Aborts the harness with a readable message on error results.

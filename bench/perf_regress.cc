@@ -1,0 +1,128 @@
+// Perf-regression harness: one pinned workload, run inline (workers=0) and
+// threaded (workers=2), with the numbers CI tracks written to
+// BENCH_dema.json. No pass/fail thresholds here — CI only checks that the
+// run completes and the JSON parses; humans (and future tooling) diff the
+// uploaded artifacts across commits.
+//
+//   perf_regress [--locals=4] [--windows=8] [--rate=50000] [--gamma=2000]
+//                [--workers=2] [--out=BENCH_dema.json]
+//
+// Reported per mode: ingest events/s (wall and simulated-parallel), root
+// rank-selection time (root.select_us: total + p99), p99 window latency, and
+// peak retained events across local nodes (candidate-buffer memory bound).
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/json.h"
+#include "harness.h"
+
+using namespace dema;
+
+namespace {
+
+struct ModeResult {
+  std::string mode;
+  sim::RunMetrics metrics;
+  uint64_t select_us_total = 0;
+  uint64_t select_count = 0;
+  double select_us_p99 = 0;
+  int64_t peak_retained_events = 0;
+};
+
+ModeResult RunMode(const std::string& mode, size_t workers,
+                   const sim::SystemConfig& base,
+                   const sim::WorkloadConfig& load) {
+  sim::SystemConfig config = base;
+  config.workers = workers;
+  ModeResult result;
+  result.mode = mode;
+  result.metrics = bench::Unwrap(sim::RunSync(config, load), mode.c_str());
+
+  const obs::Registry& registry = *result.metrics.registry;
+  if (const obs::Histogram* h = registry.FindHistogram("root.select_us")) {
+    auto s = h->Summarize();
+    result.select_us_total = s.sum;
+    result.select_count = s.count;
+    result.select_us_p99 = s.p99;
+  }
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    if (name.rfind("local.retained_events_peak{", 0) == 0) {
+      result.peak_retained_events = std::max(result.peak_retained_events, value);
+    }
+  }
+  return result;
+}
+
+std::string ModeJson(const ModeResult& r) {
+  JsonWriter w;
+  w.Field("events", r.metrics.events_ingested)
+      .Field("windows", r.metrics.windows_emitted)
+      .Field("throughput_eps", r.metrics.throughput_eps)
+      .Field("sim_throughput_eps", r.metrics.sim_throughput_eps)
+      .Field("bottleneck", r.metrics.bottleneck)
+      .Field("root_select_us_total", r.select_us_total)
+      .Field("root_select_count", r.select_count)
+      .Field("root_select_us_p99", r.select_us_p99)
+      .Field("window_latency_us_p99", r.metrics.latency_hist.p99)
+      .Field("peak_retained_events", r.peak_retained_events);
+  return w.Finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const size_t locals = static_cast<size_t>(flags.GetInt("locals", 4));
+  const uint64_t windows = static_cast<uint64_t>(flags.GetInt("windows", 8));
+  const double rate = flags.GetDouble("rate", 50'000);
+  const uint64_t gamma = static_cast<uint64_t>(flags.GetInt("gamma", 2'000));
+  const size_t workers = static_cast<size_t>(flags.GetInt("workers", 2));
+  const std::string out = flags.GetString("out", "BENCH_dema.json");
+
+  std::cout << "=== Perf regression: Dema, 1 root + " << locals
+            << " locals, " << windows << " windows, rate=" << rate
+            << ", gamma=" << gamma << " ===\n";
+
+  sim::SystemConfig config;
+  config.kind = sim::SystemKind::kDema;
+  config.num_locals = locals;
+  config.gamma = gamma;
+  config.quantiles = {0.5, 0.99};
+
+  sim::WorkloadConfig load = sim::MakeUniformWorkload(
+      locals, windows, rate, bench::SensorDistribution());
+
+  ModeResult inline_run = RunMode("inline", 0, config, load);
+  ModeResult threaded_run = RunMode("threaded", workers, config, load);
+
+  Table table({"mode", "events", "events/s (wall)", "events/s (sim)",
+               "select total ms", "select p99 us", "win p99 ms",
+               "peak retained"});
+  for (const ModeResult* r : {&inline_run, &threaded_run}) {
+    bench::UnwrapStatus(
+        table.AddRow({r->mode, FmtCount(r->metrics.events_ingested),
+                      FmtF(r->metrics.throughput_eps, 0),
+                      FmtF(r->metrics.sim_throughput_eps, 0),
+                      FmtF(static_cast<double>(r->select_us_total) / 1e3, 3),
+                      FmtF(r->select_us_p99, 1),
+                      FmtF(r->metrics.latency_hist.p99 / 1e3, 3),
+                      FmtCount(static_cast<uint64_t>(
+                          r->peak_retained_events))}),
+        "table row");
+  }
+  bench::EmitTable(table, flags);
+
+  JsonWriter w;
+  w.Field("bench", "dema_perf_regress")
+      .Field("locals", static_cast<uint64_t>(locals))
+      .Field("windows", windows)
+      .Field("rate", rate)
+      .Field("gamma", gamma)
+      .Field("threaded_workers", static_cast<uint64_t>(workers))
+      .RawField("inline", ModeJson(inline_run))
+      .RawField("threaded", ModeJson(threaded_run));
+  bench::WriteJsonFile(out, w.Finish());
+  return 0;
+}

@@ -50,10 +50,18 @@ uint64_t AdaptiveGammaController::Clamp(uint64_t gamma) const {
 uint64_t AdaptiveGammaController::Observe(uint64_t global_size,
                                           uint64_t num_candidate_slices) {
   if (global_size == 0) return current_;
-  uint64_t target = OptimalGamma(global_size, num_candidate_slices);
+  uint64_t target = Clamp(OptimalGamma(global_size, num_candidate_slices));
   double blended = (1.0 - options_.smoothing) * static_cast<double>(current_) +
                    options_.smoothing * static_cast<double>(target);
-  current_ = Clamp(static_cast<uint64_t>(std::llround(blended)));
+  uint64_t next = Clamp(static_cast<uint64_t>(std::llround(blended)));
+  if (next == current_ && target != current_) {
+    // Rounding deadlock guard: with smoothing < 0.5 the EWMA rounds back to
+    // current_ whenever |target - current_| <= 1/(2*smoothing), which would
+    // park γ a few steps from the cost-model optimum forever. Always step at
+    // least one unit toward the target.
+    next = target > current_ ? current_ + 1 : current_ - 1;
+  }
+  current_ = next;
   return current_;
 }
 

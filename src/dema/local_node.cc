@@ -1,6 +1,7 @@
 #include "dema/local_node.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "dema/slice.h"
 
@@ -24,8 +25,22 @@ DemaLocalNode::DemaLocalNode(DemaLocalNodeOptions options, transport::Transport*
   c_send_failures_ = registry_->GetCounter("local.send_failures" + label);
   c_duplicates_ignored_ = registry_->GetCounter("local.duplicates_ignored" + label);
   g_retained_windows_ = registry_->GetGauge("local.retained_windows" + label);
+  g_retained_events_ = registry_->GetGauge("local.retained_events" + label);
+  g_retained_events_peak_ =
+      registry_->GetGauge("local.retained_events_peak" + label);
   oldest_known_gamma_ = std::max<uint64_t>(2, options_.initial_gamma);
   gamma_schedule_[0] = oldest_known_gamma_;
+  if (options_.executor != nullptr) {
+    // Closed windows come back unsorted; the submitted task owns the sort.
+    windows_.set_defer_sort(true);
+  }
+}
+
+void DemaLocalNode::UpdateRetainedGauges() {
+  peak_retained_events_ = std::max(peak_retained_events_, retained_event_count_);
+  g_retained_windows_->Set(static_cast<int64_t>(retained_.size()));
+  g_retained_events_->Set(static_cast<int64_t>(retained_event_count_));
+  g_retained_events_peak_->Set(static_cast<int64_t>(peak_retained_events_));
 }
 
 uint64_t DemaLocalNode::GammaForWindow(net::WindowId id) const {
@@ -53,7 +68,8 @@ Status DemaLocalNode::OnWatermark(TimestampUs watermark_us) {
 }
 
 Status DemaLocalNode::OnFinish(TimestampUs final_watermark_us) {
-  return OnWatermark(final_watermark_us);
+  DEMA_RETURN_NOT_OK(OnWatermark(final_watermark_us));
+  return FlushPendingCloses();
 }
 
 Status DemaLocalNode::EmitClosedWindows(std::vector<stream::ClosedWindow> closed,
@@ -63,29 +79,104 @@ Status DemaLocalNode::EmitClosedWindows(std::vector<stream::ClosedWindow> closed
   size_t next_closed = 0;
   while (next_window_to_emit_ < up_to_exclusive) {
     net::WindowId id = next_window_to_emit_++;
+    std::vector<Event> events;
+    bool is_sorted = true;
     if (next_closed < closed.size() && closed[next_closed].id == id) {
-      DEMA_RETURN_NOT_OK(
-          EmitWindow(id, std::move(closed[next_closed].sorted_events)));
+      events = std::move(closed[next_closed].sorted_events);
+      is_sorted = closed[next_closed].is_sorted;
       ++next_closed;
-    } else {
-      DEMA_RETURN_NOT_OK(EmitWindow(id, {}));
     }
+    if (options_.executor != nullptr) {
+      DEMA_RETURN_NOT_OK(SubmitWindowClose(id, std::move(events), is_sorted));
+    } else {
+      DEMA_RETURN_NOT_OK(EmitWindow(id, std::move(events)));
+    }
+  }
+  // Ship whatever the pool already finished, in order, without waiting.
+  return DrainPreparedCloses(/*block=*/false);
+}
+
+Status DemaLocalNode::EmitWindow(net::WindowId id, std::vector<Event> sorted) {
+  PreparedWindow prepared;
+  prepared.id = id;
+  prepared.gamma = GammaForWindow(id);
+  if (!sorted.empty()) {
+    DEMA_ASSIGN_OR_RETURN(prepared.slices,
+                          CutIntoSlices(sorted, options_.id, prepared.gamma));
+    prepared.sorted = std::move(sorted);
+  }
+  return ShipPrepared(std::move(prepared));
+}
+
+Status DemaLocalNode::SubmitWindowClose(net::WindowId id,
+                                        std::vector<Event> events,
+                                        bool is_sorted) {
+  // γ resolves against the submission frontier — exactly when the inline
+  // path would have resolved it — so threaded and inline runs cut the same
+  // slices. Empty windows skip the pool with an already-satisfied future,
+  // keeping the completion buffer strictly sequenced by window id.
+  const uint64_t gamma = GammaForWindow(id);
+  if (events.empty()) {
+    std::promise<PreparedWindow> ready;
+    PreparedWindow prepared;
+    prepared.id = id;
+    prepared.gamma = gamma;
+    ready.set_value(std::move(prepared));
+    inflight_closes_.push_back(ready.get_future());
+    return Status::OK();
+  }
+  const NodeId node = options_.id;
+  inflight_closes_.push_back(options_.executor->Submit(
+      [id, gamma, node, is_sorted, events = std::move(events)]() mutable {
+        PreparedWindow prepared;
+        prepared.id = id;
+        prepared.gamma = gamma;
+        if (!is_sorted) std::sort(events.begin(), events.end());
+        auto slices = CutIntoSlices(events, node, gamma);
+        if (!slices.ok()) {
+          prepared.status = slices.status();
+          return prepared;
+        }
+        prepared.slices = std::move(slices).MoveValueUnsafe();
+        prepared.sorted = std::move(events);
+        return prepared;
+      }));
+  return Status::OK();
+}
+
+Status DemaLocalNode::DrainPreparedCloses(bool block) {
+  while (!inflight_closes_.empty()) {
+    std::future<PreparedWindow>& front = inflight_closes_.front();
+    if (!block && front.wait_for(std::chrono::seconds(0)) !=
+                      std::future_status::ready) {
+      return Status::OK();  // front still cooking; later windows must wait
+    }
+    PreparedWindow prepared = front.get();
+    inflight_closes_.pop_front();
+    DEMA_RETURN_NOT_OK(ShipPrepared(std::move(prepared)));
   }
   return Status::OK();
 }
 
-Status DemaLocalNode::EmitWindow(net::WindowId id, std::vector<Event> sorted) {
-  uint64_t gamma = GammaForWindow(id);
+Status DemaLocalNode::FlushPendingCloses() {
+  return DrainPreparedCloses(/*block=*/true);
+}
+
+Status DemaLocalNode::ShipPrepared(PreparedWindow prepared) {
+  DEMA_RETURN_NOT_OK(prepared.status);
   SynopsisBatch batch;
-  batch.window_id = id;
+  batch.window_id = prepared.id;
   batch.node = options_.id;
-  batch.local_window_size = sorted.size();
-  batch.gamma_used = static_cast<uint32_t>(std::min<uint64_t>(gamma, UINT32_MAX));
+  batch.local_window_size = prepared.sorted.size();
+  batch.gamma_used =
+      static_cast<uint32_t>(std::min<uint64_t>(prepared.gamma, UINT32_MAX));
   batch.close_time_us = clock_->NowUs();
-  if (!sorted.empty()) {
-    DEMA_ASSIGN_OR_RETURN(batch.slices, CutIntoSlices(sorted, options_.id, gamma));
-    retained_.emplace(id, RetainedWindow{gamma, std::move(sorted)});
-    g_retained_windows_->Set(static_cast<int64_t>(retained_.size()));
+  batch.slices = std::move(prepared.slices);
+  if (!prepared.sorted.empty()) {
+    retained_event_count_ += prepared.sorted.size();
+    retained_.emplace(prepared.id,
+                      RetainedWindow{prepared.gamma, std::move(prepared.sorted)});
+    UpdateRetainedGauges();
   }
   DEMA_RETURN_NOT_OK(transport_->Send(net::MakeMessage(
       net::MessageType::kSynopsisBatch, options_.id, options_.root_id, batch)));
@@ -134,8 +225,11 @@ Status DemaLocalNode::OnMessage(const net::Message& msg) {
 Status DemaLocalNode::HandleCandidateRequest(const CandidateRequest& req) {
   if (req.slice_indices.empty()) {
     // Release: the root needs nothing (more) from this window.
-    if (retained_.erase(req.window_id) > 0) {
-      g_retained_windows_->Set(static_cast<int64_t>(retained_.size()));
+    auto rit = retained_.find(req.window_id);
+    if (rit != retained_.end()) {
+      retained_event_count_ -= rit->second.sorted.size();
+      retained_.erase(rit);
+      UpdateRetainedGauges();
     }
     served_.erase(req.window_id);
     return Status::OK();
@@ -187,6 +281,7 @@ Status DemaLocalNode::HandleCandidateRequest(const CandidateRequest& req) {
   if (!from_served) {
     // Move to the served ring (oldest evicted) so a retried request after a
     // lost reply finds the events again instead of the released-window path.
+    retained_event_count_ -= it->second.sorted.size();
     if (options_.served_window_cap > 0) {
       served_.emplace(req.window_id, std::move(it->second));
       while (served_.size() > options_.served_window_cap) {
@@ -194,7 +289,7 @@ Status DemaLocalNode::HandleCandidateRequest(const CandidateRequest& req) {
       }
     }
     retained_.erase(it);
-    g_retained_windows_->Set(static_cast<int64_t>(retained_.size()));
+    UpdateRetainedGauges();
   }
   return Status::OK();
 }
@@ -273,15 +368,17 @@ Status DemaLocalNode::Restore(net::Reader* r) {
   uint32_t retained_count = 0;
   DEMA_RETURN_NOT_OK(r->GetU32(&retained_count));
   retained_.clear();
+  retained_event_count_ = 0;
   for (uint32_t i = 0; i < retained_count; ++i) {
     uint64_t id = 0;
     RetainedWindow window;
     DEMA_RETURN_NOT_OK(r->GetU64(&id));
     DEMA_RETURN_NOT_OK(r->GetU64(&window.gamma));
     DEMA_RETURN_NOT_OK(net::DecodeEvents(r, &window.sorted));
+    retained_event_count_ += window.sorted.size();
     retained_.emplace(static_cast<net::WindowId>(id), std::move(window));
   }
-  g_retained_windows_->Set(static_cast<int64_t>(retained_.size()));
+  UpdateRetainedGauges();
   return windows_.RestoreFrom(r);
 }
 

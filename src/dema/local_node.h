@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "common/clock.h"
 #include "dema/protocol.h"
+#include "exec/executor.h"
 #include "net/dedup.h"
 #include "obs/registry.h"
 #include "transport/transport.h"
@@ -44,6 +47,13 @@ struct DemaLocalNodeOptions {
   /// owns a private registry (reachable via `registry()`). Must outlive the
   /// node when provided.
   obs::Registry* registry = nullptr;
+  /// Worker pool for closed-window sort+slice. When set, each closed window
+  /// is prepared asynchronously so ingest never blocks on the O(n log n)
+  /// close-time work; synopses still ship in window-id order (sequenced
+  /// completion buffer). When null (default), windows are prepared inline on
+  /// the calling thread — output is byte-identical either way. Must outlive
+  /// the node when provided; may be shared between nodes.
+  exec::Executor* executor = nullptr;
 };
 
 /// \brief Dema's edge-side node (Sections 3.1, 3.3).
@@ -79,6 +89,15 @@ class DemaLocalNode final : public sim::LocalNodeLogic {
   /// node's own private registry).
   obs::Registry* registry() const { return registry_; }
 
+  /// Blocks until every executor-submitted window close has been prepared
+  /// and its synopsis shipped (no-op without an executor or when nothing is
+  /// in flight). Call before `Checkpoint` — a snapshot must not race
+  /// in-flight closes — and at end of stream. Idempotent.
+  Status FlushPendingCloses();
+
+  /// Driver-visible alias for `FlushPendingCloses` (see `LocalNodeLogic`).
+  Status Quiesce() override { return FlushPendingCloses(); }
+
   /// Asks the root for the current slice factor. Call after `Restore`: the
   /// node may have missed γ broadcasts while it was down, and cutting the
   /// next windows with a stale factor skews the cost model until the next
@@ -97,14 +116,40 @@ class DemaLocalNode final : public sim::LocalNodeLogic {
   Status Restore(net::Reader* r);
 
  private:
+  /// One window's close-time work product: everything a worker computes off
+  /// the ingest thread, sequenced back into window-id order before shipping.
+  struct PreparedWindow {
+    net::WindowId id = 0;
+    uint64_t gamma = 0;
+    std::vector<Event> sorted;
+    std::vector<SliceSynopsis> slices;
+    /// Slice-cut failure, surfaced when the window ships.
+    Status status;
+  };
+
   /// Ships synopses for every closed window id in [next_window_to_emit_,
-  /// up_to] — including empty windows — and retains their events.
+  /// up_to] — including empty windows — and retains their events. With an
+  /// executor, submits the sort+slice per window and drains whatever has
+  /// completed (in id order) without blocking.
   Status EmitClosedWindows(std::vector<stream::ClosedWindow> closed,
                            net::WindowId up_to_exclusive);
-  /// Cuts, ships, and retains one window.
+  /// Inline path: sorts/cuts and ships one window on the calling thread.
   Status EmitWindow(net::WindowId id, std::vector<Event> sorted);
+  /// Async path: queues one window's sort+slice on the executor. γ is fixed
+  /// here, at submission, so the schedule frontier semantics match the
+  /// inline path exactly.
+  Status SubmitWindowClose(net::WindowId id, std::vector<Event> events,
+                           bool is_sorted);
+  /// Ships ready prepared windows from the front of the completion buffer;
+  /// blocks on stragglers only when \p block is set.
+  Status DrainPreparedCloses(bool block);
+  /// Sends one prepared window's synopsis batch, retains its events, and
+  /// prunes the γ schedule (common tail of both paths).
+  Status ShipPrepared(PreparedWindow prepared);
   Status HandleCandidateRequest(const CandidateRequest& req);
   Status HandleGammaUpdate(const GammaUpdate& update);
+  /// Refreshes the retained-memory gauges (count, events, peak events).
+  void UpdateRetainedGauges();
 
   /// A shipped window retained for candidate serving, together with the γ it
   /// was cut with (slice index ranges must be reconstructed with the same γ
@@ -134,12 +179,22 @@ class DemaLocalNode final : public sim::LocalNodeLogic {
   /// older than every remaining schedule entry. Survives checkpoints.
   uint64_t oldest_known_gamma_;
   net::WindowId next_window_to_emit_ = 0;
+  /// Sequenced completion buffer: futures for submitted window closes, in
+  /// window-id (== submission) order. Only the front may ship, so synopses
+  /// leave in id order no matter how the pool reorders completions.
+  std::deque<std::future<PreparedWindow>> inflight_closes_;
+  /// Events currently held in `retained_` (memory accounting).
+  uint64_t retained_event_count_ = 0;
+  /// High-water mark of `retained_event_count_` over the node's lifetime.
+  uint64_t peak_retained_events_ = 0;
   /// Cached registry instruments.
   obs::Counter* c_events_ingested_;
   obs::Counter* c_windows_shipped_;
   obs::Counter* c_send_failures_;
   obs::Counter* c_duplicates_ignored_;
   obs::Gauge* g_retained_windows_;
+  obs::Gauge* g_retained_events_;
+  obs::Gauge* g_retained_events_peak_;
 };
 
 }  // namespace dema::core

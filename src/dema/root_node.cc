@@ -1,6 +1,7 @@
 #include "dema/root_node.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "stream/merge.h"
 #include "stream/quantile.h"
@@ -34,6 +35,7 @@ DemaRootNode::DemaRootNode(DemaRootNodeOptions options, transport::Transport* tr
   c_degraded_windows_ = registry_->GetCounter("dema.degraded_windows");
   c_retries_ = registry_->GetCounter("root.retries");
   c_send_failures_ = registry_->GetCounter("root.send_failures");
+  h_select_us_ = registry_->GetHistogram("root.select_us");
 
   // Fail fast on option errors: a bad quantile must not poison a running
   // cluster per-window after synopses already shipped.
@@ -152,7 +154,7 @@ Status DemaRootNode::OnMessage(const net::Message& msg) {
     }
     case net::MessageType::kCandidateReply: {
       DEMA_ASSIGN_OR_RETURN(auto reply, CandidateReply::Deserialize(&r));
-      return HandleCandidateReply(reply);
+      return HandleCandidateReply(std::move(reply));
     }
     case net::MessageType::kGammaSyncRequest: {
       DEMA_ASSIGN_OR_RETURN(auto sync, GammaSyncRequest::Deserialize(&r));
@@ -328,7 +330,7 @@ Status DemaRootNode::RunIdentification(net::WindowId id, PendingWindow* w) {
   return Status::OK();
 }
 
-Status DemaRootNode::HandleCandidateReply(const CandidateReply& reply) {
+Status DemaRootNode::HandleCandidateReply(CandidateReply reply) {
   auto idx_it = local_index_.find(reply.node);
   if (idx_it == local_index_.end()) {
     return Status::InvalidArgument("reply from unknown node " +
@@ -358,7 +360,7 @@ Status DemaRootNode::HandleCandidateReply(const CandidateReply& reply) {
                                  std::to_string(reply.node));
   }
   w.reply_from[idx_it->second] = true;
-  w.reply_runs.push_back(reply.events);
+  w.reply_runs.push_back(std::move(reply.events));
   ++w.trace.replies;
   uint64_t now =
       static_cast<uint64_t>(std::max<TimestampUs>(0, clock_->NowUs()));
@@ -375,30 +377,43 @@ Status DemaRootNode::HandleCandidateReply(const CandidateReply& reply) {
 }
 
 Status DemaRootNode::CompleteWindow(net::WindowId id, PendingWindow* w) {
-  // Replies are pre-sorted runs (one per node); merge once, then answer every
-  // quantile by direct indexing.
-  std::vector<Event> merged = stream::MergeSortedRuns(std::move(w->reply_runs));
-  if (merged.size() != w->cut.candidate_event_count) {
-    return Status::Internal("candidate reply events (" +
-                            std::to_string(merged.size()) +
+  // Replies are pre-sorted runs (one per node); rank-select straight off the
+  // loser tree — the merged candidate sequence is never materialized. The
+  // window-cut consistency check works on summed run sizes instead.
+  uint64_t total = 0;
+  for (const auto& run : w->reply_runs) total += run.size();
+  if (total != w->cut.candidate_event_count) {
+    return Status::Internal("candidate reply events (" + std::to_string(total) +
                             ") do not match window-cut expectation (" +
                             std::to_string(w->cut.candidate_event_count) + ")");
   }
+
+  std::vector<uint64_t> within_ranks;
+  within_ranks.reserve(w->cut.selections.size());
+  for (const RankSelection& sel : w->cut.selections) {
+    uint64_t within = sel.rank - sel.below_count;  // 1-based among candidates
+    if (within < 1 || within > total) {
+      return Status::Internal("selection rank " + std::to_string(within) +
+                              " outside merged candidates [1, " +
+                              std::to_string(total) + "]");
+    }
+    within_ranks.push_back(within);
+  }
+  auto select_start = std::chrono::steady_clock::now();
+  DEMA_ASSIGN_OR_RETURN(
+      std::vector<Event> picked,
+      stream::SelectRanksFromRuns(std::move(w->reply_runs), within_ranks));
+  h_select_us_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - select_start)
+          .count()));
 
   sim::WindowOutput out;
   out.window_id = id;
   out.global_size = w->global_size;
   out.quantiles = options_.quantiles;
   out.values.reserve(options_.quantiles.size());
-  for (const RankSelection& sel : w->cut.selections) {
-    uint64_t within = sel.rank - sel.below_count;  // 1-based among candidates
-    if (within < 1 || within > merged.size()) {
-      return Status::Internal("selection rank " + std::to_string(within) +
-                              " outside merged candidates [1, " +
-                              std::to_string(merged.size()) + "]");
-    }
-    out.values.push_back(merged[within - 1].value);
-  }
+  for (const Event& e : picked) out.values.push_back(e.value);
   out.latency_us = EmitLatencyUs(w->last_close_time_us, &w->trace);
 
   c_windows_->Increment();
@@ -528,19 +543,32 @@ Status DemaRootNode::EmitDegraded(net::WindowId id, PendingWindow* w,
   out.quantiles = options_.quantiles;
   out.degraded = true;
   out.degrade_cause = cause;
-  if (w->requests_sent && !w->reply_runs.empty()) {
+  uint64_t arrived = 0;
+  for (const auto& run : w->reply_runs) arrived += run.size();
+  if (w->requests_sent && arrived > 0) {
     // Partial candidate data: answer from what arrived. Each missing
     // candidate event can shift a value's true rank by at most one, so the
-    // shortfall bounds the rank error.
-    std::vector<Event> merged = stream::MergeSortedRuns(std::move(w->reply_runs));
-    out.rank_error_bound = w->cut.candidate_event_count > merged.size()
-                               ? w->cut.candidate_event_count - merged.size()
+    // shortfall bounds the rank error. Same no-materialization selection as
+    // the healthy path, with ranks clamped into the arrived range.
+    out.rank_error_bound = w->cut.candidate_event_count > arrived
+                               ? w->cut.candidate_event_count - arrived
                                : 0;
+    std::vector<uint64_t> within_ranks;
+    within_ranks.reserve(w->cut.selections.size());
     for (const RankSelection& sel : w->cut.selections) {
       uint64_t within = sel.rank > sel.below_count ? sel.rank - sel.below_count : 1;
-      within = std::min<uint64_t>(std::max<uint64_t>(within, 1), merged.size());
-      out.values.push_back(merged[within - 1].value);
+      within_ranks.push_back(
+          std::min<uint64_t>(std::max<uint64_t>(within, 1), arrived));
     }
+    auto select_start = std::chrono::steady_clock::now();
+    DEMA_ASSIGN_OR_RETURN(
+        std::vector<Event> picked,
+        stream::SelectRanksFromRuns(std::move(w->reply_runs), within_ranks));
+    h_select_us_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - select_start)
+            .count()));
+    for (const Event& e : picked) out.values.push_back(e.value);
   } else if (!w->slices.empty()) {
     // Synopses only: walk the slices in ascending first-value order,
     // accumulate counts up to the target rank, and answer with the

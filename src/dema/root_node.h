@@ -173,7 +173,10 @@ class DemaRootNode final : public sim::RootNodeLogic {
   };
 
   Status HandleSynopsisBatch(const SynopsisBatch& batch);
-  Status HandleCandidateReply(const CandidateReply& reply);
+  /// Takes the reply by value: its event run moves straight into
+  /// `PendingWindow::reply_runs` without a copy (hot path — one run per node
+  /// per window).
+  Status HandleCandidateReply(CandidateReply reply);
   Status HandleGammaSync(const GammaSyncRequest& sync);
   /// Emits a best-effort result for a window whose recovery budget ran out:
   /// the quantile over whatever candidate replies arrived, or an estimate
@@ -245,6 +248,9 @@ class DemaRootNode final : public sim::RootNodeLogic {
   obs::Counter* c_degraded_windows_;
   obs::Counter* c_retries_;
   obs::Counter* c_send_failures_;
+  /// Calculation-step selection time (rank-select over the reply runs,
+  /// wall-clock µs) — the cost `SelectRanksFromRuns` keeps off the heap.
+  obs::Histogram* h_select_us_;
 };
 
 }  // namespace dema::core

@@ -224,13 +224,21 @@ Result<WindowCutResult> WindowCut::SelectNaiveOverlap(
     return slices[a].first < slices[b].first;
   });
   uint64_t cum = 0;
-  size_t pivot_pos = order.size() - 1;
+  size_t pivot_pos = order.size();  // sentinel: no slice reached the rank
   for (size_t pos = 0; pos < order.size(); ++pos) {
     cum += slices[order[pos]].count;
     if (cum >= target_rank) {
       pivot_pos = pos;
       break;
     }
+  }
+  if (pivot_pos == order.size()) {
+    // ValidateInput guarantees slice counts sum to global_size >= rank, so
+    // the cumulative walk must land; anything else is corrupted synopses.
+    return Status::Internal(
+        "naive selection never reached target rank " +
+        std::to_string(target_rank) + " (cumulative count " +
+        std::to_string(cum) + ")");
   }
 
   // Transitive value-overlap closure around the pivot: grow left/right while

@@ -60,6 +60,12 @@ class LocalNodeLogic : public NodeLogic {
   /// instant is closed and shipped (including empty ones, so the root can
   /// align all locals).
   virtual Status OnFinish(TimestampUs final_watermark_us) = 0;
+
+  /// Blocks until every asynchronously closing window has shipped (no-op for
+  /// nodes without a worker pool). The synchronous driver calls this after
+  /// each watermark so a threaded run produces the exact message sequence of
+  /// an inline run; real-time runners only need it before checkpoints.
+  virtual Status Quiesce() { return Status::OK(); }
 };
 
 /// \brief Root-side logic: aggregates local contributions into global

@@ -227,7 +227,19 @@ Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
   DEMA_RETURN_NOT_OK(transport.AddPeer(0, options.root_host, options.root_port));
   DEMA_RETURN_NOT_OK(transport.Start());
 
-  DEMA_ASSIGN_OR_RETURN(auto logic, BuildLocalLogic(config, id, &transport, &clock));
+  // Process-local worker pool for this node's closed-window sort+slice
+  // (declared before the logic so it outlives the node at teardown).
+  std::unique_ptr<exec::Executor> executor;
+  SystemConfig local_config = config;
+  if (config.executor == nullptr && config.workers > 0) {
+    exec::ExecutorOptions exec_opts;
+    exec_opts.workers = config.workers;
+    exec_opts.registry = config.registry;
+    executor = std::make_unique<exec::Executor>(exec_opts);
+    local_config.executor = executor.get();
+  }
+  DEMA_ASSIGN_OR_RETURN(auto logic,
+                        BuildLocalLogic(local_config, id, &transport, &clock));
   DEMA_ASSIGN_OR_RETURN(auto gen,
                         gen::StreamGenerator::Create(workload.generators[id - 1]));
 
@@ -285,7 +297,11 @@ Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
         // Snapshot at the boundary, before any event of window `wid` is
         // ingested. The cutoff is the window start: a restored life skips
         // every regenerated event before it and re-feeds `e`, which the
-        // restored watermark (== e.timestamp) accepts as on-time.
+        // restored watermark (== e.timestamp) accepts as on-time. In-flight
+        // executor closes must land first — a snapshot taken mid-close would
+        // silently drop those windows' events.
+        run_status = dema_local->FlushPendingCloses();
+        if (!run_status.ok()) break;
         net::Writer w;
         w.PutU64(static_cast<uint64_t>(wid) * workload.window_len_us);
         dema_local->Checkpoint(&w);

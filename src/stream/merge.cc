@@ -1,5 +1,8 @@
 #include "stream/merge.h"
 
+#include <algorithm>
+#include <string>
+
 namespace dema::stream {
 
 namespace {
@@ -67,6 +70,40 @@ std::vector<Event> MergeSortedRuns(std::vector<std::vector<Event>> runs) {
   std::vector<Event> out;
   out.reserve(merger.remaining());
   while (merger.HasNext()) out.push_back(merger.Next());
+  return out;
+}
+
+Result<std::vector<Event>> SelectRanksFromRuns(
+    std::vector<std::vector<Event>> runs, const std::vector<uint64_t>& ranks) {
+  uint64_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  for (uint64_t rank : ranks) {
+    if (rank < 1 || rank > total) {
+      return Status::InvalidArgument("rank " + std::to_string(rank) +
+                                     " outside merged runs [1, " +
+                                     std::to_string(total) + "]");
+    }
+  }
+  std::vector<Event> out(ranks.size());
+  if (ranks.empty()) return out;
+
+  // Visit the requested ranks in ascending order so one forward pass of the
+  // tournament serves all of them; the tree never advances past the highest.
+  std::vector<size_t> order(ranks.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return ranks[a] < ranks[b]; });
+
+  LoserTreeMerger merger(std::move(runs));
+  uint64_t produced = 0;
+  Event current{};
+  for (size_t idx : order) {
+    while (produced < ranks[idx]) {
+      current = merger.Next();
+      ++produced;
+    }
+    out[idx] = current;  // duplicate ranks reuse the event already produced
+  }
   return out;
 }
 

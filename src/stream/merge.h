@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/event.h"
+#include "common/result.h"
 
 namespace dema::stream {
 
@@ -43,5 +44,17 @@ class LoserTreeMerger {
 
 /// \brief Fully merges \p runs into one sorted vector.
 std::vector<Event> MergeSortedRuns(std::vector<std::vector<Event>> runs);
+
+/// \brief Picks the events at the given 1-based global \p ranks across the
+/// pre-sorted \p runs without materializing the merged sequence.
+///
+/// Advances the loser-tree tournament only up to the highest requested rank:
+/// O(r_max · log k) comparisons and O(1) extra memory beyond the runs
+/// themselves, versus `MergeSortedRuns`'s full O(n)-event allocation — the
+/// difference the root's calculation step runs on. Ranks may repeat and
+/// arrive in any order; the result vector is parallel to \p ranks. Fails
+/// with `InvalidArgument` when a rank falls outside [1, total events].
+Result<std::vector<Event>> SelectRanksFromRuns(
+    std::vector<std::vector<Event>> runs, const std::vector<uint64_t>& ranks);
 
 }  // namespace dema::stream

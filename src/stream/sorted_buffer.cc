@@ -16,6 +16,20 @@ uint64_t SortedWindowBuffer::size() const {
   return mode_ == SortMode::kSortOnClose ? vec_.size() : ordered_.size();
 }
 
+std::vector<Event> SortedWindowBuffer::TakeRaw(bool* is_sorted) {
+  std::vector<Event> out;
+  if (mode_ == SortMode::kSortOnClose) {
+    out = std::move(vec_);
+    vec_.clear();
+    *is_sorted = out.empty();  // insertion order, unsorted unless trivial
+  } else {
+    out.assign(ordered_.begin(), ordered_.end());
+    ordered_.clear();
+    *is_sorted = true;
+  }
+  return out;
+}
+
 std::vector<Event> SortedWindowBuffer::TakeSorted() {
   std::vector<Event> out;
   if (mode_ == SortMode::kSortOnClose) {

@@ -43,6 +43,13 @@ class SortedWindowBuffer {
   /// empty and reusable.
   std::vector<Event> TakeSorted();
 
+  /// Finishes the window without paying for the sort on this thread: returns
+  /// the events as cheaply as possible and reports through \p is_sorted
+  /// whether they already obey the global order (kIncremental) or still need
+  /// sorting (kSortOnClose insertion order). Used by the executor-backed
+  /// close path, which moves the O(n log n) sort onto a worker.
+  std::vector<Event> TakeRaw(bool* is_sorted);
+
   /// Visits every buffered event (in insertion or sorted order depending on
   /// the mode) without draining — used by checkpointing.
   template <typename Fn>

@@ -19,13 +19,20 @@ bool WindowManager::OnEvent(const Event& e) {
   return true;
 }
 
+ClosedWindow WindowManager::CloseBuffer(WindowId id, SortedWindowBuffer* buf) {
+  if (!defer_sort_) return ClosedWindow{id, buf->TakeSorted(), true};
+  bool is_sorted = true;
+  std::vector<Event> events = buf->TakeRaw(&is_sorted);
+  return ClosedWindow{id, std::move(events), is_sorted};
+}
+
 std::vector<ClosedWindow> WindowManager::AdvanceWatermark(TimestampUs watermark_us) {
   std::vector<ClosedWindow> closed;
   if (watermark_us <= watermark_us_) return closed;
   watermark_us_ = watermark_us;
   auto it = open_.begin();
   while (it != open_.end() && assigner_.WindowEnd(it->first) <= watermark_us_) {
-    closed.push_back(ClosedWindow{it->first, it->second.TakeSorted()});
+    closed.push_back(CloseBuffer(it->first, &it->second));
     it = open_.erase(it);
   }
   return closed;
@@ -34,7 +41,7 @@ std::vector<ClosedWindow> WindowManager::AdvanceWatermark(TimestampUs watermark_
 std::vector<ClosedWindow> WindowManager::Flush() {
   std::vector<ClosedWindow> closed;
   for (auto& [id, buf] : open_) {
-    closed.push_back(ClosedWindow{id, buf.TakeSorted()});
+    closed.push_back(CloseBuffer(id, &buf));
   }
   open_.clear();
   return closed;

@@ -12,10 +12,15 @@
 
 namespace dema::stream {
 
-/// \brief A closed window's sorted contents, as emitted by `WindowManager`.
+/// \brief A closed window's contents, as emitted by `WindowManager`.
+///
+/// `sorted_events` obeys the global event order unless the manager runs in
+/// defer-sort mode, in which case `is_sorted` is false and the consumer owns
+/// the sort (typically on an executor worker).
 struct ClosedWindow {
   WindowId id = 0;
   std::vector<Event> sorted_events;
+  bool is_sorted = true;
 };
 
 /// \brief Event-time window state machine for one node (tumbling or
@@ -50,6 +55,12 @@ class WindowManager {
   /// Closes and returns all remaining windows (end of stream).
   std::vector<ClosedWindow> Flush();
 
+  /// Defer-sort mode: closed windows come back in raw buffer order with
+  /// `ClosedWindow::is_sorted` telling the consumer whether a sort is still
+  /// owed. Lets an executor-backed node move the close-time sort off the
+  /// ingest thread. Off by default (windows come back sorted).
+  void set_defer_sort(bool defer) { defer_sort_ = defer; }
+
   /// Current event-time watermark.
   TimestampUs watermark_us() const { return watermark_us_; }
 
@@ -74,8 +85,12 @@ class WindowManager {
   Status RestoreFrom(net::Reader* r);
 
  private:
+  /// Closes one buffer honoring the defer-sort mode.
+  ClosedWindow CloseBuffer(WindowId id, SortedWindowBuffer* buf);
+
   SlidingWindowAssigner assigner_;
   SortMode sort_mode_;
+  bool defer_sort_ = false;
   std::map<WindowId, SortedWindowBuffer> open_;
   std::vector<WindowId> assign_scratch_;
   TimestampUs watermark_us_ = 0;

@@ -118,5 +118,58 @@ TEST(Controller, AdaptsWhenWorkloadDrifts) {
   EXPECT_GT(big_rate_gamma, small_rate_gamma * 10);
 }
 
+TEST(Controller, SmallSmoothingStillReachesExactOptimum) {
+  // Regression: with heavy damping the blended value used to round back to
+  // the current gamma once the gap got small, parking the controller one or
+  // more steps away from the optimum forever. Observe must always make at
+  // least one unit of progress toward the target.
+  GammaControllerOptions opts;
+  opts.smoothing = 0.05;
+  AdaptiveGammaController ctl(10'000, opts);
+  uint64_t optimum = OptimalGamma(50'000, 2);
+  uint64_t previous = ctl.current();
+  for (int i = 0; i < 20'000 && ctl.current() != optimum; ++i) {
+    uint64_t g = ctl.Observe(50'000, 2);
+    ASSERT_NE(g, previous) << "controller parked at " << g << " after " << i
+                           << " observations (optimum " << optimum << ")";
+    previous = g;
+  }
+  EXPECT_EQ(ctl.current(), optimum);
+}
+
+TEST(Controller, LastStepClosesUnitGapInBothDirections) {
+  GammaControllerOptions opts;
+  opts.smoothing = 0.01;  // blended ~ current; rounding alone would stall
+  uint64_t optimum = OptimalGamma(20'000, 1);
+  AdaptiveGammaController from_above(optimum + 1, opts);
+  EXPECT_EQ(from_above.Observe(20'000, 1), optimum);
+  AdaptiveGammaController from_below(optimum - 1, opts);
+  EXPECT_EQ(from_below.Observe(20'000, 1), optimum);
+}
+
+TEST(Controller, StepFixStaysWithinBounds) {
+  // The forced unit step must never escape [min_gamma, max_gamma]: the
+  // target is clamped first, so a downward step has room to move.
+  GammaControllerOptions opts;
+  opts.min_gamma = 100;
+  opts.max_gamma = 120;
+  opts.smoothing = 0.01;
+  AdaptiveGammaController ctl(101, opts);
+  for (int i = 0; i < 10; ++i) ctl.Observe(10, 1);  // clamped optimum: 100
+  EXPECT_EQ(ctl.current(), 100u);
+  for (int i = 0; i < 200; ++i) ctl.Observe(100'000'000, 1);  // optimum: 120
+  EXPECT_EQ(ctl.current(), 120u);
+}
+
+TEST(Controller, StableAtOptimumDoesNotOscillate) {
+  GammaControllerOptions opts;
+  opts.smoothing = 0.05;
+  uint64_t optimum = OptimalGamma(50'000, 2);
+  AdaptiveGammaController ctl(optimum, opts);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ctl.Observe(50'000, 2), optimum);
+  }
+}
+
 }  // namespace
 }  // namespace dema::core

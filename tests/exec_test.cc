@@ -1,0 +1,155 @@
+// Unit tests for the worker-pool executor: future plumbing, bounded-queue
+// backpressure, drain-on-shutdown semantics, and the exec.* instruments.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "obs/registry.h"
+
+namespace dema::exec {
+namespace {
+
+TEST(Executor, FuturesCarryResults) {
+  Executor pool(ExecutorOptions{.workers = 2});
+  auto a = pool.Submit([] { return 40 + 2; });
+  auto b = pool.Submit([] { return std::string("sorted"); });
+  EXPECT_EQ(a.get(), 42);
+  EXPECT_EQ(b.get(), "sorted");
+}
+
+TEST(Executor, VoidTasksComplete) {
+  Executor pool(ExecutorOptions{.workers = 1});
+  std::atomic<int> ran{0};
+  auto f = pool.Submit([&ran] { ran.fetch_add(1); });
+  f.get();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Executor, ManyTasksAllComplete) {
+  obs::Registry registry;
+  Executor pool(ExecutorOptions{.workers = 4, .registry = &registry});
+  constexpr int kTasks = 500;
+  std::atomic<uint64_t> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), uint64_t{kTasks} * (kTasks - 1) / 2);
+  EXPECT_EQ(registry.FindCounter("exec.tasks_submitted")->Value(),
+            uint64_t{kTasks});
+  EXPECT_EQ(registry.FindCounter("exec.tasks_completed")->Value(),
+            uint64_t{kTasks});
+  EXPECT_EQ(registry.FindHistogram("exec.task_run_us")->Count(),
+            uint64_t{kTasks});
+}
+
+TEST(Executor, ClampsDegenerateOptions) {
+  obs::Registry registry;
+  Executor pool(ExecutorOptions{
+      .workers = 0, .queue_capacity = 0, .registry = &registry});
+  EXPECT_EQ(pool.workers(), 1u);
+  EXPECT_EQ(registry.FindGauge("exec.workers")->Value(), 1);
+  auto f = pool.Submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(Executor, BoundedQueueBackpressuresSubmitters) {
+  obs::Registry registry;
+  // One worker, one queue slot: parking the worker on a latch forces every
+  // further Submit past the second to wait for room.
+  Executor pool(ExecutorOptions{
+      .workers = 1, .queue_capacity = 1, .registry = &registry});
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = pool.Submit([gate] { gate.wait(); });
+
+  constexpr int kTasks = 4;
+  std::atomic<int> ran{0};
+  std::thread submitter([&] {
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < kTasks; ++i) {
+      futures.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+  });
+
+  // Give the submitter time to hit the full queue, then open the gate.
+  while (registry.FindCounter("exec.queue_full_blocks")->Value() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.set_value();
+  submitter.join();
+  blocker.get();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_GE(registry.FindCounter("exec.queue_full_blocks")->Value(), 1u);
+}
+
+TEST(Executor, ShutdownDrainsQueuedTasks) {
+  obs::Registry registry;
+  Executor pool(ExecutorOptions{
+      .workers = 1, .queue_capacity = 64, .registry = &registry});
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ran.fetch_add(1);
+    }));
+  }
+  pool.Shutdown();  // must not abandon queued work
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 20);
+  EXPECT_EQ(registry.FindCounter("exec.tasks_completed")->Value(), 20u);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(Executor, SubmitAfterShutdownRunsInline) {
+  Executor pool(ExecutorOptions{.workers = 2});
+  pool.Shutdown();
+  auto f = pool.Submit([] { return 11; });
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f.get(), 11);
+}
+
+TEST(Executor, OwnsPrivateRegistryWhenNoneGiven) {
+  Executor pool(ExecutorOptions{.workers = 3});
+  ASSERT_NE(pool.registry(), nullptr);
+  EXPECT_EQ(pool.registry()->FindGauge("exec.workers")->Value(), 3);
+  pool.Submit([] {}).get();
+  EXPECT_GE(pool.registry()->FindCounter("exec.tasks_submitted")->Value(), 1u);
+}
+
+TEST(Executor, ConcurrentSubmittersAreSafe) {
+  obs::Registry registry;
+  Executor pool(ExecutorOptions{
+      .workers = 3, .queue_capacity = 8, .registry = &registry});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::atomic<int> ran{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &ran] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < kPerThread; ++i) {
+        futures.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ran.load(), kThreads * kPerThread);
+  EXPECT_EQ(registry.FindCounter("exec.tasks_completed")->Value(),
+            uint64_t{kThreads} * kPerThread);
+}
+
+}  // namespace
+}  // namespace dema::exec

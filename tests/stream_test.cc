@@ -208,5 +208,93 @@ TEST(LoserTree, StreamingInterface) {
   EXPECT_FALSE(merger.HasNext());
 }
 
+/// Oracle for SelectRanksFromRuns: materialize the full merge and index.
+std::vector<Event> SelectByFullMerge(std::vector<std::vector<Event>> runs,
+                                     const std::vector<uint64_t>& ranks) {
+  auto merged = MergeSortedRuns(std::move(runs));
+  std::vector<Event> out;
+  out.reserve(ranks.size());
+  for (uint64_t r : ranks) out.push_back(merged[r - 1]);
+  return out;
+}
+
+TEST(SelectRanks, MatchesFullMergeOracleOnRandomRuns) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t num_runs = static_cast<size_t>(rng.UniformInt(1, 8));
+    std::vector<std::vector<Event>> runs;
+    uint64_t total = 0;
+    for (size_t n = 0; n < num_runs; ++n) {
+      size_t len = static_cast<size_t>(rng.UniformInt(0, 60));
+      runs.push_back(RandomSortedRun(&rng, static_cast<uint32_t>(n), len));
+      total += len;
+    }
+    if (total == 0) continue;
+    // Unsorted, possibly duplicated rank list, always including both ends.
+    std::vector<uint64_t> ranks = {total, 1};
+    size_t extra = static_cast<size_t>(rng.UniformInt(0, 6));
+    for (size_t i = 0; i < extra; ++i) {
+      ranks.push_back(static_cast<uint64_t>(rng.UniformInt(1, static_cast<int64_t>(total))));
+    }
+    auto oracle = SelectByFullMerge(runs, ranks);
+    auto picked = SelectRanksFromRuns(std::move(runs), ranks);
+    ASSERT_TRUE(picked.ok()) << picked.status();
+    ASSERT_EQ(picked->size(), ranks.size());
+    for (size_t i = 0; i < ranks.size(); ++i) {
+      EXPECT_EQ((*picked)[i], oracle[i])
+          << "trial " << trial << " rank " << ranks[i];
+    }
+  }
+}
+
+TEST(SelectRanks, SingleRunIsDirectIndexing) {
+  Rng rng(9);
+  auto run = RandomSortedRun(&rng, 0, 40);
+  std::vector<std::vector<Event>> runs;
+  runs.push_back(run);
+  std::vector<uint64_t> ranks = {1, 20, 40};
+  auto picked = SelectRanksFromRuns(std::move(runs), ranks);
+  ASSERT_TRUE(picked.ok());
+  EXPECT_EQ((*picked)[0], run[0]);
+  EXPECT_EQ((*picked)[1], run[19]);
+  EXPECT_EQ((*picked)[2], run[39]);
+}
+
+TEST(SelectRanks, EmptyRankListReturnsNothing) {
+  std::vector<std::vector<Event>> runs;
+  runs.push_back({Event{1, 0, 0, 0}});
+  auto picked = SelectRanksFromRuns(std::move(runs), {});
+  ASSERT_TRUE(picked.ok());
+  EXPECT_TRUE(picked->empty());
+}
+
+TEST(SelectRanks, DuplicateRanksReuseOneAdvance) {
+  std::vector<std::vector<Event>> runs;
+  runs.push_back({Event{1, 0, 0, 0}, Event{3, 0, 0, 1}});
+  runs.push_back({Event{2, 0, 1, 0}});
+  auto picked = SelectRanksFromRuns(std::move(runs), {2, 2, 2});
+  ASSERT_TRUE(picked.ok());
+  for (const Event& e : *picked) EXPECT_EQ(e.value, 2);
+}
+
+TEST(SelectRanks, RejectsOutOfRangeRanks) {
+  std::vector<std::vector<Event>> runs;
+  runs.push_back({Event{1, 0, 0, 0}, Event{2, 0, 0, 1}});
+  EXPECT_FALSE(SelectRanksFromRuns(runs, {0}).ok());
+  EXPECT_FALSE(SelectRanksFromRuns(runs, {3}).ok());
+  EXPECT_FALSE(SelectRanksFromRuns({}, {1}).ok());
+}
+
+TEST(SelectRanks, EmptyRunsAmongRealOnes) {
+  std::vector<std::vector<Event>> runs(5);
+  runs[1] = {Event{10, 0, 1, 0}, Event{30, 0, 1, 1}};
+  runs[3] = {Event{20, 0, 3, 0}};
+  auto picked = SelectRanksFromRuns(std::move(runs), {1, 2, 3});
+  ASSERT_TRUE(picked.ok());
+  EXPECT_EQ((*picked)[0].value, 10);
+  EXPECT_EQ((*picked)[1].value, 20);
+  EXPECT_EQ((*picked)[2].value, 30);
+}
+
 }  // namespace
 }  // namespace dema::stream

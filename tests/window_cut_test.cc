@@ -349,5 +349,37 @@ TEST_P(WindowCutOracle, NaiveSelectionIsAlsoExact) {
   }
 }
 
+TEST(WindowCut, NaivePivotGuardUnreachableOnValidInput) {
+  // Regression for the pivot fallback: SelectNaiveOverlap used to default to
+  // slice 0 when its scan "never" reached the target rank and now returns
+  // Internal instead. Over valid synopses (counts summing to l_G, ranks in
+  // [1, l_G]) the cumulative count reaches l_G by the last slice, so the
+  // guard must never fire — exercise every rank densely over randomized
+  // heavy-overlap layouts to prove it.
+  Rng rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t num_slices = 1 + static_cast<size_t>(rng.UniformInt(0, 11));
+    std::vector<SliceSynopsis> slices;
+    uint64_t l_g = 0;
+    for (size_t i = 0; i < num_slices; ++i) {
+      // Overlapping value intervals (shared [lo, hi) draws) with random,
+      // sometimes-tiny counts; degenerate first==last slices included.
+      double lo = rng.Uniform(0, 50);
+      double hi = rng.UniformInt(0, 3) == 0 ? lo : lo + rng.Uniform(0, 100);
+      uint64_t count = static_cast<uint64_t>(rng.UniformInt(1, 30));
+      slices.push_back(Syn(static_cast<NodeId>(i % 3 + 1),
+                           static_cast<uint32_t>(i), std::min(lo, hi),
+                           std::max(lo, hi), count));
+      l_g += count;
+    }
+    for (uint64_t rank = 1; rank <= l_g; ++rank) {
+      auto result = WindowCut::SelectNaiveOverlap(slices, l_g, rank);
+      ASSERT_TRUE(result.ok())
+          << "trial " << trial << " rank " << rank << ": " << result.status();
+      ASSERT_FALSE(result->candidates.empty());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dema::core
