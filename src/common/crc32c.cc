@@ -1,0 +1,56 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace dema {
+namespace {
+
+/// Slicing-by-4 lookup tables for the reflected Castagnoli polynomial,
+/// generated once at static-init time (256 * 4 u32 entries, 4 KiB).
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t ExtendCrc32c(uint32_t crc, const uint8_t* data, size_t size) {
+  const Crc32cTables& tb = Tables();
+  crc = ~crc;
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(data[0]) |
+           static_cast<uint32_t>(data[1]) << 8 |
+           static_cast<uint32_t>(data[2]) << 16 |
+           static_cast<uint32_t>(data[3]) << 24;
+    crc = tb.t[3][crc & 0xFF] ^ tb.t[2][(crc >> 8) & 0xFF] ^
+          tb.t[1][(crc >> 16) & 0xFF] ^ tb.t[0][crc >> 24];
+    data += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *data++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace dema

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dema {
+
+/// \brief CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78).
+///
+/// The checksum guarding every TCP frame (see `docs/PROTOCOL.md`). Table-based
+/// software implementation — throughput is a rounding error next to the
+/// socket write it protects, and a pure-software CRC keeps the value identical
+/// across build targets so corrupt-frame tests replay deterministically.
+///
+/// `Crc32c(data, n)` is the one-shot form; `ExtendCrc32c` chains over
+/// discontiguous regions (header then payload) without copying:
+///
+///   uint32_t crc = ExtendCrc32c(ExtendCrc32c(0, header, nh), payload, np);
+uint32_t ExtendCrc32c(uint32_t crc, const uint8_t* data, size_t size);
+
+inline uint32_t Crc32c(const uint8_t* data, size_t size) {
+  return ExtendCrc32c(0, data, size);
+}
+
+}  // namespace dema

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "dema/validate.h"
 #include "stream/merge.h"
 #include "stream/quantile.h"
 
@@ -35,6 +36,9 @@ DemaRootNode::DemaRootNode(DemaRootNodeOptions options, transport::Transport* tr
   c_degraded_windows_ = registry_->GetCounter("dema.degraded_windows");
   c_retries_ = registry_->GetCounter("root.retries");
   c_send_failures_ = registry_->GetCounter("root.send_failures");
+  c_rejected_ = registry_->GetCounter("dema.rejected");
+  c_quarantined_ = registry_->GetCounter("dema.quarantined");
+  c_readmitted_ = registry_->GetCounter("dema.readmitted");
   h_select_us_ = registry_->GetHistogram("root.select_us");
 
   // Fail fast on option errors: a bad quantile must not poison a running
@@ -58,6 +62,7 @@ DemaRootNode::DemaRootNode(DemaRootNodeOptions options, transport::Transport* tr
   for (size_t i = 0; i < options_.locals.size(); ++i) {
     local_index_[options_.locals[i]] = i;
   }
+  health_.assign(options_.locals.size(), LocalReputation{});
   if (options_.per_node_gamma) {
     node_gamma_.assign(options_.locals.size(),
                        AdaptiveGammaController(options_.initial_gamma,
@@ -82,6 +87,9 @@ DemaRootStats DemaRootNode::stats() const {
   s.retries = c_retries_->Value();
   s.degraded_windows = c_degraded_windows_->Value();
   s.send_failures = c_send_failures_->Value();
+  s.rejected_payloads = c_rejected_->Value();
+  s.quarantines = c_quarantined_->Value();
+  s.readmissions = c_readmitted_->Value();
   return s;
 }
 
@@ -92,10 +100,171 @@ void DemaRootNode::MarkEmitted(net::WindowId id) {
   } else if (id > emitted_below_) {
     emitted_above_.insert(id);
   }
+  if (options_.quarantine_strikes > 0) {
+    // Quarantine time is measured in emitted windows (the only clock every
+    // configuration shares); the last one opens probation.
+    for (LocalReputation& h : health_) {
+      if (h.state == LocalReputation::State::kQuarantined &&
+          h.probation_windows_left > 0 && --h.probation_windows_left == 0) {
+        h.state = LocalReputation::State::kProbation;
+        h.strikes = 0;
+      }
+    }
+  }
 }
 
 bool DemaRootNode::IsEmitted(net::WindowId id) const {
   return id < emitted_below_ || emitted_above_.count(id) > 0;
+}
+
+Status DemaRootNode::RejectPayload(NodeId src, const char* reason) {
+  c_rejected_->Increment();
+  registry_
+      ->GetCounter(std::string("dema.rejected{reason=") + reason + "}")
+      ->Increment();
+  if (options_.quarantine_strikes == 0) return Status::OK();
+  auto it = local_index_.find(src);
+  if (it == local_index_.end()) return Status::OK();
+  return AddStrike(it->second);
+}
+
+Status DemaRootNode::AddStrike(size_t idx) {
+  LocalReputation& h = health_[idx];
+  switch (h.state) {
+    case LocalReputation::State::kQuarantined:
+      // Already excluded; further rejections carry no new information.
+      return Status::OK();
+    case LocalReputation::State::kProbation:
+      // One strike during probation re-quarantines immediately — the local
+      // has not earned back the benefit of a fresh strike budget.
+      return QuarantineLocal(idx);
+    case LocalReputation::State::kHealthy:
+      if (++h.strikes >= options_.quarantine_strikes) {
+        return QuarantineLocal(idx);
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+bool DemaRootNode::IsQuarantined(size_t idx) const {
+  return options_.quarantine_strikes > 0 &&
+         health_[idx].state == LocalReputation::State::kQuarantined;
+}
+
+uint64_t DemaRootNode::ExcludedSizeEstimate(size_t idx) const {
+  const LocalReputation& h = health_[idx];
+  return h.last_known_size > 0 ? h.last_known_size : h.last_claimed_size;
+}
+
+bool DemaRootNode::SynopsesComplete(const PendingWindow& w) const {
+  if (w.synopsis_from.empty()) return false;
+  for (size_t i = 0; i < options_.locals.size(); ++i) {
+    if (!w.synopsis_from[i] && !IsQuarantined(i)) return false;
+  }
+  return true;
+}
+
+Status DemaRootNode::MaybeRunIdentification(net::WindowId id,
+                                            PendingWindow* w) {
+  if (w->requests_sent) return Status::OK();
+  if (!SynopsesComplete(*w)) return Status::OK();
+  // Charge an excluded-size estimate for every quarantined local the window
+  // never heard from: the emitted result is exact over the contributors, and
+  // the estimate bounds its rank error against the true global window.
+  if (w->excluded_from.empty()) {
+    w->excluded_from.assign(options_.locals.size(), false);
+  }
+  for (size_t i = 0; i < options_.locals.size(); ++i) {
+    if (IsQuarantined(i) && !w->synopsis_from[i] && !w->excluded_from[i]) {
+      w->excluded_from[i] = true;
+      w->excluded_events += ExcludedSizeEstimate(i);
+    }
+  }
+  return RunIdentification(id, w);
+}
+
+Status DemaRootNode::QuarantineLocal(size_t idx) {
+  LocalReputation& h = health_[idx];
+  h.state = LocalReputation::State::kQuarantined;
+  h.strikes = 0;
+  h.probation_windows_left = std::max<uint64_t>(options_.probation_windows, 1);
+  h.clean_windows_needed =
+      std::max<uint32_t>(options_.probation_clean_windows, 1);
+  c_quarantined_->Increment();
+  const NodeId node = options_.locals[idx];
+
+  // Sweep pending windows: identification and completion must stop waiting
+  // for the excluded local right now, or every in-flight window stalls into
+  // its deadline. Ids are snapshotted first — completing or degrading a
+  // window erases it from `pending_`.
+  std::vector<net::WindowId> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, w] : pending_) ids.push_back(id);
+  for (net::WindowId id : ids) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    PendingWindow& w = it->second;
+    if (!w.requests_sent) {
+      // Still collecting synopses: drop the local's accepted contribution
+      // (its data is no longer trusted) and release its retained window.
+      if (!w.synopsis_from.empty() && w.synopsis_from[idx]) {
+        uint64_t stripped = 0;
+        auto keep = w.slices.begin();
+        for (const SliceSynopsis& s : w.slices) {
+          if (s.node == node) {
+            stripped += s.count;
+          } else {
+            *keep++ = s;
+          }
+        }
+        w.slices.erase(keep, w.slices.end());
+        w.synopsis_from[idx] = false;
+        --w.synopses_received;
+        w.global_size -= stripped;
+        if (w.excluded_from.empty()) {
+          w.excluded_from.assign(options_.locals.size(), false);
+        }
+        w.excluded_from[idx] = true;
+        w.excluded_events += stripped;
+        CandidateRequest release;
+        release.window_id = id;
+        (void)transport_->Send(net::MakeMessage(
+            net::MessageType::kCandidateRequest, options_.id, node, release));
+      }
+      DEMA_RETURN_NOT_OK(MaybeRunIdentification(id, &it->second));
+    } else {
+      // Candidates already requested. If the window still waits on this
+      // local's reply, it will never arrive honestly — emit degraded from
+      // whatever did (EmitDegraded also releases the local's retained
+      // window).
+      auto req_it = w.request_indices.find(node);
+      const bool waiting = req_it != w.request_indices.end() &&
+                           (w.reply_from.empty() || !w.reply_from[idx]);
+      if (waiting) {
+        DEMA_RETURN_NOT_OK(EmitDegraded(id, &w, "quarantine"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void DemaRootNode::CreditCleanWindow(const PendingWindow& w) {
+  if (options_.quarantine_strikes == 0) return;
+  for (size_t i = 0; i < options_.locals.size(); ++i) {
+    LocalReputation& h = health_[i];
+    if (h.state != LocalReputation::State::kProbation) continue;
+    if (w.synopsis_from.empty() || !w.synopsis_from[i]) continue;
+    const bool replied_clean =
+        w.request_indices.count(options_.locals[i]) == 0 ||
+        (!w.reply_from.empty() && w.reply_from[i]);
+    if (!replied_clean) continue;
+    if (h.clean_windows_needed > 0 && --h.clean_windows_needed == 0) {
+      h.state = LocalReputation::State::kHealthy;
+      h.strikes = 0;
+      c_readmitted_->Increment();
+    }
+  }
 }
 
 Status DemaRootNode::SendBestEffort(net::Message m) {
@@ -147,18 +316,24 @@ Status DemaRootNode::OnMessage(const net::Message& msg) {
     return Status::OK();
   }
   net::Reader r(msg.payload);
+  // A payload that fails to decode is corruption evidence, not a root
+  // failure: drop it, count it, strike the sender. The retry/deadline
+  // machinery recovers the window exactly as if the message were lost.
   switch (msg.type) {
     case net::MessageType::kSynopsisBatch: {
-      DEMA_ASSIGN_OR_RETURN(auto batch, SynopsisBatch::Deserialize(&r));
-      return HandleSynopsisBatch(batch);
+      auto batch = SynopsisBatch::Deserialize(&r);
+      if (!batch.ok()) return RejectPayload(msg.src, "decode");
+      return HandleSynopsisBatch(*batch, msg.src);
     }
     case net::MessageType::kCandidateReply: {
-      DEMA_ASSIGN_OR_RETURN(auto reply, CandidateReply::Deserialize(&r));
-      return HandleCandidateReply(std::move(reply));
+      auto reply = CandidateReply::Deserialize(&r);
+      if (!reply.ok()) return RejectPayload(msg.src, "decode");
+      return HandleCandidateReply(std::move(reply).MoveValueUnsafe(), msg.src);
     }
     case net::MessageType::kGammaSyncRequest: {
-      DEMA_ASSIGN_OR_RETURN(auto sync, GammaSyncRequest::Deserialize(&r));
-      return HandleGammaSync(sync);
+      auto sync = GammaSyncRequest::Deserialize(&r);
+      if (!sync.ok()) return RejectPayload(msg.src, "decode");
+      return HandleGammaSync(*sync, msg.src);
     }
     case net::MessageType::kShutdown:
       return Status::OK();
@@ -168,11 +343,11 @@ Status DemaRootNode::OnMessage(const net::Message& msg) {
   }
 }
 
-Status DemaRootNode::HandleGammaSync(const GammaSyncRequest& sync) {
-  if (local_index_.find(sync.node) == local_index_.end()) {
-    return Status::InvalidArgument("gamma sync from unknown node " +
-                                   std::to_string(sync.node));
+Status DemaRootNode::HandleGammaSync(const GammaSyncRequest& sync, NodeId src) {
+  if (local_index_.find(src) == local_index_.end()) {
+    return RejectPayload(src, "unknown_node");
   }
+  if (sync.node != src) return RejectPayload(src, "node_mismatch");
   // A restarted local missed any broadcasts while it was down; answer with
   // the current factor. effective_from 0 lets the local clamp the update to
   // its own emission frontier.
@@ -192,11 +367,31 @@ void DemaRootNode::NoteWindowHorizon(net::WindowId last) {
   highest_window_seen_ = std::max(highest_window_seen_, last);
 }
 
-Status DemaRootNode::HandleSynopsisBatch(const SynopsisBatch& batch) {
-  auto idx_it = local_index_.find(batch.node);
+Status DemaRootNode::HandleSynopsisBatch(const SynopsisBatch& batch,
+                                         NodeId src) {
+  auto idx_it = local_index_.find(src);
   if (idx_it == local_index_.end()) {
-    return Status::InvalidArgument("synopsis from unknown node " +
-                                   std::to_string(batch.node));
+    // An unknown sender (misrouted or forged frame) must not take the run
+    // down; drop the payload and keep the window alive for the real locals.
+    return RejectPayload(src, "unknown_node");
+  }
+  const size_t idx = idx_it->second;
+  if (const char* reason =
+          ValidateSynopsisBatch(batch, src, options_.strict_validation)) {
+    // The payload is untrusted, but its claimed size is still the only
+    // available exclusion estimate if this strike ends in quarantine.
+    health_[idx].last_claimed_size = batch.local_window_size;
+    return RejectPayload(src, reason);
+  }
+  if (IsQuarantined(idx)) {
+    // Remember the claimed size as an (untrusted) exclusion estimate, and
+    // release the local's retained window — it will never be queried.
+    health_[idx].last_claimed_size = batch.local_window_size;
+    CandidateRequest release;
+    release.window_id = batch.window_id;
+    (void)transport_->Send(net::MakeMessage(
+        net::MessageType::kCandidateRequest, options_.id, src, release));
+    return RejectPayload(src, "quarantined");
   }
   if (IsEmitted(batch.window_id)) {
     // A delayed or retransmitted synopsis for a window that already emitted
@@ -217,7 +412,7 @@ Status DemaRootNode::HandleSynopsisBatch(const SynopsisBatch& batch) {
     w.trace.first_synopsis_us =
         static_cast<uint64_t>(std::max<TimestampUs>(0, clock_->NowUs()));
   }
-  if (w.synopsis_from[idx_it->second]) {
+  if (w.synopsis_from[idx]) {
     if (options_.tolerate_duplicates) {
       c_duplicates_ignored_->Increment();
       return Status::OK();
@@ -225,8 +420,9 @@ Status DemaRootNode::HandleSynopsisBatch(const SynopsisBatch& batch) {
     return Status::AlreadyExists("duplicate synopsis from node " +
                                  std::to_string(batch.node));
   }
-  w.synopsis_from[idx_it->second] = true;
+  w.synopsis_from[idx] = true;
   ++w.synopses_received;
+  health_[idx].last_known_size = batch.local_window_size;
   w.global_size += batch.local_window_size;
   w.last_close_time_us = std::max(w.last_close_time_us, batch.close_time_us);
   w.slices.insert(w.slices.end(), batch.slices.begin(), batch.slices.end());
@@ -239,20 +435,26 @@ Status DemaRootNode::HandleSynopsisBatch(const SynopsisBatch& batch) {
     w.retries = 0;
   }
 
-  if (w.synopses_received == options_.locals.size()) {
-    return RunIdentification(batch.window_id, &w);
-  }
-  return Status::OK();
+  return MaybeRunIdentification(batch.window_id, &w);
 }
 
 Status DemaRootNode::RunIdentification(net::WindowId id, PendingWindow* w) {
   if (w->global_size == 0) {
-    // Every local window was empty; emit an empty result directly.
+    // Every contributing local window was empty; emit an empty result
+    // directly — flagged degraded when emptiness is an artifact of
+    // quarantine exclusions rather than a genuinely empty global window.
     sim::WindowOutput out;
     out.window_id = id;
     out.global_size = 0;
     out.quantiles = options_.quantiles;
     out.values.assign(options_.quantiles.size(), 0.0);
+    if (w->excluded_events > 0) {
+      out.degraded = true;
+      out.degrade_cause = "quarantine";
+      out.rank_error_bound = w->excluded_events;
+      c_degraded_windows_->Increment();
+      w->trace.degraded = true;
+    }
     out.latency_us = EmitLatencyUs(w->last_close_time_us, &w->trace);
     c_windows_->Increment();
     RecordTrace(w);
@@ -330,12 +532,18 @@ Status DemaRootNode::RunIdentification(net::WindowId id, PendingWindow* w) {
   return Status::OK();
 }
 
-Status DemaRootNode::HandleCandidateReply(CandidateReply reply) {
-  auto idx_it = local_index_.find(reply.node);
+Status DemaRootNode::HandleCandidateReply(CandidateReply reply, NodeId src) {
+  auto idx_it = local_index_.find(src);
   if (idx_it == local_index_.end()) {
-    return Status::InvalidArgument("reply from unknown node " +
-                                   std::to_string(reply.node));
+    // Unknown sender: drop the payload, never the run (the window completes
+    // from the real locals' replies).
+    return RejectPayload(src, "unknown_node");
   }
+  const size_t idx = idx_it->second;
+  // Identity is checkable without window context — catch a tampered node
+  // field even when the window already emitted.
+  if (reply.node != src) return RejectPayload(src, "node_mismatch");
+  if (IsQuarantined(idx)) return RejectPayload(src, "quarantined");
   auto it = pending_.find(reply.window_id);
   if (it == pending_.end()) {
     if (options_.tolerate_duplicates) {
@@ -348,10 +556,40 @@ Status DemaRootNode::HandleCandidateReply(CandidateReply reply) {
   }
   PendingWindow& w = it->second;
   if (!w.requests_sent) {
-    return Status::FailedPrecondition("reply before identification completed");
+    // No request is out yet, so no honest local can be replying.
+    return RejectPayload(src, "unexpected_reply");
+  }
+  auto req_it = w.request_indices.find(src);
+  if (req_it == w.request_indices.end()) {
+    // This local holds no candidate slices for the window; accepting the
+    // run would shift every rank. (Before validation existed, such a reply
+    // poisoned the completion count.)
+    return RejectPayload(src, "unexpected_reply");
+  }
+  // Re-derive the synopses of exactly the slices this local was asked for;
+  // the reply must agree with what it declared at identification time.
+  std::vector<SliceSynopsis> requested;
+  requested.reserve(req_it->second.size());
+  size_t next_requested = 0;
+  for (const SliceSynopsis& s : w.slices) {
+    if (s.node != src) continue;
+    if (next_requested < req_it->second.size() &&
+        s.index == req_it->second[next_requested]) {
+      requested.push_back(s);
+      ++next_requested;
+    }
+  }
+  if (next_requested != req_it->second.size()) {
+    return Status::Internal("candidate request indices for node " +
+                            std::to_string(src) +
+                            " not found among window synopses");
+  }
+  if (const char* reason = ValidateCandidateReply(
+          reply, src, requested, options_.strict_validation)) {
+    return RejectPayload(src, reason);
   }
   if (w.reply_from.empty()) w.reply_from.assign(options_.locals.size(), false);
-  if (w.reply_from[idx_it->second]) {
+  if (w.reply_from[idx]) {
     if (options_.tolerate_duplicates) {
       c_duplicates_ignored_->Increment();
       return Status::OK();
@@ -359,7 +597,7 @@ Status DemaRootNode::HandleCandidateReply(CandidateReply reply) {
     return Status::AlreadyExists("duplicate reply from node " +
                                  std::to_string(reply.node));
   }
-  w.reply_from[idx_it->second] = true;
+  w.reply_from[idx] = true;
   w.reply_runs.push_back(std::move(reply.events));
   ++w.trace.replies;
   uint64_t now =
@@ -414,6 +652,16 @@ Status DemaRootNode::CompleteWindow(net::WindowId id, PendingWindow* w) {
   out.quantiles = options_.quantiles;
   out.values.reserve(options_.quantiles.size());
   for (const Event& e : picked) out.values.push_back(e.value);
+  if (w->excluded_events > 0) {
+    // Exact over the contributing locals, but a quarantined local's events
+    // were excluded — flag the emit so no consumer mistakes it for the true
+    // global quantile. The exclusion count bounds the rank error.
+    out.degraded = true;
+    out.degrade_cause = "quarantine";
+    out.rank_error_bound = w->excluded_events;
+    c_degraded_windows_->Increment();
+    w->trace.degraded = true;
+  }
   out.latency_us = EmitLatencyUs(w->last_close_time_us, &w->trace);
 
   c_windows_->Increment();
@@ -425,6 +673,9 @@ Status DemaRootNode::CompleteWindow(net::WindowId id, PendingWindow* w) {
   PendingWindow completed = std::move(*w);
   pending_.erase(id);
   if (callback_) callback_(out);
+  // An exact completion is the probation currency: every local that
+  // contributed cleanly earns a credit toward re-admission.
+  CreditCleanWindow(completed);
 
   if (options_.adaptive_gamma && options_.per_node_gamma) {
     DEMA_RETURN_NOT_OK(AdaptPerNode(id, completed));
@@ -605,6 +856,9 @@ Status DemaRootNode::EmitDegraded(net::WindowId id, PendingWindow* w,
     out.values.assign(options_.quantiles.size(), 0.0);
     out.rank_error_bound = 0;
   }
+  // Quarantine exclusions shift true ranks on top of whatever this window
+  // already lost; the bounds compose additively.
+  out.rank_error_bound += w->excluded_events;
   out.latency_us = EmitLatencyUs(w->last_close_time_us, &w->trace);
 
   // Release retained windows on locals we will no longer query (best

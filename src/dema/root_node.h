@@ -58,6 +58,25 @@ struct DemaRootNodeOptions {
   uint64_t deadline_ticks = 0;
   /// Recovery attempts per window before degrading (with deadlines on).
   uint32_t max_retries = 3;
+  /// Hold inbound payloads to the strict flat-topology protocol rules (see
+  /// `ValidateSynopsisBatch`): slices form an exact γ-cut of one sorted local
+  /// window. Tree builders turn this off — a relay's combined batch
+  /// legitimately interleaves its children's cuts — keeping only the
+  /// structural rules (node identity, finite sorted values, sizes that add
+  /// up).
+  bool strict_validation = true;
+  /// Misbehaving-local quarantine: after this many rejected payloads a local
+  /// is excluded from the window protocol — its payloads are dropped, it is
+  /// left out of completion expectations and the window-cut, and affected
+  /// windows emit through the degraded path with `cause=quarantine` and a
+  /// rank-error bound. 0 (default) disables quarantine; rejections are still
+  /// counted in `dema.rejected{reason=}` and dropped.
+  uint32_t quarantine_strikes = 0;
+  /// Windows a quarantined local sits out before probation begins.
+  uint64_t probation_windows = 8;
+  /// Exact windows a probation local must contribute cleanly before full
+  /// re-admission; any rejection during probation re-quarantines it.
+  uint32_t probation_clean_windows = 2;
   /// Metrics sink for the `dema.*` instruments. When null, the node owns a
   /// private registry (reachable via `registry()`), so instrumentation is
   /// always on. Must outlive the node when provided.
@@ -97,6 +116,12 @@ struct DemaRootStats {
   uint64_t degraded_windows = 0;
   /// Transport send failures tolerated while recovery was enabled.
   uint64_t send_failures = 0;
+  /// Inbound payloads rejected by the validation pass (all reasons).
+  uint64_t rejected_payloads = 0;
+  /// Quarantine entries (a re-offending probation local counts again).
+  uint64_t quarantines = 0;
+  /// Locals fully re-admitted after a clean probation.
+  uint64_t readmissions = 0;
 };
 
 /// \brief Dema's root node: runs the identification and calculation steps
@@ -170,14 +195,67 @@ class DemaRootNode final : public sim::RootNodeLogic {
     /// Tick at which the deadline machinery next examines this window;
     /// pushed forward on every progress event.
     uint64_t next_check_tick = 0;
+    /// Events excluded from this window because their local was quarantined
+    /// (exact counts for stripped synopses, last-known-size estimates for
+    /// never-arrived ones). Non-zero forces a degraded emit with
+    /// `cause=quarantine` and this value as the rank-error bound.
+    uint64_t excluded_events = 0;
+    /// Locals (by index) already accounted into `excluded_events`.
+    std::vector<bool> excluded_from;
   };
 
-  Status HandleSynopsisBatch(const SynopsisBatch& batch);
+  /// Per-local reputation for the misbehaving-local quarantine.
+  struct LocalReputation {
+    enum class State { kHealthy, kQuarantined, kProbation };
+    State state = State::kHealthy;
+    /// Rejected payloads since the last clean slate (healthy state only).
+    uint32_t strikes = 0;
+    /// Quarantine: emitted windows left before probation begins.
+    uint64_t probation_windows_left = 0;
+    /// Probation: clean windows left before full re-admission.
+    uint32_t clean_windows_needed = 0;
+    /// Trusted window size from the local's last *accepted* synopsis; basis
+    /// of the excluded-events estimate for windows it never contributed to.
+    uint64_t last_known_size = 0;
+    /// Untrusted size claimed by its last *rejected* synopsis (fallback
+    /// estimate when nothing was ever accepted).
+    uint64_t last_claimed_size = 0;
+  };
+
+  Status HandleSynopsisBatch(const SynopsisBatch& batch, NodeId src);
   /// Takes the reply by value: its event run moves straight into
   /// `PendingWindow::reply_runs` without a copy (hot path — one run per node
   /// per window).
-  Status HandleCandidateReply(CandidateReply reply);
-  Status HandleGammaSync(const GammaSyncRequest& sync);
+  Status HandleCandidateReply(CandidateReply reply, NodeId src);
+  Status HandleGammaSync(const GammaSyncRequest& sync, NodeId src);
+  /// Drops an inbound payload that failed validation: counts it into
+  /// `dema.rejected` (total and per \p reason) and, with quarantine enabled
+  /// and \p src a known local, adds a strike — possibly quarantining it.
+  /// Always resolves to OK (or an internal error from the quarantine sweep);
+  /// corruption must never take the root down.
+  Status RejectPayload(NodeId src, const char* reason);
+  /// Strike accounting for local \p idx; quarantines on the K-th strike and
+  /// immediately re-quarantines a striking probation local.
+  Status AddStrike(size_t idx);
+  /// Excludes local \p idx: flips its state, then sweeps pending windows —
+  /// pre-identification windows drop its accepted slices (and may now
+  /// complete without it); post-identification windows still waiting on its
+  /// reply emit degraded with `cause=quarantine`.
+  Status QuarantineLocal(size_t idx);
+  /// True when local \p idx is currently excluded by quarantine.
+  bool IsQuarantined(size_t idx) const;
+  /// Every non-quarantined local has contributed a synopsis.
+  bool SynopsesComplete(const PendingWindow& w) const;
+  /// Runs identification once the (quarantine-aware) synopsis set is
+  /// complete, first charging excluded-size estimates for quarantined locals
+  /// that never contributed.
+  Status MaybeRunIdentification(net::WindowId id, PendingWindow* w);
+  /// Best-guess window size of an excluded local (last accepted size, else
+  /// last claimed).
+  uint64_t ExcludedSizeEstimate(size_t idx) const;
+  /// Credits probation locals that contributed cleanly to a completed
+  /// window; the last needed credit re-admits them.
+  void CreditCleanWindow(const PendingWindow& w);
   /// Emits a best-effort result for a window whose recovery budget ran out:
   /// the quantile over whatever candidate replies arrived, or an estimate
   /// from the synopses alone, flagged with a rank-error bound and \p cause.
@@ -214,6 +292,8 @@ class DemaRootNode final : public sim::RootNodeLogic {
   Status init_status_;
   std::map<NodeId, size_t> local_index_;
   std::map<net::WindowId, PendingWindow> pending_;
+  /// Per-local reputation, by local index (parallel to `options_.locals`).
+  std::vector<LocalReputation> health_;
   /// Transport-level duplicate suppression over message sequence numbers.
   net::SeqDedup dedup_;
   /// Deadline clock (incremented per `Tick()`).
@@ -248,6 +328,9 @@ class DemaRootNode final : public sim::RootNodeLogic {
   obs::Counter* c_degraded_windows_;
   obs::Counter* c_retries_;
   obs::Counter* c_send_failures_;
+  obs::Counter* c_rejected_;
+  obs::Counter* c_quarantined_;
+  obs::Counter* c_readmitted_;
   /// Calculation-step selection time (rank-select over the reply runs,
   /// wall-clock µs) — the cost `SelectRanksFromRuns` keeps off the heap.
   obs::Histogram* h_select_us_;

@@ -69,7 +69,9 @@ Status DecodeEvents(Reader* r, std::vector<Event>* out) {
   out->clear();
 
   if (codec == EventCodec::kFixed) {
-    if (count * kEventWireBytes > r->remaining()) {
+    // Division form: `count * kEventWireBytes` wraps for corrupt counts near
+    // 2^64 and would let a hostile payload drive a huge reserve().
+    if (count > r->remaining() / kEventWireBytes) {
       return Status::SerializationError("event count exceeds remaining buffer");
     }
     out->reserve(count);
@@ -87,7 +89,8 @@ Status DecodeEvents(Reader* r, std::vector<Event>* out) {
     return Status::SerializationError("unknown compact value mode");
   }
   // Compact events are at least 4 bytes each (value byte + three deltas).
-  if (count * 4 > r->remaining()) {
+  // Division form so a corrupt count near 2^64 cannot wrap past the check.
+  if (count > r->remaining() / 4) {
     return Status::SerializationError("event count exceeds remaining buffer");
   }
   out->reserve(count);

@@ -49,8 +49,9 @@ Status StreamValues(Reader* r, EventCodec codec, uint64_t count, uint8_t value_m
                     Fn&& fn) {
   if (codec == EventCodec::kFixed) {
     // Validated stride over the fixed-width records: one bounds check for
-    // the whole batch, then a raw pointer walk (sketch-root hot path).
-    if (count * kEventWireBytes > r->remaining()) {
+    // the whole batch, then a raw pointer walk (sketch-root hot path). The
+    // division form keeps a corrupt count near 2^64 from wrapping the check.
+    if (count > r->remaining() / kEventWireBytes) {
       return Status::SerializationError("event count exceeds remaining buffer");
     }
     const uint8_t* p = r->raw();
@@ -99,7 +100,7 @@ Status ForEachEncodedValue(Reader* r, Fn&& fn, uint64_t* count_out) {
   uint8_t value_mode = 0;
   if (codec == EventCodec::kCompact) {
     DEMA_RETURN_NOT_OK(r->GetU8(&value_mode));
-  } else if (count * kEventWireBytes > r->remaining()) {
+  } else if (count > r->remaining() / kEventWireBytes) {
     return Status::SerializationError("event count exceeds remaining buffer");
   }
   DEMA_RETURN_NOT_OK(codec_internal::StreamValues(r, codec, count, value_mode,

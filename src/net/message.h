@@ -53,11 +53,13 @@ enum class MessageType : uint16_t {
 /// \brief Returns a readable name for a message type, e.g. "EventBatch".
 const char* MessageTypeToString(MessageType type);
 
-/// Fixed per-message envelope overhead charged to the wire (type + src + dst
-/// + sequence number + payload length), mirroring a small framed TCP
-/// protocol.
+/// Fixed per-message envelope overhead charged to the wire: an 18-byte
+/// header (type + src + dst + sequence number + payload length) plus a
+/// 4-byte CRC32C trailer covering header and payload, mirroring a small
+/// framed TCP protocol (see `docs/PROTOCOL.md`, protocol version 2).
 inline constexpr uint64_t kEnvelopeWireBytes =
-    sizeof(uint16_t) + 2 * sizeof(NodeId) + 2 * sizeof(uint32_t);
+    sizeof(uint16_t) + 2 * sizeof(NodeId) + 2 * sizeof(uint32_t) +
+    /*crc32c trailer*/ sizeof(uint32_t);
 
 /// \brief A framed message travelling between nodes.
 ///

@@ -1,5 +1,8 @@
 #include "net/network.h"
 
+#include "common/crc32c.h"
+#include "net/serializer.h"
+
 namespace dema::net {
 
 Network::Network(const Clock* clock) : Network(clock, Options()) {}
@@ -14,6 +17,10 @@ Network::Network(const Clock* clock, Options options)
       dup_sent_(registry_, "net.duplicates"),
       c_dropped_(registry_->GetCounter("net.dropped")),
       c_delayed_(registry_->GetCounter("net.delayed")),
+      c_corrupted_(registry_->GetCounter("net.corrupted")),
+      c_corrupted_frame_(registry_->GetCounter("net.corrupted{layer=frame}")),
+      c_corrupted_payload_(
+          registry_->GetCounter("net.corrupted{layer=payload}")),
       fault_rng_(options.fault_seed) {}
 
 Status Network::RegisterNode(NodeId id) {
@@ -50,6 +57,72 @@ void Network::CountDropLocked(const char* cause) {
   c_dropped_->Increment();
   registry_->GetCounter(std::string("net.dropped{cause=") + cause + "}")
       ->Increment();
+}
+
+bool Network::CorruptFrameLocked(Message* m) {
+  // Reconstruct the bytes a framing sender would have written (the TCP
+  // transport's header layout) and the CRC it would have framed, so the
+  // drop decision below is a real checksum verification, not an assumption.
+  Writer w;
+  w.PutU16(static_cast<uint16_t>(m->type));
+  w.PutU32(m->src);
+  w.PutU32(m->dst);
+  w.PutU32(m->seq);
+  w.PutU32(static_cast<uint32_t>(m->payload.size()));
+  std::vector<uint8_t> header = w.TakeBuffer();
+  const uint32_t framed_crc =
+      ExtendCrc32c(ExtendCrc32c(0, header.data(), header.size()),
+                   m->payload.data(), m->payload.size());
+
+  // Flip one random byte anywhere in the frame: header, payload, or the
+  // 4-byte trailer itself.
+  const size_t frame_size =
+      header.size() + m->payload.size() + sizeof(uint32_t);
+  const size_t at = static_cast<size_t>(
+      fault_rng_.UniformInt(0, static_cast<int64_t>(frame_size - 1)));
+  const uint8_t mask = static_cast<uint8_t>(fault_rng_.UniformInt(1, 255));
+  uint32_t trailer_crc = framed_crc;
+  if (at < header.size()) {
+    header[at] ^= mask;
+  } else if (at < header.size() + m->payload.size()) {
+    m->payload[at - header.size()] ^= mask;
+  } else {
+    trailer_crc ^= static_cast<uint32_t>(mask)
+                   << (8 * (at - header.size() - m->payload.size()));
+  }
+  const uint32_t recomputed =
+      ExtendCrc32c(ExtendCrc32c(0, header.data(), header.size()),
+                   m->payload.data(), m->payload.size());
+  if (recomputed != trailer_crc) {
+    ++messages_corrupted_;
+    c_corrupted_->Increment();
+    c_corrupted_frame_->Increment();
+    return true;  // receiver detects the flip and drops the frame
+  }
+  return false;  // unreachable for single-byte flips (CRC32C property)
+}
+
+void Network::MaybeTamperLocked(Message* m) {
+  if (tampering_.empty() || !tampering_.count(m->src)) return;
+  // A tampering local corrupts its own protocol reports; both payloads
+  // carry the declared node id at offset 8 (after the u64 window id).
+  if (m->type != MessageType::kSynopsisBatch &&
+      m->type != MessageType::kCandidateReply) {
+    return;
+  }
+  constexpr size_t kNodeFieldOffset = sizeof(uint64_t);
+  if (m->payload.size() < kNodeFieldOffset + sizeof(uint32_t)) return;
+  if (options_.tamper_prob < 1.0 &&
+      !fault_rng_.Bernoulli(options_.tamper_prob)) {
+    return;
+  }
+  // Flip a bit of the declared node id. The message re-frames with a valid
+  // CRC (the "sender" computes it over the tampered bytes), so nothing below
+  // the root's validation pass can tell it apart from an honest message.
+  m->payload[kNodeFieldOffset] ^= 0x01;
+  ++messages_corrupted_;
+  c_corrupted_->Increment();
+  c_corrupted_payload_->Increment();
 }
 
 std::vector<std::pair<Channel*, Message>> Network::CollectDueLocked(
@@ -90,6 +163,11 @@ Status Network::Send(Message m) {
     m.seq = ++next_seq_[MakeKey(m.src, m.dst)];
     virtual_now_us_ +=
         std::max<uint64_t>(1, options_.link_model.base_latency_us);
+    // A tampering sender corrupts its payload before the message ever
+    // reaches the wire; the frame (and its checksum) is built over the
+    // already-tampered bytes, so the loss/corruption pipeline below treats
+    // it like any honest message.
+    MaybeTamperLocked(&m);
     // Fault pipeline. Dropped messages return OK: a lost datagram looks like
     // a successful send. Loss is charged to the wire (the message travelled
     // before it was lost); partition/node-down drops never leave the sender.
@@ -105,6 +183,16 @@ Status Network::Send(Message m) {
                fault_rng_.Bernoulli(options_.drop_prob)) {
       ChargeLocked(m);
       CountDropLocked("loss");
+      dropped = true;
+      due = CollectDueLocked(virtual_now_us_);
+    } else if (options_.corrupt_prob > 0 &&
+               fault_rng_.Bernoulli(options_.corrupt_prob) &&
+               CorruptFrameLocked(&m)) {
+      // Wire-level byte flip caught by the frame checksum: the receiver
+      // drops the frame, so from the protocol's view this is loss — the
+      // deadline/retry machinery recovers it like any other drop.
+      ChargeLocked(m);
+      CountDropLocked("corrupt");
       dropped = true;
       due = CollectDueLocked(virtual_now_us_);
     } else {
@@ -169,6 +257,20 @@ void Network::SetNodeDown(NodeId id, bool down) {
   } else {
     down_.erase(id);
   }
+}
+
+void Network::SetNodeTamper(NodeId id, bool tampering) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tampering) {
+    tampering_.insert(id);
+  } else {
+    tampering_.erase(id);
+  }
+}
+
+uint64_t Network::messages_corrupted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_corrupted_;
 }
 
 uint64_t Network::FlushDelayed() {

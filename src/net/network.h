@@ -73,6 +73,21 @@ class Network : public transport::Transport {
     DurationUs delay_us_max = 0;
     /// Probability that a message is delayed when `delay_us_max` > 0.
     double delay_prob = 1.0;
+    /// Fault injection: probability that a sent message's frame suffers a
+    /// random byte flip in transit. The fabric plays receiver: it computes
+    /// the real CRC32C a sender would have framed, applies the flip, and
+    /// re-verifies — a mismatch (always, for single-byte flips) drops the
+    /// frame exactly as the TCP reader would, counted in
+    /// `net.corrupted{layer=frame}` and `net.dropped{cause=corrupt}`. The
+    /// checksum is exercised, not assumed.
+    double corrupt_prob = 0;
+    /// Fault injection: probability that a message from a node marked via
+    /// `SetNodeTamper` has a protocol field tampered *with a valid CRC*
+    /// (models a buggy or malicious local, not a noisy wire): the declared
+    /// node id inside kSynopsisBatch / kCandidateReply payloads is flipped,
+    /// so only the root's validation pass can catch it. Counted in
+    /// `net.corrupted{layer=payload}`.
+    double tamper_prob = 1.0;
     /// Seed for the fault-injection draw (deterministic runs).
     uint64_t fault_seed = 1;
     /// Metrics sink for the `transport.sent.*` instruments. When null, the
@@ -125,6 +140,15 @@ class Network : public transport::Transport {
   /// (`net.dropped{cause=node_down}`). The node's inbox survives, so a
   /// restarted logic can reuse it.
   void SetNodeDown(NodeId id, bool down);
+
+  /// Marks node \p id as tampering (true) or honest again (false): while
+  /// tampering, each of its protocol payloads is field-tampered with
+  /// probability `tamper_prob` and delivered with a *valid* checksum — the
+  /// corruption only the root's validation layer can catch.
+  void SetNodeTamper(NodeId id, bool tampering);
+
+  /// Messages corrupted by injection so far (frame flips + field tampers).
+  uint64_t messages_corrupted() const;
 
   /// Delivers every held-back (delayed) message in due order, regardless of
   /// the virtual clock; returns how many were delivered. Drivers call this at
@@ -200,8 +224,20 @@ class Network : public transport::Transport {
   };
 
   /// Counts a fault-dropped message (mu_ held). \p cause is a short label
-  /// ("loss", "partition", "node_down").
+  /// ("loss", "partition", "node_down", "corrupt").
   void CountDropLocked(const char* cause);
+
+  /// Flips one random byte of \p m's would-be frame and replays the
+  /// receiver's CRC check (mu_ held). Returns true when the flip was caught
+  /// — the caller drops the message; false (flip landed undetectably, which
+  /// CRC32C rules out for single-byte flips, or mutated only padding) keeps
+  /// the possibly-mutated message in flight.
+  bool CorruptFrameLocked(Message* m);
+
+  /// Applies the tampering-node field tamper to \p m when eligible (mu_
+  /// held): flips the declared node id inside protocol payloads, leaving the
+  /// checksum valid.
+  void MaybeTamperLocked(Message* m);
 
   /// Pops every delayed message with due time <= \p horizon (mu_ held),
   /// returning (inbox, message) pairs in due order; messages whose link went
@@ -219,6 +255,9 @@ class Network : public transport::Transport {
   TrafficInstruments dup_sent_;
   obs::Counter* c_dropped_;
   obs::Counter* c_delayed_;
+  obs::Counter* c_corrupted_;
+  obs::Counter* c_corrupted_frame_;
+  obs::Counter* c_corrupted_payload_;
   mutable std::mutex mu_;
   std::map<NodeId, std::unique_ptr<Channel>> inboxes_;
   std::vector<NodeId> order_;
@@ -228,12 +267,15 @@ class Network : public transport::Transport {
   uint64_t duplicates_injected_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t messages_delayed_ = 0;
+  uint64_t messages_corrupted_ = 0;
   /// Per-(src, dst) next sequence number (1-based).
   std::map<LinkKey, uint32_t> next_seq_;
   /// Directed links currently partitioned.
   std::set<LinkKey> partitions_;
   /// Nodes currently crashed.
   std::set<NodeId> down_;
+  /// Nodes currently emitting field-tampered (valid-CRC) payloads.
+  std::set<NodeId> tampering_;
   /// Virtual in-flight clock: advances by the link model's base latency per
   /// send, so delayed redelivery is deterministic and wall-clock free.
   uint64_t virtual_now_us_ = 0;

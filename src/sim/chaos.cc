@@ -116,7 +116,8 @@ Result<FaultPlan> ParseFaultSchedule(const std::string& spec) {
     if (eq == std::string::npos) return BadSpec(token, "expected key=value");
     std::string key = token.substr(0, eq);
     std::string value = token.substr(eq + 1);
-    if (key == "drop" || key == "dup" || key == "delay-prob") {
+    if (key == "drop" || key == "dup" || key == "delay-prob" ||
+        key == "corrupt" || key == "tamper-prob") {
       double p = 0;
       if (!ParseF64(value, &p) || p < 0 || p >= 1) {
         return BadSpec(token, "probability must be in [0, 1)");
@@ -125,6 +126,10 @@ Result<FaultPlan> ParseFaultSchedule(const std::string& spec) {
         plan.drop_prob = p;
       } else if (key == "dup") {
         plan.duplicate_prob = p;
+      } else if (key == "corrupt") {
+        plan.corrupt_prob = p;
+      } else if (key == "tamper-prob") {
+        plan.tamper_prob = p;
       } else {
         plan.delay_prob = p;
       }
@@ -144,6 +149,34 @@ Result<FaultPlan> ParseFaultSchedule(const std::string& spec) {
         return BadSpec(token, "bad retry count");
       }
       plan.max_retries = static_cast<uint32_t>(r);
+    } else if (key == "strikes") {
+      uint64_t k = 0;
+      if (!ParseU64(value, &k) || k > UINT32_MAX) {
+        return BadSpec(token, "bad strike count");
+      }
+      plan.quarantine_strikes = static_cast<uint32_t>(k);
+    } else if (key == "tamper") {
+      // Same shape as a partition range: `NODE@FROM..UNTIL`.
+      size_t at = value.find('@');
+      if (at == std::string::npos) {
+        return BadSpec(token, "expected NODE@FROM..UNTIL");
+      }
+      uint64_t node = 0;
+      if (!ParseU64(value.substr(0, at), &node)) {
+        return BadSpec(token, "bad node");
+      }
+      std::string range = value.substr(at + 1);
+      size_t dots = range.find("..");
+      uint64_t from = 0, until = 0;
+      if (dots == std::string::npos || !ParseU64(range.substr(0, dots), &from) ||
+          !ParseU64(range.substr(dots + 2), &until) || until <= from) {
+        return BadSpec(token, "bad window range");
+      }
+      TamperEvent tamper;
+      tamper.node = static_cast<NodeId>(node);
+      tamper.from_window = from;
+      tamper.until_window = until;
+      plan.tampers.push_back(tamper);
     } else if (key == "crash") {
       CrashEvent crash;
       DEMA_RETURN_NOT_OK(ParseCrash(token, value, &crash));
@@ -195,6 +228,17 @@ Result<ChaosReport> RunChaos(const SystemConfig& system_config,
                                      std::to_string(crash.node));
     }
   }
+  for (const TamperEvent& tamper : plan.tampers) {
+    if (tamper.node == 0 || tamper.node > system_config.num_locals) {
+      return Status::InvalidArgument("tamper schedule names unknown node " +
+                                     std::to_string(tamper.node));
+    }
+  }
+  if (!plan.tampers.empty() && plan.quarantine_strikes == 0) {
+    return Status::InvalidArgument(
+        "tamper schedule needs quarantine (strikes > 0): without it a "
+        "tampering local stalls every window into its retry budget");
+  }
 
   RealClock clock;
   obs::Registry registry;
@@ -202,6 +246,9 @@ Result<ChaosReport> RunChaos(const SystemConfig& system_config,
   config.registry = &registry;
   config.root_deadline_ticks = plan.deadline_ticks;
   config.root_max_retries = plan.max_retries;
+  config.root_quarantine_strikes = plan.quarantine_strikes;
+  config.root_probation_windows = plan.probation_windows;
+  config.root_probation_clean_windows = plan.probation_clean_windows;
 
   net::Network::Options net_options;
   net_options.registry = &registry;
@@ -209,6 +256,8 @@ Result<ChaosReport> RunChaos(const SystemConfig& system_config,
   net_options.duplicate_prob = plan.duplicate_prob;
   net_options.delay_us_max = plan.delay_us_max;
   net_options.delay_prob = plan.delay_prob;
+  net_options.corrupt_prob = plan.corrupt_prob;
+  net_options.tamper_prob = plan.tamper_prob;
   net_options.fault_seed = plan.seed;
   net::Network network(&clock, net_options);
 
@@ -333,6 +382,10 @@ Result<ChaosReport> RunChaos(const SystemConfig& system_config,
         network.Partition(part.b, part.a);
       }
     }
+    for (const TamperEvent& tamper : plan.tampers) {
+      if (tamper.until_window == w) network.SetNodeTamper(tamper.node, false);
+      if (tamper.from_window == w) network.SetNodeTamper(tamper.node, true);
+    }
 
     TimestampUs start = static_cast<TimestampUs>(w) * window_len;
     TimestampUs end = start + window_len;
@@ -440,7 +493,12 @@ Result<ChaosReport> RunChaos(const SystemConfig& system_config,
   report.messages_dropped = network.messages_dropped();
   report.duplicates_injected = network.duplicates_injected();
   report.messages_delayed = network.messages_delayed();
-  report.root_retries = root->stats().retries;
+  report.messages_corrupted = network.messages_corrupted();
+  const core::DemaRootStats root_stats = root->stats();
+  report.root_retries = root_stats.retries;
+  report.rejected_payloads = root_stats.rejected_payloads;
+  report.quarantines = root_stats.quarantines;
+  report.readmissions = root_stats.readmissions;
   return report;
 }
 

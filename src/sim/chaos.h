@@ -29,10 +29,19 @@ struct PartitionEvent {
   net::WindowId until_window = 0;
 };
 
+/// \brief One scheduled field-tampering phase: the node's protocol payloads
+/// are tampered (valid checksum — only the root's validation pass catches
+/// them) from the start of `from_window` until the start of `until_window`.
+struct TamperEvent {
+  NodeId node = 0;
+  net::WindowId from_window = 0;
+  net::WindowId until_window = 0;
+};
+
 /// \brief A deterministic fault schedule for one chaos run: probabilistic
-/// message faults (drop / duplicate / delay, all driven by `seed`) plus
-/// scheduled crashes and partitions pinned to window boundaries. The same
-/// plan over the same workload replays the same faults.
+/// message faults (drop / duplicate / delay / corrupt, all driven by `seed`)
+/// plus scheduled crashes, partitions, and tampering phases pinned to window
+/// boundaries. The same plan over the same workload replays the same faults.
 struct FaultPlan {
   /// Per-message silent-loss probability.
   double drop_prob = 0;
@@ -43,22 +52,37 @@ struct FaultPlan {
   DurationUs delay_us_max = 0;
   /// Probability a message is delayed when `delay_us_max` > 0.
   double delay_prob = 0.25;
+  /// Per-message frame byte-flip probability: the fabric re-runs the real
+  /// CRC32C check and drops the corrupted frame exactly as the TCP reader
+  /// would (`net.corrupted{layer=frame}`); the loss is then recovered by the
+  /// root's retry/deadline machinery.
+  double corrupt_prob = 0;
+  /// Probability a tampering node's eligible payload is field-tampered.
+  double tamper_prob = 1.0;
   /// Seed for every probabilistic fault draw.
   uint64_t seed = 1;
   std::vector<CrashEvent> crashes;
   std::vector<PartitionEvent> partitions;
+  std::vector<TamperEvent> tampers;
   /// Root deadline machinery knobs (see `DemaRootNodeOptions`). The harness
   /// ticks the root once per window boundary.
   uint64_t deadline_ticks = 4;
   uint32_t max_retries = 3;
+  /// Misbehaving-local quarantine knobs (see `DemaRootNodeOptions`). On by
+  /// default in chaos runs: honest locals are never rejected, so the strike
+  /// budget only ever fires on injected tampering.
+  uint32_t quarantine_strikes = 3;
+  uint64_t probation_windows = 2;
+  uint32_t probation_clean_windows = 2;
 };
 
 /// \brief Parses a compact fault-schedule spec, e.g.
-/// `drop=0.03,dup=0.05,delay-us=1500,seed=7,crash=2@3+2,partition=1-0@2..4`.
+/// `drop=0.03,dup=0.05,corrupt=0.05,seed=7,crash=2@3+2,tamper=1@2..5`.
 ///
-/// Keys: `drop`, `dup`, `delay-us`, `delay-prob`, `seed`, `deadline`,
-/// `retries`, plus repeatable `crash=NODE@WINDOW[+DOWN]` and
-/// `partition=A-B@FROM..UNTIL`. Unknown keys fail.
+/// Keys: `drop`, `dup`, `delay-us`, `delay-prob`, `corrupt`, `tamper-prob`,
+/// `seed`, `deadline`, `retries`, `strikes`, plus repeatable
+/// `crash=NODE@WINDOW[+DOWN]`, `partition=A-B@FROM..UNTIL`, and
+/// `tamper=NODE@FROM..UNTIL`. Unknown keys fail.
 Result<FaultPlan> ParseFaultSchedule(const std::string& spec);
 
 /// \brief Per-window outcome of a chaos run, checked against an oracle over
@@ -91,8 +115,14 @@ struct ChaosReport {
   uint64_t messages_dropped = 0;
   uint64_t duplicates_injected = 0;
   uint64_t messages_delayed = 0;
+  /// Frames flipped (CRC-dropped) plus payloads field-tampered.
+  uint64_t messages_corrupted = 0;
   uint64_t root_retries = 0;
   uint64_t restarts = 0;
+  /// Corruption-defense accounting at the root.
+  uint64_t rejected_payloads = 0;
+  uint64_t quarantines = 0;
+  uint64_t readmissions = 0;
   /// First invariant violation, empty when the run held the chaos contract:
   /// every window emitted exactly-matching the oracle OR explicitly degraded
   /// with a cause, and the root ended idle.

@@ -78,6 +78,9 @@ Result<std::unique_ptr<RootNodeLogic>> BuildRootLogic(
       opts.use_naive_selection = config.naive_selection;
       opts.deadline_ticks = config.root_deadline_ticks;
       opts.max_retries = config.root_max_retries;
+      opts.quarantine_strikes = config.root_quarantine_strikes;
+      opts.probation_windows = config.root_probation_windows;
+      opts.probation_clean_windows = config.root_probation_clean_windows;
       opts.registry = config.registry;
       opts.tracer = config.tracer;
       return std::unique_ptr<RootNodeLogic>(

@@ -68,6 +68,15 @@ struct SystemConfig {
   /// Candidate-request retry budget per window before degrading.
   uint32_t root_max_retries = 3;
 
+  // --- corruption defense (Dema root validation + quarantine) ---
+  /// Rejected-payload strikes before a local is quarantined; 0 disables
+  /// quarantine (rejections are still counted and dropped).
+  uint32_t root_quarantine_strikes = 0;
+  /// Emitted windows a quarantined local sits out before probation.
+  uint64_t root_probation_windows = 8;
+  /// Clean windows a probation local must contribute before re-admission.
+  uint32_t root_probation_clean_windows = 2;
+
   /// How Dema local nodes keep windows sorted: sort-on-close (default,
   /// fastest) or the paper's incremental insertion.
   stream::SortMode sort_mode = stream::SortMode::kSortOnClose;

@@ -45,6 +45,10 @@ Result<TreeSystem> BuildTreeSystem(const TreeConfig& config, net::Network* netwo
   core::DemaRootNodeOptions root_opts;
   root_opts.id = tree.root_id;
   root_opts.locals = tree.relay_ids;  // the root's "locals" are the relays
+  // A relay's combined batch interleaves its children's γ-cuts, which the
+  // strict flat-topology rules would (correctly, but falsely here) reject;
+  // keep only the structural validation rules.
+  root_opts.strict_validation = false;
   root_opts.quantiles = config.quantiles;
   root_opts.initial_gamma = config.gamma;
   root_opts.registry = config.registry;

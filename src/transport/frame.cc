@@ -1,5 +1,7 @@
 #include "transport/frame.h"
 
+#include "common/crc32c.h"
+#include "net/codec.h"
 #include "net/serializer.h"
 
 namespace dema::transport {
@@ -33,9 +35,37 @@ void EncodeFrame(const net::Message& m, std::vector<uint8_t>* out) {
                 "frame header encodes NodeId as u32; widen the fields and "
                 "kEnvelopeWireBytes together");
   const std::vector<uint8_t>& header = w.buffer();
-  out->reserve(out->size() + header.size() + m.payload.size());
+  const uint32_t crc = ComputeFrameCrc(header.data(), header.size(),
+                                       m.payload.data(), m.payload.size());
+  out->reserve(out->size() + header.size() + m.payload.size() +
+               kFrameTrailerBytes);
   out->insert(out->end(), header.begin(), header.end());
   out->insert(out->end(), m.payload.begin(), m.payload.end());
+  net::Writer trailer;
+  trailer.PutU32(crc);
+  out->insert(out->end(), trailer.buffer().begin(), trailer.buffer().end());
+}
+
+uint32_t ComputeFrameCrc(const uint8_t* header, size_t header_size,
+                         const uint8_t* payload, size_t payload_size) {
+  uint32_t crc = ExtendCrc32c(0, header, header_size);
+  return ExtendCrc32c(crc, payload, payload_size);
+}
+
+Status VerifyFrameCrc(const uint8_t* header, size_t header_size,
+                      const uint8_t* payload, size_t payload_size,
+                      const uint8_t* trailer) {
+  const uint32_t want = ComputeFrameCrc(header, header_size, payload,
+                                        payload_size);
+  net::Reader r(trailer, kFrameTrailerBytes);
+  uint32_t got = 0;
+  DEMA_RETURN_NOT_OK(r.GetU32(&got));
+  if (got != want) {
+    return Status::SerializationError(
+        "frame checksum mismatch (expected " + std::to_string(want) +
+        ", trailer carries " + std::to_string(got) + ")");
+  }
+  return Status::OK();
 }
 
 Status DecodeFrameHeader(const uint8_t* data, size_t size, uint32_t max_payload,
@@ -75,16 +105,25 @@ Result<uint64_t> PeekEventCount(net::MessageType type,
     default:
       return uint64_t{0};
   }
-  // Event stream: u8 codec tag, varint count (both codecs).
-  DEMA_RETURN_NOT_OK(r.Skip(1));
+  // Walk the encoded stream instead of trusting the declared count: the
+  // count is attacker-controlled, buffers downstream are sized by it, and a
+  // lying count must fail here, at the edge. `ForEachEncodedValue` errors
+  // when the stream holds fewer events than declared; leftover bytes mean it
+  // held more.
   uint64_t count = 0;
-  DEMA_RETURN_NOT_OK(r.GetVarint(&count));
+  DEMA_RETURN_NOT_OK(net::ForEachEncodedValue(&r, [](double) {}, &count));
+  if (r.remaining() != 0) {
+    return Status::SerializationError(
+        "event stream declares " + std::to_string(count) + " events but " +
+        std::to_string(r.remaining()) + " payload bytes follow them");
+  }
   return count;
 }
 
 void EncodeHello(const std::vector<NodeId>& nodes, std::vector<uint8_t>* out) {
   net::Writer w;
   w.PutU32(kHelloMagic);
+  w.PutU32(kProtocolVersion);
   w.PutU32(static_cast<uint32_t>(nodes.size()));
   for (NodeId id : nodes) w.PutU32(id);
   const std::vector<uint8_t>& bytes = w.buffer();
@@ -93,11 +132,20 @@ void EncodeHello(const std::vector<NodeId>& nodes, std::vector<uint8_t>* out) {
 
 Result<uint32_t> DecodeHelloPrefix(const uint8_t* data, size_t size) {
   net::Reader r(data, size);
-  uint32_t magic = 0, count = 0;
+  uint32_t magic = 0, version = 0, count = 0;
   DEMA_RETURN_NOT_OK(r.GetU32(&magic));
+  DEMA_RETURN_NOT_OK(r.GetU32(&version));
   DEMA_RETURN_NOT_OK(r.GetU32(&count));
   if (magic != kHelloMagic) {
     return Status::SerializationError("connection preamble has bad magic");
+  }
+  // A v1 dialer's node count lands in the version slot (its hello had no
+  // version field), so incompatible peers fail here with a version message
+  // instead of desynchronizing the frame stream on a missing CRC trailer.
+  if (version != kProtocolVersion) {
+    return Status::SerializationError(
+        "peer speaks protocol version " + std::to_string(version) +
+        ", this node requires version " + std::to_string(kProtocolVersion));
   }
   if (count > kMaxHelloNodes) {
     return Status::SerializationError("hello announces too many nodes");

@@ -8,18 +8,25 @@
 
 namespace dema::transport {
 
-/// \brief Wire framing for the TCP transport.
+/// \brief Wire framing for the TCP transport (protocol version 2).
 ///
-/// A frame is exactly the simulated envelope followed by the payload:
+/// A frame is the simulated envelope split around the payload:
 ///
-///   u16 type | u32 src | u32 dst | u32 seq | u32 payload_size | payload bytes
+///   u16 type | u32 src | u32 dst | u32 seq | u32 payload_size |
+///   payload bytes | u32 crc32c
 ///
-/// so a frame occupies `Message::WireBytes()` bytes on the socket — the TCP
-/// transport's measured per-link byte counters are directly comparable to
-/// the in-process fabric's accounting (and to the paper's Fig. 6 numbers).
+/// The CRC32C trailer covers header + payload, so bit flips anywhere in the
+/// frame are detected before the payload reaches a decoder. Header + trailer
+/// together equal `net::kEnvelopeWireBytes`, so a frame still occupies
+/// exactly `Message::WireBytes()` bytes on the socket — the TCP transport's
+/// measured per-link byte counters stay directly comparable to the
+/// in-process fabric's accounting (and to the paper's Fig. 6 numbers).
 /// The fixed header doubles as the length prefix: a receiver reads
-/// `kFrameHeaderBytes`, validates, then reads `payload_size` more bytes.
-inline constexpr size_t kFrameHeaderBytes = net::kEnvelopeWireBytes;
+/// `kFrameHeaderBytes`, validates, reads `payload_size` more bytes, then the
+/// trailer.
+inline constexpr size_t kFrameTrailerBytes = sizeof(uint32_t);
+inline constexpr size_t kFrameHeaderBytes =
+    net::kEnvelopeWireBytes - kFrameTrailerBytes;
 
 /// \brief Decoded frame header (the envelope fields).
 struct FrameHeader {
@@ -33,10 +40,25 @@ struct FrameHeader {
 /// True when \p raw is a defined `MessageType` value.
 bool IsKnownMessageType(uint16_t raw);
 
-/// \brief Appends the frame for \p m (header + payload) to \p out.
+/// \brief Appends the frame for \p m (header + payload + CRC trailer) to
+/// \p out.
 ///
 /// Exactly `m.WireBytes()` bytes are appended.
 void EncodeFrame(const net::Message& m, std::vector<uint8_t>* out);
+
+/// \brief CRC32C over a frame's header and payload (the trailer's expected
+/// value). The regions may be discontiguous, as on the receive path.
+uint32_t ComputeFrameCrc(const uint8_t* header, size_t header_size,
+                         const uint8_t* payload, size_t payload_size);
+
+/// \brief Checks a received frame's CRC trailer against header + payload.
+///
+/// \p trailer points at the `kFrameTrailerBytes` checksum bytes. Fails with
+/// `SerializationError` on a mismatch — the caller drops the frame (framing
+/// is intact; the connection survives) and counts it in `net.corrupted`.
+Status VerifyFrameCrc(const uint8_t* header, size_t header_size,
+                      const uint8_t* payload, size_t payload_size,
+                      const uint8_t* trailer);
 
 /// \brief Parses and validates a frame header from \p data.
 ///
@@ -50,18 +72,28 @@ Status DecodeFrameHeader(const uint8_t* data, size_t size, uint32_t max_payload,
 ///
 /// `Message::event_count` is sender-side metadata and not part of the wire
 /// format, so a receiver reconstructs it by peeking the payload of the two
-/// event-carrying message types (EventBatch, CandidateReply). Returns 0 for
-/// every other type; fails only on a corrupt event-carrying payload.
+/// event-carrying message types (EventBatch, CandidateReply). The declared
+/// count is cross-checked against the actual encoded event stream — a
+/// mismatch (count lies about the bytes that follow) fails the decode
+/// rather than poisoning downstream accounting. Returns 0 for every other
+/// type; fails only on a corrupt event-carrying payload.
 Result<uint64_t> PeekEventCount(net::MessageType type,
                                 const std::vector<uint8_t>& payload);
 
 // --- connection handshake ----------------------------------------------------
 
-/// First bytes on every dialed connection: magic, then the dialer's hosted
-/// node ids (u32 magic | u32 count | count * u32 id). The acceptor uses the
-/// ids to route replies back over the same connection, so only one side of a
-/// star topology needs configured addresses.
+/// First bytes on every dialed connection: magic, protocol version, then the
+/// dialer's hosted node ids (u32 magic | u32 version | u32 count |
+/// count * u32 id). The acceptor uses the ids to route replies back over the
+/// same connection, so only one side of a star topology needs configured
+/// addresses. Version mismatches are rejected at accept time, before any
+/// frame is parsed — a v1 peer (no version field, no CRC trailers) fails
+/// cleanly here instead of desynchronizing the frame stream.
 inline constexpr uint32_t kHelloMagic = 0x44454D41;  // "DEMA"
+
+/// Wire protocol version. v1: 18-byte envelope, no checksum, 2-field hello.
+/// v2: CRC32C frame trailer, 3-field hello with version negotiation.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Upper bound on hello node counts (defence against corrupt preambles).
 inline constexpr uint32_t kMaxHelloNodes = 1u << 16;
@@ -69,8 +101,8 @@ inline constexpr uint32_t kMaxHelloNodes = 1u << 16;
 /// \brief Appends the hello preamble announcing \p nodes to \p out.
 void EncodeHello(const std::vector<NodeId>& nodes, std::vector<uint8_t>* out);
 
-/// Bytes of the fixed hello prefix (magic + count).
-inline constexpr size_t kHelloPrefixBytes = 2 * sizeof(uint32_t);
+/// Bytes of the fixed hello prefix (magic + version + count).
+inline constexpr size_t kHelloPrefixBytes = 3 * sizeof(uint32_t);
 
 /// \brief Parses the fixed hello prefix; returns the announced node count.
 Result<uint32_t> DecodeHelloPrefix(const uint8_t* data, size_t size);

@@ -157,7 +157,13 @@ TcpTransport::TcpTransport(TcpTransportOptions options)
       recv_(registry_, "transport.recv"),
       jitter_rng_(options_.dial_jitter_seed != 0
                       ? options_.dial_jitter_seed
-                      : static_cast<uint64_t>(::getpid()) * 2654435761u + 1) {}
+                      : static_cast<uint64_t>(::getpid()) * 2654435761u + 1),
+      corrupt_rng_(options_.corrupt_seed != 0
+                       ? options_.corrupt_seed
+                       : static_cast<uint64_t>(::getpid()) * 0x9E3779B9u + 3),
+      c_corrupted_total_(registry_->GetCounter("net.corrupted")),
+      c_corrupted_inject_(registry_->GetCounter("net.corrupted{layer=inject}")),
+      c_corrupted_recv_(registry_->GetCounter("net.corrupted{layer=tcp}")) {}
 
 TcpTransport::~TcpTransport() { Shutdown(); }
 
@@ -372,6 +378,10 @@ void TcpTransport::ReaderLoop(Conn* conn, bool expect_hello) {
     if (!count.ok()) {
       DEMA_LOG(Warn) << "dropping connection: " << count.status();
       conn->dead.store(true);
+      // FIN now so the rejected peer (e.g. a version-1 dialer) sees the
+      // rejection immediately instead of hanging until our Shutdown();
+      // Shutdown() still owns the close, so the fd is reaped exactly once.
+      ::shutdown(conn->fd, SHUT_RDWR);
       return;
     }
     std::vector<uint8_t> ids_buf(*count * sizeof(uint32_t));
@@ -382,7 +392,9 @@ void TcpTransport::ReaderLoop(Conn* conn, bool expect_hello) {
     }
     auto ids = DecodeHelloNodes(ids_buf.data(), ids_buf.size(), *count);
     if (!ids.ok()) {
+      DEMA_LOG(Warn) << "dropping connection: " << ids.status();
       conn->dead.store(true);
+      ::shutdown(conn->fd, SHUT_RDWR);
       return;
     }
     std::lock_guard<std::mutex> lock(mu_);
@@ -422,10 +434,30 @@ void TcpTransport::ReaderLoop(Conn* conn, bool expect_hello) {
       conn->dead.store(true);
       return;
     }
+    uint8_t trailer[kFrameTrailerBytes];
+    st = ReadFull(conn->fd, trailer, sizeof(trailer), stopped_, &eof);
+    if (!st.ok() || eof) {
+      DEMA_LOG(Warn) << "connection closed mid-frame";
+      conn->dead.store(true);
+      return;
+    }
+    // The checksum guards the decoded header too, so verify before acting on
+    // anything but the payload length (which framing already consumed). A
+    // mismatch drops this frame only: framing is intact, the connection
+    // survives, and the sender's retry machinery recovers the message.
+    st = VerifyFrameCrc(header.data(), header.size(), m.payload.data(),
+                        m.payload.size(), trailer);
+    if (!st.ok()) {
+      DEMA_LOG(Warn) << "dropping corrupt frame: " << st;
+      c_corrupted_total_->Increment();
+      c_corrupted_recv_->Increment();
+      continue;
+    }
     // Reconstruct the event-count metadata (sender-side only, not framed).
     auto events = PeekEventCount(h.type, m.payload);
     m.event_count = events.ok() ? *events : 0;
-    recv_.Charge(h.src, h.dst, h.type, kFrameHeaderBytes + h.payload_size,
+    recv_.Charge(h.src, h.dst, h.type,
+                 kFrameHeaderBytes + h.payload_size + kFrameTrailerBytes,
                  m.event_count);
     net::Channel* inbox = Inbox(h.dst);
     if (inbox == nullptr) {
@@ -441,6 +473,19 @@ void TcpTransport::WriterLoop(Conn* conn) {
   while (auto m = conn->outbox->Pop()) {
     buf.clear();
     EncodeFrame(*m, &buf);
+    if (options_.corrupt_rate > 0 && buf.size() > kFrameHeaderBytes) {
+      std::lock_guard<std::mutex> lock(corrupt_mu_);
+      if (corrupt_rng_.Bernoulli(options_.corrupt_rate)) {
+        // Flip one byte past the header (payload or CRC region) so the
+        // receiver's framing survives and its checksum does the catching.
+        const size_t at = static_cast<size_t>(corrupt_rng_.UniformInt(
+            static_cast<int64_t>(kFrameHeaderBytes),
+            static_cast<int64_t>(buf.size() - 1)));
+        buf[at] ^= static_cast<uint8_t>(corrupt_rng_.UniformInt(1, 255));
+        c_corrupted_total_->Increment();
+        c_corrupted_inject_->Increment();
+      }
+    }
     Status st = WriteFull(conn->fd, buf.data(), buf.size(), stopped_);
     if (!st.ok()) {
       DEMA_LOG(Warn) << "connection write error: " << st;

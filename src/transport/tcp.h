@@ -66,6 +66,14 @@ struct TcpTransportOptions {
   DurationUs io_timeout_us = MillisUs(200);
   /// Largest accepted frame payload (corrupt length-prefix defence).
   uint32_t max_frame_payload = 64u << 20;
+  /// Fault injection: probability per outbound frame of flipping one random
+  /// byte after the length-prefix header (payload or CRC trailer) before it
+  /// hits the socket, exercising the receiver's checksum path end to end.
+  /// Flips stay clear of the header so framing survives and the receiver
+  /// drops the one corrupt frame instead of the connection. 0 disables.
+  double corrupt_rate = 0;
+  /// Seed for the corruption injector; 0 derives one from the pid.
+  uint64_t corrupt_seed = 0;
   /// Metrics sink for the `transport.sent.*` / `transport.recv.*`
   /// instruments. When null, the transport owns a private registry
   /// (reachable via `registry()`). Must outlive the transport when provided.
@@ -193,6 +201,14 @@ class TcpTransport final : public Transport {
   /// Dial-backoff jitter draw (own mutex: dialing happens outside mu_).
   std::mutex jitter_mu_;
   Rng jitter_rng_;
+  /// Corruption-injector draws (own mutex: shared by all writer threads).
+  std::mutex corrupt_mu_;
+  Rng corrupt_rng_;
+  /// Frames corrupted: injected on send (`layer=inject`) and detected +
+  /// dropped on receive (`layer=tcp`).
+  obs::Counter* c_corrupted_total_;
+  obs::Counter* c_corrupted_inject_;
+  obs::Counter* c_corrupted_recv_;
 };
 
 }  // namespace dema::transport

@@ -64,6 +64,22 @@ TEST(FaultScheduleSpec, RejectsMalformedSpecs) {
   EXPECT_FALSE(ParseFaultSchedule("crash=1").ok());    // missing @WINDOW
   EXPECT_FALSE(ParseFaultSchedule("crash=1@2+0").ok());  // zero downtime
   EXPECT_FALSE(ParseFaultSchedule("partition=1-0@4..2").ok());  // until<=from
+  EXPECT_FALSE(ParseFaultSchedule("corrupt=1.0").ok());  // probability >= 1
+  EXPECT_FALSE(ParseFaultSchedule("tamper=1").ok());     // missing @FROM..UNTIL
+  EXPECT_FALSE(ParseFaultSchedule("tamper=1@4..2").ok());  // until<=from
+}
+
+TEST(FaultScheduleSpec, ParsesCorruptionKeys) {
+  auto plan = ParseFaultSchedule(
+      "corrupt=0.07,tamper-prob=0.5,strikes=2,tamper=1@2..5,seed=9");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_DOUBLE_EQ(plan->corrupt_prob, 0.07);
+  EXPECT_DOUBLE_EQ(plan->tamper_prob, 0.5);
+  EXPECT_EQ(plan->quarantine_strikes, 2u);
+  ASSERT_EQ(plan->tampers.size(), 1u);
+  EXPECT_EQ(plan->tampers[0].node, 1u);
+  EXPECT_EQ(plan->tampers[0].from_window, 2u);
+  EXPECT_EQ(plan->tampers[0].until_window, 5u);
 }
 
 // --- invariants -------------------------------------------------------------
@@ -143,6 +159,75 @@ TEST(Chaos, CrashedNodeRecoversFromCheckpoint) {
   // against the two surviving nodes — every window must still be exact (no
   // messages were lost, only a node's source stream).
   EXPECT_EQ(report->exact_windows, 6u);
+}
+
+TEST(Chaos, CorruptFramesAreDetectedNeverSilentlyWrong) {
+  // Mixed loss + frame corruption: every corrupted frame must be caught by
+  // the CRC trailer and handled like a loss — recovered by retries or
+  // explicitly degraded, never a crashed run and never a wrong quantile.
+  SystemConfig config = ChaosConfig(3);
+  auto plan = ParseFaultSchedule(
+      "corrupt=0.05,drop=0.02,dup=0.03,seed=21,deadline=2,retries=3");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  WorkloadConfig load = ChaosWorkload(config, /*windows=*/6);
+  auto report = RunChaos(config, load, *plan);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->Invariant()) << report->violation;
+  EXPECT_EQ(report->mismatched_windows, 0u);
+  EXPECT_EQ(report->missing_windows, 0u);
+  EXPECT_GT(report->messages_corrupted, 0u);
+  // Honest traffic is never rejected by validation: the CRC layer catches
+  // wire corruption before the payloads reach the root.
+  EXPECT_EQ(report->rejected_payloads, 0u);
+  EXPECT_EQ(report->quarantines, 0u);
+
+  // The corruption schedule replays deterministically.
+  auto replay = RunChaos(config, load, *plan);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(report->messages_corrupted, replay->messages_corrupted);
+  ASSERT_EQ(report->windows.size(), replay->windows.size());
+  for (size_t i = 0; i < report->windows.size(); ++i) {
+    EXPECT_EQ(report->windows[i].values, replay->windows[i].values);
+    EXPECT_EQ(report->windows[i].degraded, replay->windows[i].degraded);
+  }
+}
+
+TEST(Chaos, TamperingLocalIsQuarantinedThenReadmitted) {
+  // Node 2 field-tampers (valid CRC) during windows 1..3: only the root's
+  // validation layer can catch it. The strike budget quarantines the node,
+  // affected windows degrade with cause=quarantine, probation begins once
+  // the term is served, and clean windows re-admit it — the final windows
+  // are exact over all locals again.
+  SystemConfig config = ChaosConfig(3);
+  auto plan = ParseFaultSchedule("tamper=2@1..3,strikes=2,seed=13,deadline=2");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto report = RunChaos(config, ChaosWorkload(config, /*windows=*/10), *plan);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->Invariant()) << report->violation;
+  EXPECT_GT(report->messages_corrupted, 0u);
+  EXPECT_GT(report->rejected_payloads, 0u);
+  EXPECT_GE(report->quarantines, 1u);
+  EXPECT_GE(report->readmissions, 1u);
+  bool saw_quarantine_cause = false;
+  for (const ChaosWindowReport& w : report->windows) {
+    if (w.degrade_cause == "quarantine") saw_quarantine_cause = true;
+  }
+  EXPECT_TRUE(saw_quarantine_cause);
+  // After re-admission the cluster answers exactly again.
+  const ChaosWindowReport& last = report->windows.back();
+  EXPECT_TRUE(last.emitted);
+  EXPECT_FALSE(last.degraded);
+  EXPECT_TRUE(last.matches_oracle);
+}
+
+TEST(Chaos, TamperScheduleRequiresQuarantine) {
+  // Tampered payloads are indistinguishable from honest ones below the
+  // validation layer; with quarantine disabled the run could only stall or
+  // lie, so the harness refuses the combination up front.
+  SystemConfig config = ChaosConfig(3);
+  auto plan = ParseFaultSchedule("tamper=2@1..3,strikes=0");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE(RunChaos(config, ChaosWorkload(config), *plan).ok());
 }
 
 TEST(Chaos, RejectsNonDemaSystems) {

@@ -357,6 +357,154 @@ TEST(PayloadRobustness, EverySingleByteCorruptionIsHandled) {
   }
 }
 
+TEST(PayloadRobustness, SeededRandomByteFlipsAreHandled) {
+  // Beyond the exhaustive single-byte sweep: bursts of random byte flips at
+  // random offsets, seeded so failures reproduce. The decode must return a
+  // clean Status or a plausibly-sized result — never crash and never size a
+  // buffer off a corrupt count (every encoded event costs at least one
+  // payload byte, so a successful decode can't claim more events than
+  // bytes).
+  Rng rng(0xC0DEC);
+  for (const PayloadCase& c : AllPayloadCases()) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<uint8_t> corrupt = c.payload;
+      const int flips = static_cast<int>(rng.UniformInt(1, 8));
+      for (int f = 0; f < flips; ++f) {
+        size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(corrupt.size()) - 1));
+        corrupt[at] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
+      }
+      Reader r(corrupt);
+      if (c.type == MessageType::kEventBatch) {
+        auto out = EventBatch::Deserialize(&r);
+        if (out.ok()) {
+          EXPECT_LE(out->events.size(), corrupt.size()) << c.name;
+        }
+      } else if (c.type == MessageType::kCandidateReply) {
+        auto out = core::CandidateReply::Deserialize(&r);
+        if (out.ok()) {
+          EXPECT_LE(out->events.size(), corrupt.size()) << c.name;
+        }
+      } else {
+        (void)c.decode(&r);
+      }
+    }
+  }
+}
+
+TEST(FrameCrc, DetectsEverySingleByteFlip) {
+  net::Message m;
+  m.type = MessageType::kCandidateReply;
+  m.src = 2;
+  m.dst = 0;
+  m.seq = 9;
+  m.payload = {10, 20, 30, 40, 50, 60};
+  std::vector<uint8_t> frame;
+  transport::EncodeFrame(m, &frame);
+  ASSERT_EQ(frame.size(), m.WireBytes());
+  const size_t payload_at = transport::kFrameHeaderBytes;
+  const size_t trailer_at = payload_at + m.payload.size();
+  ASSERT_TRUE(transport::VerifyFrameCrc(frame.data(), payload_at,
+                                        frame.data() + payload_at,
+                                        m.payload.size(),
+                                        frame.data() + trailer_at)
+                  .ok());
+  // CRC32C catches every single-bit (and single-byte) error, whether it
+  // lands in the header, the payload, or the trailer itself.
+  for (size_t i = 0; i < frame.size(); ++i) {
+    for (uint8_t bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> bad = frame;
+      bad[i] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(transport::VerifyFrameCrc(bad.data(), payload_at,
+                                             bad.data() + payload_at,
+                                             m.payload.size(),
+                                             bad.data() + trailer_at)
+                       .ok())
+          << "flip at byte " << i << " bit " << int(bit) << " went undetected";
+    }
+  }
+}
+
+TEST(FrameCrc, DetectsSeededRandomBursts) {
+  core::SynopsisBatch synopses;
+  synopses.window_id = 12;
+  synopses.node = 4;
+  synopses.gamma_used = 8;
+  synopses.local_window_size = 16;
+  auto events = RandomEvents(16, 37, /*sorted=*/true);
+  synopses.slices.push_back(core::SliceSynopsis{4, 0, events[0], events[7], 8});
+  synopses.slices.push_back(core::SliceSynopsis{4, 1, events[8], events[15], 8});
+  net::Message m = MakeMessage(MessageType::kSynopsisBatch, 4, 0, synopses);
+  std::vector<uint8_t> frame;
+  transport::EncodeFrame(m, &frame);
+  const size_t payload_at = transport::kFrameHeaderBytes;
+  const size_t trailer_at = payload_at + m.payload.size();
+
+  Rng rng(0xCCCC);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> bad = frame;
+    const int flips = static_cast<int>(rng.UniformInt(1, 6));
+    for (int f = 0; f < flips; ++f) {
+      size_t at = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(bad.size()) - 1));
+      bad[at] ^= static_cast<uint8_t>(rng.UniformInt(1, 255));
+    }
+    if (bad == frame) continue;  // flips cancelled out
+    EXPECT_FALSE(transport::VerifyFrameCrc(bad.data(), payload_at,
+                                           bad.data() + payload_at,
+                                           m.payload.size(),
+                                           bad.data() + trailer_at)
+                     .ok())
+        << "trial " << trial;
+  }
+}
+
+TEST(PeekEventCountCheck, CrossChecksDeclaredCountAgainstStream) {
+  EventBatch batch;
+  batch.window_id = 4;
+  batch.sorted = true;
+  batch.codec = EventCodec::kFixed;
+  batch.events = RandomEvents(25, 41, /*sorted=*/true);
+  std::vector<uint8_t> payload = Serialized(batch);
+
+  auto count = transport::PeekEventCount(MessageType::kEventBatch, payload);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 25u);
+
+  // Non-event-carrying types report zero without touching the payload.
+  auto none = transport::PeekEventCount(MessageType::kWindowEnd, payload);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0u);
+
+  // The count varint sits after u64 window_id + sorted + last_batch bytes
+  // and the codec tag. Inflate it: the stream now holds fewer events than
+  // declared, which must fail instead of sizing a buffer for the lie.
+  const size_t count_at = sizeof(uint64_t) + 2 + 1;
+  ASSERT_EQ(payload[count_at], 25u);
+  std::vector<uint8_t> inflated = payload;
+  inflated[count_at] = 26;
+  EXPECT_FALSE(
+      transport::PeekEventCount(MessageType::kEventBatch, inflated).ok());
+
+  // Deflate it: the stream holds more bytes than the declared count
+  // explains, equally a lie.
+  std::vector<uint8_t> deflated = payload;
+  deflated[count_at] = 24;
+  EXPECT_FALSE(
+      transport::PeekEventCount(MessageType::kEventBatch, deflated).ok());
+
+  // CandidateReply is the other event-carrying type.
+  core::CandidateReply reply;
+  reply.window_id = 3;
+  reply.node = 2;
+  reply.codec = EventCodec::kCompact;
+  reply.events = RandomEvents(30, 43, /*sorted=*/true);
+  auto reply_count = transport::PeekEventCount(MessageType::kCandidateReply,
+                                               Serialized(reply));
+  ASSERT_TRUE(reply_count.ok());
+  EXPECT_EQ(*reply_count, 30u);
+}
+
 TEST(PayloadRobustness, CorruptFrameHeadersRejected) {
   net::Message m;
   m.type = MessageType::kWindowEnd;

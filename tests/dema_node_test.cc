@@ -297,16 +297,30 @@ TEST_F(DemaRootNodeTest, DuplicateSynopsisRejected) {
   dup.window_id = 0;
   dup.node = 1;
   dup.local_window_size = 0;
+  dup.gamma_used = 4;  // structurally valid, so the duplicate check decides
   auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, 1, 0, dup);
   EXPECT_EQ(root_->OnMessage(msg).code(), StatusCode::kAlreadyExists);
 }
 
 TEST_F(DemaRootNodeTest, SynopsisFromUnknownNodeRejected) {
+  // An unknown sender is dropped and counted, never a root failure: the
+  // window must stay alive for the real locals.
   SynopsisBatch batch;
   batch.window_id = 0;
   batch.node = 99;
+  batch.gamma_used = 4;
   auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, 99, 0, batch);
-  EXPECT_EQ(root_->OnMessage(msg).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(root_->OnMessage(msg).ok());
+  EXPECT_EQ(root_->stats().rejected_payloads, 1u);
+  EXPECT_EQ(
+      root_->registry()->GetCounter("dema.rejected{reason=unknown_node}")->Value(),
+      1u);
+  // The run is intact: the same window still completes from the real locals.
+  SendWindow(1, 0, {1, 2});
+  SendWindow(2, 0, {3, 4});
+  ServeRequests();
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_FALSE(outputs_[0].degraded);
 }
 
 TEST_F(DemaRootNodeTest, ReplyForUnknownWindowRejected) {
@@ -387,6 +401,7 @@ TEST(DemaRootNodeClock, PeerCloseAheadClampsLatencyToZero) {
   batch.window_id = 0;
   batch.node = 1;
   batch.local_window_size = 0;
+  batch.gamma_used = 4;
   batch.close_time_us = 5'000;  // 4ms ahead of the root's clock
   auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, 1, 0, batch);
   ASSERT_TRUE(root.OnMessage(msg).ok());
@@ -402,6 +417,7 @@ TEST(DemaRootNodeClock, PeerCloseAheadClampsLatencyToZero) {
   ok_batch.window_id = 1;
   ok_batch.node = 1;
   ok_batch.local_window_size = 0;
+  ok_batch.gamma_used = 4;
   ok_batch.close_time_us = 8'000;
   auto ok_msg =
       net::MakeMessage(net::MessageType::kSynopsisBatch, 1, 0, ok_batch);

@@ -349,17 +349,23 @@ TEST(MalformedPayloads, RootRejectsTruncatedSynopsis) {
   batch.window_id = 0;
   batch.node = 1;
   batch.local_window_size = 2;
+  batch.gamma_used = 2;
   core::SliceSynopsis s;
   s.node = 1;
   s.count = 2;
   batch.slices.push_back(s);
   auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, 1, 0, batch);
+  // Truncated payloads are dropped and counted, never fatal to the root.
+  uint64_t rejected = 0;
   for (size_t cut : {0u, 4u, 12u, 30u}) {
-    Status st = root.OnMessage(Corrupt(msg, cut));
-    EXPECT_EQ(st.code(), StatusCode::kSerializationError) << "cut=" << cut;
+    EXPECT_TRUE(root.OnMessage(Corrupt(msg, cut)).ok()) << "cut=" << cut;
+    EXPECT_EQ(root.stats().rejected_payloads, ++rejected) << "cut=" << cut;
   }
+  EXPECT_EQ(root.registry()->GetCounter("dema.rejected{reason=decode}")->Value(),
+            rejected);
   // The intact message still works.
   EXPECT_TRUE(root.OnMessage(msg).ok());
+  EXPECT_EQ(root.stats().rejected_payloads, rejected);
 }
 
 TEST(MalformedPayloads, RootRejectsInconsistentSliceCounts) {
@@ -374,12 +380,15 @@ TEST(MalformedPayloads, RootRejectsInconsistentSliceCounts) {
   batch.window_id = 0;
   batch.node = 1;
   batch.local_window_size = 99;  // does not match the slice sum (2)
+  batch.gamma_used = 2;
   core::SliceSynopsis s;
   s.node = 1;
   s.count = 2;
   batch.slices.push_back(s);
   auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, 1, 0, batch);
-  EXPECT_EQ(root.OnMessage(msg).code(), StatusCode::kSerializationError);
+  // The inconsistent batch is dropped and counted instead of poisoning the run.
+  EXPECT_TRUE(root.OnMessage(msg).ok());
+  EXPECT_GE(root.stats().rejected_payloads, 1u);
 }
 
 TEST(MalformedPayloads, LocalRejectsGarbageRequests) {

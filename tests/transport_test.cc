@@ -49,7 +49,12 @@ TEST(Frame, RoundTripMatchesWireBytes) {
   std::vector<uint8_t> frame;
   EncodeFrame(m, &frame);
   ASSERT_EQ(frame.size(), m.WireBytes());
-  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 37);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 37 + kFrameTrailerBytes);
+  // The trailer carries the CRC32C over header + payload.
+  EXPECT_TRUE(VerifyFrameCrc(frame.data(), kFrameHeaderBytes,
+                             frame.data() + kFrameHeaderBytes, 37,
+                             frame.data() + kFrameHeaderBytes + 37)
+                  .ok());
 
   FrameHeader header;
   ASSERT_TRUE(
@@ -92,6 +97,36 @@ TEST(Frame, HelloRoundTrip) {
   std::vector<uint8_t> bad = bytes;
   bad[0] ^= 0xFF;  // corrupt the magic
   EXPECT_FALSE(DecodeHelloPrefix(bad.data(), kHelloPrefixBytes).ok());
+}
+
+TEST(Frame, HelloRejectsProtocolVersionMismatch) {
+  // A well-formed v2 hello announcing the wrong version is refused with a
+  // version error, before any frame is parsed.
+  net::Writer wrong;
+  wrong.PutU32(kHelloMagic);
+  wrong.PutU32(kProtocolVersion + 1);
+  wrong.PutU32(1);
+  auto st = DecodeHelloPrefix(wrong.buffer().data(), kHelloPrefixBytes);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.status().message().find("version"), std::string::npos);
+
+  // A v1 dialer's hello had no version field (magic | count | ids), so its
+  // node count lands in the version slot — it must fail the same clean way
+  // instead of desynchronizing the frame stream on the missing CRC trailers.
+  net::Writer v1;
+  v1.PutU32(kHelloMagic);
+  v1.PutU32(3);  // v1 node count, read as a version
+  v1.PutU32(7);  // first node id, read as a count
+  auto v1_st = DecodeHelloPrefix(v1.buffer().data(), kHelloPrefixBytes);
+  ASSERT_FALSE(v1_st.ok());
+  EXPECT_NE(v1_st.status().message().find("version"), std::string::npos);
+
+  // An absurd node count is bounded even when magic and version check out.
+  net::Writer huge;
+  huge.PutU32(kHelloMagic);
+  huge.PutU32(kProtocolVersion);
+  huge.PutU32(kMaxHelloNodes + 1);
+  EXPECT_FALSE(DecodeHelloPrefix(huge.buffer().data(), kHelloPrefixBytes).ok());
 }
 
 TEST(Frame, PeekEventCountMatchesMetadata) {
@@ -269,6 +304,47 @@ TEST(TcpTransport, DialGivesUpAfterBoundedAttempts) {
   ASSERT_TRUE(t.Start().ok());
   EXPECT_EQ(t.Send(TestMessage(1, 0, 4)).code(), StatusCode::kNetworkError);
   t.Shutdown();
+}
+
+TEST(TcpTransport, CorruptRateInjectorIsCaughtByReceiverChecksum) {
+  // The seeded byte-flip injector corrupts outbound frames past the header;
+  // every flip must be caught by the receiver's CRC check and dropped as
+  // exactly one frame (the connection survives), with the injection and
+  // detection counters agreeing frame for frame.
+  TcpTransport server;
+  ASSERT_TRUE(server.AddLocalNode(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpTransportOptions copts;
+  copts.listen = false;
+  copts.corrupt_rate = 0.5;
+  copts.corrupt_seed = 99;
+  TcpTransport client(copts);
+  ASSERT_TRUE(client.AddLocalNode(1).ok());
+  ASSERT_TRUE(client.AddPeer(0, "127.0.0.1", server.bound_port()).ok());
+  ASSERT_TRUE(client.Start().ok());
+
+  constexpr int kSent = 60;
+  for (int i = 0; i < kSent; ++i) {
+    ASSERT_TRUE(client.Send(TestMessage(1, 0, 32)).ok());
+  }
+  client.Shutdown();  // flushes the outbox before closing
+
+  int received = 0;
+  while (server.Inbox(0)->PopFor(kMicrosPerSecond).has_value()) ++received;
+  server.Shutdown();
+
+  const uint64_t injected =
+      client.registry()->GetCounter("net.corrupted{layer=inject}")->Value();
+  const uint64_t detected =
+      server.registry()->GetCounter("net.corrupted{layer=tcp}")->Value();
+  EXPECT_GT(injected, 0u);
+  EXPECT_LT(injected, static_cast<uint64_t>(kSent));  // rate 0.5, not 1.0
+  // Single-byte flips never slip past CRC32C: every injected corruption is
+  // detected, and only those frames are lost.
+  EXPECT_EQ(detected, injected);
+  EXPECT_EQ(static_cast<uint64_t>(received), kSent - injected);
+  EXPECT_EQ(server.registry()->GetCounter("net.corrupted")->Value(), detected);
 }
 
 TEST(TcpTransport, ShutdownFlushesPendingSends) {

@@ -174,6 +174,9 @@ TEST(TreeTopology, ThreeLevelTreeComposes) {
   root_opts.id = 0;
   root_opts.locals = {1};
   root_opts.initial_gamma = 8;
+  // Hand-built tree: like BuildTreeSystem, the root must accept relay-combined
+  // batches, which the strict flat-topology validation rules reject.
+  root_opts.strict_validation = false;
   core::DemaRootNode root(root_opts, &network, &clock);
 
   core::DemaRelayNodeOptions a_opts;

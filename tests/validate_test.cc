@@ -1,0 +1,470 @@
+// Corruption-defense tests: the dema::Validate* rules (one per rejection
+// reason slug), the root's reject-and-count behaviour, the misbehaving-local
+// quarantine lifecycle (strike -> quarantine -> probation -> re-admission),
+// and the honest-subset exactness property — a rejected corrupt synopsis
+// never shifts the quantile computed over the remaining honest nodes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/clock.h"
+#include "dema/protocol.h"
+#include "dema/root_node.h"
+#include "dema/slice.h"
+#include "dema/validate.h"
+#include "net/network.h"
+#include "stream/quantile.h"
+
+namespace dema::core {
+namespace {
+
+Event Ev(double v, NodeId node, uint32_t seq) {
+  return Event{v, static_cast<TimestampUs>(seq), node, seq};
+}
+
+/// A structurally valid batch: `n` sorted events cut at `gamma`, as an
+/// honest local would build it.
+SynopsisBatch ValidBatch(NodeId node, uint64_t n, uint64_t gamma) {
+  SynopsisBatch batch;
+  batch.window_id = 0;
+  batch.node = node;
+  batch.gamma_used = static_cast<uint32_t>(gamma);
+  batch.local_window_size = n;
+  std::vector<Event> events;
+  for (uint32_t i = 0; i < n; ++i) events.push_back(Ev(i * 10.0, node, i));
+  if (n > 0) {
+    auto slices = CutIntoSlices(events, node, gamma);
+    EXPECT_TRUE(slices.ok());
+    batch.slices = *slices;
+  }
+  return batch;
+}
+
+TEST(ValidateSynopsis, AcceptsHonestBatches) {
+  for (uint64_t n : {0u, 1u, 3u, 4u, 9u}) {
+    SynopsisBatch batch = ValidBatch(7, n, 4);
+    EXPECT_EQ(ValidateSynopsisBatch(batch, 7, /*strict=*/true), nullptr)
+        << "n=" << n;
+    EXPECT_EQ(ValidateSynopsisBatch(batch, 7, /*strict=*/false), nullptr);
+  }
+}
+
+TEST(ValidateSynopsis, EachTamperedFieldMapsToItsReason) {
+  const NodeId src = 7;
+  {
+    SynopsisBatch b = ValidBatch(src, 8, 4);
+    b.node = 8;  // claims to be someone else
+    EXPECT_STREQ(ValidateSynopsisBatch(b, src, true), "node_mismatch");
+  }
+  {
+    SynopsisBatch b = ValidBatch(src, 8, 4);
+    b.slices[1].node = 9;  // inner slice forged for another node
+    EXPECT_STREQ(ValidateSynopsisBatch(b, src, true), "node_mismatch");
+  }
+  {
+    SynopsisBatch b = ValidBatch(src, 8, 4);
+    b.gamma_used = 1;  // below the paper's minimum slice factor
+    EXPECT_STREQ(ValidateSynopsisBatch(b, src, true), "bad_gamma");
+  }
+  {
+    SynopsisBatch b = ValidBatch(src, 8, 4);
+    b.slices.pop_back();  // claims 8 events but only one gamma-4 slice
+    EXPECT_STREQ(ValidateSynopsisBatch(b, src, true), "slice_count");
+  }
+  {
+    SynopsisBatch b = ValidBatch(src, 8, 4);
+    std::swap(b.slices[0].index, b.slices[1].index);
+    EXPECT_STREQ(ValidateSynopsisBatch(b, src, true), "slice_index");
+  }
+  {
+    SynopsisBatch b = ValidBatch(src, 8, 4);
+    b.slices[0].count = 0;
+    EXPECT_STREQ(ValidateSynopsisBatch(b, src, true), "empty_slice");
+  }
+  {
+    SynopsisBatch b = ValidBatch(src, 8, 4);
+    b.slices[1].last.value = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_STREQ(ValidateSynopsisBatch(b, src, true), "bad_value");
+  }
+  {
+    SynopsisBatch b = ValidBatch(src, 8, 4);
+    std::swap(b.slices[0].first, b.slices[0].last);  // inverted bounds
+    EXPECT_STREQ(ValidateSynopsisBatch(b, src, true), "slice_bounds");
+  }
+  {
+    SynopsisBatch b = ValidBatch(src, 9, 4);  // slices of 4, 4, 1
+    b.slices[0].count = 3;
+    b.slices[1].count = 5;  // sum still 9, but the gamma-cut shape is broken
+    EXPECT_STREQ(ValidateSynopsisBatch(b, src, true), "slice_size");
+  }
+  {
+    SynopsisBatch b = ValidBatch(src, 8, 4);
+    b.slices[1].first = b.slices[0].first;  // ranges overlap across the cut
+    EXPECT_STREQ(ValidateSynopsisBatch(b, src, true), "slice_overlap");
+  }
+  {
+    // Strict mode derives every expected count from the claimed size, so an
+    // inflated claim trips the arity formula first; the structural sum rule
+    // is what catches it in non-strict (tree) mode.
+    SynopsisBatch b = ValidBatch(src, 8, 4);
+    b.local_window_size = 80;  // inflated claim vs the slice sum
+    EXPECT_STREQ(ValidateSynopsisBatch(b, src, true), "slice_count");
+    EXPECT_STREQ(ValidateSynopsisBatch(b, src, false), "size_mismatch");
+  }
+}
+
+TEST(ValidateSynopsis, NonStrictKeepsStructuralRulesOnly) {
+  const NodeId relay = 5;
+  // A relay-style combined batch: re-indexed slices from two children with
+  // interleaved value ranges and mixed sizes. Strict rejects the shape;
+  // structural validation accepts it.
+  SynopsisBatch b;
+  b.window_id = 0;
+  b.node = relay;
+  b.gamma_used = 4;
+  b.local_window_size = 7;
+  b.slices.push_back(SliceSynopsis{relay, 0, Ev(0, relay, 0), Ev(30, relay, 3), 4});
+  b.slices.push_back(SliceSynopsis{relay, 1, Ev(5, relay, 4), Ev(25, relay, 6), 3});
+  EXPECT_NE(ValidateSynopsisBatch(b, relay, /*strict=*/true), nullptr);
+  EXPECT_EQ(ValidateSynopsisBatch(b, relay, /*strict=*/false), nullptr);
+  // Structural corruption still rejects in non-strict mode.
+  SynopsisBatch bad = b;
+  bad.local_window_size = 70;
+  EXPECT_STREQ(ValidateSynopsisBatch(bad, relay, false), "size_mismatch");
+}
+
+TEST(ValidateReply, AcceptsHonestAndRejectsTamperedRuns) {
+  const NodeId src = 3;
+  SynopsisBatch batch = ValidBatch(src, 8, 4);
+  const std::vector<SliceSynopsis>& requested = batch.slices;
+  CandidateReply reply;
+  reply.window_id = 0;
+  reply.node = src;
+  for (uint32_t i = 0; i < 8; ++i) reply.events.push_back(Ev(i * 10.0, src, i));
+  EXPECT_EQ(ValidateCandidateReply(reply, src, requested, true), nullptr);
+
+  {
+    CandidateReply r = reply;
+    r.node = 4;
+    EXPECT_STREQ(ValidateCandidateReply(r, src, requested, true),
+                 "node_mismatch");
+  }
+  {
+    CandidateReply r = reply;
+    r.events.pop_back();  // short run vs the requested slice counts
+    EXPECT_STREQ(ValidateCandidateReply(r, src, requested, true), "run_size");
+  }
+  {
+    CandidateReply r = reply;
+    r.events[3].value = std::numeric_limits<double>::infinity();
+    EXPECT_STREQ(ValidateCandidateReply(r, src, requested, true), "bad_value");
+  }
+  {
+    CandidateReply r = reply;
+    std::swap(r.events[2], r.events[5]);
+    EXPECT_STREQ(ValidateCandidateReply(r, src, requested, true),
+                 "unsorted_run");
+  }
+  {
+    // Sorted and the right size, but the values disagree with the synopsis
+    // bounds the window-cut used — exactly the tampering that would shift
+    // ranks silently.
+    CandidateReply r = reply;
+    for (Event& e : r.events) e.value += 1;
+    std::sort(r.events.begin(), r.events.end());
+    EXPECT_STREQ(ValidateCandidateReply(r, src, requested, true),
+                 "bounds_mismatch");
+    // A relay's merged run has no per-slice segmentation; only strict mode
+    // holds the segments to the synopsis bounds.
+    EXPECT_EQ(ValidateCandidateReply(r, src, requested, false), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Root-level defense: rejection counters, quarantine lifecycle, and the
+// honest-subset exactness property.
+// ---------------------------------------------------------------------------
+
+class QuarantineRootTest : public ::testing::Test {
+ protected:
+  void Init(uint32_t strikes, uint64_t probation_windows,
+            uint32_t probation_clean) {
+    network_ = std::make_unique<net::Network>(&clock_);
+    for (NodeId id : {0u, 1u, 2u, 3u}) {
+      ASSERT_TRUE(network_->RegisterNode(id).ok());
+    }
+    DemaRootNodeOptions opts;
+    opts.id = 0;
+    opts.locals = {1, 2, 3};
+    opts.quantiles = {0.5};
+    opts.initial_gamma = 4;
+    opts.quarantine_strikes = strikes;
+    opts.probation_windows = probation_windows;
+    opts.probation_clean_windows = probation_clean;
+    root_ = std::make_unique<DemaRootNode>(opts, network_.get(), &clock_);
+    root_->SetResultCallback(
+        [this](const sim::WindowOutput& out) { outputs_.push_back(out); });
+  }
+
+  /// Builds and delivers an honest synopsis batch for sorted values.
+  void SendWindow(NodeId node, net::WindowId wid,
+                  const std::vector<double>& sorted_values) {
+    SynopsisBatch batch;
+    batch.window_id = wid;
+    batch.node = node;
+    batch.local_window_size = sorted_values.size();
+    batch.gamma_used = 4;
+    batch.close_time_us = clock_.NowUs();
+    std::vector<Event> events;
+    for (uint32_t i = 0; i < sorted_values.size(); ++i) {
+      events.push_back(Ev(sorted_values[i], node, i));
+    }
+    if (!events.empty()) {
+      auto slices = CutIntoSlices(events, node, 4);
+      ASSERT_TRUE(slices.ok());
+      batch.slices = *slices;
+    }
+    stored_[{node, wid}] = events;
+    auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, node, 0, batch);
+    ASSERT_TRUE(root_->OnMessage(msg).ok());
+  }
+
+  /// Delivers a tampered synopsis (forged node field) that strict
+  /// validation rejects with `node_mismatch`.
+  void SendCorruptWindow(NodeId node, net::WindowId wid, uint64_t claimed) {
+    SynopsisBatch batch = ValidBatch(node, claimed, 4);
+    batch.window_id = wid;
+    batch.slices[0].node = node + 10;
+    auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, node, 0, batch);
+    ASSERT_TRUE(root_->OnMessage(msg).ok());
+  }
+
+  /// Serves every outstanding candidate request like honest locals would.
+  void ServeRequests() {
+    for (NodeId node : {1u, 2u, 3u}) {
+      while (auto msg = network_->Inbox(node)->TryPop()) {
+        if (msg->type != net::MessageType::kCandidateRequest) continue;
+        net::Reader r(msg->payload);
+        auto req = CandidateRequest::Deserialize(&r);
+        ASSERT_TRUE(req.ok());
+        if (req->slice_indices.empty()) continue;
+        const auto& events = stored_[{node, req->window_id}];
+        CandidateReply reply;
+        reply.window_id = req->window_id;
+        reply.node = node;
+        for (uint32_t idx : req->slice_indices) {
+          auto [b, e] = SliceEventRange(events.size(), 4, idx);
+          reply.events.insert(reply.events.end(), events.begin() + b,
+                              events.begin() + e);
+        }
+        auto reply_msg =
+            net::MakeMessage(net::MessageType::kCandidateReply, node, 0, reply);
+        ASSERT_TRUE(root_->OnMessage(reply_msg).ok());
+      }
+    }
+  }
+
+  double Oracle(std::vector<double> values, double q = 0.5) {
+    auto result = stream::ExactQuantileValues(values, q);
+    EXPECT_TRUE(result.ok());
+    return *result;
+  }
+
+  RealClock clock_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<DemaRootNode> root_;
+  std::vector<sim::WindowOutput> outputs_;
+  std::map<std::pair<NodeId, net::WindowId>, std::vector<Event>> stored_;
+};
+
+TEST_F(QuarantineRootTest, RejectionsCountWithoutQuarantineWhenDisabled) {
+  Init(/*strikes=*/0, 8, 2);
+  for (int i = 0; i < 5; ++i) SendCorruptWindow(3, 0, /*claimed=*/4);
+  EXPECT_EQ(root_->stats().rejected_payloads, 5u);
+  EXPECT_EQ(root_->stats().quarantines, 0u);
+  EXPECT_EQ(
+      root_->registry()->GetCounter("dema.rejected{reason=node_mismatch}")->Value(),
+      5u);
+  // The window still completes from every local — including the offender,
+  // whose honest retransmission is welcome without quarantine.
+  SendWindow(1, 0, {1, 2});
+  SendWindow(2, 0, {3, 4});
+  SendWindow(3, 0, {5, 6});
+  ServeRequests();
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_FALSE(outputs_[0].degraded);
+  EXPECT_EQ(outputs_[0].values[0], Oracle({1, 2, 3, 4, 5, 6}));
+}
+
+TEST_F(QuarantineRootTest, CorruptSynopsisLeavesHonestQuantileExact) {
+  // The honest-subset exactness property: a corrupt synopsis is rejected
+  // (and its sender quarantined), and the emitted quantile equals the
+  // oracle over the remaining honest nodes' events exactly — corruption
+  // shifts nothing, it only shrinks the answered population.
+  Init(/*strikes=*/1, 8, 2);
+  const std::vector<double> n1 = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> n2 = {11, 12, 13, 14, 15, 16, 17, 18};
+  SendWindow(1, 0, n1);
+  SendWindow(2, 0, n2);
+  SendCorruptWindow(3, 0, /*claimed=*/20);
+  EXPECT_EQ(root_->stats().quarantines, 1u);
+  ServeRequests();
+
+  ASSERT_EQ(outputs_.size(), 1u);
+  const sim::WindowOutput& out = outputs_[0];
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.degrade_cause, "quarantine");
+  // Exact over the honest union; the bound charges the offender's claim.
+  std::vector<double> honest = n1;
+  honest.insert(honest.end(), n2.begin(), n2.end());
+  EXPECT_EQ(out.values[0], Oracle(honest));
+  EXPECT_EQ(out.global_size, honest.size());
+  EXPECT_EQ(out.rank_error_bound, 20u);
+}
+
+TEST_F(QuarantineRootTest, QuarantinedLocalIsReleasedAndItsBatchesDropped) {
+  Init(/*strikes=*/1, /*probation_windows=*/4, 2);
+  SendCorruptWindow(3, 0, 4);
+  ASSERT_EQ(root_->stats().quarantines, 1u);
+  // A quarantined local's (even well-formed) batch is dropped, counted, and
+  // answered with a release so it does not retain the window forever.
+  SendWindow(1, 1, {1, 2});
+  SendWindow(2, 1, {3, 4});
+  SynopsisBatch batch = ValidBatch(3, 4, 4);
+  batch.window_id = 1;
+  auto msg = net::MakeMessage(net::MessageType::kSynopsisBatch, 3, 0, batch);
+  ASSERT_TRUE(root_->OnMessage(msg).ok());
+  EXPECT_EQ(
+      root_->registry()->GetCounter("dema.rejected{reason=quarantined}")->Value(),
+      1u);
+  bool released = false;
+  while (auto m = network_->Inbox(3)->TryPop()) {
+    if (m->type != net::MessageType::kCandidateRequest) continue;
+    net::Reader r(m->payload);
+    auto req = CandidateRequest::Deserialize(&r);
+    ASSERT_TRUE(req.ok());
+    if (req->window_id == 1 && req->slice_indices.empty()) released = true;
+  }
+  EXPECT_TRUE(released);
+  ServeRequests();
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_TRUE(outputs_[0].degraded);
+  EXPECT_EQ(outputs_[0].degrade_cause, "quarantine");
+  EXPECT_EQ(outputs_[0].values[0], Oracle({1, 2, 3, 4}));
+}
+
+TEST_F(QuarantineRootTest, StripsAcceptedSlicesWhenQuarantineLandsMidWindow) {
+  // Node 3's window-0 synopsis was *accepted* before its strikes ran out
+  // (on a later window's payloads); the sweep must strip its contribution
+  // from the still-collecting window and complete over the honest rest.
+  Init(/*strikes=*/2, 8, 2);
+  SendWindow(3, 0, {100, 200});
+  SendWindow(1, 0, {1, 2, 3});
+  SendCorruptWindow(3, 1, 2);
+  SendCorruptWindow(3, 1, 2);  // second strike -> quarantine
+  EXPECT_EQ(root_->stats().quarantines, 1u);
+  SendWindow(2, 0, {4, 5, 6});
+  ServeRequests();
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_TRUE(outputs_[0].degraded);
+  EXPECT_EQ(outputs_[0].degrade_cause, "quarantine");
+  // Exact over the honest six events; the stripped contribution is charged
+  // at its exact accepted size.
+  EXPECT_EQ(outputs_[0].values[0], Oracle({1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(outputs_[0].global_size, 6u);
+  EXPECT_EQ(outputs_[0].rank_error_bound, 2u);
+}
+
+TEST_F(QuarantineRootTest, TamperedReplyDegradesInFlightWindow) {
+  // Identification already ran when the tampering shows: the corrupt reply
+  // is rejected, the sender quarantined, and the in-flight window emits
+  // degraded from the honest replies instead of waiting forever.
+  Init(/*strikes=*/1, 8, 2);
+  // Interleaved ranges: every node's slices straddle the median rank, so
+  // the window-cut requests candidates from all three nodes.
+  SendWindow(1, 0, {1, 4, 7, 10, 13});
+  SendWindow(2, 0, {2, 5, 8, 11, 14});
+  SendWindow(3, 0, {3, 6, 9, 12, 15});
+  // Serve nodes 1 and 2 honestly; node 3 replies with a forged node field.
+  for (NodeId node : {1u, 2u}) {
+    while (auto m = network_->Inbox(node)->TryPop()) {
+      if (m->type != net::MessageType::kCandidateRequest) continue;
+      net::Reader r(m->payload);
+      auto req = CandidateRequest::Deserialize(&r);
+      ASSERT_TRUE(req.ok());
+      if (req->slice_indices.empty()) continue;
+      const auto& events = stored_[{node, req->window_id}];
+      CandidateReply reply;
+      reply.window_id = req->window_id;
+      reply.node = node;
+      for (uint32_t idx : req->slice_indices) {
+        auto [b, e] = SliceEventRange(events.size(), 4, idx);
+        reply.events.insert(reply.events.end(), events.begin() + b,
+                            events.begin() + e);
+      }
+      ASSERT_TRUE(root_
+                      ->OnMessage(net::MakeMessage(
+                          net::MessageType::kCandidateReply, node, 0, reply))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(outputs_.empty());  // still waiting on node 3
+  CandidateReply forged;
+  forged.window_id = 0;
+  forged.node = 2;  // claims to be node 2
+  ASSERT_TRUE(
+      root_
+          ->OnMessage(net::MakeMessage(net::MessageType::kCandidateReply, 3, 0,
+                                       forged))
+          .ok());
+  EXPECT_EQ(root_->stats().quarantines, 1u);
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_TRUE(outputs_[0].degraded);
+  EXPECT_EQ(outputs_[0].degrade_cause, "quarantine");
+  EXPECT_TRUE(root_->idle());
+}
+
+TEST_F(QuarantineRootTest, ProbationReadmitsCleanLocalAndRelapsesOffender) {
+  Init(/*strikes=*/1, /*probation_windows=*/1, /*probation_clean=*/1);
+  // Window 0: node 3 tampers -> quarantined; honest pair completes.
+  SendCorruptWindow(3, 0, 2);
+  EXPECT_EQ(root_->stats().quarantines, 1u);
+  SendWindow(1, 0, {1, 2});
+  SendWindow(2, 0, {3, 4});
+  ServeRequests();
+  ASSERT_EQ(outputs_.size(), 1u);
+  EXPECT_TRUE(outputs_[0].degraded);
+
+  // Window 0 emitted -> the one-window quarantine term is served; node 3 is
+  // on probation and its window-1 contribution is accepted again.
+  SendWindow(1, 1, {1, 2});
+  SendWindow(2, 1, {3, 4});
+  SendWindow(3, 1, {5, 6});
+  ServeRequests();
+  ASSERT_EQ(outputs_.size(), 2u);
+  EXPECT_FALSE(outputs_[1].degraded);
+  EXPECT_EQ(outputs_[1].values[0], Oracle({1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(outputs_[1].global_size, 6u);
+  // One clean window was all probation required: fully re-admitted.
+  EXPECT_EQ(root_->stats().readmissions, 1u);
+
+  // A re-admitted local that relapses is quarantined again, and a
+  // *probation* local re-quarantines on its first strike.
+  SendCorruptWindow(3, 2, 2);
+  EXPECT_EQ(root_->stats().quarantines, 2u);
+  SendWindow(1, 2, {1, 2});
+  SendWindow(2, 2, {3, 4});
+  ServeRequests();
+  ASSERT_EQ(outputs_.size(), 3u);
+  EXPECT_TRUE(outputs_[2].degraded);
+  SendCorruptWindow(3, 3, 2);  // strike while on probation
+  EXPECT_EQ(root_->stats().quarantines, 3u);
+  EXPECT_EQ(root_->stats().readmissions, 1u);
+}
+
+}  // namespace
+}  // namespace dema::core

@@ -10,8 +10,9 @@
 //   cluster      run a whole cluster on this machine (--tcp forks one
 //                process per local node talking TCP over loopback)
 //   chaos        replay a seeded fault schedule (drops, duplicates, delays,
-//                crashes, partitions) and assert every window is exact
-//                against an oracle or explicitly degraded with a cause
+//                frame corruption, payload tampering, crashes, partitions)
+//                and assert every window is exact against an oracle or
+//                explicitly degraded with a cause
 //
 // Common flags:
 //   --system=dema|scotty|desis|tdigest|tdigest-dec|qdigest   (run/sustainable)
@@ -467,7 +468,10 @@ std::string DescribeChaosDiff(const sim::ChaosReport& a,
   if (a.messages_dropped != b.messages_dropped ||
       a.duplicates_injected != b.duplicates_injected ||
       a.messages_delayed != b.messages_delayed ||
-      a.root_retries != b.root_retries || a.restarts != b.restarts) {
+      a.messages_corrupted != b.messages_corrupted ||
+      a.root_retries != b.root_retries || a.restarts != b.restarts ||
+      a.rejected_payloads != b.rejected_payloads ||
+      a.quarantines != b.quarantines || a.readmissions != b.readmissions) {
     return "fault-fabric counters diverged";
   }
   return "";
@@ -483,6 +487,15 @@ int CmdChaos(const Flags& flags) {
       sim::ParseFaultSchedule(flags.GetString("fault-schedule", ""));
   if (!plan_result.ok()) return Fail(plan_result.status().ToString());
   sim::FaultPlan plan = *plan_result;
+  if (flags.Has("corrupt-rate")) {
+    // Convenience alias for `corrupt=P` in the schedule spec: per-message
+    // frame byte-flip probability, detected (and dropped) by the CRC check.
+    double rate = flags.GetDouble("corrupt-rate", 0.0);
+    if (rate < 0 || rate >= 1) {
+      return Fail("--corrupt-rate must be in [0, 1)");
+    }
+    plan.corrupt_prob = rate;
+  }
 
   auto config_result = BuildConfig(flags);
   if (!config_result.ok()) return Fail(config_result.status().ToString());
@@ -524,8 +537,12 @@ int CmdChaos(const Flags& flags) {
             << report.missing_windows << " missing; faults: "
             << report.messages_dropped << " dropped, "
             << report.duplicates_injected << " duplicated, "
-            << report.messages_delayed << " delayed; " << report.root_retries
-            << " root retries, " << report.restarts << " restarts\n";
+            << report.messages_delayed << " delayed, "
+            << report.messages_corrupted << " corrupted; "
+            << report.root_retries << " root retries, " << report.restarts
+            << " restarts; defense: " << report.rejected_payloads
+            << " rejected, " << report.quarantines << " quarantined, "
+            << report.readmissions << " re-admitted\n";
 
   if (flags.Has("verify-determinism")) {
     auto second = sim::RunChaos(config, load, plan);
@@ -591,8 +608,10 @@ int main(int argc, char** argv) {
          "               process per local node over loopback TCP\n"
          "  chaos        replay a seeded fault schedule and check every\n"
          "               window against an oracle; --fault-schedule=SPEC\n"
-         "               (drop= dup= delay-us= seed= crash=N@W+D\n"
-         "               partition=A-B@F..U), --verify-determinism runs twice\n"
+         "               (drop= dup= delay-us= corrupt= tamper-prob= seed=\n"
+         "               strikes= crash=N@W+D partition=A-B@F..U\n"
+         "               tamper=N@F..U), --corrupt-rate=P frame-flip\n"
+         "               shorthand, --verify-determinism runs twice\n"
          "flags: --system= --locals= --windows= --rate= --gamma= --quantiles=\n"
          "       --dist= --scale-rates= --slide-ms= --adaptive --per-node-gamma\n"
          "       --naive-selection --csv= --metrics-out= --metrics-log-ms=\n";
