@@ -10,13 +10,20 @@
 // Reported per mode: ingest events/s (wall and simulated-parallel), root
 // rank-selection time (root.select_us: total + p99), p99 window latency, and
 // peak retained events across local nodes (candidate-buffer memory bound).
+//
+// A second, keyed section runs the multi-tenant sharded service across key
+// counts 1 / 1k / 100k with a fixed total event budget (--keyed-events,
+// split evenly across keys) and reports ingest events/s and wire
+// bytes-per-window — the per-tenant batching overhead CI tracks.
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <string>
 
 #include "common/json.h"
 #include "harness.h"
+#include "shard/sim_run.h"
 
 using namespace dema;
 
@@ -70,6 +77,68 @@ std::string ModeJson(const ModeResult& r) {
   return w.Finish();
 }
 
+struct KeyedResult {
+  uint64_t keys = 0;
+  uint64_t events = 0;
+  uint64_t windows = 0;
+  double throughput_eps = 0;
+  uint64_t wire_bytes = 0;
+  double bytes_per_window = 0;
+};
+
+KeyedResult RunKeyed(uint64_t keys, uint64_t shards, size_t workers,
+                     uint64_t events_budget, uint64_t gamma) {
+  shard::ShardedConfig sc;
+  sc.num_locals = 2;
+  sc.num_shards = static_cast<uint32_t>(std::min<uint64_t>(shards, keys));
+  sc.num_keys = keys;
+  sc.workers = workers;
+  sc.quantiles = {0.5, 0.99};
+  sc.gamma = gamma;
+
+  shard::KeyedWorkloadConfig load;
+  load.num_windows = 1;
+  // Fixed total event budget, split across every (key, local) stream, so the
+  // three key counts compare per-tenant overhead at equal ingest volume.
+  load.event_rate = std::max(
+      1.0, static_cast<double>(events_budget) /
+               static_cast<double>(keys * sc.num_locals));
+  load.distribution = bench::SensorDistribution();
+  load.seed_base = 7000;
+
+  shard::ShardedSimHarness harness(sc);
+  bench::UnwrapStatus(harness.init_status(), "keyed harness");
+  auto start = std::chrono::steady_clock::now();
+  bench::UnwrapStatus(harness.Run(load), "keyed run");
+  double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  KeyedResult result;
+  result.keys = keys;
+  result.events = harness.events_ingested();
+  result.windows = harness.service()->windows_emitted();
+  result.throughput_eps =
+      wall_s > 0 ? static_cast<double>(result.events) / wall_s : 0;
+  result.wire_bytes = harness.network()->TotalStats().counters.bytes;
+  result.bytes_per_window =
+      result.windows > 0
+          ? static_cast<double>(result.wire_bytes) / result.windows
+          : 0;
+  return result;
+}
+
+std::string KeyedJson(const KeyedResult& r) {
+  JsonWriter w;
+  w.Field("keys", r.keys)
+      .Field("events", r.events)
+      .Field("windows", r.windows)
+      .Field("throughput_eps", r.throughput_eps)
+      .Field("wire_bytes", r.wire_bytes)
+      .Field("bytes_per_window", r.bytes_per_window);
+  return w.Finish();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,6 +183,28 @@ int main(int argc, char** argv) {
   }
   bench::EmitTable(table, flags);
 
+  const uint64_t keyed_events =
+      static_cast<uint64_t>(flags.GetInt("keyed-events", 200'000));
+  const uint64_t keyed_max =
+      static_cast<uint64_t>(flags.GetInt("keyed-max-keys", 100'000));
+  std::cout << "=== Keyed (multi-tenant) section: 4 shards, 2 locals, "
+            << keyed_events << "-event budget per key count ===\n";
+  std::vector<KeyedResult> keyed;
+  for (uint64_t keys : {uint64_t{1}, uint64_t{1'000}, uint64_t{100'000}}) {
+    if (keys > keyed_max) continue;  // CI can scale down with --keyed-max-keys
+    keyed.push_back(RunKeyed(keys, /*shards=*/4, workers, keyed_events, gamma));
+  }
+  Table keyed_table(
+      {"keys", "events", "windows", "events/s (wall)", "bytes/window"});
+  for (const KeyedResult& r : keyed) {
+    bench::UnwrapStatus(
+        keyed_table.AddRow({FmtCount(r.keys), FmtCount(r.events),
+                            FmtCount(r.windows), FmtF(r.throughput_eps, 0),
+                            FmtF(r.bytes_per_window, 1)}),
+        "keyed table row");
+  }
+  bench::EmitTable(keyed_table, flags);
+
   JsonWriter w;
   w.Field("bench", "dema_perf_regress")
       .Field("locals", static_cast<uint64_t>(locals))
@@ -123,6 +214,9 @@ int main(int argc, char** argv) {
       .Field("threaded_workers", static_cast<uint64_t>(workers))
       .RawField("inline", ModeJson(inline_run))
       .RawField("threaded", ModeJson(threaded_run));
+  for (const KeyedResult& r : keyed) {
+    w.RawField("keyed_" + std::to_string(r.keys), KeyedJson(r));
+  }
   bench::WriteJsonFile(out, w.Finish());
   return 0;
 }

@@ -22,24 +22,27 @@ DemaRootNode::DemaRootNode(DemaRootNodeOptions options, transport::Transport* tr
     owned_registry_ = std::make_unique<obs::Registry>();
     registry_ = owned_registry_.get();
   }
-  c_windows_ = registry_->GetCounter("dema.windows");
-  c_synopsis_slices_ = registry_->GetCounter("dema.synopsis_slices");
-  c_candidate_slices_ = registry_->GetCounter("dema.candidate_slices");
-  c_candidate_events_ = registry_->GetCounter("dema.candidate_events");
-  c_global_events_ = registry_->GetCounter("dema.global_events");
-  c_class_separate_ = registry_->GetCounter("dema.classes.separate");
-  c_class_compound_ = registry_->GetCounter("dema.classes.compound");
-  c_class_cover_ = registry_->GetCounter("dema.classes.cover");
-  c_gamma_updates_sent_ = registry_->GetCounter("dema.gamma_updates_sent");
-  c_duplicates_ignored_ = registry_->GetCounter("dema.duplicates_ignored");
-  c_clock_skew_windows_ = registry_->GetCounter("dema.clock_skew_windows");
-  c_degraded_windows_ = registry_->GetCounter("dema.degraded_windows");
-  c_retries_ = registry_->GetCounter("root.retries");
-  c_send_failures_ = registry_->GetCounter("root.send_failures");
-  c_rejected_ = registry_->GetCounter("dema.rejected");
-  c_quarantined_ = registry_->GetCounter("dema.quarantined");
-  c_readmitted_ = registry_->GetCounter("dema.readmitted");
-  h_select_us_ = registry_->GetHistogram("root.select_us");
+  const std::string label = options_.instrument_label.empty()
+                                ? std::string()
+                                : "{" + options_.instrument_label + "}";
+  c_windows_ = registry_->GetCounter("dema.windows" + label);
+  c_synopsis_slices_ = registry_->GetCounter("dema.synopsis_slices" + label);
+  c_candidate_slices_ = registry_->GetCounter("dema.candidate_slices" + label);
+  c_candidate_events_ = registry_->GetCounter("dema.candidate_events" + label);
+  c_global_events_ = registry_->GetCounter("dema.global_events" + label);
+  c_class_separate_ = registry_->GetCounter("dema.classes.separate" + label);
+  c_class_compound_ = registry_->GetCounter("dema.classes.compound" + label);
+  c_class_cover_ = registry_->GetCounter("dema.classes.cover" + label);
+  c_gamma_updates_sent_ = registry_->GetCounter("dema.gamma_updates_sent" + label);
+  c_duplicates_ignored_ = registry_->GetCounter("dema.duplicates_ignored" + label);
+  c_clock_skew_windows_ = registry_->GetCounter("dema.clock_skew_windows" + label);
+  c_degraded_windows_ = registry_->GetCounter("dema.degraded_windows" + label);
+  c_retries_ = registry_->GetCounter("root.retries" + label);
+  c_send_failures_ = registry_->GetCounter("root.send_failures" + label);
+  c_rejected_ = registry_->GetCounter("dema.rejected" + label);
+  c_quarantined_ = registry_->GetCounter("dema.quarantined" + label);
+  c_readmitted_ = registry_->GetCounter("dema.readmitted" + label);
+  h_select_us_ = registry_->GetHistogram("root.select_us" + label);
 
   // Fail fast on option errors: a bad quantile must not poison a running
   // cluster per-window after synopses already shipped.
@@ -119,9 +122,11 @@ bool DemaRootNode::IsEmitted(net::WindowId id) const {
 
 Status DemaRootNode::RejectPayload(NodeId src, const char* reason) {
   c_rejected_->Increment();
-  registry_
-      ->GetCounter(std::string("dema.rejected{reason=") + reason + "}")
-      ->Increment();
+  std::string by_reason = std::string("dema.rejected{reason=") + reason;
+  if (!options_.instrument_label.empty()) {
+    by_reason += "," + options_.instrument_label;
+  }
+  registry_->GetCounter(by_reason + "}")->Increment();
   if (options_.quarantine_strikes == 0) return Status::OK();
   auto it = local_index_.find(src);
   if (it == local_index_.end()) return Status::OK();

@@ -77,6 +77,13 @@ struct DemaRootNodeOptions {
   /// Exact windows a probation local must contribute cleanly before full
   /// re-admission; any rejection during probation re-quarantines it.
   uint32_t probation_clean_windows = 2;
+  /// Optional label set stamped onto every instrument this node records, as
+  /// a comma-separated `key=value` list without braces (e.g. "shard=3" turns
+  /// `dema.windows` into `dema.windows{shard=3}` and merges into the
+  /// `dema.rejected{reason=...}` breakdown). The shard service labels each
+  /// shard's per-key roots with its shard index, so instruments aggregate
+  /// per shard while sharing one registry. Empty keeps the legacy names.
+  std::string instrument_label;
   /// Metrics sink for the `dema.*` instruments. When null, the node owns a
   /// private registry (reachable via `registry()`), so instrumentation is
   /// always on. Must outlive the node when provided.

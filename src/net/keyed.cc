@@ -1,0 +1,192 @@
+#include "net/keyed.h"
+
+#include <cstring>
+
+namespace dema::net {
+
+void KeyedBatch::SerializeTo(Writer* w) const {
+  w->PutU32(shard);
+  w->PutU32(static_cast<uint32_t>(entries.size()));
+  for (const KeyedEntry& e : entries) {
+    w->PutU64(e.key);
+    w->PutU32(static_cast<uint32_t>(e.payload.size()));
+    w->PutBytes(e.payload.data(), e.payload.size());
+  }
+}
+
+Result<KeyedBatch> KeyedBatch::Deserialize(Reader* r) {
+  KeyedBatch b;
+  DEMA_RETURN_NOT_OK(r->GetU32(&b.shard));
+  uint32_t n = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&n));
+  // Every entry needs at least its key + length prefix; reject counts the
+  // remaining buffer cannot possibly hold before reserving.
+  constexpr size_t kMinEntryBytes = sizeof(KeyId) + sizeof(uint32_t);
+  if (static_cast<size_t>(n) * kMinEntryBytes > r->remaining()) {
+    return Status::SerializationError("entry count exceeds remaining buffer");
+  }
+  b.entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KeyedEntry e;
+    DEMA_RETURN_NOT_OK(r->GetU64(&e.key));
+    uint32_t len = 0;
+    DEMA_RETURN_NOT_OK(r->GetU32(&len));
+    if (len > r->remaining()) {
+      return Status::SerializationError("entry payload exceeds remaining buffer");
+    }
+    e.payload.assign(r->raw(), r->raw() + len);
+    DEMA_RETURN_NOT_OK(r->Skip(len));
+    b.entries.push_back(std::move(e));
+  }
+  if (!r->AtEnd()) {
+    return Status::SerializationError("trailing bytes after keyed batch");
+  }
+  return b;
+}
+
+Result<uint32_t> KeyedBatch::PeekShard(const std::vector<uint8_t>& payload) {
+  if (payload.size() < sizeof(uint32_t)) {
+    return Status::SerializationError("keyed batch header truncated");
+  }
+  uint32_t shard = 0;
+  std::memcpy(&shard, payload.data(), sizeof(shard));
+  return shard;
+}
+
+Result<MessageType> KeyedInnerType(MessageType outer) {
+  switch (outer) {
+    case MessageType::kShardSynopsisBatch:
+      return MessageType::kSynopsisBatch;
+    case MessageType::kShardCandidateRequest:
+      return MessageType::kCandidateRequest;
+    case MessageType::kShardCandidateReply:
+      return MessageType::kCandidateReply;
+    case MessageType::kShardGammaUpdate:
+      return MessageType::kGammaUpdate;
+    default:
+      return Status::InvalidArgument(std::string(MessageTypeToString(outer)) +
+                                     " is not a keyed envelope type");
+  }
+}
+
+Result<MessageType> KeyedOuterType(MessageType inner) {
+  switch (inner) {
+    case MessageType::kSynopsisBatch:
+      return MessageType::kShardSynopsisBatch;
+    case MessageType::kCandidateRequest:
+      return MessageType::kShardCandidateRequest;
+    case MessageType::kCandidateReply:
+      return MessageType::kShardCandidateReply;
+    case MessageType::kGammaUpdate:
+      return MessageType::kShardGammaUpdate;
+    default:
+      return Status::InvalidArgument(std::string(MessageTypeToString(inner)) +
+                                     " is never carried inside a keyed envelope");
+  }
+}
+
+void KeyedQuery::SerializeTo(Writer* w) const {
+  w->PutU64(query_id);
+  w->PutU32(static_cast<uint32_t>(keys.size()));
+  for (KeyId k : keys) w->PutU64(k);
+  w->PutU32(static_cast<uint32_t>(quantiles.size()));
+  for (double q : quantiles) w->PutDouble(q);
+}
+
+Result<KeyedQuery> KeyedQuery::Deserialize(Reader* r) {
+  KeyedQuery q;
+  DEMA_RETURN_NOT_OK(r->GetU64(&q.query_id));
+  uint32_t nk = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&nk));
+  if (static_cast<size_t>(nk) * sizeof(KeyId) > r->remaining()) {
+    return Status::SerializationError("key count exceeds remaining buffer");
+  }
+  q.keys.reserve(nk);
+  for (uint32_t i = 0; i < nk; ++i) {
+    KeyId k = 0;
+    DEMA_RETURN_NOT_OK(r->GetU64(&k));
+    q.keys.push_back(k);
+  }
+  uint32_t nq = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&nq));
+  if (static_cast<size_t>(nq) * sizeof(double) > r->remaining()) {
+    return Status::SerializationError("quantile count exceeds remaining buffer");
+  }
+  q.quantiles.reserve(nq);
+  for (uint32_t i = 0; i < nq; ++i) {
+    double v = 0;
+    DEMA_RETURN_NOT_OK(r->GetDouble(&v));
+    q.quantiles.push_back(v);
+  }
+  return q;
+}
+
+void KeyedQueryReply::SerializeTo(Writer* w) const {
+  w->PutU64(query_id);
+  w->PutString(error);
+  w->PutU32(static_cast<uint32_t>(quantiles.size()));
+  for (double q : quantiles) w->PutDouble(q);
+  w->PutU32(static_cast<uint32_t>(answers.size()));
+  for (const KeyedAnswer& a : answers) {
+    w->PutU64(a.key);
+    w->PutU8(a.found ? 1 : 0);
+    w->PutU64(a.window_id);
+    w->PutU64(a.global_size);
+    w->PutU8(a.degraded ? 1 : 0);
+    w->PutU64(a.rank_error_bound);
+    w->PutU32(static_cast<uint32_t>(a.values.size()));
+    for (double v : a.values) w->PutDouble(v);
+  }
+}
+
+Result<KeyedQueryReply> KeyedQueryReply::Deserialize(Reader* r) {
+  KeyedQueryReply rep;
+  DEMA_RETURN_NOT_OK(r->GetU64(&rep.query_id));
+  DEMA_RETURN_NOT_OK(r->GetString(&rep.error));
+  uint32_t nq = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&nq));
+  if (static_cast<size_t>(nq) * sizeof(double) > r->remaining()) {
+    return Status::SerializationError("quantile count exceeds remaining buffer");
+  }
+  rep.quantiles.reserve(nq);
+  for (uint32_t i = 0; i < nq; ++i) {
+    double v = 0;
+    DEMA_RETURN_NOT_OK(r->GetDouble(&v));
+    rep.quantiles.push_back(v);
+  }
+  uint32_t na = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&na));
+  constexpr size_t kMinAnswerBytes =
+      3 * sizeof(uint64_t) + 2 * sizeof(uint8_t) + 2 * sizeof(uint32_t);
+  if (static_cast<size_t>(na) * kMinAnswerBytes > r->remaining()) {
+    return Status::SerializationError("answer count exceeds remaining buffer");
+  }
+  rep.answers.reserve(na);
+  for (uint32_t i = 0; i < na; ++i) {
+    KeyedAnswer a;
+    DEMA_RETURN_NOT_OK(r->GetU64(&a.key));
+    uint8_t found = 0, degraded = 0;
+    DEMA_RETURN_NOT_OK(r->GetU8(&found));
+    DEMA_RETURN_NOT_OK(r->GetU64(&a.window_id));
+    DEMA_RETURN_NOT_OK(r->GetU64(&a.global_size));
+    DEMA_RETURN_NOT_OK(r->GetU8(&degraded));
+    DEMA_RETURN_NOT_OK(r->GetU64(&a.rank_error_bound));
+    a.found = found != 0;
+    a.degraded = degraded != 0;
+    uint32_t nv = 0;
+    DEMA_RETURN_NOT_OK(r->GetU32(&nv));
+    if (static_cast<size_t>(nv) * sizeof(double) > r->remaining()) {
+      return Status::SerializationError("value count exceeds remaining buffer");
+    }
+    a.values.reserve(nv);
+    for (uint32_t j = 0; j < nv; ++j) {
+      double v = 0;
+      DEMA_RETURN_NOT_OK(r->GetDouble(&v));
+      a.values.push_back(v);
+    }
+    rep.answers.push_back(std::move(a));
+  }
+  return rep;
+}
+
+}  // namespace dema::net

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/message.h"
+#include "net/serializer.h"
+
+namespace dema::net {
+
+/// Identifies one tenant key (user, sensor, metric, ...) in a multi-tenant
+/// keyed run. Keys are dense: a run with K keys uses ids 0..K-1.
+using KeyId = uint64_t;
+
+/// \brief One per-key payload inside a `KeyedBatch`.
+///
+/// `payload` is the serialized single-key protocol message (kSynopsisBatch,
+/// kCandidateRequest, kCandidateReply, or kGammaUpdate — whichever the outer
+/// frame's type maps to via `KeyedInnerType`), byte-identical to what an
+/// unsharded run would put on the wire for that key.
+struct KeyedEntry {
+  KeyId key = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// \brief Envelope batching per-key protocol traffic between a keyed local
+/// node and one root shard.
+///
+/// All synopsis/candidate/gamma traffic of a (local, shard) pair for one
+/// protocol step travels as a single frame: one CRC-protected envelope, one
+/// sequence number, one entry per key. The inner payloads reuse the
+/// single-key wire formats unchanged, so per-shard validation and quarantine
+/// run exactly the PR 5 code path on each entry.
+struct KeyedBatch {
+  /// Shard index the entries belong to (every entry's key must map to it).
+  uint32_t shard = 0;
+  std::vector<KeyedEntry> entries;
+  /// Raw events carried across all entries (envelope metadata, not wire
+  /// bytes; candidate-reply batches report their merged run sizes here).
+  uint64_t event_count = 0;
+
+  void SerializeTo(Writer* w) const;
+  static Result<KeyedBatch> Deserialize(Reader* r);
+  uint64_t WireEventCount() const { return event_count; }
+
+  /// Reads just the shard index from a serialized payload (routing fast
+  /// path: the service picks the strand before decoding entries).
+  static Result<uint32_t> PeekShard(const std::vector<uint8_t>& payload);
+};
+
+/// Byte offset of the first entry's inner payload inside a serialized
+/// `KeyedBatch` (shard u32 + count u32 + key u64 + length u32). The fabric's
+/// tamper injector uses it to corrupt exactly one key's traffic while the
+/// frame checksum stays valid.
+inline constexpr size_t kKeyedFirstPayloadOffset =
+    sizeof(uint32_t) + sizeof(uint32_t) + sizeof(KeyId) + sizeof(uint32_t);
+
+/// The single-key message type carried by a keyed envelope of type \p outer,
+/// or an error for non-keyed types.
+Result<MessageType> KeyedInnerType(MessageType outer);
+
+/// The keyed envelope type that batches inner messages of type \p inner, or
+/// an error for types that are never batched.
+Result<MessageType> KeyedOuterType(MessageType inner);
+
+/// \brief Query payload: multi-key, multi-quantile lookup against the shard
+/// service's live result store.
+struct KeyedQuery {
+  /// Client-chosen correlation id, echoed in the reply.
+  uint64_t query_id = 0;
+  /// Keys to answer (any order, duplicates allowed).
+  std::vector<KeyId> keys;
+  /// Quantiles to return per key; must be a subset of the quantile set the
+  /// service computes (it holds exact answers only for those). Empty = all
+  /// configured quantiles.
+  std::vector<double> quantiles;
+
+  void SerializeTo(Writer* w) const;
+  static Result<KeyedQuery> Deserialize(Reader* r);
+};
+
+/// \brief One key's answer inside a `KeyedQueryReply`.
+struct KeyedAnswer {
+  KeyId key = 0;
+  /// False when the key has not emitted any window yet (remaining fields
+  /// are zero). Unknown keys fail the whole query instead.
+  bool found = false;
+  /// Window the values belong to (the key's latest published window).
+  WindowId window_id = 0;
+  uint64_t global_size = 0;
+  bool degraded = false;
+  uint64_t rank_error_bound = 0;
+  /// Values parallel to the query's (resolved) quantile list.
+  std::vector<double> values;
+};
+
+/// \brief Reply payload: per-key answers, read shard-atomically (all keys of
+/// one shard are answered from a single locked snapshot of that shard's
+/// store stripe).
+struct KeyedQueryReply {
+  uint64_t query_id = 0;
+  /// Empty on success; a human-readable rejection otherwise (unknown key,
+  /// unconfigured quantile) with every `answers` entry absent.
+  std::string error;
+  /// Quantiles the values are reported for (the resolved subset).
+  std::vector<double> quantiles;
+  std::vector<KeyedAnswer> answers;
+
+  void SerializeTo(Writer* w) const;
+  static Result<KeyedQueryReply> Deserialize(Reader* r);
+};
+
+}  // namespace dema::net

@@ -28,6 +28,18 @@ const char* MessageTypeToString(MessageType type) {
       return "TimeAdvance";
     case MessageType::kGammaSyncRequest:
       return "GammaSyncRequest";
+    case MessageType::kShardSynopsisBatch:
+      return "ShardSynopsisBatch";
+    case MessageType::kShardCandidateRequest:
+      return "ShardCandidateRequest";
+    case MessageType::kShardCandidateReply:
+      return "ShardCandidateReply";
+    case MessageType::kShardGammaUpdate:
+      return "ShardGammaUpdate";
+    case MessageType::kShardQuery:
+      return "ShardQuery";
+    case MessageType::kShardQueryReply:
+      return "ShardQueryReply";
   }
   return "Unknown";
 }

@@ -48,6 +48,22 @@ enum class MessageType : uint16_t {
   /// Local -> root request to re-learn the current slice factor after a
   /// restart (the root answers with a kGammaUpdate).
   kGammaSyncRequest = 11,
+  /// Keyed local -> shard service: one frame batching the per-key
+  /// kSynopsisBatch payloads of every key a (local, shard) pair closed for a
+  /// window boundary (`net::KeyedBatch` envelope; see docs/SHARDING.md).
+  kShardSynopsisBatch = 12,
+  /// Shard service -> keyed local: batched per-key kCandidateRequest
+  /// payloads (including empty release requests).
+  kShardCandidateRequest = 13,
+  /// Keyed local -> shard service: batched per-key kCandidateReply payloads.
+  kShardCandidateReply = 14,
+  /// Shard service -> keyed local: batched per-key kGammaUpdate payloads.
+  kShardGammaUpdate = 15,
+  /// Query client -> shard service: multi-key, multi-quantile snapshot query
+  /// over the live result store (`net::KeyedQuery`).
+  kShardQuery = 16,
+  /// Shard service -> query client: per-key answers (`net::KeyedQueryReply`).
+  kShardQueryReply = 17,
 };
 
 /// \brief Returns a readable name for a message type, e.g. "EventBatch".

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include "common/crc32c.h"
+#include "net/keyed.h"
 #include "net/serializer.h"
 
 namespace dema::net {
@@ -105,12 +106,19 @@ bool Network::CorruptFrameLocked(Message* m) {
 void Network::MaybeTamperLocked(Message* m) {
   if (tampering_.empty() || !tampering_.count(m->src)) return;
   // A tampering local corrupts its own protocol reports; both payloads
-  // carry the declared node id at offset 8 (after the u64 window id).
-  if (m->type != MessageType::kSynopsisBatch &&
-      m->type != MessageType::kCandidateReply) {
+  // carry the declared node id at offset 8 (after the u64 window id). Keyed
+  // envelopes are tampered in their first entry's inner payload — exactly
+  // one key's traffic — at the same inner offset, so per-shard validation
+  // catches it entry-locally.
+  size_t base = 0;
+  if (m->type == MessageType::kShardSynopsisBatch ||
+      m->type == MessageType::kShardCandidateReply) {
+    base = kKeyedFirstPayloadOffset;
+  } else if (m->type != MessageType::kSynopsisBatch &&
+             m->type != MessageType::kCandidateReply) {
     return;
   }
-  constexpr size_t kNodeFieldOffset = sizeof(uint64_t);
+  const size_t kNodeFieldOffset = base + sizeof(uint64_t);
   if (m->payload.size() < kNodeFieldOffset + sizeof(uint32_t)) return;
   if (options_.tamper_prob < 1.0 &&
       !fault_rng_.Bernoulli(options_.tamper_prob)) {

@@ -42,6 +42,10 @@ class Writer {
     PutU32(static_cast<uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
+  /// Appends \p n raw bytes (no length prefix; the caller owns framing).
+  void PutBytes(const uint8_t* p, size_t n) {
+    buf_.insert(buf_.end(), p, p + n);
+  }
   /// Appends an unsigned LEB128 varint (1 byte for values < 128).
   void PutVarint(uint64_t v) {
     while (v >= 0x80) {

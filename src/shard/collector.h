@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace dema::shard {
+
+/// \brief Transport stub that buffers outbound messages instead of
+/// delivering them.
+///
+/// The shard subsystem reuses the single-key `DemaRootNode`/`DemaLocalNode`
+/// state machines per key by pointing them at one of these: after each
+/// per-key `OnMessage`/`OnEvent` call the owner drains the buffer, attributes
+/// the collected messages to that key, and re-batches them into keyed frames
+/// on the real transport. Nothing sent here is charged to link metrics — the
+/// outer keyed frame on the real transport carries the wire cost.
+class CollectingTransport final : public transport::Transport {
+ public:
+  Status Send(net::Message m) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    collected_.push_back(std::move(m));
+    return Status::OK();
+  }
+
+  /// No nodes are hosted here; per-key nodes are fed synthesized messages
+  /// directly by their owner.
+  net::Channel* Inbox(NodeId) override { return nullptr; }
+
+  transport::LinkTrafficMap LinkTraffic() const override { return {}; }
+  std::map<net::MessageType, net::TrafficCounters> TrafficByType()
+      const override {
+    return {};
+  }
+  void Shutdown() override {}
+
+  /// Moves everything collected since the last drain into \p out (appended).
+  void Drain(std::vector<net::Message>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& m : collected_) out->push_back(std::move(m));
+    collected_.clear();
+  }
+
+  /// True when nothing is buffered (cheap fast path between drains).
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return collected_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<net::Message> collected_;
+};
+
+}  // namespace dema::shard

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/keyed.h"
+
+namespace dema::shard {
+
+/// Finalizer of the splitmix64 generator (Steele et al.); a cheap,
+/// well-mixed 64-bit hash so dense key ids 0..K-1 spread evenly across
+/// shards instead of striping by `key % S`.
+inline uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The shard that owns \p key in a service with \p num_shards shards. Pure
+/// and stable: every local, the service, and every test computes the same
+/// mapping with no coordination.
+inline uint32_t ShardOfKey(net::KeyId key, uint32_t num_shards) {
+  return static_cast<uint32_t>(MixKey(key) % num_shards);
+}
+
+}  // namespace dema::shard

@@ -1,0 +1,159 @@
+#include "shard/local_mux.h"
+
+#include "shard/key.h"
+
+namespace dema::shard {
+
+KeyedLocalNode::KeyedLocalNode(KeyedLocalNodeOptions options,
+                               transport::Transport* transport,
+                               const Clock* clock)
+    : options_(std::move(options)), transport_(transport) {
+  if (options_.registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  } else {
+    registry_ = options_.registry;
+  }
+  const std::string suffix = "{node=" + std::to_string(options_.id) + "}";
+  c_frames_ = registry_->GetCounter("shard.local.frames" + suffix);
+  c_bad_frame_ = registry_->GetCounter("shard.local.bad_frame" + suffix);
+  c_unknown_key_ = registry_->GetCounter("shard.local.unknown_key" + suffix);
+  c_send_failures_ =
+      registry_->GetCounter("shard.local.send_failures" + suffix);
+
+  core::DemaLocalNodeOptions opts;
+  opts.id = options_.id;
+  opts.root_id = options_.service_id;
+  opts.window_len_us = options_.window_len_us;
+  opts.initial_gamma = options_.initial_gamma;
+  opts.sort_mode = options_.sort_mode;
+  opts.reply_codec = options_.reply_codec;
+  opts.registry = registry_;
+  opts.executor = options_.executor;
+
+  locals_.reserve(options_.num_keys);
+  shard_of_.reserve(options_.num_keys);
+  for (net::KeyId key = 0; key < options_.num_keys; ++key) {
+    locals_.push_back(
+        std::make_unique<core::DemaLocalNode>(opts, &collector_, clock));
+    shard_of_.push_back(ShardOfKey(key, options_.num_shards));
+  }
+}
+
+const core::DemaLocalNode* KeyedLocalNode::local_for(net::KeyId key) const {
+  return key < locals_.size() ? locals_[key].get() : nullptr;
+}
+
+Status KeyedLocalNode::OnEvent(net::KeyId key, const Event& e) {
+  if (key >= locals_.size()) {
+    return Status::InvalidArgument("event for unknown key " +
+                                   std::to_string(key));
+  }
+  DEMA_RETURN_NOT_OK(locals_[key]->OnEvent(e));
+  // Ingest alone never closes a window, but stay defensive: anything the
+  // per-key local did send must not linger unattributed in the collector.
+  if (!collector_.empty()) {
+    OutboundMap out;
+    StashCollected(key, &out);
+    return FlushOutbound(&out);
+  }
+  return Status::OK();
+}
+
+Status KeyedLocalNode::OnWatermark(TimestampUs watermark_us) {
+  OutboundMap out;
+  for (net::KeyId key = 0; key < locals_.size(); ++key) {
+    DEMA_RETURN_NOT_OK(locals_[key]->OnWatermark(watermark_us));
+    StashCollected(key, &out);
+  }
+  return FlushOutbound(&out);
+}
+
+Status KeyedLocalNode::OnFinish(TimestampUs final_watermark_us) {
+  OutboundMap out;
+  for (net::KeyId key = 0; key < locals_.size(); ++key) {
+    DEMA_RETURN_NOT_OK(locals_[key]->OnFinish(final_watermark_us));
+    StashCollected(key, &out);
+  }
+  return FlushOutbound(&out);
+}
+
+Status KeyedLocalNode::Quiesce() {
+  OutboundMap out;
+  for (net::KeyId key = 0; key < locals_.size(); ++key) {
+    DEMA_RETURN_NOT_OK(locals_[key]->Quiesce());
+    StashCollected(key, &out);
+  }
+  return FlushOutbound(&out);
+}
+
+Status KeyedLocalNode::OnMessage(const net::Message& outer) {
+  if (dedup_.IsDuplicate(outer.src, outer.seq)) return Status::OK();
+  if (outer.type != net::MessageType::kShardCandidateRequest &&
+      outer.type != net::MessageType::kShardGammaUpdate) {
+    c_bad_frame_->Increment();
+    return Status::OK();
+  }
+  c_frames_->Increment();
+  net::Reader r(outer.payload);
+  auto batch = net::KeyedBatch::Deserialize(&r);
+  if (!batch.ok()) {
+    c_bad_frame_->Increment();
+    return Status::OK();
+  }
+  auto inner_type = net::KeyedInnerType(outer.type);
+  if (!inner_type.ok()) {
+    c_bad_frame_->Increment();
+    return Status::OK();
+  }
+
+  OutboundMap out;
+  for (auto& entry : batch->entries) {
+    if (entry.key >= locals_.size()) {
+      c_unknown_key_->Increment();
+      continue;
+    }
+    net::Message inner;
+    inner.type = *inner_type;
+    inner.src = outer.src;
+    inner.dst = outer.dst;
+    inner.seq = 0;  // the outer frame already passed dedup above
+    inner.payload = std::move(entry.payload);
+    inner.send_time_us = outer.send_time_us;
+    DEMA_RETURN_NOT_OK(locals_[entry.key]->OnMessage(inner));
+    StashCollected(entry.key, &out);
+  }
+  return FlushOutbound(&out);
+}
+
+void KeyedLocalNode::StashCollected(net::KeyId key, OutboundMap* out) {
+  if (collector_.empty()) return;
+  std::vector<net::Message> collected;
+  collector_.Drain(&collected);
+  for (auto& m : collected) {
+    net::KeyedBatch& batch = (*out)[{shard_of_[key], m.type}];
+    batch.shard = shard_of_[key];
+    batch.event_count += m.event_count;
+    batch.entries.push_back({key, std::move(m.payload)});
+  }
+}
+
+Status KeyedLocalNode::FlushOutbound(OutboundMap* out) {
+  for (auto& [route, batch] : *out) {
+    auto outer_type = net::KeyedOuterType(route.second);
+    if (!outer_type.ok()) {
+      // Per-key locals only send synopsis batches and candidate replies;
+      // anything else (e.g. a gamma resync, which keyed runs never issue) is
+      // a programming error worth failing loudly on.
+      return outer_type.status();
+    }
+    net::Message frame = net::MakeMessage(*outer_type, options_.id,
+                                          options_.service_id, batch);
+    Status sent = transport_->Send(std::move(frame));
+    if (!sent.ok()) c_send_failures_->Increment();
+  }
+  out->clear();
+  return Status::OK();
+}
+
+}  // namespace dema::shard

@@ -1,0 +1,126 @@
+#include "shard/result_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+namespace dema::shard {
+
+ResultStore::ResultStore(uint32_t num_shards, uint64_t num_keys,
+                         std::vector<double> quantiles)
+    : num_shards_(num_shards),
+      num_keys_(num_keys),
+      quantiles_(std::move(quantiles)) {
+  stripes_.reserve(num_shards_);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+void ResultStore::Publish(uint32_t shard, net::KeyId key,
+                          const sim::WindowOutput& out) {
+  Stripe& stripe = *stripes_[shard % num_shards_];
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    // Windows can complete out of order: a window whose candidate round
+    // touches fewer locals finishes before an older one still in flight.
+    // "Latest" therefore means highest window id, not most recent arrival —
+    // an older result must never overwrite a newer one.
+    auto [it, inserted] = stripe.latest.try_emplace(key, out);
+    if (!inserted && out.window_id > it->second.window_id) it->second = out;
+    ++stripe.epoch;
+  }
+  published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status ResultStore::ResolveQuantiles(const std::vector<double>& asked,
+                                     std::vector<size_t>* indices) const {
+  indices->clear();
+  if (asked.empty()) {
+    indices->reserve(quantiles_.size());
+    for (size_t i = 0; i < quantiles_.size(); ++i) indices->push_back(i);
+    return Status::OK();
+  }
+  for (double q : asked) {
+    size_t found = quantiles_.size();
+    for (size_t i = 0; i < quantiles_.size(); ++i) {
+      if (std::abs(quantiles_[i] - q) < 1e-12) {
+        found = i;
+        break;
+      }
+    }
+    if (found == quantiles_.size()) {
+      return Status::InvalidArgument("quantile " + std::to_string(q) +
+                                     " is not computed by this service");
+    }
+    indices->push_back(found);
+  }
+  return Status::OK();
+}
+
+net::KeyedQueryReply ResultStore::Query(const net::KeyedQuery& query) const {
+  net::KeyedQueryReply reply;
+  reply.query_id = query.query_id;
+
+  std::vector<size_t> indices;
+  Status resolved = ResolveQuantiles(query.quantiles, &indices);
+  if (!resolved.ok()) {
+    reply.error = resolved.message();
+    return reply;
+  }
+  reply.quantiles.reserve(indices.size());
+  for (size_t i : indices) reply.quantiles.push_back(quantiles_[i]);
+
+  // Group the asked keys by shard, remembering each key's position in the
+  // query so the reply preserves the caller's order.
+  std::map<uint32_t, std::vector<std::pair<size_t, net::KeyId>>> by_shard;
+  for (size_t pos = 0; pos < query.keys.size(); ++pos) {
+    const net::KeyId key = query.keys[pos];
+    if (key >= num_keys_) {
+      reply.error = "unknown key " + std::to_string(key) + " (service has " +
+                    std::to_string(num_keys_) + " keys)";
+      return reply;
+    }
+    by_shard[ShardOfKey(key, num_shards_)].emplace_back(pos, key);
+  }
+
+  reply.answers.resize(query.keys.size());
+  for (const auto& [shard, members] : by_shard) {
+    const Stripe& stripe = *stripes_[shard];
+    // One lock acquisition per touched shard: all of this shard's keys are
+    // answered from the same publish snapshot.
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [pos, key] : members) {
+      net::KeyedAnswer& a = reply.answers[pos];
+      a.key = key;
+      auto it = stripe.latest.find(key);
+      if (it == stripe.latest.end()) {
+        a.found = false;
+        continue;
+      }
+      const sim::WindowOutput& out = it->second;
+      a.found = true;
+      a.window_id = out.window_id;
+      a.global_size = out.global_size;
+      a.degraded = out.degraded;
+      a.rank_error_bound = out.rank_error_bound;
+      a.values.reserve(indices.size());
+      for (size_t i : indices) {
+        a.values.push_back(i < out.values.size() ? out.values[i] : 0.0);
+      }
+    }
+  }
+  return reply;
+}
+
+std::optional<sim::WindowOutput> ResultStore::Latest(net::KeyId key) const {
+  if (key >= num_keys_) return std::nullopt;
+  const Stripe& stripe = *stripes_[ShardOfKey(key, num_shards_)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.latest.find(key);
+  if (it == stripe.latest.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace dema::shard

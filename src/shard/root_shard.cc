@@ -1,0 +1,135 @@
+#include "shard/root_shard.h"
+
+#include "shard/key.h"
+
+namespace dema::shard {
+
+RootShard::RootShard(uint32_t index, const ShardedConfig& config,
+                     transport::Transport* transport, const Clock* clock,
+                     obs::Registry* registry, KeyedResultFn on_result)
+    : index_(index), transport_(transport), on_result_(std::move(on_result)) {
+  const std::string suffix = "{" + ShardLabel(index_) + "}";
+  c_frames_ = registry->GetCounter("shard.frames" + suffix);
+  c_wrong_shard_ = registry->GetCounter("shard.wrong_shard" + suffix);
+  c_unknown_key_ = registry->GetCounter("shard.unknown_key" + suffix);
+  c_bad_frame_ = registry->GetCounter("shard.bad_frame" + suffix);
+  c_send_failures_ = registry->GetCounter("shard.send_failures" + suffix);
+
+  core::DemaRootNodeOptions opts;
+  opts.id = 0;  // per-key traffic carries the service's node id
+  opts.locals = ShardLocalIds(config);
+  opts.quantiles = config.quantiles;
+  opts.initial_gamma = config.gamma;
+  opts.adaptive_gamma = config.adaptive_gamma;
+  opts.deadline_ticks = config.root_deadline_ticks;
+  opts.max_retries = config.root_max_retries;
+  opts.quarantine_strikes = config.root_quarantine_strikes;
+  opts.probation_windows = config.root_probation_windows;
+  opts.probation_clean_windows = config.root_probation_clean_windows;
+  opts.instrument_label = ShardLabel(index_);
+  opts.registry = registry;
+
+  for (net::KeyId key = 0; key < config.num_keys; ++key) {
+    if (ShardOfKey(key, config.num_shards) != index_) continue;
+    auto root = std::make_unique<core::DemaRootNode>(opts, &collector_, clock);
+    root->SetResultCallback([this, key](const sim::WindowOutput& out) {
+      if (on_result_) on_result_(key, out);
+    });
+    keys_.push_back(key);
+    roots_.emplace(key, std::move(root));
+  }
+}
+
+const core::DemaRootNode* RootShard::root_for(net::KeyId key) const {
+  auto it = roots_.find(key);
+  return it == roots_.end() ? nullptr : it->second.get();
+}
+
+Status RootShard::OnFrame(const net::Message& outer) {
+  c_frames_->Increment();
+  net::Reader r(outer.payload);
+  auto batch = net::KeyedBatch::Deserialize(&r);
+  if (!batch.ok()) {
+    c_bad_frame_->Increment();
+    return Status::OK();
+  }
+  if (batch->shard != index_) {
+    c_wrong_shard_->Increment();
+    return Status::OK();
+  }
+  auto inner_type = net::KeyedInnerType(outer.type);
+  if (!inner_type.ok()) {
+    c_bad_frame_->Increment();
+    return Status::OK();
+  }
+
+  OutboundMap out;
+  for (auto& entry : batch->entries) {
+    auto it = roots_.find(entry.key);
+    if (it == roots_.end()) {
+      c_unknown_key_->Increment();
+      continue;
+    }
+    net::Message inner;
+    inner.type = *inner_type;
+    inner.src = outer.src;
+    inner.dst = outer.dst;
+    inner.seq = 0;  // the outer frame already passed transport-level dedup
+    inner.payload = std::move(entry.payload);
+    inner.send_time_us = outer.send_time_us;
+    DEMA_RETURN_NOT_OK(it->second->OnMessage(inner));
+    StashCollected(entry.key, &out);
+  }
+  return FlushOutbound(&out);
+}
+
+Status RootShard::Tick() {
+  OutboundMap out;
+  for (net::KeyId key : keys_) {
+    DEMA_RETURN_NOT_OK(roots_[key]->Tick());
+    StashCollected(key, &out);
+  }
+  return FlushOutbound(&out);
+}
+
+void RootShard::NoteWindowHorizon(net::WindowId last) {
+  for (net::KeyId key : keys_) roots_[key]->NoteWindowHorizon(last);
+}
+
+bool RootShard::idle() const {
+  for (const auto& [key, root] : roots_) {
+    if (!root->idle()) return false;
+  }
+  return true;
+}
+
+void RootShard::StashCollected(net::KeyId key, OutboundMap* out) {
+  if (collector_.empty()) return;
+  std::vector<net::Message> collected;
+  collector_.Drain(&collected);
+  for (auto& m : collected) {
+    net::KeyedBatch& batch = (*out)[{m.dst, m.type}];
+    batch.shard = index_;
+    batch.event_count += m.event_count;
+    batch.entries.push_back({key, std::move(m.payload)});
+  }
+}
+
+Status RootShard::FlushOutbound(OutboundMap* out) {
+  for (auto& [route, batch] : *out) {
+    const auto& [dst, inner_type] = route;
+    auto outer_type = net::KeyedOuterType(inner_type);
+    if (!outer_type.ok()) {
+      // A per-key root only ever sends candidate requests and gamma updates;
+      // anything else is a programming error worth failing loudly on.
+      return outer_type.status();
+    }
+    net::Message frame = net::MakeMessage(*outer_type, /*src=*/0, dst, batch);
+    Status sent = transport_->Send(std::move(frame));
+    if (!sent.ok()) c_send_failures_->Increment();
+  }
+  out->clear();
+  return Status::OK();
+}
+
+}  // namespace dema::shard

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "dema/root_node.h"
+#include "net/keyed.h"
+#include "shard/collector.h"
+#include "shard/config.h"
+
+namespace dema::shard {
+
+/// Sink for one key's emitted window result.
+using KeyedResultFn =
+    std::function<void(net::KeyId, const sim::WindowOutput&)>;
+
+/// \brief One root shard: an independent Dema root instance per key it owns.
+///
+/// The per-key state machine is the unmodified `DemaRootNode` (window-cut,
+/// deadlines, validation, quarantine, degraded path — the full PR 5 root),
+/// pointed at a `CollectingTransport`. Inbound keyed frames are demuxed into
+/// per-key inner messages (seq 0 — the outer frame already went through
+/// transport-level dedup); outbound per-key traffic is drained after every
+/// per-key call, attributed to that key, and re-batched into one keyed frame
+/// per (destination, message type) on the real transport.
+///
+/// Not thread-safe: the owning service serializes all calls on the shard's
+/// strand.
+class RootShard {
+ public:
+  /// Builds the shard's per-key roots eagerly for every key it owns under
+  /// `ShardOfKey(key, config.num_shards) == index`. \p transport, \p clock
+  /// and \p registry must outlive the shard.
+  RootShard(uint32_t index, const ShardedConfig& config,
+            transport::Transport* transport, const Clock* clock,
+            obs::Registry* registry, KeyedResultFn on_result);
+
+  /// Handles one inbound keyed frame (kShardSynopsisBatch or
+  /// kShardCandidateReply). Malformed frames, wrong-shard frames, and
+  /// unknown-key entries are counted and dropped — corruption must never
+  /// take the shard down; per-entry payload validation (and quarantine) runs
+  /// inside the per-key root.
+  Status OnFrame(const net::Message& outer);
+
+  /// Deadline tick fan-out over every per-key root (retries ship as keyed
+  /// frames).
+  Status Tick();
+
+  /// Declares the workload horizon to every per-key root (deadline-mode gap
+  /// fill).
+  void NoteWindowHorizon(net::WindowId last);
+
+  /// True when every per-key root has no partially aggregated window.
+  bool idle() const;
+
+  /// Keys owned by this shard.
+  size_t num_keys() const { return roots_.size(); }
+
+  uint32_t index() const { return index_; }
+
+  /// The per-key root for \p key, or nullptr if this shard does not own it
+  /// (test/diagnostic access).
+  const core::DemaRootNode* root_for(net::KeyId key) const;
+
+ private:
+  /// Outbound keyed batches accumulated during one OnFrame/Tick, keyed by
+  /// (destination, inner message type).
+  using OutboundMap =
+      std::map<std::pair<NodeId, net::MessageType>, net::KeyedBatch>;
+
+  /// Drains the collector and appends everything to \p out under \p key.
+  void StashCollected(net::KeyId key, OutboundMap* out);
+  /// Sends every accumulated batch as one keyed frame. Send failures are
+  /// counted (`shard.send_failures{shard=}`) and absorbed — the per-key
+  /// deadline machinery retries or degrades, mirroring the root's own
+  /// best-effort send semantics.
+  Status FlushOutbound(OutboundMap* out);
+
+  uint32_t index_;
+  transport::Transport* transport_;
+  CollectingTransport collector_;
+  KeyedResultFn on_result_;
+  std::unordered_map<net::KeyId, std::unique_ptr<core::DemaRootNode>> roots_;
+  /// Owned keys in ascending order (deterministic Tick/horizon fan-out).
+  std::vector<net::KeyId> keys_;
+  obs::Counter* c_frames_;
+  obs::Counter* c_wrong_shard_;
+  obs::Counter* c_unknown_key_;
+  obs::Counter* c_bad_frame_;
+  obs::Counter* c_send_failures_;
+};
+
+}  // namespace dema::shard

@@ -1,0 +1,151 @@
+#include "shard/sim_run.h"
+
+namespace dema::shard {
+
+ShardedSimHarness::ShardedSimHarness(const ShardedConfig& config,
+                                     net::Network::Options net_options)
+    : config_(config), network_(&clock_, net_options) {
+  init_status_ = ValidateShardedConfig(config_);
+  if (!init_status_.ok()) return;
+
+  init_status_ = network_.RegisterNode(/*id=*/0);
+  if (!init_status_.ok()) return;
+  service_ = std::make_unique<ShardedRootService>(config_, &network_, &clock_);
+  init_status_ = service_->init_status();
+  if (!init_status_.ok()) return;
+
+  for (NodeId id : ShardLocalIds(config_)) {
+    init_status_ = network_.RegisterNode(id);
+    if (!init_status_.ok()) return;
+    KeyedLocalNodeOptions opts;
+    opts.id = id;
+    opts.service_id = 0;
+    opts.num_shards = config_.num_shards;
+    opts.num_keys = config_.num_keys;
+    opts.window_len_us = config_.window_len_us;
+    opts.initial_gamma = config_.gamma;
+    opts.sort_mode = config_.sort_mode;
+    opts.reply_codec = config_.wire_codec;
+    opts.registry = service_->registry();
+    locals_.push_back(
+        std::make_unique<KeyedLocalNode>(opts, &network_, &clock_));
+  }
+}
+
+Status ShardedSimHarness::PumpMessages() {
+  net::Channel* service_inbox = network_.Inbox(0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    while (auto msg = service_inbox->TryPop()) {
+      DEMA_RETURN_NOT_OK(service_->OnMessage(*msg));
+      progress = true;
+    }
+    // Strand barrier: candidate requests the shards produce must be on the
+    // fabric before the local inboxes are examined, or a "quiescent" check
+    // could race the executor.
+    DEMA_RETURN_NOT_OK(service_->WaitIdle());
+    for (size_t i = 0; i < locals_.size(); ++i) {
+      net::Channel* inbox = network_.Inbox(static_cast<NodeId>(i + 1));
+      while (auto msg = inbox->TryPop()) {
+        DEMA_RETURN_NOT_OK(locals_[i]->OnMessage(*msg));
+        progress = true;
+      }
+    }
+    if (!progress && network_.delayed_in_flight() > 0) {
+      progress = network_.FlushDelayed() > 0;
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedSimHarness::Run(const KeyedWorkloadConfig& workload) {
+  DEMA_RETURN_NOT_OK(init_status_);
+
+  // One generator per (local, key): local i's stream for key k is seeded
+  // `seed_base + k * kKeySeedStride + i * 7919`, matching what
+  // `MakeUniformWorkload` would give local i in a single-key run seeded
+  // `seed_base + k * kKeySeedStride`.
+  std::vector<std::vector<std::unique_ptr<gen::StreamGenerator>>> gens(
+      locals_.size());
+  for (size_t i = 0; i < locals_.size(); ++i) {
+    gens[i].reserve(config_.num_keys);
+    for (net::KeyId key = 0; key < config_.num_keys; ++key) {
+      gen::GeneratorConfig cfg;
+      cfg.node = static_cast<NodeId>(i + 1);
+      cfg.seed = workload.seed_base + key * kKeySeedStride + i * 7919;
+      cfg.distribution = workload.distribution;
+      cfg.event_rate = workload.event_rate;
+      DEMA_ASSIGN_OR_RETURN(auto g, gen::StreamGenerator::Create(cfg));
+      gens[i].push_back(std::move(g));
+    }
+  }
+
+  outputs_by_key_.assign(config_.num_keys, {});
+  // Strands publish concurrently, but always to distinct keys' (pre-sized)
+  // vectors; one key's results stay on one strand, so no entry races.
+  service_->SetKeyedResultCallback(
+      [this](net::KeyId key, const sim::WindowOutput& out) {
+        outputs_by_key_[key].push_back(out);
+      });
+
+  const bool deadlines = config_.root_deadline_ticks > 0;
+  for (uint64_t w = 0; w < workload.num_windows; ++w) {
+    const TimestampUs start =
+        static_cast<TimestampUs>(w) * config_.window_len_us;
+    const TimestampUs end = start + config_.window_len_us;
+    for (size_t i = 0; i < locals_.size(); ++i) {
+      for (net::KeyId key = 0; key < config_.num_keys; ++key) {
+        std::vector<Event> events =
+            gens[i][key]->GenerateWindow(start, config_.window_len_us);
+        for (const Event& e : events) {
+          DEMA_RETURN_NOT_OK(locals_[i]->OnEvent(key, e));
+        }
+        events_ingested_ += events.size();
+      }
+    }
+    for (auto& local : locals_) {
+      DEMA_RETURN_NOT_OK(local->OnWatermark(end));
+    }
+    for (auto& local : locals_) {
+      DEMA_RETURN_NOT_OK(local->Quiesce());
+    }
+    DEMA_RETURN_NOT_OK(PumpMessages());
+    if (deadlines) {
+      DEMA_RETURN_NOT_OK(service_->Tick());
+      DEMA_RETURN_NOT_OK(PumpMessages());
+    }
+  }
+
+  const TimestampUs final_ts =
+      static_cast<TimestampUs>(workload.num_windows) * config_.window_len_us;
+  for (auto& local : locals_) {
+    DEMA_RETURN_NOT_OK(local->OnFinish(final_ts));
+  }
+  DEMA_RETURN_NOT_OK(PumpMessages());
+  if (deadlines) {
+    service_->NoteWindowHorizon(workload.num_windows - 1);
+    // Burn through the retry/degrade budget so faulty runs terminate.
+    for (uint64_t t = 0; t < config_.root_deadline_ticks *
+                                 (config_.root_max_retries + 2) +
+                             2;
+         ++t) {
+      DEMA_RETURN_NOT_OK(service_->Tick());
+      DEMA_RETURN_NOT_OK(PumpMessages());
+      if (service_->idle()) break;
+    }
+  }
+
+  const uint64_t expected = workload.num_windows * config_.num_keys;
+  if (service_->windows_emitted() != expected) {
+    return Status::Internal(
+        "service emitted " + std::to_string(service_->windows_emitted()) +
+        " per-key windows, expected " + std::to_string(expected));
+  }
+  if (!service_->idle()) {
+    return Status::Internal("service still has pending windows after run");
+  }
+  return Status::OK();
+}
+
+}  // namespace dema::shard

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "gen/generator.h"
+#include "net/network.h"
+#include "shard/config.h"
+#include "shard/local_mux.h"
+#include "shard/service.h"
+
+namespace dema::shard {
+
+/// Seed stride between adjacent keys: key k's per-local generator seeds are
+/// `seed_base + k * kKeySeedStride + local_index * 7919`, so the single-key
+/// baseline for key k is exactly `MakeUniformWorkload(..., seed_base + k *
+/// kKeySeedStride)` — the parity tests depend on this identity.
+inline constexpr uint64_t kKeySeedStride = 1'000'003;
+
+/// \brief Workload of a keyed sim run: every (key, local) pair runs its own
+/// deterministic generator, all with the same distribution and rate.
+struct KeyedWorkloadConfig {
+  /// Tumbling windows of event time to generate.
+  uint64_t num_windows = 10;
+  /// Events per second of event time, per (key, local) stream.
+  double event_rate = 1000.0;
+  gen::DistributionParams distribution;
+  uint64_t seed_base = 1000;
+};
+
+/// \brief In-process sharded deployment on the simulation fabric: the shard
+/// service as node 0 plus N keyed local nodes, driven synchronously.
+///
+/// The driver mirrors `SyncDriver` exactly — generate one window per (key,
+/// local), watermark, quiesce, pump until quiescent — with one addition:
+/// after draining the service inbox it waits for all shard strands to drain
+/// before pumping the local inboxes, so executor-backed runs produce the
+/// same per-key message sequences as a single-threaded run.
+class ShardedSimHarness {
+ public:
+  /// \p net_options configures fault injection on the fabric (tamper, drops,
+  /// ...); the service/local nodes are built and registered immediately.
+  explicit ShardedSimHarness(const ShardedConfig& config,
+                             net::Network::Options net_options = {});
+
+  /// Construction-time validation/registration result; `Run` fails while
+  /// this is not OK.
+  const Status& init_status() const { return init_status_; }
+
+  /// Runs the whole workload; fails on the first node error. On success
+  /// every key emitted exactly `workload.num_windows` windows and the
+  /// service is idle.
+  Status Run(const KeyedWorkloadConfig& workload);
+
+  /// Emitted outputs per key, in emission order (index = key id).
+  const std::vector<std::vector<sim::WindowOutput>>& outputs_by_key() const {
+    return outputs_by_key_;
+  }
+
+  uint64_t events_ingested() const { return events_ingested_; }
+
+  net::Network* network() { return &network_; }
+  ShardedRootService* service() { return service_.get(); }
+  KeyedLocalNode* local(size_t i) { return locals_[i].get(); }
+  obs::Registry* registry() { return service_->registry(); }
+
+ private:
+  /// Pumps all inboxes (service first, strand barrier, then locals) until
+  /// the fabric is quiescent.
+  Status PumpMessages();
+
+  ShardedConfig config_;
+  RealClock clock_;
+  net::Network network_;
+  Status init_status_;
+  std::unique_ptr<ShardedRootService> service_;
+  std::vector<std::unique_ptr<KeyedLocalNode>> locals_;
+  std::vector<std::vector<sim::WindowOutput>> outputs_by_key_;
+  uint64_t events_ingested_ = 0;
+};
+
+}  // namespace dema::shard

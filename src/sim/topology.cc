@@ -31,6 +31,14 @@ Status ValidateSystemConfig(const SystemConfig& config) {
   if (config.num_locals == 0) {
     return Status::InvalidArgument("need at least one local node");
   }
+  if (config.shards == 0) {
+    return Status::InvalidArgument(
+        "shard count must be at least 1 (0 is not a silent fallback to an "
+        "unsharded topology)");
+  }
+  if (config.keys == 0) {
+    return Status::InvalidArgument("key count must be at least 1");
+  }
   if (config.window_len_us <= 0) {
     return Status::InvalidArgument("window length must be positive");
   }

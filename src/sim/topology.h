@@ -81,6 +81,17 @@ struct SystemConfig {
   /// fastest) or the paper's incremental insertion.
   stream::SortMode sort_mode = stream::SortMode::kSortOnClose;
 
+  // --- multi-tenant sharding (src/shard subsystem) ---
+  /// Root shards for keyed (multi-tenant) runs. The single-root systems in
+  /// this file ignore the value, but validation still rejects 0 with
+  /// `InvalidArgument`: a zero shard count used to silently fall back to an
+  /// unsharded topology in early drafts, which hid misconfigured `--shards`
+  /// flags — fail fast instead (PR 2 quantile-validation convention).
+  size_t shards = 1;
+  /// Distinct tenant keys for keyed runs (ids 0..keys-1); same fail-fast
+  /// rule as `shards`.
+  uint64_t keys = 1;
+
   // --- parallel data plane (Dema local nodes) ---
   /// Executor worker threads for closed-window sort+slice. 0 (default) keeps
   /// the inline close path (everything on the ingest thread); >= 1 makes

@@ -19,6 +19,12 @@ bool IsKnownMessageType(uint16_t raw) {
     case net::MessageType::kShutdown:
     case net::MessageType::kTimeAdvance:
     case net::MessageType::kGammaSyncRequest:
+    case net::MessageType::kShardSynopsisBatch:
+    case net::MessageType::kShardCandidateRequest:
+    case net::MessageType::kShardCandidateReply:
+    case net::MessageType::kShardGammaUpdate:
+    case net::MessageType::kShardQuery:
+    case net::MessageType::kShardQueryReply:
       return true;
   }
   return false;

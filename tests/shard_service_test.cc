@@ -1,0 +1,222 @@
+// Scale and concurrency tests for the sharded root service: a 10k-key run
+// across 4 shards must match 10k independent single-key runs exactly, and
+// the query API must answer concurrent multi-key reads while windows close.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/network.h"
+#include "shard/config.h"
+#include "shard/key.h"
+#include "shard/result_store.h"
+#include "shard/sim_run.h"
+#include "sim/driver.h"
+#include "sim/topology.h"
+
+namespace dema {
+namespace {
+
+gen::DistributionParams TestDistribution() {
+  gen::DistributionParams dist;
+  dist.kind = gen::DistributionKind::kSensorWalk;
+  dist.lo = 0;
+  dist.hi = 1000;
+  dist.stddev = 5;
+  return dist;
+}
+
+TEST(ResultStore, OutOfOrderPublishKeepsNewestWindow) {
+  // Windows complete out of order when an older window's candidate round is
+  // still in flight while a newer one needs fewer locals. The store must
+  // never let the late, older result clobber the newer one (regression: a
+  // query would then report the key stuck at the old window forever).
+  shard::ResultStore store(/*num_shards=*/2, /*num_keys=*/4, {0.5});
+  const net::KeyId key = 3;
+  const uint32_t s = shard::ShardOfKey(key, 2);
+
+  sim::WindowOutput w1;
+  w1.window_id = 1;
+  w1.global_size = 400;
+  w1.values = {42.0};
+  store.Publish(s, key, w1);
+
+  sim::WindowOutput w0;
+  w0.window_id = 0;
+  w0.global_size = 300;
+  w0.values = {17.0};
+  store.Publish(s, key, w0);  // late arrival of the older window
+
+  auto latest = store.Latest(key);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->window_id, 1u);
+  EXPECT_EQ(latest->global_size, 400u);
+  EXPECT_EQ(latest->values, std::vector<double>{42.0});
+  EXPECT_EQ(store.published_windows(), 2u);
+
+  net::KeyedQuery query;
+  query.query_id = 9;
+  query.keys = {key};
+  net::KeyedQueryReply reply = store.Query(query);
+  ASSERT_TRUE(reply.error.empty()) << reply.error;
+  ASSERT_EQ(reply.answers.size(), 1u);
+  EXPECT_EQ(reply.answers[0].window_id, 1u);
+}
+
+TEST(ShardScale, TenThousandKeysAcrossFourShardsMatchSingleKeyRuns) {
+  shard::ShardedConfig sc;
+  sc.num_locals = 2;
+  sc.num_shards = 4;
+  sc.num_keys = 10'000;
+  sc.workers = 4;
+  sc.quantiles = {0.5};
+  sc.gamma = 16;
+
+  shard::ShardedSimHarness harness(sc);
+  ASSERT_TRUE(harness.init_status().ok()) << harness.init_status();
+
+  shard::KeyedWorkloadConfig load;
+  load.num_windows = 1;
+  load.event_rate = 50;  // small per-key streams: 10k keys is the point
+  load.distribution = TestDistribution();
+  load.seed_base = 60000;
+  Status st = harness.Run(load);
+  ASSERT_TRUE(st.ok()) << st;
+  ASSERT_EQ(harness.service()->windows_emitted(), sc.num_keys);
+
+  // Baseline config: the identical single-key pipeline.
+  sim::SystemConfig base;
+  base.num_locals = sc.num_locals;
+  base.window_len_us = sc.window_len_us;
+  base.quantiles = sc.quantiles;
+  base.gamma = sc.gamma;
+  base.sort_mode = sc.sort_mode;
+
+  uint64_t mismatches = 0;
+  for (net::KeyId key = 0; key < sc.num_keys; ++key) {
+    RealClock clock;
+    net::Network network(&clock);
+    auto system_result = sim::BuildSystem(base, &network, &clock, 0);
+    ASSERT_TRUE(system_result.ok()) << system_result.status();
+    sim::System system = std::move(system_result).MoveValueUnsafe();
+    sim::WorkloadConfig workload = sim::MakeUniformWorkload(
+        base.num_locals, load.num_windows, load.event_rate,
+        load.distribution, {}, load.seed_base + key * shard::kKeySeedStride);
+    workload.window_len_us = base.window_len_us;
+    sim::SyncDriver driver(&system, &network, &clock);
+    ASSERT_TRUE(driver.Run(workload).ok()) << "key " << key;
+
+    const auto& got = harness.outputs_by_key()[key];
+    const auto& want = driver.outputs();
+    ASSERT_EQ(got.size(), want.size()) << "key " << key;
+    for (size_t w = 0; w < want.size(); ++w) {
+      if (got[w].global_size != want[w].global_size ||
+          got[w].values != want[w].values || got[w].degraded) {
+        ++mismatches;
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0u)
+      << "sharded run diverged from independent single-key runs";
+
+  // All four shards actually own keys (the mixer spreads a dense universe).
+  for (uint32_t s = 0; s < sc.num_shards; ++s) {
+    uint64_t owned = 0;
+    for (net::KeyId key = 0; key < sc.num_keys; ++key) {
+      if (shard::ShardOfKey(key, sc.num_shards) == s) ++owned;
+    }
+    EXPECT_GT(owned, sc.num_keys / sc.num_shards / 2) << "shard " << s;
+  }
+}
+
+TEST(ShardConcurrent, QueriesRaceWindowCloseAndStaySnapshotConsistent) {
+  constexpr uint64_t kKeys = 128;  // >= 100 concurrently queried keys
+  shard::ShardedConfig sc;
+  sc.num_locals = 2;
+  sc.num_shards = 4;
+  sc.num_keys = kKeys;
+  sc.workers = 4;
+  sc.quantiles = {0.5, 0.9};
+  sc.gamma = 16;
+
+  shard::ShardedSimHarness harness(sc);
+  ASSERT_TRUE(harness.init_status().ok()) << harness.init_status();
+
+  shard::KeyedWorkloadConfig load;
+  load.num_windows = 6;
+  load.event_rate = 400;
+  load.distribution = TestDistribution();
+  load.seed_base = 2026;
+
+  // Query threads hammer the service for all keys while the driver closes
+  // windows underneath them. Every reply must be internally consistent:
+  // resolved quantiles, per-key window ids that never move backwards, and
+  // value vectors matching the resolved quantile count.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> violations{0};
+  constexpr size_t kThreads = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      std::vector<net::WindowId> last_window(kKeys, 0);
+      std::vector<bool> seen(kKeys, false);
+      net::KeyedQuery query;
+      query.query_id = t;
+      for (net::KeyId key = 0; key < kKeys; ++key) query.keys.push_back(key);
+      while (!stop.load(std::memory_order_relaxed)) {
+        net::KeyedQueryReply reply = harness.service()->Query(query);
+        queries.fetch_add(1, std::memory_order_relaxed);
+        if (!reply.error.empty() || reply.answers.size() != kKeys ||
+            reply.quantiles != sc.quantiles) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        for (size_t i = 0; i < reply.answers.size(); ++i) {
+          const net::KeyedAnswer& a = reply.answers[i];
+          if (a.key != query.keys[i]) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (!a.found) continue;  // key has not emitted yet: fine early on
+          if (a.values.size() != sc.quantiles.size() || a.degraded ||
+              (seen[a.key] && a.window_id < last_window[a.key])) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+          seen[a.key] = true;
+          last_window[a.key] = a.window_id;
+        }
+      }
+    });
+  }
+
+  Status st = harness.Run(load);
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(queries.load(), 0u);
+
+  // After the run, one final query per key matches the emitted outputs.
+  net::KeyedQuery final_query;
+  for (net::KeyId key = 0; key < kKeys; ++key) final_query.keys.push_back(key);
+  net::KeyedQueryReply reply = harness.service()->Query(final_query);
+  ASSERT_TRUE(reply.error.empty()) << reply.error;
+  ASSERT_EQ(reply.answers.size(), kKeys);
+  for (net::KeyId key = 0; key < kKeys; ++key) {
+    const net::KeyedAnswer& a = reply.answers[key];
+    ASSERT_TRUE(a.found) << "key " << key;
+    EXPECT_EQ(a.window_id, load.num_windows - 1);
+    const auto& last = harness.outputs_by_key()[key].back();
+    EXPECT_EQ(a.global_size, last.global_size);
+    EXPECT_EQ(a.values, last.values);
+  }
+}
+
+}  // namespace
+}  // namespace dema

@@ -1,0 +1,252 @@
+// Wire-format and configuration tests for the keyed sharding layer: keyed
+// envelope round-trips, the strict outer<->inner type mapping, the shard
+// routing fast path, and the fail-fast config validation (shard/worker
+// counts of 0 must be rejected, never silently clamped).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/keyed.h"
+#include "net/message.h"
+#include "net/serializer.h"
+#include "shard/config.h"
+#include "shard/key.h"
+#include "sim/topology.h"
+
+namespace dema {
+namespace {
+
+using net::KeyedAnswer;
+using net::KeyedBatch;
+using net::KeyedEntry;
+using net::KeyedQuery;
+using net::KeyedQueryReply;
+using net::MessageType;
+using net::Reader;
+using net::Writer;
+
+TEST(KeyedBatchWire, RoundTrip) {
+  KeyedBatch batch;
+  batch.shard = 7;
+  batch.event_count = 12345;
+  batch.entries.push_back(KeyedEntry{42, {1, 2, 3, 4}});
+  batch.entries.push_back(KeyedEntry{~0ull - 5, {}});
+  batch.entries.push_back(KeyedEntry{0, {0xff}});
+
+  Writer w;
+  batch.SerializeTo(&w);
+  Reader r(w.buffer());
+  auto out = KeyedBatch::Deserialize(&r);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->shard, 7u);
+  // event_count is envelope metadata (carried by net::Message), never
+  // serialized into the payload itself.
+  EXPECT_EQ(out->event_count, 0u);
+  ASSERT_EQ(out->entries.size(), 3u);
+  EXPECT_EQ(out->entries[0].key, 42u);
+  EXPECT_EQ(out->entries[0].payload, (std::vector<uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(out->entries[1].key, ~0ull - 5);
+  EXPECT_TRUE(out->entries[1].payload.empty());
+  EXPECT_EQ(out->entries[2].payload, (std::vector<uint8_t>{0xff}));
+}
+
+TEST(KeyedBatchWire, PeekShardMatchesFullDecode) {
+  KeyedBatch batch;
+  batch.shard = 31;
+  batch.entries.push_back(KeyedEntry{9, {5, 6}});
+  Writer w;
+  batch.SerializeTo(&w);
+  auto peeked = KeyedBatch::PeekShard(w.buffer());
+  ASSERT_TRUE(peeked.ok()) << peeked.status();
+  EXPECT_EQ(*peeked, 31u);
+}
+
+TEST(KeyedBatchWire, PeekShardRejectsTruncatedPayload) {
+  std::vector<uint8_t> tiny{1, 2};
+  EXPECT_FALSE(KeyedBatch::PeekShard(tiny).ok());
+}
+
+TEST(KeyedBatchWire, DeserializeRejectsTruncatedEntry) {
+  KeyedBatch batch;
+  batch.shard = 1;
+  batch.entries.push_back(KeyedEntry{3, {9, 9, 9, 9}});
+  Writer w;
+  batch.SerializeTo(&w);
+  std::vector<uint8_t> cut(w.buffer().begin(), w.buffer().end() - 2);
+  Reader r(cut);
+  EXPECT_FALSE(KeyedBatch::Deserialize(&r).ok());
+}
+
+TEST(KeyedBatchWire, FirstPayloadOffsetIsWhereTheInnerBytesStart) {
+  KeyedBatch batch;
+  batch.shard = 3;
+  batch.entries.push_back(KeyedEntry{77, {0xAB, 0xCD}});
+  Writer w;
+  batch.SerializeTo(&w);
+  ASSERT_GT(w.buffer().size(), net::kKeyedFirstPayloadOffset + 1);
+  EXPECT_EQ(w.buffer()[net::kKeyedFirstPayloadOffset], 0xAB);
+  EXPECT_EQ(w.buffer()[net::kKeyedFirstPayloadOffset + 1], 0xCD);
+}
+
+TEST(KeyedTypeMapping, OuterAndInnerAreStrictInverses) {
+  const std::pair<MessageType, MessageType> pairs[] = {
+      {MessageType::kShardSynopsisBatch, MessageType::kSynopsisBatch},
+      {MessageType::kShardCandidateRequest, MessageType::kCandidateRequest},
+      {MessageType::kShardCandidateReply, MessageType::kCandidateReply},
+      {MessageType::kShardGammaUpdate, MessageType::kGammaUpdate},
+  };
+  for (auto [outer, inner] : pairs) {
+    auto got_inner = net::KeyedInnerType(outer);
+    ASSERT_TRUE(got_inner.ok()) << got_inner.status();
+    EXPECT_EQ(*got_inner, inner);
+    auto got_outer = net::KeyedOuterType(inner);
+    ASSERT_TRUE(got_outer.ok()) << got_outer.status();
+    EXPECT_EQ(*got_outer, outer);
+  }
+  // Non-keyed / non-batchable types must be rejected, not defaulted.
+  EXPECT_FALSE(net::KeyedInnerType(MessageType::kSynopsisBatch).ok());
+  EXPECT_FALSE(net::KeyedInnerType(MessageType::kShardQuery).ok());
+  EXPECT_FALSE(net::KeyedOuterType(MessageType::kShardSynopsisBatch).ok());
+  EXPECT_FALSE(net::KeyedOuterType(MessageType::kShutdown).ok());
+}
+
+TEST(KeyedQueryWire, RoundTrip) {
+  KeyedQuery q;
+  q.query_id = 0xDEADBEEF;
+  q.keys = {5, 0, 5, 99999};
+  q.quantiles = {0.5, 0.99};
+  Writer w;
+  q.SerializeTo(&w);
+  Reader r(w.buffer());
+  auto out = KeyedQuery::Deserialize(&r);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->query_id, 0xDEADBEEFu);
+  EXPECT_EQ(out->keys, q.keys);
+  EXPECT_EQ(out->quantiles, q.quantiles);
+}
+
+TEST(KeyedQueryReplyWire, RoundTrip) {
+  KeyedQueryReply reply;
+  reply.query_id = 17;
+  reply.quantiles = {0.5};
+  KeyedAnswer a;
+  a.key = 12;
+  a.found = true;
+  a.window_id = 4;
+  a.global_size = 4000;
+  a.degraded = true;
+  a.rank_error_bound = 37;
+  a.values = {123.25};
+  reply.answers.push_back(a);
+  KeyedAnswer missing;
+  missing.key = 13;
+  reply.answers.push_back(missing);
+
+  Writer w;
+  reply.SerializeTo(&w);
+  Reader r(w.buffer());
+  auto out = KeyedQueryReply::Deserialize(&r);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->query_id, 17u);
+  EXPECT_TRUE(out->error.empty());
+  ASSERT_EQ(out->answers.size(), 2u);
+  EXPECT_TRUE(out->answers[0].found);
+  EXPECT_EQ(out->answers[0].window_id, 4u);
+  EXPECT_EQ(out->answers[0].global_size, 4000u);
+  EXPECT_TRUE(out->answers[0].degraded);
+  EXPECT_EQ(out->answers[0].rank_error_bound, 37u);
+  EXPECT_EQ(out->answers[0].values, std::vector<double>{123.25});
+  EXPECT_FALSE(out->answers[1].found);
+}
+
+TEST(KeyedQueryReplyWire, ErrorRoundTrip) {
+  KeyedQueryReply reply;
+  reply.query_id = 3;
+  reply.error = "unknown key 999";
+  Writer w;
+  reply.SerializeTo(&w);
+  Reader r(w.buffer());
+  auto out = KeyedQueryReply::Deserialize(&r);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->error, "unknown key 999");
+  EXPECT_TRUE(out->answers.empty());
+}
+
+TEST(ShardOfKey, StableAndInRange) {
+  for (uint32_t shards : {1u, 2u, 4u, 16u}) {
+    for (net::KeyId key = 0; key < 1000; ++key) {
+      uint32_t s = shard::ShardOfKey(key, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, shard::ShardOfKey(key, shards)) << "must be deterministic";
+    }
+  }
+}
+
+TEST(ShardOfKey, SpreadsDenseKeysAcrossShards) {
+  // Dense ids 0..K-1 must not collapse onto one shard (a plain `key % n`
+  // would pass too, but the mixer must at least not do worse).
+  constexpr uint32_t kShards = 8;
+  std::vector<uint64_t> per_shard(kShards, 0);
+  for (net::KeyId key = 0; key < 10000; ++key) {
+    per_shard[shard::ShardOfKey(key, kShards)]++;
+  }
+  for (uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(per_shard[s], 10000 / kShards / 2)
+        << "shard " << s << " is starved";
+  }
+}
+
+// --- fail-fast config validation (satellite: no silent fallbacks) ---
+
+TEST(ShardedConfigValidation, RejectsZeroShards) {
+  shard::ShardedConfig config;
+  config.num_shards = 0;
+  Status st = shard::ValidateShardedConfig(config);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("shard count"), std::string::npos) << st;
+}
+
+TEST(ShardedConfigValidation, RejectsZeroWorkersWithoutExecutor) {
+  shard::ShardedConfig config;
+  config.workers = 0;
+  Status st = shard::ValidateShardedConfig(config);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("worker count"), std::string::npos) << st;
+}
+
+TEST(ShardedConfigValidation, RejectsZeroKeysAndZeroLocals) {
+  shard::ShardedConfig keys0;
+  keys0.num_keys = 0;
+  EXPECT_EQ(shard::ValidateShardedConfig(keys0).code(),
+            StatusCode::kInvalidArgument);
+  shard::ShardedConfig locals0;
+  locals0.num_locals = 0;
+  EXPECT_EQ(shard::ValidateShardedConfig(locals0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedConfigValidation, AcceptsDefaults) {
+  shard::ShardedConfig config;
+  EXPECT_TRUE(shard::ValidateShardedConfig(config).ok());
+}
+
+TEST(SystemConfigValidation, RejectsZeroShardsAndZeroKeys) {
+  sim::SystemConfig shards0;
+  shards0.shards = 0;
+  Status st = sim::ValidateSystemConfig(shards0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  sim::SystemConfig keys0;
+  keys0.keys = 0;
+  st = sim::ValidateSystemConfig(keys0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dema

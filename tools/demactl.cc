@@ -44,6 +44,9 @@
 #include "obs/registry.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
+#include "shard/config.h"
+#include "shard/serve.h"
+#include "shard/sim_run.h"
 #include "sim/chaos.h"
 #include "sim/driver.h"
 #include "sim/sustainable.h"
@@ -361,6 +364,57 @@ int CmdTree(const Flags& flags) {
   return 0;
 }
 
+// --- key-sharded multi-tenant deployment (src/shard) ------------------------
+
+Result<shard::ShardedConfig> BuildShardedConfig(const Flags& flags) {
+  shard::ShardedConfig sc;
+  sc.num_locals = static_cast<size_t>(flags.GetInt("locals", 2));
+  sc.num_shards = static_cast<uint32_t>(flags.GetInt("shards", 4));
+  sc.num_keys = static_cast<uint64_t>(flags.GetInt("keys", 16));
+  sc.workers = static_cast<size_t>(flags.GetInt("workers", 2));
+  sc.gamma = static_cast<uint64_t>(flags.GetInt("gamma", 10'000));
+  sc.quantiles = flags.GetDoubleList("quantiles", {0.5});
+  for (double q : sc.quantiles) {
+    if (!(q > 0.0) || q > 1.0) {
+      return Status::InvalidArgument("--quantiles: " + std::to_string(q) +
+                                     " outside (0, 1]");
+    }
+  }
+  DEMA_RETURN_NOT_OK(shard::ValidateShardedConfig(sc));
+  return sc;
+}
+
+Result<shard::KeyedWorkloadConfig> BuildKeyedWorkload(const Flags& flags) {
+  shard::KeyedWorkloadConfig load;
+  load.num_windows = static_cast<uint64_t>(flags.GetInt("windows", 3));
+  load.event_rate = flags.GetDouble("rate", 1'000);
+  DEMA_ASSIGN_OR_RETURN(
+      load.distribution.kind,
+      gen::DistributionKindFromString(flags.GetString("dist", "sensorwalk")));
+  load.distribution.lo = flags.GetDouble("lo", 0);
+  load.distribution.hi = flags.GetDouble("hi", 10'000);
+  load.distribution.stddev = flags.GetDouble("stddev", 25);
+  load.distribution.mean =
+      flags.GetDouble("mean", (load.distribution.lo + load.distribution.hi) / 2);
+  load.seed_base = static_cast<uint64_t>(flags.GetInt("seed", 1000));
+  return load;
+}
+
+/// Keys asked on the command line: `--keys-list=0,5,9` wins, else all of
+/// `--keys=K` (the service's key universe, ids 0..K-1).
+std::vector<net::KeyId> QueryKeys(const Flags& flags, uint64_t num_keys) {
+  std::vector<net::KeyId> keys;
+  if (flags.Has("keys-list")) {
+    for (double k : flags.GetDoubleList("keys-list", {})) {
+      keys.push_back(static_cast<net::KeyId>(k));
+    }
+    return keys;
+  }
+  keys.reserve(num_keys);
+  for (net::KeyId k = 0; k < num_keys; ++k) keys.push_back(k);
+  return keys;
+}
+
 Result<std::pair<std::string, uint16_t>> ParseHostPort(const std::string& spec) {
   size_t colon = spec.rfind(':');
   if (colon == std::string::npos || colon + 1 == spec.size()) {
@@ -394,7 +448,61 @@ void PrintTcpMetrics(const sim::RunMetrics& metrics, const Flags& flags) {
   EmitTable(table, flags);
 }
 
+/// Sharded (multi-tenant) serve roles, selected by `--shards=S`.
+int CmdServeSharded(const Flags& flags) {
+  auto sc_result = BuildShardedConfig(flags);
+  if (!sc_result.ok()) return Fail(sc_result.status().ToString());
+  shard::ShardedConfig sc = *sc_result;
+  const DurationUs timeout_us =
+      static_cast<DurationUs>(flags.GetInt("timeout-s", 120)) * kMicrosPerSecond;
+
+  std::string role = flags.GetString("role", "");
+  if (role == "root") {
+    auto listen = ParseHostPort(flags.GetString("listen", "127.0.0.1:7311"));
+    if (!listen.ok()) return Fail(listen.status().ToString());
+    shard::ShardedServeOptions opts;
+    opts.listen_host = listen->first;
+    opts.listen_port = listen->second;
+    opts.timeout_us = timeout_us;
+    opts.expected_windows =
+        static_cast<uint64_t>(flags.GetInt("windows", 3));
+    opts.linger_us = static_cast<DurationUs>(flags.GetInt("linger-s", 10)) *
+                     kMicrosPerSecond;
+    opts.on_listening = [&](uint16_t port) {
+      std::cerr << "demactl: sharded root listening on " << listen->first << ":"
+                << port << " (" << sc.num_shards << " shards, " << sc.num_keys
+                << " keys, " << sc.num_locals << " locals)\n";
+    };
+    auto report = shard::RunShardedTcpRoot(sc, opts);
+    if (!report.ok()) return Fail(report.status().ToString());
+    std::cout << "sharded root: " << FmtCount(report->windows_emitted)
+              << " per-key windows across " << sc.num_keys << " keys, "
+              << FmtCount(report->queries_answered) << " queries answered in "
+              << FmtF(report->wall_seconds, 2) << " s\n";
+    return 0;
+  }
+  if (role == "local") {
+    auto root = ParseHostPort(flags.GetString("root", "127.0.0.1:7311"));
+    if (!root.ok()) return Fail(root.status().ToString());
+    auto load_result = BuildKeyedWorkload(flags);
+    if (!load_result.ok()) return Fail(load_result.status().ToString());
+    NodeId id = static_cast<NodeId>(flags.GetInt("id", 1));
+    shard::ShardedTcpLocalOptions opts;
+    opts.root_host = root->first;
+    opts.root_port = root->second;
+    opts.timeout_us = timeout_us;
+    auto report = shard::RunShardedTcpLocal(sc, *load_result, id, opts);
+    if (!report.ok()) return Fail(report.status().ToString());
+    std::cout << "keyed local " << id << ": ingested "
+              << FmtCount(report->events_ingested) << " events across "
+              << sc.num_keys << " keys\n";
+    return 0;
+  }
+  return Fail("sharded serve needs --role=root or --role=local");
+}
+
 int CmdServe(const Flags& flags) {
+  if (flags.Has("shards")) return CmdServeSharded(flags);
   auto config_result = BuildConfig(flags);
   if (!config_result.ok()) return Fail(config_result.status().ToString());
   sim::SystemConfig config = *config_result;
@@ -583,6 +691,114 @@ int CmdCluster(const Flags& flags) {
   return 0;
 }
 
+int CmdShard(const Flags& flags) {
+  auto sc_result = BuildShardedConfig(flags);
+  if (!sc_result.ok()) return Fail(sc_result.status().ToString());
+  shard::ShardedConfig sc = *sc_result;
+  auto load_result = BuildKeyedWorkload(flags);
+  if (!load_result.ok()) return Fail(load_result.status().ToString());
+
+  shard::ShardedSimHarness harness(sc);
+  if (!harness.init_status().ok()) {
+    return Fail(harness.init_status().ToString());
+  }
+  Status st = harness.Run(*load_result);
+  if (!st.ok()) return Fail(st.ToString());
+
+  // Per-key final windows; a large universe only prints head and tail.
+  std::vector<std::string> headers = {"key", "shard", "windows", "events"};
+  for (double q : sc.quantiles) headers.push_back("q" + FmtF(q * 100, 0));
+  Table table(headers);
+  constexpr uint64_t kHeadTail = 8;
+  for (net::KeyId key = 0; key < sc.num_keys; ++key) {
+    if (sc.num_keys > 2 * kHeadTail && key == kHeadTail) {
+      key = static_cast<net::KeyId>(sc.num_keys - kHeadTail);
+      std::vector<std::string> gap(headers.size(), "...");
+      (void)table.AddRow(gap);
+    }
+    const auto& outputs = harness.outputs_by_key()[key];
+    std::vector<std::string> row = {
+        std::to_string(key),
+        std::to_string(shard::ShardOfKey(key, sc.num_shards)),
+        FmtCount(outputs.size()),
+        outputs.empty() ? "0" : FmtCount(outputs.back().global_size)};
+    for (size_t i = 0; i < sc.quantiles.size(); ++i) {
+      row.push_back(outputs.empty() || i >= outputs.back().values.size()
+                        ? "-"
+                        : FmtF(outputs.back().values[i], 2));
+    }
+    (void)table.AddRow(row);
+  }
+  EmitTable(table, flags);
+  std::cout << "sharded sim: " << FmtCount(harness.events_ingested())
+            << " events across " << sc.num_keys << " keys / " << sc.num_shards
+            << " shards, " << FmtCount(harness.service()->windows_emitted())
+            << " per-key windows emitted\n";
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  auto root = ParseHostPort(flags.GetString("root", "127.0.0.1:7311"));
+  if (!root.ok()) return Fail(root.status().ToString());
+
+  shard::ShardQueryOptions opts;
+  opts.root_host = root->first;
+  opts.root_port = root->second;
+  opts.id = static_cast<NodeId>(
+      flags.GetInt("id", shard::kFirstQueryClientId));
+  opts.keys = QueryKeys(flags, static_cast<uint64_t>(flags.GetInt("keys", 16)));
+  if (opts.keys.empty()) return Fail("query needs --keys=K or --keys-list=...");
+  opts.quantiles = flags.GetDoubleList("quantiles", {});
+  for (double q : opts.quantiles) {
+    if (!(q > 0.0) || q > 1.0) {
+      return Fail("--quantiles: " + std::to_string(q) + " outside (0, 1]");
+    }
+  }
+  opts.concurrency = static_cast<size_t>(flags.GetInt("concurrency", 4));
+  opts.until_window =
+      static_cast<net::WindowId>(flags.GetInt("until-window", 0));
+  opts.shutdown_root = flags.Has("shutdown-root");
+  opts.timeout_us =
+      static_cast<DurationUs>(flags.GetInt("timeout-s", 60)) * kMicrosPerSecond;
+
+  auto report = shard::RunShardQueryClient(opts);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  // Merge the per-session final replies (keys are split round-robin across
+  // sessions) back into one table in key order.
+  std::map<net::KeyId, net::KeyedAnswer> answers;
+  std::vector<double> quantiles;
+  for (const net::KeyedQueryReply& reply : report->final_replies) {
+    if (quantiles.empty()) quantiles = reply.quantiles;
+    for (const net::KeyedAnswer& a : reply.answers) answers[a.key] = a;
+  }
+  std::vector<std::string> headers = {"key", "window", "events"};
+  for (double q : quantiles) headers.push_back("q" + FmtF(q * 100, 0));
+  Table table(headers);
+  for (net::KeyId key : opts.keys) {
+    auto it = answers.find(key);
+    if (it == answers.end() || !it->second.found) {
+      std::vector<std::string> row = {std::to_string(key), "-", "-"};
+      row.resize(headers.size(), "-");
+      (void)table.AddRow(row);
+      continue;
+    }
+    const net::KeyedAnswer& a = it->second;
+    std::vector<std::string> row = {std::to_string(key),
+                                    std::to_string(a.window_id),
+                                    FmtCount(a.global_size)};
+    for (size_t i = 0; i < quantiles.size(); ++i) {
+      row.push_back(i < a.values.size() ? FmtF(a.values[i], 2) : "-");
+    }
+    (void)table.AddRow(row);
+  }
+  EmitTable(table, flags);
+  std::cout << report->keys_found << "/" << opts.keys.size()
+            << " keys answered across " << opts.concurrency << " sessions ("
+            << FmtCount(report->queries_sent) << " queries sent)\n";
+  return report->keys_found == opts.keys.size() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -594,16 +810,28 @@ int main(int argc, char** argv) {
   if (cmd == "sustainable") return CmdSustainable(flags);
   if (cmd == "tree") return CmdTree(flags);
   if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "shard") return CmdShard(flags);
+  if (cmd == "query") return CmdQuery(flags);
   if (cmd == "cluster") return CmdCluster(flags);
   if (cmd == "chaos") return CmdChaos(flags);
   std::cout
-      << "usage: demactl <run|compare|sustainable|tree|serve|cluster|chaos> "
+      << "usage: demactl "
+         "<run|compare|sustainable|tree|serve|shard|query|cluster|chaos> "
          "[flags]\n"
          "  run          run one system and print per-window results\n"
          "  compare      run every system on the same workload\n"
          "  sustainable  search the maximum sustainable throughput\n"
          "  serve        one TCP node: --role=root --listen=H:P | "
          "--role=local --id=I --root=H:P\n"
+         "               add --shards=S --keys=K for the multi-tenant\n"
+         "               service (root answers `demactl query` live;\n"
+         "               --windows= horizon, --linger-s= query window)\n"
+         "  shard        in-process multi-tenant run: --shards= --keys=\n"
+         "               --locals= --workers= --windows= --rate=\n"
+         "  query        concurrent queries against a sharded root:\n"
+         "               --root=H:P --keys=K | --keys-list=a,b,c\n"
+         "               --quantiles= --concurrency= --until-window=\n"
+         "               --shutdown-root --timeout-s=\n"
          "  cluster      whole cluster on this machine; --tcp forks one\n"
          "               process per local node over loopback TCP\n"
          "  chaos        replay a seeded fault schedule and check every\n"
