@@ -1,15 +1,17 @@
-// Perf-regression harness: one pinned workload, run inline (workers=0) and
-// threaded (workers=2), with the numbers CI tracks written to
-// BENCH_dema.json. No pass/fail thresholds here — CI only checks that the
-// run completes and the JSON parses; humans (and future tooling) diff the
-// uploaded artifacts across commits.
+// Perf-regression harness: one pinned workload, run inline (workers=0),
+// threaded (workers=2), and over the epoll TCP transport on loopback
+// sockets, with the numbers CI tracks written to BENCH_dema.json. No
+// pass/fail thresholds here — CI compares the recorded events/s fields
+// against the committed baseline (>20% regression fails the perf-smoke job)
+// and uploads the artifact for humans to diff across commits.
 //
 //   perf_regress [--locals=4] [--windows=8] [--rate=50000] [--gamma=2000]
 //                [--workers=2] [--out=BENCH_dema.json]
 //
 // Reported per mode: ingest events/s (wall and simulated-parallel), root
-// rank-selection time (root.select_us: total + p99), p99 window latency, and
-// peak retained events across local nodes (candidate-buffer memory bound).
+// rank-selection time (root.select_us: total + p99), p99 window latency,
+// peak retained events across local nodes (candidate-buffer memory bound),
+// and wire bytes touched per ingested event (socket bytes on the TCP mode).
 //
 // A second, keyed section runs the multi-tenant sharded service across key
 // counts 1 / 1k / 100k with a fixed total event budget (--keyed-events,
@@ -18,12 +20,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/json.h"
 #include "harness.h"
 #include "shard/sim_run.h"
+#include "sim/tcp_run.h"
 
 using namespace dema;
 
@@ -36,6 +42,15 @@ struct ModeResult {
   uint64_t select_count = 0;
   double select_us_p99 = 0;
   int64_t peak_retained_events = 0;
+
+  /// Wire bytes the run moved per ingested event (protocol overhead per
+  /// datum; on the TCP mode these are bytes actually written to sockets).
+  double BytesPerEvent() const {
+    return metrics.events_ingested > 0
+               ? static_cast<double>(metrics.network_total.bytes) /
+                     static_cast<double>(metrics.events_ingested)
+               : 0;
+  }
 };
 
 ModeResult RunMode(const std::string& mode, size_t workers,
@@ -73,8 +88,68 @@ std::string ModeJson(const ModeResult& r) {
       .Field("root_select_count", r.select_count)
       .Field("root_select_us_p99", r.select_us_p99)
       .Field("window_latency_us_p99", r.metrics.latency_hist.p99)
-      .Field("peak_retained_events", r.peak_retained_events);
+      .Field("peak_retained_events", r.peak_retained_events)
+      .Field("bytes_per_event", r.BytesPerEvent());
   return w.Finish();
+}
+
+/// The same pinned workload over the epoll TCP transport: a root thread plus
+/// one thread per local, loopback sockets, zero-copy receive path. Measures
+/// the transport end to end — framing, writev coalescing, CRC verify, arena
+/// decode — with `network_total` counted from bytes actually on the sockets.
+ModeResult RunTcpMode(const sim::SystemConfig& base,
+                      const sim::WorkloadConfig& load) {
+  sim::SystemConfig config = base;
+  ModeResult result;
+  result.mode = "tcp";
+
+  uint16_t port = 0;
+  std::mutex port_mu;
+  std::condition_variable port_cv;
+  Result<sim::RunMetrics> root_metrics = Status::Internal("root never ran");
+  std::thread root_thread([&] {
+    sim::TcpRootOptions opts;
+    opts.listen_port = 0;
+    opts.on_listening = [&](uint16_t p) {
+      std::lock_guard<std::mutex> lock(port_mu);
+      port = p;
+      port_cv.notify_all();
+    };
+    root_metrics = sim::RunTcpRoot(config, load.ExpectedWindows(), opts);
+  });
+  {
+    std::unique_lock<std::mutex> lock(port_mu);
+    port_cv.wait(lock, [&] { return port != 0; });
+  }
+
+  std::vector<Result<sim::TcpLocalReport>> reports(
+      config.num_locals, Status::Internal("local never ran"));
+  std::vector<std::thread> locals;
+  auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < config.num_locals; ++i) {
+    locals.emplace_back([&, i] {
+      sim::TcpLocalOptions opts;
+      opts.root_port = port;
+      reports[i] =
+          sim::RunTcpLocal(config, load, static_cast<NodeId>(i + 1), opts);
+    });
+  }
+  root_thread.join();
+  for (auto& t : locals) t.join();
+  double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  result.metrics = bench::Unwrap(std::move(root_metrics), "tcp root");
+  for (size_t i = 0; i < config.num_locals; ++i) {
+    auto report = bench::Unwrap(std::move(reports[i]), "tcp local");
+    result.metrics.events_ingested += report.events_ingested;
+  }
+  result.metrics.throughput_eps =
+      wall_s > 0
+          ? static_cast<double>(result.metrics.events_ingested) / wall_s
+          : 0;
+  return result;
 }
 
 struct KeyedResult {
@@ -165,11 +240,12 @@ int main(int argc, char** argv) {
 
   ModeResult inline_run = RunMode("inline", 0, config, load);
   ModeResult threaded_run = RunMode("threaded", workers, config, load);
+  ModeResult tcp_run = RunTcpMode(config, load);
 
   Table table({"mode", "events", "events/s (wall)", "events/s (sim)",
                "select total ms", "select p99 us", "win p99 ms",
-               "peak retained"});
-  for (const ModeResult* r : {&inline_run, &threaded_run}) {
+               "peak retained", "bytes/event"});
+  for (const ModeResult* r : {&inline_run, &threaded_run, &tcp_run}) {
     bench::UnwrapStatus(
         table.AddRow({r->mode, FmtCount(r->metrics.events_ingested),
                       FmtF(r->metrics.throughput_eps, 0),
@@ -177,8 +253,8 @@ int main(int argc, char** argv) {
                       FmtF(static_cast<double>(r->select_us_total) / 1e3, 3),
                       FmtF(r->select_us_p99, 1),
                       FmtF(r->metrics.latency_hist.p99 / 1e3, 3),
-                      FmtCount(static_cast<uint64_t>(
-                          r->peak_retained_events))}),
+                      FmtCount(static_cast<uint64_t>(r->peak_retained_events)),
+                      FmtF(r->BytesPerEvent(), 2)}),
         "table row");
   }
   bench::EmitTable(table, flags);
@@ -213,7 +289,8 @@ int main(int argc, char** argv) {
       .Field("gamma", gamma)
       .Field("threaded_workers", static_cast<uint64_t>(workers))
       .RawField("inline", ModeJson(inline_run))
-      .RawField("threaded", ModeJson(threaded_run));
+      .RawField("threaded", ModeJson(threaded_run))
+      .RawField("tcp", ModeJson(tcp_run));
   for (const KeyedResult& r : keyed) {
     w.RawField("keyed_" + std::to_string(r.keys), KeyedJson(r));
   }

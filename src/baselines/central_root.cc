@@ -29,7 +29,7 @@ CentralExactRootNode::CentralExactRootNode(CollectingRootOptions options,
 }
 
 Status CentralExactRootNode::OnMessage(const net::Message& msg) {
-  net::Reader r(msg.payload);
+  net::Reader r(msg.payload_bytes());
   switch (msg.type) {
     case net::MessageType::kEventBatch: {
       DEMA_ASSIGN_OR_RETURN(auto batch, net::EventBatch::Deserialize(&r));
@@ -94,7 +94,7 @@ DesisMergeRootNode::DesisMergeRootNode(CollectingRootOptions options,
 }
 
 Status DesisMergeRootNode::OnMessage(const net::Message& msg) {
-  net::Reader r(msg.payload);
+  net::Reader r(msg.payload_bytes());
   switch (msg.type) {
     case net::MessageType::kEventBatch: {
       DEMA_ASSIGN_OR_RETURN(auto batch, net::EventBatch::Deserialize(&r));

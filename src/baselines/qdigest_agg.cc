@@ -71,7 +71,7 @@ QDigestRootNode::QDigestRootNode(QDigestOptions options, transport::Transport* t
 }
 
 Status QDigestRootNode::OnMessage(const net::Message& msg) {
-  net::Reader r(msg.payload);
+  net::Reader r(msg.payload_bytes());
   switch (msg.type) {
     case net::MessageType::kSketchSummary: {
       DEMA_ASSIGN_OR_RETURN(auto summary, SketchSummary::Deserialize(&r));

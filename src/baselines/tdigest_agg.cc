@@ -93,7 +93,7 @@ TDigestRootNode::TDigestRootNode(TDigestOptions options, transport::Transport* t
 }
 
 Status TDigestRootNode::OnMessage(const net::Message& msg) {
-  net::Reader r(msg.payload);
+  net::Reader r(msg.payload_bytes());
   switch (msg.type) {
     case net::MessageType::kEventBatch: {
       if (options_.mode != TDigestMode::kCentralized) {
@@ -102,12 +102,12 @@ Status TDigestRootNode::OnMessage(const net::Message& msg) {
       // Lazy deserialization: the sketch only needs values, so stride over
       // the payload instead of materializing Event objects.
       DEMA_ASSIGN_OR_RETURN(net::WindowId wid,
-                            net::EventBatch::PeekWindowId(msg.payload));
+                            net::EventBatch::PeekWindowId(msg.payload_bytes()));
       auto it = pending_.try_emplace(wid, options_.compression).first;
       sketch::TDigest& digest = it->second.digest;
       DEMA_ASSIGN_OR_RETURN(
           uint64_t count,
-          net::EventBatch::ForEachValue(msg.payload,
+          net::EventBatch::ForEachValue(msg.payload_bytes(),
                                         [&digest](double v) { digest.Add(v); }));
       it->second.received_events += count;
       return MaybeFinalize(wid, &it->second);

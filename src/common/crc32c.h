@@ -7,10 +7,11 @@ namespace dema {
 
 /// \brief CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78).
 ///
-/// The checksum guarding every TCP frame (see `docs/PROTOCOL.md`). Table-based
-/// software implementation — throughput is a rounding error next to the
-/// socket write it protects, and a pure-software CRC keeps the value identical
-/// across build targets so corrupt-frame tests replay deterministically.
+/// The checksum guarding every TCP frame (see `docs/PROTOCOL.md`). Uses the
+/// SSE4.2 `crc32` instruction when the CPU has it (resolved once at first
+/// call), falling back to a slicing-by-4 table loop otherwise. Both compute
+/// the same polynomial, so the checksum value is identical across build
+/// targets and corrupt-frame tests replay deterministically either way.
 ///
 /// `Crc32c(data, n)` is the one-shot form; `ExtendCrc32c` chains over
 /// discontiguous regions (header then payload) without copying:

@@ -204,7 +204,7 @@ Status DemaLocalNode::OnMessage(const net::Message& msg) {
     c_duplicates_ignored_->Increment();
     return Status::OK();
   }
-  net::Reader r(msg.payload);
+  net::Reader r(msg.payload_bytes());
   switch (msg.type) {
     case net::MessageType::kCandidateRequest: {
       DEMA_ASSIGN_OR_RETURN(auto req, CandidateRequest::Deserialize(&r));

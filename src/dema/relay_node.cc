@@ -15,7 +15,7 @@ DemaRelayNode::DemaRelayNode(DemaRelayNodeOptions options, transport::Transport*
 }
 
 Status DemaRelayNode::OnMessage(const net::Message& msg) {
-  net::Reader r(msg.payload);
+  net::Reader r(msg.payload_bytes());
   switch (msg.type) {
     case net::MessageType::kSynopsisBatch: {
       DEMA_ASSIGN_OR_RETURN(auto batch, SynopsisBatch::Deserialize(&r));

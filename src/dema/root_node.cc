@@ -320,7 +320,7 @@ Status DemaRootNode::OnMessage(const net::Message& msg) {
     c_duplicates_ignored_->Increment();
     return Status::OK();
   }
-  net::Reader r(msg.payload);
+  net::Reader r(msg.payload_bytes());
   // A payload that fails to decode is corruption evidence, not a root
   // failure: drop it, count it, strike the sender. The retry/deadline
   // machinery recovers the window exactly as if the message were lost.

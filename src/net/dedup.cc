@@ -9,12 +9,13 @@ bool SeqDedup::IsDuplicate(NodeId src, uint32_t seq) {
     ++duplicates_seen_;
     return true;
   }
-  if (seq > state.max_seq) {
+  if (state.seen.size() == 1 || SeqNewer(seq, state.max_seq)) {
     state.max_seq = seq;
-    if (state.max_seq > window_) {
-      const uint32_t horizon = state.max_seq - window_;
-      std::erase_if(state.seen, [horizon](uint32_t s) { return s < horizon; });
-    }
+    // Unsigned subtraction wraps with the sequence space, so the horizon and
+    // the serial comparison below stay correct across the 2^32 boundary.
+    const uint32_t horizon = state.max_seq - window_;
+    std::erase_if(state.seen,
+                  [horizon](uint32_t s) { return SeqNewer(horizon, s); });
   }
   return false;
 }

@@ -21,6 +21,11 @@ namespace dema::net {
 /// advances past `window`, older entries are pruned. A message older than the
 /// pruned horizon would be re-flagged only if it arrived more than `window`
 /// messages late, far beyond any reorder the fabric injects.
+///
+/// Sequence numbers are compared with RFC 1982 serial-number arithmetic
+/// (`SeqNewer`), so a long-lived stream that wraps past 2^32 keeps advancing
+/// its horizon and pruning instead of freezing `max_seq` at the pre-wrap
+/// maximum and growing the seen-set without bound.
 class SeqDedup {
  public:
   explicit SeqDedup(uint32_t window = 4096) : window_(window) {}
@@ -28,6 +33,13 @@ class SeqDedup {
   /// Returns true when (src, seq) was already seen (drop the message);
   /// records the pair otherwise.
   bool IsDuplicate(NodeId src, uint32_t seq);
+
+  /// True when \p a is serially newer than \p b (RFC 1982 over u32): the
+  /// half-space within 2^31 of b maps forward, so 1 is newer than
+  /// 0xFFFFFFFF across a wrap.
+  static bool SeqNewer(uint32_t a, uint32_t b) {
+    return static_cast<int32_t>(a - b) > 0;
+  }
 
   /// Total duplicates flagged so far.
   uint64_t duplicates_seen() const { return duplicates_seen_; }

@@ -44,7 +44,7 @@ Result<KeyedBatch> KeyedBatch::Deserialize(Reader* r) {
   return b;
 }
 
-Result<uint32_t> KeyedBatch::PeekShard(const std::vector<uint8_t>& payload) {
+Result<uint32_t> KeyedBatch::PeekShard(ByteSpan payload) {
   if (payload.size() < sizeof(uint32_t)) {
     return Status::SerializationError("keyed batch header truncated");
   }

@@ -47,7 +47,7 @@ struct KeyedBatch {
 
   /// Reads just the shard index from a serialized payload (routing fast
   /// path: the service picks the strand before decoding entries).
-  static Result<uint32_t> PeekShard(const std::vector<uint8_t>& payload);
+  static Result<uint32_t> PeekShard(ByteSpan payload);
 };
 
 /// Byte offset of the first entry's inner payload inside a serialized

@@ -65,7 +65,7 @@ void EventBatch::SerializeTo(Writer* w) const {
   EncodeEvents(w, events, codec, /*sorted_hint=*/sorted);
 }
 
-Result<WindowId> EventBatch::PeekWindowId(const std::vector<uint8_t>& payload) {
+Result<WindowId> EventBatch::PeekWindowId(ByteSpan payload) {
   if (payload.size() < sizeof(WindowId)) {
     return Status::SerializationError("event batch header truncated");
   }

@@ -3,6 +3,7 @@
 #include <concepts>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,9 @@ struct Message {
   /// drop (src, seq) pairs they have already seen (`SeqDedup`) so
   /// at-least-once delivery stays exactly-once at the node logic.
   uint32_t seq = 0;
+  /// Owned payload bytes (the send path and the in-process fabric). Empty
+  /// when the message carries a borrowed view instead — read through
+  /// `payload_bytes()`/`payload_data()`/`payload_size()`, which cover both.
   std::vector<uint8_t> payload;
   /// Processing-time instant the message was handed to the network (set by
   /// `Network::Send`; used for queueing statistics).
@@ -98,8 +102,55 @@ struct Message {
   /// feeds the paper's event-count network-cost metric.
   uint64_t event_count = 0;
 
+  /// Zero-copy receive path: the payload bytes live inside a shared arena
+  /// block (one socket read holds many frames) instead of a per-message
+  /// vector. `backing` pins the block alive for as long as any message views
+  /// into it; decoders parse straight from the socket buffer, copy-free.
+  /// Only `SetPayloadView` writes these.
+  std::shared_ptr<const void> backing;
+
+  /// Attaches a borrowed payload. \p owner must keep \p data alive.
+  void SetPayloadView(std::shared_ptr<const void> owner, const uint8_t* data,
+                      size_t size) {
+    payload.clear();
+    backing = std::move(owner);
+    view_data_ = data;
+    view_size_ = size;
+  }
+
+  /// The payload bytes, wherever they live (owned vector or arena view).
+  ByteSpan payload_bytes() const { return {payload_data(), payload_size()}; }
+  const uint8_t* payload_data() const {
+    return backing ? view_data_ : payload.data();
+  }
+  size_t payload_size() const { return backing ? view_size_ : payload.size(); }
+
+  /// Moves the payload out as an owned vector, copying once if it was a
+  /// borrowed view (re-framing paths that ship the bytes onward need
+  /// ownership; everything else should stay on `payload_bytes()`).
+  std::vector<uint8_t> TakePayload() {
+    if (!backing) return std::move(payload);
+    std::vector<uint8_t> owned(view_data_, view_data_ + view_size_);
+    backing.reset();
+    view_data_ = nullptr;
+    view_size_ = 0;
+    return owned;
+  }
+
+  /// Materializes a borrowed view into the owned vector (mutation paths —
+  /// e.g. the fabric's tamper injector — must not write into a shared arena
+  /// block other messages still view). No-op for owned payloads.
+  void EnsureOwnedPayload() {
+    if (!backing) return;
+    payload = TakePayload();
+  }
+
   /// Total bytes on the wire: envelope + payload.
-  uint64_t WireBytes() const { return kEnvelopeWireBytes + payload.size(); }
+  uint64_t WireBytes() const { return kEnvelopeWireBytes + payload_size(); }
+
+ private:
+  const uint8_t* view_data_ = nullptr;
+  size_t view_size_ = 0;
 };
 
 /// \brief Payload: a batch of events belonging to one window.
@@ -129,8 +180,7 @@ struct EventBatch {
   /// materializing `Event` objects. Works for both wire codecs; the fixed
   /// codec uses a validated raw stride. Returns the number of events.
   template <typename Fn>
-  static Result<uint64_t> ForEachValue(const std::vector<uint8_t>& payload,
-                                       Fn&& fn) {
+  static Result<uint64_t> ForEachValue(ByteSpan payload, Fn&& fn) {
     Reader r(payload);
     uint64_t window_id = 0;
     uint8_t sorted = 0, last = 0;
@@ -143,7 +193,7 @@ struct EventBatch {
   }
 
   /// Reads just the window id from a serialized payload (fast-path helper).
-  static Result<WindowId> PeekWindowId(const std::vector<uint8_t>& payload);
+  static Result<WindowId> PeekWindowId(ByteSpan payload);
 };
 
 /// \brief Payload: end-of-window marker carrying the local window size.

@@ -61,6 +61,9 @@ void Network::CountDropLocked(const char* cause) {
 }
 
 bool Network::CorruptFrameLocked(Message* m) {
+  // The injectors mutate payload bytes in place; a borrowed arena view may
+  // be shared with other in-flight messages, so force ownership first.
+  m->EnsureOwnedPayload();
   // Reconstruct the bytes a framing sender would have written (the TCP
   // transport's header layout) and the CRC it would have framed, so the
   // drop decision below is a real checksum verification, not an assumption.
@@ -119,7 +122,7 @@ void Network::MaybeTamperLocked(Message* m) {
     return;
   }
   const size_t kNodeFieldOffset = base + sizeof(uint64_t);
-  if (m->payload.size() < kNodeFieldOffset + sizeof(uint32_t)) return;
+  if (m->payload_size() < kNodeFieldOffset + sizeof(uint32_t)) return;
   if (options_.tamper_prob < 1.0 &&
       !fault_rng_.Bernoulli(options_.tamper_prob)) {
     return;
@@ -127,6 +130,7 @@ void Network::MaybeTamperLocked(Message* m) {
   // Flip a bit of the declared node id. The message re-frames with a valid
   // CRC (the "sender" computes it over the tampered bytes), so nothing below
   // the root's validation pass can tell it apart from an honest message.
+  m->EnsureOwnedPayload();
   m->payload[kNodeFieldOffset] ^= 0x01;
   ++messages_corrupted_;
   c_corrupted_->Increment();

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,12 @@
 #include "common/status.h"
 
 namespace dema::net {
+
+/// Borrowed, read-only view of serialized bytes. The zero-copy decode
+/// contract: a span never owns its bytes — whoever hands one out guarantees
+/// the backing buffer outlives every read through it (for received messages,
+/// `Message` pins the arena block; see `Message::payload_bytes()`).
+using ByteSpan = std::span<const uint8_t>;
 
 /// \brief Append-only binary encoder (little-endian, fixed width).
 ///
@@ -90,6 +97,8 @@ class Reader {
   Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
   /// Wraps a byte vector (not owned; must outlive the reader).
   explicit Reader(const std::vector<uint8_t>& buf) : Reader(buf.data(), buf.size()) {}
+  /// Wraps a borrowed span (not owned; the backing must outlive the reader).
+  explicit Reader(ByteSpan bytes) : Reader(bytes.data(), bytes.size()) {}
 
   /// Bytes not yet consumed.
   size_t remaining() const { return size_ - pos_; }

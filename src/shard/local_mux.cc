@@ -95,7 +95,7 @@ Status KeyedLocalNode::OnMessage(const net::Message& outer) {
     return Status::OK();
   }
   c_frames_->Increment();
-  net::Reader r(outer.payload);
+  net::Reader r(outer.payload_bytes());
   auto batch = net::KeyedBatch::Deserialize(&r);
   if (!batch.ok()) {
     c_bad_frame_->Increment();
@@ -134,7 +134,7 @@ void KeyedLocalNode::StashCollected(net::KeyId key, OutboundMap* out) {
     net::KeyedBatch& batch = (*out)[{shard_of_[key], m.type}];
     batch.shard = shard_of_[key];
     batch.event_count += m.event_count;
-    batch.entries.push_back({key, std::move(m.payload)});
+    batch.entries.push_back({key, m.TakePayload()});
   }
 }
 

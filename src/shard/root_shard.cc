@@ -47,7 +47,7 @@ const core::DemaRootNode* RootShard::root_for(net::KeyId key) const {
 
 Status RootShard::OnFrame(const net::Message& outer) {
   c_frames_->Increment();
-  net::Reader r(outer.payload);
+  net::Reader r(outer.payload_bytes());
   auto batch = net::KeyedBatch::Deserialize(&r);
   if (!batch.ok()) {
     c_bad_frame_->Increment();
@@ -111,7 +111,7 @@ void RootShard::StashCollected(net::KeyId key, OutboundMap* out) {
     net::KeyedBatch& batch = (*out)[{m.dst, m.type}];
     batch.shard = index_;
     batch.event_count += m.event_count;
-    batch.entries.push_back({key, std::move(m.payload)});
+    batch.entries.push_back({key, m.TakePayload()});
   }
 }
 

@@ -52,6 +52,7 @@ Result<ShardedServeReport> RunShardedTcpRoot(
   topts.listen_port = options.listen_port;
   topts.adopted_listen_fd = options.adopted_listen_fd;
   topts.inbox_capacity = options.inbox_capacity;
+  topts.outbox_capacity = options.outbox_capacity;
   topts.registry = cfg.registry;
   transport::TcpTransport transport(topts);
   DEMA_RETURN_NOT_OK(transport.AddLocalNode(0));
@@ -146,6 +147,7 @@ Result<ShardedTcpLocalReport> RunShardedTcpLocal(
 
   transport::TcpTransportOptions topts;
   topts.listen = false;  // pure client: replies arrive over the dialed conn
+  topts.outbox_capacity = options.outbox_capacity;
   transport::TcpTransport transport(topts);
   DEMA_RETURN_NOT_OK(transport.AddLocalNode(id));
   DEMA_RETURN_NOT_OK(
@@ -291,7 +293,7 @@ Status RunQuerySession(const ShardQueryOptions& options, size_t session,
       auto msg = inbox->PopFor(MillisUs(5));
       if (!msg) continue;
       if (msg->type != net::MessageType::kShardQueryReply) continue;
-      net::Reader r(msg->payload);
+      net::Reader r(msg->payload_bytes());
       auto reply = net::KeyedQueryReply::Deserialize(&r);
       if (!reply.ok()) {
         result = reply.status();

@@ -27,6 +27,9 @@ struct ShardedServeOptions {
   int adopted_listen_fd = -1;
   DurationUs timeout_us = 120 * kMicrosPerSecond;
   size_t inbox_capacity = 1024;
+  /// Per-connection outbox bound in messages (0 = unbounded); a full outbox
+  /// backpressures the sender instead of queueing without limit.
+  size_t outbox_capacity = 1024;
   /// Windows every key is expected to emit (the workload horizon).
   uint64_t expected_windows = 0;
   /// After every window completed, keep answering queries for up to this
@@ -59,6 +62,8 @@ struct ShardedTcpLocalOptions {
   std::string root_host = "127.0.0.1";
   uint16_t root_port = 0;
   DurationUs timeout_us = 120 * kMicrosPerSecond;
+  /// Per-connection outbox bound in messages (0 = unbounded).
+  size_t outbox_capacity = 1024;
 };
 
 /// \brief What a keyed local measured.

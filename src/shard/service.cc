@@ -151,7 +151,7 @@ Status ShardedRootService::OnMessage(const net::Message& msg) {
     case net::MessageType::kShardCandidateReply: {
       // Exactly-once applies to state-mutating aggregation traffic only.
       if (dedup_.IsDuplicate(msg.src, msg.seq)) return Status::OK();
-      auto shard = net::KeyedBatch::PeekShard(msg.payload);
+      auto shard = net::KeyedBatch::PeekShard(msg.payload_bytes());
       if (!shard.ok() || *shard >= shards_.size()) {
         c_bad_frame_->Increment();
         return Status::OK();
@@ -165,7 +165,7 @@ Status ShardedRootService::OnMessage(const net::Message& msg) {
       // by query_id, and a client that reconnects under the same node id
       // restarts its seq counter — the filter would swallow its first query.
       c_queries_->Increment();
-      net::Reader r(msg.payload);
+      net::Reader r(msg.payload_bytes());
       auto query = net::KeyedQuery::Deserialize(&r);
       net::KeyedQueryReply reply;
       if (!query.ok()) {

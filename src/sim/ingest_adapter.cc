@@ -30,7 +30,7 @@ Status IngestAdapter::OnMessage(const net::Message& msg) {
         return Status::InvalidArgument("event batch from unregistered sensor " +
                                        std::to_string(msg.src));
       }
-      net::Reader r(msg.payload);
+      net::Reader r(msg.payload_bytes());
       DEMA_ASSIGN_OR_RETURN(auto batch, net::EventBatch::Deserialize(&r));
       for (const Event& e : batch.events) {
         DEMA_RETURN_NOT_OK(inner_->OnEvent(e));
@@ -44,7 +44,7 @@ Status IngestAdapter::OnMessage(const net::Message& msg) {
         return Status::InvalidArgument("time advance from unregistered sensor " +
                                        std::to_string(msg.src));
       }
-      net::Reader r(msg.payload);
+      net::Reader r(msg.payload_bytes());
       DEMA_ASSIGN_OR_RETURN(auto advance, net::TimeAdvance::Deserialize(&r));
       it->second = std::max(it->second, advance.watermark_us);
       if (advance.final_marker) ++children_finished_;

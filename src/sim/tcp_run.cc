@@ -127,6 +127,7 @@ Result<RunMetrics> RunTcpRoot(const SystemConfig& config,
   topts.listen_port = options.listen_port;
   topts.adopted_listen_fd = options.adopted_listen_fd;
   topts.inbox_capacity = options.root_inbox_capacity;
+  topts.outbox_capacity = options.outbox_capacity;
   topts.registry = cfg.registry;
   transport::TcpTransport transport(topts);
   DEMA_RETURN_NOT_OK(transport.AddLocalNode(0));
@@ -222,6 +223,7 @@ Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
   topts.listen = false;  // pure client: replies arrive over the dialed conn
   topts.registry = config.registry;
   topts.seq_epoch = options.seq_epoch;
+  topts.outbox_capacity = options.outbox_capacity;
   transport::TcpTransport transport(topts);
   DEMA_RETURN_NOT_OK(transport.AddLocalNode(id));
   DEMA_RETURN_NOT_OK(transport.AddPeer(0, options.root_host, options.root_port));

@@ -30,6 +30,9 @@ struct TcpRootOptions {
   /// Root inbox bound; full inboxes backpressure the TCP readers and in
   /// turn the senders, exactly like the in-process fabric.
   size_t root_inbox_capacity = 1024;
+  /// Per-connection outbox bound in messages (0 = unbounded); a full outbox
+  /// blocks `Send` until the peer catches up (`demactl --outbox-cap`).
+  size_t outbox_capacity = 1024;
   /// Invoked with the bound port once the listener is up (threaded tests
   /// bind port 0 and hand the result to the locals).
   std::function<void(uint16_t)> on_listening;
@@ -66,6 +69,8 @@ struct TcpLocalOptions {
   /// Sequence-number epoch for the transport; a relaunched process must use
   /// a fresh epoch so the root's dedup window does not swallow its stream.
   uint32_t seq_epoch = 0;
+  /// Per-connection outbox bound in messages (0 = unbounded).
+  size_t outbox_capacity = 1024;
 };
 
 /// \brief What a local node measured during a TCP run.

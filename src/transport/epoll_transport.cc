@@ -1,0 +1,155 @@
+#include "transport/epoll_transport.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace dema::transport {
+
+namespace {
+// One epoll_wait services at most this many ready fds per pass; the rest
+// stay ready (level-triggered) and land in the next pass.
+constexpr int kMaxEvents = 64;
+// Upper bound on a single epoll_wait sleep so a loop with no timers still
+// notices Stop() promptly even if the wake write is lost to a race.
+constexpr int kMaxWaitMs = 100;
+}  // namespace
+
+EpollLoop::~EpollLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+Status EpollLoop::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::NetworkError(std::string("epoll_create1 failed: ") +
+                                std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return Status::NetworkError(std::string("eventfd failed: ") +
+                                std::strerror(errno));
+  }
+  return Add(wake_fd_, EPOLLIN, [this](uint32_t) { DrainWakeFd(); });
+}
+
+TimestampUs EpollLoop::NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void EpollLoop::Run() {
+  while (!stopping()) {
+    epoll_event events[kMaxEvents];
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, NextTimeoutMs());
+    if (n < 0 && errno != EINTR) {
+      DEMA_LOG(Warn) << "epoll_wait failed: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n && !stopping(); ++i) {
+      auto it = callbacks_.find(events[i].data.fd);
+      // A callback earlier in this pass may have Remove()d a later fd.
+      if (it == callbacks_.end()) continue;
+      it->second(events[i].events);
+    }
+    RunPostedTasks();
+    RunExpiredTimers();
+    if (tick_ && !stopping()) tick_();
+  }
+  // Final drain: tasks posted between the last pass and Stop() still run
+  // (Shutdown relies on its posted work executing).
+  RunPostedTasks();
+}
+
+void EpollLoop::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  Wake();
+}
+
+void EpollLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  Wake();
+}
+
+void EpollLoop::Wake() {
+  uint64_t one = 1;
+  // Failure (full counter) still leaves the eventfd readable: wake works.
+  [[maybe_unused]] ssize_t r = ::write(wake_fd_, &one, sizeof(one));
+}
+
+Status EpollLoop::Add(int fd, uint32_t events, FdCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::NetworkError(std::string("epoll_ctl(ADD) failed: ") +
+                                std::strerror(errno));
+  }
+  callbacks_[fd] = std::move(cb);
+  return Status::OK();
+}
+
+Status EpollLoop::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::NetworkError(std::string("epoll_ctl(MOD) failed: ") +
+                                std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EpollLoop::Remove(int fd) {
+  if (callbacks_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EpollLoop::PostDelayed(DurationUs delay_us, std::function<void()> fn) {
+  timers_.push(Timer{NowUs() + delay_us, next_timer_id_++, std::move(fn)});
+}
+
+void EpollLoop::DrainWakeFd() {
+  uint64_t count;
+  while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+int EpollLoop::NextTimeoutMs() const {
+  if (timers_.empty()) return kMaxWaitMs;
+  TimestampUs now = NowUs();
+  if (timers_.top().deadline_us <= now) return 0;
+  auto ms = (timers_.top().deadline_us - now + 999) / 1000;
+  return static_cast<int>(std::min<TimestampUs>(ms, kMaxWaitMs));
+}
+
+void EpollLoop::RunExpiredTimers() {
+  TimestampUs now = NowUs();
+  while (!timers_.empty() && timers_.top().deadline_us <= now && !stopping()) {
+    auto fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+    timers_.pop();
+    fn();
+  }
+}
+
+void EpollLoop::RunPostedTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& fn : tasks) fn();
+}
+
+}  // namespace dema::transport

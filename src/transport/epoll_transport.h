@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace dema::transport {
+
+/// \brief Minimal epoll reactor: one thread multiplexing many fds.
+///
+/// The transport's entire I/O — accepting, reading, writing, timers — runs
+/// on the single thread that calls `Run()`. Everything registered here
+/// (callbacks, timers, fd interest) is therefore loop-thread-only state and
+/// needs no locking; the two thread-safe entry points are `Post` (hand a
+/// task to the loop from any thread, waking it via an eventfd) and `Stop`.
+///
+/// Level-triggered semantics: a callback that does not drain its fd is
+/// invoked again on the next `epoll_wait`. Callbacks receive the raw
+/// `EPOLLIN`/`EPOLLOUT`/`EPOLLHUP`/`EPOLLERR` bits.
+class EpollLoop {
+ public:
+  using FdCallback = std::function<void(uint32_t events)>;
+
+  EpollLoop() = default;
+  ~EpollLoop();
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// Creates the epoll instance and the wake eventfd. Call once, before Run.
+  Status Init();
+
+  /// Runs the event loop on the calling thread until `Stop()`.
+  void Run();
+
+  /// Signals the loop to exit after the current iteration (thread-safe).
+  void Stop();
+
+  /// True once `Stop()` was called (loop may still be finishing a pass).
+  bool stopping() const { return stop_.load(std::memory_order_relaxed); }
+
+  /// Sets a handler the loop invokes once per pass, after fd events and
+  /// posted tasks. Call before `Run()` starts (not thread-safe). Producers
+  /// that enqueue work the tick consumes pair it with `Wake()`.
+  void SetTickHandler(std::function<void()> fn) { tick_ = std::move(fn); }
+
+  /// Queues \p fn to run on the loop thread and wakes the loop
+  /// (thread-safe). Tasks run in post order, after fd events.
+  void Post(std::function<void()> fn);
+
+  /// Wakes the loop without queuing work (thread-safe) — used by producers
+  /// after enqueuing to a structure the loop polls, e.g. a conn outbox.
+  void Wake();
+
+  // --- loop-thread-only -----------------------------------------------------
+
+  /// Registers \p fd with the given EPOLL* interest bits.
+  Status Add(int fd, uint32_t events, FdCallback cb);
+
+  /// Changes the interest bits of a registered fd.
+  Status Modify(int fd, uint32_t events);
+
+  /// Deregisters \p fd (does not close it). Safe to call for an
+  /// unregistered fd.
+  void Remove(int fd);
+
+  /// Runs \p fn on the loop thread after \p delay_us. Timers fire in
+  /// deadline order between fd-event passes.
+  void PostDelayed(DurationUs delay_us, std::function<void()> fn);
+
+  /// Monotonic clock the timer queue runs on (microseconds).
+  static TimestampUs NowUs();
+
+ private:
+  void DrainWakeFd();
+  /// Milliseconds until the next timer fires (bounded), for epoll_wait.
+  int NextTimeoutMs() const;
+  void RunExpiredTimers();
+  void RunPostedTasks();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::map<int, FdCallback> callbacks_;
+  std::function<void()> tick_;
+
+  struct Timer {
+    TimestampUs deadline_us;
+    uint64_t id;  // insertion order: stable tiebreak for equal deadlines
+    std::function<void()> fn;
+    bool operator>(const Timer& o) const {
+      return deadline_us != o.deadline_us ? deadline_us > o.deadline_us
+                                          : id > o.id;
+    }
+  };
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  uint64_t next_timer_id_ = 0;
+
+  std::mutex post_mu_;  // guards posted_ (the cross-thread handoff)
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace dema::transport

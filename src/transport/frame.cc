@@ -36,17 +36,19 @@ void EncodeFrame(const net::Message& m, std::vector<uint8_t>* out) {
   w.PutU32(m.src);
   w.PutU32(m.dst);
   w.PutU32(m.seq);
-  w.PutU32(static_cast<uint32_t>(m.payload.size()));
+  w.PutU32(static_cast<uint32_t>(m.payload_size()));
   static_assert(sizeof(NodeId) == sizeof(uint32_t),
                 "frame header encodes NodeId as u32; widen the fields and "
                 "kEnvelopeWireBytes together");
   const std::vector<uint8_t>& header = w.buffer();
-  const uint32_t crc = ComputeFrameCrc(header.data(), header.size(),
-                                       m.payload.data(), m.payload.size());
-  out->reserve(out->size() + header.size() + m.payload.size() +
+  const uint8_t* payload = m.payload_data();
+  const size_t payload_size = m.payload_size();
+  const uint32_t crc =
+      ComputeFrameCrc(header.data(), header.size(), payload, payload_size);
+  out->reserve(out->size() + header.size() + payload_size +
                kFrameTrailerBytes);
   out->insert(out->end(), header.begin(), header.end());
-  out->insert(out->end(), m.payload.begin(), m.payload.end());
+  out->insert(out->end(), payload, payload + payload_size);
   net::Writer trailer;
   trailer.PutU32(crc);
   out->insert(out->end(), trailer.buffer().begin(), trailer.buffer().end());
@@ -96,8 +98,7 @@ Status DecodeFrameHeader(const uint8_t* data, size_t size, uint32_t max_payload,
   return Status::OK();
 }
 
-Result<uint64_t> PeekEventCount(net::MessageType type,
-                                const std::vector<uint8_t>& payload) {
+Result<uint64_t> PeekEventCount(net::MessageType type, net::ByteSpan payload) {
   net::Reader r(payload);
   switch (type) {
     case net::MessageType::kEventBatch:

@@ -77,8 +77,7 @@ Status DecodeFrameHeader(const uint8_t* data, size_t size, uint32_t max_payload,
 /// mismatch (count lies about the bytes that follow) fails the decode
 /// rather than poisoning downstream accounting. Returns 0 for every other
 /// type; fails only on a corrupt event-carrying payload.
-Result<uint64_t> PeekEventCount(net::MessageType type,
-                                const std::vector<uint8_t>& payload);
+Result<uint64_t> PeekEventCount(net::MessageType type, net::ByteSpan payload);
 
 // --- connection handshake ----------------------------------------------------
 

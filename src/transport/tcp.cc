@@ -1,12 +1,16 @@
 #include "transport/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -17,8 +21,17 @@ namespace dema::transport {
 
 namespace {
 
+/// Encoded bytes a connection keeps in flight before the loop stops pulling
+/// from its outbox (the outbox bound then backpressures `Send`).
+constexpr size_t kWriteHighWater = 1u << 20;
+/// Bytes one connection may read per loop pass before yielding (fairness;
+/// level-triggered epoll re-delivers the remainder immediately).
+constexpr size_t kReadBudget = 1u << 20;
+/// Frames per writev call (well under IOV_MAX everywhere).
+constexpr size_t kMaxIov = 64;
+
 /// Applies the per-socket options every data connection uses: small-message
-/// latency (no Nagle) and bounded blocking so I/O threads notice shutdown.
+/// latency (no Nagle) and bounded blocking for the synchronous dial phase.
 void ConfigureSocket(int fd, DurationUs io_timeout_us) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -29,42 +42,21 @@ void ConfigureSocket(int fd, DurationUs io_timeout_us) {
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
-bool IsWouldBlock(int err) {
-  return err == EAGAIN || err == EWOULDBLOCK || err == EINTR;
-}
-
-/// Reads exactly \p n bytes. Returns OK with *clean_eof=true when the peer
-/// closed before the first byte (a frame boundary) or the transport stopped;
-/// a close mid-buffer is an error.
-Status ReadFull(int fd, uint8_t* buf, size_t n, const std::atomic<bool>& stop,
-                bool* clean_eof) {
-  *clean_eof = false;
-  size_t got = 0;
-  while (got < n) {
-    if (stop.load(std::memory_order_relaxed)) {
-      *clean_eof = true;
-      return Status::OK();
-    }
-    ssize_t r = ::recv(fd, buf + got, n - got, 0);
-    if (r > 0) {
-      got += static_cast<size_t>(r);
-      continue;
-    }
-    if (r == 0) {
-      if (got == 0) {
-        *clean_eof = true;
-        return Status::OK();
-      }
-      return Status::NetworkError("connection closed mid-frame");
-    }
-    if (IsWouldBlock(errno)) continue;  // timeout tick: re-check stop
-    return Status::NetworkError(std::string("recv failed: ") +
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::NetworkError(std::string("fcntl(O_NONBLOCK) failed: ") +
                                 std::strerror(errno));
   }
   return Status::OK();
 }
 
-/// Writes exactly \p n bytes (retrying timeout ticks until stopped).
+bool IsWouldBlock(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK || err == EINTR;
+}
+
+/// Writes exactly \p n bytes on a (still blocking) dial-phase socket,
+/// retrying timeout ticks until stopped.
 Status WriteFull(int fd, const uint8_t* buf, size_t n,
                  const std::atomic<bool>& stop) {
   size_t sent = 0;
@@ -155,6 +147,7 @@ TcpTransport::TcpTransport(TcpTransportOptions options)
                                              : options_.registry),
       sent_(registry_, "transport.sent"),
       recv_(registry_, "transport.recv"),
+      accept_failures_to_inject_(options_.inject_accept_failures),
       jitter_rng_(options_.dial_jitter_seed != 0
                       ? options_.dial_jitter_seed
                       : static_cast<uint64_t>(::getpid()) * 2654435761u + 1),
@@ -163,7 +156,9 @@ TcpTransport::TcpTransport(TcpTransportOptions options)
                        : static_cast<uint64_t>(::getpid()) * 0x9E3779B9u + 3),
       c_corrupted_total_(registry_->GetCounter("net.corrupted")),
       c_corrupted_inject_(registry_->GetCounter("net.corrupted{layer=inject}")),
-      c_corrupted_recv_(registry_->GetCounter("net.corrupted{layer=tcp}")) {}
+      c_corrupted_recv_(registry_->GetCounter("net.corrupted{layer=tcp}")),
+      c_accept_errors_(registry_->GetCounter("net.accept_errors")),
+      c_outbox_full_(registry_->GetCounter("net.outbox_full")) {}
 
 TcpTransport::~TcpTransport() { Shutdown(); }
 
@@ -190,7 +185,19 @@ Status TcpTransport::AddPeer(NodeId id, const std::string& host, uint16_t port) 
   return Status::OK();
 }
 
+Status TcpTransport::EnsureLoopStarted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (loop_started_) return Status::OK();
+  DEMA_RETURN_NOT_OK(loop_.Init());
+  // Every Send wakes the loop; the tick moves outbox messages to sockets.
+  loop_.SetTickHandler([this] { DrainOutboxes(); });
+  loop_thread_ = std::thread([this] { loop_.Run(); });
+  loop_started_ = true;
+  return Status::OK();
+}
+
 Status TcpTransport::Start() {
+  DEMA_RETURN_NOT_OK(EnsureLoopStarted());
   std::lock_guard<std::mutex> lock(mu_);
   if (started_) return Status::InvalidArgument("transport already started");
   started_ = true;
@@ -200,15 +207,17 @@ Status TcpTransport::Start() {
     DEMA_ASSIGN_OR_RETURN(
         listen_fd_, BindListenSocket(options_.listen_host, options_.listen_port));
   } else {
-    return Status::OK();  // pure client: no listener, no acceptor
+    return Status::OK();  // pure client: no listener
   }
 
   // Read back the bound port (the configured one may have been ephemeral).
   DEMA_ASSIGN_OR_RETURN(bound_port_, ListenSocketPort(listen_fd_));
-  // A receive timeout on the listener makes accept() wake periodically so
-  // the acceptor notices shutdown even if the close/shutdown race is lost.
-  ConfigureSocket(listen_fd_, options_.io_timeout_us);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  DEMA_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+  const int lfd = listen_fd_;
+  loop_.Post([this, lfd] {
+    Status st = loop_.Add(lfd, EPOLLIN, [this](uint32_t) { OnAcceptReady(); });
+    if (!st.ok()) DEMA_LOG(Warn) << "listener registration failed: " << st;
+  });
   return Status::OK();
 }
 
@@ -245,9 +254,25 @@ Status TcpTransport::Send(net::Message m) {
     return Status::OK();
   }
   DEMA_ASSIGN_OR_RETURN(Conn * conn, ConnFor(m.dst));
+  if (options_.outbox_capacity > 0 &&
+      conn->outbox->size() >= options_.outbox_capacity) {
+    // Full: the peer (or the loop) is not draining fast enough. Surface the
+    // stall, then apply backpressure or fail — never grow without bound.
+    // (The check races benignly with the loop's drain: a stale observation
+    // only mis-times the counter, never the queue bound itself, which
+    // `Channel::Push` enforces by blocking.)
+    c_outbox_full_->Increment();
+    if (!options_.outbox_block) {
+      return Status::NetworkError("outbox to node " + std::to_string(m.dst) +
+                                  " is full (" +
+                                  std::to_string(options_.outbox_capacity) +
+                                  " messages queued)");
+    }
+  }
   if (!conn->outbox->Push(std::move(m))) {
     return Status::NetworkError("connection to destination closed");
   }
+  loop_.Wake();
   return Status::OK();
 }
 
@@ -264,9 +289,14 @@ Result<TcpTransport::Conn*> TcpTransport::ConnFor(NodeId dst) {
     }
     peer = pit->second;
   }
+  DEMA_RETURN_NOT_OK(EnsureLoopStarted());
   // Dial outside the lock: connect retries can take a while.
   DEMA_ASSIGN_OR_RETURN(int fd, DialWithRetry(peer.host, peer.port));
   std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_.load()) {
+    ::close(fd);  // dial completed after Shutdown reaped the conn table
+    return Status::NetworkError("transport is shut down");
+  }
   auto rit = routes_.find(dst);
   if (rit != routes_.end() && !rit->second->dead.load()) {
     ::close(fd);  // lost a dial race; use the established route
@@ -337,128 +367,234 @@ TcpTransport::Conn* TcpTransport::AdoptLocked(int fd, bool expect_hello) {
   auto owned = std::make_unique<Conn>();
   Conn* conn = owned.get();
   conn->fd = fd;
-  conn->outbox = std::make_unique<net::Channel>(/*capacity=*/0);
+  conn->outbox = std::make_unique<net::Channel>(options_.outbox_capacity);
+  conn->expect_hello = expect_hello;
   conns_.push_back(std::move(owned));
-  conn->reader = std::thread([this, conn, expect_hello] {
-    ReaderLoop(conn, expect_hello);
-  });
-  conn->writer = std::thread([this, conn] { WriterLoop(conn); });
+  loop_.Post([this, conn] { RegisterConn(conn); });
   return conn;
 }
 
-void TcpTransport::AcceptLoop() {
-  while (!stopped_.load(std::memory_order_relaxed)) {
+// --- loop-thread side --------------------------------------------------------
+
+void TcpTransport::RegisterConn(Conn* conn) {
+  if (draining_ || loop_.stopping()) {
+    KillConn(conn);
+    return;
+  }
+  Status st = SetNonBlocking(conn->fd);
+  if (st.ok()) {
+    st = loop_.Add(conn->fd, EPOLLIN,
+                   [this, conn](uint32_t ev) { OnConnEvent(conn, ev); });
+  }
+  if (!st.ok()) {
+    DEMA_LOG(Warn) << "connection registration failed: " << st;
+    KillConn(conn);
+    return;
+  }
+  conn->registered = true;
+}
+
+void TcpTransport::OnAcceptReady() {
+  while (!draining_) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (stopped_.load()) return;
-      if (IsWouldBlock(errno)) continue;  // listener timeout tick
-      DEMA_LOG(Warn) << "accept failed: " << std::strerror(errno);
+      int err = errno;
+      if (err == EAGAIN || err == EWOULDBLOCK) return;  // backlog drained
+      if (err == EINTR || err == ECONNABORTED || err == EPROTO) {
+        continue;  // that one connection is gone; the listener is fine
+      }
+      OnAcceptError(err);
       return;
     }
-    ConfigureSocket(fd, options_.io_timeout_us);
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopped_.load()) {
+    if (accept_failures_to_inject_ > 0) {
+      // Test hook: pretend accept hit a transient hard error (EMFILE-style)
+      // so the resilience path — count, back off, survive — is exercised
+      // deterministically.
+      --accept_failures_to_inject_;
       ::close(fd);
+      OnAcceptError(EMFILE);
       return;
     }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
     AdoptLocked(fd, /*expect_hello=*/true);
   }
 }
 
-void TcpTransport::ReaderLoop(Conn* conn, bool expect_hello) {
-  bool eof = false;
-  if (expect_hello) {
-    uint8_t prefix[kHelloPrefixBytes];
-    Status st = ReadFull(conn->fd, prefix, sizeof(prefix), stopped_, &eof);
-    if (!st.ok() || eof) {
-      conn->dead.store(true);
-      return;
-    }
-    auto count = DecodeHelloPrefix(prefix, sizeof(prefix));
-    if (!count.ok()) {
-      DEMA_LOG(Warn) << "dropping connection: " << count.status();
-      conn->dead.store(true);
-      // FIN now so the rejected peer (e.g. a version-1 dialer) sees the
-      // rejection immediately instead of hanging until our Shutdown();
-      // Shutdown() still owns the close, so the fd is reaped exactly once.
-      ::shutdown(conn->fd, SHUT_RDWR);
-      return;
-    }
-    std::vector<uint8_t> ids_buf(*count * sizeof(uint32_t));
-    st = ReadFull(conn->fd, ids_buf.data(), ids_buf.size(), stopped_, &eof);
-    if (!st.ok() || eof) {
-      conn->dead.store(true);
-      return;
-    }
-    auto ids = DecodeHelloNodes(ids_buf.data(), ids_buf.size(), *count);
-    if (!ids.ok()) {
-      DEMA_LOG(Warn) << "dropping connection: " << ids.status();
-      conn->dead.store(true);
-      ::shutdown(conn->fd, SHUT_RDWR);
-      return;
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    // Replies to the dialer's nodes travel back over this connection.
-    for (NodeId id : *ids) routes_[id] = conn;
-  }
+void TcpTransport::OnAcceptError(int err) {
+  // The pre-loop transport returned here, killing accept forever — one
+  // transient EMFILE and the process was deaf. Count it, pull the listener
+  // out of the epoll set (a ready listener would spin a level-triggered
+  // loop), and re-arm after a backoff. The listener never dies.
+  DEMA_LOG(Warn) << "accept failed (will retry): " << std::strerror(err);
+  c_accept_errors_->Increment();
+  loop_.Remove(listen_fd_);
+  loop_.PostDelayed(options_.accept_backoff_us, [this] {
+    if (draining_ || loop_.stopping()) return;
+    Status st =
+        loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { OnAcceptReady(); });
+    if (!st.ok()) DEMA_LOG(Warn) << "listener re-arm failed: " << st;
+  });
+}
 
-  std::vector<uint8_t> header(kFrameHeaderBytes);
-  while (!stopped_.load(std::memory_order_relaxed)) {
-    Status st = ReadFull(conn->fd, header.data(), header.size(), stopped_, &eof);
-    if (!st.ok()) {
-      DEMA_LOG(Warn) << "connection read error: " << st;
-      conn->dead.store(true);
+void TcpTransport::OnConnEvent(Conn* conn, uint32_t events) {
+  if (conn->dead.load(std::memory_order_relaxed)) return;
+  if (events & EPOLLOUT) TryWrite(conn);
+  if (events & EPOLLIN) {
+    ReadReady(conn);
+  } else if (events & (EPOLLHUP | EPOLLERR)) {
+    // No readable data to drain first: the connection is gone.
+    KillConn(conn);
+  }
+}
+
+void TcpTransport::ReadReady(Conn* conn) {
+  size_t budget = kReadBudget;
+  while (budget > 0 && !conn->dead.load(std::memory_order_relaxed)) {
+    EnsureReadCapacity(conn, kFrameHeaderBytes);
+    uint8_t* dst = conn->rblock->data() + conn->rend;
+    size_t room = conn->rblock->size() - conn->rend;
+    ssize_t n = ::recv(conn->fd, dst, std::min(room, budget), 0);
+    if (n > 0) {
+      conn->rend += static_cast<size_t>(n);
+      budget -= static_cast<size_t>(n);
+      if (!ParseFrames(conn)) return;
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed. Mid-frame data is simply dropped (same as the old
+      // transport's "connection closed mid-frame" path).
+      KillConn(conn);
       return;
     }
-    if (eof) {
-      conn->dead.store(true);
-      return;
-    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    DEMA_LOG(Warn) << "connection read error: " << std::strerror(errno);
+    KillConn(conn);
+    return;
+  }
+}
+
+void TcpTransport::EnsureReadCapacity(Conn* conn, size_t hint) {
+  if (conn->rblock == nullptr) {
+    conn->rblock = std::make_shared<std::vector<uint8_t>>(
+        std::max(options_.recv_block_bytes, hint));
+    conn->rpos = conn->rend = 0;
+    return;
+  }
+  if (conn->rend < conn->rblock->size()) return;  // room to fill
+  // Block full. Parsed bytes may be pinned by delivered payload views, so
+  // the block is never rewound in place — a fresh block takes over, with the
+  // unparsed tail (at most one partial frame) copied to its front. This is
+  // the only copy on the receive path.
+  size_t tail = conn->rend - conn->rpos;
+  size_t want = std::max(tail + hint, tail * 2);
+  if (!conn->expect_hello && tail >= kFrameHeaderBytes) {
+    // The partial frame's header is already here: size the fresh block to
+    // hold the whole frame so an oversized payload moves exactly once.
     FrameHeader h;
-    st = DecodeFrameHeader(header.data(), header.size(),
-                           options_.max_frame_payload, &h);
+    if (DecodeFrameHeader(conn->rblock->data() + conn->rpos, kFrameHeaderBytes,
+                          options_.max_frame_payload, &h)
+            .ok()) {
+      want = kFrameHeaderBytes + h.payload_size + kFrameTrailerBytes;
+    }
+  }
+  auto fresh = std::make_shared<std::vector<uint8_t>>(
+      std::max(options_.recv_block_bytes, want));
+  std::memcpy(fresh->data(), conn->rblock->data() + conn->rpos, tail);
+  conn->rblock = std::move(fresh);
+  conn->rpos = 0;
+  conn->rend = tail;
+}
+
+bool TcpTransport::ParseFrames(Conn* conn) {
+  while (true) {
+    const uint8_t* base = conn->rblock->data();
+    size_t avail = conn->rend - conn->rpos;
+
+    if (conn->expect_hello) {
+      if (avail < kHelloPrefixBytes) return true;
+      auto count = DecodeHelloPrefix(base + conn->rpos, kHelloPrefixBytes);
+      if (!count.ok()) {
+        DEMA_LOG(Warn) << "dropping connection: " << count.status();
+        // FIN now so the rejected peer (e.g. a version-1 dialer) sees the
+        // rejection immediately instead of hanging until our Shutdown();
+        // Shutdown() still owns the close, so the fd is reaped exactly once.
+        ::shutdown(conn->fd, SHUT_RDWR);
+        KillConn(conn);
+        return false;
+      }
+      size_t ids_bytes = *count * sizeof(uint32_t);
+      if (avail < kHelloPrefixBytes + ids_bytes) {
+        EnsureReadCapacity(conn, kHelloPrefixBytes + ids_bytes - avail);
+        return true;
+      }
+      auto ids = DecodeHelloNodes(base + conn->rpos + kHelloPrefixBytes,
+                                  ids_bytes, *count);
+      if (!ids.ok()) {
+        DEMA_LOG(Warn) << "dropping connection: " << ids.status();
+        ::shutdown(conn->fd, SHUT_RDWR);
+        KillConn(conn);
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Replies to the dialer's nodes travel back over this connection.
+        for (NodeId id : *ids) routes_[id] = conn;
+      }
+      conn->rpos += kHelloPrefixBytes + ids_bytes;
+      conn->expect_hello = false;
+      continue;
+    }
+
+    if (avail < kFrameHeaderBytes) return true;
+    FrameHeader h;
+    Status st = DecodeFrameHeader(base + conn->rpos, kFrameHeaderBytes,
+                                  options_.max_frame_payload, &h);
     if (!st.ok()) {
       DEMA_LOG(Warn) << "dropping connection on bad frame: " << st;
-      conn->dead.store(true);
-      return;
+      KillConn(conn);
+      return false;
     }
+    const size_t frame_total =
+        kFrameHeaderBytes + h.payload_size + kFrameTrailerBytes;
+    if (avail < frame_total) {
+      EnsureReadCapacity(conn, frame_total - avail);
+      return true;
+    }
+
+    const uint8_t* header = base + conn->rpos;
+    const uint8_t* payload = header + kFrameHeaderBytes;
+    const uint8_t* trailer = payload + h.payload_size;
+    // The checksum guards the decoded header too, so verify before acting on
+    // anything but the payload length (which framing already consumed). A
+    // mismatch drops this frame only: framing is intact, the connection
+    // survives, and the sender's retry machinery recovers the message.
+    st = VerifyFrameCrc(header, kFrameHeaderBytes, payload, h.payload_size,
+                        trailer);
+    if (!st.ok()) {
+      DEMA_LOG(Warn) << "dropping corrupt frame: " << st;
+      c_corrupted_total_->Increment();
+      c_corrupted_recv_->Increment();
+      conn->rpos += frame_total;
+      continue;
+    }
+
     net::Message m;
     m.type = h.type;
     m.src = h.src;
     m.dst = h.dst;
     m.seq = h.seq;
-    m.payload.resize(h.payload_size);
-    st = ReadFull(conn->fd, m.payload.data(), h.payload_size, stopped_, &eof);
-    if (!st.ok() || (eof && h.payload_size > 0)) {
-      DEMA_LOG(Warn) << "connection closed mid-frame";
-      conn->dead.store(true);
-      return;
-    }
-    uint8_t trailer[kFrameTrailerBytes];
-    st = ReadFull(conn->fd, trailer, sizeof(trailer), stopped_, &eof);
-    if (!st.ok() || eof) {
-      DEMA_LOG(Warn) << "connection closed mid-frame";
-      conn->dead.store(true);
-      return;
-    }
-    // The checksum guards the decoded header too, so verify before acting on
-    // anything but the payload length (which framing already consumed). A
-    // mismatch drops this frame only: framing is intact, the connection
-    // survives, and the sender's retry machinery recovers the message.
-    st = VerifyFrameCrc(header.data(), header.size(), m.payload.data(),
-                        m.payload.size(), trailer);
-    if (!st.ok()) {
-      DEMA_LOG(Warn) << "dropping corrupt frame: " << st;
-      c_corrupted_total_->Increment();
-      c_corrupted_recv_->Increment();
-      continue;
-    }
+    // Zero-copy delivery: the payload stays in the arena block, pinned by
+    // the message for as long as any consumer holds it.
+    m.SetPayloadView(conn->rblock, payload, h.payload_size);
     // Reconstruct the event-count metadata (sender-side only, not framed).
-    auto events = PeekEventCount(h.type, m.payload);
+    auto events = PeekEventCount(h.type, m.payload_bytes());
     m.event_count = events.ok() ? *events : 0;
-    recv_.Charge(h.src, h.dst, h.type,
-                 kFrameHeaderBytes + h.payload_size + kFrameTrailerBytes,
-                 m.event_count);
+    recv_.Charge(h.src, h.dst, h.type, frame_total, m.event_count);
+    conn->rpos += frame_total;
+
     net::Channel* inbox = Inbox(h.dst);
     if (inbox == nullptr) {
       DEMA_LOG(Warn) << "dropping frame for non-hosted node " << h.dst;
@@ -468,37 +604,182 @@ void TcpTransport::ReaderLoop(Conn* conn, bool expect_hello) {
   }
 }
 
-void TcpTransport::WriterLoop(Conn* conn) {
-  std::vector<uint8_t> buf;
-  while (auto m = conn->outbox->Pop()) {
-    buf.clear();
-    EncodeFrame(*m, &buf);
-    if (options_.corrupt_rate > 0 && buf.size() > kFrameHeaderBytes) {
+void TcpTransport::DrainOutboxes() {
+  std::vector<Conn*> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.reserve(conns_.size());
+    for (const auto& c : conns_) conns.push_back(c.get());
+  }
+  for (Conn* c : conns) {
+    if (c->registered && !c->dead.load(std::memory_order_relaxed) &&
+        !c->flushed) {
+      DrainConnOutbox(c);
+    }
+  }
+}
+
+void TcpTransport::DrainConnOutbox(Conn* conn) {
+  // Encode queued messages into per-frame buffers up to the in-flight
+  // high-water mark; past it the bounded outbox backpressures Send. During
+  // the shutdown drain the cap is lifted — the outbox is closed, its content
+  // is all that remains, and it must reach the write queue to be flushed.
+  while (draining_ || conn->wq_bytes < kWriteHighWater) {
+    auto m = conn->outbox->TryPop();
+    if (!m) break;
+    Conn::PendingFrame f;
+    f.src = m->src;
+    f.dst = m->dst;
+    f.type = m->type;
+    f.event_count = m->event_count;
+    EncodeFrame(*m, &f.bytes);
+    if (options_.corrupt_rate > 0 && f.bytes.size() > kFrameHeaderBytes) {
       std::lock_guard<std::mutex> lock(corrupt_mu_);
       if (corrupt_rng_.Bernoulli(options_.corrupt_rate)) {
         // Flip one byte past the header (payload or CRC region) so the
         // receiver's framing survives and its checksum does the catching.
         const size_t at = static_cast<size_t>(corrupt_rng_.UniformInt(
             static_cast<int64_t>(kFrameHeaderBytes),
-            static_cast<int64_t>(buf.size() - 1)));
-        buf[at] ^= static_cast<uint8_t>(corrupt_rng_.UniformInt(1, 255));
+            static_cast<int64_t>(f.bytes.size() - 1)));
+        f.bytes[at] ^= static_cast<uint8_t>(corrupt_rng_.UniformInt(1, 255));
         c_corrupted_total_->Increment();
         c_corrupted_inject_->Increment();
       }
     }
-    Status st = WriteFull(conn->fd, buf.data(), buf.size(), stopped_);
-    if (!st.ok()) {
-      DEMA_LOG(Warn) << "connection write error: " << st;
-      conn->dead.store(true);
-      conn->outbox->Close();
-      while (conn->outbox->Pop()) {
-      }  // discard what can no longer be sent
+    conn->wq_bytes += f.bytes.size();
+    conn->wq.push_back(std::move(f));
+  }
+  if (!conn->wq.empty()) TryWrite(conn);
+}
+
+void TcpTransport::TryWrite(Conn* conn) {
+  while (!conn->wq.empty()) {
+    // Scatter-gather: one writev covers up to kMaxIov queued frames, so a
+    // burst of small synopsis/gamma/keyed frames costs one syscall.
+    iovec iov[kMaxIov];
+    size_t niov = 0;
+    for (const auto& f : conn->wq) {
+      if (niov == kMaxIov) break;
+      size_t off = (niov == 0) ? conn->wq_head_off : 0;
+      iov[niov].iov_base = const_cast<uint8_t*>(f.bytes.data() + off);
+      iov[niov].iov_len = f.bytes.size() - off;
+      ++niov;
+    }
+    ssize_t n = ::writev(conn->fd, iov, static_cast<int>(niov));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          loop_.Modify(conn->fd, EPOLLIN | EPOLLOUT);
+        }
+        return;
+      }
+      if (errno == EINTR) continue;
+      DEMA_LOG(Warn) << "connection write error: " << std::strerror(errno);
+      KillConn(conn);
       return;
     }
-    sent_.Charge(m->src, m->dst, m->type, buf.size(), m->event_count);
+    size_t written = static_cast<size_t>(n);
+    if (draining_) {
+      // Progress: the stalled-peer grace period restarts.
+      conn->drain_deadline_us = EpollLoop::NowUs() + options_.io_timeout_us;
+    }
+    while (written > 0) {
+      Conn::PendingFrame& f = conn->wq.front();
+      size_t rest = f.bytes.size() - conn->wq_head_off;
+      if (written < rest) {
+        conn->wq_head_off += written;
+        written = 0;
+        break;
+      }
+      // Frame fully on the socket: charge it (same point the per-connection
+      // writer thread used to).
+      written -= rest;
+      conn->wq_bytes -= f.bytes.size();
+      sent_.Charge(f.src, f.dst, f.type, f.bytes.size(), f.event_count);
+      conn->wq_head_off = 0;
+      conn->wq.pop_front();
+    }
   }
-  // Outbox closed and fully drained: announce end-of-stream to the peer.
-  ::shutdown(conn->fd, SHUT_WR);
+  if (conn->want_write) {
+    conn->want_write = false;
+    loop_.Modify(conn->fd, draining_ ? 0 : EPOLLIN);
+  }
+  if (draining_ && conn->outbox->closed() && conn->outbox->size() == 0 &&
+      conn->wq.empty() && !conn->flushed) {
+    // Outbox drained and every frame written: announce end-of-stream.
+    ::shutdown(conn->fd, SHUT_WR);
+    conn->flushed = true;
+  }
+}
+
+void TcpTransport::KillConn(Conn* conn) {
+  if (conn->dead.exchange(true)) return;
+  loop_.Remove(conn->fd);
+  conn->outbox->Close();
+  while (conn->outbox->TryPop()) {
+  }  // discard what can no longer be sent
+  conn->wq.clear();
+  conn->wq_bytes = 0;
+  conn->wq_head_off = 0;
+  conn->want_write = false;
+  // The fd stays open until Shutdown reaps it: Send-side threads may still
+  // hold the Conn*, and fd reuse while registered pointers exist is worse
+  // than a parked descriptor.
+}
+
+void TcpTransport::BeginDrain() {
+  draining_ = true;
+  if (listen_fd_ >= 0) loop_.Remove(listen_fd_);
+  std::vector<Conn*> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.reserve(conns_.size());
+    for (const auto& c : conns_) conns.push_back(c.get());
+  }
+  TimestampUs deadline = EpollLoop::NowUs() + options_.io_timeout_us;
+  for (Conn* c : conns) {
+    if (c->dead.load(std::memory_order_relaxed)) continue;
+    c->drain_deadline_us = deadline;
+    if (c->registered) {
+      // Stop delivering inbound frames (the old reader threads exited at the
+      // stop flag); keep the write side open to flush.
+      loop_.Modify(c->fd, c->want_write ? EPOLLOUT : 0);
+      DrainConnOutbox(c);
+      if (!c->flushed) TryWrite(c);
+    } else {
+      KillConn(c);
+    }
+  }
+  CheckDrainDone();
+}
+
+void TcpTransport::CheckDrainDone() {
+  std::vector<Conn*> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.reserve(conns_.size());
+    for (const auto& c : conns_) conns.push_back(c.get());
+  }
+  bool pending = false;
+  TimestampUs now = EpollLoop::NowUs();
+  for (Conn* c : conns) {
+    if (c->dead.load(std::memory_order_relaxed) || c->flushed) continue;
+    DrainConnOutbox(c);
+    if (c->flushed) continue;
+    if (now >= c->drain_deadline_us) {
+      // No write progress for a whole grace period: the peer is stuck or
+      // gone. Abandon its remaining frames (best-effort flush, as before).
+      KillConn(c);
+      continue;
+    }
+    pending = true;
+  }
+  if (!pending) {
+    loop_.Stop();
+    return;
+  }
+  loop_.PostDelayed(options_.io_timeout_us / 4 + 1, [this] { CheckDrainDone(); });
 }
 
 transport::LinkTrafficMap TcpTransport::LinkTraffic() const {
@@ -522,36 +803,31 @@ std::map<net::MessageType, net::TrafficCounters> TcpTransport::ReceivedByType()
 void TcpTransport::Shutdown() {
   if (stopped_.exchange(true)) return;
 
-  // Unblock and collect the acceptor first so no new connections appear.
+  bool loop_started;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    loop_started = loop_started_;
+    // Close outboxes first: blocked senders unblock, and the loop's drain
+    // sees a fixed amount of work per connection.
+    for (const auto& c : conns_) c->outbox->Close();
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
 
-  std::vector<Conn*> conns;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (listen_fd_ >= 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
-    conns.reserve(conns_.size());
-    for (const auto& c : conns_) conns.push_back(c.get());
+  if (loop_started) {
+    loop_.Post([this] { BeginDrain(); });
+    if (loop_thread_.joinable()) loop_thread_.join();
   }
-  // Writers drain their outboxes (flushing e.g. the final kShutdown
-  // messages), then half-close; readers wake on their timeout tick or EOF.
-  for (Conn* c : conns) c->outbox->Close();
-  for (Conn* c : conns) {
-    if (c->writer.joinable()) c->writer.join();
-  }
-  for (Conn* c : conns) ::shutdown(c->fd, SHUT_RD);
-  for (Conn* c : conns) {
-    if (c->reader.joinable()) c->reader.join();
-  }
-  for (Conn* c : conns) ::close(c->fd);
 
   std::lock_guard<std::mutex> lock(mu_);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (const auto& c : conns_) {
+    if (c->fd >= 0) {
+      ::close(c->fd);
+      c->fd = -1;
+    }
+  }
   for (auto& [id, inbox] : inboxes_) {
     (void)id;
     inbox->Close();

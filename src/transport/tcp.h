@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,7 @@
 #include "net/message.h"
 #include "net/traffic_instruments.h"
 #include "obs/registry.h"
+#include "transport/epoll_transport.h"
 #include "transport/frame.h"
 #include "transport/transport.h"
 
@@ -45,6 +47,14 @@ struct TcpTransportOptions {
   int adopted_listen_fd = -1;
   /// Capacity of hosted inboxes in messages; 0 = unbounded.
   size_t inbox_capacity = 0;
+  /// Per-connection outbox bound in messages; 0 = unbounded. A full outbox
+  /// means the peer is not keeping up: `Send` counts `net.outbox_full` and
+  /// then blocks until space frees (`outbox_block`, the default — classic
+  /// backpressure) or fails with `NetworkError` so the caller sees the stall
+  /// (`outbox_block = false`). Either way memory stays bounded.
+  size_t outbox_capacity = 1024;
+  /// Whether `Send` blocks (true) or fails (false) on a full outbox.
+  bool outbox_block = true;
   /// Connection attempts before a dial fails (the peer may start later).
   int connect_attempts = 30;
   /// First retry delay; doubles per attempt up to the cap below. The actual
@@ -61,11 +71,24 @@ struct TcpTransportOptions {
   /// 1-based stream does not collide with its previous life's numbers inside
   /// receivers' dedup windows.
   uint32_t seq_epoch = 0;
-  /// Socket send/receive timeout. Blocked I/O wakes at this granularity to
-  /// notice shutdown; it is not a hard deadline on a transfer.
+  /// Dial-phase socket timeout and the per-connection grace period the
+  /// shutdown drain grants a stalled peer before abandoning its queued
+  /// frames (reset on write progress).
   DurationUs io_timeout_us = MillisUs(200);
+  /// Backoff before re-arming the listener after a hard accept error
+  /// (EMFILE and friends): the listener leaves the epoll set for this long
+  /// so a level-triggered ready listener cannot spin the loop.
+  DurationUs accept_backoff_us = MillisUs(10);
+  /// Testing hook: treat the first N accepted connections as hard accept
+  /// failures (close them and run the error/backoff path) to prove the
+  /// listener survives; 0 disables.
+  int inject_accept_failures = 0;
   /// Largest accepted frame payload (corrupt length-prefix defence).
   uint32_t max_frame_payload = 64u << 20;
+  /// Size of the arena blocks receive buffers are carved from. Payloads are
+  /// delivered as views into these blocks (zero-copy); a block is freed when
+  /// the loop has moved past it and no delivered message references it.
+  size_t recv_block_bytes = 256u << 10;
   /// Fault injection: probability per outbound frame of flipping one random
   /// byte after the length-prefix header (payload or CRC trailer) before it
   /// hits the socket, exercising the receiver's checksum path end to end.
@@ -80,7 +103,7 @@ struct TcpTransportOptions {
   obs::Registry* registry = nullptr;
 };
 
-/// \brief POSIX TCP implementation of `Transport`.
+/// \brief POSIX TCP implementation of `Transport` on a single epoll loop.
 ///
 /// One instance per OS process. It hosts the inboxes of this process's nodes
 /// (`AddLocalNode`), listens for inbound connections (`Start`), and dials
@@ -97,10 +120,16 @@ struct TcpTransportOptions {
 /// back over the same connection. In a star topology only the edge processes
 /// therefore need the root's address, never the reverse.
 ///
-/// Threads: one acceptor, plus one reader and one writer per connection.
-/// `Send` enqueues to the connection's outbox and never blocks on the
-/// socket; readers push received messages straight into the hosted inbox
-/// `Channel`s, so node run loops are identical to the simulation's.
+/// Threads: ONE I/O thread multiplexing every connection and the listener
+/// through an `EpollLoop` (non-blocking sockets, level-triggered). `Send`
+/// enqueues to the destination connection's bounded outbox and wakes the
+/// loop; the loop encodes queued frames and writes them with a single
+/// `writev` per connection per pass, so many small frames (synopses, gamma
+/// broadcasts, keyed envelopes) coalesce into one syscall. Received bytes
+/// land in shared arena blocks and payloads are delivered as zero-copy views
+/// into them (`Message::SetPayloadView`); only a partial frame straddling a
+/// block boundary is ever copied. Node run loops are identical to the
+/// simulation's.
 class TcpTransport final : public Transport {
  public:
   explicit TcpTransport(TcpTransportOptions options = TcpTransportOptions());
@@ -117,7 +146,7 @@ class TcpTransport final : public Transport {
   /// established lazily on the first send to \p id.
   Status AddPeer(NodeId id, const std::string& host, uint16_t port);
 
-  /// Opens the listener (unless configured off) and starts the acceptor.
+  /// Starts the I/O loop and opens the listener (unless configured off).
   Status Start();
 
   /// Port the listener is bound to (useful with an ephemeral `listen_port`).
@@ -144,19 +173,55 @@ class TcpTransport final : public Transport {
   /// the transport's own private registry).
   obs::Registry* registry() const { return registry_; }
 
-  /// Flushes outbound queues, closes the listener and every connection,
-  /// joins all I/O threads, and closes hosted inboxes. Idempotent.
+  /// Flushes outbound queues (bounded by a per-connection grace period),
+  /// closes the listener and every connection, joins the I/O thread, and
+  /// closes hosted inboxes. Idempotent.
   void Shutdown() override;
 
  private:
-  /// One live socket with its I/O threads.
+  /// One live socket. The fd/outbox/dead fields are shared with `Send`; all
+  /// other state belongs to the loop thread.
   struct Conn {
     int fd = -1;
-    /// Outbound queue; the writer thread drains it onto the socket.
+    /// Outbound queue; the loop drains it into encoded frames.
     std::unique_ptr<net::Channel> outbox;
-    std::thread reader;
-    std::thread writer;
     std::atomic<bool> dead{false};
+
+    // --- loop-thread-only from here -----------------------------------------
+    bool expect_hello = false;
+    /// Set once the loop has the fd in its epoll set (frames queued before
+    /// then wait in the outbox; the fd may still be blocking).
+    bool registered = false;
+    /// EPOLLOUT currently armed (a write hit EAGAIN).
+    bool want_write = false;
+    /// Shutdown drain finished for this conn (SHUT_WR sent or abandoned).
+    bool flushed = false;
+
+    /// Receive arena: the block being filled, the first unparsed byte, and
+    /// the first unfilled byte. Blocks are shared with delivered messages
+    /// (payload views), so parsed bytes are never overwritten — a full block
+    /// is replaced, carrying at most one partial frame forward by copy.
+    std::shared_ptr<std::vector<uint8_t>> rblock;
+    size_t rpos = 0;
+    size_t rend = 0;
+
+    /// An encoded frame waiting on the socket, with the metadata needed to
+    /// charge the sent-traffic instruments once it is fully written.
+    struct PendingFrame {
+      std::vector<uint8_t> bytes;
+      NodeId src = 0;
+      NodeId dst = 0;
+      net::MessageType type = net::MessageType::kShutdown;
+      uint64_t event_count = 0;
+    };
+    std::deque<PendingFrame> wq;
+    /// Total encoded bytes queued in `wq` (high-water check).
+    size_t wq_bytes = 0;
+    /// Bytes of `wq.front()` already written (partial writev progress).
+    size_t wq_head_off = 0;
+    /// Shutdown drain: abandon this conn when no write progress happens
+    /// before the deadline (reset on progress).
+    TimestampUs drain_deadline_us = 0;
   };
 
   /// Stamps the next per-destination sequence number (epoch in the top 8
@@ -168,11 +233,34 @@ class TcpTransport final : public Transport {
   /// Connects to host:port with bounded retry + exponential backoff and
   /// writes the hello preamble. Returns the connected fd.
   Result<int> DialWithRetry(const std::string& host, uint16_t port);
-  /// Wraps \p fd in a Conn with reader/writer threads (mu_ held).
+  /// Wraps \p fd in a Conn and posts its registration to the loop (mu_ held).
   Conn* AdoptLocked(int fd, bool expect_hello);
-  void AcceptLoop();
-  void ReaderLoop(Conn* c, bool expect_hello);
-  void WriterLoop(Conn* c);
+  /// Starts the loop thread on first use (Start, or a pure client's first
+  /// dial). Idempotent; safe from any thread.
+  Status EnsureLoopStarted();
+
+  // --- loop-thread handlers -------------------------------------------------
+  void RegisterConn(Conn* conn);
+  void OnAcceptReady();
+  void OnAcceptError(int err);
+  void OnConnEvent(Conn* conn, uint32_t events);
+  void ReadReady(Conn* conn);
+  /// Parses every complete frame in the read window; returns false when the
+  /// conn was killed (protocol error).
+  bool ParseFrames(Conn* conn);
+  /// Makes room for at least \p hint more unread bytes, moving a partial
+  /// frame into a fresh arena block when the current one is full.
+  void EnsureReadCapacity(Conn* conn, size_t hint);
+  /// Moves outbox messages into encoded pending frames (up to the in-flight
+  /// high-water mark) and attempts a writev pass.
+  void DrainOutboxes();
+  void DrainConnOutbox(Conn* conn);
+  void TryWrite(Conn* conn);
+  void KillConn(Conn* conn);
+  /// Shutdown (loop side): stop reading, flush every outbox, half-close.
+  void BeginDrain();
+  void CheckDrainDone();
+
   TcpTransportOptions options_;
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry* registry_;
@@ -182,11 +270,17 @@ class TcpTransport final : public Transport {
   net::TrafficInstruments recv_;
   std::atomic<bool> stopped_{false};
 
+  EpollLoop loop_;
+  std::thread loop_thread_;
+  /// Loop-thread-only shutdown state.
+  bool draining_ = false;
+  int accept_failures_to_inject_ = 0;
+
   mutable std::mutex mu_;  // guards everything below
   int listen_fd_ = -1;
   uint16_t bound_port_ = 0;
   bool started_ = false;
-  std::thread accept_thread_;
+  bool loop_started_ = false;
   std::map<NodeId, std::unique_ptr<net::Channel>> inboxes_;
   struct Peer {
     std::string host;
@@ -201,7 +295,7 @@ class TcpTransport final : public Transport {
   /// Dial-backoff jitter draw (own mutex: dialing happens outside mu_).
   std::mutex jitter_mu_;
   Rng jitter_rng_;
-  /// Corruption-injector draws (own mutex: shared by all writer threads).
+  /// Corruption-injector draws (loop thread only; mutex kept for safety).
   std::mutex corrupt_mu_;
   Rng corrupt_rng_;
   /// Frames corrupted: injected on send (`layer=inject`) and detected +
@@ -209,6 +303,10 @@ class TcpTransport final : public Transport {
   obs::Counter* c_corrupted_total_;
   obs::Counter* c_corrupted_inject_;
   obs::Counter* c_corrupted_recv_;
+  /// Hard accept errors survived (satellite: the listener never dies).
+  obs::Counter* c_accept_errors_;
+  /// Sends that found their connection's outbox full (backpressure events).
+  obs::Counter* c_outbox_full_;
 };
 
 }  // namespace dema::transport

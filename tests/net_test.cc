@@ -12,6 +12,7 @@
 #include "common/clock.h"
 #include "common/time.h"
 #include "net/channel.h"
+#include "net/dedup.h"
 #include "net/message.h"
 #include "net/network.h"
 #include "net/serializer.h"
@@ -472,6 +473,70 @@ TEST(FaultFabric, InjectedDuplicatesTaggedInPerLinkCounters) {
   EXPECT_EQ(counters.at("transport.sent.messages{link=1->0}"), 2u);
   EXPECT_EQ(counters.at("net.duplicates.messages{link=1->0}"), 1u);
   EXPECT_EQ(counters.at("net.duplicates.events{link=1->0}"), 4u);
+}
+
+TEST(SeqDedup, FlagsRepeatsAndPassesFreshSeqs) {
+  SeqDedup dedup;
+  EXPECT_FALSE(dedup.IsDuplicate(1, 1));
+  EXPECT_FALSE(dedup.IsDuplicate(1, 2));
+  EXPECT_TRUE(dedup.IsDuplicate(1, 2));
+  EXPECT_FALSE(dedup.IsDuplicate(2, 2));  // per-source streams are independent
+  EXPECT_FALSE(dedup.IsDuplicate(1, 3));
+  EXPECT_EQ(dedup.duplicates_seen(), 1u);
+}
+
+TEST(SeqDedup, SerialComparisonOrdersAcrossWraparound) {
+  EXPECT_TRUE(SeqDedup::SeqNewer(1, 0xFFFFFFFFu));
+  EXPECT_FALSE(SeqDedup::SeqNewer(0xFFFFFFFFu, 1));
+  EXPECT_TRUE(SeqDedup::SeqNewer(0x80000000u, 1));
+  EXPECT_FALSE(SeqDedup::SeqNewer(5, 5));
+}
+
+// Regression: with raw uint32_t comparison, every post-wrap seq compared
+// below max_seq, so the horizon froze and late traffic on a long-lived
+// connection was silently treated as duplicate-window history.
+TEST(SeqDedup, SurvivesSequenceWraparound) {
+  const uint32_t window = 64;
+  SeqDedup dedup(window);
+  // March a stream across the 2^32 boundary.
+  const uint32_t start = 0xFFFFFFFFu - 100;
+  for (uint32_t i = 0; i < 200; ++i) {
+    const uint32_t seq = start + i;  // wraps past 0xFFFFFFFF
+    if (seq == 0) continue;          // 0 is the unsequenced marker
+    EXPECT_FALSE(dedup.IsDuplicate(7, seq)) << "seq=" << seq;
+  }
+  // Post-wrap seqs still dedup as duplicates when replayed...
+  EXPECT_TRUE(dedup.IsDuplicate(7, start + 150));
+  // ...and fresh seqs after the wrap keep passing.
+  EXPECT_FALSE(dedup.IsDuplicate(7, start + 200));
+  EXPECT_EQ(dedup.duplicates_seen(), 1u);
+}
+
+TEST(SeqDedup, PrunesAcrossWrapWithoutReflaggingRecent) {
+  const uint32_t window = 16;
+  SeqDedup dedup(window);
+  // Fill well past the window across the wrap; the seen-set must stay
+  // bounded (pruning keeps working) and recent seqs must still be known.
+  const uint32_t start = 0xFFFFFFF0u;
+  uint32_t last = 0;
+  for (uint32_t i = 0; i < 64; ++i) {
+    const uint32_t seq = start + i;
+    if (seq == 0) continue;
+    ASSERT_FALSE(dedup.IsDuplicate(3, seq));
+    last = seq;
+  }
+  EXPECT_TRUE(dedup.IsDuplicate(3, last));
+  EXPECT_TRUE(dedup.IsDuplicate(3, last - window / 2));
+}
+
+TEST(SeqDedup, LateJoinStartsFromFirstObservedSeq) {
+  // A receiver that first hears a stream near the top of the sequence space
+  // must adopt that seq as its horizon anchor, not compare against 0.
+  SeqDedup dedup(32);
+  EXPECT_FALSE(dedup.IsDuplicate(9, 0xFFFFFF00u));
+  EXPECT_TRUE(dedup.IsDuplicate(9, 0xFFFFFF00u));
+  EXPECT_FALSE(dedup.IsDuplicate(9, 0xFFFFFF01u));
+  EXPECT_TRUE(dedup.IsDuplicate(9, 0xFFFFFF01u));
 }
 
 TEST(FaultFabric, SendStampsPerLinkSequenceNumbers) {

@@ -208,6 +208,78 @@ TEST(LoserTree, StreamingInterface) {
   EXPECT_FALSE(merger.HasNext());
 }
 
+// The merger documents that the global event order is strict across honest
+// runs, but callers can feed it runs that break the contract (replayed or
+// duplicated events). The tiebreak must keep the merge deterministic and
+// rank-select must still agree with a plain sort oracle.
+TEST(LoserTree, DuplicateEventsAcrossRunsMatchSortOracle) {
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t num_runs = static_cast<size_t>(rng.UniformInt(2, 12));
+    std::vector<std::vector<Event>> runs(num_runs);
+    std::vector<Event> all;
+    for (size_t n = 0; n < num_runs; ++n) {
+      const size_t len = static_cast<size_t>(rng.UniformInt(0, 40));
+      for (size_t i = 0; i < len; ++i) {
+        // Tiny alphabet everywhere: values, timestamps, node ids and seqs
+        // all collide, so runs share exactly-equal event tuples.
+        Event e{static_cast<double>(rng.UniformInt(0, 4)),
+                static_cast<TimestampUs>(rng.UniformInt(0, 2)),
+                static_cast<NodeId>(rng.UniformInt(0, 2)),
+                static_cast<uint32_t>(rng.UniformInt(0, 2))};
+        runs[n].push_back(e);
+        all.push_back(e);
+        // Sometimes mirror the identical event into a second run too.
+        if (rng.UniformInt(0, 3) == 0) {
+          runs[(n + 1) % num_runs].push_back(e);
+          all.push_back(e);
+        }
+      }
+    }
+    for (auto& run : runs) std::sort(run.begin(), run.end());
+    std::sort(all.begin(), all.end());
+    auto runs_copy = runs;
+    EXPECT_EQ(MergeSortedRuns(std::move(runs_copy)), all) << "trial " << trial;
+
+    if (all.empty()) continue;
+    std::vector<uint64_t> ranks = {1, static_cast<uint64_t>(all.size())};
+    for (int i = 0; i < 5; ++i) {
+      ranks.push_back(static_cast<uint64_t>(
+          rng.UniformInt(1, static_cast<int64_t>(all.size()))));
+    }
+    auto picked = SelectRanksFromRuns(std::move(runs), ranks);
+    ASSERT_TRUE(picked.ok()) << picked.status();
+    for (size_t i = 0; i < ranks.size(); ++i) {
+      EXPECT_EQ((*picked)[i], all[ranks[i] - 1])
+          << "trial " << trial << " rank " << ranks[i];
+    }
+  }
+}
+
+TEST(LoserTree, SkipMatchesRepeatedNext) {
+  Rng rng(5150);
+  for (size_t num_runs : {1u, 3u, 9u}) {  // covers flat and tree engines
+    std::vector<std::vector<Event>> runs;
+    for (uint32_t n = 0; n < num_runs; ++n) {
+      runs.push_back(RandomSortedRun(&rng, n, 120));
+    }
+    auto runs_copy = runs;
+    LoserTreeMerger stepper(std::move(runs_copy));
+    LoserTreeMerger skipper(std::move(runs));
+    uint64_t left = stepper.remaining();
+    while (left > 0) {
+      const uint64_t gap =
+          std::min<uint64_t>(left - 1, static_cast<uint64_t>(rng.UniformInt(0, 17)));
+      for (uint64_t i = 0; i < gap; ++i) stepper.Next();
+      skipper.Skip(gap);
+      ASSERT_EQ(stepper.remaining(), skipper.remaining());
+      ASSERT_EQ(stepper.Next(), skipper.Next());
+      left -= gap + 1;
+    }
+    EXPECT_FALSE(skipper.HasNext());
+  }
+}
+
 /// Oracle for SelectRanksFromRuns: materialize the full merge and index.
 std::vector<Event> SelectByFullMerge(std::vector<std::vector<Event>> runs,
                                      const std::vector<uint64_t>& ranks) {

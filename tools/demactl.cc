@@ -468,6 +468,8 @@ int CmdServeSharded(const Flags& flags) {
         static_cast<uint64_t>(flags.GetInt("windows", 3));
     opts.linger_us = static_cast<DurationUs>(flags.GetInt("linger-s", 10)) *
                      kMicrosPerSecond;
+    opts.outbox_capacity =
+        static_cast<size_t>(flags.GetInt("outbox-cap", 1024));
     opts.on_listening = [&](uint16_t port) {
       std::cerr << "demactl: sharded root listening on " << listen->first << ":"
                 << port << " (" << sc.num_shards << " shards, " << sc.num_keys
@@ -491,6 +493,8 @@ int CmdServeSharded(const Flags& flags) {
     opts.root_host = root->first;
     opts.root_port = root->second;
     opts.timeout_us = timeout_us;
+    opts.outbox_capacity =
+        static_cast<size_t>(flags.GetInt("outbox-cap", 1024));
     auto report = shard::RunShardedTcpLocal(sc, *load_result, id, opts);
     if (!report.ok()) return Fail(report.status().ToString());
     std::cout << "keyed local " << id << ": ingested "
@@ -520,6 +524,8 @@ int CmdServe(const Flags& flags) {
     opts.listen_host = listen->first;
     opts.listen_port = listen->second;
     opts.timeout_us = timeout_us;
+    opts.outbox_capacity =
+        static_cast<size_t>(flags.GetInt("outbox-cap", 1024));
     opts.on_listening = [&](uint16_t port) {
       std::cerr << "demactl: root listening on " << listen->first << ":" << port
                 << ", waiting for " << config.num_locals << " locals\n";
@@ -539,6 +545,8 @@ int CmdServe(const Flags& flags) {
     opts.root_host = root->first;
     opts.root_port = root->second;
     opts.timeout_us = timeout_us;
+    opts.outbox_capacity =
+        static_cast<size_t>(flags.GetInt("outbox-cap", 1024));
     auto report = sim::RunTcpLocal(config, *load_result, id, opts);
     if (!report.ok()) return Fail(report.status().ToString());
     uint64_t sent_bytes = 0;
@@ -825,7 +833,9 @@ int main(int argc, char** argv) {
          "--role=local --id=I --root=H:P\n"
          "               add --shards=S --keys=K for the multi-tenant\n"
          "               service (root answers `demactl query` live;\n"
-         "               --windows= horizon, --linger-s= query window)\n"
+         "               --windows= horizon, --linger-s= query window);\n"
+         "               --outbox-cap=N bounds per-connection send\n"
+         "               queues (0 = unbounded; default 1024)\n"
          "  shard        in-process multi-tenant run: --shards= --keys=\n"
          "               --locals= --workers= --windows= --rate=\n"
          "  query        concurrent queries against a sharded root:\n"
