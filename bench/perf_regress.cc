@@ -97,11 +97,16 @@ std::string ModeJson(const ModeResult& r) {
 /// one thread per local, loopback sockets, zero-copy receive path. Measures
 /// the transport end to end — framing, writev coalescing, CRC verify, arena
 /// decode — with `network_total` counted from bytes actually on the sockets.
-ModeResult RunTcpMode(const sim::SystemConfig& base,
-                      const sim::WorkloadConfig& load) {
+/// With \p session tuning enabled the run additionally carries the whole
+/// resilience layer (heartbeat pings/pongs, cumulative acks, the per-session
+/// retention window) so CI can gate its overhead against the bare transport.
+ModeResult RunTcpMode(const std::string& mode, const sim::SystemConfig& base,
+                      const sim::WorkloadConfig& load,
+                      const sim::TcpSessionTuning& session =
+                          sim::TcpSessionTuning()) {
   sim::SystemConfig config = base;
   ModeResult result;
-  result.mode = "tcp";
+  result.mode = mode;
 
   uint16_t port = 0;
   std::mutex port_mu;
@@ -110,6 +115,7 @@ ModeResult RunTcpMode(const sim::SystemConfig& base,
   std::thread root_thread([&] {
     sim::TcpRootOptions opts;
     opts.listen_port = 0;
+    opts.session = session;
     opts.on_listening = [&](uint16_t p) {
       std::lock_guard<std::mutex> lock(port_mu);
       port = p;
@@ -130,6 +136,7 @@ ModeResult RunTcpMode(const sim::SystemConfig& base,
     locals.emplace_back([&, i] {
       sim::TcpLocalOptions opts;
       opts.root_port = port;
+      opts.session = session;
       reports[i] =
           sim::RunTcpLocal(config, load, static_cast<NodeId>(i + 1), opts);
     });
@@ -240,12 +247,21 @@ int main(int argc, char** argv) {
 
   ModeResult inline_run = RunMode("inline", 0, config, load);
   ModeResult threaded_run = RunMode("threaded", workers, config, load);
-  ModeResult tcp_run = RunTcpMode(config, load);
+  ModeResult tcp_run = RunTcpMode("tcp", config, load);
+  // The resilient TCP path: heartbeats probing every connection, cumulative
+  // acks per read pass, every data frame retained until acked. Its events/s
+  // is gated against the baseline like the bare transport's, so ack and
+  // retention overhead cannot creep past the regression bar unnoticed.
+  sim::TcpSessionTuning session;
+  session.heartbeat_interval_us = MillisUs(5);
+  session.auto_reconnect = true;
+  ModeResult tcp_hb_run = RunTcpMode("tcp_resilient", config, load, session);
 
   Table table({"mode", "events", "events/s (wall)", "events/s (sim)",
                "select total ms", "select p99 us", "win p99 ms",
                "peak retained", "bytes/event"});
-  for (const ModeResult* r : {&inline_run, &threaded_run, &tcp_run}) {
+  for (const ModeResult* r :
+       {&inline_run, &threaded_run, &tcp_run, &tcp_hb_run}) {
     bench::UnwrapStatus(
         table.AddRow({r->mode, FmtCount(r->metrics.events_ingested),
                       FmtF(r->metrics.throughput_eps, 0),
@@ -290,7 +306,8 @@ int main(int argc, char** argv) {
       .Field("threaded_workers", static_cast<uint64_t>(workers))
       .RawField("inline", ModeJson(inline_run))
       .RawField("threaded", ModeJson(threaded_run))
-      .RawField("tcp", ModeJson(tcp_run));
+      .RawField("tcp", ModeJson(tcp_run))
+      .RawField("tcp_resilient", ModeJson(tcp_hb_run));
   for (const KeyedResult& r : keyed) {
     w.RawField("keyed_" + std::to_string(r.keys), KeyedJson(r));
   }

@@ -30,6 +30,22 @@ bool Channel::TryPush(Message m) {
   return true;
 }
 
+Channel::PushResult Channel::PushFor(Message* m, DurationUs timeout_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (capacity_ > 0) {
+    cv_push_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                      [&] { return closed_ || queue_.size() < capacity_; });
+  }
+  if (closed_) return PushResult::kClosed;
+  if (capacity_ > 0 && queue_.size() >= capacity_) return PushResult::kFull;
+  counters_.messages += 1;
+  counters_.bytes += m->WireBytes();
+  counters_.events += m->event_count;
+  queue_.push_back(std::move(*m));
+  cv_pop_.notify_one();
+  return PushResult::kPushed;
+}
+
 std::optional<Message> Channel::Pop() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_pop_.wait(lock, [&] { return closed_ || !queue_.empty(); });

@@ -49,6 +49,20 @@ class Channel {
   /// Enqueues \p m if space is available; never blocks.
   bool TryPush(Message m);
 
+  /// Outcome of a bounded-wait push (`PushFor`).
+  enum class PushResult {
+    kPushed,  ///< enqueued; *m was consumed
+    kFull,    ///< still full after the timeout; *m left intact
+    kClosed,  ///< channel closed; *m left intact
+  };
+
+  /// Enqueues \p *m, waiting up to \p timeout_us for space. Unlike `Push`,
+  /// the wait is bounded — callers that must stay responsive to external
+  /// shutdown (e.g. the TCP transport's `Send` watching for a dead I/O
+  /// loop) poll in timeout-sized slices. On `kFull`/`kClosed` the message
+  /// is left in \p *m so the caller can retry or report it.
+  PushResult PushFor(Message* m, DurationUs timeout_us);
+
   /// Dequeues the next message, blocking until one is available or the
   /// channel is closed-and-drained (returns nullopt then).
   std::optional<Message> Pop();

@@ -40,8 +40,59 @@ const char* MessageTypeToString(MessageType type) {
       return "ShardQuery";
     case MessageType::kShardQueryReply:
       return "ShardQueryReply";
+    case MessageType::kHeartbeat:
+      return "Heartbeat";
+    case MessageType::kAck:
+      return "Ack";
   }
   return "Unknown";
+}
+
+void Heartbeat::SerializeTo(Writer* w) const {
+  w->PutU8(static_cast<uint8_t>(kind));
+  w->PutI64(probe_time_us);
+}
+
+Result<Heartbeat> Heartbeat::Deserialize(Reader* r) {
+  Heartbeat h;
+  uint8_t kind = 0;
+  DEMA_RETURN_NOT_OK(r->GetU8(&kind));
+  if (kind > static_cast<uint8_t>(Kind::kPong)) {
+    return Status::SerializationError("heartbeat with unknown kind " +
+                                      std::to_string(kind));
+  }
+  h.kind = static_cast<Kind>(kind);
+  DEMA_RETURN_NOT_OK(r->GetI64(&h.probe_time_us));
+  return h;
+}
+
+void CumulativeAck::SerializeTo(Writer* w) const {
+  w->PutU32(static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    w->PutU32(e.src);
+    w->PutU32(e.dst);
+    w->PutU32(e.cum_seq);
+  }
+}
+
+Result<CumulativeAck> CumulativeAck::Deserialize(Reader* r) {
+  CumulativeAck a;
+  uint32_t count = 0;
+  DEMA_RETURN_NOT_OK(r->GetU32(&count));
+  // An ack never legitimately carries more streams than the sender hosts
+  // nodes; reuse the hello bound as the corrupt-count defence.
+  if (count > (1u << 16)) {
+    return Status::SerializationError("ack announces too many streams");
+  }
+  a.entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    DEMA_RETURN_NOT_OK(r->GetU32(&e.src));
+    DEMA_RETURN_NOT_OK(r->GetU32(&e.dst));
+    DEMA_RETURN_NOT_OK(r->GetU32(&e.cum_seq));
+    a.entries.push_back(e);
+  }
+  return a;
 }
 
 void TimeAdvance::SerializeTo(Writer* w) const {

@@ -65,6 +65,15 @@ enum class MessageType : uint16_t {
   kShardQuery = 16,
   /// Shard service -> query client: per-key answers (`net::KeyedQueryReply`).
   kShardQueryReply = 17,
+  /// Transport-internal liveness probe/echo (`net::Heartbeat`). Never enters
+  /// node inboxes or the simulated fabric; excluded from link-traffic
+  /// accounting so byte parity with the fabric stays exact.
+  kHeartbeat = 18,
+  /// Transport-internal cumulative delivery acknowledgement
+  /// (`net::CumulativeAck`): the receive side's highest-contiguous sequence
+  /// number per (src, dst) stream, freeing the sender's retained frames.
+  /// Transport control, same accounting exclusion as `kHeartbeat`.
+  kAck = 19,
 };
 
 /// \brief Returns a readable name for a message type, e.g. "EventBatch".
@@ -73,7 +82,7 @@ const char* MessageTypeToString(MessageType type);
 /// Fixed per-message envelope overhead charged to the wire: an 18-byte
 /// header (type + src + dst + sequence number + payload length) plus a
 /// 4-byte CRC32C trailer covering header and payload, mirroring a small
-/// framed TCP protocol (see `docs/PROTOCOL.md`, protocol version 2).
+/// framed TCP protocol (see `docs/PROTOCOL.md`, protocol version 3).
 inline constexpr uint64_t kEnvelopeWireBytes =
     sizeof(uint16_t) + 2 * sizeof(NodeId) + 2 * sizeof(uint32_t) +
     /*crc32c trailer*/ sizeof(uint32_t);
@@ -208,6 +217,43 @@ struct WindowEnd {
 
   void SerializeTo(Writer* w) const;
   static Result<WindowEnd> Deserialize(Reader* r);
+};
+
+/// \brief Payload: transport-level liveness probe (`kHeartbeat`).
+///
+/// A ping carries the sender's monotonic send instant; the peer echoes it
+/// back unchanged in a pong, so the pinger reads its per-peer RTT without
+/// either side sharing a clock. Heartbeats are connection-scoped control
+/// traffic: they are unsequenced (seq 0), never reach an inbox, and are
+/// excluded from the link-traffic instruments.
+struct Heartbeat {
+  enum class Kind : uint8_t { kPing = 0, kPong = 1 };
+  Kind kind = Kind::kPing;
+  /// Pinger's monotonic clock at send time, echoed verbatim by the pong.
+  TimestampUs probe_time_us = 0;
+
+  void SerializeTo(Writer* w) const;
+  static Result<Heartbeat> Deserialize(Reader* r);
+};
+
+/// \brief Payload: cumulative per-stream delivery acknowledgement (`kAck`).
+///
+/// Each entry acknowledges one (src, dst) sequence stream: every frame with
+/// a serial number <= `cum_seq` (RFC 1982 comparison, within the epoch the
+/// number's top byte names) has been received. Receivers coalesce all
+/// streams that progressed during a read pass into one frame; senders drop
+/// the acked prefix of their retained-frame window.
+struct CumulativeAck {
+  struct Entry {
+    NodeId src = 0;
+    NodeId dst = 0;
+    /// Highest contiguously received sequence number of the stream.
+    uint32_t cum_seq = 0;
+  };
+  std::vector<Entry> entries;
+
+  void SerializeTo(Writer* w) const;
+  static Result<CumulativeAck> Deserialize(Reader* r);
 };
 
 /// \brief Payload: a data-stream node's event-time progress marker.

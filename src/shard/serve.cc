@@ -53,6 +53,8 @@ Result<ShardedServeReport> RunShardedTcpRoot(
   topts.adopted_listen_fd = options.adopted_listen_fd;
   topts.inbox_capacity = options.inbox_capacity;
   topts.outbox_capacity = options.outbox_capacity;
+  topts.heartbeat_interval_us = options.heartbeat_interval_us;
+  topts.heartbeat_misses = options.heartbeat_misses;
   topts.registry = cfg.registry;
   transport::TcpTransport transport(topts);
   DEMA_RETURN_NOT_OK(transport.AddLocalNode(0));
@@ -148,6 +150,9 @@ Result<ShardedTcpLocalReport> RunShardedTcpLocal(
   transport::TcpTransportOptions topts;
   topts.listen = false;  // pure client: replies arrive over the dialed conn
   topts.outbox_capacity = options.outbox_capacity;
+  topts.heartbeat_interval_us = options.heartbeat_interval_us;
+  topts.heartbeat_misses = options.heartbeat_misses;
+  topts.auto_reconnect = options.auto_reconnect;
   transport::TcpTransport transport(topts);
   DEMA_RETURN_NOT_OK(transport.AddLocalNode(id));
   DEMA_RETURN_NOT_OK(

@@ -36,6 +36,12 @@ struct ShardedServeOptions {
   /// long before releasing the locals; a query client's `kShutdown` frame
   /// ends the linger early. 0 = release immediately.
   DurationUs linger_us = 0;
+  /// Heartbeat period for idle connections (`demactl serve
+  /// --heartbeat-us`): dead query clients and locals are detected and
+  /// reaped instead of holding sessions forever. 0 disables.
+  DurationUs heartbeat_interval_us = 0;
+  /// Silent heartbeat intervals before a peer is declared dead.
+  int heartbeat_misses = 3;
   std::function<void(uint16_t)> on_listening;
 };
 
@@ -64,6 +70,11 @@ struct ShardedTcpLocalOptions {
   DurationUs timeout_us = 120 * kMicrosPerSecond;
   /// Per-connection outbox bound in messages (0 = unbounded).
   size_t outbox_capacity = 1024;
+  /// Heartbeat period (0 disables); with `auto_reconnect` the local redials
+  /// the root after a severed connection and replays unacked frames.
+  DurationUs heartbeat_interval_us = 0;
+  int heartbeat_misses = 3;
+  bool auto_reconnect = false;
 };
 
 /// \brief What a keyed local measured.

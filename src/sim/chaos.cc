@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "common/rng.h"
 #include "dema/local_node.h"
 #include "dema/root_node.h"
 #include "gen/generator.h"
@@ -190,6 +191,62 @@ Result<FaultPlan> ParseFaultSchedule(const std::string& spec) {
     }
   }
   return plan;
+}
+
+Result<ConnChaosPlan> ParseConnKillSpec(const std::string& spec) {
+  ConnChaosPlan plan;
+  if (spec.empty()) return plan;
+  size_t at = spec.find('@');
+  if (at == std::string::npos) {
+    return Status::InvalidArgument("bad conn-kill spec '" + spec +
+                                   "': expected N@FROM..UNTIL");
+  }
+  uint64_t kills = 0;
+  if (!ParseU64(spec.substr(0, at), &kills) || kills == 0) {
+    return Status::InvalidArgument("bad conn-kill spec '" + spec +
+                                   "': kill count must be a positive integer");
+  }
+  std::string range = spec.substr(at + 1);
+  size_t dots = range.find("..");
+  uint64_t from = 0, until = 0;
+  if (dots == std::string::npos) {
+    if (!ParseU64(range, &from)) {
+      return Status::InvalidArgument("bad conn-kill spec '" + spec +
+                                     "': bad frame index");
+    }
+    until = from + 1;
+  } else if (!ParseU64(range.substr(0, dots), &from) ||
+             !ParseU64(range.substr(dots + 2), &until) || until <= from) {
+    return Status::InvalidArgument("bad conn-kill spec '" + spec +
+                                   "': bad frame range (need FROM < UNTIL)");
+  }
+  plan.kills = kills;
+  plan.from_frame = from;
+  plan.until_frame = until;
+  return plan;
+}
+
+std::vector<uint64_t> BuildKillSchedule(const ConnChaosPlan& plan,
+                                        uint64_t salt) {
+  std::vector<uint64_t> schedule;
+  if (plan.empty()) return schedule;
+  // Deterministic spread: draw each kill point uniformly over the frame
+  // range from an rng keyed on (range, salt). Duplicate draws collapse to
+  // one kill per frame index (the transport fires at most one kill per
+  // written frame anyway), so the schedule length may be < plan.kills on
+  // tiny ranges — the caller asked for "about N kills in this interval".
+  Rng rng(0x9E3779B97F4A7C15ull ^ (salt * 0xBF58476D1CE4E5B9ull) ^
+          (plan.from_frame << 32) ^ plan.until_frame);
+  schedule.reserve(plan.kills);
+  for (uint64_t i = 0; i < plan.kills; ++i) {
+    schedule.push_back(static_cast<uint64_t>(rng.UniformInt(
+        static_cast<int64_t>(plan.from_frame),
+        static_cast<int64_t>(plan.until_frame - 1))));
+  }
+  std::sort(schedule.begin(), schedule.end());
+  schedule.erase(std::unique(schedule.begin(), schedule.end()),
+                 schedule.end());
+  return schedule;
 }
 
 namespace {

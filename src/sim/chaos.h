@@ -85,6 +85,32 @@ struct FaultPlan {
 /// `tamper=NODE@FROM..UNTIL`. Unknown keys fail.
 Result<FaultPlan> ParseFaultSchedule(const std::string& spec);
 
+/// \brief A connection-level kill plan for the TCP transport's session
+/// layer: \p kills socket severances spread deterministically over the
+/// data-frame interval [`from_frame`, `until_frame`). Unlike the fabric
+/// faults above this targets *connections*, not messages — every kill drops
+/// the in-flight socket state and exercises heartbeat detection, redial, and
+/// acked-frame replay.
+struct ConnChaosPlan {
+  uint64_t kills = 0;
+  uint64_t from_frame = 0;
+  uint64_t until_frame = 0;
+  bool empty() const { return kills == 0; }
+};
+
+/// \brief Parses a conn-kill spec of the form `N@FROM..UNTIL`, e.g.
+/// `3@10..200` = sever the connection 3 times, somewhere between the 10th
+/// and 200th data frame written. `N@FROM` pins all kills at one point.
+Result<ConnChaosPlan> ParseConnKillSpec(const std::string& spec);
+
+/// \brief Expands a plan into a sorted cumulative-data-frame kill schedule
+/// (the `TcpTransportOptions::kill_conn_schedule` format). \p salt
+/// decorrelates the schedules of different nodes running the same plan, so a
+/// cluster's kills do not land in lockstep; the same (plan, salt) always
+/// yields the same schedule.
+std::vector<uint64_t> BuildKillSchedule(const ConnChaosPlan& plan,
+                                        uint64_t salt);
+
 /// \brief Per-window outcome of a chaos run, checked against an oracle over
 /// the events that were actually fed (a crashed node's events are lost at the
 /// source, so they are not part of the ground truth).

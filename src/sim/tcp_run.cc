@@ -3,6 +3,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -93,6 +94,21 @@ net::Message ShutdownMessage(NodeId src, NodeId dst) {
   return m;
 }
 
+/// One-line child report for the forked-cluster pipe. Extended with the
+/// session-resilience counters so the parent can both merge cluster-wide
+/// accounting and assert that scheduled connection faults actually fired.
+void WriteChildReport(int fd, const TcpLocalReport& report) {
+  ::dprintf(fd,
+            "ok events=%llu kills=%llu down=%llu redials=%llu replayed=%llu "
+            "partial=%llu\n",
+            static_cast<unsigned long long>(report.events_ingested),
+            static_cast<unsigned long long>(report.conn_kills),
+            static_cast<unsigned long long>(report.peer_down),
+            static_cast<unsigned long long>(report.reconnects),
+            static_cast<unsigned long long>(report.replayed_frames),
+            static_cast<unsigned long long>(report.partial_frame_drops));
+}
+
 /// Run-owned observability state (mirrors the driver runners): when the
 /// caller did not supply a registry or tracer, the run creates them and hands
 /// ownership out via RunMetrics.
@@ -128,6 +144,10 @@ Result<RunMetrics> RunTcpRoot(const SystemConfig& config,
   topts.adopted_listen_fd = options.adopted_listen_fd;
   topts.inbox_capacity = options.root_inbox_capacity;
   topts.outbox_capacity = options.outbox_capacity;
+  topts.heartbeat_interval_us = options.session.heartbeat_interval_us;
+  topts.heartbeat_misses = options.session.heartbeat_misses;
+  topts.auto_reconnect = options.session.auto_reconnect;
+  topts.retransmit_timeout_us = options.session.retransmit_timeout_us;
   topts.registry = cfg.registry;
   transport::TcpTransport transport(topts);
   DEMA_RETURN_NOT_OK(transport.AddLocalNode(0));
@@ -224,6 +244,15 @@ Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
   topts.registry = config.registry;
   topts.seq_epoch = options.seq_epoch;
   topts.outbox_capacity = options.outbox_capacity;
+  topts.heartbeat_interval_us = options.session.heartbeat_interval_us;
+  topts.heartbeat_misses = options.session.heartbeat_misses;
+  topts.auto_reconnect = options.session.auto_reconnect;
+  topts.retransmit_timeout_us = options.session.retransmit_timeout_us;
+  topts.kill_conn_schedule = options.kill_conn_frames;
+  topts.write_stall_after_frames = options.write_stall_after_frames;
+  topts.write_stall_us = options.write_stall_us;
+  topts.corrupt_rate = options.corrupt_rate;
+  topts.corrupt_seed = options.corrupt_seed;
   transport::TcpTransport transport(topts);
   DEMA_RETURN_NOT_OK(transport.AddLocalNode(id));
   DEMA_RETURN_NOT_OK(transport.AddPeer(0, options.root_host, options.root_port));
@@ -357,6 +386,16 @@ Result<TcpLocalReport> RunTcpLocal(const SystemConfig& config,
 
   report.sent_links = transport.LinkTraffic();
   report.sent_by_type = transport.TrafficByType();
+  // Resilience accounting for the parent's cluster-wide merge. Read off the
+  // transport's registry so it works both with a caller-provided registry
+  // and the transport-owned fallback.
+  obs::Registry* reg = transport.registry();
+  report.conn_kills = reg->GetCounter("net.conn_kills{layer=inject}")->Value();
+  report.peer_down = reg->GetCounter("net.peer_down")->Value();
+  report.reconnects = reg->GetCounter("net.reconnects")->Value();
+  report.replayed_frames = reg->GetCounter("net.replayed_frames")->Value();
+  report.partial_frame_drops =
+      reg->GetCounter("net.partial_frame_drops")->Value();
   return report;
 }
 
@@ -388,6 +427,18 @@ Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
           "crash recovery needs root_deadline_ticks > 0: the root must retry "
           "candidate requests that died with the crashed process");
     }
+  }
+  if ((!fault.conn_kill.empty() || fault.corrupt_rate > 0) &&
+      fault.session.heartbeat_interval_us <= 0) {
+    return Status::InvalidArgument(
+        "connection chaos needs session.heartbeat_interval_us > 0: lost "
+        "frames are recovered by the ack/retransmit machinery, which rides "
+        "the heartbeat tick");
+  }
+  if (!fault.conn_kill.empty() && !fault.session.auto_reconnect) {
+    return Status::InvalidArgument(
+        "conn_kill chaos needs session.auto_reconnect: a severed local has "
+        "no other way back to the root");
   }
 
   // Bind before forking: children dial a port guaranteed to be accepting,
@@ -473,11 +524,11 @@ Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
         lopts.root_port = actual_port;
         lopts.restore_path = ckpt;
         lopts.seq_epoch = 1;
+        lopts.session = fault.session;
         auto report = RunTcpLocal(config, workload, node, lopts);
         if (report.ok()) {
           // Lifetime total: the checkpoint carried generation 1's count.
-          ::dprintf(pipe_fds[1], "ok events=%llu\n",
-                    static_cast<unsigned long long>(report->events_ingested));
+          WriteChildReport(pipe_fds[1], *report);
         } else {
           ::dprintf(pipe_fds[1], "error %s\n",
                     report.status().ToString().c_str());
@@ -488,10 +539,22 @@ Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
       TcpLocalOptions lopts;
       lopts.root_host = host;
       lopts.root_port = actual_port;
+      lopts.session = fault.session;
+      if (!fault.conn_kill.empty()) {
+        // Salt by node id: each local severs its link at different points
+        // in its own frame stream, so kills do not land in lockstep.
+        lopts.kill_conn_frames = BuildKillSchedule(fault.conn_kill, node);
+      }
+      if (fault.corrupt_rate > 0) {
+        lopts.corrupt_rate = fault.corrupt_rate;
+        lopts.corrupt_seed =
+            (fault.corrupt_seed == 0 ? 0x5EEDu : fault.corrupt_seed) + node;
+      }
+      lopts.write_stall_after_frames = fault.write_stall_after_frames;
+      lopts.write_stall_us = fault.write_stall_us;
       auto report = RunTcpLocal(config, workload, node, lopts);
       if (report.ok()) {
-        ::dprintf(pipe_fds[1], "ok events=%llu\n",
-                  static_cast<unsigned long long>(report->events_ingested));
+        WriteChildReport(pipe_fds[1], *report);
       } else {
         ::dprintf(pipe_fds[1], "error %s\n",
                   report.status().ToString().c_str());
@@ -505,10 +568,14 @@ Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
 
   TcpRootOptions ropts;
   ropts.adopted_listen_fd = listen_fd;
+  ropts.session = fault.session;
+  ropts.on_result = fault.on_result;
   auto metrics = RunTcpRoot(config, workload.ExpectedWindows(), ropts);
 
   // Collect every child regardless of the root's outcome.
   uint64_t events_total = 0;
+  uint64_t kills_total = 0, down_total = 0, redials_total = 0;
+  uint64_t replayed_total = 0, partial_total = 0;
   Status child_status = Status::OK();
   for (const Child& c : children) {
     std::string text;
@@ -520,9 +587,20 @@ Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
     ::close(c.report_fd);
     int wstatus = 0;
     ::waitpid(c.pid, &wstatus, 0);
-    unsigned long long events = 0;
-    if (std::sscanf(text.c_str(), "ok events=%llu", &events) == 1) {
+    unsigned long long events = 0, kills = 0, down = 0, redials = 0,
+                       replayed = 0, partial = 0;
+    int matched = std::sscanf(
+        text.c_str(),
+        "ok events=%llu kills=%llu down=%llu redials=%llu replayed=%llu "
+        "partial=%llu",
+        &events, &kills, &down, &redials, &replayed, &partial);
+    if (matched >= 1) {
       events_total += events;
+      kills_total += kills;
+      down_total += down;
+      redials_total += redials;
+      replayed_total += replayed;
+      partial_total += partial;
     } else if (child_status.ok()) {
       child_status = Status::Internal(
           "local node process failed: " +
@@ -532,12 +610,120 @@ Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
   DEMA_RETURN_NOT_OK(child_status);
   DEMA_RETURN_NOT_OK(metrics.status());
 
+  // Fold the children's resilience accounting into the run registry: the
+  // root's own counters already live there, so after this merge the cluster
+  // totals are observable from one place (`metrics.registry`).
+  if (metrics->registry != nullptr) {
+    obs::Registry* reg = metrics->registry.get();
+    reg->GetCounter("net.conn_kills{layer=inject}")->Increment(kills_total);
+    reg->GetCounter("net.peer_down")->Increment(down_total);
+    reg->GetCounter("net.reconnects")->Increment(redials_total);
+    reg->GetCounter("net.replayed_frames")->Increment(replayed_total);
+    reg->GetCounter("net.partial_frame_drops")->Increment(partial_total);
+  }
+
   metrics->events_ingested = events_total;
   metrics->throughput_eps =
       metrics->wall_seconds > 0
           ? static_cast<double>(events_total) / metrics->wall_seconds
           : 0;
   return std::move(metrics).MoveValueUnsafe();
+}
+
+Result<TcpConnChaosReport> RunTcpConnChaos(const SystemConfig& config,
+                                           const WorkloadConfig& workload,
+                                           const TcpClusterFaultOptions& fault,
+                                           const std::string& host,
+                                           uint16_t port) {
+  if (fault.conn_kill.empty() && fault.corrupt_rate <= 0) {
+    return Status::InvalidArgument(
+        "conn-chaos run without connection faults: set conn_kill and/or "
+        "corrupt_rate");
+  }
+  TcpConnChaosReport report;
+
+  // --- faulted run: real processes, real sockets, scheduled severances ---
+  TcpClusterFaultOptions f = fault;
+  f.on_result = [&](const WindowOutput& out) {
+    report.outputs.push_back(out);
+    if (fault.on_result) fault.on_result(out);
+  };
+  SystemConfig tcp_config = config;
+  tcp_config.registry = nullptr;  // own registry: children's counters merge
+  tcp_config.tracer = nullptr;
+  DEMA_ASSIGN_OR_RETURN(report.metrics, RunTcpClusterForked(
+                                            tcp_config, workload, f, host,
+                                            port));
+  if (report.metrics.registry != nullptr) {
+    obs::Registry* reg = report.metrics.registry.get();
+    report.conn_kills =
+        reg->GetCounter("net.conn_kills{layer=inject}")->Value();
+    report.peer_down = reg->GetCounter("net.peer_down")->Value();
+    report.reconnects = reg->GetCounter("net.reconnects")->Value();
+    report.replayed_frames = reg->GetCounter("net.replayed_frames")->Value();
+    report.partial_frame_drops =
+        reg->GetCounter("net.partial_frame_drops")->Value();
+  }
+
+  // --- reference run: the deterministic in-process fabric, fault-free ---
+  // Runs after the forked run on purpose: forking must precede thread
+  // creation, and the reference run spins up worker threads.
+  RealClock clock;
+  SystemConfig ref_config = config;
+  obs::Registry ref_registry;
+  obs::TraceRecorder ref_tracer;
+  ref_config.registry = &ref_registry;
+  ref_config.tracer = &ref_tracer;
+  net::Network network(&clock);
+  DEMA_ASSIGN_OR_RETURN(auto system,
+                        BuildSystem(ref_config, &network, &clock, 0));
+  SyncDriver driver(&system, &network, &clock);
+  DEMA_RETURN_NOT_OK(driver.Run(workload));
+  report.reference = driver.outputs();
+
+  // --- the contract ---
+  auto violate = [&](const std::string& why) {
+    if (report.violation.empty()) report.violation = why;
+  };
+  if (!fault.conn_kill.empty() && report.conn_kills == 0) {
+    violate("conn-kill schedule never fired: the run proved nothing");
+  }
+  if (report.conn_kills > 0 && report.replayed_frames == 0) {
+    violate("connections were severed but no frame was ever replayed");
+  }
+  if (report.outputs.size() != report.reference.size()) {
+    violate("faulted run emitted " + std::to_string(report.outputs.size()) +
+            " windows, reference " +
+            std::to_string(report.reference.size()));
+  }
+  // Match windows by id, not emission order: an injected stall or severance
+  // can delay one window's candidates past the next window's completion, so
+  // the faulted root may emit out of order — that reordering is fine; the
+  // *values* must still be exact.
+  auto by_window = [](const WindowOutput& a, const WindowOutput& b) {
+    return a.window_id < b.window_id;
+  };
+  std::sort(report.outputs.begin(), report.outputs.end(), by_window);
+  std::sort(report.reference.begin(), report.reference.end(), by_window);
+  size_t common = std::min(report.outputs.size(), report.reference.size());
+  for (size_t i = 0; i < common; ++i) {
+    const WindowOutput& got = report.outputs[i];
+    const WindowOutput& want = report.reference[i];
+    if (got.degraded) {
+      ++report.degraded_windows;
+      violate("window " + std::to_string(got.window_id) +
+              " degraded (" + got.degrade_cause +
+              ") despite session resilience");
+      continue;
+    }
+    if (got.window_id != want.window_id || got.values != want.values ||
+        got.global_size != want.global_size) {
+      ++report.mismatched_windows;
+      violate("window " + std::to_string(got.window_id) +
+              " diverged from the fault-free reference");
+    }
+  }
+  return report;
 }
 
 }  // namespace dema::sim

@@ -8,12 +8,24 @@
 #include "common/result.h"
 #include "common/time.h"
 #include "gen/generator.h"
+#include "sim/chaos.h"
 #include "sim/driver.h"
 #include "sim/metrics.h"
 #include "sim/topology.h"
 #include "transport/tcp.h"
 
 namespace dema::sim {
+
+/// \brief Session-resilience knobs shared by the root and local runners,
+/// mapped 1:1 onto `TcpTransportOptions` (see those docs). The default —
+/// interval 0 — leaves heartbeats, dead-peer detection, redial, and replay
+/// off, preserving the historical transport behaviour.
+struct TcpSessionTuning {
+  DurationUs heartbeat_interval_us = 0;
+  int heartbeat_misses = 3;
+  bool auto_reconnect = false;
+  DurationUs retransmit_timeout_us = 0;  ///< 0 derives 4x interval.
+};
 
 /// \brief Options for a TCP root process / thread.
 struct TcpRootOptions {
@@ -33,6 +45,8 @@ struct TcpRootOptions {
   /// Per-connection outbox bound in messages (0 = unbounded); a full outbox
   /// blocks `Send` until the peer catches up (`demactl --outbox-cap`).
   size_t outbox_capacity = 1024;
+  /// Heartbeat / reconnect / replay knobs for the root's transport.
+  TcpSessionTuning session;
   /// Invoked with the bound port once the listener is up (threaded tests
   /// bind port 0 and hand the result to the locals).
   std::function<void(uint16_t)> on_listening;
@@ -71,6 +85,20 @@ struct TcpLocalOptions {
   uint32_t seq_epoch = 0;
   /// Per-connection outbox bound in messages (0 = unbounded).
   size_t outbox_capacity = 1024;
+  /// Heartbeat / reconnect / replay knobs for this local's transport.
+  TcpSessionTuning session;
+  /// Chaos: sever the connection carrying the Nth data frame written, per
+  /// entry (sorted; see `TcpTransportOptions::kill_conn_schedule`). Needs
+  /// `session.auto_reconnect` to recover.
+  std::vector<uint64_t> kill_conn_frames;
+  /// Chaos: stall all writes for `write_stall_us` after this many data
+  /// frames (0 disables).
+  uint64_t write_stall_after_frames = 0;
+  DurationUs write_stall_us = 0;
+  /// Chaos: per-frame byte-flip probability on send; the receiver's CRC
+  /// drops the frame and the retransmit path must recover it.
+  double corrupt_rate = 0;
+  uint64_t corrupt_seed = 0;
 };
 
 /// \brief What a local node measured during a TCP run.
@@ -79,6 +107,14 @@ struct TcpLocalReport {
   /// Bytes/messages/events actually written to the socket, per link.
   transport::LinkTrafficMap sent_links;
   std::map<net::MessageType, net::TrafficCounters> sent_by_type;
+  /// Session-resilience accounting from this local's transport registry:
+  /// injected severances, unclean peer losses, successful redials, frames
+  /// replayed onto resumed sessions, and mid-frame bytes dropped by kills.
+  uint64_t conn_kills = 0;
+  uint64_t peer_down = 0;
+  uint64_t reconnects = 0;
+  uint64_t replayed_frames = 0;
+  uint64_t partial_frame_drops = 0;
 };
 
 /// \brief Runs the root role over TCP: hosts node 0, accepts local
@@ -120,6 +156,25 @@ struct TcpClusterFaultOptions {
   net::WindowId crash_at_window = 0;
   /// Directory for the victim's checkpoint file (must exist).
   std::string checkpoint_dir;
+  /// Connection-level chaos: every local severs its root link on this plan
+  /// (salted by node id so kills do not land in lockstep). Requires
+  /// `session.heartbeat_interval_us` > 0 and `session.auto_reconnect`.
+  ConnChaosPlan conn_kill;
+  /// Per-local frame corruption rate; receiver CRC drops the frame and the
+  /// ack/retransmit machinery must recover it (unlike crash recovery this
+  /// needs no root deadline — the frame is replayed, not regenerated).
+  double corrupt_rate = 0;
+  uint64_t corrupt_seed = 0;
+  /// Chaos: every local stalls its socket writes once, for `write_stall_us`,
+  /// after this many data frames (0 disables). A stall longer than the
+  /// dead-peer budget escalates into a kill + redial; a shorter one just
+  /// builds backpressure.
+  uint64_t write_stall_after_frames = 0;
+  DurationUs write_stall_us = 0;
+  /// Session tuning applied to the root and every local.
+  TcpSessionTuning session;
+  /// Invoked in this (the root's) process with every emitted window result.
+  std::function<void(const WindowOutput&)> on_result;
 };
 
 /// \brief Like `RunTcpClusterForked`, but the victim's child is a
@@ -133,5 +188,44 @@ Result<RunMetrics> RunTcpClusterForked(const SystemConfig& config,
                                        const TcpClusterFaultOptions& fault,
                                        const std::string& host = "127.0.0.1",
                                        uint16_t port = 0);
+
+/// \brief Outcome of a connection-chaos parity run (`RunTcpConnChaos`).
+struct TcpConnChaosReport {
+  /// Metrics of the faulted forked run (children's resilience counters are
+  /// merged into `metrics.registry`'s `net.*` counters).
+  RunMetrics metrics;
+  /// Window results of the faulted run, in emission order.
+  std::vector<WindowOutput> outputs;
+  /// Reference results from a fault-free in-process run of the same workload.
+  std::vector<WindowOutput> reference;
+  /// Cluster-wide resilience accounting (root + all locals).
+  uint64_t conn_kills = 0;
+  uint64_t peer_down = 0;
+  uint64_t reconnects = 0;
+  uint64_t replayed_frames = 0;
+  uint64_t partial_frame_drops = 0;
+  uint64_t degraded_windows = 0;
+  uint64_t mismatched_windows = 0;
+  /// First contract violation; empty when the run held the invariant:
+  /// the scheduled faults actually fired AND every window emitted exact,
+  /// non-degraded, byte-identical results versus the fault-free reference.
+  std::string violation;
+
+  bool Invariant() const { return violation.empty(); }
+};
+
+/// \brief Runs the forked TCP cluster under connection-level chaos
+/// (`fault.conn_kill`, `fault.corrupt_rate`) with session resilience on,
+/// then replays the same workload through the deterministic in-process
+/// fabric and demands *exact* quantile parity: severed sockets, replayed
+/// frames, and CRC-dropped frames must be invisible in the results.
+///
+/// Must be called before this process creates any threads (it forks). The
+/// reference run executes after the forked run completes.
+Result<TcpConnChaosReport> RunTcpConnChaos(const SystemConfig& config,
+                                           const WorkloadConfig& workload,
+                                           const TcpClusterFaultOptions& fault,
+                                           const std::string& host = "127.0.0.1",
+                                           uint16_t port = 0);
 
 }  // namespace dema::sim

@@ -67,6 +67,7 @@ void EpollLoop::Run() {
   // Final drain: tasks posted between the last pass and Stop() still run
   // (Shutdown relies on its posted work executing).
   RunPostedTasks();
+  finished_.store(true, std::memory_order_release);
 }
 
 void EpollLoop::Stop() {

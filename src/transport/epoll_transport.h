@@ -46,6 +46,12 @@ class EpollLoop {
   /// True once `Stop()` was called (loop may still be finishing a pass).
   bool stopping() const { return stop_.load(std::memory_order_relaxed); }
 
+  /// True once `Run()` has returned — the loop thread is done (or died) and
+  /// will never service another task. Producers blocked on loop-consumed
+  /// queues (e.g. `TcpTransport::Send` under backpressure) use this to fail
+  /// fast instead of waiting on a drain that can no longer happen.
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
   /// Sets a handler the loop invokes once per pass, after fd events and
   /// posted tasks. Call before `Run()` starts (not thread-safe). Producers
   /// that enqueue work the tick consumes pair it with `Wake()`.
@@ -88,6 +94,7 @@ class EpollLoop {
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> finished_{false};
   std::map<int, FdCallback> callbacks_;
   std::function<void()> tick_;
 

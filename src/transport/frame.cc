@@ -25,6 +25,8 @@ bool IsKnownMessageType(uint16_t raw) {
     case net::MessageType::kShardGammaUpdate:
     case net::MessageType::kShardQuery:
     case net::MessageType::kShardQueryReply:
+    case net::MessageType::kHeartbeat:
+    case net::MessageType::kAck:
       return true;
   }
   return false;

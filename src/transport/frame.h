@@ -8,7 +8,7 @@
 
 namespace dema::transport {
 
-/// \brief Wire framing for the TCP transport (protocol version 2).
+/// \brief Wire framing for the TCP transport (protocol version 3).
 ///
 /// A frame is the simulated envelope split around the payload:
 ///
@@ -92,7 +92,11 @@ inline constexpr uint32_t kHelloMagic = 0x44454D41;  // "DEMA"
 
 /// Wire protocol version. v1: 18-byte envelope, no checksum, 2-field hello.
 /// v2: CRC32C frame trailer, 3-field hello with version negotiation.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// v3: session resilience — kHeartbeat/kAck control frames, cumulative
+/// per-(src,dst) acks, and sender-side retained-frame replay across
+/// reconnects (a v2 peer would reject the new frame types mid-stream, so
+/// the handshake keeps versions strict).
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// Upper bound on hello node counts (defence against corrupt preambles).
 inline constexpr uint32_t kMaxHelloNodes = 1u << 16;

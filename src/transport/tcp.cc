@@ -55,6 +55,21 @@ bool IsWouldBlock(int err) {
   return err == EAGAIN || err == EWOULDBLOCK || err == EINTR;
 }
 
+/// Key of the (src, dst) sequence/ack stream — the same keying the
+/// in-process fabric stamps with.
+uint64_t StreamKey(NodeId src, NodeId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+/// RFC 1982 serial comparison (seq numbers wrap; a 2^31 window orders them).
+bool SerialGt(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) > 0;
+}
+
+/// Slice `Send` waits per outbox-space poll, so a blocked sender notices
+/// shutdown and a dead I/O loop promptly instead of waiting forever.
+constexpr DurationUs kSendPollSliceUs = MillisUs(10);
+
 /// Writes exactly \p n bytes on a (still blocking) dial-phase socket,
 /// retrying timeout ticks until stopped.
 Status WriteFull(int fd, const uint8_t* buf, size_t n,
@@ -158,7 +173,19 @@ TcpTransport::TcpTransport(TcpTransportOptions options)
       c_corrupted_inject_(registry_->GetCounter("net.corrupted{layer=inject}")),
       c_corrupted_recv_(registry_->GetCounter("net.corrupted{layer=tcp}")),
       c_accept_errors_(registry_->GetCounter("net.accept_errors")),
-      c_outbox_full_(registry_->GetCounter("net.outbox_full")) {}
+      c_outbox_full_(registry_->GetCounter("net.outbox_full")),
+      c_peer_down_(registry_->GetCounter("net.peer_down")),
+      c_reconnects_(registry_->GetCounter("net.reconnects")),
+      c_replayed_(registry_->GetCounter("net.replayed_frames")),
+      c_dup_dropped_(registry_->GetCounter("net.dup_frames_dropped")),
+      c_partial_frame_drops_(
+          registry_->GetCounter("net.partial_frame_drops")),
+      c_heartbeats_(registry_->GetCounter("net.heartbeats")),
+      c_acks_(registry_->GetCounter("net.acks")),
+      c_conn_kills_(registry_->GetCounter("net.conn_kills{layer=inject}")) {
+  std::sort(options_.kill_conn_schedule.begin(),
+            options_.kill_conn_schedule.end());
+}
 
 TcpTransport::~TcpTransport() { Shutdown(); }
 
@@ -193,7 +220,98 @@ Status TcpTransport::EnsureLoopStarted() {
   loop_.SetTickHandler([this] { DrainOutboxes(); });
   loop_thread_ = std::thread([this] { loop_.Run(); });
   loop_started_ = true;
+  if (options_.heartbeat_interval_us > 0) {
+    // Self-rescheduling liveness timer: half-interval granularity keeps
+    // ping spacing and miss detection within one interval of exact.
+    loop_.Post([this] {
+      loop_.PostDelayed(options_.heartbeat_interval_us / 2 + 1,
+                        [this] { HeartbeatTick(); });
+    });
+  }
   return Status::OK();
+}
+
+void TcpTransport::StopLoopForTest() {
+  loop_.Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void TcpTransport::RequestRedial(NodeId dst) {
+  if (!options_.auto_reconnect || stopped_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  Session* session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (peers_.find(dst) == peers_.end()) return;  // nothing to dial
+    auto sit = sessions_.find(dst);
+    if (sit == sessions_.end()) return;  // nothing queued or retained
+    session = sit->second.get();
+  }
+  if (session->closing.load(std::memory_order_relaxed)) return;
+  if (session->redial_pending.exchange(true)) return;  // one in flight
+  {
+    std::lock_guard<std::mutex> lock(redial_mu_);
+    if (redial_stop_) {
+      session->redial_pending.store(false);
+      return;
+    }
+    redial_queue_.push_back(dst);
+    if (!redial_started_) {
+      redial_started_ = true;
+      redial_thread_ = std::thread([this] { RedialThreadMain(); });
+    }
+  }
+  redial_cv_.notify_one();
+}
+
+void TcpTransport::RedialThreadMain() {
+  while (true) {
+    NodeId dst = 0;
+    {
+      std::unique_lock<std::mutex> lock(redial_mu_);
+      redial_cv_.wait(lock,
+                      [&] { return redial_stop_ || !redial_queue_.empty(); });
+      if (redial_stop_) return;
+      dst = redial_queue_.front();
+      redial_queue_.pop_front();
+    }
+    Peer peer;
+    Session* session = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto pit = peers_.find(dst);
+      auto sit = sessions_.find(dst);
+      if (pit == peers_.end() || sit == sessions_.end()) continue;
+      peer = pit->second;
+      session = sit->second.get();
+    }
+    auto fd = DialWithRetry(peer.host, peer.port);
+    // Clear the dedup flag before adopting: if the fresh connection dies
+    // instantly, its KillConn may queue the next round immediately.
+    session->redial_pending.store(false);
+    if (!fd.ok()) {
+      DEMA_LOG(Warn) << "redial of node " << dst
+                     << " gave up: " << fd.status();
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_.load()) {
+        ::close(*fd);
+        return;
+      }
+      auto rit = routes_.find(dst);
+      if (rit != routes_.end() && !rit->second->dead.load()) {
+        ::close(*fd);  // a racing sync dial won; use its route
+        continue;
+      }
+      Conn* conn = AdoptLocked(*fd, /*expect_hello=*/false, {dst});
+      routes_[dst] = conn;
+    }
+    c_reconnects_->Increment();
+    loop_.Wake();
+  }
 }
 
 Status TcpTransport::Start() {
@@ -232,17 +350,40 @@ net::Channel* TcpTransport::Inbox(NodeId id) {
   return it == inboxes_.end() ? nullptr : it->second.get();
 }
 
-uint32_t TcpTransport::NextSeqFor(NodeId dst) {
+uint32_t TcpTransport::NextSeqFor(NodeId src, NodeId dst) {
   std::lock_guard<std::mutex> lock(mu_);
-  uint32_t n = ++next_seq_[dst];
+  uint32_t n = ++next_seq_[StreamKey(src, dst)];
   return (options_.seq_epoch << 24) | (n & 0x00FFFFFFu);
+}
+
+TcpTransport::Session* TcpTransport::SessionForLocked(NodeId dst) {
+  auto it = sessions_.find(dst);
+  if (it != sessions_.end()) return it->second.get();
+  auto owned = std::make_unique<Session>();
+  owned->dst = dst;
+  owned->outbox = std::make_unique<net::Channel>(options_.outbox_capacity);
+  Session* session = owned.get();
+  sessions_.emplace(dst, std::move(owned));
+  return session;
+}
+
+DurationUs TcpTransport::RetransmitTimeoutUs() const {
+  if (options_.retransmit_timeout_us > 0) return options_.retransmit_timeout_us;
+  return options_.heartbeat_interval_us * 4;
+}
+
+size_t TcpTransport::RetainCapacity() const {
+  if (options_.retain_capacity > 0) return options_.retain_capacity;
+  // Default: as much retained as queueable, so retention roughly doubles a
+  // destination's memory bound instead of multiplying it.
+  return options_.outbox_capacity;
 }
 
 Status TcpTransport::Send(net::Message m) {
   if (stopped_.load(std::memory_order_relaxed)) {
     return Status::NetworkError("transport is shut down");
   }
-  m.seq = NextSeqFor(m.dst);
+  m.seq = NextSeqFor(m.src, m.dst);
   net::Channel* local = Inbox(m.dst);
   if (local != nullptr) {
     // Loopback to a node hosted in this process: no socket involved; charge
@@ -253,24 +394,98 @@ Status TcpTransport::Send(net::Message m) {
     }
     return Status::OK();
   }
-  DEMA_ASSIGN_OR_RETURN(Conn * conn, ConnFor(m.dst));
-  if (options_.outbox_capacity > 0 &&
-      conn->outbox->size() >= options_.outbox_capacity) {
-    // Full: the peer (or the loop) is not draining fast enough. Surface the
-    // stall, then apply backpressure or fail — never grow without bound.
-    // (The check races benignly with the loop's drain: a stale observation
-    // only mis-times the counter, never the queue bound itself, which
-    // `Channel::Push` enforces by blocking.)
-    c_outbox_full_->Increment();
+
+  const NodeId dst = m.dst;
+  Session* session = nullptr;
+  bool route_live = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto rit = routes_.find(dst);
+    route_live = rit != routes_.end() &&
+                 !rit->second->dead.load(std::memory_order_relaxed);
+    auto sit = sessions_.find(dst);
+    if (sit != sessions_.end()) {
+      session = sit->second.get();
+    } else if (route_live) {
+      // Hello-learned route (we are the acceptor replying): the session is
+      // created on first reply.
+      session = SessionForLocked(dst);
+    } else if (peers_.find(dst) == peers_.end()) {
+      return Status::NotFound("no route to node " + std::to_string(dst) +
+                              " (no connection and no configured peer)");
+    }
+  }
+  if (session != nullptr && !route_live && options_.auto_reconnect) {
+    // The connection died under an existing session: queue a background
+    // redial (deduped) and let the message wait in the outbox meanwhile.
+    RequestRedial(dst);
+  } else if (!route_live) {
+    // First send to a configured peer — or a dead route without background
+    // redial: dial synchronously with bounded retry, as the pre-session
+    // transport did, so a missing listener surfaces here.
+    DEMA_ASSIGN_OR_RETURN(Conn * conn, ConnFor(dst));
+    (void)conn;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_.load()) return Status::NetworkError("transport is shut down");
+    session = SessionForLocked(dst);
+  }
+  if (m.type == net::MessageType::kShutdown) {
+    // The stream is ending by design: a close that follows is orderly, not
+    // a peer failure, and must not trigger redial.
+    session->closing.store(true, std::memory_order_relaxed);
+  }
+
+  // Bounded-slice push: classic backpressure against a full outbox, but
+  // shutdown-aware — a `Send` blocked here fails fast when `Shutdown`
+  // begins or the I/O loop is no longer alive to drain the queue, instead
+  // of waiting forever on space that can never free.
+  bool counted_full = false;
+  while (true) {
+    net::Channel::PushResult r =
+        session->outbox->PushFor(&m, options_.outbox_block ? kSendPollSliceUs
+                                                           : DurationUs{0});
+    if (r == net::Channel::PushResult::kPushed) break;
+    if (r == net::Channel::PushResult::kClosed) {
+      return Status::NetworkError("connection to destination closed");
+    }
+    if (!counted_full) {
+      c_outbox_full_->Increment();
+      counted_full = true;
+    }
     if (!options_.outbox_block) {
-      return Status::NetworkError("outbox to node " + std::to_string(m.dst) +
+      return Status::NetworkError("outbox to node " + std::to_string(dst) +
                                   " is full (" +
                                   std::to_string(options_.outbox_capacity) +
                                   " messages queued)");
     }
-  }
-  if (!conn->outbox->Push(std::move(m))) {
-    return Status::NetworkError("connection to destination closed");
+    if (stopped_.load(std::memory_order_relaxed)) {
+      return Status::NetworkError(
+          "transport shut down while a send waited for outbox space");
+    }
+    if (loop_.finished()) {
+      return Status::NetworkError(
+          "transport I/O loop exited while a send waited for outbox space "
+          "(frames to node " + std::to_string(dst) + " can no longer drain)");
+    }
+    // The route may have died while we waited: with nothing draining the
+    // outbox, space would never free. Make sure a connection is coming —
+    // background redial when enabled, else a synchronous dial whose failure
+    // surfaces here instead of as an eternal block.
+    bool live;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto rit = routes_.find(dst);
+      live = rit != routes_.end() &&
+             !rit->second->dead.load(std::memory_order_relaxed);
+    }
+    if (!live) {
+      if (options_.auto_reconnect) {
+        RequestRedial(dst);
+      } else {
+        auto conn = ConnFor(dst);
+        if (!conn.ok()) return conn.status();
+      }
+    }
   }
   loop_.Wake();
   return Status::OK();
@@ -302,7 +517,7 @@ Result<TcpTransport::Conn*> TcpTransport::ConnFor(NodeId dst) {
     ::close(fd);  // lost a dial race; use the established route
     return rit->second;
   }
-  Conn* conn = AdoptLocked(fd, /*expect_hello=*/false);
+  Conn* conn = AdoptLocked(fd, /*expect_hello=*/false, {dst});
   routes_[dst] = conn;
   return conn;
 }
@@ -363,12 +578,15 @@ Result<int> TcpTransport::DialWithRetry(const std::string& host, uint16_t port) 
   return last;
 }
 
-TcpTransport::Conn* TcpTransport::AdoptLocked(int fd, bool expect_hello) {
+TcpTransport::Conn* TcpTransport::AdoptLocked(int fd, bool expect_hello,
+                                              std::vector<NodeId> dsts) {
   auto owned = std::make_unique<Conn>();
   Conn* conn = owned.get();
   conn->fd = fd;
-  conn->outbox = std::make_unique<net::Channel>(options_.outbox_capacity);
   conn->expect_hello = expect_hello;
+  // Written before the registration task is posted, so loop-thread reads of
+  // `dsts` are ordered after this store.
+  conn->dsts = std::move(dsts);
   conns_.push_back(std::move(owned));
   loop_.Post([this, conn] { RegisterConn(conn); });
   return conn;
@@ -392,6 +610,18 @@ void TcpTransport::RegisterConn(Conn* conn) {
     return;
   }
   conn->registered = true;
+  conn->last_recv_us = EpollLoop::NowUs();
+  // A (re)dialed connection resumes its destinations' sessions: retained
+  // frames replay ahead of fresh outbox traffic, preserving stream order.
+  std::vector<Session*> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (NodeId dst : conn->dsts) {
+      auto sit = sessions_.find(dst);
+      if (sit != sessions_.end()) sessions.push_back(sit->second.get());
+    }
+  }
+  for (Session* s : sessions) ReplaySession(s, conn);
 }
 
 void TcpTransport::OnAcceptReady() {
@@ -418,7 +648,7 @@ void TcpTransport::OnAcceptReady() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lock(mu_);
-    AdoptLocked(fd, /*expect_hello=*/true);
+    AdoptLocked(fd, /*expect_hello=*/true, {});
   }
 }
 
@@ -459,21 +689,24 @@ void TcpTransport::ReadReady(Conn* conn) {
     if (n > 0) {
       conn->rend += static_cast<size_t>(n);
       budget -= static_cast<size_t>(n);
+      conn->last_recv_us = EpollLoop::NowUs();
       if (!ParseFrames(conn)) return;
       continue;
     }
     if (n == 0) {
-      // Peer closed. Mid-frame data is simply dropped (same as the old
-      // transport's "connection closed mid-frame" path).
+      // Peer closed; a partial inbound frame is counted by KillConn
+      // (`net.partial_frame_drops`) instead of vanishing silently.
       KillConn(conn);
       return;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
     DEMA_LOG(Warn) << "connection read error: " << std::strerror(errno);
     KillConn(conn);
     return;
   }
+  // Acknowledge every stream this pass progressed in one coalesced frame.
+  if (!conn->dead.load(std::memory_order_relaxed)) FlushAcks(conn);
 }
 
 void TcpTransport::EnsureReadCapacity(Conn* conn, size_t hint) {
@@ -538,13 +771,22 @@ bool TcpTransport::ParseFrames(Conn* conn) {
         KillConn(conn);
         return false;
       }
+      std::vector<Session*> resumed;
       {
         std::lock_guard<std::mutex> lock(mu_);
         // Replies to the dialer's nodes travel back over this connection.
-        for (NodeId id : *ids) routes_[id] = conn;
+        // A reconnecting dialer re-announces the same ids: the route
+        // rebinds from its dead predecessor and the session resumes.
+        for (NodeId id : *ids) {
+          routes_[id] = conn;
+          conn->dsts.push_back(id);
+          auto sit = sessions_.find(id);
+          if (sit != sessions_.end()) resumed.push_back(sit->second.get());
+        }
       }
       conn->rpos += kHelloPrefixBytes + ids_bytes;
       conn->expect_hello = false;
+      for (Session* s : resumed) ReplaySession(s, conn);
       continue;
     }
 
@@ -581,6 +823,27 @@ bool TcpTransport::ParseFrames(Conn* conn) {
       continue;
     }
 
+    if (h.type == net::MessageType::kHeartbeat ||
+        h.type == net::MessageType::kAck) {
+      // Transport control: consumed here, never delivered, never charged to
+      // the link-traffic instruments (byte parity with the fabric).
+      HandleControlFrame(conn, h, payload);
+      conn->rpos += frame_total;
+      if (conn->dead.load(std::memory_order_relaxed)) return false;
+      continue;
+    }
+
+    if (!AcceptSeq(h.src, h.dst, h.seq)) {
+      // Retransmit duplicate (the original arrived): swallowed before the
+      // inbox and before recv accounting, but re-acked below so the sender
+      // stops replaying it.
+      c_dup_dropped_->Increment();
+      conn->rpos += frame_total;
+      continue;
+    }
+
+    if (h.type == net::MessageType::kShutdown) conn->saw_shutdown = true;
+
     net::Message m;
     m.type = h.type;
     m.src = h.src;
@@ -604,6 +867,235 @@ bool TcpTransport::ParseFrames(Conn* conn) {
   }
 }
 
+void TcpTransport::HandleControlFrame(Conn* conn, const FrameHeader& h,
+                                      const uint8_t* payload) {
+  net::Reader r(payload, h.payload_size);
+  if (h.type == net::MessageType::kHeartbeat) {
+    auto hb = net::Heartbeat::Deserialize(&r);
+    if (!hb.ok()) {
+      DEMA_LOG(Warn) << "dropping malformed heartbeat: " << hb.status();
+      return;
+    }
+    if (hb->kind == net::Heartbeat::Kind::kPing) {
+      // Echo the probe instant back so the pinger reads RTT off its own
+      // monotonic clock; no shared clock needed.
+      net::Heartbeat pong;
+      pong.kind = net::Heartbeat::Kind::kPong;
+      pong.probe_time_us = hb->probe_time_us;
+      QueueControlFrame(conn, net::MakeMessage(net::MessageType::kHeartbeat,
+                                               h.dst, h.src, pong));
+      TryWrite(conn);
+    } else if (!conn->dsts.empty()) {
+      TimestampUs rtt = EpollLoop::NowUs() - hb->probe_time_us;
+      registry_
+          ->GetGauge("net.peer_rtt_us{peer=" +
+                     std::to_string(conn->dsts.front()) + "}")
+          ->Set(static_cast<int64_t>(rtt));
+    }
+    return;
+  }
+  auto ack = net::CumulativeAck::Deserialize(&r);
+  if (!ack.ok()) {
+    DEMA_LOG(Warn) << "dropping malformed ack: " << ack.status();
+    return;
+  }
+  for (const auto& e : ack->entries) ApplyAck(e.src, e.dst, e.cum_seq);
+}
+
+bool TcpTransport::AcceptSeq(NodeId src, NodeId dst, uint32_t seq) {
+  if (seq == 0) return true;  // unsequenced control
+  RecvStream& s = recv_streams_[StreamKey(src, dst)];
+  if (s.seen_any && (s.cum >> 24) != (seq >> 24)) {
+    // New epoch: the sender restarted with fresh 1-based numbering. Its old
+    // life's window is meaningless now — reset rather than mis-dedup.
+    s = RecvStream{};
+  }
+  if (!s.seen_any) {
+    s.seen_any = true;
+    // "Nothing received yet in this epoch": counter zero, so a first frame
+    // arriving out of order (e.g. seq 3 before retransmitted 1 and 2) opens
+    // a gap instead of silently discarding the stream's start.
+    s.cum = seq & 0xFF000000u;
+  }
+  s.ack_dirty = true;
+  if (!SerialGt(seq, s.cum)) return false;  // at or below cum: duplicate
+  if (seq == s.cum + 1) {
+    s.cum = seq;
+    // Absorb any out-of-order successors that became contiguous.
+    auto it = s.ooo.begin();
+    while (it != s.ooo.end() && *it == s.cum + 1) {
+      s.cum = *it;
+      it = s.ooo.erase(it);
+    }
+    return true;
+  }
+  if (s.ooo.count(seq) > 0) return false;  // duplicate of a gap frame
+  if (s.ooo.size() >= kMaxHelloNodes) s.ooo.clear();  // corrupt-seq defence
+  s.ooo.insert(seq);
+  return true;
+}
+
+void TcpTransport::FlushAcks(Conn* conn) {
+  // Every dirty stream belongs to this pass (acks flush at the end of each
+  // connection's read pass, so flags never leak across connections).
+  net::CumulativeAck ack;
+  for (auto& [key, s] : recv_streams_) {
+    if (!s.ack_dirty) continue;
+    s.ack_dirty = false;
+    if ((s.cum & 0x00FFFFFFu) == 0) continue;  // nothing contiguous yet
+    net::CumulativeAck::Entry e;
+    e.src = static_cast<NodeId>(key >> 32);
+    e.dst = static_cast<NodeId>(key & 0xFFFFFFFFu);
+    e.cum_seq = s.cum;
+    ack.entries.push_back(e);
+  }
+  if (ack.entries.empty()) return;
+  QueueControlFrame(conn,
+                    net::MakeMessage(net::MessageType::kAck, 0, 0, ack));
+  TryWrite(conn);
+}
+
+void TcpTransport::ApplyAck(NodeId src, NodeId dst, uint32_t cum_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto sit = sessions_.find(dst);
+  if (sit == sessions_.end()) return;
+  Session* session = sit->second.get();
+  auto acked = [&](const RetainedFrame& f) {
+    return f.src == src && f.dst == dst && (f.seq >> 24) == (cum_seq >> 24) &&
+           !SerialGt(f.seq, cum_seq);
+  };
+  auto& q = session->unacked;
+  q.erase(std::remove_if(q.begin(), q.end(), acked), q.end());
+}
+
+void TcpTransport::QueueControlFrame(Conn* conn, net::Message m) {
+  if (conn->dead.load(std::memory_order_relaxed)) return;
+  (m.type == net::MessageType::kHeartbeat ? c_heartbeats_ : c_acks_)
+      ->Increment();
+  Conn::PendingFrame f;
+  f.src = m.src;
+  f.dst = m.dst;
+  f.type = m.type;
+  f.control = true;
+  f.retain = false;
+  EncodeFrame(m, &f.bytes);
+  conn->wq_bytes += f.bytes.size();
+  conn->wq.push_back(std::move(f));
+}
+
+void TcpTransport::HeartbeatTick() {
+  if (draining_ || loop_.stopping()) return;
+  const DurationUs interval = options_.heartbeat_interval_us;
+  const TimestampUs now = EpollLoop::NowUs();
+  std::vector<Conn*> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.reserve(conns_.size());
+    for (const auto& c : conns_) conns.push_back(c.get());
+  }
+  for (Conn* c : conns) {
+    if (!c->registered || c->dead.load(std::memory_order_relaxed) ||
+        c->expect_hello) {
+      continue;
+    }
+    if (now - c->last_recv_us >=
+        static_cast<TimestampUs>(options_.heartbeat_misses) * interval) {
+      // N whole intervals of silence — not even a pong. The peer is gone;
+      // KillConn does the peer-down accounting and queues the redial.
+      KillConn(c);
+      continue;
+    }
+    if (now - c->last_recv_us >= interval && now - c->last_ping_us >= interval) {
+      net::Heartbeat ping;
+      ping.probe_time_us = now;
+      c->last_ping_us = now;
+      QueueControlFrame(c, net::MakeMessage(net::MessageType::kHeartbeat, 0, 0,
+                                            ping));
+      TryWrite(c);
+    }
+  }
+
+  // Retransmit overdue unacked frames (recovers frames the receiver's CRC
+  // check dropped: no connection death, no ack progress, just loss).
+  const DurationUs rto = RetransmitTimeoutUs();
+  std::vector<std::pair<Session*, Conn*>> overdue;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [dst, session] : sessions_) {
+      if (session->unacked.empty()) continue;
+      if (now - session->unacked.front().written_at_us < rto) continue;
+      auto rit = routes_.find(dst);
+      if (rit == routes_.end() || rit->second->dead.load() ||
+          !rit->second->registered) {
+        continue;  // no live conn; replay happens at rebind instead
+      }
+      overdue.emplace_back(session.get(), rit->second);
+    }
+  }
+  for (auto& [session, conn] : overdue) {
+    for (RetainedFrame& rf : session->unacked) {
+      Conn::PendingFrame f;
+      f.bytes = rf.bytes;  // copy: the retained original stays until acked
+      f.src = rf.src;
+      f.dst = rf.dst;
+      f.type = rf.type;
+      f.event_count = rf.event_count;
+      f.seq = rf.seq;
+      f.control = true;  // already charged once; replay is accounting-free
+      f.retain = false;
+      conn->wq_bytes += f.bytes.size();
+      conn->wq.push_back(std::move(f));
+      rf.written_at_us = now;
+      c_replayed_->Increment();
+    }
+    TryWrite(conn);
+  }
+
+  loop_.PostDelayed(interval / 2 + 1, [this] { HeartbeatTick(); });
+}
+
+void TcpTransport::ReplaySession(Session* session, Conn* conn) {
+  if (conn->dead.load(std::memory_order_relaxed)) return;
+  const TimestampUs now = EpollLoop::NowUs();
+  // Written-but-unacked first (oldest sequence numbers; copies — the
+  // retained originals stand until the peer acks them), then the salvaged
+  // encoded-never-written queue (moved: their first write is still their
+  // first delivery), and only then fresh outbox traffic. Per-stream order
+  // is preserved exactly.
+  for (RetainedFrame& rf : session->unacked) {
+    Conn::PendingFrame f;
+    f.bytes = rf.bytes;
+    f.src = rf.src;
+    f.dst = rf.dst;
+    f.type = rf.type;
+    f.event_count = rf.event_count;
+    f.seq = rf.seq;
+    f.control = true;  // charged when first written; don't double-count
+    f.retain = false;
+    conn->wq_bytes += f.bytes.size();
+    conn->wq.push_back(std::move(f));
+    rf.written_at_us = now;
+    c_replayed_->Increment();
+  }
+  while (!session->salvaged.empty()) {
+    RetainedFrame rf = std::move(session->salvaged.front());
+    session->salvaged.pop_front();
+    Conn::PendingFrame f;
+    f.bytes = std::move(rf.bytes);
+    f.src = rf.src;
+    f.dst = rf.dst;
+    f.type = rf.type;
+    f.event_count = rf.event_count;
+    f.seq = rf.seq;
+    f.control = false;
+    f.retain = true;
+    f.session = session;
+    conn->wq_bytes += f.bytes.size();
+    conn->wq.push_back(std::move(f));
+  }
+  if (!conn->wq.empty() && conn->registered) TryWrite(conn);
+}
+
 void TcpTransport::DrainOutboxes() {
   std::vector<Conn*> conns;
   {
@@ -620,39 +1112,70 @@ void TcpTransport::DrainOutboxes() {
 }
 
 void TcpTransport::DrainConnOutbox(Conn* conn) {
-  // Encode queued messages into per-frame buffers up to the in-flight
-  // high-water mark; past it the bounded outbox backpressures Send. During
-  // the shutdown drain the cap is lifted — the outbox is closed, its content
-  // is all that remains, and it must reach the write queue to be flushed.
-  while (draining_ || conn->wq_bytes < kWriteHighWater) {
-    auto m = conn->outbox->TryPop();
-    if (!m) break;
-    Conn::PendingFrame f;
-    f.src = m->src;
-    f.dst = m->dst;
-    f.type = m->type;
-    f.event_count = m->event_count;
-    EncodeFrame(*m, &f.bytes);
-    if (options_.corrupt_rate > 0 && f.bytes.size() > kFrameHeaderBytes) {
-      std::lock_guard<std::mutex> lock(corrupt_mu_);
-      if (corrupt_rng_.Bernoulli(options_.corrupt_rate)) {
-        // Flip one byte past the header (payload or CRC region) so the
-        // receiver's framing survives and its checksum does the catching.
-        const size_t at = static_cast<size_t>(corrupt_rng_.UniformInt(
-            static_cast<int64_t>(kFrameHeaderBytes),
-            static_cast<int64_t>(f.bytes.size() - 1)));
-        f.bytes[at] ^= static_cast<uint8_t>(corrupt_rng_.UniformInt(1, 255));
-        c_corrupted_total_->Increment();
-        c_corrupted_inject_->Increment();
-      }
+  std::vector<Session*> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.reserve(conn->dsts.size());
+    for (NodeId dst : conn->dsts) {
+      auto sit = sessions_.find(dst);
+      if (sit != sessions_.end()) sessions.push_back(sit->second.get());
     }
-    conn->wq_bytes += f.bytes.size();
-    conn->wq.push_back(std::move(f));
+  }
+  const size_t retain_cap = RetainCapacity();
+  for (Session* session : sessions) {
+    // Encode queued messages into per-frame buffers up to the in-flight
+    // high-water mark; past it the bounded outbox backpressures Send. During
+    // the shutdown drain the cap is lifted — the outbox is closed, its
+    // content is all that remains, and it must reach the write queue to be
+    // flushed.
+    while (draining_ || conn->wq_bytes < kWriteHighWater) {
+      if (!draining_ && retain_cap > 0 && session->retained() >= retain_cap) {
+        // Retention window full: an unresponsive peer must not turn the
+        // replay buffer into unbounded memory. Leaving messages in the
+        // bounded outbox backpressures Send exactly like a slow peer.
+        break;
+      }
+      auto m = session->outbox->TryPop();
+      if (!m) break;
+      if (m->type == net::MessageType::kShutdown) conn->saw_shutdown = true;
+      Conn::PendingFrame f;
+      f.src = m->src;
+      f.dst = m->dst;
+      f.type = m->type;
+      f.event_count = m->event_count;
+      f.seq = m->seq;
+      f.session = session;
+      EncodeFrame(*m, &f.bytes);
+      if (options_.corrupt_rate > 0 && f.bytes.size() > kFrameHeaderBytes) {
+        std::lock_guard<std::mutex> lock(corrupt_mu_);
+        if (corrupt_rng_.Bernoulli(options_.corrupt_rate)) {
+          // Flip one byte past the header (payload or CRC region) so the
+          // receiver's framing survives and its checksum does the catching.
+          f.corrupt_at = static_cast<size_t>(corrupt_rng_.UniformInt(
+              static_cast<int64_t>(kFrameHeaderBytes),
+              static_cast<int64_t>(f.bytes.size() - 1)));
+          f.corrupt_mask =
+              static_cast<uint8_t>(corrupt_rng_.UniformInt(1, 255));
+          f.bytes[f.corrupt_at] ^= f.corrupt_mask;
+          c_corrupted_total_->Increment();
+          c_corrupted_inject_->Increment();
+        }
+      }
+      conn->wq_bytes += f.bytes.size();
+      conn->wq.push_back(std::move(f));
+    }
   }
   if (!conn->wq.empty()) TryWrite(conn);
 }
 
 void TcpTransport::TryWrite(Conn* conn) {
+  if (conn->stall_until_us != 0) {
+    // Chaos write stall: the socket stays open but nothing leaves it;
+    // backpressure builds exactly as on a congested link. A delayed task
+    // resumes the write when the stall expires.
+    if (EpollLoop::NowUs() < conn->stall_until_us) return;
+    conn->stall_until_us = 0;
+  }
   while (!conn->wq.empty()) {
     // Scatter-gather: one writev covers up to kMaxIov queued frames, so a
     // burst of small synopsis/gamma/keyed frames costs one syscall.
@@ -665,7 +1188,12 @@ void TcpTransport::TryWrite(Conn* conn) {
       iov[niov].iov_len = f.bytes.size() - off;
       ++niov;
     }
-    ssize_t n = ::writev(conn->fd, iov, static_cast<int>(niov));
+    // sendmsg rather than writev: MSG_NOSIGNAL turns a peer-closed (or
+    // chaos-severed) socket into a plain EPIPE instead of a fatal SIGPIPE.
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    ssize_t n = ::sendmsg(conn->fd, &mh, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         if (!conn->want_write) {
@@ -693,39 +1221,151 @@ void TcpTransport::TryWrite(Conn* conn) {
         break;
       }
       // Frame fully on the socket: charge it (same point the per-connection
-      // writer thread used to).
+      // writer thread used to). Control frames (heartbeats, acks, replays)
+      // are excluded — the link-traffic instruments must match the fabric's
+      // accounting byte for byte, and a replayed frame was charged when it
+      // first hit a socket.
       written -= rest;
       conn->wq_bytes -= f.bytes.size();
-      sent_.Charge(f.src, f.dst, f.type, f.bytes.size(), f.event_count);
+      bool kill_now = false;
+      if (!f.control) {
+        sent_.Charge(f.src, f.dst, f.type, f.bytes.size(), f.event_count);
+        if (f.retain && f.session != nullptr) {
+          // Retain the written frame until the peer's cumulative ack frees
+          // it; a session resume or retransmit timeout replays it. Undo any
+          // injected flip first — the wire carried the damage, the retained
+          // copy must not, or no number of retransmits could ever recover.
+          if (f.corrupt_mask != 0) f.bytes[f.corrupt_at] ^= f.corrupt_mask;
+          RetainedFrame rf;
+          rf.bytes = std::move(f.bytes);
+          rf.src = f.src;
+          rf.dst = f.dst;
+          rf.type = f.type;
+          rf.event_count = f.event_count;
+          rf.seq = f.seq;
+          rf.written_at_us = EpollLoop::NowUs();
+          f.session->unacked.push_back(std::move(rf));
+        }
+        ++data_frames_written_;
+        if (!draining_ &&
+            kill_schedule_idx_ < options_.kill_conn_schedule.size() &&
+            data_frames_written_ >=
+                options_.kill_conn_schedule[kill_schedule_idx_]) {
+          // Chaos: sever the live socket right after this data frame, as a
+          // mid-window network failure would. Session resilience must make
+          // this invisible to the protocol's results.
+          ++kill_schedule_idx_;
+          c_conn_kills_->Increment();
+          kill_now = true;
+        }
+        if (!draining_ && !write_stall_armed_ &&
+            options_.write_stall_after_frames > 0 &&
+            data_frames_written_ >= options_.write_stall_after_frames) {
+          write_stall_armed_ = true;
+          conn->stall_until_us =
+              EpollLoop::NowUs() + options_.write_stall_us;
+          loop_.PostDelayed(options_.write_stall_us + 1, [this, conn] {
+            if (!conn->dead.load(std::memory_order_relaxed)) TryWrite(conn);
+          });
+        }
+      }
       conn->wq_head_off = 0;
       conn->wq.pop_front();
+      if (kill_now) {
+        KillConn(conn);
+        return;
+      }
+      if (conn->stall_until_us != 0) return;  // stall starts after this frame
     }
   }
   if (conn->want_write) {
     conn->want_write = false;
     loop_.Modify(conn->fd, draining_ ? 0 : EPOLLIN);
   }
-  if (draining_ && conn->outbox->closed() && conn->outbox->size() == 0 &&
-      conn->wq.empty() && !conn->flushed) {
-    // Outbox drained and every frame written: announce end-of-stream.
-    ::shutdown(conn->fd, SHUT_WR);
-    conn->flushed = true;
+  if (draining_ && conn->wq.empty() && !conn->flushed) {
+    // Every session routed here must be closed and drained before the
+    // half-close announces end-of-stream.
+    bool drained = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (NodeId dst : conn->dsts) {
+        auto sit = sessions_.find(dst);
+        if (sit == sessions_.end()) continue;
+        net::Channel* outbox = sit->second->outbox.get();
+        if (!outbox->closed() || outbox->size() != 0) {
+          drained = false;
+          break;
+        }
+      }
+    }
+    if (drained) {
+      ::shutdown(conn->fd, SHUT_WR);
+      conn->flushed = true;
+    }
   }
 }
 
 void TcpTransport::KillConn(Conn* conn) {
   if (conn->dead.exchange(true)) return;
   loop_.Remove(conn->fd);
-  conn->outbox->Close();
-  while (conn->outbox->TryPop()) {
-  }  // discard what can no longer be sent
+  // Sever for real — the peer must observe the FIN (its own liveness and
+  // reconnect machinery depends on it) even though the fd itself stays
+  // parked until Shutdown reaps it: Send-side threads may still hold the
+  // Conn*, and fd reuse while such pointers exist is worse than a parked
+  // descriptor.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  if (!conn->expect_hello && conn->rblock != nullptr &&
+      conn->rend > conn->rpos) {
+    // The peer died mid-frame. The old transport dropped these bytes
+    // silently; now the loss is visible next to the link metrics.
+    c_partial_frame_drops_->Increment();
+  }
+  // Salvage encoded-but-unwritten data frames into their sessions: they
+  // replay on the next connection, still as first deliveries. Control
+  // frames and replay copies die with the socket (their retained originals
+  // stand). A partially written head frame is salvaged whole — the
+  // receiver discards its partial bytes, so replay delivers it intact.
+  for (auto& f : conn->wq) {
+    if (f.control || !f.retain || f.session == nullptr) continue;
+    // Undo any injected flip (see TryWrite's retention): replays must carry
+    // the pristine encoding, not the wire damage.
+    if (f.corrupt_mask != 0) f.bytes[f.corrupt_at] ^= f.corrupt_mask;
+    RetainedFrame rf;
+    rf.bytes = std::move(f.bytes);
+    rf.src = f.src;
+    rf.dst = f.dst;
+    rf.type = f.type;
+    rf.event_count = f.event_count;
+    rf.seq = f.seq;
+    f.session->salvaged.push_back(std::move(rf));
+  }
   conn->wq.clear();
   conn->wq_bytes = 0;
   conn->wq_head_off = 0;
   conn->want_write = false;
-  // The fd stays open until Shutdown reaps it: Send-side threads may still
-  // hold the Conn*, and fd reuse while registered pointers exist is worse
-  // than a parked descriptor.
+
+  // Orderly teardown (shutdown drain, a kShutdown either way, or every
+  // routed session closing) is not a peer failure: no peer-down accounting
+  // and no redial. Everything else is.
+  bool all_closing = !conn->dsts.empty();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (NodeId dst : conn->dsts) {
+      auto sit = sessions_.find(dst);
+      if (sit == sessions_.end() ||
+          !sit->second->closing.load(std::memory_order_relaxed)) {
+        all_closing = false;
+        break;
+      }
+    }
+  }
+  const bool clean = draining_ || conn->saw_shutdown || all_closing;
+  if (!clean && !conn->dsts.empty()) {
+    c_peer_down_->Increment();
+    if (options_.auto_reconnect && !stopped_.load(std::memory_order_relaxed)) {
+      for (NodeId dst : conn->dsts) RequestRedial(dst);
+    }
+  }
 }
 
 void TcpTransport::BeginDrain() {
@@ -803,13 +1443,22 @@ std::map<net::MessageType, net::TrafficCounters> TcpTransport::ReceivedByType()
 void TcpTransport::Shutdown() {
   if (stopped_.exchange(true)) return;
 
+  // Stop the redialer before draining: a reconnect adopted mid-shutdown
+  // would race the conn-table reap.
+  {
+    std::lock_guard<std::mutex> lock(redial_mu_);
+    redial_stop_ = true;
+  }
+  redial_cv_.notify_all();
+  if (redial_thread_.joinable()) redial_thread_.join();
+
   bool loop_started;
   {
     std::lock_guard<std::mutex> lock(mu_);
     loop_started = loop_started_;
     // Close outboxes first: blocked senders unblock, and the loop's drain
-    // sees a fixed amount of work per connection.
-    for (const auto& c : conns_) c->outbox->Close();
+    // sees a fixed amount of work per session.
+    for (const auto& [dst, session] : sessions_) session->outbox->Close();
   }
 
   if (loop_started) {

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -97,6 +99,45 @@ struct TcpTransportOptions {
   double corrupt_rate = 0;
   /// Seed for the corruption injector; 0 derives one from the pid.
   uint64_t corrupt_seed = 0;
+
+  // --- session resilience (heartbeats, redial, acked replay) ----------------
+
+  /// Idle-connection heartbeat period. Every interval without traffic the
+  /// loop sends a `kHeartbeat` ping (the peer echoes a pong, feeding the
+  /// per-peer RTT gauge `net.peer_rtt_us{peer=}`); `heartbeat_misses`
+  /// intervals with *no* inbound bytes at all declare the peer dead
+  /// (`net.peer_down`) and kill the connection — triggering redial for
+  /// configured peers. 0 disables heartbeats and dead-peer detection.
+  DurationUs heartbeat_interval_us = 0;
+  /// Silent heartbeat intervals before a peer is declared dead.
+  int heartbeat_misses = 3;
+  /// Redial configured peers in the background when their connection dies
+  /// outside shutdown, using the same jittered exponential backoff as the
+  /// first dial, and replay retained frames on the fresh session.
+  bool auto_reconnect = false;
+  /// Sent-but-unacked frames older than this are retransmitted on the next
+  /// heartbeat tick (recovers frames the receiver's CRC check discarded —
+  /// dedup swallows the duplicates when the original did arrive). Only
+  /// meaningful with heartbeats on; 0 derives 4 * heartbeat_interval_us.
+  DurationUs retransmit_timeout_us = 0;
+  /// Bound on retained frames per destination session (written-but-unacked
+  /// plus salvaged-from-dead-connections). At the bound the loop stops
+  /// pulling from that session's outbox, so the existing outbox bound
+  /// backpressures `Send` — retention memory cannot grow without limit.
+  /// 0 derives from outbox_capacity (or stays unbounded when that is 0).
+  size_t retain_capacity = 0;
+  /// Chaos injector: kill the connection carrying the Nth, then the Mth, ...
+  /// *data* frame written by this transport (cumulative count across
+  /// connections, sorted ascending). The kill severs a live socket exactly
+  /// as a mid-window network failure would — counted in
+  /// `net.conn_kills{layer=inject}` — and session resilience must recover.
+  std::vector<uint64_t> kill_conn_schedule;
+  /// Chaos injector: after this many data frames written, pause all writes
+  /// on the carrying connection for `write_stall_us` (backpressure builds,
+  /// heartbeats still flow on other connections). 0 disables.
+  uint64_t write_stall_after_frames = 0;
+  /// Duration of the injected write stall.
+  DurationUs write_stall_us = 0;
   /// Metrics sink for the `transport.sent.*` / `transport.recv.*`
   /// instruments. When null, the transport owns a private registry
   /// (reachable via `registry()`). Must outlive the transport when provided.
@@ -178,17 +219,34 @@ class TcpTransport final : public Transport {
   /// closes hosted inboxes. Idempotent.
   void Shutdown() override;
 
+  /// Kills the I/O loop as if its thread had crashed (test hook for the
+  /// Send-must-not-hang-forever regression; the transport object survives
+  /// but no further I/O happens until `Shutdown`).
+  void StopLoopForTest();
+
  private:
-  /// One live socket. The fd/outbox/dead fields are shared with `Send`; all
-  /// other state belongs to the loop thread.
+  struct Session;
+
+  /// One live socket. The fd/dead fields are shared with `Send`; all other
+  /// state belongs to the loop thread.
   struct Conn {
     int fd = -1;
-    /// Outbound queue; the loop drains it into encoded frames.
-    std::unique_ptr<net::Channel> outbox;
     std::atomic<bool> dead{false};
 
     // --- loop-thread-only from here -----------------------------------------
     bool expect_hello = false;
+    /// Destinations currently routed over this connection (each has a
+    /// Session whose outbox the loop drains into this socket).
+    std::vector<NodeId> dsts;
+    /// Last instant any bytes arrived (heartbeat liveness input).
+    TimestampUs last_recv_us = 0;
+    /// Last instant a heartbeat ping left (rate-limits idle pings).
+    TimestampUs last_ping_us = 0;
+    /// A `kShutdown` frame passed through (either direction): a subsequent
+    /// close is an orderly end-of-stream, not a peer failure.
+    bool saw_shutdown = false;
+    /// Chaos: writes are paused until this instant (0 = no stall).
+    TimestampUs stall_until_us = 0;
     /// Set once the loop has the fd in its epoll set (frames queued before
     /// then wait in the outbox; the fd may still be blocking).
     bool registered = false;
@@ -213,6 +271,22 @@ class TcpTransport final : public Transport {
       NodeId dst = 0;
       net::MessageType type = net::MessageType::kShutdown;
       uint64_t event_count = 0;
+      uint32_t seq = 0;
+      /// Transport control (heartbeat/ack): not charged to the link-traffic
+      /// instruments, never retained, invisible to byte-parity accounting.
+      bool control = false;
+      /// Retain a copy in the session's unacked window once fully written
+      /// (false for replayed copies — the original retained entry stands).
+      bool retain = true;
+      /// Chaos: the corruption injector's one-byte flip applied to `bytes`
+      /// (mask 0 = none). Undone before the frame is retained or salvaged:
+      /// the flip models damage on the wire, not in the sender's memory, so
+      /// a retransmit must carry the pristine encoding — a baked-in flip
+      /// would make the frame unrecoverable no matter how often it replays.
+      size_t corrupt_at = 0;
+      uint8_t corrupt_mask = 0;
+      /// Owning session for retention/salvage (null for control frames).
+      Session* session = nullptr;
     };
     std::deque<PendingFrame> wq;
     /// Total encoded bytes queued in `wq` (high-water check).
@@ -224,20 +298,93 @@ class TcpTransport final : public Transport {
     TimestampUs drain_deadline_us = 0;
   };
 
-  /// Stamps the next per-destination sequence number (epoch in the top 8
-  /// bits, a 1-based 24-bit counter below).
-  uint32_t NextSeqFor(NodeId dst);
+  /// A frame retained after being written, awaiting the peer's cumulative
+  /// ack; replayed verbatim on session resume or retransmit timeout.
+  struct RetainedFrame {
+    std::vector<uint8_t> bytes;
+    NodeId src = 0;
+    NodeId dst = 0;
+    net::MessageType type = net::MessageType::kShutdown;
+    uint64_t event_count = 0;
+    uint32_t seq = 0;
+    TimestampUs written_at_us = 0;
+  };
+
+  /// \brief Per-destination send state, decoupled from any one socket.
+  ///
+  /// Connections die; sessions survive them. A session owns the bounded
+  /// outbox `Send` pushes into, the window of written-but-unacked frames
+  /// (replayed onto the next connection, where the receiver's dedup swallows
+  /// any duplicates), and frames salvaged encoded-but-unwritten from a dead
+  /// connection's write queue (replayed exactly once, so they still count as
+  /// first deliveries). The map entry is created under `mu_`; the deques are
+  /// loop-thread-only.
+  struct Session {
+    NodeId dst = 0;
+    /// Outbound queue; the loop drains it into the routed conn's frames.
+    std::unique_ptr<net::Channel> outbox;
+    /// True once a kShutdown to this destination entered the outbox: the
+    /// stream is ending by design, so a subsequent connection close is
+    /// orderly and must not trigger peer-down accounting or redial.
+    std::atomic<bool> closing{false};
+    /// A background redial for this destination is queued or in flight
+    /// (loop thread sets, redial thread clears) — dedups kill cascades.
+    std::atomic<bool> redial_pending{false};
+
+    // --- loop-thread-only from here -----------------------------------------
+    /// Written frames awaiting the peer's cumulative ack, oldest first.
+    std::deque<RetainedFrame> unacked;
+    /// Frames salvaged (encoded, unwritten) from a dead connection's write
+    /// queue; replayed ahead of fresh outbox traffic on the next conn.
+    std::deque<RetainedFrame> salvaged;
+
+    size_t retained() const { return unacked.size() + salvaged.size(); }
+  };
+
+  /// \brief Per-(src, dst) receive stream: cumulative-ack and dedup state.
+  ///
+  /// `cum` is the highest contiguously received serial (RFC 1982 order
+  /// within the epoch in its top byte); `ooo` holds serials received ahead
+  /// of it. A frame at or below `cum` or in `ooo` is a retransmit duplicate:
+  /// dropped before the inbox and excluded from recv accounting (parity),
+  /// but re-acked so the sender stops replaying it.
+  struct RecvStream {
+    uint32_t cum = 0;
+    bool seen_any = false;
+    std::set<uint32_t> ooo;
+    /// Stream progressed (or re-saw a duplicate) since the last ack flush.
+    bool ack_dirty = false;
+  };
+
+  /// Stamps the next per-(src, dst) sequence number (epoch in the top 8
+  /// bits, a 1-based 24-bit counter below) — the same keying the in-process
+  /// fabric uses, so retained-frame replay of one stream never perturbs
+  /// another stream's dedup window.
+  uint32_t NextSeqFor(NodeId src, NodeId dst);
   /// Route to \p dst: an existing live connection, else a lazy dial of the
   /// configured peer address.
   Result<Conn*> ConnFor(NodeId dst);
   /// Connects to host:port with bounded retry + exponential backoff and
   /// writes the hello preamble. Returns the connected fd.
   Result<int> DialWithRetry(const std::string& host, uint16_t port);
-  /// Wraps \p fd in a Conn and posts its registration to the loop (mu_ held).
-  Conn* AdoptLocked(int fd, bool expect_hello);
+  /// Wraps \p fd in a Conn and posts its registration to the loop (mu_
+  /// held). \p dsts are the destinations this connection will carry (known
+  /// for dialed conns; an acceptor learns them from the hello instead).
+  Conn* AdoptLocked(int fd, bool expect_hello, std::vector<NodeId> dsts);
+  /// Session for \p dst, created on first use (mu_ held).
+  Session* SessionForLocked(NodeId dst);
   /// Starts the loop thread on first use (Start, or a pure client's first
   /// dial). Idempotent; safe from any thread.
   Status EnsureLoopStarted();
+  /// Queues a background redial of configured peer \p dst (any thread).
+  /// No-op while draining, when redial is off, or when one is in flight.
+  void RequestRedial(NodeId dst);
+  /// Background thread: dials queued peers with the usual backoff, adopts
+  /// the fresh connection, and re-registers the route.
+  void RedialThreadMain();
+  /// Effective retransmit timeout / retention bound (derived defaults).
+  DurationUs RetransmitTimeoutUs() const;
+  size_t RetainCapacity() const;
 
   // --- loop-thread handlers -------------------------------------------------
   void RegisterConn(Conn* conn);
@@ -248,6 +395,27 @@ class TcpTransport final : public Transport {
   /// Parses every complete frame in the read window; returns false when the
   /// conn was killed (protocol error).
   bool ParseFrames(Conn* conn);
+  /// Handles a transport-control frame (heartbeat ping/pong, cumulative
+  /// ack); never reaches an inbox.
+  void HandleControlFrame(Conn* conn, const FrameHeader& h,
+                          const uint8_t* payload);
+  /// Dedup gate: true when (src, dst, seq) is a first delivery; duplicates
+  /// are counted, re-acked, and dropped by the caller.
+  bool AcceptSeq(NodeId src, NodeId dst, uint32_t seq);
+  /// Sends one coalesced kAck frame covering every dirty stream this
+  /// connection carries (called after each read pass that made progress).
+  void FlushAcks(Conn* conn);
+  /// Drops \p session's acked retained frames per a received cumulative ack.
+  void ApplyAck(NodeId src, NodeId dst, uint32_t cum_seq);
+  /// Enqueues a control frame (heartbeat/ack) directly onto \p conn's write
+  /// queue, bypassing outboxes, retention, and traffic accounting.
+  void QueueControlFrame(Conn* conn, net::Message m);
+  /// Heartbeat timer body: ping idle conns, declare silent peers dead,
+  /// retransmit overdue unacked frames; reschedules itself.
+  void HeartbeatTick();
+  /// Replays \p session's retained frames (unacked copies first, then the
+  /// salvaged queue) onto \p conn after a route (re)bind.
+  void ReplaySession(Session* session, Conn* conn);
   /// Makes room for at least \p hint more unread bytes, moving a partial
   /// frame into a fresh arena block when the current one is full.
   void EnsureReadCapacity(Conn* conn, size_t hint);
@@ -290,8 +458,29 @@ class TcpTransport final : public Transport {
   /// Live route per remote node: configured (dialed) or learned (hello).
   std::map<NodeId, Conn*> routes_;
   std::vector<std::unique_ptr<Conn>> conns_;
-  /// Per-destination sequence counters (guarded by mu_).
-  std::map<NodeId, uint32_t> next_seq_;
+  /// Per-destination send sessions (entries created under mu_, owned here;
+  /// the deques inside are loop-thread-only).
+  std::map<NodeId, std::unique_ptr<Session>> sessions_;
+  /// Per-(src, dst) sequence counters, keyed src << 32 | dst (guarded by
+  /// mu_) — mirrors the in-process fabric's stamping.
+  std::map<uint64_t, uint32_t> next_seq_;
+  /// Per-(src, dst) receive streams, keyed src << 32 | dst
+  /// (loop-thread-only).
+  std::map<uint64_t, RecvStream> recv_streams_;
+
+  /// Background redial machinery (guarded by redial_mu_).
+  std::mutex redial_mu_;
+  std::condition_variable redial_cv_;
+  std::deque<NodeId> redial_queue_;
+  bool redial_stop_ = false;
+  bool redial_started_ = false;
+  std::thread redial_thread_;
+
+  /// Loop-thread-only chaos state: cumulative data frames fully written,
+  /// and the next pending index into the sorted kill schedule.
+  uint64_t data_frames_written_ = 0;
+  size_t kill_schedule_idx_ = 0;
+  bool write_stall_armed_ = false;
   /// Dial-backoff jitter draw (own mutex: dialing happens outside mu_).
   std::mutex jitter_mu_;
   Rng jitter_rng_;
@@ -307,6 +496,21 @@ class TcpTransport final : public Transport {
   obs::Counter* c_accept_errors_;
   /// Sends that found their connection's outbox full (backpressure events).
   obs::Counter* c_outbox_full_;
+  /// Peers declared dead (heartbeat silence or unexpected connection loss).
+  obs::Counter* c_peer_down_;
+  /// Successful background reconnects to configured peers.
+  obs::Counter* c_reconnects_;
+  /// Retained frames replayed (session resume + retransmit timeouts).
+  obs::Counter* c_replayed_;
+  /// Duplicate frames the receive-side dedup swallowed.
+  obs::Counter* c_dup_dropped_;
+  /// Partial frames lost to a peer closing mid-frame (previously silent).
+  obs::Counter* c_partial_frame_drops_;
+  /// Heartbeat / ack control frames sent (parity-excluded traffic).
+  obs::Counter* c_heartbeats_;
+  obs::Counter* c_acks_;
+  /// Connections severed by the chaos injector.
+  obs::Counter* c_conn_kills_;
 };
 
 }  // namespace dema::transport

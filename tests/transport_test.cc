@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -115,7 +119,7 @@ TEST(Frame, HelloRejectsProtocolVersionMismatch) {
   // instead of desynchronizing the frame stream on the missing CRC trailers.
   net::Writer v1;
   v1.PutU32(kHelloMagic);
-  v1.PutU32(3);  // v1 node count, read as a version
+  v1.PutU32(1);  // v1 node count, read as a version (v3+ never goes back)
   v1.PutU32(7);  // first node id, read as a count
   auto v1_st = DecodeHelloPrefix(v1.buffer().data(), kHelloPrefixBytes);
   ASSERT_FALSE(v1_st.ok());
@@ -421,6 +425,100 @@ TEST(TcpTransport, FullOutboxSurfacesBackpressureInsteadOfGrowing) {
 
   client.Shutdown();  // abandons the stalled frames after the drain grace
   ::close(*listener);
+}
+
+TEST(TcpTransport, BlockedSendFailsWhenLoopDiesInsteadOfHangingForever) {
+  // Regression: with outbox_block=true (the default) a sender blocked on a
+  // full outbox parked on a condition variable only the I/O loop signalled.
+  // If the loop thread died, the send waited forever. The bounded-slice wait
+  // must notice the dead loop and surface a NetworkError instead.
+  auto listener = BindListenSocket("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto port = ListenSocketPort(*listener);
+  ASSERT_TRUE(port.ok());
+  // The peer never accepts or reads; the backlog completes the handshake and
+  // then the stalled receive window backs pressure up into the outbox.
+
+  TcpTransportOptions copts;
+  copts.listen = false;
+  copts.outbox_capacity = 2;
+  copts.connect_attempts = 3;
+  TcpTransport client(copts);
+  ASSERT_TRUE(client.AddLocalNode(1).ok());
+  ASSERT_TRUE(client.AddPeer(0, "127.0.0.1", *port).ok());
+  ASSERT_TRUE(client.Start().ok());
+
+  std::atomic<bool> send_returned{false};
+  Status blocked = Status::OK();
+  std::thread sender([&] {
+    for (int i = 0; i < 200; ++i) {
+      Status st = client.Send(TestMessage(1, 0, 256 << 10));
+      if (!st.ok()) {
+        blocked = st;
+        break;
+      }
+    }
+    send_returned.store(true);
+  });
+
+  // Wait until the sender is actually parked on the full outbox (the
+  // backpressure counter fires on the first full push attempt).
+  auto* full = client.registry()->GetCounter("net.outbox_full");
+  for (int i = 0; i < 500 && full->Value() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GT(full->Value(), 0u) << "sender never hit the outbox bound";
+  EXPECT_FALSE(send_returned.load());
+
+  client.StopLoopForTest();  // the loop dies with the sender still blocked
+  sender.join();
+  ASSERT_TRUE(send_returned.load());
+  EXPECT_EQ(blocked.code(), StatusCode::kNetworkError);
+  EXPECT_NE(blocked.message().find("I/O loop exited"), std::string::npos)
+      << blocked.message();
+
+  client.Shutdown();
+  ::close(*listener);
+}
+
+TEST(TcpTransport, PartialFrameLostToPeerDeathIsCounted) {
+  // A peer dying mid-frame used to vanish silently: the fragment sat in the
+  // receive arena and was freed with the connection. The loss is real (that
+  // frame never reaches an inbox), so it must show up next to the link
+  // metrics as net.partial_frame_drops.
+  TcpTransport server;
+  ASSERT_TRUE(server.AddLocalNode(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.bound_port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // A complete hello, then a frame cut short of its CRC trailer.
+  std::vector<uint8_t> hello;
+  EncodeHello({7}, &hello);
+  ASSERT_EQ(::write(fd, hello.data(), hello.size()),
+            static_cast<ssize_t>(hello.size()));
+  std::vector<uint8_t> frame;
+  EncodeFrame(TestMessage(7, 0, 64), &frame);
+  const size_t partial = frame.size() - 10;
+  ASSERT_EQ(::write(fd, frame.data(), partial), static_cast<ssize_t>(partial));
+  // Let the loop ingest the fragment before the "crash".
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ::close(fd);
+
+  auto* drops = server.registry()->GetCounter("net.partial_frame_drops");
+  for (int i = 0; i < 500 && drops->Value() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(drops->Value(), 1u);
+  // The truncated frame never surfaced as a message.
+  EXPECT_FALSE(server.Inbox(0)->TryPop().has_value());
+  server.Shutdown();
 }
 
 TEST(TcpTransport, ShutdownFlushesPendingSends) {

@@ -448,6 +448,21 @@ void PrintTcpMetrics(const sim::RunMetrics& metrics, const Flags& flags) {
   EmitTable(table, flags);
 }
 
+/// Session-resilience tuning shared by every TCP command: `--heartbeat-ms`
+/// turns on idle-connection heartbeats + dead-peer detection,
+/// `--heartbeat-misses` sets the silence budget, `--auto-reconnect` enables
+/// background redial with acked-frame replay.
+sim::TcpSessionTuning SessionTuningFromFlags(const Flags& flags) {
+  sim::TcpSessionTuning tuning;
+  if (flags.Has("heartbeat-ms")) {
+    tuning.heartbeat_interval_us =
+        MillisUs(flags.GetInt("heartbeat-ms", 0));
+  }
+  tuning.heartbeat_misses = static_cast<int>(flags.GetInt("heartbeat-misses", 3));
+  tuning.auto_reconnect = flags.Has("auto-reconnect");
+  return tuning;
+}
+
 /// Sharded (multi-tenant) serve roles, selected by `--shards=S`.
 int CmdServeSharded(const Flags& flags) {
   auto sc_result = BuildShardedConfig(flags);
@@ -470,6 +485,9 @@ int CmdServeSharded(const Flags& flags) {
                      kMicrosPerSecond;
     opts.outbox_capacity =
         static_cast<size_t>(flags.GetInt("outbox-cap", 1024));
+    sim::TcpSessionTuning tuning = SessionTuningFromFlags(flags);
+    opts.heartbeat_interval_us = tuning.heartbeat_interval_us;
+    opts.heartbeat_misses = tuning.heartbeat_misses;
     opts.on_listening = [&](uint16_t port) {
       std::cerr << "demactl: sharded root listening on " << listen->first << ":"
                 << port << " (" << sc.num_shards << " shards, " << sc.num_keys
@@ -495,6 +513,10 @@ int CmdServeSharded(const Flags& flags) {
     opts.timeout_us = timeout_us;
     opts.outbox_capacity =
         static_cast<size_t>(flags.GetInt("outbox-cap", 1024));
+    sim::TcpSessionTuning tuning = SessionTuningFromFlags(flags);
+    opts.heartbeat_interval_us = tuning.heartbeat_interval_us;
+    opts.heartbeat_misses = tuning.heartbeat_misses;
+    opts.auto_reconnect = tuning.auto_reconnect;
     auto report = shard::RunShardedTcpLocal(sc, *load_result, id, opts);
     if (!report.ok()) return Fail(report.status().ToString());
     std::cout << "keyed local " << id << ": ingested "
@@ -526,6 +548,7 @@ int CmdServe(const Flags& flags) {
     opts.timeout_us = timeout_us;
     opts.outbox_capacity =
         static_cast<size_t>(flags.GetInt("outbox-cap", 1024));
+    opts.session = SessionTuningFromFlags(flags);
     opts.on_listening = [&](uint16_t port) {
       std::cerr << "demactl: root listening on " << listen->first << ":" << port
                 << ", waiting for " << config.num_locals << " locals\n";
@@ -547,6 +570,7 @@ int CmdServe(const Flags& flags) {
     opts.timeout_us = timeout_us;
     opts.outbox_capacity =
         static_cast<size_t>(flags.GetInt("outbox-cap", 1024));
+    opts.session = SessionTuningFromFlags(flags);
     auto report = sim::RunTcpLocal(config, *load_result, id, opts);
     if (!report.ok()) return Fail(report.status().ToString());
     uint64_t sent_bytes = 0;
@@ -593,7 +617,71 @@ std::string DescribeChaosDiff(const sim::ChaosReport& a,
   return "";
 }
 
+/// Connection-level chaos over the forked TCP cluster
+/// (`chaos --conn-kill=N@F..U`): sockets are severed mid-window — plus
+/// optional CRC-caught frame corruption and write stalls — and the session
+/// layer (heartbeats, redial, acked-frame replay) must make every fault
+/// invisible: the quantiles must exactly match a fault-free in-process run.
+int CmdConnChaos(const Flags& flags) {
+  auto plan_result = sim::ParseConnKillSpec(flags.GetString("conn-kill", ""));
+  if (!plan_result.ok()) return Fail(plan_result.status().ToString());
+
+  auto config_result = BuildConfig(flags);
+  if (!config_result.ok()) return Fail(config_result.status().ToString());
+  sim::SystemConfig config = *config_result;
+  if (config.kind != sim::SystemKind::kDema) {
+    return Fail("chaos supports --system=dema only");
+  }
+  if (flags.Has("deadline")) {
+    config.root_deadline_ticks =
+        static_cast<uint64_t>(flags.GetInt("deadline", 0));
+  }
+  auto load_result = BuildWorkload(flags, config);
+  if (!load_result.ok()) return Fail(load_result.status().ToString());
+  sim::WorkloadConfig load = *load_result;
+  load.window_len_us = config.window_len_us;
+
+  sim::TcpClusterFaultOptions fault;
+  fault.conn_kill = *plan_result;
+  double corrupt = flags.GetDouble("corrupt-rate", 0.0);
+  if (corrupt < 0 || corrupt >= 1) {
+    return Fail("--corrupt-rate must be in [0, 1)");
+  }
+  fault.corrupt_rate = corrupt;
+  fault.corrupt_seed = static_cast<uint64_t>(flags.GetInt("corrupt-seed", 0));
+  fault.session = SessionTuningFromFlags(flags);
+  if (fault.session.heartbeat_interval_us <= 0) {
+    // Connection chaos is pointless without liveness detection; default to a
+    // tight interval so kills are noticed well inside a test window.
+    fault.session.heartbeat_interval_us = MillisUs(20);
+  }
+  fault.session.auto_reconnect = true;
+  fault.write_stall_after_frames =
+      static_cast<uint64_t>(flags.GetInt("write-stall-after", 0));
+  fault.write_stall_us = MillisUs(flags.GetInt("write-stall-ms", 50));
+
+  auto report_result = sim::RunTcpConnChaos(config, load, fault);
+  if (!report_result.ok()) return Fail(report_result.status().ToString());
+  sim::TcpConnChaosReport report = std::move(report_result).MoveValueUnsafe();
+
+  std::cout << "conn chaos: " << report.conn_kills << " kills injected, "
+            << report.peer_down << " peer-down, " << report.reconnects
+            << " redials, " << report.replayed_frames << " frames replayed, "
+            << report.partial_frame_drops << " partial-frame drops\n"
+            << "parity: " << report.outputs.size() << " windows vs "
+            << report.reference.size() << " reference, "
+            << report.degraded_windows << " degraded, "
+            << report.mismatched_windows << " mismatched\n";
+  if (!report.Invariant()) {
+    return Fail("conn-chaos invariant violated: " + report.violation);
+  }
+  std::cout << "conn-chaos invariant held: every fault fired and every "
+               "window is exact and identical to the fault-free run\n";
+  return 0;
+}
+
 int CmdChaos(const Flags& flags) {
+  if (flags.Has("conn-kill")) return CmdConnChaos(flags);
   if (!flags.Has("fault-schedule")) {
     return Fail(
         "chaos needs --fault-schedule=SPEC, e.g. "
@@ -686,9 +774,11 @@ int CmdCluster(const Flags& flags) {
   if (!load_result.ok()) return Fail(load_result.status().ToString());
   CommandObs command_obs(&config, flags, /*enable_logger=*/!flags.Has("tcp"));
 
+  sim::TcpClusterFaultOptions cluster_opts;
+  cluster_opts.session = SessionTuningFromFlags(flags);
   Result<sim::RunMetrics> metrics = flags.Has("tcp")
       // One OS process per local node plus the root, TCP over loopback.
-      ? sim::RunTcpClusterForked(config, *load_result,
+      ? sim::RunTcpClusterForked(config, *load_result, cluster_opts,
                                  flags.GetString("host", "127.0.0.1"),
                                  static_cast<uint16_t>(flags.GetInt("port", 0)))
       // Same topology over the in-process fabric, for comparison.
@@ -849,9 +939,16 @@ int main(int argc, char** argv) {
          "               (drop= dup= delay-us= corrupt= tamper-prob= seed=\n"
          "               strikes= crash=N@W+D partition=A-B@F..U\n"
          "               tamper=N@F..U), --corrupt-rate=P frame-flip\n"
-         "               shorthand, --verify-determinism runs twice\n"
+         "               shorthand, --verify-determinism runs twice;\n"
+         "               --conn-kill=N@F..U instead runs the forked TCP\n"
+         "               cluster severing connections N times between the\n"
+         "               F-th and U-th data frame (with --corrupt-rate=P,\n"
+         "               --write-stall-after=N --write-stall-ms=MS) and\n"
+         "               demands exact parity with a fault-free run\n"
          "flags: --system= --locals= --windows= --rate= --gamma= --quantiles=\n"
          "       --dist= --scale-rates= --slide-ms= --adaptive --per-node-gamma\n"
-         "       --naive-selection --csv= --metrics-out= --metrics-log-ms=\n";
+         "       --naive-selection --csv= --metrics-out= --metrics-log-ms=\n"
+         "       --heartbeat-ms= --heartbeat-misses= --auto-reconnect (TCP\n"
+         "       session resilience: liveness probes, redial, frame replay)\n";
   return cmd == "help" ? 0 : 1;
 }
