@@ -1,10 +1,15 @@
 // Figure 6b: network cost as local nodes are added (fixed gamma, similar
-// distributions and event rates per node). Deterministic synchronous runs.
+// distributions and event rates per node). Deterministic synchronous runs
+// by default; `--topology=` switches to event-driven delivery over a routed
+// topology (`--locals-list=` picks explicit sizes, enabling 1000+ locals).
 //
 // Expected shape (paper): all systems grow linearly with node count; Dema
-// stays far below Scotty/Desis at every size.
+// stays far below Scotty/Desis at every size. Wire accounting is
+// endpoint-to-endpoint, so routed runs report the same events/bytes as the
+// flat fabric.
 
 #include "harness.h"
+#include "sim/scenario.h"
 
 using namespace dema;
 
@@ -14,13 +19,25 @@ int main(int argc, char** argv) {
   const double rate = flags.GetDouble("rate", 50'000);
   const uint64_t gamma = static_cast<uint64_t>(flags.GetInt("gamma", 10'000));
   const size_t max_locals = static_cast<size_t>(flags.GetInt("max_locals", 8));
+  const std::string topology = flags.GetString("topology", "flat");
+  const bool routed = topology != "flat";
+
+  std::vector<size_t> sizes;
+  for (double v : flags.GetDoubleList("locals-list", {})) {
+    sizes.push_back(static_cast<size_t>(v));
+  }
+  if (sizes.empty()) {
+    for (size_t locals = 2; locals <= max_locals; locals += 2) {
+      sizes.push_back(locals);
+    }
+  }
 
   std::cout << "=== Figure 6b: network cost vs #local nodes (gamma=" << gamma
             << ", " << windows << " windows x " << FmtRate(rate)
-            << " per node) ===\n";
+            << " per node, topology=" << topology << ") ===\n";
 
   Table table({"locals", "system", "ingested", "wire events", "wire bytes"});
-  for (size_t locals = 2; locals <= max_locals; locals += 2) {
+  for (size_t locals : sizes) {
     sim::WorkloadConfig load = sim::MakeUniformWorkload(
         locals, windows, rate, bench::SensorDistribution());
     for (auto kind : {sim::SystemKind::kDema, sim::SystemKind::kCentralExact,
@@ -29,12 +46,25 @@ int main(int argc, char** argv) {
       config.kind = kind;
       config.num_locals = locals;
       config.gamma = gamma;
-      auto metrics = bench::Unwrap(sim::RunSync(config, load), "sync run");
+      uint64_t ingested = 0, wire_events = 0, wire_bytes = 0;
+      if (routed) {
+        sim::ScenarioOptions options;
+        options.topology = topology;
+        auto report =
+            bench::Unwrap(sim::RunScenario(config, load, options), "scenario");
+        ingested = report.events_ingested;
+        wire_events = report.network_total.events;
+        wire_bytes = report.network_total.bytes;
+      } else {
+        auto metrics = bench::Unwrap(sim::RunSync(config, load), "sync run");
+        ingested = metrics.events_ingested;
+        wire_events = metrics.network_total.events;
+        wire_bytes = metrics.network_total.bytes;
+      }
       bench::UnwrapStatus(
           table.AddRow({std::to_string(locals), sim::SystemKindToString(kind),
-                        FmtCount(metrics.events_ingested),
-                        FmtCount(metrics.network_total.events),
-                        FmtBytes(metrics.network_total.bytes)}),
+                        FmtCount(ingested), FmtCount(wire_events),
+                        FmtBytes(wire_bytes)}),
           "table row");
     }
   }

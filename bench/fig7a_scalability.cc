@@ -2,12 +2,15 @@
 // Desis; 1 s tumbling windows, median, gamma = 10,000). Uses the
 // simulated-parallel throughput model (see fig5a_throughput.cc): the
 // pipeline rate is bounded by the busiest node's measured busy time.
+// `--topology=` switches to event-driven delivery over a routed topology and
+// `--locals-list=` picks explicit sizes (enabling 1000+ locals).
 //
 // Expected shape (paper): Dema grows near-linearly (slightly sublinear from
 // extra slices/overlaps); Desis grows less and plateaus; Scotty bottlenecks
 // at the root earliest.
 
 #include "harness.h"
+#include "sim/scenario.h"
 
 using namespace dema;
 
@@ -17,12 +20,24 @@ int main(int argc, char** argv) {
   const double rate = flags.GetDouble("rate", 150'000);
   const uint64_t gamma = static_cast<uint64_t>(flags.GetInt("gamma", 10'000));
   const size_t max_locals = static_cast<size_t>(flags.GetInt("max_locals", 8));
+  const std::string topology = flags.GetString("topology", "flat");
+  const bool routed = topology != "flat";
+
+  std::vector<size_t> sizes;
+  for (double v : flags.GetDoubleList("locals-list", {})) {
+    sizes.push_back(static_cast<size_t>(v));
+  }
+  if (sizes.empty()) {
+    for (size_t locals = 2; locals <= max_locals; locals += 2) {
+      sizes.push_back(locals);
+    }
+  }
 
   std::cout << "=== Figure 7a: scalability (throughput vs #locals, gamma="
-            << gamma << ") ===\n";
+            << gamma << ", topology=" << topology << ") ===\n";
 
   Table table({"locals", "system", "throughput", "events/s", "bottleneck"});
-  for (size_t locals = 2; locals <= max_locals; locals += 2) {
+  for (size_t locals : sizes) {
     sim::WorkloadConfig load = sim::MakeUniformWorkload(
         locals, windows, rate, bench::SensorDistribution());
     for (auto kind : {sim::SystemKind::kDema, sim::SystemKind::kCentralExact,
@@ -31,12 +46,25 @@ int main(int argc, char** argv) {
       config.kind = kind;
       config.num_locals = locals;
       config.gamma = gamma;
-      auto metrics = bench::Unwrap(sim::RunSync(config, load), "sync run");
+      double throughput = 0;
+      std::string bottleneck;
+      if (routed) {
+        sim::ScenarioOptions options;
+        options.topology = topology;
+        auto report =
+            bench::Unwrap(sim::RunScenario(config, load, options), "scenario");
+        throughput = report.sim_throughput_eps;
+        bottleneck = report.root_busy_seconds >= report.max_local_busy_seconds
+                         ? "root"
+                         : "local";
+      } else {
+        auto metrics = bench::Unwrap(sim::RunSync(config, load), "sync run");
+        throughput = metrics.sim_throughput_eps;
+        bottleneck = metrics.bottleneck;
+      }
       bench::UnwrapStatus(
           table.AddRow({std::to_string(locals), sim::SystemKindToString(kind),
-                        FmtRate(metrics.sim_throughput_eps),
-                        FmtF(metrics.sim_throughput_eps, 0),
-                        metrics.bottleneck}),
+                        FmtRate(throughput), FmtF(throughput, 0), bottleneck}),
           "table row");
     }
   }

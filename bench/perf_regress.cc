@@ -29,6 +29,7 @@
 #include "common/json.h"
 #include "harness.h"
 #include "shard/sim_run.h"
+#include "sim/scenario.h"
 #include "sim/tcp_run.h"
 
 using namespace dema;
@@ -210,6 +211,46 @@ KeyedResult RunKeyed(uint64_t keys, uint64_t shards, size_t workers,
   return result;
 }
 
+/// The discrete-event simulator at scale: 1000 locals over a routed
+/// fat-tree, one deterministic event-driven run. CI gates the simulator's
+/// events/s (how fast virtual time advances per wall second) so tick-queue
+/// or routing regressions show up next to the transport numbers.
+struct SimResult {
+  sim::ScenarioReport report;
+};
+
+SimResult RunSimAtScale(size_t locals, uint64_t windows, double rate,
+                        uint64_t gamma) {
+  sim::SystemConfig config;
+  config.kind = sim::SystemKind::kDema;
+  config.num_locals = locals;
+  config.gamma = gamma;
+  config.quantiles = {0.5, 0.99};
+  sim::WorkloadConfig load = sim::MakeUniformWorkload(
+      locals, windows, rate, bench::SensorDistribution());
+  sim::ScenarioOptions options;
+  options.topology = "fat-tree";
+  SimResult result;
+  result.report = bench::Unwrap(sim::RunScenario(config, load, options),
+                                "sim at scale");
+  return result;
+}
+
+std::string SimJson(const SimResult& r) {
+  JsonWriter w;
+  w.Field("topology", r.report.topology)
+      .Field("locals", r.report.num_locals)
+      .Field("events", r.report.events_ingested)
+      .Field("exact_windows", r.report.exact_windows)
+      .Field("sim_ticks", r.report.sim_ticks)
+      .Field("sim_events", r.report.sim_events)
+      .Field("event_queue_peak", r.report.event_queue_peak)
+      .Field("virtual_time_us", r.report.virtual_time_us)
+      .Field("throughput_eps", r.report.throughput_eps)
+      .Field("sim_throughput_eps", r.report.sim_throughput_eps);
+  return w.Finish();
+}
+
 std::string KeyedJson(const KeyedResult& r) {
   JsonWriter w;
   w.Field("keys", r.keys)
@@ -297,6 +338,27 @@ int main(int argc, char** argv) {
   }
   bench::EmitTable(keyed_table, flags);
 
+  const size_t sim_locals =
+      static_cast<size_t>(flags.GetInt("sim-locals", 1'000));
+  const uint64_t sim_windows =
+      static_cast<uint64_t>(flags.GetInt("sim-windows", 2));
+  const double sim_rate = flags.GetDouble("sim-rate", 100);
+  std::cout << "=== Simulator section: " << sim_locals
+            << " locals over a routed fat-tree, event-driven delivery ===\n";
+  SimResult sim_run = RunSimAtScale(sim_locals, sim_windows, sim_rate, gamma);
+  Table sim_table({"topology", "locals", "events", "exact", "sim events",
+                   "queue peak", "events/s (wall)"});
+  bench::UnwrapStatus(
+      sim_table.AddRow({sim_run.report.topology,
+                        FmtCount(sim_run.report.num_locals),
+                        FmtCount(sim_run.report.events_ingested),
+                        FmtCount(sim_run.report.exact_windows),
+                        FmtCount(sim_run.report.sim_events),
+                        FmtCount(sim_run.report.event_queue_peak),
+                        FmtF(sim_run.report.throughput_eps, 0)}),
+      "sim table row");
+  bench::EmitTable(sim_table, flags);
+
   JsonWriter w;
   w.Field("bench", "dema_perf_regress")
       .Field("locals", static_cast<uint64_t>(locals))
@@ -311,6 +373,7 @@ int main(int argc, char** argv) {
   for (const KeyedResult& r : keyed) {
     w.RawField("keyed_" + std::to_string(r.keys), KeyedJson(r));
   }
+  w.RawField("sim_1000", SimJson(sim_run));
   bench::WriteJsonFile(out, w.Finish());
   return 0;
 }

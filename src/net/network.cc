@@ -22,6 +22,8 @@ Network::Network(const Clock* clock, Options options)
       c_corrupted_frame_(registry_->GetCounter("net.corrupted{layer=frame}")),
       c_corrupted_payload_(
           registry_->GetCounter("net.corrupted{layer=payload}")),
+      c_sim_ticks_(registry_->GetCounter("sim.ticks")),
+      c_sim_events_(registry_->GetCounter("sim.events")),
       fault_rng_(options.fault_seed) {}
 
 Status Network::RegisterNode(NodeId id) {
@@ -38,6 +40,23 @@ Status Network::RegisterNode(NodeId id, size_t inbox_capacity) {
                                  " already registered");
   }
   order_.push_back(id);
+  return Status::OK();
+}
+
+Status Network::UnregisterNode(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inboxes_.find(id);
+  if (it == inboxes_.end()) {
+    return Status::NotFound("node " + std::to_string(id) + " not registered");
+  }
+  it->second->Close();
+  inboxes_.erase(it);
+  for (auto oit = order_.begin(); oit != order_.end(); ++oit) {
+    if (*oit == id) {
+      order_.erase(oit);
+      break;
+    }
+  }
   return Status::OK();
 }
 
@@ -153,13 +172,22 @@ std::vector<std::pair<Channel*, Message>> Network::CollectDueLocked(
       continue;
     }
     auto it = inboxes_.find(held.dst);
-    if (it == inboxes_.end()) continue;
+    if (it == inboxes_.end()) {
+      // The destination was unregistered while the message was in flight: it
+      // can never be delivered, which is a drop, not a silent vanish.
+      CountDropLocked("unknown_dest");
+      continue;
+    }
     out.emplace_back(it->second.get(), std::move(held));
   }
   return out;
 }
 
 Status Network::Send(Message m) {
+  // One stamping point for every path — inline, delayed, duplicated, or
+  // event-queued — so latency accounting is consistent across them.
+  m.send_time_us = clock_->NowUs();
+  const bool event_mode = options_.delivery == DeliveryMode::kEvent;
   Channel* inbox = nullptr;
   bool duplicate = false;
   bool delayed = false;
@@ -173,8 +201,12 @@ Status Network::Send(Message m) {
     }
     inbox = it->second.get();
     m.seq = ++next_seq_[MakeKey(m.src, m.dst)];
-    virtual_now_us_ +=
-        std::max<uint64_t>(1, options_.link_model.base_latency_us);
+    if (!event_mode) {
+      // Inline mode's virtual clock ticks once per send; in event mode it
+      // follows the tick queue instead (sends between ticks are concurrent).
+      virtual_now_us_ +=
+          std::max<uint64_t>(1, options_.link_model.base_latency_us);
+    }
     // A tampering sender corrupts its payload before the message ever
     // reaches the wire; the frame (and its checksum) is built over the
     // already-tampered bytes, so the loss/corruption pipeline below treats
@@ -183,20 +215,19 @@ Status Network::Send(Message m) {
     // Fault pipeline. Dropped messages return OK: a lost datagram looks like
     // a successful send. Loss is charged to the wire (the message travelled
     // before it was lost); partition/node-down drops never leave the sender.
+    // The draw order is identical in both delivery modes, so a fault seed
+    // replays the same schedule whether delivery is inline or event-driven.
     if (down_.count(m.src) || down_.count(m.dst)) {
       CountDropLocked("node_down");
       dropped = true;
-      due = CollectDueLocked(virtual_now_us_);
     } else if (partitions_.count(MakeKey(m.src, m.dst))) {
       CountDropLocked("partition");
       dropped = true;
-      due = CollectDueLocked(virtual_now_us_);
     } else if (options_.drop_prob > 0 &&
                fault_rng_.Bernoulli(options_.drop_prob)) {
       ChargeLocked(m);
       CountDropLocked("loss");
       dropped = true;
-      due = CollectDueLocked(virtual_now_us_);
     } else if (options_.corrupt_prob > 0 &&
                fault_rng_.Bernoulli(options_.corrupt_prob) &&
                CorruptFrameLocked(&m)) {
@@ -206,7 +237,6 @@ Status Network::Send(Message m) {
       ChargeLocked(m);
       CountDropLocked("corrupt");
       dropped = true;
-      due = CollectDueLocked(virtual_now_us_);
     } else {
       ChargeLocked(m);
       if (options_.duplicate_prob > 0 &&
@@ -217,39 +247,46 @@ Status Network::Send(Message m) {
         ++duplicates_injected_;
         duplicate = true;
       }
+      uint64_t extra = 0;
       if (options_.delay_us_max > 0 &&
           fault_rng_.Bernoulli(options_.delay_prob)) {
         // Hold the original back; an immediate duplicate (if any) overtakes
         // it, which is exactly the reorder at-least-once transports exhibit.
-        uint64_t extra = static_cast<uint64_t>(fault_rng_.UniformInt(
+        extra = static_cast<uint64_t>(fault_rng_.UniformInt(
             1, static_cast<int64_t>(options_.delay_us_max)));
         ++messages_delayed_;
         c_delayed_->Increment();
         delayed = true;
-        Message held = m;
-        held.send_time_us = clock_->NowUs();
-        delayed_.emplace(virtual_now_us_ + extra, std::move(held));
       }
-      due = CollectDueLocked(virtual_now_us_);
+      if (event_mode) {
+        // The duplicate ships undelayed, so it overtakes a delayed original
+        // on the queue; with equal due times FIFO keeps it first, matching
+        // inline-mode delivery order.
+        if (duplicate) EnqueueEventLocked(m, 0);
+        EnqueueEventLocked(std::move(m), extra);
+      } else if (delayed) {
+        delayed_.emplace(virtual_now_us_ + extra, m);
+      }
     }
+    if (!event_mode) due = CollectDueLocked(virtual_now_us_);
   }
-  m.send_time_us = clock_->NowUs();
-  // Push outside the lock: a full inbox must not block unrelated senders.
-  for (auto& [ch, held] : due) {
-    if (!ch->Push(std::move(held))) {
-      return Status::NetworkError("inbox of node closed");
+  if (event_mode) return Status::OK();
+  // Push outside the lock: a full inbox must not block unrelated senders. A
+  // closed inbox fails only its own delivery — the rest of the due batch
+  // still reaches its healthy destinations before the error is reported.
+  Status push_error = Status::OK();
+  auto push = [&push_error](Channel* ch, Message&& msg) {
+    if (!ch->Push(std::move(msg)) && push_error.ok()) {
+      push_error = Status::NetworkError("inbox of node closed");
     }
-  }
+  };
+  for (auto& [ch, held] : due) push(ch, std::move(held));
   if (duplicate) {
     Message copy = m;
-    if (!inbox->Push(std::move(copy))) {
-      return Status::NetworkError("inbox of node closed");
-    }
+    push(inbox, std::move(copy));
   }
-  if (!dropped && !delayed && !inbox->Push(std::move(m))) {
-    return Status::NetworkError("inbox of node closed");
-  }
-  return Status::OK();
+  if (!dropped && !delayed) push(inbox, std::move(m));
+  return push_error;
 }
 
 void Network::Partition(NodeId src, NodeId dst) {
@@ -283,6 +320,113 @@ void Network::SetNodeTamper(NodeId id, bool tampering) {
 uint64_t Network::messages_corrupted() const {
   std::lock_guard<std::mutex> lock(mu_);
   return messages_corrupted_;
+}
+
+void Network::EnqueueEventLocked(Message m, uint64_t extra_delay_us) {
+  HopEvent ev;
+  // An injected delay is queueing before the first hop starts, not wire time.
+  ev.hop_start_us = virtual_now_us_ + extra_delay_us;
+  uint64_t first_hop_us = 0;
+  if (options_.topology != nullptr) {
+    Status st = options_.topology->Route(m.src, m.dst, &ev.path);
+    if (!st.ok() || ev.path.empty()) {
+      // A registered node outside the topology's endpoint range has no
+      // route; the message can never arrive anywhere.
+      CountDropLocked("no_route");
+      return;
+    }
+    first_hop_us =
+        options_.topology->link(ev.path[0]).spec.TransferTimeUs(m.WireBytes());
+  } else {
+    double us = options_.link_model.TransferTimeUs(m.WireBytes());
+    first_hop_us = us < 1.0 ? 1 : static_cast<uint64_t>(us);
+  }
+  ev.msg = std::move(m);
+  events_.Push(ev.hop_start_us + first_hop_us, std::move(ev));
+}
+
+obs::Histogram* Network::HopHistogramLocked(tick::LinkTier tier) {
+  obs::Histogram*& slot = hop_latency_[static_cast<size_t>(tier)];
+  if (slot == nullptr) {
+    slot = registry_->GetHistogram(std::string("sim.hop_latency_us{tier=") +
+                                   tick::LinkTierName(tier) + "}");
+  }
+  return slot;
+}
+
+uint64_t Network::AdvanceEvents() {
+  std::vector<std::pair<Channel*, Message>> deliver;
+  uint64_t processed = 0;
+  uint64_t closed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.empty()) return 0;
+    const uint64_t now = events_.NextDue();
+    if (now > virtual_now_us_) virtual_now_us_ = now;
+    c_sim_ticks_->Increment();
+    while (!events_.empty() && events_.NextDue() == now) {
+      HopEvent ev = events_.Pop();
+      ++processed;
+      c_sim_events_->Increment();
+      if (!ev.path.empty()) {
+        const tick::Link& crossed =
+            options_.topology->link(ev.path[ev.next_hop]);
+        HopHistogramLocked(crossed.tier)->Record(now - ev.hop_start_us);
+        if (ev.next_hop + 1 < ev.path.size()) {
+          // Switch hop: forward on the next link. Transfer times are >= 1us,
+          // so the re-enqueued event lands strictly after this tick and the
+          // batch loop terminates.
+          ++ev.next_hop;
+          ev.hop_start_us = now;
+          uint64_t t = options_.topology->link(ev.path[ev.next_hop])
+                           .spec.TransferTimeUs(ev.msg.WireBytes());
+          events_.Push(now + t, std::move(ev));
+          continue;
+        }
+      }
+      // Final hop: the *delivery-time* fault state decides, exactly like the
+      // inline path's delayed-redelivery checks.
+      Message& m = ev.msg;
+      if (down_.count(m.src) || down_.count(m.dst)) {
+        CountDropLocked("node_down");
+        continue;
+      }
+      if (partitions_.count(MakeKey(m.src, m.dst))) {
+        CountDropLocked("partition");
+        continue;
+      }
+      auto it = inboxes_.find(m.dst);
+      if (it == inboxes_.end()) {
+        CountDropLocked("unknown_dest");
+        continue;
+      }
+      deliver.emplace_back(it->second.get(), std::move(m));
+    }
+  }
+  // Push outside the lock, mirroring the inline path.
+  for (auto& [ch, msg] : deliver) {
+    if (!ch->Push(std::move(msg))) ++closed;
+  }
+  if (closed > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t i = 0; i < closed; ++i) CountDropLocked("closed_inbox");
+  }
+  return processed;
+}
+
+size_t Network::pending_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t Network::virtual_now_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return virtual_now_us_;
+}
+
+uint64_t Network::event_queue_peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.peak_size();
 }
 
 uint64_t Network::FlushDelayed() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -14,6 +15,8 @@
 #include "net/message.h"
 #include "net/traffic_instruments.h"
 #include "obs/registry.h"
+#include "sim/tick/tick_queue.h"
+#include "sim/tick/topology.h"
 #include "transport/transport.h"
 
 namespace dema::net {
@@ -48,6 +51,24 @@ struct LinkModel {
 /// `TcpTransport` is the sockets one. Node logic sees only the interface.
 class Network : public transport::Transport {
  public:
+  /// How `Send` moves a message to its destination inbox.
+  enum class DeliveryMode {
+    /// Function-call delivery: `Send` pushes the inbox inline (the delay
+    /// injector's multimap is the only buffering). The default.
+    kInline,
+    /// Discrete-event delivery: `Send` enqueues a hop event on the central
+    /// tick queue at `now + link.TransferTimeUs(bytes)`; nothing reaches an
+    /// inbox until the driver calls `AdvanceEvents`. With a routed
+    /// `Options::topology` every message traverses its multi-hop path, one
+    /// event per link. Fault injectors keep their exact RNG draw order, so
+    /// seeded fault schedules replay identically in either mode; they act as
+    /// event transforms here (drop/corrupt suppress the event, duplicate
+    /// enqueues a second one, delay shifts the due time, and partition /
+    /// node-down / unknown-destination are re-checked at delivery time).
+    /// Single-threaded drivers only.
+    kEvent,
+  };
+
   struct Options {
     /// Inbox capacity in messages; 0 = unbounded. A bounded inbox gives
     /// backpressure, which the sustainable-throughput harness relies on.
@@ -94,6 +115,12 @@ class Network : public transport::Transport {
     /// fabric owns a private registry (reachable via `registry()`). Must
     /// outlive the network when provided.
     obs::Registry* registry = nullptr;
+    /// Delivery mode (see `DeliveryMode`).
+    DeliveryMode delivery = DeliveryMode::kInline;
+    /// Routed multi-hop topology for event-driven delivery; null = a single
+    /// direct hop per message (the flat `link_model`). Ignored in inline
+    /// mode. Endpoint ids must cover every registered node id.
+    std::shared_ptr<const tick::Topology> topology;
   };
 
   /// Creates a fabric with default options; \p clock stamps send times (must
@@ -112,6 +139,12 @@ class Network : public transport::Transport {
 
   /// Registers a node with an explicit inbox capacity (0 = unbounded).
   Status RegisterNode(NodeId id, size_t inbox_capacity);
+
+  /// Decommissions a node: closes and destroys its inbox (any `Inbox(id)`
+  /// pointer becomes dangling). In-flight messages to it — delayed or
+  /// event-queued — are dropped as `net.dropped{cause=unknown_dest}` when
+  /// they come due. Fails when the id was never registered.
+  Status UnregisterNode(NodeId id);
 
   /// The inbox of \p id, or nullptr when unknown. The pointer stays valid for
   /// the lifetime of the network.
@@ -154,6 +187,29 @@ class Network : public transport::Transport {
   /// the virtual clock; returns how many were delivered. Drivers call this at
   /// quiescence so a delayed message can never be lost, only reordered.
   uint64_t FlushDelayed();
+
+  // --- event-driven delivery -------------------------------------------------
+
+  /// The configured delivery mode.
+  DeliveryMode delivery_mode() const { return options_.delivery; }
+
+  /// Hop events queued but not yet processed (event mode; 0 in inline mode).
+  size_t pending_events() const;
+
+  /// Event mode: advances the virtual clock to the earliest due event and
+  /// processes *every* event due at that instant — one tick. Intermediate
+  /// hops re-enqueue the message on its next link; final hops re-check the
+  /// partition / node-down / destination state (faults act at delivery time)
+  /// and push the inbox. Returns the number of hop events processed, 0 when
+  /// the queue is idle. Counted in `sim.ticks` / `sim.events`, with per-tier
+  /// hop latencies in `sim.hop_latency_us{tier=...}`.
+  uint64_t AdvanceEvents();
+
+  /// Current virtual fabric time in microseconds.
+  uint64_t virtual_now_us() const;
+
+  /// High-water mark of the event queue (event mode).
+  uint64_t event_queue_peak() const;
 
   /// Messages silently dropped by fault injection so far (all causes).
   uint64_t messages_dropped() const;
@@ -244,6 +300,23 @@ class Network : public transport::Transport {
   /// down while they were in flight are dropped instead.
   std::vector<std::pair<Channel*, Message>> CollectDueLocked(uint64_t horizon);
 
+  /// One in-flight message traversing its (possibly multi-hop) route in
+  /// event-driven mode. `path[next_hop]` is the link currently being
+  /// crossed; an empty path is the flat single-hop case.
+  struct HopEvent {
+    Message msg;
+    std::vector<uint32_t> path;
+    uint32_t next_hop = 0;
+    /// Virtual time the current hop started (for per-hop latency).
+    uint64_t hop_start_us = 0;
+  };
+
+  /// Schedules \p m's first hop \p extra_delay_us past now (mu_ held).
+  void EnqueueEventLocked(Message m, uint64_t extra_delay_us);
+
+  /// Per-tier hop latency histogram, created on first use (mu_ held).
+  obs::Histogram* HopHistogramLocked(tick::LinkTier tier);
+
   const Clock* clock_;
   Options options_;
   std::unique_ptr<obs::Registry> owned_registry_;
@@ -276,11 +349,19 @@ class Network : public transport::Transport {
   std::set<NodeId> down_;
   /// Nodes currently emitting field-tampered (valid-CRC) payloads.
   std::set<NodeId> tampering_;
-  /// Virtual in-flight clock: advances by the link model's base latency per
-  /// send, so delayed redelivery is deterministic and wall-clock free.
+  /// Virtual in-flight clock. Inline mode: advances by the link model's base
+  /// latency per send, so delayed redelivery is deterministic and wall-clock
+  /// free. Event mode: advances to each tick's due time.
   uint64_t virtual_now_us_ = 0;
   /// Held-back messages keyed by due time (stable FIFO among equal keys).
+  /// Inline mode only; event mode folds delays into the event queue.
   std::multimap<uint64_t, Message> delayed_;
+  /// Central virtual-time event queue (event-driven mode).
+  tick::TickQueue<HopEvent> events_;
+  obs::Counter* c_sim_ticks_;
+  obs::Counter* c_sim_events_;
+  /// Lazily-created `sim.hop_latency_us{tier=...}` histograms by tier.
+  std::array<obs::Histogram*, tick::kNumLinkTiers> hop_latency_ = {};
 
  public:
   /// Number of duplicate deliveries injected so far.

@@ -72,10 +72,16 @@ Status SyncDriver::PumpMessages() {
         progress = true;
       }
     }
-    if (!progress && network_->delayed_in_flight() > 0) {
-      // Every inbox drained but the fabric still holds delayed messages:
-      // quiescence means the delay has "elapsed", so release them.
-      progress = network_->FlushDelayed() > 0;
+    if (!progress) {
+      if (network_->pending_events() > 0) {
+        // Event-driven delivery: every inbox drained, so advance virtual
+        // time to the next tick and process its due hop events.
+        progress = network_->AdvanceEvents() > 0;
+      } else if (network_->delayed_in_flight() > 0) {
+        // Every inbox drained but the fabric still holds delayed messages:
+        // quiescence means the delay has "elapsed", so release them.
+        progress = network_->FlushDelayed() > 0;
+      }
     }
   }
   return Status::OK();
@@ -252,6 +258,11 @@ ThreadedDriver::ThreadedDriver(System* system, net::Network* network,
 Result<RunMetrics> ThreadedDriver::Run(const WorkloadConfig& workload) {
   if (workload.generators.size() != system_->locals.size()) {
     return Status::InvalidArgument("generator count != local node count");
+  }
+  if (network_->delivery_mode() == net::Network::DeliveryMode::kEvent) {
+    return Status::InvalidArgument(
+        "event-driven delivery needs a single-threaded driver to advance "
+        "virtual time deterministically");
   }
 
   struct Shared {

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/chaos.h"
+#include "sim/driver.h"
+#include "sim/topology.h"
+
+namespace dema::sim {
+
+/// \brief One topology-scale scenario: an event-driven-delivery run over a
+/// routed multi-hop topology (or the flat fabric), optionally under the
+/// probabilistic subset of a fault plan.
+struct ScenarioOptions {
+  /// Topology spec (`star`, `tree[:fanout=F]`, `fat-tree[:k=K]`,
+  /// `wan[:regions=R]` — see `tick::Topology`), or `flat` for event-driven
+  /// delivery over the single-hop link model.
+  std::string topology = "flat";
+  /// Probabilistic faults (drop / duplicate / delay / corrupt) plus the
+  /// root's deadline/retry knobs. Scheduled crashes, partitions, and tampers
+  /// are not supported here — that is `RunChaos`'s job on the flat fabric.
+  FaultPlan faults;
+  /// Check every non-degraded window against the exact oracle over the fed
+  /// events (the flat-topology ground truth).
+  bool check_oracle = true;
+};
+
+/// \brief Outcome of one scenario run. Everything except the wall/busy
+/// timings is deterministic for a fixed (workload, options) pair —
+/// `DescribeScenarioDiff` compares exactly that deterministic surface.
+struct ScenarioReport {
+  /// Canonical topology name, e.g. "fat-tree:k=16".
+  std::string topology;
+  uint64_t num_locals = 0;
+  uint64_t events_ingested = 0;
+  /// Root outputs in emission order.
+  std::vector<WindowOutput> outputs;
+  uint64_t exact_windows = 0;
+  uint64_t degraded_windows = 0;
+  uint64_t mismatched_windows = 0;
+  uint64_t missing_windows = 0;
+  bool root_idle = false;
+  /// Discrete-event accounting.
+  uint64_t sim_ticks = 0;
+  uint64_t sim_events = 0;
+  uint64_t event_queue_peak = 0;
+  uint64_t virtual_time_us = 0;
+  /// Fault-fabric accounting.
+  uint64_t messages_dropped = 0;
+  uint64_t duplicates_injected = 0;
+  uint64_t messages_delayed = 0;
+  uint64_t messages_corrupted = 0;
+  /// Wire accounting (endpoint-to-endpoint, identical to a flat run).
+  net::TrafficCounters network_total;
+  double simulated_transfer_us = 0;
+  /// Full registry counter snapshot (for determinism comparison).
+  std::map<std::string, uint64_t> counters;
+  /// Timings (not part of the deterministic surface).
+  double wall_seconds = 0;
+  double throughput_eps = 0;
+  double root_busy_seconds = 0;
+  double max_local_busy_seconds = 0;
+  double sim_throughput_eps = 0;
+  /// First invariant violation; empty when every window emitted exactly
+  /// (matching the oracle) or explicitly degraded, and the root ended idle.
+  std::string violation;
+
+  bool Invariant() const { return violation.empty(); }
+};
+
+/// \brief Runs \p system_config / \p workload with event-driven delivery
+/// over \p options.topology. Fault runs (any probability > 0) require the
+/// Dema system with deadline_ticks > 0; fault-free runs accept any system
+/// kind. Tumbling windows only.
+Result<ScenarioReport> RunScenario(const SystemConfig& system_config,
+                                   const WorkloadConfig& workload,
+                                   const ScenarioOptions& options);
+
+/// \brief Human-readable first difference between two scenario reports'
+/// deterministic surfaces (outputs, verdict counts, sim.* accounting, and
+/// the full counter snapshot); empty when byte-identical.
+std::string DescribeScenarioDiff(const ScenarioReport& a,
+                                 const ScenarioReport& b);
+
+}  // namespace dema::sim

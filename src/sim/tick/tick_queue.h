@@ -1,0 +1,73 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dema::tick {
+
+/// \brief Central virtual-time event queue for discrete-event simulation.
+///
+/// A binary min-heap keyed by (due time, insertion sequence): entries with
+/// equal due times pop in push order. That stable FIFO tie-break is the
+/// determinism guarantee every simulation layer above relies on — two runs
+/// that push the same entries in the same order pop them in the same order,
+/// regardless of heap internals.
+///
+/// Not thread-safe; the owner (e.g. `net::Network`) serializes access under
+/// its own lock. Header-only so the network fabric can embed one without a
+/// link-time dependency on the sim layer.
+template <typename T>
+class TickQueue {
+ public:
+  /// Schedules \p value at virtual time \p due_us.
+  void Push(uint64_t due_us, T value) {
+    heap_.push_back(Entry{due_us, next_seq_++, std::move(value)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++pushed_;
+    peak_size_ = std::max<uint64_t>(peak_size_, heap_.size());
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Due time of the earliest entry; queue must be non-empty.
+  uint64_t NextDue() const { return heap_.front().due_us; }
+
+  /// Pops the earliest entry (FIFO among equal due times).
+  T Pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    ++popped_;
+    return std::move(e.value);
+  }
+
+  /// Entries ever pushed / popped, and the high-water queue size.
+  uint64_t pushed() const { return pushed_; }
+  uint64_t popped() const { return popped_; }
+  uint64_t peak_size() const { return peak_size_; }
+
+ private:
+  struct Entry {
+    uint64_t due_us = 0;
+    uint64_t seq = 0;
+    T value;
+  };
+  /// std:: heap helpers build a max-heap; "less" here means "pops later".
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.due_us != b.due_us) return a.due_us > b.due_us;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Entry> heap_;
+  uint64_t next_seq_ = 0;
+  uint64_t pushed_ = 0;
+  uint64_t popped_ = 0;
+  uint64_t peak_size_ = 0;
+};
+
+}  // namespace dema::tick

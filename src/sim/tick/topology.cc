@@ -1,0 +1,346 @@
+#include "sim/tick/topology.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+namespace dema::tick {
+
+namespace {
+
+/// splitmix64 finalizer: the deterministic hash behind ECMP path picks and
+/// WAN latency spreads. Stable across platforms and runs.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t PairHash(NodeId src, NodeId dst) {
+  return Mix((static_cast<uint64_t>(src) << 32) | dst);
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+Status BadSpec(const std::string& spec, const std::string& why) {
+  return Status::InvalidArgument("bad topology spec '" + spec + "': " + why);
+}
+
+// Default per-tier link models. Access links match the flat fabric's 25 Gbit/s;
+// the aggregation/core layers are faster (as real Clos fabrics are) and the
+// WAN layer is slower and dominated by propagation delay.
+LinkSpec AccessSpec(DurationUs latency_us) {
+  return LinkSpec{25e9 / 8.0, latency_us};
+}
+LinkSpec AggSpec() { return LinkSpec{40e9 / 8.0, 10}; }
+LinkSpec CoreSpec() { return LinkSpec{100e9 / 8.0, 5}; }
+LinkSpec WanSpec(DurationUs latency_us) { return LinkSpec{10e9 / 8.0, latency_us}; }
+
+}  // namespace
+
+const char* LinkTierName(LinkTier tier) {
+  switch (tier) {
+    case LinkTier::kAccess:
+      return "access";
+    case LinkTier::kAgg:
+      return "agg";
+    case LinkTier::kCore:
+      return "core";
+    case LinkTier::kWan:
+      return "wan";
+  }
+  return "unknown";
+}
+
+uint32_t Topology::AddLink(uint32_t a, uint32_t b, LinkTier tier,
+                           const LinkSpec& spec) {
+  uint32_t id = static_cast<uint32_t>(links_.size());
+  links_.push_back(Link{a, b, tier, spec});
+  link_ids_[{std::min(a, b), std::max(a, b)}] = id;
+  return id;
+}
+
+uint32_t Topology::LinkBetween(uint32_t a, uint32_t b) const {
+  return link_ids_.at({std::min(a, b), std::max(a, b)});
+}
+
+Result<std::shared_ptr<const Topology>> Topology::Build(const std::string& spec,
+                                                        size_t num_endpoints) {
+  if (num_endpoints < 2) {
+    return BadSpec(spec, "need at least 2 endpoints (root + 1 local)");
+  }
+  // Split "kind:key=value,key=value".
+  std::string kind = spec;
+  std::string params;
+  if (size_t colon = spec.find(':'); colon != std::string::npos) {
+    kind = spec.substr(0, colon);
+    params = spec.substr(colon + 1);
+  }
+  uint64_t fanout = 16;
+  uint64_t k = 0;  // 0 = pick the smallest sufficient even k
+  uint64_t regions = 4;
+  uint64_t wan_latency_us = 5000;
+  size_t start = 0;
+  while (start < params.size()) {
+    size_t end = params.find(',', start);
+    if (end == std::string::npos) end = params.size();
+    std::string token = params.substr(start, end - start);
+    start = end + 1;
+    if (token.empty()) continue;
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) return BadSpec(spec, "expected key=value");
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    uint64_t v = 0;
+    if (!ParseU64(value, &v) || v == 0) {
+      return BadSpec(spec, "bad value for '" + key + "'");
+    }
+    if (key == "fanout") {
+      if (kind != "tree") return BadSpec(spec, "'fanout' applies to tree only");
+      fanout = v;
+    } else if (key == "k") {
+      if (kind != "fat-tree") return BadSpec(spec, "'k' applies to fat-tree only");
+      if (v % 2 != 0) return BadSpec(spec, "fat-tree k must be even");
+      k = v;
+    } else if (key == "regions") {
+      if (kind != "wan") return BadSpec(spec, "'regions' applies to wan only");
+      regions = v;
+    } else if (key == "wan-latency-us") {
+      if (kind != "wan") {
+        return BadSpec(spec, "'wan-latency-us' applies to wan only");
+      }
+      wan_latency_us = v;
+    } else {
+      return BadSpec(spec, "unknown key '" + key + "'");
+    }
+  }
+
+  auto topo = std::shared_ptr<Topology>(new Topology());
+  topo->num_endpoints_ = num_endpoints;
+  const uint32_t E = static_cast<uint32_t>(num_endpoints);
+
+  if (kind == "star") {
+    topo->kind_ = Kind::kStar;
+    topo->name_ = "star";
+    const uint32_t hub = E;
+    topo->num_switches_ = 1;
+    topo->max_hops_ = 2;
+    for (uint32_t v = 0; v < E; ++v) {
+      topo->AddLink(v, hub, LinkTier::kAccess, AccessSpec(25));
+    }
+  } else if (kind == "tree") {
+    topo->kind_ = Kind::kTree;
+    topo->name_ = "tree:fanout=" + std::to_string(fanout);
+    const uint32_t F = static_cast<uint32_t>(fanout);
+    // Build switch levels bottom-up: endpoints group F-to-a-switch, then
+    // switches group F-to-a-switch, until a single top switch remains.
+    topo->parent_.resize(E);
+    std::vector<uint32_t> level;
+    for (uint32_t v = 0; v < E; ++v) level.push_back(v);
+    uint32_t next_id = E;
+    bool first_level = true;
+    while (level.size() > 1) {
+      uint32_t groups = static_cast<uint32_t>((level.size() + F - 1) / F);
+      std::vector<uint32_t> next_level;
+      for (uint32_t g = 0; g < groups; ++g) next_level.push_back(next_id + g);
+      topo->parent_.resize(next_id + groups);
+      for (size_t i = 0; i < level.size(); ++i) {
+        uint32_t parent = next_level[i / F];
+        topo->parent_[level[i]] = parent;
+        LinkTier tier = first_level ? LinkTier::kAccess
+                        : groups == 1 ? LinkTier::kCore
+                                      : LinkTier::kAgg;
+        LinkSpec spec = first_level ? AccessSpec(20)
+                        : groups == 1 ? CoreSpec()
+                                      : AggSpec();
+        topo->AddLink(level[i], parent, tier, spec);
+      }
+      next_id += groups;
+      level = std::move(next_level);
+      first_level = false;
+    }
+    topo->parent_[level[0]] = level[0];  // top switch roots the tree
+    topo->num_switches_ = next_id - E;
+    // Depths: parents always have larger vertex ids, so one descending pass
+    // resolves every chain.
+    topo->depth_.assign(topo->parent_.size(), 0);
+    for (uint32_t v = static_cast<uint32_t>(topo->parent_.size()); v-- > 0;) {
+      if (topo->parent_[v] != v) topo->depth_[v] = topo->depth_[topo->parent_[v]] + 1;
+    }
+    topo->max_hops_ = 2 * topo->depth_[0];
+  } else if (kind == "fat-tree") {
+    topo->kind_ = Kind::kFatTree;
+    if (k == 0) {
+      k = 2;
+      while (k * k * k / 4 < num_endpoints) k += 2;
+    }
+    if (k * k * k / 4 < num_endpoints) {
+      return BadSpec(spec, "fat-tree k=" + std::to_string(k) + " supports only " +
+                               std::to_string(k * k * k / 4) + " endpoints");
+    }
+    topo->name_ = "fat-tree:k=" + std::to_string(k);
+    topo->k_ = static_cast<uint32_t>(k);
+    const uint32_t K = topo->k_;
+    const uint32_t half = K / 2;
+    // Vertex layout after the endpoints: k*half edge switches, k*half agg
+    // switches, then half*half core switches.
+    const uint32_t edge0 = E;
+    const uint32_t agg0 = E + K * half;
+    const uint32_t core0 = E + 2 * K * half;
+    topo->num_switches_ = 2 * K * half + half * half;
+    topo->max_hops_ = 6;
+    for (uint32_t h = 0; h < E; ++h) {
+      topo->AddLink(h, edge0 + h / half, LinkTier::kAccess, AccessSpec(10));
+    }
+    for (uint32_t p = 0; p < K; ++p) {
+      for (uint32_t i = 0; i < half; ++i) {
+        for (uint32_t j = 0; j < half; ++j) {
+          topo->AddLink(edge0 + p * half + i, agg0 + p * half + j,
+                        LinkTier::kAgg, AggSpec());
+        }
+      }
+      for (uint32_t j = 0; j < half; ++j) {
+        for (uint32_t c = 0; c < half; ++c) {
+          topo->AddLink(agg0 + p * half + j, core0 + j * half + c,
+                        LinkTier::kCore, CoreSpec());
+        }
+      }
+    }
+  } else if (kind == "wan") {
+    topo->kind_ = Kind::kWan;
+    if (regions < 2) return BadSpec(spec, "wan needs at least 2 regions");
+    topo->name_ = "wan:regions=" + std::to_string(regions) +
+                  ",wan-latency-us=" + std::to_string(wan_latency_us);
+    topo->regions_ = static_cast<uint32_t>(regions);
+    const uint32_t R = topo->regions_;
+    topo->num_switches_ = R;
+    topo->max_hops_ = 3;
+    for (uint32_t v = 0; v < E; ++v) {
+      uint32_t region = v == 0 ? 0 : (v - 1) % R;
+      topo->AddLink(v, E + region, LinkTier::kAccess, AccessSpec(20));
+    }
+    for (uint32_t a = 0; a < R; ++a) {
+      for (uint32_t b = a + 1; b < R; ++b) {
+        // Long-haul latency: base + a deterministic per-pair spread of up to
+        // half the base, so regions are not equidistant.
+        DurationUs latency = static_cast<DurationUs>(
+            wan_latency_us +
+            Mix((static_cast<uint64_t>(a) << 16) | b) % (wan_latency_us / 2 + 1));
+        topo->AddLink(E + a, E + b, LinkTier::kWan, WanSpec(latency));
+      }
+    }
+  } else {
+    return BadSpec(spec, "unknown kind '" + kind +
+                             "' (expected star, tree, fat-tree, or wan)");
+  }
+  return std::shared_ptr<const Topology>(topo);
+}
+
+Status Topology::Route(NodeId src, NodeId dst,
+                       std::vector<uint32_t>* out) const {
+  out->clear();
+  if (src >= num_endpoints_ || dst >= num_endpoints_) {
+    return Status::InvalidArgument("route endpoints out of range: " +
+                                   std::to_string(src) + " -> " +
+                                   std::to_string(dst));
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("route src == dst (" + std::to_string(src) +
+                                   ")");
+  }
+  switch (kind_) {
+    case Kind::kStar: {
+      const uint32_t hub = static_cast<uint32_t>(num_endpoints_);
+      out->push_back(LinkBetween(src, hub));
+      out->push_back(LinkBetween(hub, dst));
+      return Status::OK();
+    }
+    case Kind::kTree:
+      return RouteTree(src, dst, out);
+    case Kind::kFatTree:
+      return RouteFatTree(src, dst, out);
+    case Kind::kWan:
+      return RouteWan(src, dst, out);
+  }
+  return Status::Internal("unreachable topology kind");
+}
+
+Status Topology::RouteTree(NodeId src, NodeId dst,
+                           std::vector<uint32_t>* out) const {
+  // Climb both sides to the lowest common ancestor; the route is src's
+  // up-path followed by dst's down-path reversed.
+  uint32_t a = src;
+  uint32_t b = dst;
+  std::vector<uint32_t> down;
+  while (a != b) {
+    if (depth_[a] >= depth_[b]) {
+      out->push_back(LinkBetween(a, parent_[a]));
+      a = parent_[a];
+    } else {
+      down.push_back(LinkBetween(b, parent_[b]));
+      b = parent_[b];
+    }
+  }
+  out->insert(out->end(), down.rbegin(), down.rend());
+  return Status::OK();
+}
+
+Status Topology::RouteFatTree(NodeId src, NodeId dst,
+                              std::vector<uint32_t>* out) const {
+  const uint32_t E = static_cast<uint32_t>(num_endpoints_);
+  const uint32_t half = k_ / 2;
+  const uint32_t edge0 = E;
+  const uint32_t agg0 = E + k_ * half;
+  const uint32_t core0 = E + 2 * k_ * half;
+  const uint32_t se = edge0 + src / half;
+  const uint32_t de = edge0 + dst / half;
+  out->push_back(LinkBetween(src, se));
+  if (se == de) {
+    out->push_back(LinkBetween(se, dst));
+    return Status::OK();
+  }
+  // Deterministic ECMP: the (src, dst) hash picks the agg index (and the
+  // core offset for cross-pod routes) once and forever.
+  const uint64_t h = PairHash(src, dst);
+  const uint32_t j = static_cast<uint32_t>(h % half);
+  const uint32_t sp = (src / half) / half;
+  const uint32_t dp = (dst / half) / half;
+  if (sp == dp) {
+    const uint32_t agg = agg0 + sp * half + j;
+    out->push_back(LinkBetween(se, agg));
+    out->push_back(LinkBetween(agg, de));
+  } else {
+    const uint32_t c = static_cast<uint32_t>((h >> 16) % half);
+    const uint32_t core = core0 + j * half + c;
+    const uint32_t sagg = agg0 + sp * half + j;
+    const uint32_t dagg = agg0 + dp * half + j;
+    out->push_back(LinkBetween(se, sagg));
+    out->push_back(LinkBetween(sagg, core));
+    out->push_back(LinkBetween(core, dagg));
+    out->push_back(LinkBetween(dagg, de));
+  }
+  out->push_back(LinkBetween(de, dst));
+  return Status::OK();
+}
+
+Status Topology::RouteWan(NodeId src, NodeId dst,
+                          std::vector<uint32_t>* out) const {
+  const uint32_t E = static_cast<uint32_t>(num_endpoints_);
+  const uint32_t src_hub = E + (src == 0 ? 0 : (src - 1) % regions_);
+  const uint32_t dst_hub = E + (dst == 0 ? 0 : (dst - 1) % regions_);
+  out->push_back(LinkBetween(src, src_hub));
+  if (src_hub != dst_hub) out->push_back(LinkBetween(src_hub, dst_hub));
+  out->push_back(LinkBetween(dst_hub, dst));
+  return Status::OK();
+}
+
+}  // namespace dema::tick
